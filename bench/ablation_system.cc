@@ -1,0 +1,112 @@
+/**
+ * @file
+ * System-level ablations for GenAx (DESIGN.md §5):
+ *
+ *  - segment-count sweep: on-chip SRAM footprint vs DRAM streaming
+ *    time vs projected runtime at paper scale (why 512 segments),
+ *  - exact-match fast path on/off,
+ *  - seeding-lane lookup issue width.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "genax/system.hh"
+
+using namespace genax;
+using namespace genax::bench;
+
+int
+main()
+{
+    const auto w = makeWorkload(1u << 20, 1500, 555);
+    std::vector<Seq> reads;
+    for (const auto &r : w.reads)
+        reads.push_back(r.seq);
+
+    // Baseline measured run used for all projections.
+    GenAxConfig cfg;
+    cfg.k = 12;
+    cfg.editBound = 40;
+    cfg.segmentCount = 8;
+    cfg.segmentOverlap = 256;
+    GenAxSystem sys(w.ref, cfg);
+    sys.alignAll(reads);
+    const GenAxPerf perf = sys.perf();
+
+    header("ablation.segments", "segment count at paper scale "
+                                "(3.08 Gbp, 787M reads)");
+    for (u64 segs : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+        // Seeding/extension work scales with segment count; tables
+        // shrink with it.
+        const auto proj = GenAxSystem::project(
+            cfg, perf, u64{787'265'109}, 101, u64{3'080'000'000},
+            segs);
+        const u64 seg_len = u64{3'080'000'000} / segs;
+        const double sram_mb =
+            ((u64{1} << 24) * 3 + seg_len * 3 + seg_len / 4 +
+             cfg.referenceCacheBytes + cfg.readBufferBytes) /
+            1e6;
+        char x[16];
+        std::snprintf(x, sizeof(x), "%llu",
+                      static_cast<unsigned long long>(segs));
+        row("ablation.segments", "sram_needed", x, sram_mb, "MB",
+            segs == 512 ? "68 (paper design point)" : "");
+        row("ablation.segments", "projected_runtime", x,
+            proj.totalSeconds, "s");
+        row("ablation.segments", "projected_dram", x,
+            proj.dramSeconds, "s");
+    }
+    note("fewer segments -> tables no longer fit on-chip SRAM; more "
+         "segments -> every read is re-seeded more often");
+
+    header("ablation.fastpath", "exact-match fast path (Section V "
+                                "optimization 4)");
+    for (bool on : {true, false}) {
+        GenAxConfig c = cfg;
+        c.seeding.exactMatchFastPath = on;
+        GenAxSystem s(w.ref, c);
+        s.alignAll(reads);
+        const char *x = on ? "on" : "off";
+        row("ablation.fastpath", "seeding_lookups_per_read", x,
+            static_cast<double>(s.perf().seeding.indexLookups) /
+                (2.0 * reads.size() * s.perf().segments),
+            "lookups");
+        row("ablation.fastpath", "extension_jobs", x,
+            static_cast<double>(s.perf().extensionJobs), "jobs");
+        row("ablation.fastpath", "seeding_seconds", x,
+            s.perf().seedingSeconds * 1e3, "ms");
+    }
+
+    header("ablation.banks", "index-SRAM bank count (cycle-stepped "
+                             "lane simulation)");
+    for (u32 banks : {4u, 8u, 16u, 32u, 64u}) {
+        GenAxConfig c = cfg;
+        c.simulateSeedingLanes = true;
+        c.seedingSramBanks = banks;
+        GenAxSystem s(w.ref, c);
+        s.alignAll(reads);
+        char x[8];
+        std::snprintf(x, sizeof(x), "%u", banks);
+        row("ablation.banks", "seeding_time", x,
+            s.perf().seedingSeconds * 1e3, "ms",
+            banks == 32 ? "model default" : "");
+    }
+
+    header("ablation.issue_width", "seeding-lane SRAM issue width");
+    for (u32 width : {1u, 2u, 4u, 8u}) {
+        GenAxConfig c = cfg;
+        c.seedingIssueWidth = width;
+        GenAxSystem s(w.ref, c);
+        s.alignAll(reads);
+        const auto proj = GenAxSystem::project(
+            c, s.perf(), u64{787'265'109}, 101, u64{3'080'000'000},
+            512);
+        char x[8];
+        std::snprintf(x, sizeof(x), "%u", width);
+        row("ablation.issue_width", "projected_KReads_per_s", x,
+            proj.readsPerSecond / 1e3, "KReads/s",
+            width == 4 ? "model default" : "");
+    }
+    return 0;
+}

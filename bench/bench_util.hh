@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench prints self-describing rows:
+ *
+ *   [figure] series=<name> x=<param> y=<value> unit=<unit> (paper=<ref>)
+ *
+ * so EXPERIMENTS.md can record paper-vs-measured pairs directly from
+ * the bench output.
+ */
+
+#ifndef GENAX_BENCH_BENCH_UTIL_HH
+#define GENAX_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
+
+namespace genax::bench {
+
+/** One experiment data point. */
+inline void
+row(const std::string &figure, const std::string &series,
+    const std::string &x, double y, const std::string &unit,
+    const std::string &paper = "")
+{
+    std::printf("[%s] series=%-28s x=%-10s y=%14.4f unit=%-12s",
+                figure.c_str(), series.c_str(), x.c_str(), y,
+                unit.c_str());
+    if (!paper.empty())
+        std::printf(" paper=%s", paper.c_str());
+    std::printf("\n");
+}
+
+inline void
+header(const std::string &figure, const std::string &title)
+{
+    std::printf("\n=== %s — %s ===\n", figure.c_str(), title.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("    %s\n", text.c_str());
+}
+
+/** Wall-clock seconds of fn(). */
+template <typename Fn>
+double
+timeSeconds(Fn &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Standard bench workload: synthetic genome + Illumina-like reads. */
+struct Workload
+{
+    Seq ref;
+    std::vector<SimRead> reads;
+};
+
+inline Workload
+makeWorkload(u64 genome_len, u64 num_reads, u64 seed = 1234,
+             double base_error = 0.0025, double read_indel = 0.0001)
+{
+    Workload w;
+    RefGenConfig rcfg;
+    rcfg.length = genome_len;
+    rcfg.seed = seed;
+    w.ref = generateReference(rcfg);
+
+    ReadSimConfig rs;
+    rs.numReads = num_reads;
+    rs.seed = seed + 1;
+    rs.baseErrorRate = base_error;
+    rs.readIndelRate = read_indel;
+    w.reads = simulateReads(w.ref, rs);
+    return w;
+}
+
+} // namespace genax::bench
+
+#endif // GENAX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 12 reproduction: per-PE area and power versus synthesis
+ * frequency target (1-8 GHz) for the SillaX edit and traceback
+ * machines, with the paper's highlighted optimal points.
+ *
+ * The 28 nm technology model is calibrated to the paper's published
+ * synthesis results (see sillax/tech_model.hh); this bench sweeps it
+ * and reports the same curves the figure plots (log-scale y in the
+ * paper).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sillax/tech_model.hh"
+
+using namespace genax;
+using namespace genax::bench;
+
+int
+main()
+{
+    header("fig12", "SillaX area and power for a single PE");
+    note("area in um^2, power in uW, latency in ns; 28 nm model");
+    note("paper highlights 2 GHz as the inflection/optimal point");
+
+    struct Series
+    {
+        PeType type;
+        const char *name;
+    };
+    const Series series[] = {
+        {PeType::Edit, "edit_pe"},
+        {PeType::Scoring, "scoring_pe"},
+        {PeType::Traceback, "traceback_pe"},
+    };
+
+    for (const auto &s : series) {
+        for (double f = 1.0; f <= 8.01; f += 1.0) {
+            const char *paper_area = "";
+            const char *paper_power = "";
+            if (s.type == PeType::Edit && f == 2.0) {
+                paper_area = "7.14 (0.012mm^2/1681 PEs)";
+                paper_power = "27.96 (0.047W/1681 PEs)";
+            }
+            if (s.type == PeType::Edit && f == 5.0)
+                paper_area = "9.7";
+            if (s.type == PeType::Traceback && f == 2.0) {
+                paper_area = "838.8 (1.41mm^2/1681 PEs)";
+                paper_power = "916.1 (1.54W/1681 PEs)";
+            }
+            char x[16];
+            std::snprintf(x, sizeof(x), "%.0fGHz", f);
+            row("fig12", std::string(s.name) + ".area", x,
+                TechModel::peAreaUm2(s.type, f), "um^2", paper_area);
+            row("fig12", std::string(s.name) + ".power", x,
+                TechModel::pePowerW(s.type, f) * 1e6, "uW", paper_power);
+            row("fig12", std::string(s.name) + ".latency", x,
+                TechModel::peLatencyNs(s.type, f), "ns",
+                s.type == PeType::Edit && f == 2.0
+                    ? "0.17"
+                    : (s.type == PeType::Traceback && f == 2.0 ? "0.33"
+                                                               : ""));
+        }
+    }
+
+    header("fig12", "machine-level optimal design points (K=40)");
+    row("fig12", "edit_machine.area", "2GHz",
+        TechModel::machineAreaMm2(PeType::Edit, 40, 2.0), "mm^2",
+        "0.012");
+    row("fig12", "edit_machine.power", "2GHz",
+        TechModel::machinePowerW(PeType::Edit, 40, 2.0), "W", "0.047");
+    row("fig12", "traceback_machine.area", "2GHz",
+        TechModel::machineAreaMm2(PeType::Traceback, 40, 2.0), "mm^2",
+        "1.41");
+    row("fig12", "traceback_machine.power", "2GHz",
+        TechModel::machinePowerW(PeType::Traceback, 40, 2.0), "W",
+        "1.54");
+    row("fig12", "edit_machine.max_freq", "-",
+        TechModel::maxFrequencyGhz(PeType::Edit), "GHz", "6");
+    row("fig12", "edit_pe.gates", "-",
+        TechModel::peGates(PeType::Edit), "gates", "13");
+    return 0;
+}

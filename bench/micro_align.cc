@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Microbenchmarks for the alignment substrate: full vs banded Gotoh,
+ * score-only kernels, Myers bit-vector and the classic Levenshtein
+ * automaton, on 101 bp Illumina-like pairs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "align/edit_distance.hh"
+#include "align/gotoh.hh"
+#include "align/lev_automaton.hh"
+#include "align/myers.hh"
+#include "align/wavefront.hh"
+#include "align/wfa.hh"
+#include "common/rng.hh"
+
+namespace genax {
+namespace {
+
+struct Pair
+{
+    Seq ref;
+    Seq qry;
+};
+
+Pair
+makePair(u64 seed, size_t len, unsigned edits)
+{
+    Rng rng(seed);
+    Pair p;
+    p.ref.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        p.ref.push_back(static_cast<Base>(rng.below(4)));
+    p.qry = p.ref;
+    for (unsigned e = 0; e < edits; ++e) {
+        const u64 pos = rng.below(p.qry.size());
+        p.qry[pos] = static_cast<Base>((p.qry[pos] + 1 + rng.below(3)) & 3);
+    }
+    return p;
+}
+
+void
+BM_GotohFullExtend(benchmark::State &state)
+{
+    const auto p = makePair(1, state.range(0), 3);
+    const Scoring sc;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            gotohAlign(p.ref, p.qry, sc, AlignMode::Extend));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GotohFullExtend)->Arg(101)->Arg(400);
+
+void
+BM_GotohBandedExtend(benchmark::State &state)
+{
+    const auto p = makePair(2, 101, 3);
+    const Scoring sc;
+    const u32 band = static_cast<u32>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            gotohBanded(p.ref, p.qry, sc, AlignMode::Extend, band));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GotohBandedExtend)->Arg(16)->Arg(40);
+
+void
+BM_GotohBandedScoreOnly(benchmark::State &state)
+{
+    const auto p = makePair(3, 101, 3);
+    const Scoring sc;
+    const u32 band = static_cast<u32>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            gotohBandedScoreOnly(p.ref, p.qry, sc, band));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GotohBandedScoreOnly)->Arg(16)->Arg(40);
+
+void
+BM_EditDistanceDp(benchmark::State &state)
+{
+    const auto p = makePair(4, state.range(0), 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(editDistance(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EditDistanceDp)->Arg(101)->Arg(400);
+
+void
+BM_MyersBitVector(benchmark::State &state)
+{
+    const auto p = makePair(5, state.range(0), 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(myersEditDistance(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MyersBitVector)->Arg(101)->Arg(400);
+
+void
+BM_WavefrontEditDistance(benchmark::State &state)
+{
+    const auto p = makePair(7, state.range(0), 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wavefrontEditDistance(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WavefrontEditDistance)->Arg(101)->Arg(400)->Arg(4000);
+
+void
+BM_WfaGlobalScore(benchmark::State &state)
+{
+    const auto p = makePair(8, state.range(0), 3);
+    const Scoring sc;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wfaGlobalScore(p.ref, p.qry, sc));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WfaGlobalScore)->Arg(101)->Arg(400);
+
+void
+BM_LevenshteinAutomaton(benchmark::State &state)
+{
+    const auto p = makePair(6, 101, 3);
+    LevenshteinAutomaton la(p.ref, static_cast<u32>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(la.distanceTo(p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LevenshteinAutomaton)->Arg(4)->Arg(8);
+
+} // namespace
+} // namespace genax
+
+BENCHMARK_MAIN();

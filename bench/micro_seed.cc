@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Microbenchmarks for the seeding accelerator substrate: index
+ * construction and per-read SMEM computation (exact and mutated
+ * reads), plus the whole-read software aligner for context.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
+#include "seed/fm_seeder.hh"
+#include "seed/smem_engine.hh"
+#include "swbase/bwamem_like.hh"
+
+namespace genax {
+namespace {
+
+const Seq &
+benchRef()
+{
+    static const Seq ref = [] {
+        RefGenConfig cfg;
+        cfg.length = 1 << 20;
+        cfg.seed = 55;
+        return generateReference(cfg);
+    }();
+    return ref;
+}
+
+const std::vector<SimRead> &
+benchReads()
+{
+    static const std::vector<SimRead> reads = [] {
+        ReadSimConfig rs;
+        rs.numReads = 400;
+        rs.seed = 56;
+        rs.sampleReverse = false;
+        return simulateReads(benchRef(), rs);
+    }();
+    return reads;
+}
+
+void
+BM_KmerIndexBuild(benchmark::State &state)
+{
+    const u32 k = static_cast<u32>(state.range(0));
+    for (auto _ : state) {
+        KmerIndex index(benchRef(), k);
+        benchmark::DoNotOptimize(index.maxHitListSize());
+    }
+    state.SetBytesProcessed(state.iterations() * benchRef().size());
+}
+BENCHMARK(BM_KmerIndexBuild)->Arg(10)->Arg(12);
+
+void
+BM_SmemSeedPerRead(benchmark::State &state)
+{
+    static const KmerIndex index(benchRef(), 12);
+    SmemEngine engine(index, {});
+    const auto &reads = benchReads();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.seed(reads[i].seq));
+        i = (i + 1) % reads.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmemSeedPerRead);
+
+void
+BM_SmemSeedNoFastPath(benchmark::State &state)
+{
+    static const KmerIndex index(benchRef(), 12);
+    SeedingConfig cfg;
+    cfg.exactMatchFastPath = false;
+    SmemEngine engine(index, cfg);
+    const auto &reads = benchReads();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.seed(reads[i].seq));
+        i = (i + 1) % reads.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmemSeedNoFastPath);
+
+void
+BM_FmIndexBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        FmSeeder seeder(benchRef(), 12);
+        benchmark::DoNotOptimize(seeder.footprintBytes());
+    }
+    state.SetBytesProcessed(state.iterations() * benchRef().size());
+}
+BENCHMARK(BM_FmIndexBuild);
+
+void
+BM_FmSeedPerRead(benchmark::State &state)
+{
+    static FmSeeder seeder(benchRef(), 12);
+    const auto &reads = benchReads();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(seeder.seed(reads[i].seq));
+        i = (i + 1) % reads.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FmSeedPerRead);
+
+void
+BM_BwaMemLikeAlignRead(benchmark::State &state)
+{
+    static const BwaMemLike aligner(benchRef(), [] {
+        AlignerConfig cfg;
+        cfg.k = 12;
+        cfg.band = 16;
+        return cfg;
+    }());
+    const auto &reads = benchReads();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aligner.alignRead(reads[i].seq));
+        i = (i + 1) % reads.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BwaMemLikeAlignRead);
+
+} // namespace
+} // namespace genax
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Microbenchmarks for the Silla machines: software simulation cost
+ * of the edit, scoring and traceback machines across edit bounds.
+ * (Hardware throughput is the cycle model in fig14; this measures
+ * the simulator itself.)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "silla/silla_edit.hh"
+#include "silla/silla_score.hh"
+#include "silla/silla_traceback.hh"
+#include "sillax/edit_machine.hh"
+
+namespace genax {
+namespace {
+
+struct Pair
+{
+    Seq ref;
+    Seq qry;
+};
+
+Pair
+makePair(u64 seed, size_t len, unsigned edits)
+{
+    Rng rng(seed);
+    Pair p;
+    p.ref.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        p.ref.push_back(static_cast<Base>(rng.below(4)));
+    p.qry = p.ref;
+    for (unsigned e = 0; e < edits; ++e) {
+        const u64 pos = rng.below(p.qry.size());
+        p.qry[pos] = static_cast<Base>((p.qry[pos] + 1 + rng.below(3)) & 3);
+    }
+    return p;
+}
+
+void
+BM_SillaEditDistance(benchmark::State &state)
+{
+    const auto p = makePair(10, 101, 3);
+    SillaEdit silla(static_cast<u32>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(silla.distance(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SillaEditDistance)->Arg(8)->Arg(16)->Arg(40);
+
+void
+BM_Silla3dEditDistance(benchmark::State &state)
+{
+    const auto p = makePair(11, 101, 3);
+    Silla3D silla(static_cast<u32>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(silla.distance(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Silla3dEditDistance)->Arg(8)->Arg(16);
+
+void
+BM_StructuralEditMachine(benchmark::State &state)
+{
+    const auto p = makePair(12, 101, 3);
+    StructuralEditMachine hw(static_cast<u32>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hw.distance(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StructuralEditMachine)->Arg(8)->Arg(16);
+
+void
+BM_SillaScore(benchmark::State &state)
+{
+    const auto p = makePair(13, 101, 3);
+    SillaScore machine(static_cast<u32>(state.range(0)), Scoring{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.run(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SillaScore)->Arg(16)->Arg(40);
+
+void
+BM_SillaTraceback(benchmark::State &state)
+{
+    const auto p = makePair(14, 101, 3);
+    SillaTraceback machine(static_cast<u32>(state.range(0)), Scoring{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.align(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SillaTraceback)->Arg(16)->Arg(40);
+
+} // namespace
+} // namespace genax
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table II reproduction (GenAx area breakdown) plus the Section
+ * VIII-C banded-Smith-Waterman comparison and the composable-tile
+ * configuration ablation of Section IV-D.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "genax/system.hh"
+#include "silla/silla.hh"
+#include "sillax/tech_model.hh"
+#include "sillax/tile.hh"
+
+using namespace genax;
+using namespace genax::bench;
+
+int
+main()
+{
+    header("table2", "GenAx area breakdown (28 nm, paper parameters)");
+    GenAxConfig cfg; // defaults = paper architecture
+    const u64 index_bytes = (u64{1} << 24) * 3;  // k=12 index, ~48 MB
+    const u64 pos_bytes = u64{6'100'000} * 3;    // 6 Mbp segment
+    const auto ap = GenAxSystem::areaPower(cfg, index_bytes, pos_bytes);
+
+    row("table2", "seeding_lanes_x128", "area",
+        ap.seedingLanesMm2, "mm^2", "4.224");
+    row("table2", "sillax_lanes_x4", "area", ap.sillaxLanesMm2, "mm^2",
+        "5.36");
+    row("table2", "onchip_sram", "area", ap.sramMm2, "mm^2",
+        "163.2 (68 MB)");
+    row("table2", "total", "area", ap.totalMm2, "mm^2", "172.78");
+    row("table2", "onchip_sram", "bytes",
+        static_cast<double>(ap.sramBytes) / 1e6, "MB", "68");
+    row("table2", "total", "power", ap.totalW, "W", "~12x below CPU");
+
+    header("sec8c", "SillaX vs banded Smith-Waterman (Section VIII-C)");
+    const double silla_pe = TechModel::peAreaUm2(PeType::Edit, 5.0);
+    const double sw_pe = TechModel::bandedSwPeAreaUm2(5.0);
+    row("sec8c", "sillax_edit_pe.area@5GHz", "-", silla_pe, "um^2",
+        "9.7");
+    row("sec8c", "banded_sw_pe.area@5GHz", "-", sw_pe, "um^2", "300");
+    row("sec8c", "area_ratio", "-", sw_pe / silla_pe, "x", "30");
+
+    header("sec8c", "state-count scaling (edit bound K, string N)");
+    for (u32 k : {8u, 16u, 32u, 40u}) {
+        char x[16];
+        std::snprintf(x, sizeof(x), "K=%u", k);
+        row("sec8c", "silla.collapsed_states", x,
+            static_cast<double>(SillaStateCount::collapsed(k)),
+            "states");
+        row("sec8c", "silla3d.states", x,
+            static_cast<double>(SillaStateCount::explicit3d(k)),
+            "states");
+        row("sec8c", "lev_automaton.states(N=101)", x,
+            static_cast<double>(SillaStateCount::levenshtein(k, 101)),
+            "states", "K*N-proportional");
+        row("sec8c", "lev_automaton.states(N=10000)", x,
+            static_cast<double>(
+                SillaStateCount::levenshtein(k, 10000)),
+            "states", "impractical for long reads");
+    }
+
+    header("sec4d", "composable SillaX configurations (2x2 tile array, "
+                    "K_tile=40)");
+    TileArray tiles(40, 2, 2);
+    struct Cfg
+    {
+        const char *name;
+        std::vector<u32> request;
+    };
+    const Cfg cfgs[] = {
+        {"4x_independent_K40", {}},
+        {"1x_composed_K81_plus_0", {2}},
+    };
+    for (const auto &c : cfgs) {
+        if (!tiles.configure(c.request))
+            continue;
+        double engines = static_cast<double>(tiles.engines().size());
+        u32 max_k = 0;
+        for (const auto &e : tiles.engines())
+            max_k = std::max(max_k, e.editBound);
+        row("sec4d", std::string(c.name) + ".engines", "-", engines,
+            "engines");
+        row("sec4d", std::string(c.name) + ".max_edit_bound", "-",
+            max_k, "K");
+    }
+    row("sec4d", "tile_array.area_with_mux", "-",
+        tiles.areaMm2(PeType::Traceback, 2.0), "mm^2",
+        "small MUX overhead over 4 machines");
+    return 0;
+}

@@ -1,0 +1,221 @@
+#include "align/cigar.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+void
+Cigar::push(CigarOp op, u32 len)
+{
+    if (len == 0)
+        return;
+    if (!_elems.empty() && _elems.back().op == op)
+        _elems.back().len += len;
+    else
+        _elems.push_back({op, len});
+}
+
+void
+Cigar::reverse()
+{
+    std::reverse(_elems.begin(), _elems.end());
+}
+
+void
+Cigar::append(const Cigar &other)
+{
+    for (const auto &e : other._elems)
+        push(e.op, e.len);
+}
+
+u64
+Cigar::queryLen() const
+{
+    u64 n = 0;
+    for (const auto &e : _elems) {
+        switch (e.op) {
+          case CigarOp::Match:
+          case CigarOp::Mismatch:
+          case CigarOp::Ins:
+          case CigarOp::SoftClip:
+            n += e.len;
+            break;
+          case CigarOp::Del:
+            break;
+        }
+    }
+    return n;
+}
+
+u64
+Cigar::refLen() const
+{
+    u64 n = 0;
+    for (const auto &e : _elems) {
+        switch (e.op) {
+          case CigarOp::Match:
+          case CigarOp::Mismatch:
+          case CigarOp::Del:
+            n += e.len;
+            break;
+          default:
+            break;
+        }
+    }
+    return n;
+}
+
+u64
+Cigar::alignedQueryLen() const
+{
+    u64 n = 0;
+    for (const auto &e : _elems) {
+        switch (e.op) {
+          case CigarOp::Match:
+          case CigarOp::Mismatch:
+          case CigarOp::Ins:
+            n += e.len;
+            break;
+          default:
+            break;
+        }
+    }
+    return n;
+}
+
+u64
+Cigar::editDistance() const
+{
+    u64 n = 0;
+    for (const auto &e : _elems) {
+        switch (e.op) {
+          case CigarOp::Mismatch:
+          case CigarOp::Ins:
+          case CigarOp::Del:
+            n += e.len;
+            break;
+          default:
+            break;
+        }
+    }
+    return n;
+}
+
+std::string
+Cigar::str() const
+{
+    if (_elems.empty())
+        return "*";
+    std::string out;
+    for (const auto &e : _elems) {
+        out += std::to_string(e.len);
+        out += static_cast<char>(e.op);
+    }
+    return out;
+}
+
+std::string
+Cigar::strSamM() const
+{
+    if (_elems.empty())
+        return "*";
+    std::string out;
+    u64 run = 0;
+    auto flush_m = [&]() {
+        if (run > 0) {
+            out += std::to_string(run);
+            out += 'M';
+            run = 0;
+        }
+    };
+    for (const auto &e : _elems) {
+        if (e.op == CigarOp::Match || e.op == CigarOp::Mismatch) {
+            run += e.len;
+        } else {
+            flush_m();
+            out += std::to_string(e.len);
+            out += static_cast<char>(e.op);
+        }
+    }
+    flush_m();
+    return out;
+}
+
+Cigar
+Cigar::parse(const std::string &s)
+{
+    Cigar out;
+    if (s == "*" || s.empty())
+        return out;
+    size_t i = 0;
+    while (i < s.size()) {
+        GENAX_ASSERT(std::isdigit(static_cast<unsigned char>(s[i])),
+                     "bad cigar: ", s);
+        u32 len = 0;
+        while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+            len = len * 10 + static_cast<u32>(s[i++] - '0');
+        GENAX_ASSERT(i < s.size(), "cigar missing op: ", s);
+        const char c = s[i++];
+        CigarOp op;
+        switch (c) {
+          case '=': op = CigarOp::Match; break;
+          case 'X': op = CigarOp::Mismatch; break;
+          case 'I': op = CigarOp::Ins; break;
+          case 'D': op = CigarOp::Del; break;
+          case 'S': op = CigarOp::SoftClip; break;
+          default: GENAX_FATAL("bad cigar op '", c, "' in ", s);
+        }
+        out.push(op, len);
+    }
+    return out;
+}
+
+i32
+Cigar::rescore(const Seq &ref, const Seq &qry, const Scoring &sc) const
+{
+    i32 score = 0;
+    size_t r = 0, q = 0;
+    for (const auto &e : _elems) {
+        switch (e.op) {
+          case CigarOp::Match:
+            for (u32 i = 0; i < e.len; ++i, ++r, ++q) {
+                GENAX_ASSERT(r < ref.size() && q < qry.size(),
+                             "cigar overruns sequences");
+                GENAX_ASSERT(ref[r] == qry[q],
+                             "cigar '=' on mismatching pair at r=", r,
+                             " q=", q);
+                score += sc.match;
+            }
+            break;
+          case CigarOp::Mismatch:
+            for (u32 i = 0; i < e.len; ++i, ++r, ++q) {
+                GENAX_ASSERT(r < ref.size() && q < qry.size(),
+                             "cigar overruns sequences");
+                GENAX_ASSERT(ref[r] != qry[q],
+                             "cigar 'X' on matching pair at r=", r,
+                             " q=", q);
+                score -= sc.mismatch;
+            }
+            break;
+          case CigarOp::Ins:
+            GENAX_ASSERT(q + e.len <= qry.size(), "cigar overruns query");
+            q += e.len;
+            score += sc.gapCost(static_cast<i32>(e.len));
+            break;
+          case CigarOp::Del:
+            GENAX_ASSERT(r + e.len <= ref.size(), "cigar overruns ref");
+            r += e.len;
+            score += sc.gapCost(static_cast<i32>(e.len));
+            break;
+          case CigarOp::SoftClip:
+            q += e.len;
+            break;
+        }
+    }
+    return score;
+}
+
+} // namespace genax

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CIGAR representation of alignments.
+ *
+ * Conventions follow SAM, expressed relative to the query (read):
+ *  '='  match           (consumes query and reference)
+ *  'X'  mismatch        (consumes query and reference)
+ *  'I'  insertion       (consumes query only — extra base in the read)
+ *  'D'  deletion        (consumes reference only)
+ *  'S'  soft clip       (consumes query only, unaligned)
+ */
+
+#ifndef GENAX_ALIGN_CIGAR_HH
+#define GENAX_ALIGN_CIGAR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+#include "align/scoring.hh"
+
+namespace genax {
+
+/** One CIGAR operation kind. */
+enum class CigarOp : char
+{
+    Match = '=',
+    Mismatch = 'X',
+    Ins = 'I',
+    Del = 'D',
+    SoftClip = 'S',
+};
+
+/** A run-length encoded CIGAR element. */
+struct CigarElem
+{
+    CigarOp op;
+    u32 len;
+
+    bool operator==(const CigarElem &) const = default;
+};
+
+/** A full CIGAR: sequence of run-length encoded operations. */
+class Cigar
+{
+  public:
+    Cigar() = default;
+    explicit Cigar(std::vector<CigarElem> elems) : _elems(std::move(elems)) {}
+
+    /** Append an operation, merging with the trailing run if equal. */
+    void push(CigarOp op, u32 len = 1);
+
+    /** Reverse the element order in place (for left extensions). */
+    void reverse();
+
+    /** Append another cigar (run-merging at the seam). */
+    void append(const Cigar &other);
+
+    const std::vector<CigarElem> &elems() const { return _elems; }
+    bool empty() const { return _elems.empty(); }
+
+    /** Number of query characters consumed (=, X, I, S). */
+    u64 queryLen() const;
+
+    /** Number of reference characters consumed (=, X, D). */
+    u64 refLen() const;
+
+    /** Number of aligned (non-clip) query characters. */
+    u64 alignedQueryLen() const;
+
+    /** Total edits (X + I + D characters). */
+    u64 editDistance() const;
+
+    /** Format as a SAM CIGAR string (with =/X kept distinct). */
+    std::string str() const;
+
+    /** Format using 'M' for both = and X (classic SAM style). */
+    std::string strSamM() const;
+
+    /** Parse from a string produced by str(). Fatal on bad input. */
+    static Cigar parse(const std::string &s);
+
+    /**
+     * Recompute the affine-gap score of this cigar against the given
+     * sequences, verifying op-by-op consistency (e.g. '=' positions
+     * really match). Fatal on inconsistency. Clips score zero.
+     *
+     * @param ref reference window the cigar refers to (from position 0)
+     * @param qry query sequence (from position 0)
+     */
+    i32 rescore(const Seq &ref, const Seq &qry, const Scoring &sc) const;
+
+    bool operator==(const Cigar &) const = default;
+
+  private:
+    std::vector<CigarElem> _elems;
+};
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_CIGAR_HH

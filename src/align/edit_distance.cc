@@ -1,0 +1,86 @@
+#include "align/edit_distance.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace genax {
+
+u64
+editDistance(const Seq &a, const Seq &b)
+{
+    const size_t n = a.size(), m = b.size();
+    std::vector<u64> prev(m + 1), cur(m + 1);
+    for (size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= n; ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= m; ++j) {
+            const u64 sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+std::optional<u64>
+editDistanceBanded(const Seq &a, const Seq &b, u64 band)
+{
+    const i64 n = static_cast<i64>(a.size());
+    const i64 m = static_cast<i64>(b.size());
+    // Any alignment requires at least |n-m| indels, all skewing the
+    // diagonal the same way; the band must cover that skew.
+    if (static_cast<u64>(std::abs(n - m)) > band)
+        return std::nullopt;
+
+    const i64 w = static_cast<i64>(band);
+    const u64 inf = ~u64{0} / 2;
+    // Row-sliced band storage: row i covers j in [i-w, i+w].
+    std::vector<u64> prev(2 * band + 1, inf), cur(2 * band + 1, inf);
+    auto idx = [&](i64 i, i64 j) { return static_cast<size_t>(j - (i - w)); };
+
+    for (i64 j = 0; j <= std::min(m, w); ++j)
+        prev[idx(0, j)] = static_cast<u64>(j);
+    for (i64 i = 1; i <= n; ++i) {
+        std::fill(cur.begin(), cur.end(), inf);
+        const i64 jlo = std::max<i64>(0, i - w);
+        const i64 jhi = std::min(m, i + w);
+        for (i64 j = jlo; j <= jhi; ++j) {
+            u64 best = inf;
+            if (j == 0) {
+                best = static_cast<u64>(i);
+            } else {
+                // Diagonal predecessor is always inside row i-1's band.
+                if (j - 1 >= i - 1 - w && j - 1 <= i - 1 + w &&
+                    prev[idx(i - 1, j - 1)] != inf) {
+                    const u64 sub = prev[idx(i - 1, j - 1)] +
+                        (a[i - 1] == b[j - 1] ? 0 : 1);
+                    best = std::min(best, sub);
+                }
+                if (j - 1 >= i - w && cur[idx(i, j - 1)] != inf)
+                    best = std::min(best, cur[idx(i, j - 1)] + 1);
+            }
+            if (j >= i - 1 - w && j <= i - 1 + w &&
+                prev[idx(i - 1, j)] != inf) {
+                best = std::min(best, prev[idx(i - 1, j)] + 1);
+            }
+            cur[idx(i, j)] = best;
+        }
+        std::swap(prev, cur);
+    }
+    const u64 d = prev[idx(n, m)];
+    if (d >= inf)
+        return std::nullopt;
+    return d;
+}
+
+std::optional<u64>
+editDistanceBounded(const Seq &a, const Seq &b, u64 k)
+{
+    auto d = editDistanceBanded(a, b, k);
+    if (!d || *d > k)
+        return std::nullopt;
+    return d;
+}
+
+} // namespace genax

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reference Levenshtein (edit) distance implementations.
+ *
+ * These are the ground-truth oracles the Silla automata are verified
+ * against, plus banded/bounded variants matching the complexity
+ * trade-offs discussed in the paper (Section II).
+ */
+
+#ifndef GENAX_ALIGN_EDIT_DISTANCE_HH
+#define GENAX_ALIGN_EDIT_DISTANCE_HH
+
+#include <optional>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Full O(n*m) dynamic-programming Levenshtein distance. */
+u64 editDistance(const Seq &a, const Seq &b);
+
+/**
+ * Banded edit distance restricted to |i-j| <= band.
+ *
+ * @return the distance if some alignment with <= band indel skew
+ *         exists, std::nullopt otherwise (distance exceeds what the
+ *         band can certify).
+ */
+std::optional<u64> editDistanceBanded(const Seq &a, const Seq &b, u64 band);
+
+/**
+ * Bounded edit distance: the exact distance if it is <= k, otherwise
+ * std::nullopt. Runs the Ukkonen band |i-j| <= k and checks the
+ * result against k. This is the problem Silla solves (Section III).
+ */
+std::optional<u64> editDistanceBounded(const Seq &a, const Seq &b, u64 k);
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_EDIT_DISTANCE_HH

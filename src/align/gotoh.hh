@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Smith-Waterman-Gotoh affine-gap alignment with traceback.
+ *
+ * Three modes cover the alignment flavours used in the paper:
+ *
+ *  Global  — both sequences consumed end to end (Needleman-Wunsch).
+ *  Local   — classic Smith-Waterman (scores floored at zero, best
+ *            cell anywhere, both ends free).
+ *  Extend  — BWA-MEM seed extension: anchored at (0,0), the best
+ *            score seen anywhere wins ("clipping", Section IV-B),
+ *            traceback runs from that cell back to the anchor and the
+ *            remainder of the query is soft-clipped.
+ *
+ * Both a full O(n*m) implementation and a banded O((2K+1)*n)
+ * implementation (the SeqAn-style baseline of Figures 14/15) are
+ * provided. Banded cells outside |i-j| <= band are treated as
+ * unreachable.
+ */
+
+#ifndef GENAX_ALIGN_GOTOH_HH
+#define GENAX_ALIGN_GOTOH_HH
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+#include "align/cigar.hh"
+#include "align/scoring.hh"
+
+namespace genax {
+
+/** Alignment flavour. */
+enum class AlignMode
+{
+    Global,
+    Local,
+    Extend,
+};
+
+/** Result of a pairwise alignment. */
+struct AlignResult
+{
+    /** True if any alignment was found (can be false for banded
+     *  Global with an insufficient band). */
+    bool valid = false;
+
+    i32 score = 0;
+
+    /** Consumed half-open reference span [refBegin, refEnd). */
+    u64 refBegin = 0;
+    u64 refEnd = 0;
+
+    /** Consumed half-open query span [qryBegin, qryEnd). */
+    u64 qryBegin = 0;
+    u64 qryEnd = 0;
+
+    /** Alignment path; includes trailing/leading soft clips of the
+     *  query in Local/Extend modes. */
+    Cigar cigar;
+};
+
+/** Full-matrix Gotoh alignment. ref indexes rows, qry columns. */
+AlignResult gotohAlign(const Seq &ref, const Seq &qry, const Scoring &sc,
+                       AlignMode mode);
+
+/**
+ * Banded Gotoh alignment over |i-j| <= band.
+ *
+ * In Extend mode this is exactly the computation the SillaX scoring
+ * and traceback machines perform with K = band, and serves as their
+ * verification oracle.
+ */
+AlignResult gotohBanded(const Seq &ref, const Seq &qry, const Scoring &sc,
+                        AlignMode mode, u32 band);
+
+/**
+ * Score-only banded Gotoh Extend pass (no traceback storage).
+ * This is the software throughput baseline kernel (SeqAn stand-in)
+ * used by the Figure 14 bench.
+ */
+i32 gotohBandedScoreOnly(const Seq &ref, const Seq &qry, const Scoring &sc,
+                         u32 band);
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_GOTOH_HH

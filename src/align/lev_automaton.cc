@@ -1,0 +1,127 @@
+#include "align/lev_automaton.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+namespace {
+
+/** dst = src << 1 across a word chain (dst may alias src). */
+void
+shiftLeftInto(const std::vector<u64> &src, std::vector<u64> &dst)
+{
+    u64 carry = 0;
+    for (size_t w = 0; w < src.size(); ++w) {
+        const u64 v = src[w];
+        dst[w] = (v << 1) | carry;
+        carry = v >> 63;
+    }
+}
+
+} // namespace
+
+LevenshteinAutomaton::LevenshteinAutomaton(const Seq &pattern, u32 k)
+    : _pattern(pattern), _k(k),
+      _words((pattern.size() + 1 + 63) / 64),
+      _charMask(4, std::vector<u64>(_words, 0)),
+      _active(k + 1, std::vector<u64>(_words, 0))
+{
+    for (size_t pos = 0; pos < _pattern.size(); ++pos)
+        _charMask[_pattern[pos] & 3][pos / 64] |= u64{1} << (pos % 64);
+    reset();
+}
+
+void
+LevenshteinAutomaton::reset()
+{
+    for (auto &lvl : _active)
+        std::fill(lvl.begin(), lvl.end(), 0);
+    _active[0][0] = 1; // state (0, 0)
+    epsilonClose(_active);
+}
+
+void
+LevenshteinAutomaton::epsilonClose(
+    std::vector<std::vector<u64>> &levels) const
+{
+    // Deletion: (pos, e) -> (pos+1, e+1) without consuming input.
+    // One pass in increasing edit order reaches the full closure.
+    std::vector<u64> shifted(_words);
+    for (u32 e = 1; e <= _k; ++e) {
+        shiftLeftInto(levels[e - 1], shifted);
+        for (size_t w = 0; w < _words; ++w)
+            levels[e][w] |= shifted[w];
+    }
+}
+
+void
+LevenshteinAutomaton::step(Base c)
+{
+    const auto &mask = _charMask[c & 3];
+    std::vector<std::vector<u64>> next(_k + 1,
+                                       std::vector<u64>(_words, 0));
+    std::vector<u64> tmp(_words);
+
+    for (u32 e = 0; e <= _k; ++e) {
+        // Match: advance position at the same edit level.
+        for (size_t w = 0; w < _words; ++w)
+            tmp[w] = _active[e][w] & mask[w];
+        shiftLeftInto(tmp, tmp);
+        for (size_t w = 0; w < _words; ++w)
+            next[e][w] |= tmp[w];
+
+        if (e > 0) {
+            // Substitution: advance position, one more edit.
+            shiftLeftInto(_active[e - 1], tmp);
+            for (size_t w = 0; w < _words; ++w) {
+                next[e][w] |= tmp[w];
+                // Insertion: same position, one more edit.
+                next[e][w] |= _active[e - 1][w];
+            }
+        }
+    }
+    epsilonClose(next);
+
+    // Mask out bits beyond position N.
+    const size_t nbits = _pattern.size() + 1;
+    const u64 last_mask = (nbits % 64 == 0) ? ~u64{0}
+                                            : ((u64{1} << (nbits % 64)) - 1);
+    for (u32 e = 0; e <= _k; ++e)
+        next[e][_words - 1] &= last_mask;
+
+    _active = std::move(next);
+}
+
+std::optional<u32>
+LevenshteinAutomaton::acceptedEdits() const
+{
+    const size_t pos = _pattern.size();
+    for (u32 e = 0; e <= _k; ++e) {
+        if ((_active[e][pos / 64] >> (pos % 64)) & 1)
+            return e;
+    }
+    return std::nullopt;
+}
+
+std::optional<u32>
+LevenshteinAutomaton::distanceTo(const Seq &text)
+{
+    reset();
+    for (Base c : text)
+        step(c);
+    return acceptedEdits();
+}
+
+u64
+LevenshteinAutomaton::activeStates() const
+{
+    u64 n = 0;
+    for (const auto &lvl : _active)
+        for (u64 w : lvl)
+            n += static_cast<u64>(std::popcount(w));
+    return n;
+}
+
+} // namespace genax

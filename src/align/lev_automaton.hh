@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Classic string-dependent Levenshtein automaton (the paper's
+ * Section II strawman).
+ *
+ * The automaton is built for one fixed pattern P and bound K; its
+ * states are (pos, edits) with pos in [0, |P|] and edits in [0, K],
+ * i.e. O(K * N) states. Consuming a text character applies the usual
+ * NFA transitions (match, substitution, insertion) followed by the
+ * epsilon-closure over deletions. The simulation is bit-parallel,
+ * one word-chain per edit level.
+ *
+ * Its two deficiencies motivate Silla: the structure depends on the
+ * pattern (rebuild/reprogram per read) and state count grows with
+ * pattern length.
+ */
+
+#ifndef GENAX_ALIGN_LEV_AUTOMATON_HH
+#define GENAX_ALIGN_LEV_AUTOMATON_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** NFA Levenshtein automaton for a fixed pattern and edit bound. */
+class LevenshteinAutomaton
+{
+  public:
+    /**
+     * Build the automaton for the given pattern.
+     *
+     * @param pattern the stored string the automaton recognizes
+     *                neighbourhoods of
+     * @param k maximum edit distance
+     */
+    LevenshteinAutomaton(const Seq &pattern, u32 k);
+
+    /** Reset to the start configuration (only state (0,0) active). */
+    void reset();
+
+    /** Consume one text character. */
+    void step(Base c);
+
+    /**
+     * Minimum edit level e such that state (|P|, e) is active, i.e.
+     * the whole pattern has been matched with e edits against the
+     * text consumed so far.
+     */
+    std::optional<u32> acceptedEdits() const;
+
+    /**
+     * Convenience: edit distance between the stored pattern and a
+     * text, if <= k.
+     */
+    std::optional<u32> distanceTo(const Seq &text);
+
+    /** Total NFA state count, K*N-proportional as in the paper. */
+    u64 stateCount() const { return (_pattern.size() + 1) * (_k + 1); }
+
+    /** Number of currently active states (for occupancy stats). */
+    u64 activeStates() const;
+
+  private:
+    /** Apply the deletion epsilon-closure across edit levels. */
+    void epsilonClose(std::vector<std::vector<u64>> &levels) const;
+
+    Seq _pattern;
+    u32 _k;
+    size_t _words;
+
+    /** Bitmask of pattern positions matching each base code. */
+    std::vector<std::vector<u64>> _charMask;
+
+    /** Active-state bitsets, one position-bitset per edit level. */
+    std::vector<std::vector<u64>> _active;
+};
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_LEV_AUTOMATON_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Read-mapping result shared by the software aligner and the GenAx
+ * system model.
+ */
+
+#ifndef GENAX_ALIGN_MAPPING_HH
+#define GENAX_ALIGN_MAPPING_HH
+
+#include "align/cigar.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** One read's best alignment against the reference. */
+struct Mapping
+{
+    bool mapped = false;
+    Pos pos = kNoPos;   //!< 0-based reference position of the first
+                        //!< aligned (non-clipped) read base
+    bool reverse = false; //!< aligned as the reverse complement
+    i32 score = 0;      //!< affine-gap alignment score
+    u8 mapq = 0;        //!< mapping confidence (0-60)
+    Cigar cigar;        //!< in read orientation as aligned
+};
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_MAPPING_HH

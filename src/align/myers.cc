@@ -1,0 +1,104 @@
+#include "align/myers.hh"
+
+#include <array>
+#include <vector>
+
+namespace genax {
+
+namespace {
+
+constexpr unsigned kWordBits = 64;
+
+/**
+ * Advance one block of the bit-parallel DP by one text column.
+ *
+ * @param pv,mv  vertical positive/negative delta bit vectors (in/out)
+ * @param eq     pattern-match bit mask for this block and text char
+ * @param hin    horizontal delta entering the block (-1, 0, +1)
+ * @return horizontal delta leaving the block
+ */
+int
+advanceBlock(u64 &pv, u64 &mv, u64 eq, int hin)
+{
+    if (hin < 0)
+        eq |= 1;
+    const u64 xv = eq | mv;
+    const u64 xh = (((eq & pv) + pv) ^ pv) | eq;
+
+    u64 ph = mv | ~(xh | pv);
+    u64 mh = pv & xh;
+
+    int hout = 0;
+    if (ph >> (kWordBits - 1))
+        hout = +1;
+    else if (mh >> (kWordBits - 1))
+        hout = -1;
+
+    ph <<= 1;
+    mh <<= 1;
+    if (hin < 0)
+        mh |= 1;
+    else if (hin > 0)
+        ph |= 1;
+
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+    return hout;
+}
+
+} // namespace
+
+u64
+myersEditDistance(const Seq &pattern, const Seq &text)
+{
+    const size_t m = pattern.size();
+    const size_t n = text.size();
+    if (m == 0)
+        return n;
+    if (n == 0)
+        return m;
+
+    const size_t blocks = (m + kWordBits - 1) / kWordBits;
+
+    // Pattern-match masks per base code per block. The pattern is
+    // conceptually padded to a block boundary with a character that
+    // matches nothing.
+    std::vector<std::array<u64, 4>> peq(blocks, {0, 0, 0, 0});
+    for (size_t i = 0; i < m; ++i)
+        peq[i / kWordBits][pattern[i] & 3] |= u64{1} << (i % kWordBits);
+
+    std::vector<u64> pv(blocks, ~u64{0});
+    std::vector<u64> mv(blocks, 0);
+
+    // Score at the last pattern row (D[m][j]); starts at D[m][0] = m.
+    u64 score = m;
+    const unsigned last_bit = (m - 1) % kWordBits;
+    const size_t last = blocks - 1;
+
+    for (size_t j = 0; j < n; ++j) {
+        const Base c = text[j] & 3;
+        // Horizontal input at row 0 is +1: D[0][j] = j (global mode).
+        int hin = +1;
+        for (size_t b = 0; b < blocks; ++b) {
+            // Recompute the last block's horizontal delta at the true
+            // pattern row rather than the padded block boundary.
+            if (b == last) {
+                u64 lpv = pv[b], lmv = mv[b];
+                u64 eq = peq[b][c];
+                if (hin < 0)
+                    eq |= 1;
+                const u64 xh = (((eq & lpv) + lpv) ^ lpv) | eq;
+                u64 ph = lmv | ~(xh | lpv);
+                u64 mh = lpv & xh;
+                if ((ph >> last_bit) & 1)
+                    ++score;
+                else if ((mh >> last_bit) & 1)
+                    --score;
+            }
+            hin = advanceBlock(pv[b], mv[b], peq[b][c], hin);
+        }
+    }
+    return score;
+}
+
+} // namespace genax

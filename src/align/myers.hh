@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Myers bit-vector edit distance (Myers 1999, block-based per Hyyrö).
+ *
+ * Computes the global Levenshtein distance between a pattern and a
+ * text in O(ceil(m/64) * n) word operations. This is the strongest
+ * practical software edit-distance baseline referenced by the paper
+ * (its reference [15]) and is used by the microbenchmarks.
+ */
+
+#ifndef GENAX_ALIGN_MYERS_HH
+#define GENAX_ALIGN_MYERS_HH
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/**
+ * Global edit distance via the bit-parallel algorithm.
+ * Works for any pattern length (multi-block). Empty inputs allowed.
+ */
+u64 myersEditDistance(const Seq &pattern, const Seq &text);
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_MYERS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Affine-gap scoring parameters (Gotoh).
+ *
+ * Defaults are the BWA-MEM scheme used throughout the GenAx paper:
+ * match +1, mismatch -4, gap open -6 (one-time per indel), gap extend
+ * -1 per gap character, i.e. a gap of length L costs 6 + L.
+ */
+
+#ifndef GENAX_ALIGN_SCORING_HH
+#define GENAX_ALIGN_SCORING_HH
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Affine gap scoring scheme. Penalties are stored as magnitudes. */
+struct Scoring
+{
+    i32 match = 1;      //!< reward for a matching pair
+    i32 mismatch = 4;   //!< penalty for a substitution
+    i32 gapOpen = 6;    //!< one-time penalty per indel run
+    i32 gapExtend = 1;  //!< per-character penalty within an indel run
+
+    /** Substitution score for a pair of base codes. */
+    i32
+    sub(Base a, Base b) const
+    {
+        return a == b ? match : -mismatch;
+    }
+
+    /** Total (negative) score of a gap of the given length. */
+    i32
+    gapCost(i32 len) const
+    {
+        return len == 0 ? 0 : -(gapOpen + gapExtend * len);
+    }
+
+    /** Scheme where score == negated edit distance (unit costs). */
+    static Scoring
+    unitEdit()
+    {
+        return Scoring{0, 1, 0, 1};
+    }
+};
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_SCORING_HH

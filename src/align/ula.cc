@@ -1,0 +1,134 @@
+#include "align/ula.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+UniversalLevAutomaton::UniversalLevAutomaton(u32 k)
+    : _k(k),
+      _cur((2 * k + 1) * (k + 1), 0),
+      _next((2 * k + 1) * (k + 1), 0)
+{
+}
+
+void
+UniversalLevAutomaton::subsume(std::vector<u8> &active) const
+{
+    // (d, e) subsumes (d', e') when e' >= e + |d' - d|: every string
+    // accepted through the weaker position is accepted through the
+    // stronger one.
+    for (u32 e = 0; e <= _k; ++e) {
+        for (i32 d = -static_cast<i32>(_k); d <= static_cast<i32>(_k);
+             ++d) {
+            if (!active[idx(d, e)])
+                continue;
+            for (u32 e2 = e; e2 <= _k; ++e2) {
+                for (i32 d2 = -static_cast<i32>(_k);
+                     d2 <= static_cast<i32>(_k); ++d2) {
+                    if (d2 == d && e2 == e)
+                        continue;
+                    if (!active[idx(d2, e2)])
+                        continue;
+                    if (e2 >= e + static_cast<u32>(std::abs(d2 - d)))
+                        active[idx(d2, e2)] = 0;
+                }
+            }
+        }
+    }
+}
+
+std::optional<u32>
+UniversalLevAutomaton::distance(const Seq &pattern, const Seq &text)
+{
+    const i64 plen = static_cast<i64>(pattern.size());
+    _fanoutEdges = 0;
+    _maxDeltaReach = 0;
+    _peakActive = 0;
+
+    if (pattern.size() > text.size() + _k ||
+        text.size() > pattern.size() + _k) {
+        return std::nullopt;
+    }
+
+    std::fill(_cur.begin(), _cur.end(), 0);
+    _cur[idx(0, 0)] = 1;
+
+    // Characteristic window: chi[m] = (pattern[j + m] == t).
+    std::vector<u8> chi(2 * _k + 1);
+    auto chi_at = [&](i32 m) {
+        return chi[static_cast<size_t>(m + static_cast<i32>(_k))];
+    };
+
+    for (u64 j = 0; j < text.size(); ++j) {
+        const Base t = text[j];
+        for (i32 m = -static_cast<i32>(_k); m <= static_cast<i32>(_k);
+             ++m) {
+            const i64 pi = static_cast<i64>(j) + m;
+            chi[static_cast<size_t>(m + static_cast<i32>(_k))] =
+                pi >= 0 && pi < plen && pattern[pi] == t;
+        }
+
+        std::fill(_next.begin(), _next.end(), 0);
+        u64 active = 0;
+        for (u32 e = 0; e <= _k; ++e) {
+            for (i32 d = -static_cast<i32>(_k);
+                 d <= static_cast<i32>(_k); ++d) {
+                if (!_cur[idx(d, e)])
+                    continue;
+                ++active;
+
+                // Insertion: consume the text char only.
+                if (e + 1 <= _k && d - 1 >= -static_cast<i32>(_k)) {
+                    _next[idx(d - 1, e + 1)] = 1;
+                    ++_fanoutEdges;
+                    _maxDeltaReach = std::max(_maxDeltaReach, 1u);
+                }
+
+                // l pattern deletions followed by a match or a
+                // substitution (the O(K)-fanout edges).
+                for (u32 l = 0; e + l <= _k; ++l) {
+                    const i32 d2 = d + static_cast<i32>(l);
+                    if (d2 > static_cast<i32>(_k))
+                        break;
+                    const i64 pi = static_cast<i64>(j) + d2;
+                    if (pi >= plen)
+                        break; // no pattern char left to consume
+                    if (chi_at(d2)) {
+                        _next[idx(d2, e + l)] = 1;
+                        ++_fanoutEdges;
+                        _maxDeltaReach = std::max(_maxDeltaReach, l);
+                    } else if (e + l + 1 <= _k) {
+                        _next[idx(d2, e + l + 1)] = 1;
+                        ++_fanoutEdges;
+                        _maxDeltaReach = std::max(_maxDeltaReach, l);
+                    }
+                }
+            }
+        }
+        _peakActive = std::max(_peakActive, active);
+        subsume(_next);
+        std::swap(_cur, _next);
+    }
+
+    // Acceptance: delete the remaining pattern suffix.
+    std::optional<u32> best;
+    for (u32 e = 0; e <= _k; ++e) {
+        for (i32 d = -static_cast<i32>(_k); d <= static_cast<i32>(_k);
+             ++d) {
+            if (!_cur[idx(d, e)])
+                continue;
+            const i64 i = static_cast<i64>(text.size()) + d;
+            if (i < 0 || i > plen)
+                continue;
+            const u64 rest = static_cast<u64>(plen - i);
+            const u64 total = e + rest;
+            if (total <= _k && (!best || total < *best))
+                best = static_cast<u32>(total);
+        }
+    }
+    return best;
+}
+
+} // namespace genax

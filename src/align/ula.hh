@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Universal Levenshtein Automaton (Mitankin 2005), the paper's
+ * Section II comparison point.
+ *
+ * Like Silla, the ULA is string independent: one automaton for a
+ * given edit bound K processes any string pair. Its states are sets
+ * of subsumption-reduced positions (d, e) — pattern lead/lag d = i-j
+ * and error count e — and its input alphabet is the characteristic
+ * bit-vector chi[m] = (text[j] == pattern[j+m]) over the window
+ * m in [-K, K].
+ *
+ * The paper's criticism, which this model makes measurable: a ULA
+ * position fans out to O(K) successors per step (the deletion edges
+ * jump d by up to K - e), so its communication is not local — the
+ * property Silla was designed to fix. fanoutEdges() and
+ * maxDeltaReach() report exactly that.
+ */
+
+#ifndef GENAX_ALIGN_ULA_HH
+#define GENAX_ALIGN_ULA_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Universal Levenshtein automaton simulation for edit bound K. */
+class UniversalLevAutomaton
+{
+  public:
+    explicit UniversalLevAutomaton(u32 k);
+
+    /**
+     * Edit distance between pattern and text if <= K.
+     * One instance can process any pair (string independence).
+     */
+    std::optional<u32> distance(const Seq &pattern, const Seq &text);
+
+    u32 k() const { return _k; }
+
+    /** Transition edges evaluated in the last distance() call. */
+    u64 lastFanoutEdges() const { return _fanoutEdges; }
+
+    /** Largest |d' - d| jump taken by any edge in the last call
+     *  (locality measure; Silla's is always 1). */
+    u32 lastMaxDeltaReach() const { return _maxDeltaReach; }
+
+    /** Peak simultaneously-active positions in the last call. */
+    u64 lastPeakActive() const { return _peakActive; }
+
+  private:
+    /** Active flag index for position (d, e), d in [-K, K]. */
+    size_t
+    idx(i32 d, u32 e) const
+    {
+        return static_cast<size_t>(e) * (2 * _k + 1) +
+               static_cast<size_t>(d + static_cast<i32>(_k));
+    }
+
+    /** Remove positions subsumed by stronger ones. */
+    void subsume(std::vector<u8> &active) const;
+
+    u32 _k;
+    u64 _fanoutEdges = 0;
+    u32 _maxDeltaReach = 0;
+    u64 _peakActive = 0;
+    std::vector<u8> _cur, _next;
+};
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_ULA_HH

@@ -1,0 +1,102 @@
+#include "align/wavefront.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+namespace {
+
+constexpr i64 kUnreached = -1;
+
+/**
+ * Run wavefronts until the end diagonal reaches (n, m) or the edit
+ * budget is exhausted.
+ *
+ * V[e-indexed wave][diagonal k = x - y] = furthest x (characters of
+ * `a` consumed) reachable with e edits, after the free-match slide.
+ */
+std::optional<u64>
+wavefront(const Seq &a, const Seq &b, u64 max_e)
+{
+    const i64 n = static_cast<i64>(a.size());
+    const i64 m = static_cast<i64>(b.size());
+    const i64 k_target = n - m;
+
+    auto slide = [&](i64 k, i64 x) {
+        while (x < n && x - k < m && a[x] == b[x - k])
+            ++x;
+        return x;
+    };
+
+    // Diagonals live in [-e, e]; store with offset max_e.
+    const i64 off = static_cast<i64>(max_e) + 1;
+    std::vector<i64> cur(2 * off + 1, kUnreached);
+    std::vector<i64> next(2 * off + 1, kUnreached);
+
+    cur[off] = slide(0, 0);
+    if (k_target == 0 && cur[off] >= n)
+        return 0;
+
+    for (u64 e = 1; e <= max_e; ++e) {
+        const i64 lo = -static_cast<i64>(e);
+        const i64 hi = static_cast<i64>(e);
+        std::fill(next.begin(), next.end(), kUnreached);
+        for (i64 k = lo; k <= hi; ++k) {
+            i64 x = kUnreached;
+            // Each source is validated independently: a candidate
+            // that would consume past either string end must not
+            // shadow a smaller valid one in the max.
+            auto feed = [&](i64 cand) {
+                if (cand == kUnreached || cand > n)
+                    return;
+                const i64 y = cand - k;
+                if (y < 0 || y > m)
+                    return;
+                x = std::max(x, cand);
+            };
+            // Substitution: same diagonal, consume one of each.
+            if (cur[k + off] != kUnreached)
+                feed(cur[k + off] + 1);
+            // Deletion (consume a): from diagonal k-1.
+            if (k - 1 >= -static_cast<i64>(e - 1) &&
+                cur[k - 1 + off] != kUnreached) {
+                feed(cur[k - 1 + off] + 1);
+            }
+            // Insertion (consume b): from diagonal k+1, x unchanged.
+            if (k + 1 <= static_cast<i64>(e - 1) &&
+                cur[k + 1 + off] != kUnreached) {
+                feed(cur[k + 1 + off]);
+            }
+            if (x == kUnreached)
+                continue;
+            next[k + off] = slide(k, x);
+        }
+        std::swap(cur, next);
+        if (std::abs(k_target) <= static_cast<i64>(e) &&
+            cur[k_target + off] >= n) {
+            return e;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+u64
+wavefrontEditDistance(const Seq &a, const Seq &b)
+{
+    const auto d = wavefront(a, b, a.size() + b.size());
+    GENAX_ASSERT(d.has_value(), "unbounded wavefront must terminate");
+    return *d;
+}
+
+std::optional<u64>
+wavefrontEditDistanceBounded(const Seq &a, const Seq &b, u64 k)
+{
+    return wavefront(a, b, k);
+}
+
+} // namespace genax

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Wavefront (Myers O(ND)) edit distance.
+ *
+ * The furthest-reaching-point algorithm underlying modern wavefront
+ * aligners: for each edit count e it tracks, per diagonal, how far a
+ * path with exactly e edits can reach after sliding through free
+ * matches. Runtime O((n+m) * D) with D the edit distance — the same
+ * "greedy slide along diagonals, branch on mismatch" idea Silla
+ * evaluates in hardware, computed sequentially in software. A useful
+ * third oracle next to the DP matrix and Myers' bit-vector.
+ */
+
+#ifndef GENAX_ALIGN_WAVEFRONT_HH
+#define GENAX_ALIGN_WAVEFRONT_HH
+
+#include <optional>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Exact edit distance via the wavefront algorithm. */
+u64 wavefrontEditDistance(const Seq &a, const Seq &b);
+
+/** Edit distance if <= k, nullopt otherwise (early-terminating). */
+std::optional<u64> wavefrontEditDistanceBounded(const Seq &a,
+                                                const Seq &b, u64 k);
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_WAVEFRONT_HH

@@ -1,0 +1,170 @@
+#include "align/wfa.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+namespace {
+
+constexpr i64 kNull = INT64_MIN / 4;
+
+/** One penalty level's wavefront: offsets over diagonals [lo, hi]. */
+struct Wave
+{
+    i64 lo = 0;
+    i64 hi = -1; //!< empty when hi < lo
+    std::vector<i64> m, i, d;
+
+    bool
+    has(i64 k) const
+    {
+        return k >= lo && k <= hi;
+    }
+
+    i64 mAt(i64 k) const { return has(k) ? m[k - lo] : kNull; }
+    i64 iAt(i64 k) const { return has(k) ? i[k - lo] : kNull; }
+    i64 dAt(i64 k) const { return has(k) ? d[k - lo] : kNull; }
+};
+
+} // namespace
+
+std::optional<u64>
+wfaGlobalPenalty(const Seq &a, const Seq &b, const WfaPenalties &p,
+                 u64 max_penalty)
+{
+    GENAX_ASSERT(p.mismatch > 0 && p.gapExtend > 0,
+                 "WFA needs positive mismatch and extend penalties");
+    const i64 n = static_cast<i64>(a.size());
+    const i64 m = static_cast<i64>(b.size());
+    const i64 k_target = n - m;
+
+    auto slide = [&](i64 k, i64 x) {
+        while (x < n && x - k < m && a[x] == b[x - k])
+            ++x;
+        return x;
+    };
+    // An offset is usable if it stays within both strings.
+    auto valid = [&](i64 k, i64 x) {
+        return x != kNull && x >= 0 && x <= n && x - k >= 0 &&
+               x - k <= m;
+    };
+
+    std::vector<Wave> waves;
+    waves.reserve(max_penalty + 1);
+
+    for (u64 s = 0; s <= max_penalty; ++s) {
+        Wave wave;
+        if (s == 0) {
+            wave.lo = 0;
+            wave.hi = 0;
+            wave.m = {slide(0, 0)};
+            wave.i = {kNull};
+            wave.d = {kNull};
+        } else {
+            // Source waves for the affine recurrences.
+            const Wave *mx =
+                s >= p.mismatch ? &waves[s - p.mismatch] : nullptr;
+            const Wave *open = s >= p.gapOpen + p.gapExtend
+                                   ? &waves[s - p.gapOpen - p.gapExtend]
+                                   : nullptr;
+            const Wave *ext =
+                s >= p.gapExtend ? &waves[s - p.gapExtend] : nullptr;
+
+            i64 lo = 1, hi = 0; // empty until a source exists
+            auto widen = [&](const Wave *w) {
+                if (!w || w->hi < w->lo)
+                    return;
+                if (hi < lo) {
+                    lo = w->lo - 1;
+                    hi = w->hi + 1;
+                } else {
+                    lo = std::min(lo, w->lo - 1);
+                    hi = std::max(hi, w->hi + 1);
+                }
+            };
+            widen(mx);
+            widen(open);
+            widen(ext);
+            if (hi < lo) {
+                waves.push_back(std::move(wave));
+                continue;
+            }
+            wave.lo = lo;
+            wave.hi = hi;
+            const size_t width = static_cast<size_t>(hi - lo + 1);
+            wave.m.assign(width, kNull);
+            wave.i.assign(width, kNull);
+            wave.d.assign(width, kNull);
+
+            for (i64 k = lo; k <= hi; ++k) {
+                // Insertion (consume b): from diagonal k+1, offset
+                // unchanged.
+                i64 ival = kNull;
+                if (open && valid(k, open->mAt(k + 1)))
+                    ival = open->mAt(k + 1);
+                if (ext && valid(k, ext->iAt(k + 1)))
+                    ival = std::max(ival, ext->iAt(k + 1));
+                // Deletion (consume a): from diagonal k-1, offset +1.
+                i64 dval = kNull;
+                if (open && open->mAt(k - 1) != kNull &&
+                    valid(k, open->mAt(k - 1) + 1)) {
+                    dval = open->mAt(k - 1) + 1;
+                }
+                if (ext && ext->dAt(k - 1) != kNull &&
+                    valid(k, ext->dAt(k - 1) + 1)) {
+                    dval = std::max(dval, ext->dAt(k - 1) + 1);
+                }
+                // Mismatch: same diagonal, consume one of each.
+                i64 mval = kNull;
+                if (mx && mx->mAt(k) != kNull &&
+                    valid(k, mx->mAt(k) + 1)) {
+                    mval = mx->mAt(k) + 1;
+                }
+                mval = std::max({mval, ival, dval});
+
+                wave.i[k - lo] = ival;
+                wave.d[k - lo] = dval;
+                wave.m[k - lo] =
+                    mval == kNull ? kNull : slide(k, mval);
+            }
+        }
+
+        if (wave.has(k_target) && wave.mAt(k_target) >= n)
+            return s;
+        waves.push_back(std::move(wave));
+    }
+    return std::nullopt;
+}
+
+i32
+wfaGlobalScore(const Seq &a, const Seq &b, const Scoring &sc)
+{
+    GENAX_ASSERT(!a.empty() && !b.empty(),
+                 "wfaGlobalScore needs non-empty inputs");
+    // Transformation to match-free penalties (Marco-Sola et al.):
+    //   x' = 2(alpha + beta), o' = 2*gamma, e' = 2*delta + alpha
+    // with S = alpha*(n+m)/2 - P/2.
+    const u32 alpha = static_cast<u32>(sc.match);
+    WfaPenalties p;
+    p.mismatch = 2 * static_cast<u32>(sc.match + sc.mismatch);
+    p.gapOpen = 2 * static_cast<u32>(sc.gapOpen);
+    p.gapExtend = 2 * static_cast<u32>(sc.gapExtend) + alpha;
+
+    // Any global alignment is bounded by all-gaps cost.
+    const u64 bound =
+        2 * (static_cast<u64>(sc.gapOpen) * 2 +
+             static_cast<u64>(sc.gapExtend) * (a.size() + b.size())) +
+        static_cast<u64>(alpha) * (a.size() + b.size()) + 4;
+    const auto penalty = wfaGlobalPenalty(a, b, p, bound);
+    GENAX_ASSERT(penalty.has_value(), "WFA failed to converge");
+    const double s =
+        static_cast<double>(alpha) *
+            static_cast<double>(a.size() + b.size()) / 2.0 -
+        static_cast<double>(*penalty) / 2.0;
+    return static_cast<i32>(s);
+}
+
+} // namespace genax

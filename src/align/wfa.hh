@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gap-affine wavefront alignment (WFA).
+ *
+ * The contemporary successor of banded Smith-Waterman: three
+ * families of wavefronts (M/I/D) of furthest-reaching diagonal
+ * offsets are advanced in order of accumulated penalty, with free
+ * sliding through matches. Runtime O((n+m) * P) where P is the
+ * optimal penalty — like Silla, work scales with the amount of
+ * divergence rather than with the full DP matrix.
+ *
+ * WFA minimizes penalties with zero-cost matches; the standard
+ * linear transformation maps any (match, mismatch, gapOpen,
+ * gapExtend) maximization scheme onto it, so wfaGlobalScore()
+ * reproduces Gotoh global scores exactly (property-tested).
+ */
+
+#ifndef GENAX_ALIGN_WFA_HH
+#define GENAX_ALIGN_WFA_HH
+
+#include <optional>
+
+#include "align/scoring.hh"
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** WFA penalty scheme (match = 0). */
+struct WfaPenalties
+{
+    u32 mismatch = 4;
+    u32 gapOpen = 6;
+    u32 gapExtend = 2;
+};
+
+/**
+ * Minimum global alignment penalty, or nullopt if it exceeds
+ * max_penalty.
+ */
+std::optional<u64> wfaGlobalPenalty(const Seq &a, const Seq &b,
+                                    const WfaPenalties &p,
+                                    u64 max_penalty);
+
+/**
+ * Global alignment score under an affine maximization scheme,
+ * computed via WFA with the 2(a+b)/2g/(2e+a) penalty transformation.
+ * Requires non-empty inputs (the degenerate all-gap cases are
+ * cheaper done directly).
+ */
+i32 wfaGlobalScore(const Seq &a, const Seq &b, const Scoring &sc);
+
+} // namespace genax
+
+#endif // GENAX_ALIGN_WFA_HH

@@ -1,0 +1,114 @@
+#include "common/dna.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+char
+baseToChar(Base b)
+{
+    static constexpr char table[4] = {'A', 'C', 'G', 'T'};
+    return table[b & 3];
+}
+
+Base
+charToBase(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return kBaseA;
+      case 'C': case 'c': return kBaseC;
+      case 'G': case 'g': return kBaseG;
+      case 'T': case 't': return kBaseT;
+      default: return kBaseA;
+    }
+}
+
+bool
+isAcgt(char c)
+{
+    switch (c) {
+      case 'A': case 'a': case 'C': case 'c':
+      case 'G': case 'g': case 'T': case 't':
+        return true;
+      default:
+        return false;
+    }
+}
+
+Seq
+encode(std::string_view s)
+{
+    Seq out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(charToBase(c));
+    return out;
+}
+
+std::string
+decode(const Seq &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (Base b : s)
+        out.push_back(baseToChar(b));
+    return out;
+}
+
+Seq
+reverseComplement(const Seq &s)
+{
+    Seq out;
+    out.reserve(s.size());
+    for (auto it = s.rbegin(); it != s.rend(); ++it)
+        out.push_back(complement(*it));
+    return out;
+}
+
+PackedSeq::PackedSeq(const Seq &s)
+{
+    _words.reserve((s.size() + 31) / 32);
+    for (Base b : s)
+        push_back(b);
+}
+
+void
+PackedSeq::push_back(Base b)
+{
+    if ((_size & 31) == 0)
+        _words.push_back(0);
+    _words[_size >> 5] |= static_cast<u64>(b & 3) << ((_size & 31) * 2);
+    ++_size;
+}
+
+u64
+PackedSeq::kmer(size_t pos, unsigned k) const
+{
+    GENAX_ASSERT(k >= 1 && k <= 32, "k out of range: ", k);
+    GENAX_ASSERT(pos + k <= _size,
+                 "kmer out of bounds: pos=", pos, " k=", k,
+                 " size=", _size);
+    const size_t word = pos >> 5;
+    const unsigned shift = (pos & 31) * 2;
+    u64 bits = _words[word] >> shift;
+    if (shift != 0 && word + 1 < _words.size())
+        bits |= _words[word + 1] << (64 - shift);
+    if (k == 32)
+        return bits;
+    return bits & ((u64{1} << (2 * k)) - 1);
+}
+
+Seq
+PackedSeq::unpack(size_t pos, size_t len) const
+{
+    GENAX_ASSERT(pos + len <= _size, "unpack out of bounds");
+    Seq out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        out.push_back(at(pos + i));
+    return out;
+}
+
+} // namespace genax

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * DNA alphabet handling: 2-bit base codes, sequence containers, packing.
+ *
+ * Throughout the code base a DNA sequence is a std::vector<Base> of
+ * 2-bit codes (A=0, C=1, G=2, T=3). PackedSeq stores the same data at
+ * two bits per base for memory-footprint modelling and fast k-mer
+ * extraction.
+ */
+
+#ifndef GENAX_COMMON_DNA_HH
+#define GENAX_COMMON_DNA_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace genax {
+
+/** 2-bit DNA base code. */
+using Base = u8;
+
+inline constexpr Base kBaseA = 0;
+inline constexpr Base kBaseC = 1;
+inline constexpr Base kBaseG = 2;
+inline constexpr Base kBaseT = 3;
+
+/** A DNA sequence as a vector of 2-bit base codes. */
+using Seq = std::vector<Base>;
+
+/** Decode a base code to its ASCII character (ACGT). */
+char baseToChar(Base b);
+
+/**
+ * Encode an ASCII base character to its 2-bit code.
+ * Accepts upper or lower case; any non-ACGT character (e.g. N) maps
+ * to A, mirroring the common aligner convention of arbitrary
+ * assignment for ambiguous bases.
+ */
+Base charToBase(char c);
+
+/** True if the character is one of ACGTacgt. */
+bool isAcgt(char c);
+
+/** Complement of a 2-bit base code. */
+inline Base
+complement(Base b)
+{
+    return static_cast<Base>(3 - b);
+}
+
+/** Encode an ASCII string into a Seq. */
+Seq encode(std::string_view s);
+
+/** Decode a Seq into an ASCII string. */
+std::string decode(const Seq &s);
+
+/** Reverse complement of a sequence. */
+Seq reverseComplement(const Seq &s);
+
+/**
+ * A 2-bit-per-base packed DNA sequence.
+ *
+ * Supports random access, subsequence extraction and k-mer extraction
+ * (k <= 32) as a packed 64-bit word.
+ */
+class PackedSeq
+{
+  public:
+    PackedSeq() = default;
+
+    /** Construct from an unpacked sequence. */
+    explicit PackedSeq(const Seq &s);
+
+    /** Number of bases stored. */
+    size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+    /** Base code at position i. */
+    Base
+    at(size_t i) const
+    {
+        return static_cast<Base>((_words[i >> 5] >> ((i & 31) * 2)) & 3);
+    }
+
+    Base operator[](size_t i) const { return at(i); }
+
+    /** Append one base. */
+    void push_back(Base b);
+
+    /**
+     * Extract the k-mer starting at position pos as a packed word.
+     * Base at pos occupies the least-significant two bits.
+     *
+     * @pre k <= 32 and pos + k <= size().
+     */
+    u64 kmer(size_t pos, unsigned k) const;
+
+    /** Unpack positions [pos, pos+len) into a Seq. */
+    Seq unpack(size_t pos, size_t len) const;
+
+    /** Unpack the whole sequence. */
+    Seq unpack() const { return unpack(0, _size); }
+
+    /** Memory footprint of the packed payload in bytes. */
+    size_t payloadBytes() const { return _words.size() * sizeof(u64); }
+
+  private:
+    std::vector<u64> _words;
+    size_t _size = 0;
+};
+
+} // namespace genax
+
+#endif // GENAX_COMMON_DNA_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — internal invariant violated; aborts.
+ * fatal()  — unrecoverable user/configuration error; exits with code 1.
+ * warn()   — something questionable happened but execution continues.
+ * inform() — status message.
+ */
+
+#ifndef GENAX_COMMON_LOGGING_HH
+#define GENAX_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace genax {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+/** Concatenate a sequence of stream-able values into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace genax
+
+#define GENAX_PANIC(...) \
+    ::genax::panicImpl(__FILE__, __LINE__, ::genax::detail::concat(__VA_ARGS__))
+#define GENAX_FATAL(...) \
+    ::genax::fatalImpl(__FILE__, __LINE__, ::genax::detail::concat(__VA_ARGS__))
+#define GENAX_WARN(...) \
+    ::genax::warnImpl(::genax::detail::concat(__VA_ARGS__))
+#define GENAX_INFORM(...) \
+    ::genax::informImpl(::genax::detail::concat(__VA_ARGS__))
+
+/** Panic unless the given invariant holds. */
+#define GENAX_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            GENAX_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // GENAX_COMMON_LOGGING_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal data-parallel helper used by the multi-threaded software
+ * baselines.
+ */
+
+#ifndef GENAX_COMMON_PARALLEL_HH
+#define GENAX_COMMON_PARALLEL_HH
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace genax {
+
+/**
+ * Run fn(begin, end) over [0, n) split into `threads` contiguous
+ * chunks. With threads <= 1 the call runs inline.
+ */
+template <typename Fn>
+void
+parallelFor(u64 n, unsigned threads, Fn &&fn)
+{
+    if (threads <= 1 || n < 2) {
+        fn(u64{0}, n);
+        return;
+    }
+    threads = std::min<u64>(threads, n);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    const u64 chunk = (n + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+        const u64 lo = t * chunk;
+        const u64 hi = std::min(n, lo + chunk);
+        if (lo >= hi)
+            break;
+        pool.emplace_back([&fn, lo, hi]() { fn(lo, hi); });
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace genax
+
+#endif // GENAX_COMMON_PARALLEL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All stochastic components of the repository (reference generation,
+ * read simulation, property tests) draw from this generator so that
+ * every experiment is reproducible from its seed.
+ */
+
+#ifndef GENAX_COMMON_RNG_HH
+#define GENAX_COMMON_RNG_HH
+
+#include <array>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** xoshiro256** by Blackman & Vigna, seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed. */
+    void
+    reseed(u64 seed)
+    {
+        // splitmix64 stream to fill the state.
+        u64 x = seed;
+        for (auto &word : _s) {
+            x += 0x9e3779b97f4a7c15ULL;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(_s[1] * 5, 7) * 9;
+        const u64 t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    u64
+    below(u64 bound)
+    {
+        GENAX_ASSERT(bound != 0, "Rng::below(0)");
+        // Rejection sampling to remove modulo bias.
+        const u64 threshold = (~bound + 1) % bound;
+        for (;;) {
+            const u64 r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        GENAX_ASSERT(lo <= hi, "Rng::range empty");
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return real() < p; }
+
+    /** Uniformly pick an element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        GENAX_ASSERT(!v.empty(), "Rng::pick on empty vector");
+        return v[below(v.size())];
+    }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    std::array<u64, 4> _s{};
+};
+
+} // namespace genax
+
+#endif // GENAX_COMMON_RNG_HH

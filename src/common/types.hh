@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental integer type aliases used across the GenAx code base.
+ */
+
+#ifndef GENAX_COMMON_TYPES_HH
+#define GENAX_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace genax {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulation cycle count. */
+using Cycle = u64;
+
+/** Position within a genome or read (0-based). */
+using Pos = u64;
+
+/** Sentinel for "no position". */
+inline constexpr Pos kNoPos = ~Pos{0};
+
+} // namespace genax
+
+#endif // GENAX_COMMON_TYPES_HH

@@ -1,0 +1,2 @@
+// DramModel is header-only; this file anchors the library target.
+#include "genax/dram_model.hh"

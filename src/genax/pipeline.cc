@@ -1,0 +1,250 @@
+#include "genax/pipeline.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "io/sam.hh"
+#include "swbase/bwamem_like.hh"
+#include "swbase/paired.hh"
+
+namespace genax {
+
+ContigMap::ContigMap(const std::vector<FastaRecord> &contigs)
+{
+    GENAX_ASSERT(!contigs.empty(), "reference has no contigs");
+    for (const auto &rec : contigs) {
+        GENAX_ASSERT(!rec.seq.empty(), "empty contig: ", rec.name);
+        _contigs.push_back({rec.name, _seq.size(), rec.seq.size()});
+        _seq.insert(_seq.end(), rec.seq.begin(), rec.seq.end());
+    }
+}
+
+std::pair<size_t, u64>
+ContigMap::locate(u64 pos) const
+{
+    GENAX_ASSERT(pos < _seq.size(), "position beyond reference");
+    // Binary search over contig starts.
+    size_t lo = 0, hi = _contigs.size() - 1;
+    while (lo < hi) {
+        const size_t mid = (lo + hi + 1) / 2;
+        if (_contigs[mid].start <= pos)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return {lo, pos - _contigs[lo].start};
+}
+
+PipelineResult
+alignToSam(const std::vector<FastaRecord> &ref,
+           const std::vector<FastqRecord> &reads, std::ostream &out,
+           const PipelineOptions &opts)
+{
+    const ContigMap contigs(ref);
+
+    std::vector<Seq> seqs;
+    seqs.reserve(reads.size());
+    for (const auto &r : reads)
+        seqs.push_back(r.seq);
+
+    PipelineResult res;
+    res.reads = reads.size();
+
+    std::vector<Mapping> maps;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (opts.engine == PipelineOptions::Engine::GenAx) {
+        GenAxConfig cfg;
+        cfg.k = opts.k;
+        cfg.editBound = opts.band;
+        cfg.segmentCount = opts.segments;
+        cfg.segmentOverlap = opts.segmentOverlap;
+        GenAxSystem system(contigs.sequence(), cfg);
+        maps = system.alignAll(seqs);
+        res.perf = system.perf();
+    } else {
+        AlignerConfig cfg;
+        cfg.k = opts.k;
+        cfg.band = opts.band;
+        cfg.threads = opts.threads;
+        BwaMemLike aligner(contigs.sequence(), cfg);
+        maps = aligner.alignAll(seqs);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    res.seconds = std::chrono::duration<double>(t1 - t0).count();
+
+    std::vector<SamRefSeq> header;
+    for (const auto &c : contigs.contigs())
+        header.push_back({c.name, c.length});
+    SamWriter sam(out, header);
+
+    for (size_t i = 0; i < maps.size(); ++i) {
+        const Mapping &m = maps[i];
+        SamRecord rec;
+        rec.qname = reads[i].name;
+        const Seq &oriented_seq =
+            m.mapped && m.reverse ? reverseComplement(reads[i].seq)
+                                  : reads[i].seq;
+        rec.seq = decode(oriented_seq);
+        if (!m.mapped) {
+            rec.flag = kSamUnmapped;
+        } else {
+            ++res.mapped;
+            const auto [ci, local] = contigs.locate(m.pos);
+            rec.flag = m.reverse ? kSamReverse : 0;
+            rec.rname = contigs.contigs()[ci].name;
+            rec.pos = local;
+            rec.mapq = m.mapq;
+            rec.cigar = m.cigar.strSamM();
+            rec.score = m.score;
+            rec.editDistance =
+                static_cast<i32>(m.cigar.editDistance());
+        }
+        std::string qual;
+        for (u8 q : reads[i].qual)
+            qual.push_back(static_cast<char>(q + 33));
+        if (m.mapped && m.reverse)
+            std::reverse(qual.begin(), qual.end());
+        rec.qual = qual.empty() ? "*" : qual;
+        sam.write(rec);
+    }
+    return res;
+}
+
+namespace {
+
+/** Fill one mate's SAM record from its mapping and its mate's. */
+SamRecord
+pairedRecord(const ContigMap &contigs, const FastqRecord &read,
+             const Mapping &self, const Mapping &mate,
+             const PairMapping &pair, bool is_read1)
+{
+    SamRecord rec;
+    rec.qname = read.name;
+    rec.flag = kSamPaired | (is_read1 ? kSamRead1 : kSamRead2);
+    if (pair.proper)
+        rec.flag |= kSamProperPair;
+    if (!mate.mapped)
+        rec.flag |= kSamMateUnmapped;
+    else if (mate.reverse)
+        rec.flag |= kSamMateReverse;
+
+    const Seq &oriented = self.mapped && self.reverse
+                              ? reverseComplement(read.seq)
+                              : read.seq;
+    rec.seq = decode(oriented);
+    std::string qual;
+    for (u8 q : read.qual)
+        qual.push_back(static_cast<char>(q + 33));
+    if (self.mapped && self.reverse)
+        std::reverse(qual.begin(), qual.end());
+    rec.qual = qual.empty() ? "*" : qual;
+
+    if (!self.mapped) {
+        rec.flag |= kSamUnmapped;
+    } else {
+        const auto [ci, local] = contigs.locate(self.pos);
+        if (self.reverse)
+            rec.flag |= kSamReverse;
+        rec.rname = contigs.contigs()[ci].name;
+        rec.pos = local;
+        rec.mapq = self.mapq;
+        rec.cigar = self.cigar.strSamM();
+        rec.score = self.score;
+        rec.editDistance = static_cast<i32>(self.cigar.editDistance());
+    }
+    if (mate.mapped) {
+        const auto [mci, mlocal] = contigs.locate(mate.pos);
+        rec.rnext = self.mapped &&
+                            contigs.locate(self.pos).first == mci
+                        ? "="
+                        : contigs.contigs()[mci].name;
+        rec.pnext = mlocal;
+    }
+    if (pair.proper && self.mapped && mate.mapped) {
+        // Leftmost mate carries +tlen, rightmost -tlen.
+        rec.tlen = self.pos <= mate.pos ? pair.templateLen
+                                        : -pair.templateLen;
+    }
+    return rec;
+}
+
+} // namespace
+
+PipelineResult
+alignPairsToSam(const std::vector<FastaRecord> &ref,
+                const std::vector<FastqRecord> &reads1,
+                const std::vector<FastqRecord> &reads2,
+                std::ostream &out, const PipelineOptions &opts)
+{
+    GENAX_ASSERT(reads1.size() == reads2.size(),
+                 "mate files differ in read count");
+    const ContigMap contigs(ref);
+
+    AlignerConfig cfg;
+    cfg.k = opts.k;
+    cfg.band = opts.band;
+    cfg.threads = opts.threads;
+    BwaMemLike aligner(contigs.sequence(), cfg);
+    PairedAligner paired(aligner);
+
+    PipelineResult res;
+    res.reads = reads1.size() * 2;
+
+    std::vector<SamRefSeq> header;
+    for (const auto &c : contigs.contigs())
+        header.push_back({c.name, c.length});
+    SamWriter sam(out, header);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < reads1.size(); ++i) {
+        PairMapping pm = paired.alignPair(reads1[i].seq, reads2[i].seq);
+        // Pairing works in concatenated coordinates; a pair whose
+        // mates land on different contigs is not a proper pair.
+        if (pm.proper &&
+            contigs.locate(pm.r1.pos).first !=
+                contigs.locate(pm.r2.pos).first) {
+            pm.proper = false;
+            pm.templateLen = 0;
+        }
+        res.mapped += pm.r1.mapped + pm.r2.mapped;
+        sam.write(pairedRecord(contigs, reads1[i], pm.r1, pm.r2, pm,
+                               true));
+        sam.write(pairedRecord(contigs, reads2[i], pm.r2, pm.r1, pm,
+                               false));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+PipelineResult
+alignPairFiles(const std::string &ref_fasta,
+               const std::string &reads1_fastq,
+               const std::string &reads2_fastq,
+               const std::string &out_sam, const PipelineOptions &opts)
+{
+    const auto ref = readFastaFile(ref_fasta);
+    const auto reads1 = readFastqFile(reads1_fastq);
+    const auto reads2 = readFastqFile(reads2_fastq);
+    std::ofstream out(out_sam);
+    if (!out)
+        GENAX_FATAL("cannot open output SAM: ", out_sam);
+    return alignPairsToSam(ref, reads1, reads2, out, opts);
+}
+
+PipelineResult
+alignFiles(const std::string &ref_fasta, const std::string &reads_fastq,
+           const std::string &out_sam, const PipelineOptions &opts)
+{
+    const auto ref = readFastaFile(ref_fasta);
+    const auto reads = readFastqFile(reads_fastq);
+    std::ofstream out(out_sam);
+    if (!out)
+        GENAX_FATAL("cannot open output SAM: ", out_sam);
+    return alignToSam(ref, reads, out, opts);
+}
+
+} // namespace genax

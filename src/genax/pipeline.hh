@@ -1,0 +1,117 @@
+/**
+ * @file
+ * File-to-file alignment pipeline: FASTA reference + FASTQ reads in,
+ * SAM out — the driver behind the genax_align command-line tool.
+ *
+ * Multi-contig references are concatenated into one coordinate space
+ * with a contig map so SAM records carry per-contig names and
+ * positions. Two engines are selectable: the GenAx accelerator model
+ * and the BWA-MEM-like software baseline.
+ */
+
+#ifndef GENAX_GENAX_PIPELINE_HH
+#define GENAX_GENAX_PIPELINE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "align/mapping.hh"
+#include "genax/system.hh"
+#include "io/fasta.hh"
+#include "io/fastq.hh"
+
+namespace genax {
+
+/** Concatenated multi-contig reference with coordinate mapping. */
+class ContigMap
+{
+  public:
+    explicit ContigMap(const std::vector<FastaRecord> &contigs);
+
+    const Seq &sequence() const { return _seq; }
+
+    /** Contig descriptors for the SAM header. */
+    struct Contig
+    {
+        std::string name;
+        u64 start;
+        u64 length;
+    };
+    const std::vector<Contig> &contigs() const { return _contigs; }
+
+    /**
+     * Map a concatenated-space position to (contig index, local
+     * position). Positions in the inter-contig padding map to the
+     * preceding contig's end.
+     */
+    std::pair<size_t, u64> locate(u64 pos) const;
+
+  private:
+    Seq _seq;
+    std::vector<Contig> _contigs;
+};
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    enum class Engine
+    {
+        GenAx,    //!< accelerator model
+        Software, //!< BWA-MEM-like CPU baseline
+    };
+    Engine engine = Engine::GenAx;
+    u32 k = 12;
+    u32 band = 40;         //!< edit bound / extension band
+    u64 segments = 8;      //!< GenAx engine only
+    u64 segmentOverlap = 256;
+    unsigned threads = 1;  //!< software engine only
+};
+
+/** Summary of one pipeline run. */
+struct PipelineResult
+{
+    u64 reads = 0;
+    u64 mapped = 0;
+    double seconds = 0;  //!< wall-clock of the alignment phase
+    GenAxPerf perf;      //!< populated for the GenAx engine
+};
+
+/**
+ * Align reads against a (possibly multi-contig) reference and write
+ * SAM records to `out`.
+ */
+PipelineResult alignToSam(const std::vector<FastaRecord> &ref,
+                          const std::vector<FastqRecord> &reads,
+                          std::ostream &out,
+                          const PipelineOptions &opts);
+
+/** File-path convenience wrapper. Fatal on I/O errors. */
+PipelineResult alignFiles(const std::string &ref_fasta,
+                          const std::string &reads_fastq,
+                          const std::string &out_sam,
+                          const PipelineOptions &opts);
+
+/**
+ * Paired-end alignment (FR libraries): r1/r2 records pair up by
+ * index. Runs on the software engine (pairing is a post-processing
+ * stage downstream of any single-end engine; the paper's GenAx
+ * evaluates single-ended reads). Emits both mates with paired SAM
+ * flags, mate coordinates and template length.
+ */
+PipelineResult alignPairsToSam(const std::vector<FastaRecord> &ref,
+                               const std::vector<FastqRecord> &reads1,
+                               const std::vector<FastqRecord> &reads2,
+                               std::ostream &out,
+                               const PipelineOptions &opts);
+
+/** File-path convenience wrapper for paired-end mode. */
+PipelineResult alignPairFiles(const std::string &ref_fasta,
+                              const std::string &reads1_fastq,
+                              const std::string &reads2_fastq,
+                              const std::string &out_sam,
+                              const PipelineOptions &opts);
+
+} // namespace genax
+
+#endif // GENAX_GENAX_PIPELINE_HH

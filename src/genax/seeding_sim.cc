@@ -1,0 +1,101 @@
+#include "genax/seeding_sim.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+SeedingSimResult
+SeedingLaneSim::simulate(const std::vector<LaneWork> &work) const
+{
+    GENAX_ASSERT(_cfg.lanes > 0 && _cfg.banks > 0, "bad sim config");
+    SeedingSimResult res;
+    if (work.empty())
+        return res;
+
+    struct Lane
+    {
+        std::deque<LaneWork> queue;
+        u64 lookupsToIssue = 0;
+        u64 lookupsPending = 0; //!< issued, data not yet returned
+        u64 camRemaining = 0;
+        /** Completion cycles of in-flight lookups (size <= width). */
+        std::vector<Cycle> inflight;
+        bool
+        busy() const
+        {
+            return lookupsToIssue || lookupsPending || camRemaining ||
+                   !queue.empty();
+        }
+    };
+
+    std::vector<Lane> lanes(_cfg.lanes);
+    for (size_t i = 0; i < work.size(); ++i)
+        lanes[i % _cfg.lanes].queue.push_back(work[i]);
+
+    Rng rng(_cfg.seed);
+    std::vector<u8> bank_busy(_cfg.banks, 0);
+
+    Cycle t = 0;
+    u32 first_lane = 0; // rotating priority
+    for (;; ++t) {
+        bool any_busy = false;
+        std::fill(bank_busy.begin(), bank_busy.end(), 0);
+
+        for (u32 l = 0; l < _cfg.lanes; ++l) {
+            Lane &lane = lanes[(first_lane + l) % _cfg.lanes];
+
+            // Retire lookups whose data arrives this cycle.
+            for (size_t i = 0; i < lane.inflight.size();) {
+                if (lane.inflight[i] <= t) {
+                    lane.inflight[i] = lane.inflight.back();
+                    lane.inflight.pop_back();
+                    --lane.lookupsPending;
+                } else {
+                    ++i;
+                }
+            }
+
+            // Start the next read when idle.
+            if (!lane.lookupsToIssue && !lane.lookupsPending &&
+                !lane.camRemaining && !lane.queue.empty()) {
+                const LaneWork w = lane.queue.front();
+                lane.queue.pop_front();
+                lane.lookupsToIssue = w.indexLookups;
+                lane.camRemaining = w.camOps;
+            }
+
+            // Issue one lookup per cycle (subject to issue width and
+            // bank availability).
+            if (lane.lookupsToIssue &&
+                lane.lookupsPending < _cfg.issueWidth) {
+                const u32 bank =
+                    static_cast<u32>(rng.below(_cfg.banks));
+                if (!bank_busy[bank]) {
+                    bank_busy[bank] = 1;
+                    --lane.lookupsToIssue;
+                    ++lane.lookupsPending;
+                    lane.inflight.push_back(t + _cfg.sramLatency);
+                    ++res.grants;
+                } else {
+                    ++res.bankConflicts;
+                }
+            } else if (!lane.lookupsToIssue && !lane.lookupsPending &&
+                       lane.camRemaining) {
+                // CAM operations are lane-local, one per cycle.
+                --lane.camRemaining;
+            }
+
+            any_busy |= lane.busy();
+        }
+        ++first_lane;
+        if (!any_busy)
+            break;
+    }
+    res.cycles = t + 1;
+    return res;
+}
+
+} // namespace genax

@@ -1,0 +1,379 @@
+#include "genax/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "genax/seeding_sim.hh"
+
+namespace genax {
+
+namespace {
+
+void
+accumulate(SeedingStats &into, const SeedingStats &from)
+{
+    into.reads += from.reads;
+    into.exactMatchReads += from.exactMatchReads;
+    into.indexLookups += from.indexLookups;
+    into.smems += from.smems;
+    into.hitsReported += from.hitsReported;
+    into.cam += from.cam;
+}
+
+/**
+ * Seeding-lane cycle model: SRAM table reads take two cycles but the
+ * banked index SRAM keeps `issue_width` lookups in flight per lane;
+ * CAM searches and loads take one cycle each, binary-search probes
+ * two (SRAM access + compare).
+ */
+double
+seedingCycles(const SeedingStats &s, u32 issue_width)
+{
+    return 2.0 * static_cast<double>(s.indexLookups) /
+               std::max(1u, issue_width) +
+           static_cast<double>(s.cam.searches) +
+           static_cast<double>(s.cam.loads) +
+           2.0 * static_cast<double>(s.cam.binarySteps);
+}
+
+} // namespace
+
+GenAxSystem::GenAxSystem(const Seq &ref, const GenAxConfig &cfg)
+    : _ref(ref), _cfg(cfg),
+      _segments(ref, SegmentConfig{cfg.segmentCount, cfg.segmentOverlap,
+                                   cfg.k}),
+      _dram(cfg.dram)
+{
+    GENAX_ASSERT(cfg.sillaxLanes > 0, "need at least one SillaX lane");
+    _lanes.reserve(cfg.sillaxLanes);
+    for (u32 l = 0; l < cfg.sillaxLanes; ++l)
+        _lanes.emplace_back(cfg.editBound, cfg.scoring,
+                            cfg.sillaxFreqGhz);
+}
+
+void
+GenAxSystem::insertCandidate(std::vector<Mapping> &cands,
+                             const Mapping &m, u32 cap)
+{
+    // Overlapping segments can rediscover the identical alignment;
+    // keep one entry per (position, strand).
+    for (auto &c : cands) {
+        if (c.pos == m.pos && c.reverse == m.reverse) {
+            if (m.score > c.score)
+                c = m;
+            return;
+        }
+    }
+    cands.push_back(m);
+    // Bound memory: prune the tail when well over the cap.
+    if (cands.size() > 4 * static_cast<size_t>(cap)) {
+        std::partial_sort(
+            cands.begin(), cands.begin() + 2 * cap, cands.end(),
+            [](const Mapping &a, const Mapping &b) {
+                return a.score > b.score;
+            });
+        cands.resize(2 * cap);
+    }
+}
+
+std::vector<std::vector<Mapping>>
+GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
+                                u32 max_candidates)
+{
+    _perf = {};
+    _perf.reads = reads.size();
+    _perf.segments = _segments.count();
+    for (auto &lane : _lanes)
+        lane.resetStats();
+
+    std::vector<std::vector<Mapping>> cands(reads.size());
+    std::vector<u8> exact_seen(reads.size(), 0);
+
+    u64 reads_bytes = 0;
+    for (const auto &r : reads)
+        reads_bytes += (r.size() + 3) / 4;
+
+    const ExtendFn kernel = [this](const Seq &ref_window,
+                                   const Seq &qry) {
+        SillaXLane &lane = _lanes[_nextLane++ % _lanes.size()];
+        const SillaAlignment a = lane.extend(ref_window, qry);
+        ++_perf.extensionJobs;
+        ExtensionResult out;
+        out.score = a.score;
+        out.refConsumed = a.refEnd;
+        out.qryConsumed = a.qryEnd;
+        for (const auto &e : a.cigar.elems())
+            if (e.op != CigarOp::SoftClip)
+                out.cigar.push(e.op, e.len);
+        return out;
+    };
+
+    Cycle lane_cycles_prev = 0;
+
+    for (u64 seg = 0; seg < _segments.count(); ++seg) {
+        // Stream the segment's tables, reference and the read batch.
+        const u64 dram_bytes = _segments.indexTableBytes() +
+                               _segments.positionTableBytes(seg) +
+                               _segments.refBytes(seg) + reads_bytes;
+        const double dram_sec = _dram.streamSeconds(dram_bytes);
+
+        const KmerIndex index = _segments.buildIndex(seg);
+        SmemEngine engine(index, _cfg.seeding);
+
+        // Per-read seeding work for the optional lane simulation.
+        std::vector<LaneWork> lane_work;
+        if (_cfg.simulateSeedingLanes)
+            lane_work.reserve(reads.size());
+        u64 prev_lookups = 0, prev_cam = 0;
+        auto cam_ops = [](const SeedingStats &s) {
+            return s.cam.searches + s.cam.loads + s.cam.binarySteps;
+        };
+
+        for (u64 r = 0; r < reads.size(); ++r) {
+            for (bool reverse : {false, true}) {
+                const Seq oriented =
+                    reverse ? reverseComplement(reads[r]) : reads[r];
+                const auto smems = engine.seed(oriented);
+                if (smems.empty())
+                    continue;
+
+                // Exact whole-read match: no extension needed
+                // (Section V's common-case optimization).
+                if (smems.size() == 1 && smems[0].qryBegin == 0 &&
+                    smems[0].qryEnd == oriented.size()) {
+                    if (!exact_seen[r]) {
+                        exact_seen[r] = 1;
+                        ++_perf.exactReads;
+                    }
+                    for (u32 local : smems[0].positions) {
+                        Mapping m;
+                        m.mapped = true;
+                        m.reverse = reverse;
+                        m.pos = _segments.toGlobal(seg, local);
+                        m.score = static_cast<i32>(oriented.size()) *
+                                  _cfg.scoring.match;
+                        m.cigar.push(CigarOp::Match,
+                                     static_cast<u32>(oriented.size()));
+                        insertCandidate(cands[r], m, max_candidates);
+                    }
+                    continue;
+                }
+
+                const auto anchors = makeAnchors(
+                    smems, _segments.start(seg), reverse, _cfg.anchors);
+                for (const auto &anchor : anchors) {
+                    insertCandidate(
+                        cands[r],
+                        extendAnchor(_ref, oriented, anchor,
+                                     _cfg.scoring, _cfg.editBound,
+                                     kernel),
+                        max_candidates);
+                }
+            }
+            if (_cfg.simulateSeedingLanes) {
+                const u64 lookups = engine.stats().indexLookups;
+                const u64 cam = cam_ops(engine.stats());
+                lane_work.push_back(
+                    {lookups - prev_lookups, cam - prev_cam});
+                prev_lookups = lookups;
+                prev_cam = cam;
+            }
+        }
+
+        // Per-segment timing: table streaming overlaps with the
+        // previous segment's compute; seeding and extension lanes
+        // run concurrently.
+        accumulate(_perf.seeding, engine.stats());
+        double seed_sec;
+        if (_cfg.simulateSeedingLanes) {
+            SeedingSimConfig sim_cfg;
+            sim_cfg.lanes = _cfg.seedingLanes;
+            sim_cfg.banks = _cfg.seedingSramBanks;
+            sim_cfg.issueWidth = _cfg.seedingIssueWidth;
+            sim_cfg.seed = seg + 1;
+            const auto sim =
+                SeedingLaneSim(sim_cfg).simulate(lane_work);
+            seed_sec = static_cast<double>(sim.cycles) /
+                       (_cfg.seedingFreqGhz * 1e9);
+        } else {
+            seed_sec =
+                seedingCycles(engine.stats(), _cfg.seedingIssueWidth) /
+                (_cfg.seedingLanes * _cfg.seedingFreqGhz * 1e9);
+        }
+
+        Cycle lane_cycles = 0;
+        for (const auto &lane : _lanes)
+            lane_cycles += lane.stats().totalCycles();
+        const double ext_sec =
+            static_cast<double>(lane_cycles - lane_cycles_prev) /
+            (_cfg.sillaxLanes * _cfg.sillaxFreqGhz * 1e9);
+        lane_cycles_prev = lane_cycles;
+
+        _perf.seedingSeconds += seed_sec;
+        _perf.extensionSeconds += ext_sec;
+        _perf.dramSeconds += dram_sec;
+        _perf.totalSeconds += std::max({dram_sec, seed_sec, ext_sec});
+    }
+
+    for (auto &lane : _lanes) {
+        const LaneStats &s = lane.stats();
+        _perf.lanes.jobs += s.jobs;
+        _perf.lanes.streamCycles += s.streamCycles;
+        _perf.lanes.reduceCycles += s.reduceCycles;
+        _perf.lanes.collectCycles += s.collectCycles;
+        _perf.lanes.rerunCycles += s.rerunCycles;
+        _perf.lanes.reruns += s.reruns;
+        _perf.lanes.jobsWithRerun += s.jobsWithRerun;
+    }
+
+    // Finalize: sort candidates by descending score with the same
+    // deterministic tie-break as the software aligner.
+    for (auto &c : cands) {
+        std::sort(c.begin(), c.end(),
+                  [](const Mapping &a, const Mapping &b) {
+                      if (a.score != b.score)
+                          return a.score > b.score;
+                      if (a.reverse != b.reverse)
+                          return !a.reverse;
+                      return a.pos < b.pos;
+                  });
+        if (c.size() > max_candidates)
+            c.resize(max_candidates);
+    }
+    return cands;
+}
+
+std::vector<Mapping>
+GenAxSystem::alignAll(const std::vector<Seq> &reads)
+{
+    const auto cands = alignAllCandidates(reads);
+    std::vector<Mapping> out(reads.size());
+    for (u64 r = 0; r < reads.size(); ++r) {
+        const auto &c = cands[r];
+        if (c.empty())
+            continue;
+        out[r] = c[0];
+        if (c.size() == 1) {
+            out[r].mapq = 60;
+        } else if (c[1].score >= c[0].score) {
+            out[r].mapq = 0;
+        } else {
+            out[r].mapq = static_cast<u8>(
+                std::min<i32>(60, 6 * (c[0].score - c[1].score)));
+        }
+    }
+    return out;
+}
+
+std::vector<PairMapping>
+GenAxSystem::alignPairs(const std::vector<Seq> &reads1,
+                        const std::vector<Seq> &reads2,
+                        const PairedConfig &pcfg)
+{
+    GENAX_ASSERT(reads1.size() == reads2.size(),
+                 "mate batches differ in size");
+    const auto c1 = alignAllCandidates(reads1, pcfg.candidatesPerMate);
+    // Note: perf for the second pass overwrites the first; callers
+    // interested in the model should inspect perf() after each
+    // alignAllCandidates call separately.
+    const auto c2 = alignAllCandidates(reads2, pcfg.candidatesPerMate);
+    std::vector<PairMapping> out(reads1.size());
+    for (size_t i = 0; i < reads1.size(); ++i)
+        out[i] = resolvePair(c1[i], c2[i], pcfg);
+    return out;
+}
+
+GenAxAreaPower
+GenAxSystem::areaPower(const GenAxConfig &cfg, u64 index_table_bytes,
+                       u64 position_table_bytes)
+{
+    GenAxAreaPower out;
+    out.sramBytes = index_table_bytes + position_table_bytes +
+                    cfg.referenceCacheBytes + cfg.readBufferBytes;
+    const double sram_mb = static_cast<double>(out.sramBytes) / 1e6;
+
+    out.seedingLanesMm2 =
+        cfg.seedingLanes * TechModel::seedingLaneAreaMm2();
+    out.sillaxLanesMm2 =
+        cfg.sillaxLanes * TechModel::machineAreaMm2(
+                              PeType::Traceback, cfg.editBound,
+                              cfg.sillaxFreqGhz);
+    out.sramMm2 = sram_mb * TechModel::sramAreaPerMb();
+    out.totalMm2 = out.seedingLanesMm2 + out.sillaxLanesMm2 +
+                   out.sramMm2;
+
+    out.seedingLanesW =
+        cfg.seedingLanes * TechModel::seedingLanePowerW();
+    out.sillaxLanesW =
+        cfg.sillaxLanes * TechModel::machinePowerW(
+                              PeType::Traceback, cfg.editBound,
+                              cfg.sillaxFreqGhz);
+    out.sramW = sram_mb * TechModel::sramPowerPerMb();
+    out.totalW = out.seedingLanesW + out.sillaxLanesW + out.sramW;
+    return out;
+}
+
+GenAxSystem::Projection
+GenAxSystem::project(const GenAxConfig &cfg, const GenAxPerf &measured,
+                     u64 reads, u64 read_len, u64 genome_len,
+                     u64 segments)
+{
+    GENAX_ASSERT(measured.reads > 0 && measured.segments > 0,
+                 "projection needs a measured run");
+    Projection out;
+
+    // Per-read-per-segment seeding seconds (both strands included in
+    // the measured stats).
+    const double measured_read_segs = static_cast<double>(
+        measured.reads * measured.segments);
+    const double seed_sec_per_read_seg =
+        measured.seedingSeconds / measured_read_segs;
+    out.seedingSeconds = seed_sec_per_read_seg *
+                         static_cast<double>(reads) *
+                         static_cast<double>(segments);
+
+    // Extension: jobs per read and seconds per job carry over.
+    const double jobs_per_read =
+        static_cast<double>(measured.extensionJobs) /
+        static_cast<double>(measured.reads);
+    const double ext_sec_per_job =
+        measured.extensionJobs > 0
+            ? measured.extensionSeconds /
+                  static_cast<double>(measured.extensionJobs)
+            : 0.0;
+    out.extensionSeconds = ext_sec_per_job * jobs_per_read *
+                           static_cast<double>(reads);
+
+    // DRAM: per segment, stream tables + reference + the read batch.
+    DramModel dram(cfg.dram);
+    const u64 seg_len = genome_len / segments;
+    const u64 reads_bytes = reads * ((read_len + 3) / 4);
+    const u64 per_seg = (u64{1} << (2 * cfg.k)) *
+                            KmerIndex::kEntryBytes +     // index
+                        seg_len * KmerIndex::kEntryBytes + // positions
+                        seg_len / 4 +                     // reference
+                        reads_bytes;
+    out.dramSeconds = dram.streamSeconds(per_seg) *
+                      static_cast<double>(segments);
+
+    // Segments pipeline: each phase bounded by its slowest component.
+    const double per_seg_seed = out.seedingSeconds / segments;
+    const double per_seg_ext = out.extensionSeconds / segments;
+    const double per_seg_dram = out.dramSeconds / segments;
+    out.totalSeconds =
+        std::max({per_seg_seed, per_seg_ext, per_seg_dram}) * segments;
+    out.readsPerSecond =
+        out.totalSeconds > 0 ? reads / out.totalSeconds : 0.0;
+    return out;
+}
+
+GenAxAreaPower
+GenAxSystem::areaPower() const
+{
+    u64 max_pos = 0;
+    for (u64 s = 0; s < _segments.count(); ++s)
+        max_pos = std::max(max_pos, _segments.positionTableBytes(s));
+    return areaPower(_cfg, _segments.indexTableBytes(), max_pos);
+}
+
+} // namespace genax

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The GenAx system model (Section VI, Figure 11).
+ *
+ * Brings together the seeding accelerator (128 lanes sharing
+ * segment-resident index/position tables) and 4 SillaX seed-extension
+ * lanes. The reference genome is processed segment by segment: each
+ * segment's tables are streamed from DDR4 into on-chip SRAM, all
+ * reads are seeded against the segment, SMEM hits become extension
+ * jobs on the SillaX lanes, and the best alignment per read is kept
+ * across segments and strands.
+ *
+ * alignAll() is simultaneously the functional aligner (producing
+ * per-read Mappings that the tests check for concordance with the
+ * software baseline) and the performance model (producing the cycle,
+ * bandwidth, power and area estimates behind Figures 15/16 and
+ * Table II).
+ */
+
+#ifndef GENAX_GENAX_SYSTEM_HH
+#define GENAX_GENAX_SYSTEM_HH
+
+#include <vector>
+
+#include "align/mapping.hh"
+#include "genax/dram_model.hh"
+#include "seed/segment.hh"
+#include "seed/smem_engine.hh"
+#include "sillax/lane.hh"
+#include "sillax/tech_model.hh"
+#include "swbase/anchor.hh"
+#include "swbase/paired.hh"
+
+namespace genax {
+
+/** GenAx architecture parameters (defaults per Figure 11). */
+struct GenAxConfig
+{
+    u32 seedingLanes = 128;
+    double seedingFreqGhz = 1.0;
+    u32 sillaxLanes = 4;
+    double sillaxFreqGhz = 2.0;
+    u32 k = 12;          //!< seeding k-mer length
+    u32 editBound = 40;  //!< SillaX K (Section VIII-A uses 40)
+    u64 segmentCount = 512;
+    u64 segmentOverlap = 256; //!< >= readLen + 2K so windows stay local
+    SeedingConfig seeding;
+    AnchorConfig anchors;
+    Scoring scoring;
+    DramConfig dram;
+    u64 readBufferBytes = 16 * 1024;       //!< read staging buffer
+    u64 referenceCacheBytes = 4 * 512 * 1024; //!< 4 x 512 KB
+    /** Outstanding index-table lookups a seeding lane keeps in
+     *  flight (the banked SRAM pipelines accesses). */
+    u32 seedingIssueWidth = 4;
+    /** Replace the closed-form seeding cycle model with the
+     *  cycle-stepped banked-SRAM lane simulation (slower, models
+     *  bank conflicts explicitly). */
+    bool simulateSeedingLanes = false;
+    u32 seedingSramBanks = 32;
+};
+
+/** Aggregate performance/energy report from one alignAll() pass. */
+struct GenAxPerf
+{
+    u64 reads = 0;
+    u64 segments = 0;
+    u64 extensionJobs = 0;
+    u64 exactReads = 0; //!< reads resolved by the exact-match path
+                        //!< in at least one segment
+
+    double seedingSeconds = 0;
+    double extensionSeconds = 0;
+    double dramSeconds = 0;
+    /** Sum over segments of max(dram, seeding, extension). */
+    double totalSeconds = 0;
+
+    SeedingStats seeding;
+    LaneStats lanes; //!< aggregated over the SillaX lanes
+
+    double
+    readsPerSecond() const
+    {
+        return totalSeconds > 0
+                   ? static_cast<double>(reads) / totalSeconds
+                   : 0.0;
+    }
+};
+
+/** Area/power breakdown in the shape of Table II. */
+struct GenAxAreaPower
+{
+    double seedingLanesMm2 = 0;
+    double sillaxLanesMm2 = 0;
+    double sramMm2 = 0;
+    double totalMm2 = 0;
+    u64 sramBytes = 0;
+
+    double seedingLanesW = 0;
+    double sillaxLanesW = 0;
+    double sramW = 0;
+    double totalW = 0;
+};
+
+/** The full accelerator model. */
+class GenAxSystem
+{
+  public:
+    GenAxSystem(const Seq &ref, const GenAxConfig &cfg);
+
+    /**
+     * Align every read (both strands) against the whole genome,
+     * segment by segment, and collect the performance model.
+     */
+    std::vector<Mapping> alignAll(const std::vector<Seq> &reads);
+
+    /**
+     * Like alignAll() but return each read's distinct candidate
+     * mappings (deduplicated by position/strand, sorted by
+     * descending score) — the input the paired-end resolver needs.
+     */
+    std::vector<std::vector<Mapping>>
+    alignAllCandidates(const std::vector<Seq> &reads,
+                       u32 max_candidates = 16);
+
+    /**
+     * Paired-end alignment: the pairing stage (swbase/paired.hh)
+     * applied downstream of the accelerator's candidate lists.
+     */
+    std::vector<PairMapping> alignPairs(const std::vector<Seq> &reads1,
+                                        const std::vector<Seq> &reads2,
+                                        const PairedConfig &pcfg = {});
+
+    const GenAxPerf &perf() const { return _perf; }
+    const GenAxConfig &config() const { return _cfg; }
+    const GenomeSegments &segments() const { return _segments; }
+
+    /**
+     * Area and power of a GenAx instance. SRAM is sized for the
+     * given per-segment table footprints (pass the paper's human-
+     * genome parameters to regenerate Table II).
+     */
+    static GenAxAreaPower areaPower(const GenAxConfig &cfg,
+                                    u64 index_table_bytes,
+                                    u64 position_table_bytes);
+
+    /** Area/power for this instance's own segment sizing. */
+    GenAxAreaPower areaPower() const;
+
+    /**
+     * Project the measured per-read/per-segment averages of a perf
+     * report onto a different workload scale — e.g. the paper's
+     * whole-genome run (787,265,109 reads, 3.08 Gbp reference, 512
+     * segments) — keeping the same architecture configuration.
+     */
+    struct Projection
+    {
+        double seedingSeconds = 0;
+        double extensionSeconds = 0;
+        double dramSeconds = 0;
+        double totalSeconds = 0;
+        double readsPerSecond = 0;
+    };
+    static Projection project(const GenAxConfig &cfg,
+                              const GenAxPerf &measured, u64 reads,
+                              u64 read_len, u64 genome_len,
+                              u64 segments);
+
+  private:
+    /** Insert a mapping into a per-read candidate list, keeping the
+     *  best entry per (position, strand). */
+    static void insertCandidate(std::vector<Mapping> &cands,
+                                const Mapping &m, u32 cap);
+
+    const Seq &_ref;
+    GenAxConfig _cfg;
+    GenomeSegments _segments;
+    DramModel _dram;
+    std::vector<SillaXLane> _lanes;
+    u64 _nextLane = 0;
+    GenAxPerf _perf;
+};
+
+} // namespace genax
+
+#endif // GENAX_GENAX_SYSTEM_HH

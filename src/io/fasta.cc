@@ -1,0 +1,64 @@
+#include "io/fasta.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+std::vector<FastaRecord>
+readFasta(std::istream &in)
+{
+    std::vector<FastaRecord> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            FastaRecord rec;
+            // Name is the first whitespace-delimited token.
+            const size_t end = line.find_first_of(" \t", 1);
+            rec.name = line.substr(1, end == std::string::npos
+                                          ? std::string::npos : end - 1);
+            out.push_back(std::move(rec));
+        } else {
+            if (out.empty())
+                GENAX_FATAL("FASTA: sequence data before first header");
+            Seq &seq = out.back().seq;
+            for (char c : line)
+                seq.push_back(charToBase(c));
+        }
+    }
+    return out;
+}
+
+std::vector<FastaRecord>
+readFastaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        GENAX_FATAL("cannot open FASTA file: ", path);
+    return readFasta(in);
+}
+
+void
+writeFasta(std::ostream &out, const std::vector<FastaRecord> &recs,
+           size_t line_width)
+{
+    GENAX_ASSERT(line_width > 0, "FASTA line width must be positive");
+    for (const auto &rec : recs) {
+        out << '>' << rec.name << '\n';
+        for (size_t i = 0; i < rec.seq.size(); i += line_width) {
+            const size_t n = std::min(line_width, rec.seq.size() - i);
+            for (size_t j = 0; j < n; ++j)
+                out << baseToChar(rec.seq[i + j]);
+            out << '\n';
+        }
+    }
+}
+
+} // namespace genax

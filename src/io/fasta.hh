@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal FASTA reader/writer.
+ *
+ * Handles multi-record files with arbitrary line wrapping. Non-ACGT
+ * characters in sequence lines are encoded as 'A' (see charToBase).
+ */
+
+#ifndef GENAX_IO_FASTA_HH
+#define GENAX_IO_FASTA_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/dna.hh"
+
+namespace genax {
+
+/** One FASTA record: a name and a DNA sequence. */
+struct FastaRecord
+{
+    std::string name;
+    Seq seq;
+};
+
+/** Parse all records from a FASTA stream. */
+std::vector<FastaRecord> readFasta(std::istream &in);
+
+/** Parse all records from a FASTA file. Fatal on open failure. */
+std::vector<FastaRecord> readFastaFile(const std::string &path);
+
+/** Write records to a FASTA stream with the given line width. */
+void writeFasta(std::ostream &out, const std::vector<FastaRecord> &recs,
+                size_t line_width = 70);
+
+} // namespace genax
+
+#endif // GENAX_IO_FASTA_HH

@@ -1,0 +1,77 @@
+#include "io/fastq.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+namespace {
+
+bool
+getlineTrim(std::istream &in, std::string &line)
+{
+    if (!std::getline(in, line))
+        return false;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return true;
+}
+
+} // namespace
+
+std::vector<FastqRecord>
+readFastq(std::istream &in)
+{
+    std::vector<FastqRecord> out;
+    std::string header, bases, plus, quals;
+    while (getlineTrim(in, header)) {
+        if (header.empty())
+            continue;
+        if (header[0] != '@')
+            GENAX_FATAL("FASTQ: expected '@' header, got: ", header);
+        if (!getlineTrim(in, bases) || !getlineTrim(in, plus) ||
+            !getlineTrim(in, quals)) {
+            GENAX_FATAL("FASTQ: truncated record: ", header);
+        }
+        if (plus.empty() || plus[0] != '+')
+            GENAX_FATAL("FASTQ: expected '+' separator, got: ", plus);
+        if (bases.size() != quals.size())
+            GENAX_FATAL("FASTQ: sequence/quality length mismatch in ",
+                        header);
+        FastqRecord rec;
+        const size_t end = header.find_first_of(" \t", 1);
+        rec.name = header.substr(1, end == std::string::npos
+                                        ? std::string::npos : end - 1);
+        rec.seq = encode(bases);
+        rec.qual.reserve(quals.size());
+        for (char c : quals)
+            rec.qual.push_back(static_cast<u8>(c - 33));
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+std::vector<FastqRecord>
+readFastqFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        GENAX_FATAL("cannot open FASTQ file: ", path);
+    return readFastq(in);
+}
+
+void
+writeFastq(std::ostream &out, const std::vector<FastqRecord> &recs)
+{
+    for (const auto &rec : recs) {
+        out << '@' << rec.name << '\n' << decode(rec.seq) << "\n+\n";
+        for (u8 q : rec.qual)
+            out << static_cast<char>(q + 33);
+        out << '\n';
+    }
+}
+
+} // namespace genax

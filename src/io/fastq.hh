@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal FASTQ reader/writer (4-line records, Phred+33 qualities).
+ */
+
+#ifndef GENAX_IO_FASTQ_HH
+#define GENAX_IO_FASTQ_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/dna.hh"
+
+namespace genax {
+
+/** One FASTQ record. Quality is Phred scores (not ASCII-offset). */
+struct FastqRecord
+{
+    std::string name;
+    Seq seq;
+    std::vector<u8> qual;
+};
+
+/** Parse all records from a FASTQ stream. Fatal on malformed input. */
+std::vector<FastqRecord> readFastq(std::istream &in);
+
+/** Parse all records from a FASTQ file. Fatal on open failure. */
+std::vector<FastqRecord> readFastqFile(const std::string &path);
+
+/** Write records to a FASTQ stream (Phred+33). */
+void writeFastq(std::ostream &out, const std::vector<FastqRecord> &recs);
+
+} // namespace genax
+
+#endif // GENAX_IO_FASTQ_HH

@@ -1,0 +1,87 @@
+#include "io/sam.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+SamFile
+readSam(std::istream &in)
+{
+    SamFile out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '@') {
+            if (line.rfind("@SQ", 0) == 0) {
+                SamRefSeq ref;
+                std::istringstream fields(line);
+                std::string tok;
+                while (fields >> tok) {
+                    if (tok.rfind("SN:", 0) == 0)
+                        ref.name = tok.substr(3);
+                    else if (tok.rfind("LN:", 0) == 0)
+                        ref.length = std::stoull(tok.substr(3));
+                }
+                GENAX_ASSERT(!ref.name.empty(), "@SQ without SN: ", line);
+                out.refs.push_back(std::move(ref));
+            }
+            continue;
+        }
+        std::istringstream fields(line);
+        SamRecord rec;
+        u64 pos1 = 0, pnext1 = 0;
+        int mapq = 0, flag = 0;
+        if (!(fields >> rec.qname >> flag >> rec.rname >> pos1 >>
+              mapq >> rec.cigar >> rec.rnext >> pnext1 >> rec.tlen >>
+              rec.seq >> rec.qual)) {
+            GENAX_FATAL("malformed SAM record: ", line);
+        }
+        rec.flag = static_cast<u16>(flag);
+        rec.mapq = static_cast<u8>(mapq);
+        rec.pos = pos1 == 0 ? kNoPos : pos1 - 1;
+        rec.pnext = pnext1 == 0 ? kNoPos : pnext1 - 1;
+        std::string tag;
+        while (fields >> tag) {
+            if (tag.rfind("AS:i:", 0) == 0)
+                rec.score = std::stoi(tag.substr(5));
+            else if (tag.rfind("NM:i:", 0) == 0)
+                rec.editDistance = std::stoi(tag.substr(5));
+        }
+        out.records.push_back(std::move(rec));
+    }
+    return out;
+}
+
+SamWriter::SamWriter(std::ostream &out, const std::vector<SamRefSeq> &refs,
+                     const std::string &program)
+    : _out(out)
+{
+    _out << "@HD\tVN:1.6\tSO:unsorted\n";
+    for (const auto &ref : refs)
+        _out << "@SQ\tSN:" << ref.name << "\tLN:" << ref.length << '\n';
+    _out << "@PG\tID:" << program << "\tPN:" << program << '\n';
+}
+
+void
+SamWriter::write(const SamRecord &rec)
+{
+    const bool mapped = !(rec.flag & kSamUnmapped);
+    _out << rec.qname << '\t' << rec.flag << '\t' << rec.rname << '\t'
+         << (mapped ? rec.pos + 1 : 0) << '\t'
+         << static_cast<int>(rec.mapq) << '\t' << rec.cigar << '\t'
+         << rec.rnext << '\t'
+         << (rec.pnext == kNoPos ? 0 : rec.pnext + 1) << '\t'
+         << rec.tlen << '\t' << rec.seq << '\t' << rec.qual
+         << "\tAS:i:" << rec.score;
+    if (rec.editDistance >= 0)
+        _out << "\tNM:i:" << rec.editDistance;
+    _out << '\n';
+    ++_count;
+}
+
+} // namespace genax

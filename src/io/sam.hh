@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal SAM writer covering the subset of the spec emitted by the
+ * GenAx pipeline (header @HD/@SQ/@PG lines and single-end alignment
+ * records).
+ *
+ * CIGAR strings are passed pre-formatted so this module stays
+ * independent of the alignment substrate.
+ */
+
+#ifndef GENAX_IO_SAM_HH
+#define GENAX_IO_SAM_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace genax {
+
+/** SAM FLAG bits used by the pipeline. */
+enum SamFlag : u16
+{
+    kSamPaired = 0x1,
+    kSamProperPair = 0x2,
+    kSamUnmapped = 0x4,
+    kSamMateUnmapped = 0x8,
+    kSamReverse = 0x10,
+    kSamMateReverse = 0x20,
+    kSamRead1 = 0x40,
+    kSamRead2 = 0x80,
+    kSamSecondary = 0x100,
+};
+
+/** One SAM alignment line. */
+struct SamRecord
+{
+    std::string qname;
+    u16 flag = 0;
+    std::string rname = "*";
+    Pos pos = 0;              //!< 0-based; written as 1-based.
+    u8 mapq = 0;
+    std::string cigar = "*";
+    std::string rnext = "*";  //!< mate reference ("=" when shared)
+    Pos pnext = kNoPos;       //!< mate position, 0-based
+    i64 tlen = 0;             //!< observed template length
+    std::string seq = "*";
+    std::string qual = "*";
+    i32 score = 0;            //!< emitted as AS:i tag
+    i32 editDistance = -1;    //!< emitted as NM:i tag when >= 0
+};
+
+/** Reference-sequence description for the @SQ header line. */
+struct SamRefSeq
+{
+    std::string name;
+    u64 length = 0;
+};
+
+/** Parsed SAM content. */
+struct SamFile
+{
+    std::vector<SamRefSeq> refs;    //!< from @SQ lines
+    std::vector<SamRecord> records; //!< alignment lines
+};
+
+/**
+ * Parse a SAM stream (the subset SamWriter emits: @HD/@SQ/@PG plus
+ * 11 mandatory fields and AS/NM tags). Fatal on malformed input.
+ */
+SamFile readSam(std::istream &in);
+
+/** Streaming SAM writer. */
+class SamWriter
+{
+  public:
+    /** Write header lines for the given reference sequences. */
+    SamWriter(std::ostream &out, const std::vector<SamRefSeq> &refs,
+              const std::string &program = "genax");
+
+    /** Append one alignment record. */
+    void write(const SamRecord &rec);
+
+    /** Number of records written so far. */
+    u64 count() const { return _count; }
+
+  private:
+    std::ostream &_out;
+    u64 _count = 0;
+};
+
+} // namespace genax
+
+#endif // GENAX_IO_SAM_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Evaluation helpers: mapping accuracy against simulated ground
+ * truth, and concordance between two aligners (the paper's
+ * Section VIII-A methodology, reusable by tests, benches and
+ * examples).
+ *
+ * Header-only; binaries using it must link genax_align for the
+ * Mapping/Cigar types.
+ */
+
+#ifndef GENAX_READSIM_EVAL_HH
+#define GENAX_READSIM_EVAL_HH
+
+#include <cstdlib>
+#include <vector>
+
+#include "align/mapping.hh"
+#include "common/logging.hh"
+#include "readsim/readsim.hh"
+
+namespace genax {
+
+/** Accuracy of mappings against simulated truth. */
+struct AccuracyReport
+{
+    u64 reads = 0;
+    u64 mapped = 0;
+    u64 correct = 0; //!< right strand, position within tolerance
+
+    double
+    mappedFraction() const
+    {
+        return reads ? static_cast<double>(mapped) / reads : 0.0;
+    }
+
+    double
+    correctFraction() const
+    {
+        return reads ? static_cast<double>(correct) / reads : 0.0;
+    }
+};
+
+/**
+ * Score mappings against the simulator's truth positions.
+ *
+ * @param tolerance allowed |position - truth| (indel slack)
+ */
+inline AccuracyReport
+evaluateAccuracy(const std::vector<SimRead> &truth,
+                 const std::vector<Mapping> &maps, i64 tolerance = 12)
+{
+    GENAX_ASSERT(truth.size() == maps.size(),
+                 "truth/mapping size mismatch");
+    AccuracyReport rep;
+    rep.reads = truth.size();
+    for (size_t i = 0; i < maps.size(); ++i) {
+        if (!maps[i].mapped)
+            continue;
+        ++rep.mapped;
+        const i64 delta = static_cast<i64>(maps[i].pos) -
+                          static_cast<i64>(truth[i].truthPos);
+        if (maps[i].reverse == truth[i].reverse &&
+            std::llabs(delta) <= tolerance) {
+            ++rep.correct;
+        }
+    }
+    return rep;
+}
+
+/** Agreement between two aligners on the same reads. */
+struct ConcordanceReport
+{
+    u64 bothMapped = 0;
+    u64 sameScore = 0;
+    u64 samePlacement = 0; //!< same position and strand
+
+    double
+    scoreFraction() const
+    {
+        return bothMapped
+                   ? static_cast<double>(sameScore) / bothMapped
+                   : 0.0;
+    }
+
+    double
+    placementFraction() const
+    {
+        return bothMapped
+                   ? static_cast<double>(samePlacement) / bothMapped
+                   : 0.0;
+    }
+};
+
+/** Compare two aligners' outputs read by read. */
+inline ConcordanceReport
+evaluateConcordance(const std::vector<Mapping> &a,
+                    const std::vector<Mapping> &b)
+{
+    GENAX_ASSERT(a.size() == b.size(), "mapping size mismatch");
+    ConcordanceReport rep;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].mapped || !b[i].mapped)
+            continue;
+        ++rep.bothMapped;
+        rep.sameScore += a[i].score == b[i].score;
+        rep.samePlacement +=
+            a[i].pos == b[i].pos && a[i].reverse == b[i].reverse;
+    }
+    return rep;
+}
+
+} // namespace genax
+
+#endif // GENAX_READSIM_EVAL_HH

@@ -1,0 +1,242 @@
+#include "readsim/readsim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+namespace {
+
+/** A base different from b, uniformly among the other three. */
+Base
+mutate(Base b, Rng &rng)
+{
+    return static_cast<Base>((b + 1 + rng.below(3)) & 3);
+}
+
+/** Substitution-error rate at a read position (Illumina-like ramp). */
+double
+errorRateAt(const ReadSimConfig &cfg, u64 pos)
+{
+    if (!cfg.positionalErrors)
+        return cfg.baseErrorRate;
+    return cfg.baseErrorRate *
+           (0.5 + static_cast<double>(pos) /
+                      static_cast<double>(cfg.readLen));
+}
+
+/** Phred score corresponding to an error probability. */
+u8
+phredOf(double p)
+{
+    const double q = -10.0 * std::log10(std::max(p, 1e-5));
+    return static_cast<u8>(std::clamp(q, 2.0, 41.0));
+}
+
+/** Per-position quality string for the configured error model. */
+std::vector<u8>
+qualityProfile(const ReadSimConfig &cfg)
+{
+    std::vector<u8> qual(cfg.readLen);
+    for (u64 i = 0; i < cfg.readLen; ++i) {
+        qual[i] = cfg.positionalErrors ? phredOf(errorRateAt(cfg, i))
+                                       : static_cast<u8>(35);
+    }
+    return qual;
+}
+
+/**
+ * Sample a read of cfg.readLen from the donor starting at `start`,
+ * applying sequencing errors. Returns false when the donor end is
+ * reached before the read fills up.
+ */
+bool
+sampleErroredRead(const Seq &donor, Pos start, const ReadSimConfig &cfg,
+                  Rng &rng, Seq &out, u32 &errors,
+                  bool reversed_read = false)
+{
+    out.clear();
+    out.reserve(cfg.readLen + 4);
+    errors = 0;
+    Pos d = start;
+    while (out.size() < cfg.readLen && d < donor.size()) {
+        if (rng.chance(cfg.readIndelRate)) {
+            ++errors;
+            if (rng.chance(0.5)) {
+                out.push_back(static_cast<Base>(rng.below(4)));
+                continue;
+            }
+            ++d;
+            continue;
+        }
+        Base b = donor[d++];
+        // The error ramp follows sequencing order: for a read that
+        // will be reverse-complemented, the fragment start is the
+        // sequenced 3' end.
+        const u64 seq_pos = reversed_read
+                                ? cfg.readLen - 1 - out.size()
+                                : out.size();
+        if (rng.chance(errorRateAt(cfg, seq_pos))) {
+            b = mutate(b, rng);
+            ++errors;
+        }
+        out.push_back(b);
+    }
+    return out.size() >= cfg.readLen;
+}
+
+/** Standard normal via Box-Muller. */
+double
+gaussian(Rng &rng)
+{
+    double u1 = rng.real();
+    while (u1 <= 1e-12)
+        u1 = rng.real();
+    const double u2 = rng.real();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+} // namespace
+
+Donor
+buildDonor(const Seq &ref, const ReadSimConfig &cfg, Rng &rng)
+{
+    Donor donor;
+    donor.seq.reserve(ref.size());
+    donor.donorToRef.reserve(ref.size());
+
+    for (Pos r = 0; r < ref.size(); ++r) {
+        if (rng.chance(cfg.donorIndelRate)) {
+            const u64 len = 1 + rng.below(cfg.donorIndelMax);
+            ++donor.numIndels;
+            if (rng.chance(0.5)) {
+                // Donor insertion: extra bases not in the reference.
+                for (u64 i = 0; i < len; ++i) {
+                    donor.seq.push_back(static_cast<Base>(rng.below(4)));
+                    donor.donorToRef.push_back(r);
+                }
+            } else {
+                // Donor deletion: skip reference bases.
+                r += std::min<Pos>(len - 1, ref.size() - 1 - r);
+                continue;
+            }
+        }
+        Base b = ref[r];
+        if (rng.chance(cfg.snpRate)) {
+            b = mutate(b, rng);
+            ++donor.numSnps;
+        }
+        donor.seq.push_back(b);
+        donor.donorToRef.push_back(r);
+    }
+    return donor;
+}
+
+std::vector<SimRead>
+simulateReads(const Donor &donor, const ReadSimConfig &cfg, Rng &rng)
+{
+    GENAX_ASSERT(donor.seq.size() >= cfg.readLen,
+                 "donor shorter than read length");
+    std::vector<SimRead> reads;
+    reads.reserve(cfg.numReads);
+
+    const std::vector<u8> qual = qualityProfile(cfg);
+    for (u64 n = 0; n < cfg.numReads; ++n) {
+        const Pos start = rng.below(donor.seq.size() - cfg.readLen + 1);
+        const bool reverse = cfg.sampleReverse && rng.chance(0.5);
+
+        // Fragment as it appears on the forward donor strand, with
+        // sequencing errors applied in sequencing order.
+        Seq frag;
+        u32 errors = 0;
+        if (!sampleErroredRead(donor.seq, start, cfg, rng, frag,
+                               errors, reverse)) {
+            // Ran off the donor end (rare); resample.
+            --n;
+            continue;
+        }
+
+        SimRead read;
+        read.name = "sim" + std::to_string(n);
+        read.truthPos = donor.donorToRef[start];
+        read.numErrors = errors;
+        read.reverse = reverse;
+        read.seq = reverse ? reverseComplement(frag) : frag;
+        read.qual = qual;
+        reads.push_back(std::move(read));
+    }
+    return reads;
+}
+
+std::vector<SimRead>
+simulateReads(const Seq &ref, const ReadSimConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const Donor donor = buildDonor(ref, cfg, rng);
+    return simulateReads(donor, cfg, rng);
+}
+
+std::vector<SimPair>
+simulatePairs(const Donor &donor, const ReadSimConfig &cfg,
+              const PairSimConfig &pcfg, Rng &rng)
+{
+    GENAX_ASSERT(donor.seq.size() >= cfg.readLen * 2,
+                 "donor too short for pairs");
+    std::vector<SimPair> pairs;
+    pairs.reserve(cfg.numReads);
+
+    for (u64 n = 0; n < cfg.numReads; ++n) {
+        const double draw =
+            pcfg.insertMean + pcfg.insertSd * gaussian(rng);
+        const u64 frag_len = std::max<u64>(
+            cfg.readLen,
+            std::min<u64>(donor.seq.size(),
+                          static_cast<u64>(std::max(1.0, draw))));
+        if (donor.seq.size() < frag_len) {
+            --n;
+            continue;
+        }
+        const Pos start = rng.below(donor.seq.size() - frag_len + 1);
+
+        Seq s1, s2;
+        u32 e1 = 0, e2 = 0;
+        const Pos start2 = start + frag_len - cfg.readLen;
+        if (!sampleErroredRead(donor.seq, start, cfg, rng, s1, e1) ||
+            !sampleErroredRead(donor.seq, start2, cfg, rng, s2, e2,
+                               /*reversed_read=*/true)) {
+            --n;
+            continue;
+        }
+
+        SimPair pair;
+        pair.fragmentLen = frag_len;
+        pair.r1.name = "pair" + std::to_string(n) + "/1";
+        pair.r1.seq = std::move(s1);
+        pair.r1.qual = qualityProfile(cfg);
+        pair.r1.truthPos = donor.donorToRef[start];
+        pair.r1.reverse = false;
+        pair.r1.numErrors = e1;
+        pair.r2.name = "pair" + std::to_string(n) + "/2";
+        pair.r2.seq = reverseComplement(s2);
+        pair.r2.qual = qualityProfile(cfg);
+        pair.r2.truthPos = donor.donorToRef[start2];
+        pair.r2.reverse = true;
+        pair.r2.numErrors = e2;
+        pairs.push_back(std::move(pair));
+    }
+    return pairs;
+}
+
+std::vector<SimPair>
+simulatePairs(const Seq &ref, const ReadSimConfig &cfg,
+              const PairSimConfig &pcfg)
+{
+    Rng rng(cfg.seed);
+    const Donor donor = buildDonor(ref, cfg, rng);
+    return simulatePairs(donor, cfg, pcfg, rng);
+}
+
+} // namespace genax

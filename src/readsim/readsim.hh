@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Illumina-style short-read simulation with ground truth.
+ *
+ * Two error sources are modelled separately, as in real pipelines:
+ *
+ *  1. Donor variants: the sequenced individual differs from the
+ *     reference (SNPs and short indels). A donor genome is built once
+ *     and a donor->reference coordinate map retained so each read
+ *     knows its true reference position.
+ *  2. Sequencing errors: per-base substitution errors (dominant for
+ *     Illumina) plus rare indel errors, applied per read.
+ *
+ * Default rates reproduce the paper's measured workload shape: about
+ * 75% of reads align exactly (Section V, "~75% of the reads have
+ * exact matches").
+ */
+
+#ifndef GENAX_READSIM_READSIM_HH
+#define GENAX_READSIM_READSIM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Read simulation parameters. */
+struct ReadSimConfig
+{
+    u64 readLen = 101;        //!< Illumina-style read length
+    u64 numReads = 10000;
+    u64 seed = 7;
+
+    double snpRate = 0.001;       //!< donor SNPs per base
+    double donorIndelRate = 0.0001; //!< donor indels per base
+    u64 donorIndelMax = 6;        //!< max donor indel length
+
+    double baseErrorRate = 0.0025; //!< sequencing substitution errors
+    double readIndelRate = 0.0001; //!< sequencing indel errors
+    bool sampleReverse = true;     //!< sample 50% reverse-strand reads
+    /** Illumina-style positional error profile: the error rate ramps
+     *  from 0.5x baseErrorRate at the 5' end to 1.5x at the 3' end
+     *  (same mean), and quality scores reflect the local rate. */
+    bool positionalErrors = false;
+};
+
+/** One simulated read with its ground truth. */
+struct SimRead
+{
+    std::string name;
+    Seq seq;                  //!< as sequenced (already fwd/rev strand)
+    std::vector<u8> qual;     //!< synthetic Phred scores
+    Pos truthPos = kNoPos;    //!< true reference position (fwd coords)
+    bool reverse = false;     //!< sampled from the reverse strand
+    u32 numErrors = 0;        //!< sequencing errors applied to this read
+};
+
+/** A donor genome derived from a reference, with coordinate map. */
+struct Donor
+{
+    Seq seq;
+    /** donorToRef[i] = reference coordinate of donor base i. */
+    std::vector<Pos> donorToRef;
+    u64 numSnps = 0;
+    u64 numIndels = 0;
+};
+
+/** Paired-end simulation parameters (FR orientation). */
+struct PairSimConfig
+{
+    double insertMean = 300; //!< fragment length mean
+    double insertSd = 30;    //!< fragment length std deviation
+};
+
+/** One simulated read pair (R1 forward, R2 reverse of fragment). */
+struct SimPair
+{
+    SimRead r1;
+    SimRead r2;
+    u64 fragmentLen = 0;
+};
+
+/** Plant variants into a reference to build a donor genome. */
+Donor buildDonor(const Seq &ref, const ReadSimConfig &cfg, Rng &rng);
+
+/** Sample reads from a donor genome. */
+std::vector<SimRead> simulateReads(const Donor &donor,
+                                   const ReadSimConfig &cfg, Rng &rng);
+
+/** Convenience: build donor and sample reads with a fresh RNG. */
+std::vector<SimRead> simulateReads(const Seq &ref,
+                                   const ReadSimConfig &cfg);
+
+/**
+ * Sample FR read pairs from a donor genome: R1 is the fragment's
+ * 5' end on the forward strand, R2 the reverse complement of its
+ * 3' end. cfg.numReads counts pairs; cfg.sampleReverse is ignored.
+ */
+std::vector<SimPair> simulatePairs(const Donor &donor,
+                                   const ReadSimConfig &cfg,
+                                   const PairSimConfig &pcfg, Rng &rng);
+
+/** Convenience wrapper building the donor internally. */
+std::vector<SimPair> simulatePairs(const Seq &ref,
+                                   const ReadSimConfig &cfg,
+                                   const PairSimConfig &pcfg = {});
+
+} // namespace genax
+
+#endif // GENAX_READSIM_READSIM_HH

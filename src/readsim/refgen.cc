@@ -1,0 +1,64 @@
+#include "readsim/refgen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+Seq
+generateReference(const RefGenConfig &cfg)
+{
+    GENAX_ASSERT(cfg.length > 0, "empty reference requested");
+    GENAX_ASSERT(cfg.repeatLenMin <= cfg.repeatLenMax,
+                 "bad repeat length range");
+    Rng rng(cfg.seed);
+    Seq ref;
+    ref.reserve(cfg.length);
+
+    auto random_base = [&]() -> Base {
+        if (rng.chance(cfg.gcBias))
+            return rng.chance(0.5) ? kBaseG : kBaseC;
+        return rng.chance(0.5) ? kBaseA : kBaseT;
+    };
+
+    // The repeat branch emits a whole block per draw, so the draw
+    // probability must be scaled by the mean block length for
+    // repeatFraction to be the fraction of copied bases.
+    const double mean_repeat_len =
+        static_cast<double>(cfg.repeatLenMin + cfg.repeatLenMax) / 2.0;
+    const double repeat_prob =
+        cfg.repeatFraction <= 0.0
+            ? 0.0
+            : cfg.repeatFraction /
+                  ((1.0 - std::min(cfg.repeatFraction, 0.99)) *
+                   mean_repeat_len);
+
+    while (ref.size() < cfg.length) {
+        const bool can_repeat =
+            ref.size() > cfg.repeatLenMax + 1 && rng.chance(repeat_prob);
+        if (can_repeat) {
+            // Copy an earlier window, possibly with light divergence
+            // so repeats are near- rather than perfectly identical.
+            const u64 len = static_cast<u64>(
+                rng.range(static_cast<i64>(cfg.repeatLenMin),
+                          static_cast<i64>(cfg.repeatLenMax)));
+            const u64 take = std::min(len, cfg.length - ref.size());
+            const u64 src = rng.below(ref.size() - take);
+            const size_t start = ref.size();
+            for (u64 i = 0; i < take; ++i)
+                ref.push_back(ref[src + i]);
+            // ~1% divergence within the copy.
+            for (size_t i = start; i < ref.size(); ++i) {
+                if (rng.chance(0.01))
+                    ref[i] = static_cast<Base>(rng.below(4));
+            }
+        } else {
+            ref.push_back(random_base());
+        }
+    }
+    ref.resize(cfg.length);
+    return ref;
+}
+
+} // namespace genax

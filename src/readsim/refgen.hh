@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Synthetic reference genome generation.
+ *
+ * Stands in for GRCh38 (see DESIGN.md substitution table): a random
+ * base stream with injected repeat copies, so that k-mer hit-list
+ * size distributions have the heavy tail that drives the seeding
+ * accelerator's CAM/binary-search design (Section V).
+ */
+
+#ifndef GENAX_READSIM_REFGEN_HH
+#define GENAX_READSIM_REFGEN_HH
+
+#include "common/dna.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Parameters for synthetic reference generation. */
+struct RefGenConfig
+{
+    u64 length = 1 << 20;     //!< genome length in bases
+    u64 seed = 42;            //!< RNG seed
+    double repeatFraction = 0.05; //!< fraction of genome that is copies
+    u64 repeatLenMin = 200;   //!< min length of one repeat copy
+    u64 repeatLenMax = 2000;  //!< max length of one repeat copy
+    double gcBias = 0.41;     //!< probability of G or C (human-like)
+};
+
+/** Generate a synthetic reference genome. */
+Seq generateReference(const RefGenConfig &cfg);
+
+} // namespace genax
+
+#endif // GENAX_READSIM_REFGEN_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Model of the per-lane 512-entry CAM used for hit-set intersection
+ * (Section V), with operation accounting for the Figure 16 bench.
+ *
+ * The new k-mer's (normalized) hit list is loaded into the CAM and
+ * the candidate set streams through it, one search per candidate.
+ * When the hit list exceeds the CAM capacity, the baseline design
+ * loads it in ceil(|list| / capacity) passes and re-streams the
+ * candidates each pass; the optimized design instead binary-searches
+ * each candidate in the sorted position-table list, which costs
+ * |candidates| * ceil(log2 |list|) probe steps — a large win on the
+ * pathological k-mers (poly-A etc.) whose hit lists are huge.
+ */
+
+#ifndef GENAX_SEED_CAM_HH
+#define GENAX_SEED_CAM_HH
+
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace genax {
+
+/** Operation counts accumulated by the CAM model. */
+struct CamStats
+{
+    u64 loads = 0;        //!< CAM entry writes
+    u64 searches = 0;     //!< CAM search operations
+    u64 binarySteps = 0;  //!< binary-search probe steps
+    u64 overflowFallbacks = 0; //!< intersections that used the fallback
+
+    /** The paper's Figure 16b metric: CAM search operations plus
+     *  binary-search probes. Entry writes (loads) stream from SRAM
+     *  at full bandwidth and are tracked separately. */
+    u64 lookups() const { return searches + binarySteps; }
+
+    void
+    operator+=(const CamStats &o)
+    {
+        loads += o.loads;
+        searches += o.searches;
+        binarySteps += o.binarySteps;
+        overflowFallbacks += o.overflowFallbacks;
+    }
+};
+
+/** 512-entry CAM intersection unit (capacity configurable). */
+class CamModel
+{
+  public:
+    explicit CamModel(u32 capacity = 512, bool binary_fallback = true)
+        : _capacity(capacity), _binaryFallback(binary_fallback)
+    {
+    }
+
+    /**
+     * Intersect the candidate set with a hit list, where each hit is
+     * first normalized by subtracting `offset` (hits below `offset`
+     * cannot correspond to the pivot and are dropped).
+     *
+     * Candidates must be sorted ascending; the result is sorted.
+     *
+     * @param candidates current candidate positions (pivot-normalized)
+     * @param hits       position-table list for the new k-mer (sorted)
+     * @param offset     read offset of the new k-mer relative to pivot
+     */
+    std::vector<u32> intersect(const std::vector<u32> &candidates,
+                               std::span<const u32> hits, u32 offset);
+
+    const CamStats &stats() const { return _stats; }
+    void resetStats() { _stats = {}; }
+    u32 capacity() const { return _capacity; }
+
+  private:
+    u32 _capacity;
+    bool _binaryFallback;
+    CamStats _stats;
+};
+
+} // namespace genax
+
+#endif // GENAX_SEED_CAM_HH

@@ -1,0 +1,154 @@
+#include "seed/fm_index.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+std::vector<u32>
+buildSuffixArray(const Seq &text)
+{
+    const u32 n = static_cast<u32>(text.size());
+    std::vector<u32> sa(n), rank_of(n), next_rank(n);
+    std::iota(sa.begin(), sa.end(), 0);
+    for (u32 i = 0; i < n; ++i)
+        rank_of[i] = text[i];
+
+    for (u32 len = 1;; len *= 2) {
+        auto key = [&](u32 i) {
+            const i64 second =
+                i + len < n ? static_cast<i64>(rank_of[i + len]) : -1;
+            return std::pair<i64, i64>(rank_of[i], second);
+        };
+        std::sort(sa.begin(), sa.end(),
+                  [&](u32 a, u32 b) { return key(a) < key(b); });
+
+        next_rank[sa[0]] = 0;
+        for (u32 i = 1; i < n; ++i) {
+            next_rank[sa[i]] = next_rank[sa[i - 1]] +
+                               (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+        }
+        rank_of.swap(next_rank);
+        if (n == 0 || rank_of[sa[n - 1]] == n - 1)
+            break;
+    }
+    return sa;
+}
+
+FmIndex::FmIndex(const Seq &text, u32 sa_sample_rate)
+    : _n(text.size()), _sampleRate(std::max(1u, sa_sample_rate))
+{
+    GENAX_ASSERT(_n + 1 <= UINT32_MAX, "text too large for u32 index");
+    Seq t = text;
+    for (Base b : t)
+        GENAX_ASSERT(b < kSentinel, "FM-index expects 2-bit bases");
+    t.push_back(kSentinel);
+    const u32 nt = static_cast<u32>(t.size());
+
+    const std::vector<u32> sa = buildSuffixArray(t);
+
+    _bwt.resize(nt);
+    _sampled.assign(nt, 0);
+    _sampleValue.assign(nt, 0);
+    for (u32 row = 0; row < nt; ++row) {
+        _bwt[row] = t[(sa[row] + nt - 1) % nt];
+        if (sa[row] % _sampleRate == 0) {
+            _sampled[row] = 1;
+            _sampleValue[row] = sa[row];
+        }
+    }
+
+    // Cumulative symbol counts: _c[c] = #symbols < c.
+    u32 counts[kAlphabet] = {};
+    for (u8 b : t)
+        ++counts[b];
+    _c[0] = 0;
+    for (u32 c = 0; c < kAlphabet; ++c)
+        _c[c + 1] = _c[c] + counts[c];
+
+    // Rank checkpoints every kCheckpoint BWT symbols.
+    const u32 blocks = nt / kCheckpoint + 1;
+    _checkpoints.assign(static_cast<size_t>(blocks) * kAlphabet, 0);
+    u32 running[kAlphabet] = {};
+    for (u32 i = 0; i < nt; ++i) {
+        if (i % kCheckpoint == 0) {
+            const size_t base =
+                static_cast<size_t>(i / kCheckpoint) * kAlphabet;
+            for (u32 c = 0; c < kAlphabet; ++c)
+                _checkpoints[base + c] = running[c];
+        }
+        ++running[_bwt[i]];
+    }
+}
+
+u32
+FmIndex::rank(u8 c, u32 i) const
+{
+    ++_stats.rankCalls;
+    const u32 block = i / kCheckpoint;
+    u32 cnt =
+        _checkpoints[static_cast<size_t>(block) * kAlphabet + c];
+    for (u32 j = block * kCheckpoint; j < i; ++j)
+        cnt += _bwt[j] == c;
+    return cnt;
+}
+
+u32
+FmIndex::lf(u32 row) const
+{
+    const u8 c = _bwt[row];
+    return _c[c] + rank(c, row);
+}
+
+FmIndex::Interval
+FmIndex::extend(const Interval &iv, Base c) const
+{
+    GENAX_ASSERT(c < kSentinel, "cannot extend with the sentinel");
+    Interval out;
+    out.lo = _c[c] + rank(c, iv.lo);
+    out.hi = _c[c] + rank(c, iv.hi);
+    return out;
+}
+
+std::vector<u32>
+FmIndex::locate(const Interval &iv, u32 max_out) const
+{
+    std::vector<u32> out;
+    const u32 hi = std::min<u32>(iv.hi, iv.lo + max_out);
+    out.reserve(hi - iv.lo);
+    for (u32 row = iv.lo; row < hi; ++row) {
+        u32 r = row, steps = 0;
+        while (!_sampled[r]) {
+            r = lf(r);
+            ++steps;
+            ++_stats.locateSteps;
+        }
+        out.push_back(_sampleValue[r] + steps);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+u32
+FmIndex::count(const Seq &pattern) const
+{
+    Interval iv = all();
+    for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+        iv = extend(iv, *it);
+        if (iv.empty())
+            return 0;
+    }
+    return iv.size();
+}
+
+u64
+FmIndex::footprintBytes() const
+{
+    return _bwt.size() + _checkpoints.size() * sizeof(u32) +
+           _sampleValue.size() / _sampleRate * sizeof(u32) +
+           _sampled.size() / 8;
+}
+
+} // namespace genax

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * FM-index: the seeding substrate of BWA-MEM, built here as the
+ * baseline GenAx's segmented hash tables replace (Section V,
+ * Section IX).
+ *
+ * Pipeline: suffix array (prefix-doubling) -> Burrows-Wheeler
+ * transform -> occurrence (rank) checkpoints + sampled SA for
+ * locate. Backward search extends a pattern one character at a time
+ * by prepending, each step performing two rank() lookups whose
+ * addresses depend on the previous step — the serialized,
+ * poorly-local access chain the paper contrasts with GenAx's
+ * k-mer/CAM datapath. rank-access statistics are tracked so the
+ * comparison is measurable.
+ */
+
+#ifndef GENAX_SEED_FM_INDEX_HH
+#define GENAX_SEED_FM_INDEX_HH
+
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Suffix-array construction (prefix doubling, O(n log^2 n)). */
+std::vector<u32> buildSuffixArray(const Seq &text);
+
+/** Access statistics for the locality comparison. */
+struct FmStats
+{
+    u64 rankCalls = 0;     //!< occurrence-table lookups
+    u64 locateSteps = 0;   //!< LF steps during locate
+    void operator+=(const FmStats &o)
+    {
+        rankCalls += o.rankCalls;
+        locateSteps += o.locateSteps;
+    }
+};
+
+/** FM-index over a DNA text (with an internal sentinel). */
+class FmIndex
+{
+  public:
+    /** Half-open suffix-array interval of pattern occurrences. */
+    struct Interval
+    {
+        u32 lo = 0;
+        u32 hi = 0;
+        u32 size() const { return hi - lo; }
+        bool empty() const { return lo >= hi; }
+    };
+
+    /**
+     * @param text the indexed text
+     * @param sa_sample_rate keep every sa_sample_rate-th SA entry
+     *        for locate (space/time trade-off)
+     */
+    explicit FmIndex(const Seq &text, u32 sa_sample_rate = 8);
+
+    /** Interval of the empty pattern (all rotations). */
+    Interval
+    all() const
+    {
+        return {0, static_cast<u32>(_bwt.size())};
+    }
+
+    /** Backward-search step: interval of (c + current pattern). */
+    Interval extend(const Interval &iv, Base c) const;
+
+    /** Text positions of the interval's occurrences, ascending. */
+    std::vector<u32> locate(const Interval &iv, u32 max_out) const;
+
+    /** Count of occurrences of a whole pattern. */
+    u32 count(const Seq &pattern) const;
+
+    u64 textLength() const { return _n; }
+
+    const FmStats &stats() const { return _stats; }
+    void resetStats() { _stats = {}; }
+
+    /** Index memory footprint (BWT + checkpoints + samples). */
+    u64 footprintBytes() const;
+
+  private:
+    static constexpr u32 kCheckpoint = 32;
+    static constexpr u8 kSentinel = 4;
+    static constexpr u32 kAlphabet = 5;
+
+    /** Occurrences of c in bwt[0, i). */
+    u32 rank(u8 c, u32 i) const;
+
+    /** LF mapping: row of the predecessor character. */
+    u32 lf(u32 row) const;
+
+    u64 _n; //!< original text length (without sentinel)
+    u32 _sampleRate;
+    std::vector<u8> _bwt;
+    u32 _c[kAlphabet + 1] = {}; //!< cumulative symbol counts
+    /** checkpoints[block * kAlphabet + c] = rank(c, block * 32). */
+    std::vector<u32> _checkpoints;
+    std::vector<u32> _sampleValue; //!< SA value per sampled row
+    std::vector<u8> _sampled;      //!< row-is-sampled flags
+    mutable FmStats _stats;
+};
+
+} // namespace genax
+
+#endif // GENAX_SEED_FM_INDEX_HH

@@ -1,0 +1,57 @@
+#include "seed/fm_seeder.hh"
+
+#include <algorithm>
+
+namespace genax {
+
+FmSeeder::FmSeeder(const Seq &ref, u32 min_seed_len)
+    : _refLen(ref.size()), _minSeedLen(min_seed_len),
+      _index(Seq(ref.rbegin(), ref.rend()))
+{
+}
+
+std::vector<Smem>
+FmSeeder::seed(const Seq &read)
+{
+    const u32 len = static_cast<u32>(read.size());
+    std::vector<Smem> out;
+    if (len < _minSeedLen)
+        return out;
+
+    u32 max_end = 0;
+    for (u32 pivot = 0; pivot + _minSeedLen <= len; ++pivot) {
+        // Right maximal extension: one backward-search chain on the
+        // reversed-reference index walks the read forward.
+        FmIndex::Interval iv = _index.all();
+        u32 length = 0;
+        while (pivot + length < len) {
+            const auto next = _index.extend(iv, read[pivot + length]);
+            if (next.empty())
+                break;
+            iv = next;
+            ++length;
+        }
+        if (length < _minSeedLen)
+            continue;
+        const u32 end = pivot + length;
+        if (end <= max_end)
+            continue; // contained in an earlier SMEM
+        max_end = end;
+
+        Smem smem;
+        smem.qryBegin = pivot;
+        smem.qryEnd = end;
+        // Reversed-text start p covers ref[refLen - p - length,
+        // refLen - p); map and restore ascending order.
+        const auto rev_hits = _index.locate(iv, iv.size());
+        smem.positions.reserve(rev_hits.size());
+        for (auto it = rev_hits.rbegin(); it != rev_hits.rend(); ++it) {
+            smem.positions.push_back(
+                static_cast<u32>(_refLen - *it - length));
+        }
+        out.push_back(std::move(smem));
+    }
+    return out;
+}
+
+} // namespace genax

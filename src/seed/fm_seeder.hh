@@ -1,0 +1,49 @@
+/**
+ * @file
+ * FM-index-based SMEM seeding — functionally what BWA-MEM does, and
+ * the baseline the GenAx seeding accelerator replaces.
+ *
+ * The index is built over the reversed reference, so prepending in
+ * backward-search order walks the read left to right: the right
+ * maximal exact match from a pivot falls out of one extension chain.
+ * Produces exactly the same SMEMs and hit sets as the hash-based
+ * SmemEngine (cross-checked in the tests) while exhibiting the
+ * serialized, random rank()-chain access pattern the paper's
+ * Section V/IX locality argument is about.
+ */
+
+#ifndef GENAX_SEED_FM_SEEDER_HH
+#define GENAX_SEED_FM_SEEDER_HH
+
+#include "seed/fm_index.hh"
+#include "seed/smem_engine.hh"
+
+namespace genax {
+
+/** Whole-reference FM-index SMEM seeder. */
+class FmSeeder
+{
+  public:
+    /**
+     * @param ref whole reference
+     * @param min_seed_len minimum reported match length (the hash
+     *        engine's k)
+     */
+    FmSeeder(const Seq &ref, u32 min_seed_len);
+
+    /** SMEM seeds of one read, identical to SmemEngine's output. */
+    std::vector<Smem> seed(const Seq &read);
+
+    const FmStats &stats() const { return _index.stats(); }
+    void resetStats() { _index.resetStats(); }
+    u64 footprintBytes() const { return _index.footprintBytes(); }
+
+  private:
+    u64 _refLen;
+    u32 _minSeedLen;
+    FmIndex _index; //!< over the reversed reference
+};
+
+} // namespace genax
+
+#endif // GENAX_SEED_FM_SEEDER_HH

@@ -1,0 +1,157 @@
+#include "seed/kmer_index.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+KmerIndex::KmerIndex(const Seq &ref, u32 k)
+    : _k(k), _segLen(ref.size())
+{
+    GENAX_ASSERT(k >= 1 && k <= 13, "k out of supported range: ", k);
+    const u64 entries = u64{1} << (2 * k);
+    _offsets.assign(entries + 1, 0);
+
+    if (ref.size() < k)
+        return;
+    const u64 kmers = ref.size() - k + 1;
+
+    auto first_key = [&]() {
+        u64 key = 0;
+        for (u32 i = 0; i < k; ++i)
+            key |= static_cast<u64>(ref[i] & 3) << (2 * i);
+        return key;
+    };
+    auto roll = [&](u64 key, u64 next_pos) {
+        return (key >> 2) |
+               (static_cast<u64>(ref[next_pos] & 3) << (2 * (k - 1)));
+    };
+
+    // Pass 1: histogram into offsets[key + 1].
+    u64 key = first_key();
+    for (u64 p = 0; p < kmers; ++p) {
+        ++_offsets[key + 1];
+        if (p + 1 < kmers)
+            key = roll(key, p + k);
+    }
+    for (u64 e = 0; e < entries; ++e)
+        _offsets[e + 1] += _offsets[e];
+
+    // Pass 2: fill in ascending position order so each k-mer's list
+    // is sorted (required for the binary-search fallback).
+    _positions.assign(kmers, 0);
+    std::vector<u32> cursor(_offsets.begin(), _offsets.end() - 1);
+    key = first_key();
+    for (u64 p = 0; p < kmers; ++p) {
+        _positions[cursor[key]++] = static_cast<u32>(p);
+        if (p + 1 < kmers)
+            key = roll(key, p + k);
+    }
+
+    for (u64 e = 0; e < entries; ++e)
+        _maxHits = std::max(_maxHits, _offsets[e + 1] - _offsets[e]);
+}
+
+namespace {
+
+constexpr char kIndexMagic[8] = {'G', 'X', 'I', 'D', 'X', '0', '0', '1'};
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::istream &in, T &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+}
+
+} // namespace
+
+void
+KmerIndex::save(std::ostream &out) const
+{
+    out.write(kIndexMagic, sizeof(kIndexMagic));
+    writePod(out, _k);
+    writePod(out, _segLen);
+    writePod(out, _maxHits);
+    const u64 offsets = _offsets.size();
+    const u64 positions = _positions.size();
+    writePod(out, offsets);
+    writePod(out, positions);
+    out.write(reinterpret_cast<const char *>(_offsets.data()),
+              static_cast<std::streamsize>(offsets * sizeof(u32)));
+    out.write(reinterpret_cast<const char *>(_positions.data()),
+              static_cast<std::streamsize>(positions * sizeof(u32)));
+    if (!out)
+        GENAX_FATAL("k-mer index serialization failed");
+}
+
+KmerIndex
+KmerIndex::load(std::istream &in)
+{
+    char magic[sizeof(kIndexMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in || !std::equal(magic, magic + sizeof(magic), kIndexMagic))
+        GENAX_FATAL("not a GenAx k-mer index file");
+    KmerIndex idx;
+    readPod(in, idx._k);
+    readPod(in, idx._segLen);
+    readPod(in, idx._maxHits);
+    u64 offsets = 0, positions = 0;
+    readPod(in, offsets);
+    readPod(in, positions);
+    if (!in || idx._k < 1 || idx._k > 13 ||
+        offsets != (u64{1} << (2 * idx._k)) + 1) {
+        GENAX_FATAL("corrupt k-mer index header");
+    }
+    idx._offsets.resize(offsets);
+    idx._positions.resize(positions);
+    in.read(reinterpret_cast<char *>(idx._offsets.data()),
+            static_cast<std::streamsize>(offsets * sizeof(u32)));
+    in.read(reinterpret_cast<char *>(idx._positions.data()),
+            static_cast<std::streamsize>(positions * sizeof(u32)));
+    if (!in)
+        GENAX_FATAL("truncated k-mer index file");
+    return idx;
+}
+
+void
+KmerIndex::saveFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        GENAX_FATAL("cannot open for writing: ", path);
+    save(out);
+}
+
+KmerIndex
+KmerIndex::loadFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        GENAX_FATAL("cannot open k-mer index: ", path);
+    return load(in);
+}
+
+u64
+KmerIndex::indexTableBytes() const
+{
+    return (_offsets.size() - 1) * kEntryBytes;
+}
+
+u64
+KmerIndex::positionTableBytes() const
+{
+    return _positions.size() * kEntryBytes;
+}
+
+} // namespace genax

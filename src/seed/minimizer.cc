@@ -1,0 +1,112 @@
+#include "seed/minimizer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+std::vector<Minimizer>
+selectMinimizers(const Seq &s, u32 k, u32 w)
+{
+    GENAX_ASSERT(k >= 1 && k <= 31, "minimizer k out of range");
+    GENAX_ASSERT(w >= 1, "minimizer window must be positive");
+    std::vector<Minimizer> out;
+    if (s.size() < k)
+        return out;
+    const u64 kmers = s.size() - k + 1;
+
+    // Hashed keys of every k-mer (rolling pack).
+    std::vector<u64> hash(kmers);
+    const u64 mask =
+        k == 32 ? ~u64{0} : ((u64{1} << (2 * k)) - 1);
+    u64 key = 0;
+    for (u32 i = 0; i < k; ++i)
+        key |= static_cast<u64>(s[i] & 3) << (2 * i);
+    for (u64 p = 0;; ++p) {
+        hash[p] = minimizerHash(key);
+        if (p + 1 >= kmers)
+            break;
+        key = ((key >> 2) |
+               (static_cast<u64>(s[p + k] & 3) << (2 * (k - 1)))) &
+              mask;
+    }
+
+    // Sliding-window minimum over w consecutive k-mers; report each
+    // selected position once.
+    u64 last_pos = ~u64{0};
+    for (u64 win = 0; win + w <= kmers + 0; ++win) {
+        u64 best = win;
+        for (u64 j = win + 1; j < win + w; ++j) {
+            if (hash[j] < hash[best])
+                best = j;
+        }
+        if (best != last_pos) {
+            out.push_back({hash[best], static_cast<u32>(best)});
+            last_pos = best;
+        }
+    }
+    // Degenerate short sequences (< w k-mers) still select one.
+    if (out.empty() && kmers > 0) {
+        u64 best = 0;
+        for (u64 j = 1; j < kmers; ++j)
+            if (hash[j] < hash[best])
+                best = j;
+        out.push_back({hash[best], static_cast<u32>(best)});
+    }
+    return out;
+}
+
+MinimizerIndex::MinimizerIndex(const Seq &ref, u32 k, u32 w)
+    : _k(k), _w(w), _refLen(ref.size())
+{
+    auto mins = selectMinimizers(ref, k, w);
+    std::sort(mins.begin(), mins.end(),
+              [](const Minimizer &a, const Minimizer &b) {
+                  return a.key != b.key ? a.key < b.key
+                                        : a.pos < b.pos;
+              });
+    _keys.reserve(mins.size());
+    _positions.reserve(mins.size());
+    for (const auto &m : mins) {
+        _keys.push_back(m.key);
+        _positions.push_back(m.pos);
+    }
+}
+
+std::span<const u32>
+MinimizerIndex::lookup(u64 key) const
+{
+    const auto range =
+        std::equal_range(_keys.begin(), _keys.end(), key);
+    const size_t lo = static_cast<size_t>(range.first - _keys.begin());
+    const size_t hi =
+        static_cast<size_t>(range.second - _keys.begin());
+    return {_positions.data() + lo, _positions.data() + hi};
+}
+
+double
+MinimizerIndex::density() const
+{
+    const u64 kmers = _refLen >= _k ? _refLen - _k + 1 : 0;
+    return kmers ? static_cast<double>(_keys.size()) / kmers : 0.0;
+}
+
+std::vector<Smem>
+MinimizerIndex::seed(const Seq &read, u32 max_hits_per_minimizer) const
+{
+    std::vector<Smem> out;
+    for (const auto &m : selectMinimizers(read, _k, _w)) {
+        const auto hits = lookup(m.key);
+        if (hits.empty() || hits.size() > max_hits_per_minimizer)
+            continue;
+        Smem s;
+        s.qryBegin = m.pos;
+        s.qryEnd = m.pos + _k;
+        s.positions.assign(hits.begin(), hits.end());
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace genax

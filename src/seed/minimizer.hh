@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimizer-based seeding (Roberts 2004 / minimap2-style): the
+ * modern sparse alternative to GenAx's dense per-position k-mer
+ * tables.
+ *
+ * In every window of w consecutive k-mers, the one with the smallest
+ * (invertible) hash is selected; two sequences sharing a k-long
+ * exact match in a window are guaranteed to share a minimizer. The
+ * index stores only the selected k-mers — a fraction ~2/(w+1) of all
+ * positions — trading index size against seed density. Included as
+ * an ablation substrate: the GenAx accelerator's segmented dense
+ * tables vs a sparse sketch.
+ */
+
+#ifndef GENAX_SEED_MINIMIZER_HH
+#define GENAX_SEED_MINIMIZER_HH
+
+#include <span>
+#include <vector>
+
+#include "common/dna.hh"
+#include "seed/smem_engine.hh" // for the Smem seed type
+
+namespace genax {
+
+/** One selected minimizer. */
+struct Minimizer
+{
+    u64 key;  //!< hashed k-mer value
+    u32 pos;  //!< start position of the k-mer
+};
+
+/** Invertible 64-bit mixing hash (splitmix64 finalizer). */
+inline u64
+minimizerHash(u64 x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Select the minimizers of a sequence. */
+std::vector<Minimizer> selectMinimizers(const Seq &s, u32 k, u32 w);
+
+/** Sorted minimizer index over a reference. */
+class MinimizerIndex
+{
+  public:
+    /**
+     * @param ref reference sequence
+     * @param k   k-mer length (<= 31)
+     * @param w   window size (in k-mers)
+     */
+    MinimizerIndex(const Seq &ref, u32 k, u32 w);
+
+    /** Reference positions whose minimizer k-mer hashes to `key`. */
+    std::span<const u32> lookup(u64 key) const;
+
+    u32 k() const { return _k; }
+    u32 w() const { return _w; }
+
+    /** Selected fraction of reference positions (~2 / (w+1)). */
+    double density() const;
+
+    /** Index footprint in bytes (sorted key/position pairs). */
+    u64
+    footprintBytes() const
+    {
+        return _keys.size() * (sizeof(u64) + sizeof(u32));
+    }
+
+    /**
+     * Seed a read: its minimizers are looked up and every hit is
+     * reported as a k-long seed (Smem-shaped so the anchor/extension
+     * machinery is reusable).
+     *
+     * @param max_hits_per_minimizer drop ultra-repetitive minimizers
+     */
+    std::vector<Smem> seed(const Seq &read,
+                           u32 max_hits_per_minimizer = 256) const;
+
+  private:
+    u32 _k;
+    u32 _w;
+    u64 _refLen;
+    std::vector<u64> _keys;      //!< sorted
+    std::vector<u32> _positions; //!< parallel to _keys
+};
+
+} // namespace genax
+
+#endif // GENAX_SEED_MINIMIZER_HH

@@ -1,0 +1,219 @@
+#include "seed/smem_engine.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+SmemEngine::SmemEngine(const KmerIndex &index, const SeedingConfig &cfg)
+    : _index(index), _cfg(cfg),
+      _cam(cfg.camSize, cfg.binarySearchFallback)
+{
+}
+
+void
+SmemEngine::resetStats()
+{
+    _stats = {};
+    _cam.resetStats();
+}
+
+std::vector<u32>
+SmemEngine::primeCandidates(std::span<const u32> hits, u32 offset)
+{
+    std::vector<u32> out;
+    out.reserve(hits.size());
+    for (u32 h : hits)
+        if (h >= offset)
+            out.push_back(h - offset);
+    return out;
+}
+
+std::vector<u32>
+SmemEngine::tryExactMatch(const Seq &read)
+{
+    const u32 k = _index.k();
+    const u32 len = static_cast<u32>(read.size());
+
+    // k-mers spanning the whole read: offsets 0, k, 2k, ... plus a
+    // final overlapping k-mer ending at the last base.
+    std::vector<u32> offsets;
+    for (u32 off = 0; off + k <= len; off += k)
+        offsets.push_back(off);
+    if (offsets.back() + k != len)
+        offsets.push_back(len - k);
+
+    struct Lookup
+    {
+        u32 offset;
+        std::span<const u32> hits;
+    };
+    std::vector<Lookup> lookups;
+    lookups.reserve(offsets.size());
+    for (u32 off : offsets) {
+        const auto hits = _index.lookup(_index.packKmer(read, off));
+        ++_stats.indexLookups;
+        if (hits.empty())
+            return {}; // some k-mer absent: cannot be exact
+        lookups.push_back({off, hits});
+    }
+
+    // Start from the smallest hit set, intersect in ascending size.
+    std::sort(lookups.begin(), lookups.end(),
+              [](const Lookup &a, const Lookup &b) {
+                  return a.hits.size() < b.hits.size();
+              });
+    std::vector<u32> cand =
+        primeCandidates(lookups[0].hits, lookups[0].offset);
+    for (size_t i = 1; i < lookups.size() && !cand.empty(); ++i)
+        cand = _cam.intersect(cand, lookups[i].hits, lookups[i].offset);
+    return cand;
+}
+
+std::pair<u32, std::vector<u32>>
+SmemEngine::rmem(const Seq &read, u32 pivot)
+{
+    const u32 k = _index.k();
+    const u32 len = static_cast<u32>(read.size());
+    const u32 max_len = len - pivot; // longest possible RMEM
+
+    const auto first = _index.lookup(
+        _index.packKmer(read, pivot));
+    ++_stats.indexLookups;
+    if (first.empty())
+        return {0, {}};
+
+    std::vector<u32> cand = primeCandidates(first, 0);
+    u32 length = k;
+
+    // Extension by an overlapping or abutting k-mer at read offset
+    // pivot + t certifies length t + k.
+    auto try_extend_hits = [&](u32 t, std::span<const u32> hits) {
+        auto next = _cam.intersect(cand, hits, t);
+        if (next.empty())
+            return false;
+        cand = std::move(next);
+        length = t + k;
+        return true;
+    };
+    auto try_extend = [&](u32 t) {
+        const auto hits = _index.lookup(
+            _index.packKmer(read, pivot + t));
+        ++_stats.indexLookups;
+        return try_extend_hits(t, hits);
+    };
+
+    // Probing optimization: the expensive case is intersecting the
+    // first two k-mers when the second one has a pathological hit
+    // list (poly-A etc.). If the stride-k second k-mer overflows the
+    // CAM, probe lower strides and start from the smallest list.
+    bool probed_failure = false;
+    if (_cfg.probing && length + k <= max_len) {
+        const u32 t0 = length; // the standard stride-k second k-mer
+        auto hits0 = _index.lookup(_index.packKmer(read, pivot + t0));
+        ++_stats.indexLookups;
+        u32 best_t = t0;
+        auto best_hits = hits0;
+        if (hits0.size() > _cfg.probeThreshold) {
+            for (u32 s = k / 2; s >= 1; s /= 2) {
+                const u32 t = length - k + s;
+                const auto hits = _index.lookup(
+                    _index.packKmer(read, pivot + t));
+                ++_stats.indexLookups;
+                if (hits.size() < best_hits.size()) {
+                    best_hits = hits;
+                    best_t = t;
+                }
+                if (s == 1)
+                    break;
+            }
+        }
+        probed_failure = !try_extend_hits(best_t, best_hits);
+    }
+
+    // Phase A: stride by k while the intersection stays non-empty.
+    if (!probed_failure) {
+        bool failed = false;
+        while (length + k <= max_len) {
+            if (!try_extend(length)) {
+                failed = true;
+                break;
+            }
+        }
+        // Boundary: a final overlapping k-mer can certify the whole
+        // remaining read (only sound when it overlaps the certified
+        // prefix, i.e. when phase A ran out of room, not when it
+        // failed mid-read).
+        if (!failed && length < max_len && max_len <= length + k) {
+            if (try_extend(max_len - k))
+                GENAX_ASSERT(length == max_len, "boundary extension");
+        }
+    }
+
+    // Phase B: binary stride refinement of the final extension. The
+    // strides must be powers of two (not k/2, k/4, ... which for
+    // non-power-of-two k cannot compose every remainder: with k = 12
+    // the set {6, 3, 1} has no subset summing to 2), so that any
+    // residual extension in [0, k-1] is reachable.
+    if (_cfg.strideRefinement && k >= 2) {
+        for (u32 s = std::bit_floor(k - 1); s >= 1; s /= 2) {
+            if (length + s <= max_len)
+                try_extend(length + s - k);
+            if (s == 1)
+                break;
+        }
+    }
+    return {length, std::move(cand)};
+}
+
+std::vector<Smem>
+SmemEngine::seed(const Seq &read)
+{
+    const u32 k = _index.k();
+    const u32 len = static_cast<u32>(read.size());
+    ++_stats.reads;
+    if (len < k)
+        return {};
+
+    if (_cfg.exactMatchFastPath) {
+        auto cand = tryExactMatch(read);
+        if (!cand.empty()) {
+            ++_stats.exactMatchReads;
+            ++_stats.smems;
+            _stats.hitsReported += cand.size();
+            Smem smem;
+            smem.qryBegin = 0;
+            smem.qryEnd = len;
+            smem.positions = std::move(cand);
+            _stats.cam += _cam.stats();
+            _cam.resetStats();
+            return {smem};
+        }
+    }
+
+    std::vector<Smem> out;
+    u32 max_end = 0;
+    for (u32 pivot = 0; pivot + k <= len; ++pivot) {
+        auto [length, cand] = rmem(read, pivot);
+        if (length == 0)
+            continue;
+        const u32 end = pivot + length;
+        if (_cfg.smemFilter && end <= max_end)
+            continue; // contained in an earlier SMEM
+        max_end = std::max(max_end, end);
+        ++_stats.smems;
+        _stats.hitsReported += cand.size();
+        Smem smem;
+        smem.qryBegin = pivot;
+        smem.qryEnd = end;
+        smem.positions = std::move(cand);
+        out.push_back(std::move(smem));
+    }
+    _stats.cam += _cam.stats();
+    _cam.resetStats();
+    return out;
+}
+
+} // namespace genax

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SMEM seeding engine (Section V of the GenAx paper).
+ *
+ * For each pivot position in the read the engine computes the right
+ * maximal exact match (RMEM) of length >= k by intersecting
+ * pivot-normalized k-mer hit sets: first striding by k, then binary
+ * stride refinement (k/2, k/4, ..., 1). An RMEM contained in a
+ * previously discovered one is suppressed, so exactly the
+ * super-maximal exact matches (SMEMs) are reported with their
+ * reference hit positions.
+ *
+ * The four accelerator optimizations are independently toggleable so
+ * the Figure 16 ablations can be regenerated:
+ *
+ *  - smemFilter          containment filtering (vs raw hash hits)
+ *  - strideRefinement    the binary extension of match length
+ *  - binarySearchFallback CAM-overflow binary search (via CamModel)
+ *  - probing             choose the second k-mer with the smallest
+ *                        hit set among several strides
+ *  - exactMatchFastPath  whole-read k-mer intersection shortcut
+ */
+
+#ifndef GENAX_SEED_SMEM_ENGINE_HH
+#define GENAX_SEED_SMEM_ENGINE_HH
+
+#include <vector>
+
+#include "common/dna.hh"
+#include "seed/cam.hh"
+#include "seed/kmer_index.hh"
+
+namespace genax {
+
+/** Seeding configuration (accelerator optimization toggles). */
+struct SeedingConfig
+{
+    u32 camSize = 512;
+    bool smemFilter = true;
+    bool strideRefinement = true;
+    bool binarySearchFallback = true;
+    bool probing = true;
+    /** Probe lower strides when the stride-k second k-mer's hit list
+     *  exceeds this size (streaming it through the CAM gets costly
+     *  well before the capacity overflow). */
+    u32 probeThreshold = 64;
+    bool exactMatchFastPath = true;
+};
+
+/** One reported seed: an SMEM and its reference hit positions. */
+struct Smem
+{
+    u32 qryBegin = 0; //!< pivot position in the read
+    u32 qryEnd = 0;   //!< one past the last matched read position
+    /** Segment-local reference positions where read[qryBegin]
+     *  aligns, ascending. */
+    std::vector<u32> positions;
+
+    u32 length() const { return qryEnd - qryBegin; }
+};
+
+/** Per-engine accumulated statistics. */
+struct SeedingStats
+{
+    u64 reads = 0;
+    u64 exactMatchReads = 0;
+    u64 indexLookups = 0;
+    u64 smems = 0;
+    u64 hitsReported = 0;
+    CamStats cam;
+
+    double
+    avgHitsPerRead() const
+    {
+        return reads == 0 ? 0.0
+                          : static_cast<double>(hitsReported) /
+                                static_cast<double>(reads);
+    }
+
+    double
+    camLookupsPerRead() const
+    {
+        return reads == 0 ? 0.0
+                          : static_cast<double>(cam.lookups()) /
+                                static_cast<double>(reads);
+    }
+};
+
+/** Seeding engine bound to one segment's k-mer index. */
+class SmemEngine
+{
+  public:
+    SmemEngine(const KmerIndex &index, const SeedingConfig &cfg);
+
+    /** Compute the SMEM seeds (and hits) of one read. */
+    std::vector<Smem> seed(const Seq &read);
+
+    const SeedingStats &stats() const { return _stats; }
+    void resetStats();
+    const SeedingConfig &config() const { return _cfg; }
+
+  private:
+    /** Normalize a hit list by `offset` into a fresh candidate set. */
+    std::vector<u32> primeCandidates(std::span<const u32> hits,
+                                     u32 offset);
+
+    /**
+     * Right maximal exact match from `pivot`.
+     *
+     * @return matched length L (>= k) and the pivot-normalized hit
+     *         set; L == 0 when even the first k-mer has no hits.
+     */
+    std::pair<u32, std::vector<u32>> rmem(const Seq &read, u32 pivot);
+
+    /** Whole-read exact-match shortcut; empty when not exact. */
+    std::vector<u32> tryExactMatch(const Seq &read);
+
+    const KmerIndex &_index;
+    SeedingConfig _cfg;
+    CamModel _cam;
+    SeedingStats _stats;
+};
+
+} // namespace genax
+
+#endif // GENAX_SEED_SMEM_ENGINE_HH

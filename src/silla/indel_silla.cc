@@ -1,0 +1,84 @@
+#include "silla/indel_silla.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+IndelSilla::IndelSilla(u32 k)
+    : _k(k),
+      _cur((k + 1) * (k + 1), 0),
+      _next((k + 1) * (k + 1), 0)
+{
+}
+
+std::optional<u32>
+IndelSilla::distance(const Seq &r, const Seq &q)
+{
+    const u64 n = r.size(), m = q.size();
+    // Any accepting state satisfies i - d == n - m, so i + d has the
+    // same parity as n + m; distances are bounded below by |n - m|.
+    if (n > m + _k || m > n + _k)
+        return std::nullopt;
+
+    std::fill(_cur.begin(), _cur.end(), 0);
+    _cur[idx(0, 0)] = 1;
+    _lastPeakActive = 1;
+
+    std::optional<u32> best;
+    const u64 max_cycle = std::min(n, m) + _k;
+    u64 c = 0;
+    for (; c <= max_cycle; ++c) {
+        std::fill(_next.begin(), _next.end(), 0);
+        u64 active = 0;
+        bool any = false;
+        for (u32 i = 0; i <= _k; ++i) {
+            for (u32 d = 0; i + d <= _k; ++d) {
+                if (!_cur[idx(i, d)])
+                    continue;
+                ++active;
+                // Acceptance: both strings fully consumed.
+                if (c - i == n && c - d == m) {
+                    const u32 edits = i + d;
+                    if (!best || edits < *best)
+                        best = edits;
+                    continue;
+                }
+                // Prune states that overshot either string; their
+                // stream positions only grow, so they can never
+                // reach the acceptance point.
+                if (c - i > n || c - d > m)
+                    continue;
+                any = true;
+                if (retroCompare(r, q, c, i, d)) {
+                    _next[idx(i, d)] = 1;
+                } else {
+                    if (i + 1 + d <= _k)
+                        _next[idx(i + 1, d)] = 1;
+                    if (i + d + 1 <= _k)
+                        _next[idx(i, d + 1)] = 1;
+                }
+            }
+        }
+        _lastPeakActive = std::max(_lastPeakActive, active);
+        std::swap(_cur, _next);
+        if (!any)
+            break;
+    }
+    _lastCycles = c;
+    return best;
+}
+
+std::optional<u64>
+IndelSilla::lcsLength(const Seq &r, const Seq &q)
+{
+    const auto d = distance(r, q);
+    if (!d)
+        return std::nullopt;
+    // Each non-indel column of an indel-only alignment is a common
+    // character, and there are (|r| + |q| - distance) / 2 of them.
+    return (r.size() + q.size() - *d) / 2;
+}
+
+} // namespace genax

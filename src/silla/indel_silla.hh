@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Indel-only Silla automaton (Section III-A of the GenAx paper).
+ *
+ * States (i, d) with i + d <= K track insertions and deletions only;
+ * a retro-comparison mismatch activates the insertion and deletion
+ * successors (there is no substitution edge). The automaton computes
+ * the minimum indel distance (Levenshtein distance with substitution
+ * disallowed), which equals |R| + |Q| - 2 * LCS(R, Q).
+ */
+
+#ifndef GENAX_SILLA_INDEL_SILLA_HH
+#define GENAX_SILLA_INDEL_SILLA_HH
+
+#include <optional>
+#include <vector>
+
+#include "silla/silla.hh"
+
+namespace genax {
+
+/** Indel-only Silla automaton for a fixed edit bound K. */
+class IndelSilla
+{
+  public:
+    explicit IndelSilla(u32 k);
+
+    /**
+     * Minimum indel distance between r and q, if <= K.
+     * The same automaton instance can process any pair of strings
+     * (string independence).
+     */
+    std::optional<u32> distance(const Seq &r, const Seq &q);
+
+    /**
+     * Longest common subsequence length, if the strings are within
+     * K indels: LCS = (|r| + |q| - indelDistance) / 2. This is the
+     * Section VIII-C observation that Silla extends to other string
+     * problems.
+     */
+    std::optional<u64> lcsLength(const Seq &r, const Seq &q);
+
+    u32 k() const { return _k; }
+    u64 stateCount() const { return SillaStateCount::indel(_k); }
+
+    /** Cycles consumed by the last distance() call. */
+    Cycle lastCycles() const { return _lastCycles; }
+
+    /** Peak number of simultaneously active states in the last run. */
+    u64 lastPeakActive() const { return _lastPeakActive; }
+
+  private:
+    size_t idx(u32 i, u32 d) const { return i * (_k + 1) + d; }
+
+    u32 _k;
+    Cycle _lastCycles = 0;
+    u64 _lastPeakActive = 0;
+
+    /** Active flags, double buffered; indexed by idx(i, d). */
+    std::vector<u8> _cur;
+    std::vector<u8> _next;
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLA_INDEL_SILLA_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared definitions for the Silla automata family.
+ *
+ * Silla (String Independent Local Levenshtein Automaton, Section III
+ * of the GenAx paper) tracks the number and types of edits in its
+ * states instead of pattern positions. A state (i, d) means "i
+ * characters inserted into the query, d characters deleted from the
+ * reference so far". At cycle c the state performs the retro
+ * comparison R[c - i] == Q[c - d]: the streamed character positions
+ * offset by the state's own indel counts.
+ */
+
+#ifndef GENAX_SILLA_SILLA_HH
+#define GENAX_SILLA_SILLA_HH
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/**
+ * Retro comparison for state (i, d) at cycle c (Figure 2a).
+ *
+ * Out-of-range positions compare as mismatching sentinels, which
+ * makes the automaton explore trailing indels naturally.
+ */
+inline bool
+retroCompare(const Seq &r, const Seq &q, u64 cycle, u32 i, u32 d)
+{
+    const u64 pr = cycle - i;
+    const u64 pq = cycle - d;
+    if (pr >= r.size() || pq >= q.size())
+        return false;
+    return r[pr] == q[pq];
+}
+
+/** State-count formulas from the paper, for reporting and tests. */
+struct SillaStateCount
+{
+    /** Indel-only Silla: half square of side K+1 (Section III-A). */
+    static u64
+    indel(u32 k)
+    {
+        return static_cast<u64>(k + 1) * (k + 2) / 2;
+    }
+
+    /** Explicit 3D Silla: K+1 indel layers (Section III-B). */
+    static u64
+    explicit3d(u32 k)
+    {
+        u64 n = 0;
+        for (u32 s = 0; s <= k; ++s) {
+            // Layer s holds indel states with i + d <= K - s.
+            n += static_cast<u64>(k - s + 1) * (k - s + 2) / 2;
+        }
+        return n;
+    }
+
+    /**
+     * Collapsed 3D Silla: two regular layers plus wait states,
+     * 3(K+1)^2/2 in the paper's counting (Section III-C).
+     */
+    static u64
+    collapsed(u32 k)
+    {
+        return 3 * static_cast<u64>(k + 1) * (k + 1) / 2;
+    }
+
+    /** Classic Levenshtein automaton for pattern length n. */
+    static u64
+    levenshtein(u32 k, u64 n)
+    {
+        return (n + 1) * (k + 1);
+    }
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLA_SILLA_HH

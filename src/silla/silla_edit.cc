@@ -1,0 +1,172 @@
+#include "silla/silla_edit.hh"
+
+#include <algorithm>
+
+namespace genax {
+
+SillaEdit::SillaEdit(u32 k)
+    : _k(k)
+{
+    const size_t n = static_cast<size_t>(k + 1) * (k + 1);
+    _cur0.assign(n, 0);
+    _cur1.assign(n, 0);
+    _curW.assign(n, 0);
+    _next0.assign(n, 0);
+    _next1.assign(n, 0);
+    _nextW.assign(n, 0);
+}
+
+std::optional<u32>
+SillaEdit::distance(const Seq &r, const Seq &q)
+{
+    const u64 n = r.size(), m = q.size();
+    _stats = {};
+    if (n > m + _k || m > n + _k)
+        return std::nullopt;
+
+    std::fill(_cur0.begin(), _cur0.end(), 0);
+    std::fill(_cur1.begin(), _cur1.end(), 0);
+    std::fill(_curW.begin(), _curW.end(), 0);
+    _cur0[idx(0, 0)] = 1;
+
+    std::optional<u32> best;
+    const u64 max_cycle = std::min(n, m) + _k;
+    u64 c = 0;
+    for (; c <= max_cycle; ++c) {
+        std::fill(_next0.begin(), _next0.end(), 0);
+        std::fill(_next1.begin(), _next1.end(), 0);
+        std::fill(_nextW.begin(), _nextW.end(), 0);
+        u64 active = 0;
+        bool any = false;
+
+        for (u32 i = 0; i <= _k; ++i) {
+            for (u32 d = 0; i + d <= _k; ++d) {
+                const size_t s = idx(i, d);
+
+                // Wait states fire the merged layer-0 state one
+                // position down the diagonal (the 3D collapse).
+                if (_curW[s]) {
+                    ++active;
+                    any = true;
+                    _next0[idx(i + 1, d + 1)] = 1;
+                }
+
+                for (u32 layer = 0; layer <= 1; ++layer) {
+                    const u8 on = layer == 0 ? _cur0[s] : _cur1[s];
+                    if (!on)
+                        continue;
+                    ++active;
+                    if (c - i == n && c - d == m) {
+                        const u32 edits = i + d + layer;
+                        if (!best || edits < *best)
+                            best = edits;
+                        continue;
+                    }
+                    if (c - i > n || c - d > m)
+                        continue; // overshot: can never accept
+                    any = true;
+                    if (retroCompare(r, q, c, i, d)) {
+                        (layer == 0 ? _next0 : _next1)[s] = 1;
+                        continue;
+                    }
+                    auto &lay = layer == 0 ? _next0 : _next1;
+                    if (i + 1 + d + layer <= _k)
+                        lay[idx(i + 1, d)] = 1; // insertion
+                    if (i + d + 1 + layer <= _k)
+                        lay[idx(i, d + 1)] = 1; // deletion
+                    if (layer == 0) {
+                        if (i + d + 1 <= _k)
+                            _next1[s] = 1; // substitution to layer 1
+                    } else {
+                        // Substitution from layer 1: wait, then merge
+                        // into layer 0 at (i+1, d+1).
+                        if (i + d + 2 <= _k)
+                            _nextW[s] = 1;
+                    }
+                }
+            }
+        }
+        _stats.peakActive = std::max(_stats.peakActive, active);
+        _stats.totalActivations += active;
+        std::swap(_cur0, _next0);
+        std::swap(_cur1, _next1);
+        std::swap(_curW, _nextW);
+        if (best || !any)
+            break;
+    }
+    _stats.cycles = c;
+    return best;
+}
+
+Silla3D::Silla3D(u32 k)
+    : _k(k)
+{
+    const size_t n =
+        static_cast<size_t>(k + 1) * (k + 1) * (k + 1);
+    _cur.assign(n, 0);
+    _next.assign(n, 0);
+}
+
+std::optional<u32>
+Silla3D::distance(const Seq &r, const Seq &q)
+{
+    const u64 n = r.size(), m = q.size();
+    _stats = {};
+    if (n > m + _k || m > n + _k)
+        return std::nullopt;
+
+    std::fill(_cur.begin(), _cur.end(), 0);
+    _cur[idx(0, 0, 0)] = 1;
+
+    std::optional<u32> best;
+    const u64 max_cycle = std::min(n, m) + _k;
+    u64 c = 0;
+    for (; c <= max_cycle; ++c) {
+        std::fill(_next.begin(), _next.end(), 0);
+        u64 active = 0;
+        bool any = false;
+        for (u32 s = 0; s <= _k; ++s) {
+            for (u32 i = 0; i + s <= _k; ++i) {
+                for (u32 d = 0; i + d + s <= _k; ++d) {
+                    if (!_cur[idx(i, d, s)])
+                        continue;
+                    ++active;
+                    if (c - i == n && c - d == m) {
+                        const u32 edits = i + d + s;
+                        if (!best || edits < *best)
+                            best = edits;
+                        continue;
+                    }
+                    if (c - i > n || c - d > m)
+                        continue;
+                    any = true;
+                    if (retroCompare(r, q, c, i, d)) {
+                        _next[idx(i, d, s)] = 1;
+                        continue;
+                    }
+                    if (i + 1 + d + s <= _k)
+                        _next[idx(i + 1, d, s)] = 1;
+                    if (i + d + 1 + s <= _k)
+                        _next[idx(i, d + 1, s)] = 1;
+                    if (i + d + s + 1 <= _k)
+                        _next[idx(i, d, s + 1)] = 1;
+                }
+            }
+        }
+        _stats.peakActive = std::max(_stats.peakActive, active);
+        _stats.totalActivations += active;
+        std::swap(_cur, _next);
+        // Unlike the collapsed design (whose per-cycle edit totals
+        // are monotone because the layer index is at most 1), the 3D
+        // automaton can accept with FEWER total edits at a LATER
+        // cycle: a substitution (s+1) replaces an insertion+deletion
+        // pair (i+1, d+1) that would have finished one cycle
+        // earlier. Run until no state is active.
+        if (!any)
+            break;
+    }
+    _stats.cycles = c;
+    return best;
+}
+
+} // namespace genax

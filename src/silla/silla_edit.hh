@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Silla edit machines supporting insertions, deletions and
+ * substitutions (Sections III-B and III-C of the GenAx paper).
+ *
+ * Two functionally equivalent variants are provided:
+ *
+ *  Silla3D      — the explicit construction with K+1 substitution
+ *                 layers, O(K^3) states (Section III-B).
+ *  SillaEdit    — the collapsed design: two regular layers plus wait
+ *                 states, 3(K+1)^2/2 states (Section III-C). A
+ *                 substitution from layer 1 passes through a wait
+ *                 state and merges into layer 0 at (i+1, d+1) one
+ *                 cycle later, preserving both the edit count
+ *                 (i + d + layer) and the relative indel offset.
+ *
+ * Both compute min edit distance if <= K; their equivalence is the
+ * paper's collapse argument and is property-tested.
+ */
+
+#ifndef GENAX_SILLA_SILLA_EDIT_HH
+#define GENAX_SILLA_SILLA_EDIT_HH
+
+#include <optional>
+#include <vector>
+
+#include "silla/silla.hh"
+
+namespace genax {
+
+/** Statistics from one automaton run. */
+struct SillaRunStats
+{
+    Cycle cycles = 0;       //!< cycles consumed
+    u64 peakActive = 0;     //!< peak simultaneously-active states
+    u64 totalActivations = 0; //!< sum of active states over cycles
+};
+
+/** Collapsed 3D Silla (the production design). */
+class SillaEdit
+{
+  public:
+    explicit SillaEdit(u32 k);
+
+    /** Min edit distance between r and q if <= K, else nullopt. */
+    std::optional<u32> distance(const Seq &r, const Seq &q);
+
+    u32 k() const { return _k; }
+    u64 stateCount() const { return SillaStateCount::collapsed(_k); }
+    const SillaRunStats &lastStats() const { return _stats; }
+
+  private:
+    size_t idx(u32 i, u32 d) const { return i * (_k + 1) + d; }
+
+    u32 _k;
+    SillaRunStats _stats;
+
+    // Per-(i,d) activation flags for layer 0, layer 1 and the wait
+    // state, double buffered.
+    std::vector<u8> _cur0, _cur1, _curW;
+    std::vector<u8> _next0, _next1, _nextW;
+};
+
+/** Explicit 3D Silla (the strawman the collapse removes). */
+class Silla3D
+{
+  public:
+    explicit Silla3D(u32 k);
+
+    /** Min edit distance between r and q if <= K, else nullopt. */
+    std::optional<u32> distance(const Seq &r, const Seq &q);
+
+    u32 k() const { return _k; }
+    u64 stateCount() const { return SillaStateCount::explicit3d(_k); }
+    const SillaRunStats &lastStats() const { return _stats; }
+
+  private:
+    size_t idx(u32 i, u32 d, u32 s) const
+    {
+        return (static_cast<size_t>(s) * (_k + 1) + i) * (_k + 1) + d;
+    }
+
+    u32 _k;
+    SillaRunStats _stats;
+    std::vector<u8> _cur, _next;
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLA_SILLA_EDIT_HH

@@ -1,0 +1,127 @@
+#include "silla/silla_score.hh"
+
+#include <algorithm>
+
+namespace genax {
+
+namespace {
+
+constexpr i32 kNegInf = INT32_MIN / 4;
+
+} // namespace
+
+SillaScore::SillaScore(u32 k, const Scoring &sc)
+    : _k(k), _sc(sc)
+{
+    const size_t n = static_cast<size_t>(k + 1) * (k + 1);
+    _hCur.assign(n, kNegInf);
+    _hNext.assign(n, kNegInf);
+    _eCur.assign(n, kNegInf);
+    _eNext.assign(n, kNegInf);
+    _fCur.assign(n, kNegInf);
+    _fNext.assign(n, kNegInf);
+}
+
+SillaScoreResult
+SillaScore::run(const Seq &r, const Seq &q)
+{
+    const u64 n = r.size(), m = q.size();
+
+    std::fill(_hCur.begin(), _hCur.end(), kNegInf);
+    std::fill(_eCur.begin(), _eCur.end(), kNegInf);
+    std::fill(_fCur.begin(), _fCur.end(), kNegInf);
+
+    SillaScoreResult res;
+    res.best = 0; // the empty extension (full clip) is always available
+    res.refEnd = 0;
+    res.qryEnd = 0;
+    u64 best_rq = 0, best_r = 0;
+    bool have_best = false;
+
+    auto consider = [&](i32 score, u32 i, u32 d, u64 cell_r, u64 cell_q,
+                        Cycle c) {
+        if (score < res.best)
+            return;
+        const u64 rq = cell_r + cell_q;
+        if (score > res.best || !have_best || rq < best_rq ||
+            (rq == best_rq && cell_r < best_r)) {
+            res.best = score;
+            res.winnerI = i;
+            res.winnerD = d;
+            res.bestCycle = c;
+            res.refEnd = cell_r;
+            res.qryEnd = cell_q;
+            best_rq = rq;
+            best_r = cell_r;
+            have_best = true;
+        }
+    };
+    consider(0, 0, 0, 0, 0, 0);
+
+    const u64 max_cycle = std::min(n, m) + _k;
+    for (u64 c = 0; c <= max_cycle; ++c) {
+        std::fill(_hNext.begin(), _hNext.end(), kNegInf);
+        std::fill(_eNext.begin(), _eNext.end(), kNegInf);
+        std::fill(_fNext.begin(), _fNext.end(), kNegInf);
+
+        for (u32 i = 0; i <= _k; ++i) {
+            if (c < i)
+                break;
+            const u64 cell_r = c - i;
+            if (cell_r > n)
+                continue;
+            for (u32 d = 0; d <= _k; ++d) {
+                if (c < d)
+                    break;
+                const u64 cell_q = c - d;
+                if (cell_q > m)
+                    continue;
+
+                // E: open or extend an insertion run arriving from
+                // PE (i-1, d), one cycle delayed (delayed merging).
+                i32 e = kNegInf;
+                if (i >= 1 && cell_q >= 1) {
+                    const size_t src = idx(i - 1, d);
+                    if (_hCur[src] != kNegInf)
+                        e = _hCur[src] - _sc.gapOpen - _sc.gapExtend;
+                    if (_eCur[src] != kNegInf)
+                        e = std::max(e, _eCur[src] - _sc.gapExtend);
+                }
+
+                // F: open or extend a deletion run from PE (i, d-1).
+                i32 f = kNegInf;
+                if (d >= 1 && cell_r >= 1) {
+                    const size_t src = idx(i, d - 1);
+                    if (_hCur[src] != kNegInf)
+                        f = _hCur[src] - _sc.gapOpen - _sc.gapExtend;
+                    if (_fCur[src] != kNegInf)
+                        f = std::max(f, _fCur[src] - _sc.gapExtend);
+                }
+
+                // Closed path continues diagonally within this PE.
+                i32 diag = kNegInf;
+                const size_t self = idx(i, d);
+                if (cell_r >= 1 && cell_q >= 1 && _hCur[self] != kNegInf)
+                    diag = _hCur[self] +
+                           _sc.sub(r[cell_r - 1], q[cell_q - 1]);
+
+                i32 h = std::max({diag, e, f});
+                if (c == 0 && i == 0 && d == 0)
+                    h = 0; // anchor: only PE (0,0) holds cell (0,0)
+
+                _eNext[self] = e;
+                _fNext[self] = f;
+                _hNext[self] = h;
+                if (h != kNegInf)
+                    consider(h, i, d, cell_r, cell_q, c);
+            }
+        }
+        std::swap(_hCur, _hNext);
+        std::swap(_eCur, _eNext);
+        std::swap(_fCur, _fNext);
+    }
+    res.streamCycles = max_cycle + 1;
+    return res;
+}
+
+} // namespace genax

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Silla scoring machine (Section IV-B of the GenAx paper).
+ *
+ * Each PE (i, d) — "i inserted characters, d deleted characters so
+ * far" — processes one DP cell per cycle: at cycle c it holds the
+ * best affine-gap score of any extension path ending at cell
+ * (r, q) = (c - i, c - d) that used exactly i insertions and d
+ * deletions. Three registers implement the paper's delayed merging:
+ *
+ *   H — best closed path (last column was a match/substitution, or a
+ *       gap that has just been merged in),
+ *   E — best still-open insertion path (latched, merged next cycle),
+ *   F — best still-open deletion path.
+ *
+ * H continues diagonally inside the same PE (this is why the
+ * substitution layers of the edit machine disappear here); E arrives
+ * from PE (i-1, d) and F from PE (i, d-1), both one cycle delayed —
+ * exactly the local-neighbour communication of Figure 7.
+ *
+ * Clipping: every PE tracks the best H it has ever held; after the
+ * streaming phase the maxima are reduced (modelled here directly,
+ * costed as K back-propagation cycles in the SillaX timing model).
+ *
+ * The result equals banded Gotoh extension alignment restricted to
+ * paths with at most K insertions and K deletions, and is verified
+ * against gotohBanded in the tests.
+ */
+
+#ifndef GENAX_SILLA_SILLA_SCORE_HH
+#define GENAX_SILLA_SILLA_SCORE_HH
+
+#include <vector>
+
+#include "align/scoring.hh"
+#include "silla/silla.hh"
+
+namespace genax {
+
+/** Result of one scoring-machine run. */
+struct SillaScoreResult
+{
+    i32 best = 0;       //!< clipped best score (>= 0; 0 = full clip)
+    u32 winnerI = 0;    //!< insertions of the winning PE
+    u32 winnerD = 0;    //!< deletions of the winning PE
+    Cycle bestCycle = 0; //!< cycle at which the winner saw its best
+    u64 refEnd = 0;     //!< reference characters consumed by the best path
+    u64 qryEnd = 0;     //!< query characters consumed by the best path
+    Cycle streamCycles = 0; //!< phase-1 cycles (N-proportional)
+};
+
+/** The Silla scoring machine for a fixed K and scoring scheme. */
+class SillaScore
+{
+  public:
+    SillaScore(u32 k, const Scoring &sc);
+
+    /**
+     * Compute the clipped best extension score of query q against
+     * reference r, both anchored at position 0.
+     */
+    SillaScoreResult run(const Seq &r, const Seq &q);
+
+    u32 k() const { return _k; }
+    const Scoring &scoring() const { return _sc; }
+
+    /** PE count of the scoring grid: the full (K+1)^2 square. */
+    u64 peCount() const { return static_cast<u64>(_k + 1) * (_k + 1); }
+
+  private:
+    size_t idx(u32 i, u32 d) const { return i * (_k + 1) + d; }
+
+    u32 _k;
+    Scoring _sc;
+
+    // Double-buffered per-PE registers.
+    std::vector<i32> _hCur, _hNext;
+    std::vector<i32> _eCur, _eNext;
+    std::vector<i32> _fCur, _fNext;
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLA_SILLA_SCORE_HH

@@ -1,0 +1,291 @@
+#include "silla/silla_traceback.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+namespace {
+
+constexpr i32 kNegInf = INT32_MIN / 4;
+
+/** How the closed (H) path entered a PE. */
+enum class AdoptSrc : u8
+{
+    Anchor,
+    Ins,
+    Del,
+};
+
+/**
+ * One pointer-trail record: latched by a PE whenever its closed path
+ * changes identity (an E/F value beats the diagonal continuation).
+ *
+ * Hardware realization: the 2-bit traceback pointer plus the gap
+ * run-length counter that rides along the E/F lanes (log2(K) bits),
+ * latched together — so a multi-character gap is traced in one hop
+ * without consulting the volatile gap lanes at collection time. This
+ * mirrors the paper's match-count compression applied to gap runs.
+ */
+struct Adoption
+{
+    Cycle cycle;
+    AdoptSrc src;
+    u32 gapLen; // characters in the adopted gap run (0 for anchor)
+};
+
+} // namespace
+
+SillaTraceback::SillaTraceback(u32 k, const Scoring &sc)
+    : _k(k), _sc(sc)
+{
+    const size_t n = peCount();
+    _hCur.assign(n, kNegInf);
+    _hNext.assign(n, kNegInf);
+    _eCur.assign(n, kNegInf);
+    _eNext.assign(n, kNegInf);
+    _fCur.assign(n, kNegInf);
+    _fNext.assign(n, kNegInf);
+}
+
+SillaAlignment
+SillaTraceback::align(const Seq &r, const Seq &q)
+{
+    const u64 n = r.size(), m = q.size();
+    const u64 max_cycle = std::min(n, m) + _k;
+
+    std::fill(_hCur.begin(), _hCur.end(), kNegInf);
+    std::fill(_eCur.begin(), _eCur.end(), kNegInf);
+    std::fill(_fCur.begin(), _fCur.end(), kNegInf);
+
+    // Gap run-length counters riding along the E/F lanes.
+    std::vector<u32> eRunCur(peCount(), 0), eRunNext(peCount(), 0);
+    std::vector<u32> fRunCur(peCount(), 0), fRunNext(peCount(), 0);
+
+    // Pointer-trail records per PE, in adoption (cycle) order.
+    std::vector<std::vector<Adoption>> recs(peCount());
+
+    SillaAlignment res;
+    res.score = 0;
+    u64 best_rq = 0, best_r = 0;
+    u32 win_i = 0, win_d = 0;
+    Cycle best_cycle = 0;
+    bool have_best = false;
+
+    auto consider = [&](i32 score, u32 i, u32 d, u64 cell_r, u64 cell_q,
+                        Cycle c) {
+        if (score < res.score)
+            return;
+        const u64 rq = cell_r + cell_q;
+        if (score > res.score || !have_best || rq < best_rq ||
+            (rq == best_rq && cell_r < best_r)) {
+            res.score = score;
+            win_i = i;
+            win_d = d;
+            best_cycle = c;
+            res.refEnd = cell_r;
+            res.qryEnd = cell_q;
+            best_rq = rq;
+            best_r = cell_r;
+            have_best = true;
+        }
+    };
+
+    // --------------------------------------------- Phase 1: streaming
+    for (u64 c = 0; c <= max_cycle; ++c) {
+        std::fill(_hNext.begin(), _hNext.end(), kNegInf);
+        std::fill(_eNext.begin(), _eNext.end(), kNegInf);
+        std::fill(_fNext.begin(), _fNext.end(), kNegInf);
+
+        for (u32 i = 0; i <= _k && i <= c; ++i) {
+            const u64 cell_r = c - i;
+            if (cell_r > n)
+                continue;
+            for (u32 d = 0; d <= _k && d <= c; ++d) {
+                const u64 cell_q = c - d;
+                if (cell_q > m)
+                    continue;
+                const size_t self = idx(i, d);
+
+                i32 e = kNegInf;
+                u32 e_run = 0;
+                if (i >= 1 && cell_q >= 1) {
+                    const size_t src = idx(i - 1, d);
+                    i32 open = kNegInf, ext = kNegInf;
+                    if (_hCur[src] != kNegInf)
+                        open = _hCur[src] - _sc.gapOpen - _sc.gapExtend;
+                    if (_eCur[src] != kNegInf)
+                        ext = _eCur[src] - _sc.gapExtend;
+                    if (ext > open) { // open preferred on ties
+                        e = ext;
+                        e_run = eRunCur[src] + 1;
+                    } else if (open != kNegInf) {
+                        e = open;
+                        e_run = 1;
+                    }
+                }
+
+                i32 f = kNegInf;
+                u32 f_run = 0;
+                if (d >= 1 && cell_r >= 1) {
+                    const size_t src = idx(i, d - 1);
+                    i32 open = kNegInf, ext = kNegInf;
+                    if (_hCur[src] != kNegInf)
+                        open = _hCur[src] - _sc.gapOpen - _sc.gapExtend;
+                    if (_fCur[src] != kNegInf)
+                        ext = _fCur[src] - _sc.gapExtend;
+                    if (ext > open) {
+                        f = ext;
+                        f_run = fRunCur[src] + 1;
+                    } else if (open != kNegInf) {
+                        f = open;
+                        f_run = 1;
+                    }
+                }
+
+                i32 diag = kNegInf;
+                if (cell_r >= 1 && cell_q >= 1 && _hCur[self] != kNegInf)
+                    diag = _hCur[self] +
+                           _sc.sub(r[cell_r - 1], q[cell_q - 1]);
+
+                i32 h;
+                if (c == 0 && i == 0 && d == 0) {
+                    h = 0;
+                    recs[self].push_back({c, AdoptSrc::Anchor, 0});
+                } else {
+                    // Precedence on ties: diagonal continuation, then
+                    // insertion, then deletion (one adoption max).
+                    h = diag;
+                    AdoptSrc src = AdoptSrc::Anchor;
+                    u32 run = 0;
+                    bool adopted = false;
+                    if (e > h) {
+                        h = e;
+                        src = AdoptSrc::Ins;
+                        run = e_run;
+                        adopted = true;
+                    }
+                    if (f > h) {
+                        h = f;
+                        src = AdoptSrc::Del;
+                        run = f_run;
+                        adopted = true;
+                    }
+                    if (adopted)
+                        recs[self].push_back({c, src, run});
+                }
+
+                _eNext[self] = e;
+                _fNext[self] = f;
+                eRunNext[self] = e_run;
+                fRunNext[self] = f_run;
+                _hNext[self] = h;
+                if (h != kNegInf)
+                    consider(h, i, d, cell_r, cell_q, c);
+            }
+        }
+        std::swap(_hCur, _hNext);
+        std::swap(_eCur, _eNext);
+        std::swap(_fCur, _fNext);
+        std::swap(eRunCur, eRunNext);
+        std::swap(fRunCur, fRunNext);
+    }
+    res.stats.streamCycles = max_cycle + 1;
+    // Phases 2-4: best-score back-propagation, winner announcement,
+    // path flagging — each sweeps the K-deep grid.
+    res.stats.reduceCycles = 3 * _k;
+
+    // ------------------------------------------- Phase 5: collection
+    if (!have_best || res.score <= 0) {
+        res.score = 0;
+        res.refEnd = 0;
+        res.qryEnd = 0;
+        if (m > 0)
+            res.cigar.push(CigarOp::SoftClip, static_cast<u32>(m));
+        return res;
+    }
+
+    // The hardware registers reflect the machine state as of
+    // machine_time. Consulting a PE whose pointer record was
+    // overwritten after the cycle we need is a broken pointer trail:
+    // re-execute phase 1 truncated to that cycle (Section IV-C).
+    Cycle machine_time = max_cycle;
+    bool first_segment = true;
+    u64 path_pes = 0;
+
+    auto rerun_to = [&](Cycle t) {
+        ++res.stats.reruns;
+        res.stats.rerunCycles += t + 1;
+        machine_time = t;
+    };
+
+    // Last adoption of the PE at cycle <= t (the register view after
+    // any necessary re-run).
+    auto record_at = [&](size_t pe, Cycle t) -> const Adoption & {
+        const auto &v = recs[pe];
+        GENAX_ASSERT(!v.empty(), "traceback into PE with no records");
+        auto it = std::upper_bound(
+            v.begin(), v.end(), t,
+            [](Cycle c, const Adoption &a) { return c < a.cycle; });
+        GENAX_ASSERT(it != v.begin(), "no adoption at or before cycle ", t);
+        return *(it - 1);
+    };
+    auto adopted_in = [&](size_t pe, Cycle lo_excl, Cycle hi_incl) {
+        const auto &v = recs[pe];
+        auto it = std::upper_bound(
+            v.begin(), v.end(), lo_excl,
+            [](Cycle c, const Adoption &a) { return c < a.cycle; });
+        return it != v.end() && it->cycle <= hi_incl;
+    };
+
+    Cigar rev; // built back-to-front
+    u32 pi = win_i, pd = win_d;
+    Cycle t = best_cycle;
+    for (;;) {
+        const size_t pe = idx(pi, pd);
+        if (!first_segment && adopted_in(pe, t, machine_time))
+            rerun_to(t);
+        first_segment = false;
+        ++path_pes;
+
+        const Adoption &rec = record_at(pe, t);
+        // Diagonal (match/substitution) run back to the adoption,
+        // re-expanded from the strings (match-count compression).
+        for (Cycle c = t; c > rec.cycle; --c) {
+            const u64 cell_r = c - pi, cell_q = c - pd;
+            GENAX_ASSERT(cell_r >= 1 && cell_q >= 1,
+                         "diagonal step at matrix edge");
+            rev.push(r[cell_r - 1] == q[cell_q - 1] ? CigarOp::Match
+                                                    : CigarOp::Mismatch);
+        }
+
+        if (rec.src == AdoptSrc::Anchor) {
+            GENAX_ASSERT(rec.cycle == pi && rec.cycle == pd,
+                         "anchor reached off the origin cell");
+            break;
+        }
+        GENAX_ASSERT(rec.gapLen >= 1, "edit adoption without a gap run");
+        if (rec.src == AdoptSrc::Ins) {
+            GENAX_ASSERT(pi >= rec.gapLen, "Ins run exceeds grid");
+            rev.push(CigarOp::Ins, rec.gapLen);
+            pi -= rec.gapLen;
+        } else {
+            GENAX_ASSERT(pd >= rec.gapLen, "Del run exceeds grid");
+            rev.push(CigarOp::Del, rec.gapLen);
+            pd -= rec.gapLen;
+        }
+        GENAX_ASSERT(rec.cycle >= rec.gapLen, "gap run precedes cycle 0");
+        t = rec.cycle - rec.gapLen;
+    }
+
+    rev.reverse();
+    res.cigar = std::move(rev);
+    if (res.qryEnd < m)
+        res.cigar.push(CigarOp::SoftClip,
+                       static_cast<u32>(m - res.qryEnd));
+    res.stats.collectCycles = path_pes + _k;
+    return res;
+}
+
+} // namespace genax

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Silla traceback machine (Section IV-C of the GenAx paper).
+ *
+ * Extends the scoring machine with per-PE path records so the exact
+ * sequence of edits of the winning extension can be recovered:
+ *
+ *  - Each PE records how its current closed (H) path last entered it
+ *    (the 2-bit traceback pointer: anchor / insertion / deletion),
+ *    when, and the length of the adopted gap run (a counter riding
+ *    the E/F lanes, latched with the pointer). Diagonal
+ *    match/substitution steps within a PE are run-length compressed
+ *    ("count of matches") and re-expanded from the strings during
+ *    collection.
+ *
+ * The hardware keeps only the registers' latest values; a pointer
+ * trail is "broken" when a greedy PE overwrote its record after the
+ * winning path left it. The machine then re-executes the streaming
+ * phase truncated to the cycle the winning path left that PE and
+ * resumes collection (Section IV-C). This model replays that
+ * protocol — walking the path off per-PE adoption records while
+ * tracking the machine-time the hardware registers would reflect —
+ * and reports the re-execution counts and cycle costs that Figure 13
+ * plots.
+ */
+
+#ifndef GENAX_SILLA_SILLA_TRACEBACK_HH
+#define GENAX_SILLA_SILLA_TRACEBACK_HH
+
+#include <vector>
+
+#include "align/cigar.hh"
+#include "align/scoring.hh"
+#include "silla/silla.hh"
+
+namespace genax {
+
+/** Timing/behaviour statistics for one traceback run. */
+struct SillaTraceStats
+{
+    Cycle streamCycles = 0;  //!< phase 1 (string streaming)
+    Cycle reduceCycles = 0;  //!< phases 2-4 (K cycles each)
+    Cycle collectCycles = 0; //!< phase 5 (trace shift-out)
+    u32 reruns = 0;          //!< broken-pointer-trail re-executions
+    Cycle rerunCycles = 0;   //!< cycles spent re-executing phase 1
+
+    Cycle
+    total() const
+    {
+        return streamCycles + reduceCycles + collectCycles + rerunCycles;
+    }
+};
+
+/** Full alignment result from the traceback machine. */
+struct SillaAlignment
+{
+    i32 score = 0;
+    u64 refEnd = 0;  //!< reference characters consumed
+    u64 qryEnd = 0;  //!< query characters consumed (rest soft-clipped)
+    Cigar cigar;     //!< includes the trailing soft clip
+    SillaTraceStats stats;
+};
+
+/** The Silla traceback machine for a fixed K and scoring scheme. */
+class SillaTraceback
+{
+  public:
+    SillaTraceback(u32 k, const Scoring &sc);
+
+    /**
+     * Align query q against reference r (both anchored at 0) and
+     * recover the winning path.
+     */
+    SillaAlignment align(const Seq &r, const Seq &q);
+
+    u32 k() const { return _k; }
+    u64 peCount() const { return static_cast<u64>(_k + 1) * (_k + 1); }
+
+  private:
+    size_t idx(u32 i, u32 d) const { return i * (_k + 1) + d; }
+
+    u32 _k;
+    Scoring _sc;
+
+    std::vector<i32> _hCur, _hNext, _eCur, _eNext, _fCur, _fNext;
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLA_SILLA_TRACEBACK_HH

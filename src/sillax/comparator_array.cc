@@ -1,0 +1,59 @@
+#include "sillax/comparator_array.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+ComparatorArray::ComparatorArray(u32 k)
+    : _k(k),
+      _rShift(k + 1, kPadR),
+      _qShift(k + 1, kPadQ),
+      _cmp(static_cast<size_t>(k + 1) * (k + 1), 0),
+      _cmpNext(static_cast<size_t>(k + 1) * (k + 1), 0)
+{
+}
+
+void
+ComparatorArray::reset()
+{
+    std::fill(_rShift.begin(), _rShift.end(), kPadR);
+    std::fill(_qShift.begin(), _qShift.end(), kPadQ);
+    std::fill(_cmp.begin(), _cmp.end(), 0);
+}
+
+void
+ComparatorArray::step(u8 r_sym, u8 q_sym)
+{
+    // Shift in the new symbols: after this, _rShift[i] == R[c - i]
+    // (pad when out of range), likewise for the query.
+    std::rotate(_rShift.rbegin(), _rShift.rbegin() + 1, _rShift.rend());
+    _rShift[0] = r_sym;
+    std::rotate(_qShift.rbegin(), _qShift.rbegin() + 1, _qShift.rend());
+    _qShift[0] = q_sym;
+
+    // Pads never match anything, including each other.
+    auto eq = [](u8 a, u8 b) {
+        return a == b && a != kPadR && a != kPadQ;
+    };
+
+    // Periphery: 2K+1 comparators ((i, 0) row, (0, d) column, with
+    // (0, 0) shared). Interior: diagonal shift of last cycle's latches.
+    for (u32 i = 0; i <= _k; ++i) {
+        for (u32 d = 0; d <= _k; ++d) {
+            u8 v;
+            if (i == 0) {
+                v = eq(_rShift[0], _qShift[d]);
+            } else if (d == 0) {
+                v = eq(_rShift[i], _qShift[0]);
+            } else {
+                v = _cmp[(i - 1) * (_k + 1) + (d - 1)];
+            }
+            _cmpNext[i * (_k + 1) + d] = v;
+        }
+    }
+    std::swap(_cmp, _cmpNext);
+}
+
+} // namespace genax

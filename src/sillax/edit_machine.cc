@@ -1,0 +1,102 @@
+#include "sillax/edit_machine.hh"
+
+#include <algorithm>
+
+namespace genax {
+
+StructuralEditMachine::StructuralEditMachine(u32 k)
+    : _k(k), _cmps(k)
+{
+    const size_t n = static_cast<size_t>(k + 1) * (k + 1);
+    _cur0.assign(n, 0);
+    _cur1.assign(n, 0);
+    _curW.assign(n, 0);
+    _next0.assign(n, 0);
+    _next1.assign(n, 0);
+    _nextW.assign(n, 0);
+}
+
+std::optional<u32>
+StructuralEditMachine::distance(const Seq &r, const Seq &q)
+{
+    const u64 n = r.size(), m = q.size();
+    _stats = {};
+    if (n > m + _k || m > n + _k)
+        return std::nullopt;
+
+    _cmps.reset();
+    std::fill(_cur0.begin(), _cur0.end(), 0);
+    std::fill(_cur1.begin(), _cur1.end(), 0);
+    std::fill(_curW.begin(), _curW.end(), 0);
+    _cur0[idx(0, 0)] = 1;
+
+    std::optional<u32> best;
+    const u64 max_cycle = std::min(n, m) + _k;
+    u64 c = 0;
+    for (; c <= max_cycle; ++c) {
+        // Stream the cycle's characters into the comparator array
+        // (pad symbols past the string ends).
+        _cmps.step(c < n ? r[c] : ComparatorArray::kPadR,
+                   c < m ? q[c] : ComparatorArray::kPadQ);
+
+        std::fill(_next0.begin(), _next0.end(), 0);
+        std::fill(_next1.begin(), _next1.end(), 0);
+        std::fill(_nextW.begin(), _nextW.end(), 0);
+        u64 active = 0;
+        bool any = false;
+
+        for (u32 i = 0; i <= _k; ++i) {
+            for (u32 d = 0; i + d <= _k; ++d) {
+                const size_t s = idx(i, d);
+                if (_curW[s]) {
+                    ++active;
+                    any = true;
+                    _next0[idx(i + 1, d + 1)] = 1;
+                }
+                for (u32 layer = 0; layer <= 1; ++layer) {
+                    const u8 on = layer == 0 ? _cur0[s] : _cur1[s];
+                    if (!on)
+                        continue;
+                    ++active;
+                    if (c - i == n && c - d == m) {
+                        const u32 edits = i + d + layer;
+                        if (!best || edits < *best)
+                            best = edits;
+                        continue;
+                    }
+                    if (c - i > n || c - d > m)
+                        continue;
+                    any = true;
+                    // The latched systolic comparison, not a direct
+                    // string lookup.
+                    if (_cmps.compare(i, d)) {
+                        (layer == 0 ? _next0 : _next1)[s] = 1;
+                        continue;
+                    }
+                    auto &lay = layer == 0 ? _next0 : _next1;
+                    if (i + 1 + d + layer <= _k)
+                        lay[idx(i + 1, d)] = 1;
+                    if (i + d + 1 + layer <= _k)
+                        lay[idx(i, d + 1)] = 1;
+                    if (layer == 0) {
+                        if (i + d + 1 <= _k)
+                            _next1[s] = 1;
+                    } else if (i + d + 2 <= _k) {
+                        _nextW[s] = 1;
+                    }
+                }
+            }
+        }
+        _stats.peakActive = std::max(_stats.peakActive, active);
+        _stats.totalActivations += active;
+        std::swap(_cur0, _next0);
+        std::swap(_cur1, _next1);
+        std::swap(_curW, _nextW);
+        if (best || !any)
+            break;
+    }
+    _stats.cycles = c;
+    return best;
+}
+
+} // namespace genax

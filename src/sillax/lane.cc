@@ -1,0 +1,24 @@
+#include "sillax/lane.hh"
+
+namespace genax {
+
+SillaXLane::SillaXLane(u32 k, const Scoring &sc, double f_ghz)
+    : _machine(k, sc), _fGhz(f_ghz)
+{
+}
+
+SillaAlignment
+SillaXLane::extend(const Seq &ref_window, const Seq &read)
+{
+    SillaAlignment out = _machine.align(ref_window, read);
+    ++_stats.jobs;
+    _stats.streamCycles += out.stats.streamCycles;
+    _stats.reduceCycles += out.stats.reduceCycles;
+    _stats.collectCycles += out.stats.collectCycles;
+    _stats.rerunCycles += out.stats.rerunCycles;
+    _stats.reruns += out.stats.reruns;
+    _stats.jobsWithRerun += out.stats.reruns > 0;
+    return out;
+}
+
+} // namespace genax

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A SillaX lane: one traceback machine plus the cycle/energy
+ * accounting used by the GenAx system model (Section VI).
+ *
+ * A lane receives seed-extension jobs — a reference window fetched
+ * from the reference cache and a read — and runs the full traceback
+ * machine on each, accumulating the cycle breakdown (streaming,
+ * reduction phases, trace collection, broken-trail re-executions) so
+ * throughput at a given clock follows directly.
+ */
+
+#ifndef GENAX_SILLAX_LANE_HH
+#define GENAX_SILLAX_LANE_HH
+
+#include <vector>
+
+#include "silla/silla_traceback.hh"
+
+namespace genax {
+
+/** Accumulated lane statistics. */
+struct LaneStats
+{
+    u64 jobs = 0;
+    Cycle streamCycles = 0;
+    Cycle reduceCycles = 0;
+    Cycle collectCycles = 0;
+    Cycle rerunCycles = 0;
+    u64 jobsWithRerun = 0;
+    u64 reruns = 0;
+
+    Cycle
+    totalCycles() const
+    {
+        return streamCycles + reduceCycles + collectCycles + rerunCycles;
+    }
+
+    /** Average cycles per extension job. */
+    double
+    cyclesPerJob() const
+    {
+        return jobs == 0 ? 0.0
+                         : static_cast<double>(totalCycles()) /
+                               static_cast<double>(jobs);
+    }
+
+    /** Jobs per second at the given clock. */
+    double
+    jobsPerSecond(double f_ghz) const
+    {
+        const double cpj = cyclesPerJob();
+        return cpj == 0.0 ? 0.0 : f_ghz * 1e9 / cpj;
+    }
+};
+
+/** One seed-extension lane built around a SillaX traceback machine. */
+class SillaXLane
+{
+  public:
+    SillaXLane(u32 k, const Scoring &sc, double f_ghz = 2.0);
+
+    /** Run one extension job and account for its cycles. */
+    SillaAlignment extend(const Seq &ref_window, const Seq &read);
+
+    /** Reset the accumulated statistics. */
+    void resetStats() { _stats = {}; }
+
+    const LaneStats &stats() const { return _stats; }
+    double frequencyGhz() const { return _fGhz; }
+    u32 k() const { return _machine.k(); }
+
+  private:
+    SillaTraceback _machine;
+    double _fGhz;
+    LaneStats _stats;
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLAX_LANE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Model of a banded Smith-Waterman hardware accelerator — the prior
+ * art SillaX is compared against in Section VIII-C.
+ *
+ * A systolic banded-SW array computes the 2K+1 cells of each
+ * anti-diagonal in parallel: O(N) time with 2K+1 processing
+ * elements. Supporting traceback requires storing the per-cell
+ * back-pointers, O(K*N) space that grows with read length — the
+ * scaling wall SillaX's O(K^2) in-place traceback removes.
+ * (Hirschberg's alternative cuts space to O(K) but raises time to
+ * O(N log N), as the paper notes.)
+ */
+
+#ifndef GENAX_SILLAX_SW_ACCEL_HH
+#define GENAX_SILLAX_SW_ACCEL_HH
+
+#include "common/types.hh"
+#include "sillax/tech_model.hh"
+
+namespace genax {
+
+/** Banded Smith-Waterman accelerator cost model. */
+class BandedSwAccelModel
+{
+  public:
+    explicit BandedSwAccelModel(u32 band) : _band(band) {}
+
+    u32 band() const { return _band; }
+
+    /** Systolic array size: one PE per band diagonal. */
+    u64 peCount() const { return 2 * static_cast<u64>(_band) + 1; }
+
+    /** Cycles to align an N x N-ish band: fill + stream + drain. */
+    Cycle
+    alignCycles(u64 n) const
+    {
+        return n + 2 * _band;
+    }
+
+    /** Back-pointer storage for traceback: 4 bits per banded cell
+     *  (H source + gap-extend flags), O(K*N). */
+    u64
+    tracebackBytes(u64 n) const
+    {
+        return (peCount() * n * 4 + 7) / 8;
+    }
+
+    /** PE-array area (excludes traceback SRAM). */
+    double
+    peArrayAreaMm2(double f_ghz) const
+    {
+        return peCount() * TechModel::bandedSwPeAreaUm2(f_ghz) / 1e6;
+    }
+
+    /** Total area including the traceback store for reads of
+     *  length n (SRAM at the Table II density). */
+    double
+    areaMm2(u64 n, double f_ghz) const
+    {
+        const double sram_mb =
+            static_cast<double>(tracebackBytes(n)) / 1e6;
+        return peArrayAreaMm2(f_ghz) +
+               sram_mb * TechModel::sramAreaPerMb();
+    }
+
+  private:
+    u32 _band;
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLAX_SW_ACCEL_HH

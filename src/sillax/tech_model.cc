@@ -1,0 +1,144 @@
+#include "sillax/tech_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+namespace {
+
+// Per-PE calibration at the 2 GHz synthesis point (see header).
+constexpr double kEditAreaUm2 = 0.012e6 / 1681;     // ~7.14
+constexpr double kTracebackAreaUm2 = 1.41e6 / 1681; // ~838.8
+constexpr double kScoringAreaUm2 = kTracebackAreaUm2 * 0.92;
+
+constexpr double kEditPowerW = 0.047 / 1681;
+constexpr double kTracebackPowerW = 1.54 / 1681;
+constexpr double kScoringPowerW = kTracebackPowerW * 0.92;
+
+// Latency model lat(f) = min + c / f, fitted to the published
+// 2 GHz points and the quoted maximum operating frequencies.
+constexpr double kEditLatMin = 0.12, kEditLatC = 0.10;       // 0.17 @ 2
+constexpr double kTraceLatMin = 0.25, kTraceLatC = 0.16;     // 0.33 @ 2
+
+} // namespace
+
+u32
+TechModel::peGates(PeType type, u32 read_len_bits)
+{
+    switch (type) {
+      case PeType::Edit:
+        return 13; // Section IV-A
+      case PeType::Scoring:
+        // Edit PE + four score registers (log N bits each) + the
+        // programmable scoring ALU and delayed-merge muxes.
+        return 13 + 4 * read_len_bits * 8 + 150;
+      case PeType::Traceback:
+        // Scoring PE + match counter + best-cycle register + the
+        // 2-bit pointer, gap-run counter and path flags.
+        return peGates(PeType::Scoring, read_len_bits) +
+               2 * read_len_bits * 8 + 40;
+    }
+    GENAX_PANIC("unknown PE type");
+}
+
+double
+TechModel::areaScale(double f_ghz)
+{
+    GENAX_ASSERT(f_ghz > 0, "non-positive frequency");
+    // Fitted to s(1) = 0.95, s(2) = 1 (calibration), s(5) = 1.359
+    // (the 9.7 um^2 edit-PE point); cubic term models the
+    // super-linear sizing beyond the inflection (Figure 12).
+    return 0.913 + 0.03476 * f_ghz + 0.002177 * f_ghz * f_ghz * f_ghz;
+}
+
+double
+TechModel::peAreaUm2(PeType type, double f_ghz)
+{
+    const double s = areaScale(f_ghz);
+    switch (type) {
+      case PeType::Edit:
+        return kEditAreaUm2 * s;
+      case PeType::Scoring:
+        return kScoringAreaUm2 * s;
+      case PeType::Traceback:
+        return kTracebackAreaUm2 * s;
+    }
+    GENAX_PANIC("unknown PE type");
+}
+
+double
+TechModel::pePowerW(PeType type, double f_ghz)
+{
+    double base;
+    switch (type) {
+      case PeType::Edit: base = kEditPowerW; break;
+      case PeType::Scoring: base = kScoringPowerW; break;
+      case PeType::Traceback: base = kTracebackPowerW; break;
+      default: GENAX_PANIC("unknown PE type");
+    }
+    // Dynamic power ~ f * V^2 * C; voltage rises past the 2 GHz
+    // knee, capacitance with the upsized gates.
+    const double vf = std::max(1.0, 1.0 + 0.08 * (f_ghz - 2.0));
+    return base * (f_ghz / 2.0) * vf * vf * std::sqrt(areaScale(f_ghz));
+}
+
+double
+TechModel::peLatencyNs(PeType type, double f_ghz)
+{
+    switch (type) {
+      case PeType::Edit:
+        return kEditLatMin + kEditLatC / f_ghz;
+      case PeType::Scoring:
+      case PeType::Traceback:
+        return kTraceLatMin + kTraceLatC / f_ghz;
+    }
+    GENAX_PANIC("unknown PE type");
+}
+
+double
+TechModel::maxFrequencyGhz(PeType type)
+{
+    // 1 / intrinsic latency floor: the edit machine reaches 6 GHz,
+    // the scoring/traceback machines are 2 GHz parts (Section VIII).
+    switch (type) {
+      case PeType::Edit:
+        return 6.0;
+      case PeType::Scoring:
+      case PeType::Traceback:
+        return 3.0;
+    }
+    GENAX_PANIC("unknown PE type");
+}
+
+double
+TechModel::machineAreaMm2(PeType type, u32 k, double f_ghz)
+{
+    const double pes =
+        static_cast<double>(peCount(k)) * peAreaUm2(type, f_ghz);
+    // Periphery: 2K+1 comparators plus the two (K+1)-deep character
+    // shift registers; small relative to the grid.
+    const double periphery =
+        (2.0 * k + 1) * 3.0 * areaScale(f_ghz) +
+        2.0 * (k + 1) * 2.5 * areaScale(f_ghz);
+    return (pes + periphery) / 1e6;
+}
+
+double
+TechModel::machinePowerW(PeType type, u32 k, double f_ghz)
+{
+    const double pes =
+        static_cast<double>(peCount(k)) * pePowerW(type, f_ghz);
+    return pes * 1.03; // periphery adds ~3%
+}
+
+double
+TechModel::bandedSwPeAreaUm2(double f_ghz)
+{
+    // 300 um^2 at 5 GHz (Section VIII-C); same frequency scaling.
+    return 300.0 / areaScale(5.0) * areaScale(f_ghz);
+}
+
+} // namespace genax

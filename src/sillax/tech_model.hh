@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Analytical 28 nm technology model for SillaX and GenAx.
+ *
+ * The paper synthesized the machines with Synopsys DC in a commercial
+ * 28 nm process (Section VII). We reproduce the published design
+ * points and curve shapes with an analytical model calibrated to the
+ * numbers quoted in the paper:
+ *
+ *   - edit PE: 13 gates; edit machine (K=40, 1681 PEs) at 2 GHz:
+ *     0.012 mm^2, 0.047 W, 0.17 ns latency; operable at 6 GHz;
+ *     9.7 um^2 per PE at a 5 GHz synthesis target.
+ *   - traceback machine at 2 GHz: 1.41 mm^2, 1.54 W, 0.33 ns.
+ *   - scoring machine "comparable to the traceback machine".
+ *   - banded Smith-Waterman PE: 300 um^2 at 5 GHz (Section VIII-C).
+ *   - Table II: 128 seeding lanes = 4.224 mm^2, 4 SillaX lanes =
+ *     5.36 mm^2, 68 MB SRAM = 163.2 mm^2.
+ *
+ * Area grows slowly below the 2 GHz inflection point and
+ * super-linearly above it (Figure 12); power scales with frequency
+ * and the voltage needed to reach it. All constants live here so the
+ * Figure 12 / Table II benches and the GenAx estimator share one
+ * model.
+ */
+
+#ifndef GENAX_SILLAX_TECH_MODEL_HH
+#define GENAX_SILLAX_TECH_MODEL_HH
+
+#include "common/types.hh"
+
+namespace genax {
+
+/** Processing-element flavour (Section IV). */
+enum class PeType
+{
+    Edit,      //!< edit machine PE (Figure 6)
+    Scoring,   //!< scoring machine PE (Figure 7)
+    Traceback, //!< traceback machine PE (Figure 9)
+};
+
+/** Analytical area/power/latency model in a 28 nm process. */
+class TechModel
+{
+  public:
+    /** PE grid size for edit bound K: the (K+1)^2 grouped units. */
+    static u64
+    peCount(u32 k)
+    {
+        return static_cast<u64>(k + 1) * (k + 1);
+    }
+
+    /** Approximate gate count of one PE (readLenBits-wide counters). */
+    static u32 peGates(PeType type, u32 read_len_bits = 10);
+
+    /** Area of one PE in um^2 at the given synthesis target (GHz). */
+    static double peAreaUm2(PeType type, double f_ghz);
+
+    /** Power of one PE in W at the given frequency (GHz). */
+    static double pePowerW(PeType type, double f_ghz);
+
+    /** Achieved critical-path latency in ns at the target (GHz). */
+    static double peLatencyNs(PeType type, double f_ghz);
+
+    /** Maximum operating frequency in GHz for a PE type. */
+    static double maxFrequencyGhz(PeType type);
+
+    /** Whole-machine area in mm^2 (PE grid + comparator periphery). */
+    static double machineAreaMm2(PeType type, u32 k, double f_ghz);
+
+    /** Whole-machine power in W. */
+    static double machinePowerW(PeType type, u32 k, double f_ghz);
+
+    /** Banded Smith-Waterman PE area (um^2) for Section VIII-C. */
+    static double bandedSwPeAreaUm2(double f_ghz);
+
+    // ------------------------------------------------ system blocks
+
+    /** One seeding lane (512-entry CAM + control FSM), mm^2. */
+    static double seedingLaneAreaMm2() { return 4.224 / 128; }
+
+    /** One seeding lane average power, W. */
+    static double seedingLanePowerW() { return 0.0070; }
+
+    /** On-chip SRAM area per MB, mm^2 (Table II: 163.2 / 68). */
+    static double sramAreaPerMb() { return 163.2 / 68.0; }
+
+    /** On-chip SRAM power per MB, W (leakage + streaming access). */
+    static double sramPowerPerMb() { return 0.066; }
+
+  private:
+    /** Area multiplier relative to the 2 GHz calibration point. */
+    static double areaScale(double f_ghz);
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLAX_TECH_MODEL_HH

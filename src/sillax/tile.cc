@@ -1,0 +1,73 @@
+#include "sillax/tile.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+TileArray::TileArray(u32 tile_k, u32 rows, u32 cols)
+    : _tileK(tile_k), _rows(rows), _cols(cols)
+{
+    GENAX_ASSERT(rows > 0 && cols > 0, "empty tile array");
+    configure({});
+}
+
+bool
+TileArray::configure(const std::vector<u32> &requested_p)
+{
+    std::vector<u8> used(tileCount(), 0);
+    auto at = [&](u32 r, u32 c) -> u8 & { return used[r * _cols + c]; };
+
+    std::vector<TileEngine> placed;
+
+    // Place the largest engines first so first-fit cannot fragment a
+    // feasible request mix.
+    std::vector<u32> order = requested_p;
+    std::sort(order.begin(), order.end(), std::greater<u32>());
+
+    for (u32 p : order) {
+        if (p == 0 || p > maxP())
+            return false;
+        bool done = false;
+        for (u32 r = 0; !done && r + p <= _rows; ++r) {
+            for (u32 c = 0; !done && c + p <= _cols; ++c) {
+                bool free = true;
+                for (u32 dr = 0; free && dr < p; ++dr)
+                    for (u32 dc = 0; free && dc < p; ++dc)
+                        free = !at(r + dr, c + dc);
+                if (!free)
+                    continue;
+                for (u32 dr = 0; dr < p; ++dr)
+                    for (u32 dc = 0; dc < p; ++dc)
+                        at(r + dr, c + dc) = 1;
+                placed.push_back({r, c, p, composedBound(p)});
+                done = true;
+            }
+        }
+        if (!done)
+            return false;
+    }
+
+    // Remaining tiles operate as independent K_tile engines.
+    for (u32 r = 0; r < _rows; ++r)
+        for (u32 c = 0; c < _cols; ++c)
+            if (!at(r, c))
+                placed.push_back({r, c, 1, _tileK});
+
+    _engines = std::move(placed);
+    return true;
+}
+
+double
+TileArray::areaMm2(PeType type, double f_ghz) const
+{
+    double tiles = 0;
+    for (u64 t = 0; t < tileCount(); ++t)
+        tiles += TechModel::machineAreaMm2(type, _tileK, f_ghz);
+    // Inter-tile MUXes and the per-PE input/output steering add a
+    // small fixed fraction (Section IV-D).
+    return tiles * 1.02;
+}
+
+} // namespace genax

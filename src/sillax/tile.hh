@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Composable SillaX tiles (Section IV-D, Figure 10).
+ *
+ * The PE grid's maximum edit distance is fixed in silicon, so SillaX
+ * is built from T = rows x cols tiles of native edit bound K_tile.
+ * A p x p block of tiles (alternating forward/flipped orientations,
+ * with boundary MUXes concatenating the character shift registers)
+ * forms one engine whose grid is p*(K_tile+1) PEs on a side, i.e. an
+ * effective edit bound of p*(K_tile+1) - 1. Unused tiles keep
+ * operating as independent K_tile engines.
+ *
+ * This model implements the configuration/allocation logic and the
+ * MUX overhead accounting; each placed engine is functionally a
+ * SillaTraceback machine of the composed bound.
+ */
+
+#ifndef GENAX_SILLAX_TILE_HH
+#define GENAX_SILLAX_TILE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sillax/tech_model.hh"
+
+namespace genax {
+
+/** One configured engine within the tile array. */
+struct TileEngine
+{
+    u32 row = 0;   //!< top-left tile of the p x p block
+    u32 col = 0;
+    u32 p = 1;     //!< block side length in tiles
+    u32 editBound = 0; //!< effective K of the composed engine
+};
+
+/** A reconfigurable array of SillaX tiles. */
+class TileArray
+{
+  public:
+    /**
+     * @param tile_k  native edit bound of one tile
+     * @param rows, cols  tile grid dimensions
+     */
+    TileArray(u32 tile_k, u32 rows, u32 cols);
+
+    /** Effective edit bound of a p x p composed engine. */
+    u32
+    composedBound(u32 p) const
+    {
+        return p * (_tileK + 1) - 1;
+    }
+
+    /** Largest composable p (limited by the grid's shorter side). */
+    u32 maxP() const { return std::min(_rows, _cols); }
+
+    /**
+     * Configure the array: place one p x p engine for each requested
+     * block size (first-fit, top-left scan), then fill every
+     * remaining tile with an independent 1 x 1 engine.
+     *
+     * @return true if all requested engines fit; on failure the
+     *         array keeps its previous configuration.
+     */
+    bool configure(const std::vector<u32> &requested_p);
+
+    /** Engines of the current configuration. */
+    const std::vector<TileEngine> &engines() const { return _engines; }
+
+    u32 tileK() const { return _tileK; }
+    u32 rows() const { return _rows; }
+    u32 cols() const { return _cols; }
+    u64 tileCount() const { return static_cast<u64>(_rows) * _cols; }
+
+    /** Total PE count across the array (independent of config). */
+    u64
+    peCount() const
+    {
+        return tileCount() * TechModel::peCount(_tileK);
+    }
+
+    /**
+     * Area of the array in mm^2 including the reconfiguration MUX
+     * overhead ("only a small overhead of MUXes between tiles and
+     * for each PE").
+     */
+    double areaMm2(PeType type, double f_ghz) const;
+
+  private:
+    u32 _tileK;
+    u32 _rows;
+    u32 _cols;
+    std::vector<TileEngine> _engines;
+};
+
+} // namespace genax
+
+#endif // GENAX_SILLAX_TILE_HH

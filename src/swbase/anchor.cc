@@ -1,0 +1,137 @@
+#include "swbase/anchor.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+std::vector<Anchor>
+makeAnchors(const std::vector<Smem> &smems, u64 seg_start, bool reverse,
+            const AnchorConfig &cfg)
+{
+    std::vector<Anchor> out;
+    std::set<i64> diagonals;
+    for (const auto &smem : smems) {
+        if (smem.length() < cfg.minSeedLen)
+            continue; // too short to be a reliable anchor
+        if (smem.positions.size() > cfg.maxHitsPerSmem)
+            continue; // ultra-repetitive seed: uninformative
+        for (u32 local : smem.positions) {
+            Anchor a;
+            a.qryBegin = smem.qryBegin;
+            a.qryEnd = smem.qryEnd;
+            a.refPos = seg_start + local;
+            a.reverse = reverse;
+            if (diagonals.insert(a.diagonal()).second)
+                out.push_back(a);
+        }
+    }
+    // Prefer longer seeds (stronger anchors), then smaller position.
+    std::sort(out.begin(), out.end(),
+              [](const Anchor &a, const Anchor &b) {
+                  if (a.seedLen() != b.seedLen())
+                      return a.seedLen() > b.seedLen();
+                  return a.refPos < b.refPos;
+              });
+    if (out.size() > cfg.maxAnchors)
+        out.resize(cfg.maxAnchors);
+    return out;
+}
+
+ExtensionResult
+gotohExtendKernel(const Seq &ref_window, const Seq &qry,
+                  const Scoring &sc, u32 band)
+{
+    const AlignResult r =
+        gotohBanded(ref_window, qry, sc, AlignMode::Extend, band);
+    GENAX_ASSERT(r.valid, "banded extend cannot fail");
+    ExtensionResult out;
+    out.score = r.score;
+    out.refConsumed = r.refEnd;
+    out.qryConsumed = r.qryEnd;
+    for (const auto &e : r.cigar.elems())
+        if (e.op != CigarOp::SoftClip)
+            out.cigar.push(e.op, e.len);
+    return out;
+}
+
+namespace {
+
+/** Reverse a sequence (plain order reversal, no complement). */
+Seq
+reversed(Seq::const_iterator begin, Seq::const_iterator end)
+{
+    return Seq(std::make_reverse_iterator(end),
+               std::make_reverse_iterator(begin));
+}
+
+/** Reverse the element order of an extension cigar. */
+Cigar
+reversedCigar(const Cigar &c)
+{
+    Cigar out = c;
+    out.reverse();
+    return out;
+}
+
+} // namespace
+
+Mapping
+extendAnchor(const Seq &ref, const Seq &read, const Anchor &anchor,
+             const Scoring &sc, u32 margin, const ExtendFn &extend)
+{
+    const u64 len = read.size();
+    GENAX_ASSERT(anchor.qryEnd <= len, "anchor beyond read");
+    GENAX_ASSERT(anchor.refPos < ref.size(), "anchor beyond reference");
+    const u32 seed_len = anchor.seedLen();
+
+    // Right extension: read tail vs reference after the seed.
+    ExtensionResult right;
+    const u64 seed_ref_end = anchor.refPos + seed_len;
+    if (anchor.qryEnd < len && seed_ref_end < ref.size()) {
+        const u64 want = (len - anchor.qryEnd) + margin;
+        const u64 end = std::min<u64>(ref.size(), seed_ref_end + want);
+        const Seq ref_window(ref.begin() + static_cast<i64>(seed_ref_end),
+                             ref.begin() + static_cast<i64>(end));
+        const Seq qry(read.begin() + anchor.qryEnd, read.end());
+        right = extend(ref_window, qry);
+    }
+
+    // Left extension: reversed read head vs reversed reference
+    // before the seed.
+    ExtensionResult left;
+    if (anchor.qryBegin > 0 && anchor.refPos > 0) {
+        const u64 want = anchor.qryBegin + margin;
+        const u64 begin = anchor.refPos >= want ? anchor.refPos - want : 0;
+        const Seq ref_window = reversed(
+            ref.begin() + static_cast<i64>(begin),
+            ref.begin() + static_cast<i64>(anchor.refPos));
+        const Seq qry =
+            reversed(read.begin(), read.begin() + anchor.qryBegin);
+        left = extend(ref_window, qry);
+    }
+
+    Mapping out;
+    out.mapped = true;
+    out.reverse = anchor.reverse;
+    out.score = static_cast<i32>(seed_len) * sc.match + left.score +
+                right.score;
+    out.pos = anchor.refPos - left.refConsumed;
+
+    Cigar cigar;
+    const u64 left_clip = anchor.qryBegin - left.qryConsumed;
+    if (left_clip > 0)
+        cigar.push(CigarOp::SoftClip, static_cast<u32>(left_clip));
+    cigar.append(reversedCigar(left.cigar));
+    cigar.push(CigarOp::Match, seed_len);
+    cigar.append(right.cigar);
+    const u64 right_clip = (len - anchor.qryEnd) - right.qryConsumed;
+    if (right_clip > 0)
+        cigar.push(CigarOp::SoftClip, static_cast<u32>(right_clip));
+    out.cigar = std::move(cigar);
+    return out;
+}
+
+} // namespace genax

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Seed anchors and bidirectional seed extension.
+ *
+ * Both the software aligner (swbase) and the GenAx system model share
+ * this logic: SMEM seeds are turned into deduplicated anchors, and an
+ * anchor is extended left and right with anchored ("Extend" mode)
+ * alignments whose composition yields the read's full alignment.
+ * Only the extension kernel differs between the two (banded Gotoh on
+ * the CPU, SillaX lanes in the accelerator), so it is passed in as a
+ * callable.
+ */
+
+#ifndef GENAX_SWBASE_ANCHOR_HH
+#define GENAX_SWBASE_ANCHOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "align/gotoh.hh"
+#include "align/mapping.hh"
+#include "align/scoring.hh"
+#include "seed/smem_engine.hh"
+
+namespace genax {
+
+/** A candidate alignment anchor derived from one SMEM hit. */
+struct Anchor
+{
+    u32 qryBegin = 0;  //!< seed span in the (oriented) read
+    u32 qryEnd = 0;
+    u64 refPos = 0;    //!< global reference position of read[qryBegin]
+    bool reverse = false;
+
+    u32 seedLen() const { return qryEnd - qryBegin; }
+
+    /** Diagonal key used for deduplication. */
+    i64
+    diagonal() const
+    {
+        return static_cast<i64>(refPos) - static_cast<i64>(qryBegin);
+    }
+};
+
+/** Anchor-generation limits. */
+struct AnchorConfig
+{
+    u32 minSeedLen = 19;      //!< BWA-MEM's minimum seed length
+    u32 maxHitsPerSmem = 256; //!< drop ultra-repetitive seeds
+    u32 maxAnchors = 32;      //!< cap per read and strand
+};
+
+/**
+ * Turn one strand's SMEMs into deduplicated anchors.
+ *
+ * @param smems      seeds from SmemEngine (segment-local positions)
+ * @param seg_start  global coordinate of the segment's position 0
+ */
+std::vector<Anchor> makeAnchors(const std::vector<Smem> &smems,
+                                u64 seg_start, bool reverse,
+                                const AnchorConfig &cfg);
+
+/**
+ * One directional extension result (the callable's contract): the
+ * clipped best anchored extension of `qry` against `ref`, both
+ * anchored at offset 0.
+ */
+struct ExtensionResult
+{
+    i32 score = 0;
+    u64 refConsumed = 0;
+    u64 qryConsumed = 0;
+    Cigar cigar; //!< aligned part only, no soft clips
+};
+
+using ExtendFn = std::function<ExtensionResult(const Seq &ref_window,
+                                               const Seq &qry)>;
+
+/**
+ * Extend an anchor in both directions and compose the full mapping.
+ *
+ * @param ref    the whole reference genome
+ * @param read   the read, already oriented to the anchor's strand
+ * @param margin extra reference bases fetched beyond the query
+ *               length on each side (>= the edit bound K)
+ */
+Mapping extendAnchor(const Seq &ref, const Seq &read,
+                     const Anchor &anchor, const Scoring &sc, u32 margin,
+                     const ExtendFn &extend);
+
+/** Banded-Gotoh extension kernel (the software baseline's). */
+ExtensionResult gotohExtendKernel(const Seq &ref_window, const Seq &qry,
+                                  const Scoring &sc, u32 band);
+
+} // namespace genax
+
+#endif // GENAX_SWBASE_ANCHOR_HH

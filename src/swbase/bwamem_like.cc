@@ -1,0 +1,126 @@
+#include "swbase/bwamem_like.hh"
+
+#include <algorithm>
+
+#include "common/parallel.hh"
+#include "seed/smem_engine.hh"
+
+namespace genax {
+
+BwaMemLike::BwaMemLike(const Seq &ref, const AlignerConfig &cfg)
+    : _ref(ref), _cfg(cfg),
+      _index(std::make_unique<KmerIndex>(ref, cfg.k))
+{
+}
+
+Mapping
+BwaMemLike::alignRead(const Seq &read) const
+{
+    SmemEngine engine(*_index, _cfg.seeding);
+
+    Mapping best;
+    i32 second = INT32_MIN;
+    u32 evaluated = 0;
+
+    auto consider = [&](const Mapping &m) {
+        ++evaluated;
+        const bool better =
+            !best.mapped || m.score > best.score ||
+            (m.score == best.score &&
+             ((best.reverse && !m.reverse) ||
+              (best.reverse == m.reverse && m.pos < best.pos)));
+        if (better) {
+            if (best.mapped)
+                second = std::max(second, best.score);
+            best = m;
+        } else {
+            second = std::max(second, m.score);
+        }
+    };
+
+    const ExtendFn kernel = [this](const Seq &ref_window,
+                                   const Seq &qry) {
+        return gotohExtendKernel(ref_window, qry, _cfg.scoring,
+                                 _cfg.band);
+    };
+
+    for (bool reverse : {false, true}) {
+        const Seq oriented = reverse ? reverseComplement(read) : read;
+        const auto smems = engine.seed(oriented);
+        const auto anchors =
+            makeAnchors(smems, 0, reverse, _cfg.anchors);
+        for (const auto &anchor : anchors) {
+            consider(extendAnchor(_ref, oriented, anchor, _cfg.scoring,
+                                  _cfg.band, kernel));
+        }
+    }
+
+    if (!best.mapped)
+        return best;
+    // Margin-based mapping quality.
+    if (evaluated <= 1) {
+        best.mapq = 60;
+    } else if (second >= best.score) {
+        best.mapq = 0;
+    } else {
+        best.mapq = static_cast<u8>(
+            std::min<i32>(60, 6 * (best.score - second)));
+    }
+    return best;
+}
+
+std::vector<Mapping>
+BwaMemLike::candidates(const Seq &read, u32 max_out) const
+{
+    SmemEngine engine(*_index, _cfg.seeding);
+    const ExtendFn kernel = [this](const Seq &ref_window,
+                                   const Seq &qry) {
+        return gotohExtendKernel(ref_window, qry, _cfg.scoring,
+                                 _cfg.band);
+    };
+
+    std::vector<Mapping> out;
+    for (bool reverse : {false, true}) {
+        const Seq oriented = reverse ? reverseComplement(read) : read;
+        const auto smems = engine.seed(oriented);
+        const auto anchors =
+            makeAnchors(smems, 0, reverse, _cfg.anchors);
+        for (const auto &anchor : anchors) {
+            Mapping m = extendAnchor(_ref, oriented, anchor,
+                                     _cfg.scoring, _cfg.band, kernel);
+            bool dup = false;
+            for (const auto &prev : out) {
+                if (prev.pos == m.pos && prev.reverse == m.reverse) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                out.push_back(std::move(m));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Mapping &a, const Mapping &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  if (a.reverse != b.reverse)
+                      return !a.reverse;
+                  return a.pos < b.pos;
+              });
+    if (out.size() > max_out)
+        out.resize(max_out);
+    return out;
+}
+
+std::vector<Mapping>
+BwaMemLike::alignAll(const std::vector<Seq> &reads) const
+{
+    std::vector<Mapping> out(reads.size());
+    parallelFor(reads.size(), _cfg.threads, [&](u64 lo, u64 hi) {
+        for (u64 i = lo; i < hi; ++i)
+            out[i] = alignRead(reads[i]);
+    });
+    return out;
+}
+
+} // namespace genax

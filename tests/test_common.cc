@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the common substrate: DNA encoding, packed
+ * sequences, RNG determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/dna.hh"
+#include "common/rng.hh"
+
+namespace genax {
+namespace {
+
+TEST(Dna, EncodeDecodeRoundTrip)
+{
+    const std::string s = "ACGTACGTTTGGCCAA";
+    EXPECT_EQ(decode(encode(s)), s);
+}
+
+TEST(Dna, CharToBaseCases)
+{
+    EXPECT_EQ(charToBase('A'), kBaseA);
+    EXPECT_EQ(charToBase('a'), kBaseA);
+    EXPECT_EQ(charToBase('C'), kBaseC);
+    EXPECT_EQ(charToBase('g'), kBaseG);
+    EXPECT_EQ(charToBase('T'), kBaseT);
+    // Ambiguity codes collapse to A.
+    EXPECT_EQ(charToBase('N'), kBaseA);
+    EXPECT_EQ(charToBase('x'), kBaseA);
+}
+
+TEST(Dna, IsAcgt)
+{
+    EXPECT_TRUE(isAcgt('A'));
+    EXPECT_TRUE(isAcgt('t'));
+    EXPECT_FALSE(isAcgt('N'));
+    EXPECT_FALSE(isAcgt('>'));
+}
+
+TEST(Dna, Complement)
+{
+    EXPECT_EQ(complement(kBaseA), kBaseT);
+    EXPECT_EQ(complement(kBaseT), kBaseA);
+    EXPECT_EQ(complement(kBaseC), kBaseG);
+    EXPECT_EQ(complement(kBaseG), kBaseC);
+}
+
+TEST(Dna, ReverseComplement)
+{
+    EXPECT_EQ(decode(reverseComplement(encode("ACGT"))), "ACGT");
+    EXPECT_EQ(decode(reverseComplement(encode("AACG"))), "CGTT");
+    EXPECT_EQ(reverseComplement(Seq{}), Seq{});
+    // Involution property.
+    const Seq s = encode("GATTACAGATTACA");
+    EXPECT_EQ(reverseComplement(reverseComplement(s)), s);
+}
+
+TEST(PackedSeq, RandomAccessMatchesUnpacked)
+{
+    Rng rng(1);
+    Seq s;
+    for (int i = 0; i < 1000; ++i)
+        s.push_back(static_cast<Base>(rng.below(4)));
+    PackedSeq p(s);
+    ASSERT_EQ(p.size(), s.size());
+    for (size_t i = 0; i < s.size(); ++i)
+        EXPECT_EQ(p[i], s[i]) << "at " << i;
+    EXPECT_EQ(p.unpack(), s);
+}
+
+TEST(PackedSeq, KmerExtraction)
+{
+    const Seq s = encode("ACGTACGTACGTACGTACGTACGTACGTACGTACGT");
+    PackedSeq p(s);
+    for (unsigned k : {1u, 2u, 12u, 31u, 32u}) {
+        for (size_t pos = 0; pos + k <= s.size(); ++pos) {
+            u64 expect = 0;
+            for (unsigned i = 0; i < k; ++i)
+                expect |= static_cast<u64>(s[pos + i]) << (2 * i);
+            EXPECT_EQ(p.kmer(pos, k), expect)
+                << "k=" << k << " pos=" << pos;
+        }
+    }
+}
+
+TEST(PackedSeq, KmerCrossesWordBoundary)
+{
+    Rng rng(2);
+    Seq s;
+    for (int i = 0; i < 200; ++i)
+        s.push_back(static_cast<Base>(rng.below(4)));
+    PackedSeq p(s);
+    // Positions straddling the 32-base word boundary.
+    for (size_t pos = 20; pos < 44; ++pos) {
+        u64 expect = 0;
+        for (unsigned i = 0; i < 12; ++i)
+            expect |= static_cast<u64>(s[pos + i]) << (2 * i);
+        EXPECT_EQ(p.kmer(pos, 12), expect) << "pos=" << pos;
+    }
+}
+
+TEST(PackedSeq, SubrangeUnpack)
+{
+    const Seq s = encode("TTGACGTACCAGGT");
+    PackedSeq p(s);
+    EXPECT_EQ(decode(p.unpack(2, 5)), "GACGT");
+    EXPECT_EQ(decode(p.unpack(0, 0)), "");
+    EXPECT_EQ(decode(p.unpack(13, 1)), "T");
+}
+
+TEST(PackedSeq, PushBackIncremental)
+{
+    PackedSeq p;
+    Seq ref;
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const Base b = static_cast<Base>(rng.below(4));
+        p.push_back(b);
+        ref.push_back(b);
+    }
+    EXPECT_EQ(p.unpack(), ref);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(9);
+    std::set<u64> seen;
+    for (int i = 0; i < 3000; ++i) {
+        const u64 v = rng.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues reached
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(10);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const i64 v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+        sum += r;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace genax

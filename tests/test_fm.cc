@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the FM-index substrate: suffix array, backward search,
+ * locate, and the FM-based SMEM seeder's exact agreement with the
+ * hash-based SmemEngine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "seed/fm_index.hh"
+#include "seed/fm_seeder.hh"
+#include "seed/kmer_index.hh"
+#include "seed/smem_engine.hh"
+
+namespace genax {
+namespace {
+
+Seq
+randomSeq(Rng &rng, size_t len, unsigned alphabet = 4)
+{
+    Seq s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<Base>(rng.below(alphabet)));
+    return s;
+}
+
+std::vector<u32>
+occurrences(const Seq &ref, const Seq &pat)
+{
+    std::vector<u32> out;
+    if (pat.empty() || pat.size() > ref.size())
+        return out;
+    for (size_t r = 0; r + pat.size() <= ref.size(); ++r) {
+        if (std::equal(pat.begin(), pat.end(), ref.begin() + r))
+            out.push_back(static_cast<u32>(r));
+    }
+    return out;
+}
+
+// ------------------------------------------------------ suffix array
+
+TEST(SuffixArray, MatchesBruteForce)
+{
+    Rng rng(8000);
+    for (int t = 0; t < 30; ++t) {
+        const unsigned alphabet = t % 2 == 0 ? 2 : 4;
+        Seq s = randomSeq(rng, 1 + rng.below(200), alphabet);
+        if (t == 0)
+            s = encode("AAAAAAA"); // all-equal degenerate case
+        const auto sa = buildSuffixArray(s);
+        ASSERT_EQ(sa.size(), s.size());
+        // Brute force: sort suffix start indices lexicographically.
+        std::vector<u32> expect(s.size());
+        std::iota(expect.begin(), expect.end(), 0);
+        std::sort(expect.begin(), expect.end(), [&](u32 a, u32 b) {
+            return std::lexicographical_compare(
+                s.begin() + a, s.end(), s.begin() + b, s.end());
+        });
+        EXPECT_EQ(sa, expect) << "t=" << t;
+    }
+}
+
+// ---------------------------------------------------------- FM index
+
+class FmIndexTest : public ::testing::TestWithParam<u32>
+{};
+
+TEST_P(FmIndexTest, CountAndLocateMatchBruteForce)
+{
+    const u32 rate = GetParam();
+    Rng rng(8100 + rate);
+    Seq ref = randomSeq(rng, 3000);
+    // Splice in a repeat so multi-hit patterns exist.
+    ref.insert(ref.end(), ref.begin() + 100, ref.begin() + 400);
+    FmIndex index(ref, rate);
+
+    for (int t = 0; t < 40; ++t) {
+        const size_t plen = 1 + rng.below(30);
+        const size_t pos = rng.below(ref.size() - plen);
+        Seq pat(ref.begin() + static_cast<i64>(pos),
+                ref.begin() + static_cast<i64>(pos + plen));
+        if (t % 5 == 0)
+            pat = randomSeq(rng, plen); // likely-absent pattern
+        const auto expect = occurrences(ref, pat);
+        EXPECT_EQ(index.count(pat), expect.size());
+
+        FmIndex::Interval iv = index.all();
+        for (auto it = pat.rbegin(); it != pat.rend(); ++it)
+            iv = index.extend(iv, *it);
+        const auto got = index.locate(iv, iv.size());
+        ASSERT_EQ(got.size(), expect.size());
+        EXPECT_TRUE(std::equal(got.begin(), got.end(), expect.begin()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleRates, FmIndexTest,
+                         ::testing::Values(1u, 4u, 8u, 16u));
+
+TEST(FmIndex, EmptyPatternMatchesEverywhere)
+{
+    Rng rng(8200);
+    const Seq ref = randomSeq(rng, 100);
+    FmIndex index(ref);
+    EXPECT_EQ(index.all().size(), 101u); // n + sentinel
+    EXPECT_EQ(index.count(Seq{}), 101u);
+}
+
+TEST(FmIndex, TracksRankStatistics)
+{
+    Rng rng(8300);
+    const Seq ref = randomSeq(rng, 1000);
+    FmIndex index(ref);
+    index.resetStats();
+    index.count(randomSeq(rng, 20));
+    EXPECT_GT(index.stats().rankCalls, 0u);
+    EXPECT_LE(index.stats().rankCalls, 40u); // two per extension
+}
+
+TEST(FmIndex, FootprintReasonable)
+{
+    Rng rng(8400);
+    const Seq ref = randomSeq(rng, 10000);
+    FmIndex index(ref, 8);
+    // ~1 byte BWT + ~0.7 bytes checkpoints + samples per char.
+    EXPECT_GT(index.footprintBytes(), 10000u);
+    EXPECT_LT(index.footprintBytes(), 10u * 10000u);
+}
+
+// ---------------------------------------------------------- FM seeder
+
+TEST(FmSeeder, AgreesExactlyWithHashSmemEngine)
+{
+    Rng rng(8500);
+    Seq ref = randomSeq(rng, 6000);
+    ref.insert(ref.end(), ref.begin() + 500, ref.begin() + 900);
+
+    const u32 k = 8;
+    KmerIndex kindex(ref, k);
+    SeedingConfig cfg;
+    cfg.exactMatchFastPath = false;
+    SmemEngine hash_engine(kindex, cfg);
+    FmSeeder fm(ref, k);
+
+    for (int t = 0; t < 25; ++t) {
+        const u32 pos = static_cast<u32>(rng.below(ref.size() - 130));
+        Seq read(ref.begin() + pos, ref.begin() + pos + 101);
+        for (int e = 0; e < 3; ++e) {
+            const u64 p = rng.below(read.size());
+            read[p] = static_cast<Base>((read[p] + 1 + rng.below(3)) & 3);
+        }
+        const auto a = fm.seed(read);
+        const auto b = hash_engine.seed(read);
+        ASSERT_EQ(a.size(), b.size()) << "t=" << t;
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].qryBegin, b[i].qryBegin);
+            EXPECT_EQ(a[i].qryEnd, b[i].qryEnd);
+            EXPECT_EQ(a[i].positions, b[i].positions) << "smem " << i;
+        }
+    }
+}
+
+TEST(FmSeeder, AgreesWithHashEngineAtNonPowerOfTwoK)
+{
+    // Regression: with k = 12 the naive k/2, k/4, ... refinement
+    // strides {6, 3, 1} cannot compose a +2 extension, making hash
+    // RMEMs non-maximal. The FM seeder is the independent oracle
+    // that caught it.
+    Rng rng(8800);
+    Seq ref = randomSeq(rng, 8000);
+    ref.insert(ref.end(), ref.begin() + 700, ref.begin() + 1200);
+
+    for (u32 k : {12u, 11u, 13u}) {
+        KmerIndex kindex(ref, k);
+        SeedingConfig cfg;
+        cfg.exactMatchFastPath = false;
+        SmemEngine hash_engine(kindex, cfg);
+        FmSeeder fm(ref, k);
+        for (int t = 0; t < 20; ++t) {
+            const u32 pos =
+                static_cast<u32>(rng.below(ref.size() - 130));
+            Seq read(ref.begin() + pos, ref.begin() + pos + 101);
+            for (int e = 0; e < 3; ++e) {
+                const u64 p = rng.below(read.size());
+                read[p] =
+                    static_cast<Base>((read[p] + 1 + rng.below(3)) & 3);
+            }
+            const auto a = fm.seed(read);
+            const auto b = hash_engine.seed(read);
+            ASSERT_EQ(a.size(), b.size()) << "k=" << k << " t=" << t;
+            for (size_t i = 0; i < a.size(); ++i) {
+                EXPECT_EQ(a[i].qryBegin, b[i].qryBegin);
+                EXPECT_EQ(a[i].qryEnd, b[i].qryEnd) << "k=" << k;
+                EXPECT_EQ(a[i].positions, b[i].positions);
+            }
+        }
+    }
+}
+
+TEST(FmSeeder, RankChainIsTheLocalityBottleneck)
+{
+    // The paper's argument, measured: FM seeding performs an order
+    // of magnitude more dependent random accesses than the hash
+    // engine's k-mer lookups.
+    Rng rng(8600);
+    const Seq ref = randomSeq(rng, 20000);
+    const u32 k = 10;
+    KmerIndex kindex(ref, k);
+    SeedingConfig cfg;
+    cfg.exactMatchFastPath = false;
+    SmemEngine hash_engine(kindex, cfg);
+    FmSeeder fm(ref, k);
+
+    u64 reads = 0;
+    for (int t = 0; t < 10; ++t) {
+        const u32 pos = static_cast<u32>(rng.below(ref.size() - 130));
+        Seq read(ref.begin() + pos, ref.begin() + pos + 101);
+        read[50] = static_cast<Base>((read[50] + 1) & 3);
+        fm.seed(read);
+        hash_engine.seed(read);
+        ++reads;
+    }
+    const double fm_accesses =
+        static_cast<double>(fm.stats().rankCalls +
+                            fm.stats().locateSteps) /
+        reads;
+    const double hash_accesses =
+        static_cast<double>(hash_engine.stats().indexLookups) / reads;
+    EXPECT_GT(fm_accesses, 3.0 * hash_accesses);
+}
+
+TEST(FmSeeder, ShortReadYieldsNothing)
+{
+    Rng rng(8700);
+    const Seq ref = randomSeq(rng, 1000);
+    FmSeeder fm(ref, 12);
+    EXPECT_TRUE(fm.seed(encode("ACGT")).empty());
+}
+
+} // namespace
+} // namespace genax

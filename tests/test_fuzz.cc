@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Randomized cross-implementation consistency sweeps ("fuzz" tests):
+ *
+ *  - seven independent edit-distance implementations must agree on
+ *    random pairs over 2- and 4-letter alphabets (small alphabets
+ *    maximize accidental repeats and tie-rich cases),
+ *  - the scoring machines must agree with banded Gotoh under
+ *    randomized affine scoring schemes (the "programmable scoring
+ *    logic" of Figure 7),
+ *  - every traceback the hardware model produces must re-score to
+ *    exactly its claimed value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.hh"
+#include "align/gotoh.hh"
+#include "align/lev_automaton.hh"
+#include "align/myers.hh"
+#include "align/ula.hh"
+#include "align/wavefront.hh"
+#include "common/rng.hh"
+#include "silla/silla_edit.hh"
+#include "silla/silla_score.hh"
+#include "silla/silla_traceback.hh"
+#include "sillax/edit_machine.hh"
+#include "sillax/scoring_machine.hh"
+
+namespace genax {
+namespace {
+
+Seq
+randomSeq(Rng &rng, size_t len, unsigned alphabet)
+{
+    Seq s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<Base>(rng.below(alphabet)));
+    return s;
+}
+
+Seq
+mutateSeq(Rng &rng, const Seq &s, unsigned num_edits, unsigned alphabet)
+{
+    Seq out = s;
+    for (unsigned e = 0; e < num_edits && !out.empty(); ++e) {
+        const u64 pos = rng.below(out.size());
+        switch (rng.below(3)) {
+          case 0:
+            out[pos] = static_cast<Base>(rng.below(alphabet));
+            break;
+          case 1:
+            out.insert(out.begin() + static_cast<i64>(pos),
+                       static_cast<Base>(rng.below(alphabet)));
+            break;
+          default:
+            out.erase(out.begin() + static_cast<i64>(pos));
+            break;
+        }
+    }
+    return out;
+}
+
+TEST(Fuzz, SevenEditDistanceImplementationsAgree)
+{
+    Rng rng(77001);
+    const u32 k = 6;
+    SillaEdit silla(k);
+    Silla3D silla3d(k);
+    StructuralEditMachine structural(k);
+    UniversalLevAutomaton ula(k);
+
+    for (int t = 0; t < 250; ++t) {
+        const unsigned alphabet = t % 3 == 0 ? 2 : 4;
+        const size_t len = rng.below(60);
+        const Seq a = randomSeq(rng, len, alphabet);
+        const Seq b = t % 2 == 0
+                          ? randomSeq(rng, rng.below(60), alphabet)
+                          : mutateSeq(rng, a,
+                                      static_cast<unsigned>(rng.below(9)),
+                                      alphabet);
+
+        const u64 truth = editDistance(a, b);
+        EXPECT_EQ(myersEditDistance(a, b), truth);
+        EXPECT_EQ(wavefrontEditDistance(a, b), truth);
+
+        const auto bounded = editDistanceBounded(a, b, k);
+        ASSERT_EQ(bounded.has_value(), truth <= k);
+
+        const auto s2 = silla.distance(a, b);
+        const auto s3 = silla3d.distance(a, b);
+        const auto hw = structural.distance(a, b);
+        const auto u = ula.distance(a, b);
+        if (truth <= k) {
+            ASSERT_TRUE(s2 && s3 && hw && u)
+                << "a=" << decode(a) << " b=" << decode(b);
+            EXPECT_EQ(*s2, truth);
+            EXPECT_EQ(*s3, truth);
+            EXPECT_EQ(*hw, truth);
+            EXPECT_EQ(*u, truth);
+        } else {
+            EXPECT_FALSE(s2.has_value());
+            EXPECT_FALSE(s3.has_value());
+            EXPECT_FALSE(hw.has_value());
+            EXPECT_FALSE(u.has_value());
+        }
+
+        // The classic LA is string-dependent: built per pattern.
+        if (len <= 40) {
+            LevenshteinAutomaton la(a, k);
+            const auto l = la.distanceTo(b);
+            ASSERT_EQ(l.has_value(), truth <= k);
+            if (l) {
+                EXPECT_EQ(*l, truth);
+            }
+        }
+    }
+}
+
+TEST(Fuzz, ScoringMachinesAgreeUnderRandomSchemes)
+{
+    Rng rng(77002);
+    for (int t = 0; t < 120; ++t) {
+        Scoring sc;
+        sc.match = 1 + static_cast<i32>(rng.below(3));
+        sc.mismatch = 1 + static_cast<i32>(rng.below(6));
+        sc.gapOpen = static_cast<i32>(rng.below(9));
+        sc.gapExtend = 1 + static_cast<i32>(rng.below(3));
+
+        const u32 k = 4 + static_cast<u32>(rng.below(10));
+        const unsigned alphabet = t % 4 == 0 ? 2 : 4;
+        const Seq ref = randomSeq(rng, 30 + rng.below(90), alphabet);
+        const Seq qry = mutateSeq(
+            rng, ref, static_cast<unsigned>(rng.below(k / 2 + 1)),
+            alphabet);
+
+        const auto oracle =
+            gotohBanded(ref, qry, sc, AlignMode::Extend, k);
+        ASSERT_TRUE(oracle.valid);
+
+        SillaScore score(k, sc);
+        StructuralScoringMachine structural(k, sc);
+        SillaTraceback traceback(k, sc);
+
+        const auto s = score.run(ref, qry);
+        const auto h = structural.run(ref, qry);
+        const auto tb = traceback.align(ref, qry);
+        EXPECT_EQ(s.best, oracle.score)
+            << "t=" << t << " k=" << k << " match=" << sc.match
+            << " mis=" << sc.mismatch << " go=" << sc.gapOpen
+            << " ge=" << sc.gapExtend;
+        EXPECT_EQ(h.best, oracle.score);
+        EXPECT_EQ(tb.score, oracle.score);
+
+        // The recovered path must re-score to exactly the claim.
+        Cigar aligned;
+        for (const auto &e : tb.cigar.elems())
+            if (e.op != CigarOp::SoftClip)
+                aligned.push(e.op, e.len);
+        const Seq ref_win(ref.begin(),
+                          ref.begin() + static_cast<i64>(tb.refEnd));
+        const Seq qry_win(qry.begin(),
+                          qry.begin() + static_cast<i64>(tb.qryEnd));
+        EXPECT_EQ(aligned.rescore(ref_win, qry_win, sc), tb.score)
+            << tb.cigar.str();
+    }
+}
+
+TEST(Fuzz, TracebackValidOnAdversarialTandemRepeats)
+{
+    // Tandem repeats create massive tie ambiguity in gap placement —
+    // the classic trap for traceback implementations.
+    Rng rng(77003);
+    const Scoring sc;
+    SillaTraceback machine(12, sc);
+    for (int t = 0; t < 60; ++t) {
+        const u32 unit = 1 + static_cast<u32>(rng.below(6));
+        Seq ref;
+        const Seq u = randomSeq(rng, unit, 4);
+        while (ref.size() < 80)
+            ref.insert(ref.end(), u.begin(), u.end());
+        Seq qry =
+            mutateSeq(rng, ref, static_cast<unsigned>(rng.below(6)), 4);
+
+        const auto got = machine.align(ref, qry);
+        const auto oracle =
+            gotohBanded(ref, qry, sc, AlignMode::Extend, 12);
+        EXPECT_EQ(got.score, oracle.score) << "unit=" << unit;
+        EXPECT_EQ(got.cigar.queryLen(), qry.size());
+        Cigar aligned;
+        for (const auto &e : got.cigar.elems())
+            if (e.op != CigarOp::SoftClip)
+                aligned.push(e.op, e.len);
+        const Seq ref_win(ref.begin(),
+                          ref.begin() + static_cast<i64>(got.refEnd));
+        const Seq qry_win(qry.begin(),
+                          qry.begin() + static_cast<i64>(got.qryEnd));
+        EXPECT_EQ(aligned.rescore(ref_win, qry_win, sc), got.score);
+    }
+}
+
+} // namespace
+} // namespace genax

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for FASTA/FASTQ parsing and SAM emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/fasta.hh"
+#include "io/fastq.hh"
+#include "io/sam.hh"
+
+namespace genax {
+namespace {
+
+TEST(Fasta, ParseMultiRecordWrapped)
+{
+    std::istringstream in(">chr1 some description\nACGT\nACGT\n"
+                          ">chr2\nTTTT\n");
+    const auto recs = readFasta(in);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].name, "chr1");
+    EXPECT_EQ(decode(recs[0].seq), "ACGTACGT");
+    EXPECT_EQ(recs[1].name, "chr2");
+    EXPECT_EQ(decode(recs[1].seq), "TTTT");
+}
+
+TEST(Fasta, SkipsBlankLinesAndCarriageReturns)
+{
+    std::istringstream in(">r\r\nAC\r\n\r\nGT\r\n");
+    const auto recs = readFasta(in);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(decode(recs[0].seq), "ACGT");
+}
+
+TEST(Fasta, RoundTrip)
+{
+    std::vector<FastaRecord> recs{{"a", encode("ACGTACGTACGT")},
+                                  {"b", encode("TTT")}};
+    std::ostringstream out;
+    writeFasta(out, recs, 5);
+    std::istringstream in(out.str());
+    const auto back = readFasta(in);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].seq, recs[0].seq);
+    EXPECT_EQ(back[1].seq, recs[1].seq);
+}
+
+TEST(Fastq, ParseAndQualities)
+{
+    std::istringstream in("@r1 extra\nACGT\n+\nIIII\n@r2\nTT\n+anything\n!J\n");
+    const auto recs = readFastq(in);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].name, "r1");
+    EXPECT_EQ(decode(recs[0].seq), "ACGT");
+    EXPECT_EQ(recs[0].qual, (std::vector<u8>{40, 40, 40, 40}));
+    EXPECT_EQ(recs[1].qual, (std::vector<u8>{0, 41}));
+}
+
+TEST(Fastq, RoundTrip)
+{
+    std::vector<FastqRecord> recs{
+        {"x", encode("ACGTA"), {30, 31, 32, 33, 34}}};
+    std::ostringstream out;
+    writeFastq(out, recs);
+    std::istringstream in(out.str());
+    const auto back = readFastq(in);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].seq, recs[0].seq);
+    EXPECT_EQ(back[0].qual, recs[0].qual);
+}
+
+TEST(Sam, HeaderAndRecord)
+{
+    std::ostringstream out;
+    SamWriter writer(out, {{"chr1", 1000}});
+    SamRecord rec;
+    rec.qname = "read1";
+    rec.rname = "chr1";
+    rec.pos = 41; // 0-based
+    rec.mapq = 60;
+    rec.cigar = "101M";
+    rec.seq = "ACGT";
+    rec.qual = "IIII";
+    rec.score = 97;
+    rec.editDistance = 2;
+    writer.write(rec);
+    EXPECT_EQ(writer.count(), 1u);
+
+    const std::string text = out.str();
+    EXPECT_NE(text.find("@SQ\tSN:chr1\tLN:1000"), std::string::npos);
+    // Position is written 1-based.
+    EXPECT_NE(text.find("read1\t0\tchr1\t42\t60\t101M"), std::string::npos);
+    EXPECT_NE(text.find("AS:i:97"), std::string::npos);
+    EXPECT_NE(text.find("NM:i:2"), std::string::npos);
+}
+
+TEST(Sam, ReadBackRoundTrip)
+{
+    std::ostringstream out;
+    SamWriter writer(out, {{"chr1", 5000}, {"chr2", 800}});
+
+    SamRecord a;
+    a.qname = "q1";
+    a.flag = kSamPaired | kSamRead1 | kSamProperPair;
+    a.rname = "chr1";
+    a.pos = 0; // boundary: first base
+    a.mapq = 37;
+    a.cigar = "50M";
+    a.rnext = "=";
+    a.pnext = 250;
+    a.tlen = 300;
+    a.seq = "ACGT";
+    a.qual = "IIII";
+    a.score = 48;
+    a.editDistance = 1;
+    writer.write(a);
+
+    SamRecord b;
+    b.qname = "q2";
+    b.flag = kSamUnmapped;
+    writer.write(b);
+
+    std::istringstream in(out.str());
+    const SamFile sam = readSam(in);
+    ASSERT_EQ(sam.refs.size(), 2u);
+    EXPECT_EQ(sam.refs[0].name, "chr1");
+    EXPECT_EQ(sam.refs[0].length, 5000u);
+    EXPECT_EQ(sam.refs[1].name, "chr2");
+
+    ASSERT_EQ(sam.records.size(), 2u);
+    const SamRecord &ra = sam.records[0];
+    EXPECT_EQ(ra.qname, "q1");
+    EXPECT_EQ(ra.flag, a.flag);
+    EXPECT_EQ(ra.rname, "chr1");
+    EXPECT_EQ(ra.pos, 0u);
+    EXPECT_EQ(ra.mapq, 37);
+    EXPECT_EQ(ra.cigar, "50M");
+    EXPECT_EQ(ra.rnext, "=");
+    EXPECT_EQ(ra.pnext, 250u);
+    EXPECT_EQ(ra.tlen, 300);
+    EXPECT_EQ(ra.score, 48);
+    EXPECT_EQ(ra.editDistance, 1);
+
+    const SamRecord &rb = sam.records[1];
+    EXPECT_TRUE(rb.flag & kSamUnmapped);
+    EXPECT_EQ(rb.pos, kNoPos);
+    EXPECT_EQ(rb.pnext, kNoPos);
+}
+
+TEST(Sam, UnmappedRecord)
+{
+    std::ostringstream out;
+    SamWriter writer(out, {});
+    SamRecord rec;
+    rec.qname = "read2";
+    rec.flag = kSamUnmapped;
+    writer.write(rec);
+    EXPECT_NE(out.str().find("read2\t4\t*\t0\t0\t*"), std::string::npos);
+}
+
+} // namespace
+} // namespace genax

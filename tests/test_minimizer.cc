@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for minimizer selection and the sparse minimizer index:
+ * window coverage guarantee, lookup correctness, density, and an
+ * end-to-end mini-aligner built from minimizer anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "readsim/eval.hh"
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
+#include "seed/minimizer.hh"
+#include "swbase/anchor.hh"
+
+namespace genax {
+namespace {
+
+Seq
+randomSeq(Rng &rng, size_t len)
+{
+    Seq s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<Base>(rng.below(4)));
+    return s;
+}
+
+TEST(Minimizer, EveryWindowContainsASelection)
+{
+    Rng rng(9000);
+    const u32 k = 11, w = 8;
+    const Seq s = randomSeq(rng, 5000);
+    const auto mins = selectMinimizers(s, k, w);
+    ASSERT_FALSE(mins.empty());
+
+    std::vector<u8> selected(s.size() - k + 1, 0);
+    for (const auto &m : mins)
+        selected[m.pos] = 1;
+    const u64 kmers = s.size() - k + 1;
+    for (u64 win = 0; win + w <= kmers; ++win) {
+        bool any = false;
+        for (u64 j = win; j < win + w; ++j)
+            any |= selected[j];
+        EXPECT_TRUE(any) << "window " << win;
+    }
+}
+
+TEST(Minimizer, DeterministicAndSortedByPosition)
+{
+    Rng rng(9001);
+    const Seq s = randomSeq(rng, 2000);
+    const auto a = selectMinimizers(s, 13, 10);
+    const auto b = selectMinimizers(s, 13, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pos, b[i].pos);
+        EXPECT_EQ(a[i].key, b[i].key);
+        if (i > 0) {
+            EXPECT_GT(a[i].pos, a[i - 1].pos);
+        }
+    }
+}
+
+TEST(Minimizer, ShortSequenceStillSelectsOne)
+{
+    const Seq s = encode("ACGTACGTACGT");
+    const auto mins = selectMinimizers(s, 11, 10);
+    EXPECT_EQ(mins.size(), 1u);
+}
+
+TEST(Minimizer, DensityNearTwoOverWPlusOne)
+{
+    Rng rng(9002);
+    const Seq ref = randomSeq(rng, 200000);
+    for (u32 w : {5u, 10u, 20u}) {
+        MinimizerIndex index(ref, 13, w);
+        EXPECT_NEAR(index.density(), 2.0 / (w + 1),
+                    0.4 / (w + 1))
+            << "w=" << w;
+    }
+}
+
+TEST(MinimizerIndex, LookupFindsEverySelectedPosition)
+{
+    Rng rng(9003);
+    const Seq ref = randomSeq(rng, 20000);
+    const u32 k = 12, w = 8;
+    MinimizerIndex index(ref, k, w);
+    for (const auto &m : selectMinimizers(ref, k, w)) {
+        const auto hits = index.lookup(m.key);
+        EXPECT_TRUE(std::find(hits.begin(), hits.end(), m.pos) !=
+                    hits.end());
+        EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+    }
+    // An absent key yields nothing.
+    EXPECT_TRUE(index.lookup(0xdeadbeefdeadbeefULL).empty());
+}
+
+TEST(MinimizerIndex, ExactReadSeedsOnTruthDiagonal)
+{
+    Rng rng(9004);
+    const Seq ref = randomSeq(rng, 100000);
+    MinimizerIndex index(ref, 13, 8);
+    for (int t = 0; t < 25; ++t) {
+        const u32 pos = static_cast<u32>(rng.below(ref.size() - 101));
+        const Seq read(ref.begin() + pos, ref.begin() + pos + 101);
+        const auto seeds = index.seed(read);
+        ASSERT_FALSE(seeds.empty());
+        bool on_diagonal = false;
+        for (const auto &s : seeds) {
+            for (u32 h : s.positions)
+                on_diagonal |= h == pos + s.qryBegin;
+        }
+        EXPECT_TRUE(on_diagonal) << "t=" << t;
+    }
+}
+
+TEST(MinimizerIndex, SparserThanDenseKmerTables)
+{
+    Rng rng(9005);
+    const Seq ref = randomSeq(rng, 100000);
+    MinimizerIndex index(ref, 13, 10);
+    // Dense position table: one entry per position (3 B hardware
+    // width); the sketch keeps ~2/(w+1) of positions at 12 B each.
+    const double dense_entries =
+        static_cast<double>(ref.size() - 12);
+    EXPECT_LT(static_cast<double>(index.footprintBytes()) / 12.0,
+              dense_entries / 3.0);
+}
+
+TEST(MinimizerIndex, MiniAlignerMapsMutatedReads)
+{
+    // Minimizer anchors + the shared extension machinery form a
+    // complete (if simple) aligner.
+    RefGenConfig rcfg;
+    rcfg.length = 150000;
+    rcfg.seed = 17;
+    const Seq ref = generateReference(rcfg);
+    MinimizerIndex index(ref, 13, 8);
+
+    ReadSimConfig rs;
+    rs.numReads = 100;
+    rs.seed = 18;
+    const auto sim = simulateReads(ref, rs);
+
+    const Scoring sc;
+    const ExtendFn kernel = [&](const Seq &rw, const Seq &q) {
+        return gotohExtendKernel(rw, q, sc, 16);
+    };
+    AnchorConfig acfg;
+    acfg.minSeedLen = 13; // minimizer seeds are exactly k long
+
+    std::vector<Mapping> maps;
+    for (const auto &r : sim) {
+        Mapping best;
+        for (bool reverse : {false, true}) {
+            const Seq oriented =
+                reverse ? reverseComplement(r.seq) : r.seq;
+            const auto anchors = makeAnchors(index.seed(oriented), 0,
+                                             reverse, acfg);
+            for (const auto &anchor : anchors) {
+                const Mapping m = extendAnchor(ref, oriented, anchor,
+                                               sc, 16, kernel);
+                if (!best.mapped || m.score > best.score)
+                    best = m;
+            }
+        }
+        maps.push_back(best);
+    }
+    const auto acc = evaluateAccuracy(sim, maps);
+    EXPECT_GT(acc.correctFraction(), 0.93);
+}
+
+} // namespace
+} // namespace genax

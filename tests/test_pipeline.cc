@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Integration tests for the file-to-file pipeline: multi-contig
+ * coordinate mapping, SAM emission, both engines, and a real
+ * FASTA/FASTQ/SAM round trip through the filesystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "genax/pipeline.hh"
+#include "io/sam.hh"
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
+
+namespace genax {
+namespace {
+
+std::vector<FastaRecord>
+twoContigReference(u64 len_a, u64 len_b, u64 seed)
+{
+    RefGenConfig cfg;
+    cfg.length = len_a;
+    cfg.seed = seed;
+    std::vector<FastaRecord> ref;
+    ref.push_back({"chrA", generateReference(cfg)});
+    cfg.length = len_b;
+    cfg.seed = seed + 1;
+    ref.push_back({"chrB", generateReference(cfg)});
+    return ref;
+}
+
+TEST(ContigMap, LocateMapsAcrossContigs)
+{
+    std::vector<FastaRecord> ref;
+    ref.push_back({"a", encode("ACGTACGT")}); // [0, 8)
+    ref.push_back({"b", encode("TTTT")});     // [8, 12)
+    ref.push_back({"c", encode("GG")});       // [12, 14)
+    const ContigMap map(ref);
+    EXPECT_EQ(map.sequence().size(), 14u);
+
+    EXPECT_EQ(map.locate(0), (std::pair<size_t, u64>{0, 0}));
+    EXPECT_EQ(map.locate(7), (std::pair<size_t, u64>{0, 7}));
+    EXPECT_EQ(map.locate(8), (std::pair<size_t, u64>{1, 0}));
+    EXPECT_EQ(map.locate(11), (std::pair<size_t, u64>{1, 3}));
+    EXPECT_EQ(map.locate(12), (std::pair<size_t, u64>{2, 0}));
+    EXPECT_EQ(map.locate(13), (std::pair<size_t, u64>{2, 1}));
+}
+
+TEST(Pipeline, MultiContigReadsLandOnTheRightContig)
+{
+    const auto ref = twoContigReference(60000, 40000, 77);
+
+    // Error-free reads with known contig/position.
+    std::vector<FastqRecord> reads;
+    std::vector<std::pair<std::string, u64>> truth;
+    Rng rng(5);
+    for (int i = 0; i < 40; ++i) {
+        const bool on_b = i % 2 == 1;
+        const Seq &contig = ref[on_b ? 1 : 0].seq;
+        const u64 pos = rng.below(contig.size() - 101);
+        FastqRecord rec;
+        rec.name = "r" + std::to_string(i);
+        rec.seq = Seq(contig.begin() + static_cast<i64>(pos),
+                      contig.begin() + static_cast<i64>(pos + 101));
+        rec.qual.assign(101, 35);
+        reads.push_back(std::move(rec));
+        truth.emplace_back(on_b ? "chrB" : "chrA", pos);
+    }
+
+    PipelineOptions opts;
+    opts.k = 11;
+    opts.band = 16;
+    opts.segments = 4;
+    std::ostringstream sam;
+    const auto res = alignToSam(ref, reads, sam, opts);
+    EXPECT_EQ(res.reads, reads.size());
+    EXPECT_EQ(res.mapped, reads.size());
+
+    // Check every alignment line against the truth.
+    std::istringstream in(sam.str());
+    std::string line;
+    size_t idx = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '@')
+            continue;
+        std::istringstream fields(line);
+        std::string qname, flag, rname, pos;
+        fields >> qname >> flag >> rname >> pos;
+        ASSERT_LT(idx, truth.size());
+        EXPECT_EQ(qname, "r" + std::to_string(idx));
+        EXPECT_EQ(rname, truth[idx].first) << qname;
+        EXPECT_EQ(static_cast<u64>(std::stoull(pos)),
+                  truth[idx].second + 1) // SAM is 1-based
+            << qname;
+        ++idx;
+    }
+    EXPECT_EQ(idx, reads.size());
+}
+
+TEST(Pipeline, BothEnginesProduceSameMappedCount)
+{
+    const auto ref = twoContigReference(50000, 30000, 99);
+    ContigMap map(ref);
+
+    ReadSimConfig rs;
+    rs.numReads = 60;
+    rs.seed = 6;
+    const auto sim = simulateReads(map.sequence(), rs);
+    std::vector<FastqRecord> reads;
+    for (const auto &r : sim)
+        reads.push_back({r.name, r.seq, r.qual});
+
+    PipelineOptions hw;
+    hw.k = 11;
+    hw.band = 16;
+    hw.segments = 4;
+    PipelineOptions sw = hw;
+    sw.engine = PipelineOptions::Engine::Software;
+
+    std::ostringstream hw_sam, sw_sam;
+    const auto hw_res = alignToSam(ref, reads, hw_sam, hw);
+    const auto sw_res = alignToSam(ref, reads, sw_sam, sw);
+    EXPECT_EQ(hw_res.mapped, sw_res.mapped);
+    EXPECT_GT(hw_res.mapped, reads.size() * 9 / 10);
+    // GenAx engine populates the hardware perf model.
+    EXPECT_GT(hw_res.perf.totalSeconds, 0.0);
+}
+
+TEST(Pipeline, FileRoundTrip)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "genax_pipeline_test";
+    fs::create_directories(dir);
+    const std::string ref_path = (dir / "ref.fa").string();
+    const std::string reads_path = (dir / "reads.fq").string();
+    const std::string sam_path = (dir / "out.sam").string();
+
+    const auto ref = twoContigReference(30000, 20000, 123);
+    {
+        std::ofstream out(ref_path);
+        writeFasta(out, ref);
+    }
+    ContigMap map(ref);
+    ReadSimConfig rs;
+    rs.numReads = 30;
+    rs.seed = 8;
+    const auto sim = simulateReads(map.sequence(), rs);
+    {
+        std::vector<FastqRecord> reads;
+        for (const auto &r : sim)
+            reads.push_back({r.name, r.seq, r.qual});
+        std::ofstream out(reads_path);
+        writeFastq(out, reads);
+    }
+
+    PipelineOptions opts;
+    opts.k = 11;
+    opts.band = 16;
+    opts.segments = 4;
+    const auto res = alignFiles(ref_path, reads_path, sam_path, opts);
+    EXPECT_EQ(res.reads, 30u);
+    EXPECT_GT(res.mapped, 26u);
+
+    // The SAM file exists, has the header and one line per read.
+    std::ifstream in(sam_path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    u64 headers = 0, records = 0;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] == '@')
+            ++headers;
+        else if (!line.empty())
+            ++records;
+    }
+    EXPECT_EQ(headers, 2u + 2u); // @HD, 2x @SQ, @PG
+    EXPECT_EQ(records, 30u);
+
+    fs::remove_all(dir);
+}
+
+TEST(Pipeline, PairedEndSamFlagsAndTlen)
+{
+    const auto ref = twoContigReference(80000, 40000, 777);
+    ContigMap map(ref);
+
+    ReadSimConfig rs;
+    rs.numReads = 25;
+    rs.seed = 9;
+    const auto pairs = simulatePairs(map.sequence(), rs);
+    std::vector<FastqRecord> r1, r2;
+    for (const auto &p : pairs) {
+        r1.push_back({p.r1.name, p.r1.seq, p.r1.qual});
+        r2.push_back({p.r2.name, p.r2.seq, p.r2.qual});
+    }
+
+    PipelineOptions opts;
+    opts.k = 11;
+    opts.band = 16;
+    std::ostringstream sam;
+    const auto res = alignPairsToSam(ref, r1, r2, sam, opts);
+    EXPECT_EQ(res.reads, 50u);
+    EXPECT_GE(res.mapped, 48u);
+
+    std::istringstream in(sam.str());
+    std::string line;
+    u64 records = 0, proper = 0;
+    i64 tlen_sum = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '@')
+            continue;
+        ++records;
+        std::istringstream fields(line);
+        std::string f[11];
+        for (auto &s : f)
+            fields >> s;
+        const u16 flag = static_cast<u16>(std::stoi(f[1]));
+        EXPECT_TRUE(flag & kSamPaired);
+        EXPECT_TRUE((flag & kSamRead1) || (flag & kSamRead2));
+        if (flag & kSamProperPair) {
+            ++proper;
+            const i64 tlen = std::stoll(f[8]);
+            EXPECT_NE(tlen, 0);
+            if (tlen > 0)
+                tlen_sum += tlen;
+            // Proper mates share a contig: RNEXT is "=".
+            EXPECT_EQ(f[6], "=");
+        }
+    }
+    EXPECT_EQ(records, 50u);
+    EXPECT_GT(proper, 40u);
+    // Mean positive template length tracks the simulated insert.
+    EXPECT_NEAR(static_cast<double>(tlen_sum) /
+                    static_cast<double>(proper / 2),
+                300.0, 60.0);
+}
+
+TEST(Pipeline, ReverseReadsQualityIsReversed)
+{
+    const auto ref = twoContigReference(30000, 10000, 321);
+    ContigMap map(ref);
+    // One reverse-strand error-free read with a ramp quality string.
+    const Seq frag(map.sequence().begin() + 5000,
+                   map.sequence().begin() + 5101);
+    FastqRecord rec;
+    rec.name = "rev1";
+    rec.seq = reverseComplement(frag);
+    for (int i = 0; i < 101; ++i)
+        rec.qual.push_back(static_cast<u8>(i % 40));
+
+    PipelineOptions opts;
+    opts.k = 11;
+    opts.band = 16;
+    opts.segments = 2;
+    std::ostringstream sam;
+    alignToSam(ref, {rec}, sam, opts);
+
+    std::istringstream in(sam.str());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '@')
+            continue;
+        std::istringstream fields(line);
+        std::string f[11];
+        for (auto &s : f)
+            fields >> s;
+        EXPECT_EQ(f[1], "16"); // reverse flag
+        // Sequence is stored reverse-complemented (reference
+        // orientation), quality reversed accordingly.
+        EXPECT_EQ(f[9], decode(frag));
+        EXPECT_EQ(f[10].front(), static_cast<char>((100 % 40) + 33));
+    }
+}
+
+} // namespace
+} // namespace genax

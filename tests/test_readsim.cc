@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the synthetic reference generator and read
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/edit_distance.hh"
+#include "readsim/eval.hh"
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
+
+namespace genax {
+namespace {
+
+TEST(RefGen, LengthAndDeterminism)
+{
+    RefGenConfig cfg;
+    cfg.length = 50000;
+    cfg.seed = 5;
+    const Seq a = generateReference(cfg);
+    const Seq b = generateReference(cfg);
+    EXPECT_EQ(a.size(), cfg.length);
+    EXPECT_EQ(a, b);
+    cfg.seed = 6;
+    EXPECT_NE(generateReference(cfg), a);
+}
+
+TEST(RefGen, BaseCompositionRoughlyMatchesGcBias)
+{
+    RefGenConfig cfg;
+    cfg.length = 200000;
+    cfg.repeatFraction = 0; // pure iid stream for this check
+    const Seq ref = generateReference(cfg);
+    u64 gc = 0;
+    for (Base b : ref)
+        gc += (b == kBaseG || b == kBaseC);
+    const double frac = static_cast<double>(gc) / cfg.length;
+    EXPECT_NEAR(frac, cfg.gcBias, 0.01);
+}
+
+TEST(RefGen, RepeatsCreateDuplicateKmers)
+{
+    RefGenConfig with;
+    with.length = 100000;
+    with.repeatFraction = 0.2;
+    RefGenConfig without = with;
+    without.repeatFraction = 0;
+
+    auto max_kmer_multiplicity = [](const Seq &ref) {
+        std::vector<u64> kmers;
+        PackedSeq p(ref);
+        for (size_t i = 0; i + 16 <= ref.size(); i += 16)
+            kmers.push_back(p.kmer(i, 16));
+        std::sort(kmers.begin(), kmers.end());
+        u64 best = 1, run = 1;
+        for (size_t i = 1; i < kmers.size(); ++i) {
+            run = kmers[i] == kmers[i - 1] ? run + 1 : 1;
+            best = std::max(best, run);
+        }
+        return best;
+    };
+
+    EXPECT_GT(max_kmer_multiplicity(generateReference(with)),
+              max_kmer_multiplicity(generateReference(without)));
+}
+
+TEST(Donor, CoordinateMapIsMonotone)
+{
+    RefGenConfig rcfg;
+    rcfg.length = 100000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    Rng rng(3);
+    const Donor donor = buildDonor(ref, cfg, rng);
+    ASSERT_EQ(donor.seq.size(), donor.donorToRef.size());
+    for (size_t i = 1; i < donor.donorToRef.size(); ++i)
+        EXPECT_LE(donor.donorToRef[i - 1], donor.donorToRef[i]);
+    EXPECT_LT(donor.donorToRef.back(), ref.size());
+    EXPECT_GT(donor.numSnps, 0u);
+}
+
+TEST(Donor, NoVariantsMeansIdentity)
+{
+    RefGenConfig rcfg;
+    rcfg.length = 5000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    cfg.snpRate = 0;
+    cfg.donorIndelRate = 0;
+    Rng rng(4);
+    const Donor donor = buildDonor(ref, cfg, rng);
+    EXPECT_EQ(donor.seq, ref);
+    EXPECT_EQ(donor.numSnps, 0u);
+    EXPECT_EQ(donor.numIndels, 0u);
+}
+
+TEST(ReadSim, BasicShapeAndDeterminism)
+{
+    RefGenConfig rcfg;
+    rcfg.length = 100000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    cfg.numReads = 500;
+    const auto reads = simulateReads(ref, cfg);
+    ASSERT_EQ(reads.size(), cfg.numReads);
+    for (const auto &r : reads) {
+        EXPECT_EQ(r.seq.size(), cfg.readLen);
+        EXPECT_LT(r.truthPos, ref.size());
+    }
+    const auto again = simulateReads(ref, cfg);
+    EXPECT_EQ(reads[7].seq, again[7].seq);
+    EXPECT_EQ(reads[7].truthPos, again[7].truthPos);
+}
+
+TEST(ReadSim, ErrorFreeReadsMatchReferenceAtTruth)
+{
+    RefGenConfig rcfg;
+    rcfg.length = 100000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    cfg.numReads = 300;
+    cfg.snpRate = 0;
+    cfg.donorIndelRate = 0;
+    cfg.baseErrorRate = 0;
+    cfg.readIndelRate = 0;
+    cfg.sampleReverse = false;
+    const auto reads = simulateReads(ref, cfg);
+    for (const auto &r : reads) {
+        const Seq window(ref.begin() + static_cast<i64>(r.truthPos),
+                         ref.begin() + static_cast<i64>(r.truthPos) +
+                             static_cast<i64>(cfg.readLen));
+        EXPECT_EQ(r.seq, window) << r.name;
+        EXPECT_EQ(r.numErrors, 0u);
+    }
+}
+
+TEST(ReadSim, ReverseReadsMatchAfterReverseComplement)
+{
+    RefGenConfig rcfg;
+    rcfg.length = 50000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    cfg.numReads = 200;
+    cfg.snpRate = 0;
+    cfg.donorIndelRate = 0;
+    cfg.baseErrorRate = 0;
+    cfg.readIndelRate = 0;
+    const auto reads = simulateReads(ref, cfg);
+    bool saw_reverse = false;
+    for (const auto &r : reads) {
+        const Seq fwd = r.reverse ? reverseComplement(r.seq) : r.seq;
+        saw_reverse |= r.reverse;
+        const Seq window(ref.begin() + static_cast<i64>(r.truthPos),
+                         ref.begin() + static_cast<i64>(r.truthPos) +
+                             static_cast<i64>(cfg.readLen));
+        EXPECT_EQ(fwd, window);
+    }
+    EXPECT_TRUE(saw_reverse);
+}
+
+TEST(ReadSim, DefaultRatesGiveMostlyExactReads)
+{
+    // The paper reports ~75% of real reads match the reference
+    // exactly (Section V); the default simulation should land in that
+    // regime.
+    RefGenConfig rcfg;
+    rcfg.length = 200000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    cfg.numReads = 2000;
+    cfg.sampleReverse = false;
+    const auto reads = simulateReads(ref, cfg);
+    u64 exact = 0;
+    for (const auto &r : reads) {
+        const u64 end = std::min<u64>(r.truthPos + cfg.readLen, ref.size());
+        const Seq window(ref.begin() + static_cast<i64>(r.truthPos),
+                         ref.begin() + static_cast<i64>(end));
+        if (window.size() == r.seq.size() && window == r.seq)
+            ++exact;
+    }
+    const double frac = static_cast<double>(exact) / reads.size();
+    EXPECT_GT(frac, 0.55);
+    EXPECT_LT(frac, 0.92);
+}
+
+TEST(ReadSim, PositionalErrorsRampTowardThreePrime)
+{
+    RefGenConfig rcfg;
+    rcfg.length = 300000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    cfg.numReads = 4000;
+    cfg.snpRate = 0;
+    cfg.donorIndelRate = 0;
+    cfg.readIndelRate = 0;
+    cfg.baseErrorRate = 0.02;
+    cfg.positionalErrors = true;
+    cfg.sampleReverse = false;
+    const auto reads = simulateReads(ref, cfg);
+
+    u64 head_errors = 0, tail_errors = 0;
+    for (const auto &r : reads) {
+        for (u64 i = 0; i < cfg.readLen; ++i) {
+            if (r.seq[i] != ref[r.truthPos + i])
+                (i < cfg.readLen / 2 ? head_errors : tail_errors) += 1;
+        }
+    }
+    // The 3' half carries roughly 5/3 of the 5' half's errors.
+    EXPECT_GT(tail_errors, head_errors * 13 / 10);
+
+    // Quality scores decrease along the read and match the model.
+    const auto &q = reads[0].qual;
+    EXPECT_GT(q.front(), q.back());
+    EXPECT_EQ(q.front(), 20); // -10*log10(0.01)
+}
+
+TEST(ReadSim, FlatProfileWhenPositionalErrorsOff)
+{
+    RefGenConfig rcfg;
+    rcfg.length = 50000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    cfg.numReads = 5;
+    const auto reads = simulateReads(ref, cfg);
+    for (const auto &r : reads)
+        for (u8 q : r.qual)
+            EXPECT_EQ(q, 35);
+}
+
+TEST(Eval, AccuracyAndConcordanceArithmetic)
+{
+    std::vector<SimRead> truth(3);
+    truth[0].truthPos = 100;
+    truth[1].truthPos = 200;
+    truth[1].reverse = true;
+    truth[2].truthPos = 300;
+
+    std::vector<Mapping> maps(3);
+    maps[0].mapped = true;
+    maps[0].pos = 105; // within tolerance
+    maps[1].mapped = true;
+    maps[1].pos = 200;
+    maps[1].reverse = false; // wrong strand
+    // maps[2] unmapped
+
+    const auto acc = evaluateAccuracy(truth, maps, 12);
+    EXPECT_EQ(acc.reads, 3u);
+    EXPECT_EQ(acc.mapped, 2u);
+    EXPECT_EQ(acc.correct, 1u);
+    EXPECT_NEAR(acc.correctFraction(), 1.0 / 3, 1e-9);
+
+    std::vector<Mapping> other = maps;
+    other[0].score = 99;
+    maps[0].score = 99;
+    other[1].pos = 777;
+    const auto conc = evaluateConcordance(maps, other);
+    EXPECT_EQ(conc.bothMapped, 2u);
+    EXPECT_EQ(conc.sameScore, 2u);
+    EXPECT_EQ(conc.samePlacement, 1u);
+}
+
+TEST(ReadSim, ReadsAlignNearTruthWithinSmallEditDistance)
+{
+    RefGenConfig rcfg;
+    rcfg.length = 100000;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig cfg;
+    cfg.numReads = 100;
+    cfg.sampleReverse = false;
+    const auto reads = simulateReads(ref, cfg);
+    for (const auto &r : reads) {
+        const u64 end =
+            std::min<u64>(r.truthPos + cfg.readLen + 8, ref.size());
+        const Seq window(ref.begin() + static_cast<i64>(r.truthPos),
+                         ref.begin() + static_cast<i64>(end));
+        // Edit distance to the truth window is small (errors +
+        // variants + boundary slack).
+        EXPECT_LE(editDistance(r.seq, window), 16u) << r.name;
+    }
+}
+
+} // namespace
+} // namespace genax

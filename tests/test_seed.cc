@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Tests for the seeding accelerator: k-mer index, CAM model, SMEM
+ * engine (with all optimization ablations) and genome segmentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "readsim/refgen.hh"
+#include "seed/cam.hh"
+#include "seed/kmer_index.hh"
+#include "seed/segment.hh"
+#include "seed/smem_engine.hh"
+
+namespace genax {
+namespace {
+
+Seq
+randomSeq(Rng &rng, size_t len)
+{
+    Seq s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<Base>(rng.below(4)));
+    return s;
+}
+
+/** All positions where `pat` occurs in `ref` (brute force). */
+std::vector<u32>
+occurrences(const Seq &ref, const Seq &pat)
+{
+    std::vector<u32> out;
+    if (pat.empty() || pat.size() > ref.size())
+        return out;
+    for (size_t r = 0; r + pat.size() <= ref.size(); ++r) {
+        if (std::equal(pat.begin(), pat.end(), ref.begin() + r))
+            out.push_back(static_cast<u32>(r));
+    }
+    return out;
+}
+
+/** Longest L >= 0 such that read[p, p+L) occurs somewhere in ref. */
+u32
+maxExtension(const Seq &ref, const Seq &read, u32 pivot)
+{
+    u32 best = 0;
+    for (size_t r = 0; r < ref.size(); ++r) {
+        u32 l = 0;
+        while (pivot + l < read.size() && r + l < ref.size() &&
+               read[pivot + l] == ref[r + l]) {
+            ++l;
+        }
+        best = std::max(best, l);
+    }
+    return best;
+}
+
+// --------------------------------------------------------- KmerIndex
+
+class KmerIndexTest : public ::testing::TestWithParam<u32>
+{};
+
+TEST_P(KmerIndexTest, LookupMatchesBruteForce)
+{
+    const u32 k = GetParam();
+    Rng rng(700 + k);
+    const Seq ref = randomSeq(rng, 3000);
+    KmerIndex index(ref, k);
+    for (int t = 0; t < 60; ++t) {
+        const size_t pos = rng.below(ref.size() - k + 1);
+        const Seq pat(ref.begin() + static_cast<i64>(pos),
+                      ref.begin() + static_cast<i64>(pos + k));
+        const auto hits = index.lookup(index.packKmer(pat, 0));
+        const auto expect = occurrences(ref, pat);
+        ASSERT_EQ(hits.size(), expect.size()) << "k=" << k;
+        EXPECT_TRUE(std::equal(hits.begin(), hits.end(), expect.begin()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KmerIndexTest,
+                         ::testing::Values(3u, 6u, 9u, 12u));
+
+TEST(KmerIndex, AbsentKmerHasNoHits)
+{
+    // A reference of all-A cannot contain any k-mer with a C.
+    const Seq ref(500, kBaseA);
+    KmerIndex index(ref, 8);
+    const Seq pat = encode("AAAACAAA");
+    EXPECT_TRUE(index.lookup(index.packKmer(pat, 0)).empty());
+    // And the all-A k-mer hits every position.
+    EXPECT_EQ(index.lookup(0).size(), 500u - 8 + 1);
+    EXPECT_EQ(index.maxHitListSize(), 493u);
+}
+
+TEST(KmerIndex, PositionsAreSorted)
+{
+    Rng rng(701);
+    const Seq ref = randomSeq(rng, 5000);
+    KmerIndex index(ref, 5);
+    for (u64 key = 0; key < (1u << 10); ++key) {
+        const auto hits = index.lookup(key);
+        EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+    }
+}
+
+TEST(KmerIndex, ShortReferenceHandled)
+{
+    const Seq ref = encode("ACG");
+    KmerIndex index(ref, 8);
+    EXPECT_TRUE(index.lookup(0).empty());
+    EXPECT_EQ(index.positionTableBytes(), 0u);
+}
+
+TEST(KmerIndex, TableFootprints)
+{
+    Rng rng(702);
+    const Seq ref = randomSeq(rng, 10000);
+    KmerIndex index(ref, 10);
+    EXPECT_EQ(index.indexTableBytes(), (u64{1} << 20) * 3);
+    EXPECT_EQ(index.positionTableBytes(), (10000u - 10 + 1) * 3);
+}
+
+TEST(KmerIndex, SerializationRoundTrip)
+{
+    Rng rng(703);
+    const Seq ref = randomSeq(rng, 20000);
+    KmerIndex index(ref, 9);
+
+    std::stringstream buf;
+    index.save(buf);
+    const KmerIndex back = KmerIndex::load(buf);
+
+    EXPECT_EQ(back.k(), index.k());
+    EXPECT_EQ(back.segmentLength(), index.segmentLength());
+    EXPECT_EQ(back.maxHitListSize(), index.maxHitListSize());
+    // Spot-check lookups across the key space.
+    for (u64 key = 0; key < (u64{1} << 18); key += 4097) {
+        const auto a = index.lookup(key);
+        const auto b = back.lookup(key);
+        ASSERT_EQ(a.size(), b.size()) << key;
+        EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+}
+
+TEST(KmerIndexDeath, LoadRejectsGarbage)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::stringstream buf("definitely not an index file");
+    EXPECT_DEATH(KmerIndex::load(buf), "not a GenAx k-mer index");
+}
+
+// --------------------------------------------------------------- CAM
+
+TEST(CamModel, IntersectionCorrectWithNormalization)
+{
+    CamModel cam(512);
+    const std::vector<u32> cand{5, 10, 20, 100};
+    const std::vector<u32> hits{2, 13, 23, 95, 103, 200};
+    // offset 3: normalized hits {10, 20, 92, 100, 197} and 2 dropped.
+    const auto out = cam.intersect(cand, hits, 3);
+    EXPECT_EQ(out, (std::vector<u32>{10, 20, 100}));
+}
+
+TEST(CamModel, EmptyInputs)
+{
+    CamModel cam(512);
+    EXPECT_TRUE(cam.intersect({}, std::vector<u32>{1, 2}, 0).empty());
+    EXPECT_TRUE(cam.intersect({1, 2}, std::vector<u32>{}, 0).empty());
+}
+
+TEST(CamModel, RandomizedAgainstSetIntersection)
+{
+    Rng rng(710);
+    CamModel cam(512);
+    for (int t = 0; t < 50; ++t) {
+        std::set<u32> a, b;
+        for (int i = 0; i < 60; ++i)
+            a.insert(static_cast<u32>(rng.below(500)));
+        for (int i = 0; i < 60; ++i)
+            b.insert(static_cast<u32>(rng.below(500)));
+        const u32 off = static_cast<u32>(rng.below(20));
+        std::vector<u32> cand(a.begin(), a.end());
+        std::vector<u32> hits(b.begin(), b.end());
+        std::vector<u32> expect;
+        for (u32 h : hits)
+            if (h >= off && a.count(h - off))
+                expect.push_back(h - off);
+        EXPECT_EQ(cam.intersect(cand, hits, off), expect);
+    }
+}
+
+TEST(CamModel, CountsCamSearchesForSmallLists)
+{
+    CamModel cam(512);
+    cam.intersect({1, 2, 3}, std::vector<u32>{1, 2, 3, 4, 5}, 0);
+    EXPECT_EQ(cam.stats().loads, 5u);    // hit list into the CAM
+    EXPECT_EQ(cam.stats().searches, 3u); // one per candidate
+    EXPECT_EQ(cam.stats().binarySteps, 0u);
+    EXPECT_EQ(cam.stats().overflowFallbacks, 0u);
+}
+
+TEST(CamModel, BinaryFallbackForOversizedLists)
+{
+    CamModel with_fallback(4, true);
+    CamModel without_fallback(4, false);
+    const std::vector<u32> cand{1, 2, 3};
+    std::vector<u32> hits;
+    for (u32 i = 0; i < 100; ++i)
+        hits.push_back(i);
+    const auto a = with_fallback.intersect(cand, hits, 0);
+    const auto b = without_fallback.intersect(cand, hits, 0);
+    EXPECT_EQ(a, b); // identical result, different cost path
+    EXPECT_EQ(with_fallback.stats().searches, 0u);
+    EXPECT_GT(with_fallback.stats().binarySteps, 0u);
+    EXPECT_EQ(with_fallback.stats().overflowFallbacks, 1u);
+    // 25 CAM refill passes, candidates re-streamed each pass.
+    EXPECT_EQ(without_fallback.stats().searches, 25u * 3);
+    // The fallback saves lookups: |cand| * log vs |hits|.
+    EXPECT_LT(with_fallback.stats().lookups(),
+              without_fallback.stats().lookups());
+}
+
+// -------------------------------------------------------- SMEM engine
+
+TEST(SmemEngine, ExactReadFastPath)
+{
+    Rng rng(720);
+    const Seq ref = randomSeq(rng, 20000);
+    KmerIndex index(ref, 10);
+    SmemEngine engine(index, {});
+    const u32 pos = 4321, len = 101;
+    const Seq read(ref.begin() + pos, ref.begin() + pos + len);
+    const auto seeds = engine.seed(read);
+    ASSERT_EQ(seeds.size(), 1u);
+    EXPECT_EQ(seeds[0].qryBegin, 0u);
+    EXPECT_EQ(seeds[0].qryEnd, len);
+    ASSERT_FALSE(seeds[0].positions.empty());
+    EXPECT_TRUE(std::find(seeds[0].positions.begin(),
+                          seeds[0].positions.end(),
+                          pos) != seeds[0].positions.end());
+    EXPECT_EQ(engine.stats().exactMatchReads, 1u);
+}
+
+TEST(SmemEngine, ExactPositionsMatchBruteForce)
+{
+    Rng rng(721);
+    // Force repeats so the exact read has multiple hits.
+    Seq ref = randomSeq(rng, 5000);
+    const Seq unit(ref.begin() + 100, ref.begin() + 400);
+    for (int copy = 0; copy < 3; ++copy)
+        ref.insert(ref.end(), unit.begin(), unit.end());
+    KmerIndex index(ref, 10);
+    SmemEngine engine(index, {});
+    const Seq read(ref.begin() + 150, ref.begin() + 251);
+    const auto seeds = engine.seed(read);
+    ASSERT_EQ(seeds.size(), 1u);
+    EXPECT_EQ(seeds[0].positions, occurrences(ref, read));
+}
+
+/** Reference SMEM oracle matching the engine's reporting rule. */
+std::vector<Smem>
+smemOracle(const Seq &ref, const Seq &read, u32 k)
+{
+    std::vector<Smem> out;
+    u32 max_end = 0;
+    for (u32 pivot = 0; pivot + k <= read.size(); ++pivot) {
+        const u32 ext = maxExtension(ref, read, pivot);
+        if (ext < k)
+            continue;
+        const u32 end = pivot + ext;
+        if (end <= max_end)
+            continue;
+        max_end = end;
+        Smem s;
+        s.qryBegin = pivot;
+        s.qryEnd = end;
+        const Seq pat(read.begin() + pivot, read.begin() + end);
+        s.positions = occurrences(ref, pat);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+TEST(SmemEngine, MatchesOracleOnMutatedReads)
+{
+    Rng rng(722);
+    const Seq ref = randomSeq(rng, 4000);
+    KmerIndex index(ref, 8);
+    SeedingConfig cfg;
+    cfg.exactMatchFastPath = false; // exercise the pivot loop fully
+    SmemEngine engine(index, cfg);
+    for (int t = 0; t < 15; ++t) {
+        const u32 pos = static_cast<u32>(rng.below(ref.size() - 120));
+        Seq read(ref.begin() + pos, ref.begin() + pos + 101);
+        // A couple of substitutions to split the read into SMEMs.
+        for (int e = 0; e < 2; ++e) {
+            const u64 p = rng.below(read.size());
+            read[p] = static_cast<Base>((read[p] + 1 + rng.below(3)) & 3);
+        }
+        const auto got = engine.seed(read);
+        const auto expect = smemOracle(ref, read, 8);
+        ASSERT_EQ(got.size(), expect.size()) << "t=" << t;
+        for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].qryBegin, expect[i].qryBegin);
+            EXPECT_EQ(got[i].qryEnd, expect[i].qryEnd);
+            EXPECT_EQ(got[i].positions, expect[i].positions)
+                << "smem " << i;
+        }
+    }
+}
+
+TEST(SmemEngine, OptimizationsPreserveResults)
+{
+    Rng rng(723);
+    const Seq ref = randomSeq(rng, 4000);
+    KmerIndex index(ref, 8);
+
+    SeedingConfig base;
+    base.exactMatchFastPath = false;
+    base.probing = false;
+    base.binarySearchFallback = false;
+
+    for (int t = 0; t < 10; ++t) {
+        const u32 pos = static_cast<u32>(rng.below(ref.size() - 120));
+        Seq read(ref.begin() + pos, ref.begin() + pos + 101);
+        for (int e = 0; e < 3; ++e) {
+            const u64 p = rng.below(read.size());
+            read[p] = static_cast<Base>((read[p] + 1 + rng.below(3)) & 3);
+        }
+
+        SmemEngine plain(index, base);
+        const auto expect = plain.seed(read);
+
+        for (int variant = 0; variant < 3; ++variant) {
+            SeedingConfig cfg = base;
+            if (variant == 0)
+                cfg.probing = true;
+            if (variant == 1)
+                cfg.binarySearchFallback = true;
+            if (variant == 2)
+                cfg.exactMatchFastPath = true;
+            SmemEngine opt(index, cfg);
+            const auto got = opt.seed(read);
+            ASSERT_EQ(got.size(), expect.size()) << "variant=" << variant;
+            for (size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].qryBegin, expect[i].qryBegin);
+                EXPECT_EQ(got[i].qryEnd, expect[i].qryEnd);
+                EXPECT_EQ(got[i].positions, expect[i].positions);
+            }
+        }
+    }
+}
+
+TEST(SmemEngine, StrideRefinementLengthensSmems)
+{
+    Rng rng(724);
+    const Seq ref = randomSeq(rng, 4000);
+    KmerIndex index(ref, 8);
+    SeedingConfig with, without;
+    with.exactMatchFastPath = without.exactMatchFastPath = false;
+    without.strideRefinement = false;
+
+    bool strictly_longer_somewhere = false;
+    for (int t = 0; t < 10; ++t) {
+        const u32 pos = static_cast<u32>(rng.below(ref.size() - 120));
+        Seq read(ref.begin() + pos, ref.begin() + pos + 101);
+        const u64 p = 30 + rng.below(40);
+        read[p] = static_cast<Base>((read[p] + 1 + rng.below(3)) & 3);
+
+        SmemEngine a(index, with), b(index, without);
+        const auto refined = a.seed(read);
+        const auto coarse = b.seed(read);
+        ASSERT_FALSE(refined.empty());
+        ASSERT_FALSE(coarse.empty());
+        // Both report the pivot-0 RMEM first; refinement can only
+        // lengthen it.
+        EXPECT_EQ(refined[0].qryBegin, 0u);
+        EXPECT_EQ(coarse[0].qryBegin, 0u);
+        EXPECT_GE(refined[0].length(), coarse[0].length());
+        strictly_longer_somewhere |=
+            refined[0].length() > coarse[0].length();
+    }
+    EXPECT_TRUE(strictly_longer_somewhere);
+}
+
+TEST(SmemEngine, SmemFilterReducesReportedHits)
+{
+    Rng rng(725);
+    const Seq ref = randomSeq(rng, 4000);
+    KmerIndex index(ref, 8);
+    SeedingConfig filtered, raw;
+    filtered.exactMatchFastPath = raw.exactMatchFastPath = false;
+    raw.smemFilter = false;
+
+    SmemEngine a(index, filtered), b(index, raw);
+    for (int t = 0; t < 10; ++t) {
+        const u32 pos = static_cast<u32>(rng.below(ref.size() - 120));
+        const Seq read(ref.begin() + pos, ref.begin() + pos + 101);
+        a.seed(read);
+        b.seed(read);
+    }
+    EXPECT_LT(a.stats().hitsReported, b.stats().hitsReported);
+    EXPECT_LT(a.stats().smems, b.stats().smems);
+}
+
+TEST(SmemEngine, BinaryFallbackCutsCamLookupsOnRepetitiveGenomes)
+{
+    // Poly-A stretches create the pathological hit lists the paper
+    // calls out ("AA...A"); the binary fallback bounds the cost.
+    Rng rng(726);
+    Seq ref = randomSeq(rng, 2000);
+    ref.insert(ref.end(), 40000, kBaseA);
+    KmerIndex index(ref, 8);
+
+    SeedingConfig with, without;
+    with.exactMatchFastPath = without.exactMatchFastPath = false;
+    without.binarySearchFallback = false;
+
+    Seq read(101, kBaseA);
+    read[50] = kBaseC; // not an exact match
+
+    SmemEngine a(index, with), b(index, without);
+    a.seed(read);
+    b.seed(read);
+    EXPECT_LT(a.stats().cam.lookups(), b.stats().cam.lookups());
+}
+
+TEST(SmemEngine, ShortReadProducesNoSeeds)
+{
+    Rng rng(727);
+    const Seq ref = randomSeq(rng, 1000);
+    KmerIndex index(ref, 12);
+    SmemEngine engine(index, {});
+    EXPECT_TRUE(engine.seed(encode("ACGTACG")).empty());
+}
+
+// ------------------------------------------------------------ segments
+
+TEST(GenomeSegments, PartitionCoversGenomeWithOverlap)
+{
+    Rng rng(730);
+    const Seq ref = randomSeq(rng, 100000);
+    SegmentConfig cfg;
+    cfg.segmentCount = 16;
+    cfg.overlap = 100;
+    cfg.k = 8;
+    GenomeSegments segs(ref, cfg);
+    ASSERT_EQ(segs.count(), 16u);
+    // Contiguity: segment i+1 starts exactly base-length after i.
+    EXPECT_EQ(segs.start(0), 0u);
+    for (u64 i = 0; i + 1 < segs.count(); ++i)
+        EXPECT_EQ(segs.start(i + 1) - segs.start(i), 6250u);
+    // Every 101-window is fully inside some segment.
+    for (u64 w = 0; w + 101 <= ref.size(); w += 997) {
+        bool covered = false;
+        for (u64 i = 0; i < segs.count(); ++i) {
+            if (w >= segs.start(i) &&
+                w + 101 <= segs.start(i) + segs.length(i)) {
+                covered = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(covered) << "window at " << w;
+    }
+}
+
+TEST(GenomeSegments, SegmentBasesMatchReference)
+{
+    Rng rng(731);
+    const Seq ref = randomSeq(rng, 50000);
+    SegmentConfig cfg;
+    cfg.segmentCount = 8;
+    cfg.overlap = 128;
+    GenomeSegments segs(ref, cfg);
+    for (u64 i = 0; i < segs.count(); ++i) {
+        const Seq seg = segs.bases(i);
+        for (u64 j = 0; j < seg.size(); j += 199)
+            EXPECT_EQ(seg[j], ref[segs.toGlobal(i, j)]);
+    }
+}
+
+TEST(GenomeSegments, SeedingThroughSegmentsFindsGlobalPosition)
+{
+    Rng rng(732);
+    const Seq ref = randomSeq(rng, 60000);
+    SegmentConfig cfg;
+    cfg.segmentCount = 8;
+    cfg.overlap = 128;
+    cfg.k = 10;
+    GenomeSegments segs(ref, cfg);
+
+    // A read sampled deep inside segment 5.
+    const u64 pos = segs.start(5) + 1000;
+    const Seq read(ref.begin() + static_cast<i64>(pos),
+                   ref.begin() + static_cast<i64>(pos + 101));
+
+    bool found = false;
+    for (u64 i = 0; i < segs.count(); ++i) {
+        const KmerIndex index = segs.buildIndex(i);
+        SmemEngine engine(index, {});
+        for (const auto &smem : engine.seed(read)) {
+            for (u32 local : smem.positions) {
+                if (segs.toGlobal(i, local) ==
+                    pos + smem.qryBegin) {
+                    found = true;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(GenomeSegments, FootprintFormulas)
+{
+    Rng rng(733);
+    const Seq ref = randomSeq(rng, 40000);
+    SegmentConfig cfg;
+    cfg.segmentCount = 4;
+    cfg.overlap = 100;
+    cfg.k = 9;
+    GenomeSegments segs(ref, cfg);
+    EXPECT_EQ(segs.indexTableBytes(), (u64{1} << 18) * 3);
+    const KmerIndex idx = segs.buildIndex(1);
+    EXPECT_EQ(segs.positionTableBytes(1), idx.positionTableBytes());
+    EXPECT_EQ(segs.refBytes(1), (segs.length(1) + 3) / 4);
+}
+
+} // namespace
+} // namespace genax

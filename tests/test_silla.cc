@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Property tests for the Silla automata family: indel Silla, explicit
+ * 3D Silla, collapsed Silla edit machine, scoring machine and
+ * traceback machine — each verified against the DP oracles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/edit_distance.hh"
+#include "align/gotoh.hh"
+#include "common/rng.hh"
+#include "silla/indel_silla.hh"
+#include "silla/silla_edit.hh"
+#include "silla/silla_score.hh"
+#include "silla/silla_traceback.hh"
+
+namespace genax {
+namespace {
+
+Seq
+randomSeq(Rng &rng, size_t len)
+{
+    Seq s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<Base>(rng.below(4)));
+    return s;
+}
+
+Seq
+mutateSeq(Rng &rng, const Seq &s, unsigned num_edits)
+{
+    Seq out = s;
+    for (unsigned e = 0; e < num_edits && !out.empty(); ++e) {
+        const u64 pos = rng.below(out.size());
+        switch (rng.below(3)) {
+          case 0:
+            out[pos] = static_cast<Base>((out[pos] + 1 + rng.below(3)) & 3);
+            break;
+          case 1:
+            out.insert(out.begin() + static_cast<i64>(pos),
+                       static_cast<Base>(rng.below(4)));
+            break;
+          default:
+            out.erase(out.begin() + static_cast<i64>(pos));
+            break;
+        }
+    }
+    return out;
+}
+
+/** Indel-only distance oracle: n + m - 2 * LCS(a, b). */
+u64
+indelDistanceOracle(const Seq &a, const Seq &b)
+{
+    const size_t n = a.size(), m = b.size();
+    std::vector<u64> prev(m + 1, 0), cur(m + 1, 0);
+    for (size_t i = 1; i <= n; ++i) {
+        for (size_t j = 1; j <= m; ++j) {
+            cur[j] = a[i - 1] == b[j - 1]
+                         ? prev[j - 1] + 1
+                         : std::max(prev[j], cur[j - 1]);
+        }
+        std::swap(prev, cur);
+    }
+    return n + m - 2 * prev[m];
+}
+
+// -------------------------------------------------------- state counts
+
+TEST(SillaStateCount, Formulas)
+{
+    EXPECT_EQ(SillaStateCount::indel(2), 6u);    // (K+1)(K+2)/2
+    EXPECT_EQ(SillaStateCount::collapsed(2), 13u); // 3*(K+1)^2/2
+    // 1,681 PEs for K=40 as quoted in Section VIII-A (scoring grid).
+    SillaScore score(40, Scoring{});
+    EXPECT_EQ(score.peCount(), 1681u);
+    // Levenshtein automaton grows with pattern length, Silla doesn't.
+    EXPECT_EQ(SillaStateCount::levenshtein(2, 100), 303u);
+}
+
+// --------------------------------------------------------- indel Silla
+
+TEST(IndelSilla, HandCases)
+{
+    IndelSilla silla(4);
+    EXPECT_EQ(silla.distance(encode("ACGT"), encode("ACGT")), 0u);
+    // One deletion from R.
+    EXPECT_EQ(silla.distance(encode("ACGT"), encode("ACT")), 1u);
+    // One insertion into Q.
+    EXPECT_EQ(silla.distance(encode("ACT"), encode("ACGT")), 1u);
+    // Figure 3a: AxBCD vs yABCD aligns with one ins + one del.
+    EXPECT_EQ(silla.distance(encode("ATGCG"), encode("TAGCG")), 2u);
+    // Substitution costs 2 in indel-only mode.
+    EXPECT_EQ(silla.distance(encode("AAAA"), encode("AATA")), 2u);
+}
+
+TEST(IndelSilla, EmptyStrings)
+{
+    IndelSilla silla(3);
+    EXPECT_EQ(silla.distance(encode(""), encode("")), 0u);
+    EXPECT_EQ(silla.distance(encode("AC"), encode("")), 2u);
+    EXPECT_EQ(silla.distance(encode(""), encode("ACG")), 3u);
+    EXPECT_FALSE(silla.distance(encode(""), encode("ACGT")).has_value());
+}
+
+TEST(IndelSilla, StringIndependenceReuse)
+{
+    IndelSilla silla(6);
+    for (int t = 0; t < 3; ++t) {
+        EXPECT_EQ(silla.distance(encode("ACGTACGT"), encode("ACGTACGT")),
+                  0u);
+        EXPECT_EQ(silla.distance(encode("TTTT"), encode("TTTTTT")), 2u);
+    }
+}
+
+class IndelSillaRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, u32>>
+{};
+
+TEST_P(IndelSillaRandomTest, MatchesLcsOracle)
+{
+    const auto [len, k] = GetParam();
+    Rng rng(100 + len * 7 + k);
+    IndelSilla silla(k);
+    for (int t = 0; t < 25; ++t) {
+        const Seq a = randomSeq(rng, len);
+        const Seq b = mutateSeq(rng, a,
+                                static_cast<unsigned>(rng.below(k + 2)));
+        const u64 d = indelDistanceOracle(a, b);
+        const auto got = silla.distance(a, b);
+        if (d <= k) {
+            ASSERT_TRUE(got.has_value())
+                << "a=" << decode(a) << " b=" << decode(b) << " d=" << d;
+            EXPECT_EQ(*got, d);
+        } else {
+            EXPECT_FALSE(got.has_value());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndelSillaRandomTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 8, 25, 60),
+                       ::testing::Values<u32>(0, 1, 2, 4, 8)));
+
+TEST(IndelSilla, LcsLengthMatchesDpOracle)
+{
+    // Section VIII-C: Silla extends to the LCS problem.
+    Rng rng(150);
+    IndelSilla silla(12);
+    for (int t = 0; t < 40; ++t) {
+        const Seq a = randomSeq(rng, 10 + rng.below(40));
+        const Seq b = mutateSeq(rng, a, static_cast<unsigned>(rng.below(6)));
+        const u64 d = indelDistanceOracle(a, b);
+        const u64 lcs = (a.size() + b.size() - d) / 2;
+        const auto got = silla.lcsLength(a, b);
+        if (d <= 12) {
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, lcs);
+        } else {
+            EXPECT_FALSE(got.has_value());
+        }
+    }
+}
+
+TEST(IndelSilla, LcsHandCases)
+{
+    IndelSilla silla(8);
+    EXPECT_EQ(silla.lcsLength(encode("ACGT"), encode("ACGT")), 4u);
+    EXPECT_EQ(silla.lcsLength(encode("ACGT"), encode("AGT")), 3u);
+    EXPECT_EQ(silla.lcsLength(encode("AAAA"), encode("TTTT")), 0u);
+    EXPECT_EQ(silla.lcsLength(encode(""), encode("ACG")), 0u);
+}
+
+// -------------------------------------------------------- edit machine
+
+TEST(SillaEdit, HandCases)
+{
+    SillaEdit silla(3);
+    EXPECT_EQ(silla.distance(encode("ACGT"), encode("ACGT")), 0u);
+    EXPECT_EQ(silla.distance(encode("ACGT"), encode("AGGT")), 1u);
+    EXPECT_EQ(silla.distance(encode("ACGT"), encode("ACT")), 1u);
+    EXPECT_EQ(silla.distance(encode("ACT"), encode("ACGT")), 1u);
+    // Figure 3b: two substitutions align AxBCD with yABCD.
+    EXPECT_EQ(silla.distance(encode("ATGCG"), encode("TAGCG")), 2u);
+    EXPECT_FALSE(
+        silla.distance(encode("AAAAAA"), encode("TTTTTT")).has_value());
+}
+
+TEST(SillaEdit, EmptyAndDegenerate)
+{
+    SillaEdit silla(2);
+    EXPECT_EQ(silla.distance(encode(""), encode("")), 0u);
+    EXPECT_EQ(silla.distance(encode("A"), encode("")), 1u);
+    EXPECT_EQ(silla.distance(encode(""), encode("AG")), 2u);
+    EXPECT_FALSE(silla.distance(encode("AAA"), encode("")).has_value());
+    SillaEdit zero(0);
+    EXPECT_EQ(zero.distance(encode("ACG"), encode("ACG")), 0u);
+    EXPECT_FALSE(zero.distance(encode("ACG"), encode("ACC")).has_value());
+}
+
+class SillaEditRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, u32>>
+{};
+
+TEST_P(SillaEditRandomTest, MatchesBoundedDp)
+{
+    const auto [len, k] = GetParam();
+    Rng rng(200 + len * 13 + k);
+    SillaEdit silla(k);
+    for (int t = 0; t < 25; ++t) {
+        const Seq a = randomSeq(rng, len);
+        const Seq b = t % 3 == 0
+                          ? randomSeq(rng, len > 2 ? len - 2 : 0)
+                          : mutateSeq(rng, a, static_cast<unsigned>(
+                                                  rng.below(k + 3)));
+        const auto oracle = editDistanceBounded(a, b, k);
+        const auto got = silla.distance(a, b);
+        ASSERT_EQ(got.has_value(), oracle.has_value())
+            << "a=" << decode(a) << " b=" << decode(b) << " k=" << k;
+        if (oracle) {
+            EXPECT_EQ(static_cast<u64>(*got), *oracle);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SillaEditRandomTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 5, 20, 64, 101,
+                                                 200),
+                       ::testing::Values<u32>(0, 1, 2, 3, 4, 8, 12,
+                                              16)));
+
+TEST(SillaEdit, CollapseEquivalentToExplicit3d)
+{
+    // Section III-C: the two-layer collapsed design is equivalent to
+    // the explicit K+1-layer 3D automaton.
+    Rng rng(300);
+    for (u32 k : {0u, 1u, 2u, 4u, 6u}) {
+        SillaEdit collapsed(k);
+        Silla3D explicit3d(k);
+        for (int t = 0; t < 20; ++t) {
+            const Seq a = randomSeq(rng, 5 + rng.below(40));
+            const Seq b =
+                mutateSeq(rng, a, static_cast<unsigned>(rng.below(k + 3)));
+            EXPECT_EQ(collapsed.distance(a, b), explicit3d.distance(a, b))
+                << "k=" << k << " a=" << decode(a) << " b=" << decode(b);
+        }
+    }
+}
+
+TEST(SillaEdit, LinearCycleCount)
+{
+    // Silla processes strings in O(N) cycles (Section IV-A).
+    SillaEdit silla(4);
+    Rng rng(301);
+    const Seq a = randomSeq(rng, 400);
+    const Seq b = mutateSeq(rng, a, 3);
+    ASSERT_TRUE(silla.distance(a, b).has_value());
+    EXPECT_LE(silla.lastStats().cycles, std::min(a.size(), b.size()) + 4 + 1);
+}
+
+TEST(SillaEdit, StateCountIndependentOfStringLength)
+{
+    SillaEdit small(8);
+    const u64 states = small.stateCount();
+    EXPECT_EQ(states, SillaStateCount::collapsed(8));
+    // Peak active states never exceeds the grid size even for long
+    // strings (string independence).
+    Rng rng(302);
+    const Seq a = randomSeq(rng, 1000);
+    const Seq b = mutateSeq(rng, a, 5);
+    small.distance(a, b);
+    EXPECT_LE(small.lastStats().peakActive, states);
+}
+
+// ------------------------------------------------------ scoring machine
+
+class SillaScoreRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, u32, unsigned>>
+{};
+
+TEST_P(SillaScoreRandomTest, MatchesBandedGotohExtend)
+{
+    const auto [len, k, edits] = GetParam();
+    const Scoring sc;
+    Rng rng(400 + len * 3 + k * 17 + edits);
+    SillaScore machine(k, sc);
+    for (int t = 0; t < 20; ++t) {
+        const Seq ref = randomSeq(rng, len);
+        const Seq qry = mutateSeq(rng, ref, edits);
+        const auto oracle = gotohBanded(ref, qry, sc, AlignMode::Extend, k);
+        const auto got = machine.run(ref, qry);
+        ASSERT_TRUE(oracle.valid);
+        EXPECT_EQ(got.best, oracle.score)
+            << "ref=" << decode(ref) << " qry=" << decode(qry);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SillaScoreRandomTest,
+    ::testing::Values(std::make_tuple(20, 8, 0u),
+                      std::make_tuple(20, 8, 2u),
+                      std::make_tuple(50, 10, 3u),
+                      std::make_tuple(101, 12, 0u),
+                      std::make_tuple(101, 12, 3u),
+                      std::make_tuple(101, 20, 6u),
+                      std::make_tuple(150, 16, 5u),
+                      std::make_tuple(101, 40, 12u),
+                      std::make_tuple(250, 24, 10u)));
+
+TEST(SillaScore, MatchesFullExtendWhenKCoversEverything)
+{
+    const Scoring sc;
+    Rng rng(401);
+    for (int t = 0; t < 30; ++t) {
+        const Seq ref = randomSeq(rng, 12);
+        const Seq qry = randomSeq(rng, 10 + rng.below(5));
+        SillaScore machine(16, sc);
+        const auto full = gotohAlign(ref, qry, sc, AlignMode::Extend);
+        const auto got = machine.run(ref, qry);
+        EXPECT_EQ(got.best, full.score)
+            << "ref=" << decode(ref) << " qry=" << decode(qry);
+    }
+}
+
+TEST(SillaScore, PerfectMatchScoresFullLength)
+{
+    const Scoring sc;
+    SillaScore machine(8, sc);
+    Rng rng(402);
+    const Seq s = randomSeq(rng, 101);
+    const auto got = machine.run(s, s);
+    EXPECT_EQ(got.best, 101);
+    EXPECT_EQ(got.refEnd, 101u);
+    EXPECT_EQ(got.qryEnd, 101u);
+    EXPECT_EQ(got.winnerI, 0u);
+    EXPECT_EQ(got.winnerD, 0u);
+}
+
+TEST(SillaScore, HopelessPairFullyClips)
+{
+    const Scoring sc;
+    SillaScore machine(4, sc);
+    const auto got = machine.run(encode("AAAAAAAAAA"),
+                                 encode("GGGGGGGGGG"));
+    EXPECT_EQ(got.best, 0);
+    EXPECT_EQ(got.qryEnd, 0u);
+}
+
+TEST(SillaScore, StreamCyclesLinearInLength)
+{
+    const Scoring sc;
+    SillaScore machine(8, sc);
+    Rng rng(403);
+    const Seq s = randomSeq(rng, 500);
+    const auto got = machine.run(s, s);
+    EXPECT_EQ(got.streamCycles, 500u + 8 + 1);
+}
+
+// ---------------------------------------------------- traceback machine
+
+class SillaTracebackRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, u32, unsigned>>
+{};
+
+TEST_P(SillaTracebackRandomTest, ScoreAndCigarConsistent)
+{
+    const auto [len, k, edits] = GetParam();
+    const Scoring sc;
+    Rng rng(500 + len * 5 + k * 7 + edits);
+    SillaTraceback machine(k, sc);
+    SillaScore score_machine(k, sc);
+    for (int t = 0; t < 20; ++t) {
+        const Seq ref = randomSeq(rng, len);
+        const Seq qry = mutateSeq(rng, ref, edits);
+        const auto got = machine.align(ref, qry);
+
+        // Score agrees with the scoring machine and the DP oracle.
+        EXPECT_EQ(got.score, score_machine.run(ref, qry).best);
+        const auto oracle = gotohBanded(ref, qry, sc, AlignMode::Extend, k);
+        EXPECT_EQ(got.score, oracle.score);
+
+        // The recovered path is a real alignment achieving the score.
+        EXPECT_EQ(got.cigar.queryLen(), qry.size());
+        EXPECT_EQ(got.cigar.refLen(), got.refEnd);
+        Cigar aligned;
+        for (const auto &e : got.cigar.elems())
+            if (e.op != CigarOp::SoftClip)
+                aligned.push(e.op, e.len);
+        const Seq ref_win(ref.begin(),
+                          ref.begin() + static_cast<i64>(got.refEnd));
+        const Seq qry_win(qry.begin(),
+                          qry.begin() + static_cast<i64>(got.qryEnd));
+        EXPECT_EQ(aligned.rescore(ref_win, qry_win, sc), got.score)
+            << "cigar=" << got.cigar.str() << " ref=" << decode(ref)
+            << " qry=" << decode(qry);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SillaTracebackRandomTest,
+    ::testing::Values(std::make_tuple(20, 8, 0u),
+                      std::make_tuple(20, 8, 2u),
+                      std::make_tuple(50, 10, 3u),
+                      std::make_tuple(101, 12, 2u),
+                      std::make_tuple(101, 20, 5u),
+                      std::make_tuple(101, 20, 8u),
+                      std::make_tuple(150, 16, 6u),
+                      std::make_tuple(101, 40, 10u),
+                      std::make_tuple(300, 24, 12u),
+                      std::make_tuple(33, 5, 4u)));
+
+TEST(SillaTraceback, PerfectMatchNoReruns)
+{
+    const Scoring sc;
+    SillaTraceback machine(8, sc);
+    Rng rng(501);
+    const Seq s = randomSeq(rng, 101);
+    const auto got = machine.align(s, s);
+    EXPECT_EQ(got.score, 101);
+    EXPECT_EQ(got.cigar.str(), "101=");
+    EXPECT_EQ(got.stats.reruns, 0u);
+}
+
+TEST(SillaTraceback, SingleSubstitution)
+{
+    const Scoring sc;
+    SillaTraceback machine(8, sc);
+    Seq ref = encode("ACGTACGTACGTACGTACGT");
+    Seq qry = ref;
+    qry[10] = static_cast<Base>((qry[10] + 1) & 3);
+    const auto got = machine.align(ref, qry);
+    EXPECT_EQ(got.score, 19 - 4);
+    EXPECT_EQ(got.cigar.str(), "10=1X9=");
+}
+
+TEST(SillaTraceback, SingleInsertionAndDeletion)
+{
+    const Scoring sc;
+    SillaTraceback machine(8, sc);
+    const Seq ref = encode("ACGTACGTACGTACGTACGT");
+    Seq qry_ins = ref;
+    qry_ins.insert(qry_ins.begin() + 8, kBaseT);
+    auto got = machine.align(ref, qry_ins);
+    EXPECT_EQ(got.score, 20 - 7);
+    EXPECT_EQ(got.cigar.editDistance(), 1u);
+
+    Seq qry_del = ref;
+    qry_del.erase(qry_del.begin() + 8);
+    got = machine.align(ref, qry_del);
+    EXPECT_EQ(got.score, 19 - 7);
+    EXPECT_EQ(got.cigar.editDistance(), 1u);
+}
+
+TEST(SillaTraceback, HopelessPairFullyClips)
+{
+    const Scoring sc;
+    SillaTraceback machine(4, sc);
+    const auto got =
+        machine.align(encode("AAAAAAAA"), encode("GGGGGGGG"));
+    EXPECT_EQ(got.score, 0);
+    EXPECT_EQ(got.cigar.str(), "8S");
+}
+
+TEST(SillaTraceback, LongGapRun)
+{
+    const Scoring sc;
+    SillaTraceback machine(10, sc);
+    // Non-periodic reference so the deletion is unambiguous.
+    Rng rng(503);
+    const Seq ref = randomSeq(rng, 40);
+    Seq qry = ref;
+    // 4-base deletion in the middle of the read.
+    qry.erase(qry.begin() + 12, qry.begin() + 16);
+    const auto got = machine.align(ref, qry);
+    // Optimal is at least the single-gap alignment; with a random
+    // reference it is exactly that.
+    EXPECT_EQ(got.score, 36 - (6 + 4));
+    EXPECT_EQ(got.cigar.editDistance(), 4u);
+    // Validity: exactly one 4D run.
+    bool saw_del = false;
+    for (const auto &e : got.cigar.elems()) {
+        if (e.op == CigarOp::Del) {
+            EXPECT_EQ(e.len, 4u);
+            saw_del = true;
+        }
+    }
+    EXPECT_TRUE(saw_del);
+}
+
+TEST(SillaTraceback, RerunStatisticsAreBounded)
+{
+    // Reruns are possible but must stay rare for realistic read
+    // workloads (the paper measures 7.59%).
+    const Scoring sc;
+    SillaTraceback machine(16, sc);
+    Rng rng(502);
+    u64 total = 0, with_rerun = 0;
+    for (int t = 0; t < 200; ++t) {
+        const Seq ref = randomSeq(rng, 101);
+        const Seq qry = mutateSeq(rng, ref,
+                                  static_cast<unsigned>(rng.below(5)));
+        const auto got = machine.align(ref, qry);
+        ++total;
+        with_rerun += got.stats.reruns > 0;
+        EXPECT_LT(got.stats.reruns, 50u);
+    }
+    EXPECT_LT(static_cast<double>(with_rerun) / static_cast<double>(total),
+              0.5);
+}
+
+} // namespace
+} // namespace genax
