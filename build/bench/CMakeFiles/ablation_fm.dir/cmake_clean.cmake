@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fm.dir/ablation_fm.cc.o"
+  "CMakeFiles/ablation_fm.dir/ablation_fm.cc.o.d"
+  "ablation_fm"
+  "ablation_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_silla.dir/ablation_silla.cc.o"
+  "CMakeFiles/ablation_silla.dir/ablation_silla.cc.o.d"
+  "ablation_silla"
+  "ablation_silla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_silla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

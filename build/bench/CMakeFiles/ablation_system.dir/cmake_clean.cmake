@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_system.dir/ablation_system.cc.o"
+  "CMakeFiles/ablation_system.dir/ablation_system.cc.o.d"
+  "ablation_system"
+  "ablation_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

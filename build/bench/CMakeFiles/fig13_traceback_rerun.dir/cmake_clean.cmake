@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_traceback_rerun.dir/fig13_traceback_rerun.cc.o"
+  "CMakeFiles/fig13_traceback_rerun.dir/fig13_traceback_rerun.cc.o.d"
+  "fig13_traceback_rerun"
+  "fig13_traceback_rerun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_traceback_rerun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

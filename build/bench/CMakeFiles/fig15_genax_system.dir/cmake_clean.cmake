@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_genax_system.dir/fig15_genax_system.cc.o"
+  "CMakeFiles/fig15_genax_system.dir/fig15_genax_system.cc.o.d"
+  "fig15_genax_system"
+  "fig15_genax_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_genax_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

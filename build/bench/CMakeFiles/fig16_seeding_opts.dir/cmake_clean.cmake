@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_seeding_opts.dir/fig16_seeding_opts.cc.o"
+  "CMakeFiles/fig16_seeding_opts.dir/fig16_seeding_opts.cc.o.d"
+  "fig16_seeding_opts"
+  "fig16_seeding_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_seeding_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

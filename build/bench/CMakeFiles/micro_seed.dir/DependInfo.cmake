@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_seed.cc" "bench/CMakeFiles/micro_seed.dir/micro_seed.cc.o" "gcc" "bench/CMakeFiles/micro_seed.dir/micro_seed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/genax_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/genax_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/genax_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/readsim/CMakeFiles/genax_readsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/silla/CMakeFiles/genax_silla.dir/DependInfo.cmake"
+  "/root/repo/build/src/sillax/CMakeFiles/genax_sillax.dir/DependInfo.cmake"
+  "/root/repo/build/src/seed/CMakeFiles/genax_seed.dir/DependInfo.cmake"
+  "/root/repo/build/src/swbase/CMakeFiles/genax_swbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/genax/CMakeFiles/genax_system.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_seed.dir/micro_seed.cc.o"
+  "CMakeFiles/micro_seed.dir/micro_seed.cc.o.d"
+  "micro_seed"
+  "micro_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_silla.dir/micro_silla.cc.o"
+  "CMakeFiles/micro_silla.dir/micro_silla.cc.o.d"
+  "micro_silla"
+  "micro_silla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_silla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

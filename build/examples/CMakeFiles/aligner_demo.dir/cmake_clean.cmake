@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aligner_demo.dir/aligner_demo.cpp.o"
+  "CMakeFiles/aligner_demo.dir/aligner_demo.cpp.o.d"
+  "aligner_demo"
+  "aligner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aligner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

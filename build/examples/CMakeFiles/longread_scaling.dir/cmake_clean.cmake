@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longread_scaling.dir/longread_scaling.cpp.o"
+  "CMakeFiles/longread_scaling.dir/longread_scaling.cpp.o.d"
+  "longread_scaling"
+  "longread_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_calling.dir/variant_calling.cpp.o"
+  "CMakeFiles/variant_calling.dir/variant_calling.cpp.o.d"
+  "variant_calling"
+  "variant_calling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_calling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

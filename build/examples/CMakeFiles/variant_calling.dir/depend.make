@@ -1,0 +1,2 @@
+# Empty dependencies file for variant_calling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/cigar.cc" "src/align/CMakeFiles/genax_align.dir/cigar.cc.o" "gcc" "src/align/CMakeFiles/genax_align.dir/cigar.cc.o.d"
+  "/root/repo/src/align/edit_distance.cc" "src/align/CMakeFiles/genax_align.dir/edit_distance.cc.o" "gcc" "src/align/CMakeFiles/genax_align.dir/edit_distance.cc.o.d"
+  "/root/repo/src/align/gotoh.cc" "src/align/CMakeFiles/genax_align.dir/gotoh.cc.o" "gcc" "src/align/CMakeFiles/genax_align.dir/gotoh.cc.o.d"
+  "/root/repo/src/align/lev_automaton.cc" "src/align/CMakeFiles/genax_align.dir/lev_automaton.cc.o" "gcc" "src/align/CMakeFiles/genax_align.dir/lev_automaton.cc.o.d"
+  "/root/repo/src/align/myers.cc" "src/align/CMakeFiles/genax_align.dir/myers.cc.o" "gcc" "src/align/CMakeFiles/genax_align.dir/myers.cc.o.d"
+  "/root/repo/src/align/ula.cc" "src/align/CMakeFiles/genax_align.dir/ula.cc.o" "gcc" "src/align/CMakeFiles/genax_align.dir/ula.cc.o.d"
+  "/root/repo/src/align/wavefront.cc" "src/align/CMakeFiles/genax_align.dir/wavefront.cc.o" "gcc" "src/align/CMakeFiles/genax_align.dir/wavefront.cc.o.d"
+  "/root/repo/src/align/wfa.cc" "src/align/CMakeFiles/genax_align.dir/wfa.cc.o" "gcc" "src/align/CMakeFiles/genax_align.dir/wfa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/genax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

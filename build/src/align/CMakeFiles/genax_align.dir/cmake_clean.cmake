@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_align.dir/cigar.cc.o"
+  "CMakeFiles/genax_align.dir/cigar.cc.o.d"
+  "CMakeFiles/genax_align.dir/edit_distance.cc.o"
+  "CMakeFiles/genax_align.dir/edit_distance.cc.o.d"
+  "CMakeFiles/genax_align.dir/gotoh.cc.o"
+  "CMakeFiles/genax_align.dir/gotoh.cc.o.d"
+  "CMakeFiles/genax_align.dir/lev_automaton.cc.o"
+  "CMakeFiles/genax_align.dir/lev_automaton.cc.o.d"
+  "CMakeFiles/genax_align.dir/myers.cc.o"
+  "CMakeFiles/genax_align.dir/myers.cc.o.d"
+  "CMakeFiles/genax_align.dir/ula.cc.o"
+  "CMakeFiles/genax_align.dir/ula.cc.o.d"
+  "CMakeFiles/genax_align.dir/wavefront.cc.o"
+  "CMakeFiles/genax_align.dir/wavefront.cc.o.d"
+  "CMakeFiles/genax_align.dir/wfa.cc.o"
+  "CMakeFiles/genax_align.dir/wfa.cc.o.d"
+  "libgenax_align.a"
+  "libgenax_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

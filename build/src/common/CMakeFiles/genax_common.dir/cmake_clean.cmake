@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_common.dir/dna.cc.o"
+  "CMakeFiles/genax_common.dir/dna.cc.o.d"
+  "CMakeFiles/genax_common.dir/logging.cc.o"
+  "CMakeFiles/genax_common.dir/logging.cc.o.d"
+  "libgenax_common.a"
+  "libgenax_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

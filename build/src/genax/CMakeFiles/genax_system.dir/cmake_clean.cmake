@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_system.dir/dram_model.cc.o"
+  "CMakeFiles/genax_system.dir/dram_model.cc.o.d"
+  "CMakeFiles/genax_system.dir/pipeline.cc.o"
+  "CMakeFiles/genax_system.dir/pipeline.cc.o.d"
+  "CMakeFiles/genax_system.dir/seeding_sim.cc.o"
+  "CMakeFiles/genax_system.dir/seeding_sim.cc.o.d"
+  "CMakeFiles/genax_system.dir/system.cc.o"
+  "CMakeFiles/genax_system.dir/system.cc.o.d"
+  "libgenax_system.a"
+  "libgenax_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_io.dir/fasta.cc.o"
+  "CMakeFiles/genax_io.dir/fasta.cc.o.d"
+  "CMakeFiles/genax_io.dir/fastq.cc.o"
+  "CMakeFiles/genax_io.dir/fastq.cc.o.d"
+  "CMakeFiles/genax_io.dir/sam.cc.o"
+  "CMakeFiles/genax_io.dir/sam.cc.o.d"
+  "libgenax_io.a"
+  "libgenax_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_readsim.dir/readsim.cc.o"
+  "CMakeFiles/genax_readsim.dir/readsim.cc.o.d"
+  "CMakeFiles/genax_readsim.dir/refgen.cc.o"
+  "CMakeFiles/genax_readsim.dir/refgen.cc.o.d"
+  "libgenax_readsim.a"
+  "libgenax_readsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_readsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

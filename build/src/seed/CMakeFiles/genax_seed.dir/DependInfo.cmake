@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seed/cam.cc" "src/seed/CMakeFiles/genax_seed.dir/cam.cc.o" "gcc" "src/seed/CMakeFiles/genax_seed.dir/cam.cc.o.d"
+  "/root/repo/src/seed/fm_index.cc" "src/seed/CMakeFiles/genax_seed.dir/fm_index.cc.o" "gcc" "src/seed/CMakeFiles/genax_seed.dir/fm_index.cc.o.d"
+  "/root/repo/src/seed/fm_seeder.cc" "src/seed/CMakeFiles/genax_seed.dir/fm_seeder.cc.o" "gcc" "src/seed/CMakeFiles/genax_seed.dir/fm_seeder.cc.o.d"
+  "/root/repo/src/seed/kmer_index.cc" "src/seed/CMakeFiles/genax_seed.dir/kmer_index.cc.o" "gcc" "src/seed/CMakeFiles/genax_seed.dir/kmer_index.cc.o.d"
+  "/root/repo/src/seed/minimizer.cc" "src/seed/CMakeFiles/genax_seed.dir/minimizer.cc.o" "gcc" "src/seed/CMakeFiles/genax_seed.dir/minimizer.cc.o.d"
+  "/root/repo/src/seed/segment.cc" "src/seed/CMakeFiles/genax_seed.dir/segment.cc.o" "gcc" "src/seed/CMakeFiles/genax_seed.dir/segment.cc.o.d"
+  "/root/repo/src/seed/smem_engine.cc" "src/seed/CMakeFiles/genax_seed.dir/smem_engine.cc.o" "gcc" "src/seed/CMakeFiles/genax_seed.dir/smem_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/genax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_seed.dir/cam.cc.o"
+  "CMakeFiles/genax_seed.dir/cam.cc.o.d"
+  "CMakeFiles/genax_seed.dir/fm_index.cc.o"
+  "CMakeFiles/genax_seed.dir/fm_index.cc.o.d"
+  "CMakeFiles/genax_seed.dir/fm_seeder.cc.o"
+  "CMakeFiles/genax_seed.dir/fm_seeder.cc.o.d"
+  "CMakeFiles/genax_seed.dir/kmer_index.cc.o"
+  "CMakeFiles/genax_seed.dir/kmer_index.cc.o.d"
+  "CMakeFiles/genax_seed.dir/minimizer.cc.o"
+  "CMakeFiles/genax_seed.dir/minimizer.cc.o.d"
+  "CMakeFiles/genax_seed.dir/segment.cc.o"
+  "CMakeFiles/genax_seed.dir/segment.cc.o.d"
+  "CMakeFiles/genax_seed.dir/smem_engine.cc.o"
+  "CMakeFiles/genax_seed.dir/smem_engine.cc.o.d"
+  "libgenax_seed.a"
+  "libgenax_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/silla/indel_silla.cc" "src/silla/CMakeFiles/genax_silla.dir/indel_silla.cc.o" "gcc" "src/silla/CMakeFiles/genax_silla.dir/indel_silla.cc.o.d"
+  "/root/repo/src/silla/silla_edit.cc" "src/silla/CMakeFiles/genax_silla.dir/silla_edit.cc.o" "gcc" "src/silla/CMakeFiles/genax_silla.dir/silla_edit.cc.o.d"
+  "/root/repo/src/silla/silla_score.cc" "src/silla/CMakeFiles/genax_silla.dir/silla_score.cc.o" "gcc" "src/silla/CMakeFiles/genax_silla.dir/silla_score.cc.o.d"
+  "/root/repo/src/silla/silla_traceback.cc" "src/silla/CMakeFiles/genax_silla.dir/silla_traceback.cc.o" "gcc" "src/silla/CMakeFiles/genax_silla.dir/silla_traceback.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/genax_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/genax_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

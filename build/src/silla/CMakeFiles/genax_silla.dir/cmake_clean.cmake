@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_silla.dir/indel_silla.cc.o"
+  "CMakeFiles/genax_silla.dir/indel_silla.cc.o.d"
+  "CMakeFiles/genax_silla.dir/silla_edit.cc.o"
+  "CMakeFiles/genax_silla.dir/silla_edit.cc.o.d"
+  "CMakeFiles/genax_silla.dir/silla_score.cc.o"
+  "CMakeFiles/genax_silla.dir/silla_score.cc.o.d"
+  "CMakeFiles/genax_silla.dir/silla_traceback.cc.o"
+  "CMakeFiles/genax_silla.dir/silla_traceback.cc.o.d"
+  "libgenax_silla.a"
+  "libgenax_silla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_silla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgenax_silla.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sillax/comparator_array.cc" "src/sillax/CMakeFiles/genax_sillax.dir/comparator_array.cc.o" "gcc" "src/sillax/CMakeFiles/genax_sillax.dir/comparator_array.cc.o.d"
+  "/root/repo/src/sillax/edit_machine.cc" "src/sillax/CMakeFiles/genax_sillax.dir/edit_machine.cc.o" "gcc" "src/sillax/CMakeFiles/genax_sillax.dir/edit_machine.cc.o.d"
+  "/root/repo/src/sillax/lane.cc" "src/sillax/CMakeFiles/genax_sillax.dir/lane.cc.o" "gcc" "src/sillax/CMakeFiles/genax_sillax.dir/lane.cc.o.d"
+  "/root/repo/src/sillax/scoring_machine.cc" "src/sillax/CMakeFiles/genax_sillax.dir/scoring_machine.cc.o" "gcc" "src/sillax/CMakeFiles/genax_sillax.dir/scoring_machine.cc.o.d"
+  "/root/repo/src/sillax/tech_model.cc" "src/sillax/CMakeFiles/genax_sillax.dir/tech_model.cc.o" "gcc" "src/sillax/CMakeFiles/genax_sillax.dir/tech_model.cc.o.d"
+  "/root/repo/src/sillax/tile.cc" "src/sillax/CMakeFiles/genax_sillax.dir/tile.cc.o" "gcc" "src/sillax/CMakeFiles/genax_sillax.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/silla/CMakeFiles/genax_silla.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/genax_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/genax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

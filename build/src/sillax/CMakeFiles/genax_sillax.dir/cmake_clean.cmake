@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_sillax.dir/comparator_array.cc.o"
+  "CMakeFiles/genax_sillax.dir/comparator_array.cc.o.d"
+  "CMakeFiles/genax_sillax.dir/edit_machine.cc.o"
+  "CMakeFiles/genax_sillax.dir/edit_machine.cc.o.d"
+  "CMakeFiles/genax_sillax.dir/lane.cc.o"
+  "CMakeFiles/genax_sillax.dir/lane.cc.o.d"
+  "CMakeFiles/genax_sillax.dir/scoring_machine.cc.o"
+  "CMakeFiles/genax_sillax.dir/scoring_machine.cc.o.d"
+  "CMakeFiles/genax_sillax.dir/tech_model.cc.o"
+  "CMakeFiles/genax_sillax.dir/tech_model.cc.o.d"
+  "CMakeFiles/genax_sillax.dir/tile.cc.o"
+  "CMakeFiles/genax_sillax.dir/tile.cc.o.d"
+  "libgenax_sillax.a"
+  "libgenax_sillax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_sillax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swbase/anchor.cc" "src/swbase/CMakeFiles/genax_swbase.dir/anchor.cc.o" "gcc" "src/swbase/CMakeFiles/genax_swbase.dir/anchor.cc.o.d"
+  "/root/repo/src/swbase/bwamem_like.cc" "src/swbase/CMakeFiles/genax_swbase.dir/bwamem_like.cc.o" "gcc" "src/swbase/CMakeFiles/genax_swbase.dir/bwamem_like.cc.o.d"
+  "/root/repo/src/swbase/paired.cc" "src/swbase/CMakeFiles/genax_swbase.dir/paired.cc.o" "gcc" "src/swbase/CMakeFiles/genax_swbase.dir/paired.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/genax_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seed/CMakeFiles/genax_seed.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/genax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

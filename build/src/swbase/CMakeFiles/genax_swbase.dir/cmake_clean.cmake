@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_swbase.dir/anchor.cc.o"
+  "CMakeFiles/genax_swbase.dir/anchor.cc.o.d"
+  "CMakeFiles/genax_swbase.dir/bwamem_like.cc.o"
+  "CMakeFiles/genax_swbase.dir/bwamem_like.cc.o.d"
+  "CMakeFiles/genax_swbase.dir/paired.cc.o"
+  "CMakeFiles/genax_swbase.dir/paired.cc.o.d"
+  "libgenax_swbase.a"
+  "libgenax_swbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_swbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

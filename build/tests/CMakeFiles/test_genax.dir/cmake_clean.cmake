@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genax.dir/test_genax.cc.o"
+  "CMakeFiles/test_genax.dir/test_genax.cc.o.d"
+  "test_genax"
+  "test_genax.pdb"
+  "test_genax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

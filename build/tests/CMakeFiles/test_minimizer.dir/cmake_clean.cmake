@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimizer.dir/test_minimizer.cc.o"
+  "CMakeFiles/test_minimizer.dir/test_minimizer.cc.o.d"
+  "test_minimizer"
+  "test_minimizer.pdb"
+  "test_minimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readsim.dir/test_readsim.cc.o"
+  "CMakeFiles/test_readsim.dir/test_readsim.cc.o.d"
+  "test_readsim"
+  "test_readsim.pdb"
+  "test_readsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seeding_sim.dir/test_seeding_sim.cc.o"
+  "CMakeFiles/test_seeding_sim.dir/test_seeding_sim.cc.o.d"
+  "test_seeding_sim"
+  "test_seeding_sim.pdb"
+  "test_seeding_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seeding_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_silla.dir/test_silla.cc.o"
+  "CMakeFiles/test_silla.dir/test_silla.cc.o.d"
+  "test_silla"
+  "test_silla.pdb"
+  "test_silla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_silla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sillax.dir/test_sillax.cc.o"
+  "CMakeFiles/test_sillax.dir/test_sillax.cc.o.d"
+  "test_sillax"
+  "test_sillax.pdb"
+  "test_sillax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sillax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

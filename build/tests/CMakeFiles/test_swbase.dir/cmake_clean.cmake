@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swbase.dir/test_swbase.cc.o"
+  "CMakeFiles/test_swbase.dir/test_swbase.cc.o.d"
+  "test_swbase"
+  "test_swbase.pdb"
+  "test_swbase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_align[1]_include.cmake")
+include("/root/repo/build/tests/test_readsim[1]_include.cmake")
+include("/root/repo/build/tests/test_silla[1]_include.cmake")
+include("/root/repo/build/tests/test_sillax[1]_include.cmake")
+include("/root/repo/build/tests/test_seed[1]_include.cmake")
+include("/root/repo/build/tests/test_swbase[1]_include.cmake")
+include("/root/repo/build/tests/test_genax[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_paired[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_fm[1]_include.cmake")
+include("/root/repo/build/tests/test_seeding_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_minimizer[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_align_tool.dir/genax_align.cc.o"
+  "CMakeFiles/genax_align_tool.dir/genax_align.cc.o.d"
+  "genax_align"
+  "genax_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_align_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genax_index_tool.dir/genax_index.cc.o"
+  "CMakeFiles/genax_index_tool.dir/genax_index.cc.o.d"
+  "genax_index"
+  "genax_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genax_index_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
