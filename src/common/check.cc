@@ -1,0 +1,67 @@
+#include "common/check.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+namespace genax {
+
+namespace {
+
+void
+defaultCheckHandler(const CheckContext &ctx)
+{
+    std::cerr << ctx.str() << std::endl;
+    std::abort();
+}
+
+std::atomic<CheckHandler> gHandler{&defaultCheckHandler};
+
+} // namespace
+
+std::string
+CheckContext::str() const
+{
+    std::ostringstream os;
+    os << "check failed: " << expr;
+    if (!message.empty())
+        os << " — " << message;
+    os << " @ " << file << ":" << line;
+    return os.str();
+}
+
+CheckViolation::CheckViolation(const CheckContext &ctx)
+    : std::runtime_error(ctx.str()), _ctx(ctx)
+{
+}
+
+CheckHandler
+setCheckHandler(CheckHandler handler)
+{
+    if (handler == nullptr)
+        handler = &defaultCheckHandler;
+    return gHandler.exchange(handler);
+}
+
+void
+throwingCheckHandler(const CheckContext &ctx)
+{
+    throw CheckViolation(ctx);
+}
+
+void
+checkFailed(const char *file, int line, const char *expr,
+            std::string message)
+{
+    const CheckContext ctx{file, line, expr, std::move(message)};
+    gHandler.load()(ctx);
+    // The handler chose not to throw or exit: a violated invariant
+    // must still never be survived.
+    std::cerr << "check handler returned after: " << ctx.str()
+              << std::endl;
+    std::abort();
+}
+
+} // namespace genax

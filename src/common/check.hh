@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Repo-wide invariant checking layer.
+ *
+ * GENAX_CHECK(cond, ...)   — always-on invariant; formatted message.
+ * GENAX_DCHECK(cond, ...)  — heavier invariant, compiled out when
+ *                            GENAX_ENABLE_DCHECKS is 0 (the Release
+ *                            preset); condition is never evaluated
+ *                            but stays type-checked.
+ * GENAX_UNREACHABLE(...)   — marks control flow that must not be
+ *                            reached.
+ *
+ * Unlike GENAX_ASSERT/GENAX_PANIC (logging.hh), a violation is routed
+ * through a process-wide configurable handler, so tests can install a
+ * throwing handler and assert that a deliberately corrupted model
+ * configuration is caught instead of watching the process abort. If
+ * the installed handler returns, the failure still aborts: a CHECK
+ * can never be survived by accident.
+ */
+
+#ifndef GENAX_COMMON_CHECK_HH
+#define GENAX_COMMON_CHECK_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.hh"
+
+#ifndef GENAX_ENABLE_DCHECKS
+#define GENAX_ENABLE_DCHECKS 1
+#endif
+
+namespace genax {
+
+/** Everything known about one check violation. */
+struct CheckContext
+{
+    const char *file;
+    int line;
+    const char *expr;    //!< stringified condition
+    std::string message; //!< formatted user message (may be empty)
+
+    /** One-line human-readable rendering. */
+    std::string str() const;
+};
+
+/** Exception thrown by throwingCheckHandler(). */
+class CheckViolation : public std::runtime_error
+{
+  public:
+    explicit CheckViolation(const CheckContext &ctx);
+
+    const CheckContext &context() const { return _ctx; }
+
+  private:
+    CheckContext _ctx;
+};
+
+/**
+ * Violation handler. May throw (tests) or abort; if it returns
+ * normally the checking layer aborts the process itself.
+ */
+using CheckHandler = void (*)(const CheckContext &);
+
+/**
+ * Install a new process-wide handler; returns the previous one.
+ * Passing nullptr restores the default (print + abort). Thread-safe.
+ */
+CheckHandler setCheckHandler(CheckHandler handler);
+
+/** Ready-made handler that throws CheckViolation. */
+void throwingCheckHandler(const CheckContext &ctx);
+
+/** RAII helper: install a handler for one scope (typically a test). */
+class ScopedCheckHandler
+{
+  public:
+    explicit ScopedCheckHandler(CheckHandler handler)
+        : _prev(setCheckHandler(handler))
+    {
+    }
+    ~ScopedCheckHandler() { setCheckHandler(_prev); }
+
+    ScopedCheckHandler(const ScopedCheckHandler &) = delete;
+    ScopedCheckHandler &operator=(const ScopedCheckHandler &) = delete;
+
+  private:
+    CheckHandler _prev;
+};
+
+/**
+ * Dispatch a violation to the current handler; aborts if the handler
+ * declines to throw. Out-of-line so the macro's cold path stays one
+ * call.
+ */
+[[noreturn]] void checkFailed(const char *file, int line,
+                              const char *expr, std::string message);
+
+} // namespace genax
+
+#define GENAX_CHECK(cond, ...) \
+    do { \
+        if (!(cond)) [[unlikely]] { \
+            ::genax::checkFailed(__FILE__, __LINE__, #cond, \
+                                 ::genax::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#if GENAX_ENABLE_DCHECKS
+#define GENAX_DCHECK(cond, ...) GENAX_CHECK(cond, ##__VA_ARGS__)
+#else
+// Keep the condition and message arguments compiled (so disabling
+// dchecks cannot hide bit-rot) but never evaluated.
+#define GENAX_DCHECK(cond, ...) \
+    do { \
+        if (false) { \
+            GENAX_CHECK(cond, ##__VA_ARGS__); \
+        } \
+    } while (0)
+#endif
+
+#define GENAX_UNREACHABLE(...) \
+    ::genax::checkFailed(__FILE__, __LINE__, "unreachable", \
+                         ::genax::detail::concat(__VA_ARGS__))
+
+#endif // GENAX_COMMON_CHECK_HH

@@ -31,7 +31,9 @@ std::string
 concat(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << std::forward<Args>(args));
+    // void-cast: with an empty pack the fold is just `os`, which
+    // would otherwise warn as a statement with no effect.
+    static_cast<void>((os << ... << std::forward<Args>(args)));
     return os.str();
 }
 

@@ -8,6 +8,8 @@
 #define GENAX_COMMON_PARALLEL_HH
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,6 +20,13 @@ namespace genax {
 /**
  * Run fn(begin, end) over [0, n) split into `threads` contiguous
  * chunks. With threads <= 1 the call runs inline.
+ *
+ * Exception-safe: a throw from a worker does not std::terminate the
+ * process. All workers are always joined, and the first exception
+ * captured (in completion order) is rethrown to the caller once every
+ * thread has finished; later exceptions are swallowed. This also
+ * keeps sanitizer reports from worker threads attributable instead of
+ * dying inside a detached unwind.
  */
 template <typename Fn>
 void
@@ -30,16 +39,37 @@ parallelFor(u64 n, unsigned threads, Fn &&fn)
     threads = std::min<u64>(threads, n);
     std::vector<std::thread> pool;
     pool.reserve(threads);
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
     const u64 chunk = (n + threads - 1) / threads;
-    for (unsigned t = 0; t < threads; ++t) {
-        const u64 lo = t * chunk;
-        const u64 hi = std::min(n, lo + chunk);
-        if (lo >= hi)
-            break;
-        pool.emplace_back([&fn, lo, hi]() { fn(lo, hi); });
+    try {
+        for (unsigned t = 0; t < threads; ++t) {
+            const u64 lo = t * chunk;
+            const u64 hi = std::min(n, lo + chunk);
+            if (lo >= hi)
+                break;
+            pool.emplace_back([&fn, &error_mutex, &first_error, lo,
+                               hi]() {
+                try {
+                    fn(lo, hi);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> g(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            });
+        }
+    } catch (...) {
+        // Thread creation failed: join what was launched, then let
+        // the spawn failure propagate.
+        for (auto &th : pool)
+            th.join();
+        throw;
     }
     for (auto &th : pool)
         th.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace genax

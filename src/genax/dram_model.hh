@@ -15,6 +15,7 @@
 #ifndef GENAX_GENAX_DRAM_MODEL_HH
 #define GENAX_GENAX_DRAM_MODEL_HH
 
+#include "common/check.hh"
 #include "common/types.hh"
 
 namespace genax {
@@ -32,7 +33,20 @@ struct DramConfig
 class DramModel
 {
   public:
-    explicit DramModel(const DramConfig &cfg = {}) : _cfg(cfg) {}
+    explicit DramModel(const DramConfig &cfg = {}) : _cfg(cfg)
+    {
+        GENAX_CHECK(cfg.channels > 0, "DRAM model with no channels");
+        GENAX_CHECK(cfg.gbPerSecPerChannel > 0,
+                    "non-positive channel bandwidth: ",
+                    cfg.gbPerSecPerChannel);
+        GENAX_CHECK(cfg.streamEfficiency > 0 &&
+                        cfg.streamEfficiency <= 1.0,
+                    "stream efficiency outside (0, 1]: ",
+                    cfg.streamEfficiency);
+        GENAX_CHECK(cfg.transferLatencyUs >= 0,
+                    "negative transfer latency: ",
+                    cfg.transferLatencyUs);
+    }
 
     /** Aggregate sequential-stream bandwidth in bytes/second. */
     double

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "io/sam.hh"
 #include "swbase/bwamem_like.hh"
@@ -14,9 +15,9 @@ namespace genax {
 
 ContigMap::ContigMap(const std::vector<FastaRecord> &contigs)
 {
-    GENAX_ASSERT(!contigs.empty(), "reference has no contigs");
+    GENAX_CHECK(!contigs.empty(), "reference has no contigs");
     for (const auto &rec : contigs) {
-        GENAX_ASSERT(!rec.seq.empty(), "empty contig: ", rec.name);
+        GENAX_CHECK(!rec.seq.empty(), "empty contig: ", rec.name);
         _contigs.push_back({rec.name, _seq.size(), rec.seq.size()});
         _seq.insert(_seq.end(), rec.seq.begin(), rec.seq.end());
     }
@@ -25,7 +26,7 @@ ContigMap::ContigMap(const std::vector<FastaRecord> &contigs)
 std::pair<size_t, u64>
 ContigMap::locate(u64 pos) const
 {
-    GENAX_ASSERT(pos < _seq.size(), "position beyond reference");
+    GENAX_CHECK(pos < _seq.size(), "position beyond reference");
     // Binary search over contig starts.
     size_t lo = 0, hi = _contigs.size() - 1;
     while (lo < hi) {
@@ -179,7 +180,7 @@ alignPairsToSam(const std::vector<FastaRecord> &ref,
                 const std::vector<FastqRecord> &reads2,
                 std::ostream &out, const PipelineOptions &opts)
 {
-    GENAX_ASSERT(reads1.size() == reads2.size(),
+    GENAX_CHECK(reads1.size() == reads2.size(),
                  "mate files differ in read count");
     const ContigMap contigs(ref);
 

@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <deque>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace genax {
 
 SeedingSimResult
 SeedingLaneSim::simulate(const std::vector<LaneWork> &work) const
 {
-    GENAX_ASSERT(_cfg.lanes > 0 && _cfg.banks > 0, "bad sim config");
+    GENAX_CHECK(_cfg.lanes > 0 && _cfg.banks > 0,
+                "seeding sim needs lanes and banks: lanes=",
+                _cfg.lanes, " banks=", _cfg.banks);
+    GENAX_CHECK(_cfg.issueWidth > 0 && _cfg.sramLatency > 0,
+                "seeding sim needs issue width and SRAM latency: "
+                "width=", _cfg.issueWidth, " latency=",
+                _cfg.sramLatency);
     SeedingSimResult res;
     if (work.empty())
         return res;
@@ -79,6 +85,13 @@ SeedingLaneSim::simulate(const std::vector<LaneWork> &work) const
                     ++lane.lookupsPending;
                     lane.inflight.push_back(t + _cfg.sramLatency);
                     ++res.grants;
+                    // Issue-queue bound: a lane can never have more
+                    // requests in flight than its issue width.
+                    GENAX_DCHECK(lane.inflight.size() <=
+                                     _cfg.issueWidth,
+                                 "lane exceeded its issue width: ",
+                                 lane.inflight.size(), " > ",
+                                 _cfg.issueWidth);
                 } else {
                     ++res.bankConflicts;
                 }

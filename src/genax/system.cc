@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "genax/seeding_sim.hh"
 
 namespace genax {
@@ -44,7 +44,10 @@ GenAxSystem::GenAxSystem(const Seq &ref, const GenAxConfig &cfg)
                                    cfg.k}),
       _dram(cfg.dram)
 {
-    GENAX_ASSERT(cfg.sillaxLanes > 0, "need at least one SillaX lane");
+    GENAX_CHECK(cfg.sillaxLanes > 0, "need at least one SillaX lane");
+    GENAX_CHECK(cfg.seedingLanes > 0, "need at least one seeding lane");
+    GENAX_CHECK(cfg.editBound > 0 && cfg.editBound <= kMaxSillaK,
+                "edit bound out of range: ", cfg.editBound);
     _lanes.reserve(cfg.sillaxLanes);
     for (u32 l = 0; l < cfg.sillaxLanes; ++l)
         _lanes.emplace_back(cfg.editBound, cfg.scoring,
@@ -225,6 +228,13 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
         _perf.lanes.reruns += s.reruns;
         _perf.lanes.jobsWithRerun += s.jobsWithRerun;
     }
+    // Pipeline occupancy: every extension job dispatched by the
+    // kernel must be accounted for by exactly one lane — the
+    // round-robin dispatch dropped or double-counted nothing.
+    GENAX_CHECK(_perf.lanes.jobs == _perf.extensionJobs,
+                "lane stats record ", _perf.lanes.jobs,
+                " jobs but the system dispatched ",
+                _perf.extensionJobs);
 
     // Finalize: sort candidates by descending score with the same
     // deterministic tie-break as the software aligner.
@@ -270,7 +280,7 @@ GenAxSystem::alignPairs(const std::vector<Seq> &reads1,
                         const std::vector<Seq> &reads2,
                         const PairedConfig &pcfg)
 {
-    GENAX_ASSERT(reads1.size() == reads2.size(),
+    GENAX_CHECK(reads1.size() == reads2.size(),
                  "mate batches differ in size");
     const auto c1 = alignAllCandidates(reads1, pcfg.candidatesPerMate);
     // Note: perf for the second pass overwrites the first; callers
@@ -318,7 +328,7 @@ GenAxSystem::project(const GenAxConfig &cfg, const GenAxPerf &measured,
                      u64 reads, u64 read_len, u64 genome_len,
                      u64 segments)
 {
-    GENAX_ASSERT(measured.reads > 0 && measured.segments > 0,
+    GENAX_CHECK(measured.reads > 0 && measured.segments > 0,
                  "projection needs a measured run");
     Projection out;
 

@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/check.hh"
+
 namespace genax {
 
 std::vector<u32>
 CamModel::intersect(const std::vector<u32> &candidates,
                     std::span<const u32> hits, u32 offset)
 {
+    // Both inputs must arrive sorted: the merge below and the
+    // binary-search datapath it models silently produce garbage
+    // otherwise.
+    GENAX_DCHECK(std::is_sorted(candidates.begin(), candidates.end()),
+                 "CAM candidate set not sorted");
+    GENAX_DCHECK(std::is_sorted(hits.begin(), hits.end()),
+                 "CAM hit list not sorted");
     // Cost accounting first (the functional result is identical on
     // all paths). The controller knows both set sizes up front, so
     // with the fallback enabled it picks the cheaper datapath.

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/types.hh"
 
 namespace genax {
@@ -53,6 +54,7 @@ class CamModel
     explicit CamModel(u32 capacity = 512, bool binary_fallback = true)
         : _capacity(capacity), _binaryFallback(binary_fallback)
     {
+        GENAX_CHECK(capacity > 0, "CAM with zero capacity");
     }
 
     /**

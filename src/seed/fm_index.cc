@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace genax {
 
@@ -40,10 +40,10 @@ buildSuffixArray(const Seq &text)
 FmIndex::FmIndex(const Seq &text, u32 sa_sample_rate)
     : _n(text.size()), _sampleRate(std::max(1u, sa_sample_rate))
 {
-    GENAX_ASSERT(_n + 1 <= UINT32_MAX, "text too large for u32 index");
+    GENAX_CHECK(_n + 1 <= UINT32_MAX, "text too large for u32 index");
     Seq t = text;
     for (Base b : t)
-        GENAX_ASSERT(b < kSentinel, "FM-index expects 2-bit bases");
+        GENAX_CHECK(b < kSentinel, "FM-index expects 2-bit bases");
     t.push_back(kSentinel);
     const u32 nt = static_cast<u32>(t.size());
 
@@ -105,7 +105,7 @@ FmIndex::lf(u32 row) const
 FmIndex::Interval
 FmIndex::extend(const Interval &iv, Base c) const
 {
-    GENAX_ASSERT(c < kSentinel, "cannot extend with the sentinel");
+    GENAX_CHECK(c < kSentinel, "cannot extend with the sentinel");
     Interval out;
     out.lo = _c[c] + rank(c, iv.lo);
     out.hi = _c[c] + rank(c, iv.hi);

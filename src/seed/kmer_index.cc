@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace genax {
@@ -12,7 +13,7 @@ namespace genax {
 KmerIndex::KmerIndex(const Seq &ref, u32 k)
     : _k(k), _segLen(ref.size())
 {
-    GENAX_ASSERT(k >= 1 && k <= 13, "k out of supported range: ", k);
+    GENAX_CHECK(k >= 1 && k <= 13, "k out of supported range: ", k);
     const u64 entries = u64{1} << (2 * k);
     _offsets.assign(entries + 1, 0);
 

@@ -2,15 +2,15 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace genax {
 
 std::vector<Minimizer>
 selectMinimizers(const Seq &s, u32 k, u32 w)
 {
-    GENAX_ASSERT(k >= 1 && k <= 31, "minimizer k out of range");
-    GENAX_ASSERT(w >= 1, "minimizer window must be positive");
+    GENAX_CHECK(k >= 1 && k <= 31, "minimizer k out of range");
+    GENAX_CHECK(w >= 1, "minimizer window must be positive");
     std::vector<Minimizer> out;
     if (s.size() < k)
         return out;

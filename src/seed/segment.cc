@@ -2,15 +2,15 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace genax {
 
 GenomeSegments::GenomeSegments(const Seq &ref, const SegmentConfig &cfg)
     : _ref(ref), _cfg(cfg)
 {
-    GENAX_ASSERT(cfg.segmentCount > 0, "segment count must be positive");
-    GENAX_ASSERT(!ref.empty(), "empty reference");
+    GENAX_CHECK(cfg.segmentCount > 0, "segment count must be positive");
+    GENAX_CHECK(!ref.empty(), "empty reference");
 
     const u64 base = (ref.size() + cfg.segmentCount - 1) /
                      cfg.segmentCount;
@@ -28,7 +28,7 @@ GenomeSegments::GenomeSegments(const Seq &ref, const SegmentConfig &cfg)
 Seq
 GenomeSegments::bases(u64 i) const
 {
-    GENAX_ASSERT(i < count(), "segment index out of range");
+    GENAX_CHECK(i < count(), "segment index out of range");
     const auto begin = _ref.begin() + static_cast<i64>(_starts[i]);
     return Seq(begin, begin + static_cast<i64>(_lengths[i]));
 }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <bit>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace genax {
 
@@ -148,7 +148,7 @@ SmemEngine::rmem(const Seq &read, u32 pivot)
         // failed mid-read).
         if (!failed && length < max_len && max_len <= length + k) {
             if (try_extend(max_len - k))
-                GENAX_ASSERT(length == max_len, "boundary extension");
+                GENAX_CHECK(length == max_len, "boundary extension");
         }
     }
 
@@ -199,6 +199,17 @@ SmemEngine::seed(const Seq &read)
         auto [length, cand] = rmem(read, pivot);
         if (length == 0)
             continue;
+        // SMEM interval sanity: an RMEM certifies at least one whole
+        // k-mer, never runs past the read, and always carries the
+        // reference positions that witnessed it (sorted, so the CAM
+        // and downstream anchoring can merge them).
+        GENAX_CHECK(length >= k && pivot + length <= len,
+                    "RMEM interval corrupt: pivot=", pivot,
+                    " length=", length, " read=", len);
+        GENAX_CHECK(!cand.empty(),
+                    "RMEM of length ", length, " with no positions");
+        GENAX_DCHECK(std::is_sorted(cand.begin(), cand.end()),
+                     "RMEM hit positions not sorted");
         const u32 end = pivot + length;
         if (_cfg.smemFilter && end <= max_end)
             continue; // contained in an earlier SMEM

@@ -11,6 +11,8 @@ IndelSilla::IndelSilla(u32 k)
       _cur((k + 1) * (k + 1), 0),
       _next((k + 1) * (k + 1), 0)
 {
+    GENAX_CHECK(k <= kMaxSillaK, "Silla edit bound ", k,
+                " exceeds the supported maximum ", kMaxSillaK);
 }
 
 std::optional<u32>
@@ -40,6 +42,8 @@ IndelSilla::distance(const Seq &r, const Seq &q)
                 ++active;
                 // Acceptance: both strings fully consumed.
                 if (c - i == n && c - d == m) {
+                    GENAX_DCHECK(n + i == m + d,
+                                 "acceptance off the length diagonal");
                     const u32 edits = i + d;
                     if (!best || edits < *best)
                         best = edits;

@@ -14,10 +14,21 @@
 #ifndef GENAX_SILLA_SILLA_HH
 #define GENAX_SILLA_SILLA_HH
 
+#include "common/check.hh"
 #include "common/dna.hh"
 #include "common/types.hh"
 
 namespace genax {
+
+/**
+ * Largest edit bound any Silla machine accepts. The (K+1)^2 state
+ * grids and the cycle arithmetic (cycle - i with 64-bit cycles) are
+ * safe far beyond this, but a bound this size already means a PE grid
+ * of ~16M states — way past anything the paper's hardware (K <= 40)
+ * or the tests configure, so a larger K is a corrupted configuration,
+ * not a use case.
+ */
+constexpr u32 kMaxSillaK = 4095;
 
 /**
  * Retro comparison for state (i, d) at cycle c (Figure 2a).

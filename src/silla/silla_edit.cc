@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
+
 namespace genax {
 
 SillaEdit::SillaEdit(u32 k)
     : _k(k)
 {
+    GENAX_CHECK(k <= kMaxSillaK, "Silla edit bound ", k,
+                " exceeds the supported maximum ", kMaxSillaK);
     const size_t n = static_cast<size_t>(k + 1) * (k + 1);
     _cur0.assign(n, 0);
     _cur1.assign(n, 0);
@@ -46,6 +50,13 @@ SillaEdit::distance(const Seq &r, const Seq &q)
                 // Wait states fire the merged layer-0 state one
                 // position down the diagonal (the 3D collapse).
                 if (_curW[s]) {
+                    // A wait state only ever arms when the merged
+                    // target (i+1, d+1) is a legal state, otherwise
+                    // the write below would leave the half-square
+                    // bit-mask region.
+                    GENAX_DCHECK(i + d + 2 <= _k,
+                                 "wait state outside the grid at (", i,
+                                 ",", d, ") for K=", _k);
                     ++active;
                     any = true;
                     _next0[idx(i + 1, d + 1)] = 1;
@@ -57,7 +68,15 @@ SillaEdit::distance(const Seq &r, const Seq &q)
                         continue;
                     ++active;
                     if (c - i == n && c - d == m) {
+                        // Accepting states sit on the anti-diagonal
+                        // fixed by the length difference.
+                        GENAX_DCHECK(n + i == m + d,
+                                     "acceptance off the length "
+                                     "diagonal: i=", i, " d=", d);
                         const u32 edits = i + d + layer;
+                        GENAX_DCHECK(edits <= _k,
+                                     "accepted with ", edits,
+                                     " edits but K=", _k);
                         if (!best || edits < *best)
                             best = edits;
                         continue;
@@ -101,6 +120,8 @@ SillaEdit::distance(const Seq &r, const Seq &q)
 Silla3D::Silla3D(u32 k)
     : _k(k)
 {
+    GENAX_CHECK(k <= kMaxSillaK, "Silla edit bound ", k,
+                " exceeds the supported maximum ", kMaxSillaK);
     const size_t n =
         static_cast<size_t>(k + 1) * (k + 1) * (k + 1);
     _cur.assign(n, 0);

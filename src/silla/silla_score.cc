@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
+
 namespace genax {
 
 namespace {
@@ -13,6 +15,13 @@ constexpr i32 kNegInf = INT32_MIN / 4;
 SillaScore::SillaScore(u32 k, const Scoring &sc)
     : _k(k), _sc(sc)
 {
+    GENAX_CHECK(k <= kMaxSillaK, "Silla edit bound ", k,
+                " exceeds the supported maximum ", kMaxSillaK);
+    GENAX_CHECK(sc.match >= 0 && sc.mismatch > 0 && sc.gapOpen >= 0 &&
+                    sc.gapExtend > 0,
+                "degenerate scoring scheme: match=", sc.match,
+                " mismatch=", sc.mismatch, " gapOpen=", sc.gapOpen,
+                " gapExtend=", sc.gapExtend);
     const size_t n = static_cast<size_t>(k + 1) * (k + 1);
     _hCur.assign(n, kNegInf);
     _hNext.assign(n, kNegInf);

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace genax {
 
@@ -40,6 +40,13 @@ struct Adoption
 SillaTraceback::SillaTraceback(u32 k, const Scoring &sc)
     : _k(k), _sc(sc)
 {
+    GENAX_CHECK(k <= kMaxSillaK, "Silla edit bound ", k,
+                " exceeds the supported maximum ", kMaxSillaK);
+    GENAX_CHECK(sc.match >= 0 && sc.mismatch > 0 && sc.gapOpen >= 0 &&
+                    sc.gapExtend > 0,
+                "degenerate scoring scheme: match=", sc.match,
+                " mismatch=", sc.mismatch, " gapOpen=", sc.gapOpen,
+                " gapExtend=", sc.gapExtend);
     const size_t n = peCount();
     _hCur.assign(n, kNegInf);
     _hNext.assign(n, kNegInf);
@@ -224,11 +231,11 @@ SillaTraceback::align(const Seq &r, const Seq &q)
     // any necessary re-run).
     auto record_at = [&](size_t pe, Cycle t) -> const Adoption & {
         const auto &v = recs[pe];
-        GENAX_ASSERT(!v.empty(), "traceback into PE with no records");
+        GENAX_CHECK(!v.empty(), "traceback into PE with no records");
         auto it = std::upper_bound(
             v.begin(), v.end(), t,
             [](Cycle c, const Adoption &a) { return c < a.cycle; });
-        GENAX_ASSERT(it != v.begin(), "no adoption at or before cycle ", t);
+        GENAX_CHECK(it != v.begin(), "no adoption at or before cycle ", t);
         return *(it - 1);
     };
     auto adopted_in = [&](size_t pe, Cycle lo_excl, Cycle hi_incl) {
@@ -254,28 +261,28 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         // re-expanded from the strings (match-count compression).
         for (Cycle c = t; c > rec.cycle; --c) {
             const u64 cell_r = c - pi, cell_q = c - pd;
-            GENAX_ASSERT(cell_r >= 1 && cell_q >= 1,
+            GENAX_CHECK(cell_r >= 1 && cell_q >= 1,
                          "diagonal step at matrix edge");
             rev.push(r[cell_r - 1] == q[cell_q - 1] ? CigarOp::Match
                                                     : CigarOp::Mismatch);
         }
 
         if (rec.src == AdoptSrc::Anchor) {
-            GENAX_ASSERT(rec.cycle == pi && rec.cycle == pd,
+            GENAX_CHECK(rec.cycle == pi && rec.cycle == pd,
                          "anchor reached off the origin cell");
             break;
         }
-        GENAX_ASSERT(rec.gapLen >= 1, "edit adoption without a gap run");
+        GENAX_CHECK(rec.gapLen >= 1, "edit adoption without a gap run");
         if (rec.src == AdoptSrc::Ins) {
-            GENAX_ASSERT(pi >= rec.gapLen, "Ins run exceeds grid");
+            GENAX_CHECK(pi >= rec.gapLen, "Ins run exceeds grid");
             rev.push(CigarOp::Ins, rec.gapLen);
             pi -= rec.gapLen;
         } else {
-            GENAX_ASSERT(pd >= rec.gapLen, "Del run exceeds grid");
+            GENAX_CHECK(pd >= rec.gapLen, "Del run exceeds grid");
             rev.push(CigarOp::Del, rec.gapLen);
             pd -= rec.gapLen;
         }
-        GENAX_ASSERT(rec.cycle >= rec.gapLen, "gap run precedes cycle 0");
+        GENAX_CHECK(rec.cycle >= rec.gapLen, "gap run precedes cycle 0");
         t = rec.cycle - rec.gapLen;
     }
 

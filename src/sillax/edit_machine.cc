@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
+
 namespace genax {
 
 StructuralEditMachine::StructuralEditMachine(u32 k)
     : _k(k), _cmps(k)
 {
+    GENAX_CHECK(k <= kMaxSillaK, "Silla edit bound ", k,
+                " exceeds the supported maximum ", kMaxSillaK);
     const size_t n = static_cast<size_t>(k + 1) * (k + 1);
     _cur0.assign(n, 0);
     _cur1.assign(n, 0);

@@ -1,16 +1,47 @@
 #include "sillax/lane.hh"
 
+#include "common/check.hh"
+
 namespace genax {
 
 SillaXLane::SillaXLane(u32 k, const Scoring &sc, double f_ghz)
-    : _machine(k, sc), _fGhz(f_ghz)
+    : _machine(k, sc), _sc(sc), _fGhz(f_ghz)
 {
+    GENAX_CHECK(f_ghz > 0, "lane clock must be positive: ", f_ghz);
 }
 
 SillaAlignment
 SillaXLane::extend(const Seq &ref_window, const Seq &read)
 {
     SillaAlignment out = _machine.align(ref_window, read);
+    GENAX_CHECK(out.refEnd <= ref_window.size() &&
+                    out.qryEnd <= read.size(),
+                "extension consumed past its windows: refEnd=",
+                out.refEnd, "/", ref_window.size(), " qryEnd=",
+                out.qryEnd, "/", read.size());
+#if GENAX_ENABLE_DCHECKS
+    // Traceback re-score equality: the recovered path, replayed over
+    // the consumed windows under the lane's scoring scheme, must
+    // reproduce exactly the score the machine claims. This is the
+    // cross-check that keeps the cycle model's CIGARs bit-for-bit
+    // honest against the software baselines.
+    {
+        Cigar aligned;
+        for (const auto &e : out.cigar.elems())
+            if (e.op != CigarOp::SoftClip)
+                aligned.push(e.op, e.len);
+        const Seq ref_win(ref_window.begin(),
+                          ref_window.begin() +
+                              static_cast<i64>(out.refEnd));
+        const Seq qry_win(read.begin(),
+                          read.begin() + static_cast<i64>(out.qryEnd));
+        GENAX_DCHECK(aligned.rescore(ref_win, qry_win, _sc) ==
+                         out.score,
+                     "traceback path re-scores to ",
+                     aligned.rescore(ref_win, qry_win, _sc),
+                     " but the machine claims ", out.score);
+    }
+#endif
     ++_stats.jobs;
     _stats.streamCycles += out.stats.streamCycles;
     _stats.reduceCycles += out.stats.reduceCycles;

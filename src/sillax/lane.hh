@@ -72,6 +72,7 @@ class SillaXLane
 
   private:
     SillaTraceback _machine;
+    Scoring _sc; //!< kept for the re-score equality cross-check
     double _fGhz;
     LaneStats _stats;
 };

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace genax {
 
@@ -132,7 +132,7 @@ StructuralScoringMachine::run(const Seq &r, const Seq &q)
 std::pair<i32, Cycle>
 StructuralScoringMachine::backPropagateBest()
 {
-    GENAX_ASSERT(!_bestSeen.empty(),
+    GENAX_CHECK(!_bestSeen.empty(),
                  "backPropagateBest requires a prior run()");
     // Local-only reduction: every cycle a PE folds in its upstream
     // neighbours' registers; the grid diameter bounds convergence.

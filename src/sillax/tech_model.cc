@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace genax {
 
@@ -47,7 +47,7 @@ TechModel::peGates(PeType type, u32 read_len_bits)
 double
 TechModel::areaScale(double f_ghz)
 {
-    GENAX_ASSERT(f_ghz > 0, "non-positive frequency");
+    GENAX_CHECK(f_ghz > 0, "non-positive frequency");
     // Fitted to s(1) = 0.95, s(2) = 1 (calibration), s(5) = 1.359
     // (the 9.7 um^2 edit-PE point); cubic term models the
     // super-linear sizing beyond the inflection (Figure 12).

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
+#include "silla/silla.hh"
 
 namespace genax {
 
 TileArray::TileArray(u32 tile_k, u32 rows, u32 cols)
     : _tileK(tile_k), _rows(rows), _cols(cols)
 {
-    GENAX_ASSERT(rows > 0 && cols > 0, "empty tile array");
+    GENAX_CHECK(tile_k > 0, "SillaX tile with zero edit bound");
+    GENAX_CHECK(tile_k <= kMaxSillaK, "tile edit bound ", tile_k,
+                " exceeds the supported maximum ", kMaxSillaK);
+    GENAX_CHECK(rows > 0 && cols > 0, "empty tile array: ", rows, "x",
+                cols);
     configure({});
 }
 
@@ -54,6 +59,23 @@ TileArray::configure(const std::vector<u32> &requested_p)
         for (u32 c = 0; c < _cols; ++c)
             if (!at(r, c))
                 placed.push_back({r, c, 1, _tileK});
+
+    // Composition invariant: the engines partition the grid — every
+    // tile belongs to exactly one engine, no engine sticks out, and
+    // each composed bound matches its block size.
+    u64 covered = 0;
+    for (const auto &e : placed) {
+        GENAX_CHECK(e.p >= 1 && e.row + e.p <= _rows &&
+                        e.col + e.p <= _cols,
+                    "engine outside the tile grid: (", e.row, ",",
+                    e.col, ") p=", e.p);
+        GENAX_CHECK(e.editBound == composedBound(e.p),
+                    "composed bound ", e.editBound,
+                    " inconsistent with p=", e.p);
+        covered += static_cast<u64>(e.p) * e.p;
+    }
+    GENAX_CHECK(covered == tileCount(), "engines cover ", covered,
+                " tiles of ", tileCount());
 
     _engines = std::move(placed);
     return true;

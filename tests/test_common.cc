@@ -1,18 +1,98 @@
 /**
  * @file
  * Unit tests for the common substrate: DNA encoding, packed
- * sequences, RNG determinism.
+ * sequences, RNG determinism, and the invariant-check layer.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "common/check.hh"
 #include "common/dna.hh"
 #include "common/rng.hh"
 
 namespace genax {
 namespace {
+
+TEST(Check, PassingCheckIsSilent)
+{
+    ScopedCheckHandler guard(&throwingCheckHandler);
+    EXPECT_NO_THROW(GENAX_CHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Check, FailingCheckThrowsWithContext)
+{
+    ScopedCheckHandler guard(&throwingCheckHandler);
+    const int occupancy = 17, limit = 16;
+    try {
+        GENAX_CHECK(occupancy <= limit,
+                    "occupancy ", occupancy, " over limit ", limit);
+        FAIL() << "check did not fire";
+    } catch (const CheckViolation &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("occupancy <= limit"), std::string::npos);
+        EXPECT_NE(what.find("occupancy 17 over limit 16"),
+                  std::string::npos);
+        EXPECT_NE(what.find("test_common.cc"), std::string::npos);
+        EXPECT_EQ(e.context().expr,
+                  std::string("occupancy <= limit"));
+    }
+}
+
+TEST(Check, ScopedHandlerRestoresPrevious)
+{
+    // Nested scopes: the inner guard throws, and after it unwinds
+    // the outer throwing handler is active again (not the default
+    // aborting one, which would kill the test process).
+    ScopedCheckHandler outer(&throwingCheckHandler);
+    {
+        ScopedCheckHandler inner(&throwingCheckHandler);
+        EXPECT_THROW(GENAX_CHECK(false, "inner"), CheckViolation);
+    }
+    EXPECT_THROW(GENAX_CHECK(false, "outer"), CheckViolation);
+}
+
+TEST(Check, MessagelessCheckStillReportsExpression)
+{
+    ScopedCheckHandler guard(&throwingCheckHandler);
+    try {
+        GENAX_CHECK(2 < 1);
+        FAIL() << "check did not fire";
+    } catch (const CheckViolation &e) {
+        EXPECT_NE(std::string(e.what()).find("2 < 1"),
+                  std::string::npos);
+    }
+}
+
+TEST(Check, DcheckCompilesInBothModes)
+{
+    // GENAX_DCHECK must stay syntactically valid whether or not the
+    // build enables it; when enabled it behaves like GENAX_CHECK.
+    ScopedCheckHandler guard(&throwingCheckHandler);
+#if GENAX_ENABLE_DCHECKS
+    EXPECT_THROW(GENAX_DCHECK(false, "debug invariant"),
+                 CheckViolation);
+#else
+    EXPECT_NO_THROW(GENAX_DCHECK(false, "debug invariant"));
+#endif
+    EXPECT_NO_THROW(GENAX_DCHECK(true, "fine"));
+}
+
+TEST(Check, UnreachableFires)
+{
+    ScopedCheckHandler guard(&throwingCheckHandler);
+    const auto hit_unreachable = [] {
+        switch (3) {
+          case 3:
+            GENAX_UNREACHABLE("decoder fell through: op=", 3);
+          default:
+            break;
+        }
+    };
+    EXPECT_THROW(hit_unreachable(), CheckViolation);
+}
 
 TEST(Dna, EncodeDecodeRoundTrip)
 {

@@ -20,12 +20,14 @@
 #include "align/myers.hh"
 #include "align/ula.hh"
 #include "align/wavefront.hh"
+#include "common/check.hh"
 #include "common/rng.hh"
 #include "silla/silla_edit.hh"
 #include "silla/silla_score.hh"
 #include "silla/silla_traceback.hh"
 #include "sillax/edit_machine.hh"
 #include "sillax/scoring_machine.hh"
+#include "sillax/tile.hh"
 
 namespace genax {
 namespace {
@@ -198,6 +200,30 @@ TEST(Fuzz, TracebackValidOnAdversarialTandemRepeats)
                           qry.begin() + static_cast<i64>(got.qryEnd));
         EXPECT_EQ(aligned.rescore(ref_win, qry_win, sc), got.score);
     }
+}
+
+// The invariant layer must actually catch corrupted hardware
+// configurations: with the throwing handler installed, constructing
+// a SillaX tile array from impossible parameters surfaces as a
+// CheckViolation instead of silently building a broken model.
+TEST(CheckFuzz, CorruptTileConfigurationIsCaught)
+{
+    ScopedCheckHandler guard(&throwingCheckHandler);
+    EXPECT_THROW(TileArray(0, 4, 4), CheckViolation);   // K = 0
+    EXPECT_THROW(TileArray(3, 0, 8), CheckViolation);   // no rows
+    EXPECT_THROW(TileArray(3, 8, 0), CheckViolation);   // no columns
+    EXPECT_THROW(TileArray(1u << 20, 4, 4), CheckViolation);
+    // A sane configuration still constructs under the same handler.
+    EXPECT_NO_THROW(TileArray(3, 4, 4));
+}
+
+TEST(CheckFuzz, CorruptScoringSchemeIsCaught)
+{
+    ScopedCheckHandler guard(&throwingCheckHandler);
+    Scoring sc;
+    sc.mismatch = 0; // free mismatches: every alignment degenerate
+    EXPECT_THROW(SillaScore(8, sc), CheckViolation);
+    EXPECT_THROW(SillaTraceback(8, sc), CheckViolation);
 }
 
 } // namespace

@@ -64,7 +64,8 @@ TEST(Pipeline, MultiContigReadsLandOnTheRightContig)
         const Seq &contig = ref[on_b ? 1 : 0].seq;
         const u64 pos = rng.below(contig.size() - 101);
         FastqRecord rec;
-        rec.name = "r" + std::to_string(i);
+        rec.name = "r";
+        rec.name += std::to_string(i);
         rec.seq = Seq(contig.begin() + static_cast<i64>(pos),
                       contig.begin() + static_cast<i64>(pos + 101));
         rec.qual.assign(101, 35);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/rng.hh"
 #include "readsim/readsim.hh"
@@ -129,8 +130,12 @@ TEST_F(ExtendAnchorTest, SnpOnEachSideOfSeed)
 TEST_F(ExtendAnchorTest, DeletionLeftOfSeed)
 {
     // Read skips 3 reference bases before the seed region.
-    Seq read(ref.begin() + 500, ref.begin() + 540);      // 40 bases
-    read.insert(read.end(), ref.begin() + 543, ref.begin() + 604);
+    Seq read;
+    read.reserve(101);
+    std::copy(ref.begin() + 500, ref.begin() + 540,  // 40 bases
+              std::back_inserter(read));
+    std::copy(ref.begin() + 543, ref.begin() + 604,
+              std::back_inserter(read));
     ASSERT_EQ(read.size(), 101u);
     Anchor a{60, 101, 563, false}; // seed inside the right part
     const auto m = extendAnchor(ref, read, a, sc, 16, kernel);

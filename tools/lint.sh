@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Repository lint: header guards, RNG hygiene, include hygiene and
+# whitespace. Pure bash + grep so it runs anywhere; clang-format and
+# clang-tidy cover what this script cannot.
+#
+# Usage: tools/lint.sh [--fix-whitespace]
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+fail=0
+fix_ws=0
+[[ "${1:-}" == "--fix-whitespace" ]] && fix_ws=1
+
+err() {
+    echo "lint: $*" >&2
+    fail=1
+}
+
+# Every tracked C++ source outside build trees.
+mapfile -t sources < <(
+    find src tests bench tools examples \
+        \( -name '*.cc' -o -name '*.hh' \) -type f 2>/dev/null | sort)
+
+# ---------------------------------------------------------------
+# 1. Header guards: GENAX_<PATH>_HH derived from the file path
+#    (relative to src/ for the library, to the repo root elsewhere).
+# ---------------------------------------------------------------
+for f in "${sources[@]}"; do
+    [[ "$f" == *.hh ]] || continue
+    rel="${f#src/}"
+    guard="GENAX_$(echo "$rel" | tr 'a-z/.' 'A-Z__' | tr -cd 'A-Z0-9_')"
+    if ! grep -q "^#ifndef ${guard}\$" "$f"; then
+        err "$f: missing or wrong header guard (want ${guard})"
+        continue
+    fi
+    grep -q "^#define ${guard}\$" "$f" ||
+        err "$f: #define ${guard} missing after #ifndef"
+    grep -q "^#endif // ${guard}\$" "$f" ||
+        err "$f: closing '#endif // ${guard}' comment missing"
+done
+
+# ---------------------------------------------------------------
+# 2. RNG hygiene: all randomness flows through src/common/rng.hh so
+#    every simulation is reproducible from a seed. Nondeterministic
+#    or C-library generators are banned everywhere else.
+# ---------------------------------------------------------------
+for f in "${sources[@]}"; do
+    [[ "$f" == "src/common/rng.hh" ]] && continue
+    if grep -nE '\b(std::rand\b|\brand\(\)|srand\(|std::mt19937|std::minstd_rand|std::random_device|random_shuffle)' "$f"; then
+        err "$f: raw RNG use; route randomness through common/rng.hh"
+    fi
+done
+
+# ---------------------------------------------------------------
+# 3. Include hygiene: project includes are root-relative (no ../),
+#    use quotes, and resolve to a real file; every .cc includes its
+#    own header first so headers stay self-contained.
+# ---------------------------------------------------------------
+for f in "${sources[@]}"; do
+    if grep -n '#include "\.\./' "$f"; then
+        err "$f: relative ../ include; use a root-relative path"
+    fi
+    while IFS= read -r inc; do
+        [[ -f "src/$inc" || -f "$inc" ||
+           -f "$(dirname "$f")/$inc" ]] ||
+            err "$f: include \"$inc\" does not resolve"
+    done < <(sed -n 's/^#include "\([^"]*\)".*/\1/p' "$f")
+done
+
+for f in "${sources[@]}"; do
+    [[ "$f" == src/*.cc ]] || continue
+    own="${f#src/}"
+    own="${own%.cc}.hh"
+    [[ -f "src/$own" ]] || continue # no matching header (e.g. mains)
+    first=$(sed -n 's/^#include "\([^"]*\)".*/\1/p' "$f" | head -n 1)
+    [[ "$first" == "$own" ]] ||
+        err "$f: own header \"$own\" must be the first include"
+done
+
+# ---------------------------------------------------------------
+# 4. Whitespace: no tabs, no trailing whitespace in C++ sources.
+# ---------------------------------------------------------------
+for f in "${sources[@]}"; do
+    if grep -qP '\t' "$f"; then
+        if ((fix_ws)); then
+            sed -i 's/\t/    /g' "$f"
+            echo "lint: $f: expanded tabs (fixed)"
+        else
+            err "$f: tab characters (run with --fix-whitespace)"
+        fi
+    fi
+    if grep -qP '[ \t]+$' "$f"; then
+        if ((fix_ws)); then
+            sed -i 's/[[:space:]]*$//' "$f"
+            echo "lint: $f: stripped trailing whitespace (fixed)"
+        else
+            err "$f: trailing whitespace (run with --fix-whitespace)"
+        fi
+    fi
+done
+
+if ((fail)); then
+    echo "lint: FAILED" >&2
+    exit 1
+fi
+echo "lint: OK (${#sources[@]} files)"
