@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace genax {
@@ -166,7 +167,7 @@ Cigar::parse(const std::string &s)
           case 'I': op = CigarOp::Ins; break;
           case 'D': op = CigarOp::Del; break;
           case 'S': op = CigarOp::SoftClip; break;
-          default: GENAX_FATAL("bad cigar op '", c, "' in ", s);
+          default: GENAX_CHECK(false, "bad cigar op '", c, "' in ", s);
         }
         out.push(op, len);
     }

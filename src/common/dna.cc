@@ -37,6 +37,24 @@ isAcgt(char c)
     }
 }
 
+bool
+isIupac(char c)
+{
+    switch (c) {
+      case 'A': case 'a': case 'C': case 'c':
+      case 'G': case 'g': case 'T': case 't':
+      case 'U': case 'u': case 'R': case 'r':
+      case 'Y': case 'y': case 'S': case 's':
+      case 'W': case 'w': case 'K': case 'k':
+      case 'M': case 'm': case 'B': case 'b':
+      case 'D': case 'd': case 'H': case 'h':
+      case 'V': case 'v': case 'N': case 'n':
+        return true;
+      default:
+        return false;
+    }
+}
+
 Seq
 encode(std::string_view s)
 {

@@ -44,6 +44,14 @@ Base charToBase(char c);
 /** True if the character is one of ACGTacgt. */
 bool isAcgt(char c);
 
+/**
+ * True if the character is a legal IUPAC nucleotide code
+ * (ACGTU plus the ambiguity codes RYSWKMBDHVN, either case). The
+ * parsers accept these — ambiguous codes encode as 'A' via
+ * charToBase — and reject everything else as malformed input.
+ */
+bool isIupac(char c);
+
 /** Complement of a 2-bit base code. */
 inline Base
 complement(Base b)

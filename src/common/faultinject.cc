@@ -1,0 +1,197 @@
+#include "common/faultinject.hh"
+
+#include <cstdlib>
+
+namespace genax {
+
+namespace {
+
+/** FNV-1a — decorrelates site streams sharing one user seed. */
+u64
+hashSite(std::string_view site)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (const char c : site) {
+        h ^= static_cast<u8>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(std::string_view site, const FaultSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    Site s;
+    s.spec = spec;
+    s.rng.reseed(spec.seed ^ hashSite(site));
+    _sites.insert_or_assign(std::string(site), std::move(s));
+    _armed.store(true, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm(std::string_view site)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    const auto it = _sites.find(site);
+    if (it != _sites.end())
+        _sites.erase(it);
+    _armed.store(!_sites.empty(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    _sites.clear();
+    _armed.store(false, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldFire(std::string_view site)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    const auto it = _sites.find(site);
+    if (it == _sites.end())
+        return false;
+    Site &s = it->second;
+    ++s.hits;
+    if (s.fires >= s.spec.maxFires)
+        return false;
+    bool fire = false;
+    if (s.spec.fireOnNth != 0 && s.hits == s.spec.fireOnNth)
+        fire = true;
+    if (!fire && s.spec.probability > 0 &&
+        s.rng.chance(s.spec.probability)) {
+        fire = true;
+    }
+    if (fire)
+        ++s.fires;
+    return fire;
+}
+
+u64
+FaultInjector::hits(std::string_view site) const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    const auto it = _sites.find(site);
+    return it == _sites.end() ? 0 : it->second.hits;
+}
+
+u64
+FaultInjector::fires(std::string_view site) const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    const auto it = _sites.find(site);
+    return it == _sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string>
+FaultInjector::armedSites() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    std::vector<std::string> out;
+    out.reserve(_sites.size());
+    for (const auto &[name, site] : _sites)
+        out.push_back(name);
+    return out;
+}
+
+Status
+FaultInjector::configure(std::string_view spec)
+{
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(';', pos);
+        if (end == std::string_view::npos)
+            end = spec.size();
+        const std::string_view entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+
+        const size_t colon = entry.find(':');
+        if (colon == std::string_view::npos || colon == 0) {
+            return invalidInputError(
+                "fault spec entry needs 'site:key=value': " +
+                std::string(entry));
+        }
+        const std::string_view site = entry.substr(0, colon);
+        FaultSpec fs;
+        bool has_rule = false;
+
+        size_t kpos = colon + 1;
+        while (kpos <= entry.size()) {
+            size_t kend = entry.find(',', kpos);
+            if (kend == std::string_view::npos)
+                kend = entry.size();
+            const std::string_view kv = entry.substr(kpos, kend - kpos);
+            kpos = kend + 1;
+            if (kv.empty())
+                continue;
+            const size_t eq = kv.find('=');
+            if (eq == std::string_view::npos) {
+                return invalidInputError(
+                    "fault spec key without value: " + std::string(kv));
+            }
+            const std::string_view key = kv.substr(0, eq);
+            const std::string val(kv.substr(eq + 1));
+            char *parse_end = nullptr;
+            if (key == "p") {
+                fs.probability = std::strtod(val.c_str(), &parse_end);
+                if (parse_end == val.c_str() || fs.probability < 0 ||
+                    fs.probability > 1) {
+                    return invalidInputError(
+                        "fault probability outside [0,1]: " + val);
+                }
+                has_rule = true;
+            } else if (key == "n") {
+                fs.fireOnNth = std::strtoull(val.c_str(), &parse_end, 10);
+                if (parse_end == val.c_str() || fs.fireOnNth == 0) {
+                    return invalidInputError(
+                        "fault n= needs a positive hit ordinal: " + val);
+                }
+                has_rule = true;
+            } else if (key == "max") {
+                fs.maxFires = std::strtoull(val.c_str(), &parse_end, 10);
+                if (parse_end == val.c_str()) {
+                    return invalidInputError("bad fault max=: " + val);
+                }
+            } else if (key == "seed") {
+                fs.seed = std::strtoull(val.c_str(), &parse_end, 10);
+                if (parse_end == val.c_str()) {
+                    return invalidInputError("bad fault seed=: " + val);
+                }
+            } else {
+                return invalidInputError("unknown fault spec key: " +
+                                         std::string(key));
+            }
+        }
+        if (!has_rule) {
+            return invalidInputError(
+                "fault site without p= or n= rule: " + std::string(site));
+        }
+        arm(site, fs);
+    }
+    return okStatus();
+}
+
+Status
+FaultInjector::configureFromEnv()
+{
+    const char *env = std::getenv("GENAX_FAULT_INJECT");
+    if (env == nullptr || *env == '\0')
+        return okStatus();
+    return configure(env).withContext("GENAX_FAULT_INJECT");
+}
+
+} // namespace genax

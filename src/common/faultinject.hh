@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * Production components register *fault points* — named places where
+ * an environment failure could strike (an IO read, a DRAM stream, a
+ * CAM capacity overflow, a SillaX lane issue). Tests and the chaos CI
+ * job arm a subset of sites with a firing rule; the component then
+ * observes the failure through its ordinary Status channel and must
+ * skip, retry or degrade exactly as it would in production.
+ *
+ * Cost model: everything is off by default, and a disarmed build
+ * evaluates one relaxed atomic load per fault point — the accelerator
+ * perf model regresses by noise only. Arming is process-global and
+ * thread-safe; firing decisions are deterministic given (site seed,
+ * hit ordinal), so a failing chaos run replays exactly.
+ *
+ * Site naming convention (see DESIGN.md): "<layer>.<unit>.<event>",
+ * e.g. "io.fastq.record" or "sillax.lane.issue". Constants for all
+ * registered sites live in namespace fault so call sites and tests
+ * cannot drift apart.
+ */
+
+#ifndef GENAX_COMMON_FAULTINJECT_HH
+#define GENAX_COMMON_FAULTINJECT_HH
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Registered fault-site names. */
+namespace fault {
+
+inline constexpr const char *kFastaRecord = "io.fasta.record";
+inline constexpr const char *kFastqRecord = "io.fastq.record";
+inline constexpr const char *kSamWrite = "io.sam.write";
+inline constexpr const char *kCamOverflow = "seed.cam.overflow";
+inline constexpr const char *kDramStream = "genax.dram.stream";
+inline constexpr const char *kLaneIssue = "sillax.lane.issue";
+inline constexpr const char *kPipelineRead = "genax.pipeline.read";
+
+} // namespace fault
+
+/** Firing rule for one armed site. */
+struct FaultSpec
+{
+    /** Fire each hit with this probability (deterministic stream). */
+    double probability = 0.0;
+    /** Fire on exactly the Nth hit (1-based); 0 disables the rule. */
+    u64 fireOnNth = 0;
+    /** Stop firing after this many fires (both rules). */
+    u64 maxFires = ~u64{0};
+    /** Seed for the site's private random stream. */
+    u64 seed = 1;
+};
+
+/** Process-global fault-injection registry. */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Arm (or re-arm) a site; resets its hit/fire counters. */
+    void arm(std::string_view site, const FaultSpec &spec);
+
+    /** Disarm one site (its counters are dropped). */
+    void disarm(std::string_view site);
+
+    /** Disarm every site and clear all counters. */
+    void reset();
+
+    /** Fast check: is any site armed at all? */
+    bool
+    anyArmed() const
+    {
+        return _armed.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Count a hit at `site` and decide whether the fault fires.
+     * Unarmed sites never fire (and are not counted).
+     */
+    bool shouldFire(std::string_view site);
+
+    /** Hits observed at an armed site (0 when not armed). */
+    u64 hits(std::string_view site) const;
+
+    /** Faults fired at an armed site (0 when not armed). */
+    u64 fires(std::string_view site) const;
+
+    /** Names of currently armed sites, sorted. */
+    std::vector<std::string> armedSites() const;
+
+    /**
+     * Arm sites from a spec string:
+     *
+     *   site:key=value[,key=value...][;site:...]
+     *
+     * keys: p (probability in [0,1]), n (fire on Nth hit),
+     *       max (max fires), seed. Example:
+     *
+     *   "io.fastq.record:p=0.01,seed=7;sillax.lane.issue:n=3"
+     */
+    Status configure(std::string_view spec);
+
+    /** configure() from the GENAX_FAULT_INJECT environment variable;
+     *  OK (and a no-op) when the variable is unset or empty. */
+    Status configureFromEnv();
+
+  private:
+    FaultInjector() = default;
+
+    struct Site
+    {
+        FaultSpec spec;
+        Rng rng;
+        u64 hits = 0;
+        u64 fires = 0;
+    };
+
+    mutable std::mutex _mu;
+    std::map<std::string, Site, std::less<>> _sites;
+    std::atomic<bool> _armed{false};
+};
+
+/**
+ * The fault point itself: false with a single relaxed atomic load
+ * unless at least one site is armed anywhere in the process.
+ */
+inline bool
+faultFires(const char *site)
+{
+    FaultInjector &fi = FaultInjector::instance();
+    if (!fi.anyArmed()) [[likely]]
+        return false;
+    return fi.shouldFire(site);
+}
+
+/**
+ * RAII fault plan for tests: arms sites on construction and restores
+ * a fully-disarmed registry on destruction.
+ */
+class ScopedFaultPlan
+{
+  public:
+    ScopedFaultPlan() = default;
+
+    explicit ScopedFaultPlan(
+        std::initializer_list<std::pair<const char *, FaultSpec>> plan)
+    {
+        for (const auto &[site, spec] : plan)
+            FaultInjector::instance().arm(site, spec);
+    }
+
+    ~ScopedFaultPlan() { FaultInjector::instance().reset(); }
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+};
+
+} // namespace genax
+
+#endif // GENAX_COMMON_FAULTINJECT_HH

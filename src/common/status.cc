@@ -1,0 +1,118 @@
+#include "common/status.hh"
+
+#include <cerrno>
+#include <cstring>
+
+namespace genax {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidInput: return "invalid-input";
+      case StatusCode::IoError: return "io-error";
+      case StatusCode::NotFound: return "not-found";
+      case StatusCode::ResourceExhausted: return "resource-exhausted";
+      case StatusCode::Unavailable: return "unavailable";
+      case StatusCode::FailedPrecondition: return "failed-precondition";
+      case StatusCode::Internal: return "internal";
+      case StatusCode::EndOfStream: return "end-of-stream";
+    }
+    return "unknown";
+}
+
+Status
+Status::withContext(std::string_view context) const
+{
+    if (ok())
+        return *this;
+    std::string msg;
+    msg.reserve(context.size() + 2 + _message.size());
+    msg.append(context);
+    msg.append(": ");
+    msg.append(_message);
+    return Status(_code, std::move(msg));
+}
+
+std::string
+Status::str() const
+{
+    std::string out = "[";
+    out += statusCodeName(_code);
+    out += "]";
+    if (!_message.empty()) {
+        out += " ";
+        out += _message;
+    }
+    return out;
+}
+
+Status
+okStatus()
+{
+    return Status();
+}
+
+Status
+invalidInputError(std::string message)
+{
+    return Status(StatusCode::InvalidInput, std::move(message));
+}
+
+Status
+ioError(std::string message)
+{
+    return Status(StatusCode::IoError, std::move(message));
+}
+
+Status
+notFoundError(std::string message)
+{
+    return Status(StatusCode::NotFound, std::move(message));
+}
+
+Status
+resourceExhaustedError(std::string message)
+{
+    return Status(StatusCode::ResourceExhausted, std::move(message));
+}
+
+Status
+unavailableError(std::string message)
+{
+    return Status(StatusCode::Unavailable, std::move(message));
+}
+
+Status
+failedPreconditionError(std::string message)
+{
+    return Status(StatusCode::FailedPrecondition, std::move(message));
+}
+
+Status
+internalError(std::string message)
+{
+    return Status(StatusCode::Internal, std::move(message));
+}
+
+Status
+endOfStream()
+{
+    return Status(StatusCode::EndOfStream, "end of stream");
+}
+
+Status
+ioErrorFromErrno(std::string_view action, std::string_view path)
+{
+    const int err = errno;
+    std::string msg;
+    msg.append(action);
+    msg.append(" '");
+    msg.append(path);
+    msg.append("': ");
+    msg.append(err != 0 ? std::strerror(err) : "unknown error");
+    return ioError(std::move(msg));
+}
+
+} // namespace genax

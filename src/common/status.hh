@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Recoverable-error propagation: Status, StatusOr<T> and the
+ * GENAX_TRY family of macros.
+ *
+ * The division of labour with check.hh/logging.hh:
+ *
+ *   GENAX_CHECK / GENAX_DCHECK — programmer invariants. A violation
+ *       means the code itself is wrong; the process (or the installed
+ *       handler) aborts.
+ *   Status / StatusOr          — environment and input failures: an
+ *       unopenable file, a malformed FASTQ record, an exhausted
+ *       hardware resource. These are *expected* at production scale
+ *       and must flow back to a layer that can skip, retry, degrade
+ *       or report — never abort.
+ *
+ * A Status carries a code plus a human-readable message; context is
+ * chained outward with withContext() so the surfaced error reads like
+ * a call-stack of intent ("align files: read FASTQ 'x.fq': line 12:
+ * truncated record"). EndOfStream is a sentinel for iteration
+ * protocols (streaming readers), not a failure.
+ */
+
+#ifndef GENAX_COMMON_STATUS_HH
+#define GENAX_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Broad classes of recoverable failure. */
+enum class StatusCode : u8
+{
+    Ok = 0,
+    InvalidInput,       //!< malformed user/file input
+    IoError,            //!< the environment failed us (open/read/write)
+    NotFound,           //!< a named thing does not exist
+    ResourceExhausted,  //!< a capacity or budget was exceeded
+    Unavailable,        //!< transient failure; retry may succeed
+    FailedPrecondition, //!< caller state does not admit the operation
+    Internal,           //!< invariant failed but caller can recover
+    EndOfStream,        //!< iteration sentinel, not a failure
+};
+
+/** Stable lower-case name of a status code (e.g. "invalid-input"). */
+const char *statusCodeName(StatusCode code);
+
+/** A recoverable-error result: a code and a contextual message. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default: OK. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : _code(code), _message(std::move(message))
+    {
+    }
+
+    bool ok() const { return _code == StatusCode::Ok; }
+    StatusCode code() const { return _code; }
+    const std::string &message() const { return _message; }
+
+    /**
+     * Return a copy with `context` prepended ("context: message").
+     * OK statuses pass through unchanged.
+     */
+    Status withContext(std::string_view context) const;
+
+    /** One-line rendering: "[io-error] context: message". */
+    std::string str() const;
+
+    bool
+    operator==(const Status &o) const
+    {
+        return _code == o._code && _message == o._message;
+    }
+
+  private:
+    StatusCode _code = StatusCode::Ok;
+    std::string _message;
+};
+
+/** Factory helpers — the only way Status objects are minted. */
+Status okStatus();
+Status invalidInputError(std::string message);
+Status ioError(std::string message);
+Status notFoundError(std::string message);
+Status resourceExhaustedError(std::string message);
+Status unavailableError(std::string message);
+Status failedPreconditionError(std::string message);
+Status internalError(std::string message);
+Status endOfStream();
+
+/** IoError annotated with the failing path and current errno. */
+Status ioErrorFromErrno(std::string_view action, std::string_view path);
+
+/** True when the status is the end-of-stream iteration sentinel. */
+inline bool
+isEndOfStream(const Status &s)
+{
+    return s.code() == StatusCode::EndOfStream;
+}
+
+/**
+ * Either a value or a non-OK Status. Accessing the value of a failed
+ * StatusOr is a programmer error (GENAX_CHECK).
+ */
+template <typename T>
+class [[nodiscard]] StatusOr
+{
+  public:
+    /** Implicit from a non-OK status (OK without a value is a bug). */
+    StatusOr(Status status) : _status(std::move(status))
+    {
+        GENAX_CHECK(!_status.ok(),
+                    "StatusOr constructed from OK status with no value");
+    }
+
+    /** Implicit from a value. */
+    StatusOr(T value) : _value(std::move(value)) {}
+
+    bool ok() const { return _status.ok(); }
+    const Status &status() const { return _status; }
+
+    const T &
+    value() const &
+    {
+        GENAX_CHECK(ok(), "StatusOr::value() on error: ", _status.str());
+        return *_value;
+    }
+
+    T &
+    value() &
+    {
+        GENAX_CHECK(ok(), "StatusOr::value() on error: ", _status.str());
+        return *_value;
+    }
+
+    T &&
+    value() &&
+    {
+        GENAX_CHECK(ok(), "StatusOr::value() on error: ", _status.str());
+        return std::move(*_value);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+    /** Propagate context through the error channel (no-op when OK). */
+    StatusOr
+    withContext(std::string_view context) &&
+    {
+        if (!ok())
+            return StatusOr(_status.withContext(context));
+        return std::move(*this);
+    }
+
+  private:
+    Status _status;          //!< OK iff _value holds
+    std::optional<T> _value;
+};
+
+namespace detail {
+
+/** Unwraps Status or StatusOr<T> into a plain Status for GENAX_TRY. */
+inline const Status &
+asStatus(const Status &s)
+{
+    return s;
+}
+
+template <typename T>
+const Status &
+asStatus(const StatusOr<T> &s)
+{
+    return s.status();
+}
+
+} // namespace detail
+
+} // namespace genax
+
+#define GENAX_STATUS_CONCAT_INNER(a, b) a##b
+#define GENAX_STATUS_CONCAT(a, b) GENAX_STATUS_CONCAT_INNER(a, b)
+
+/**
+ * Evaluate an expression yielding Status (or StatusOr); on error,
+ * return the Status from the enclosing function.
+ */
+#define GENAX_TRY(expr) \
+    do { \
+        const auto &GENAX_STATUS_CONCAT(_genax_st_, __LINE__) = (expr); \
+        if (!GENAX_STATUS_CONCAT(_genax_st_, __LINE__).ok()) \
+            [[unlikely]] { \
+            return ::genax::detail::asStatus( \
+                GENAX_STATUS_CONCAT(_genax_st_, __LINE__)); \
+        } \
+    } while (0)
+
+/**
+ * Evaluate a StatusOr expression; on error return its Status, else
+ * bind the value to `lhs` (which may declare a variable).
+ *
+ *   GENAX_TRY_ASSIGN(const auto reads, readFastqFile(path));
+ */
+#define GENAX_TRY_ASSIGN(lhs, expr) \
+    auto GENAX_STATUS_CONCAT(_genax_so_, __LINE__) = (expr); \
+    if (!GENAX_STATUS_CONCAT(_genax_so_, __LINE__).ok()) [[unlikely]] { \
+        return GENAX_STATUS_CONCAT(_genax_so_, __LINE__).status(); \
+    } \
+    lhs = std::move(GENAX_STATUS_CONCAT(_genax_so_, __LINE__)).value()
+
+#endif // GENAX_COMMON_STATUS_HH

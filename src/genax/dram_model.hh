@@ -16,6 +16,8 @@
 #define GENAX_GENAX_DRAM_MODEL_HH
 
 #include "common/check.hh"
+#include "common/faultinject.hh"
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace genax {
@@ -27,6 +29,13 @@ struct DramConfig
     double gbPerSecPerChannel = 19.2; //!< DDR4-2400 x64 channel
     double streamEfficiency = 0.85;   //!< achievable fraction on streams
     double transferLatencyUs = 2.0;   //!< per-stream startup cost
+};
+
+/** Per-instance stream/fault accounting. */
+struct DramStats
+{
+    u64 streams = 0;      //!< stream() calls
+    u64 faultRetries = 0; //!< injected faults absorbed by a retry
 };
 
 /** Stream-time estimator. */
@@ -66,10 +75,36 @@ class DramModel
                static_cast<double>(bytes) / bandwidthBytesPerSec();
     }
 
+    /**
+     * Fault-aware streaming: an injected genax.dram.stream fault
+     * models a failed transfer that the memory controller retries
+     * (paying the full stream cost again). A fault on the retry too
+     * surfaces as Unavailable so the caller can degrade — the system
+     * model falls back to its closed-form estimate and keeps going.
+     */
+    StatusOr<double>
+    stream(u64 bytes)
+    {
+        ++_stats.streams;
+        double sec = streamSeconds(bytes);
+        if (faultFires(fault::kDramStream)) [[unlikely]] {
+            ++_stats.faultRetries;
+            sec += streamSeconds(bytes);
+            if (faultFires(fault::kDramStream)) {
+                return unavailableError(
+                    "DRAM stream of " + std::to_string(bytes) +
+                    " bytes failed after retry");
+            }
+        }
+        return sec;
+    }
+
+    const DramStats &stats() const { return _stats; }
     const DramConfig &config() const { return _cfg; }
 
   private:
     DramConfig _cfg;
+    DramStats _stats;
 };
 
 } // namespace genax

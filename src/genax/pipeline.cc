@@ -6,8 +6,10 @@
 #include <ostream>
 
 #include "common/check.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "io/sam.hh"
+#include "silla/silla.hh"
 #include "swbase/bwamem_like.hh"
 #include "swbase/paired.hh"
 
@@ -39,24 +41,76 @@ ContigMap::locate(u64 pos) const
     return {lo, pos - _contigs[lo].start};
 }
 
-PipelineResult
+namespace {
+
+/** Unmapped SAM record for a read the pipeline could not align. */
+SamRecord
+unmappedRecord(const FastqRecord &read)
+{
+    SamRecord rec;
+    rec.qname = read.name;
+    rec.flag = kSamUnmapped;
+    rec.seq = decode(read.seq);
+    std::string qual;
+    for (u8 q : read.qual)
+        qual.push_back(static_cast<char>(q + 33));
+    rec.qual = qual.empty() ? "*" : qual;
+    return rec;
+}
+
+} // namespace
+
+StatusOr<PipelineResult>
 alignToSam(const std::vector<FastaRecord> &ref,
            const std::vector<FastqRecord> &reads, std::ostream &out,
            const PipelineOptions &opts)
 {
+    if (ref.empty())
+        return invalidInputError("reference has no usable contigs");
+    for (const auto &rec : ref) {
+        if (rec.seq.empty())
+            return invalidInputError("reference contig '" + rec.name +
+                                     "' is empty");
+    }
     const ContigMap contigs(ref);
-
-    std::vector<Seq> seqs;
-    seqs.reserve(reads.size());
-    for (const auto &r : reads)
-        seqs.push_back(r.seq);
 
     PipelineResult res;
     res.reads = reads.size();
 
+    // Admission: the genax.pipeline.read fault point models a read
+    // lost inside the pipeline (staging-buffer corruption and the
+    // like). Such a read is Failed in the ledger and emitted as an
+    // unmapped placeholder so the SAM output stays index-aligned with
+    // the input.
+    std::vector<u8> failed(reads.size(), 0);
+    std::vector<Seq> seqs;
+    seqs.reserve(reads.size());
+    for (size_t i = 0; i < reads.size(); ++i) {
+        if (faultFires(fault::kPipelineRead)) [[unlikely]] {
+            failed[i] = 1;
+            ++res.failed;
+            continue;
+        }
+        seqs.push_back(reads[i].seq);
+    }
+
+    // Graceful degradation: an edit bound beyond what a SillaX lane
+    // supports cannot run on the accelerator model at all; the whole
+    // run falls back to the software engine and its mapped reads are
+    // reported as degraded rather than silently relabelled.
+    bool use_software = opts.engine == PipelineOptions::Engine::Software;
+    if (!use_software && opts.band > kMaxSillaK) {
+        GENAX_WARN("edit bound ", opts.band,
+                   " exceeds the SillaX maximum ", kMaxSillaK,
+                   "; degrading the run to the software engine");
+        use_software = true;
+        res.softwareFallback = true;
+    }
+
     std::vector<Mapping> maps;
+    std::vector<u8> degraded(seqs.size(), 0);
     const auto t0 = std::chrono::steady_clock::now();
-    if (opts.engine == PipelineOptions::Engine::GenAx) {
+    if (!use_software) {
         GenAxConfig cfg;
         cfg.k = opts.k;
         cfg.editBound = opts.band;
@@ -65,6 +119,7 @@ alignToSam(const std::vector<FastaRecord> &ref,
         GenAxSystem system(contigs.sequence(), cfg);
         maps = system.alignAll(seqs);
         res.perf = system.perf();
+        degraded = system.degradedReads();
     } else {
         AlignerConfig cfg;
         cfg.k = opts.k;
@@ -72,6 +127,8 @@ alignToSam(const std::vector<FastaRecord> &ref,
         cfg.threads = opts.threads;
         BwaMemLike aligner(contigs.sequence(), cfg);
         maps = aligner.alignAll(seqs);
+        if (res.softwareFallback)
+            degraded.assign(seqs.size(), 1);
     }
     const auto t1 = std::chrono::steady_clock::now();
     res.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -81,8 +138,15 @@ alignToSam(const std::vector<FastaRecord> &ref,
         header.push_back({c.name, c.length});
     SamWriter sam(out, header);
 
-    for (size_t i = 0; i < maps.size(); ++i) {
-        const Mapping &m = maps[i];
+    size_t live = 0; // index into maps/degraded (admitted reads only)
+    for (size_t i = 0; i < reads.size(); ++i) {
+        if (failed[i]) {
+            sam.write(unmappedRecord(reads[i]));
+            continue;
+        }
+        const Mapping &m = maps[live];
+        const bool via_fallback = degraded[live] != 0;
+        ++live;
         SamRecord rec;
         rec.qname = reads[i].name;
         const Seq &oriented_seq =
@@ -91,8 +155,12 @@ alignToSam(const std::vector<FastaRecord> &ref,
         rec.seq = decode(oriented_seq);
         if (!m.mapped) {
             rec.flag = kSamUnmapped;
+            ++res.unmapped;
         } else {
-            ++res.mapped;
+            if (via_fallback)
+                ++res.degraded;
+            else
+                ++res.mapped;
             const auto [ci, local] = contigs.locate(m.pos);
             rec.flag = m.reverse ? kSamReverse : 0;
             rec.rname = contigs.contigs()[ci].name;
@@ -111,6 +179,13 @@ alignToSam(const std::vector<FastaRecord> &ref,
         rec.qual = qual.empty() ? "*" : qual;
         sam.write(rec);
     }
+    if (!out)
+        return ioError("failed writing SAM output after " +
+                       std::to_string(sam.count()) + " records");
+    GENAX_CHECK(res.ledgerBalanced(),
+                "pipeline ledger out of balance: ", res.mapped, "+",
+                res.unmapped, "+", res.skippedMalformed, "+",
+                res.degraded, "+", res.failed, " != ", res.reads);
     return res;
 }
 
@@ -174,14 +249,26 @@ pairedRecord(const ContigMap &contigs, const FastqRecord &read,
 
 } // namespace
 
-PipelineResult
+StatusOr<PipelineResult>
 alignPairsToSam(const std::vector<FastaRecord> &ref,
                 const std::vector<FastqRecord> &reads1,
                 const std::vector<FastqRecord> &reads2,
                 std::ostream &out, const PipelineOptions &opts)
 {
-    GENAX_CHECK(reads1.size() == reads2.size(),
-                 "mate files differ in read count");
+    if (reads1.size() != reads2.size()) {
+        return invalidInputError(
+            "mate files differ in read count: " +
+            std::to_string(reads1.size()) + " vs " +
+            std::to_string(reads2.size()) +
+            " (skipped malformed records can desynchronize mates)");
+    }
+    if (ref.empty())
+        return invalidInputError("reference has no usable contigs");
+    for (const auto &rec : ref) {
+        if (rec.seq.empty())
+            return invalidInputError("reference contig '" + rec.name +
+                                     "' is empty");
+    }
     const ContigMap contigs(ref);
 
     AlignerConfig cfg;
@@ -201,6 +288,18 @@ alignPairsToSam(const std::vector<FastaRecord> &ref,
 
     const auto t0 = std::chrono::steady_clock::now();
     for (size_t i = 0; i < reads1.size(); ++i) {
+        // A pipeline.read fault fails the whole template: both mates
+        // are emitted as unmapped placeholders and counted Failed.
+        if (faultFires(fault::kPipelineRead)) [[unlikely]] {
+            res.failed += 2;
+            SamRecord r1 = unmappedRecord(reads1[i]);
+            r1.flag |= kSamPaired | kSamRead1 | kSamMateUnmapped;
+            SamRecord r2 = unmappedRecord(reads2[i]);
+            r2.flag |= kSamPaired | kSamRead2 | kSamMateUnmapped;
+            sam.write(r1);
+            sam.write(r2);
+            continue;
+        }
         PairMapping pm = paired.alignPair(reads1[i].seq, reads2[i].seq);
         // Pairing works in concatenated coordinates; a pair whose
         // mates land on different contigs is not a proper pair.
@@ -211,6 +310,7 @@ alignPairsToSam(const std::vector<FastaRecord> &ref,
             pm.templateLen = 0;
         }
         res.mapped += pm.r1.mapped + pm.r2.mapped;
+        res.unmapped += !pm.r1.mapped + !pm.r2.mapped;
         sam.write(pairedRecord(contigs, reads1[i], pm.r1, pm.r2, pm,
                                true));
         sam.write(pairedRecord(contigs, reads2[i], pm.r2, pm.r1, pm,
@@ -218,34 +318,69 @@ alignPairsToSam(const std::vector<FastaRecord> &ref,
     }
     const auto t1 = std::chrono::steady_clock::now();
     res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (!out)
+        return ioError("failed writing SAM output after " +
+                       std::to_string(sam.count()) + " records");
+    GENAX_CHECK(res.ledgerBalanced(),
+                "paired pipeline ledger out of balance: ", res.mapped,
+                "+", res.unmapped, "+", res.skippedMalformed, "+",
+                res.degraded, "+", res.failed, " != ", res.reads);
     return res;
 }
 
-PipelineResult
+StatusOr<PipelineResult>
 alignPairFiles(const std::string &ref_fasta,
                const std::string &reads1_fastq,
                const std::string &reads2_fastq,
                const std::string &out_sam, const PipelineOptions &opts)
 {
-    const auto ref = readFastaFile(ref_fasta);
-    const auto reads1 = readFastqFile(reads1_fastq);
-    const auto reads2 = readFastqFile(reads2_fastq);
+    ReaderOptions ropts;
+    ropts.maxMalformed = opts.maxMalformed;
+    ReaderStats ref_stats, read1_stats, read2_stats;
+    GENAX_TRY_ASSIGN(const auto ref,
+                     readFastaFile(ref_fasta, ropts, &ref_stats));
+    GENAX_TRY_ASSIGN(const auto reads1,
+                     readFastqFile(reads1_fastq, ropts, &read1_stats));
+    GENAX_TRY_ASSIGN(const auto reads2,
+                     readFastqFile(reads2_fastq, ropts, &read2_stats));
     std::ofstream out(out_sam);
     if (!out)
-        GENAX_FATAL("cannot open output SAM: ", out_sam);
-    return alignPairsToSam(ref, reads1, reads2, out, opts);
+        return ioErrorFromErrno("cannot open output SAM", out_sam);
+    GENAX_TRY_ASSIGN(PipelineResult res,
+                     alignPairsToSam(ref, reads1, reads2, out, opts));
+    res.refInput = ref_stats;
+    res.readInput = read1_stats;
+    res.readInput.records += read2_stats.records;
+    res.readInput.malformed += read2_stats.malformed;
+    res.readInput.errors.insert(res.readInput.errors.end(),
+                                read2_stats.errors.begin(),
+                                read2_stats.errors.end());
+    res.skippedMalformed = res.readInput.malformed;
+    res.reads += res.skippedMalformed;
+    return res;
 }
 
-PipelineResult
+StatusOr<PipelineResult>
 alignFiles(const std::string &ref_fasta, const std::string &reads_fastq,
            const std::string &out_sam, const PipelineOptions &opts)
 {
-    const auto ref = readFastaFile(ref_fasta);
-    const auto reads = readFastqFile(reads_fastq);
+    ReaderOptions ropts;
+    ropts.maxMalformed = opts.maxMalformed;
+    ReaderStats ref_stats, read_stats;
+    GENAX_TRY_ASSIGN(const auto ref,
+                     readFastaFile(ref_fasta, ropts, &ref_stats));
+    GENAX_TRY_ASSIGN(const auto reads,
+                     readFastqFile(reads_fastq, ropts, &read_stats));
     std::ofstream out(out_sam);
     if (!out)
-        GENAX_FATAL("cannot open output SAM: ", out_sam);
-    return alignToSam(ref, reads, out, opts);
+        return ioErrorFromErrno("cannot open output SAM", out_sam);
+    GENAX_TRY_ASSIGN(PipelineResult res,
+                     alignToSam(ref, reads, out, opts));
+    res.refInput = ref_stats;
+    res.readInput = read_stats;
+    res.skippedMalformed = read_stats.malformed;
+    res.reads += res.skippedMalformed;
+    return res;
 }
 
 } // namespace genax

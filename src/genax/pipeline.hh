@@ -66,31 +66,61 @@ struct PipelineOptions
     u64 segments = 8;      //!< GenAx engine only
     u64 segmentOverlap = 256;
     unsigned threads = 1;  //!< software engine only
+    /** Malformed input records tolerated (skipped and counted) per
+     *  input file before the run fails with InvalidInput. */
+    u64 maxMalformed = 1000;
 };
 
-/** Summary of one pipeline run. */
+/**
+ * Summary of one pipeline run.
+ *
+ * The per-read outcome ledger is disjoint: every read encountered in
+ * the input lands in exactly one of mapped / unmapped /
+ * skippedMalformed / degraded / failed, so the categories sum back to
+ * `reads`.
+ */
 struct PipelineResult
 {
-    u64 reads = 0;
-    u64 mapped = 0;
+    u64 reads = 0;   //!< reads encountered, including skipped ones
+    u64 mapped = 0;  //!< aligned entirely on the configured engine
+    u64 unmapped = 0;
+    u64 skippedMalformed = 0; //!< unparseable records skipped by IO
+    u64 degraded = 0; //!< mapped, but via a fallback path
+    u64 failed = 0;   //!< lost to an unrecoverable per-read fault
+    /** The whole run fell back from GenAx to the software engine
+     *  (e.g. the requested band exceeds the SillaX edit bound). */
+    bool softwareFallback = false;
     double seconds = 0;  //!< wall-clock of the alignment phase
     GenAxPerf perf;      //!< populated for the GenAx engine
+    ReaderStats refInput;  //!< reference parse stats (file API only)
+    ReaderStats readInput; //!< read parse stats (file API only)
+
+    /** Every read accounted for in exactly one category. */
+    bool
+    ledgerBalanced() const
+    {
+        return mapped + unmapped + skippedMalformed + degraded +
+                   failed ==
+               reads;
+    }
 };
 
 /**
  * Align reads against a (possibly multi-contig) reference and write
- * SAM records to `out`.
+ * SAM records to `out`. Recoverable failures (no usable reference,
+ * SAM write failure) come back as a Status; per-read trouble is
+ * absorbed into the result's outcome ledger instead.
  */
-PipelineResult alignToSam(const std::vector<FastaRecord> &ref,
-                          const std::vector<FastqRecord> &reads,
-                          std::ostream &out,
-                          const PipelineOptions &opts);
+StatusOr<PipelineResult>
+alignToSam(const std::vector<FastaRecord> &ref,
+           const std::vector<FastqRecord> &reads, std::ostream &out,
+           const PipelineOptions &opts);
 
-/** File-path convenience wrapper. Fatal on I/O errors. */
-PipelineResult alignFiles(const std::string &ref_fasta,
-                          const std::string &reads_fastq,
-                          const std::string &out_sam,
-                          const PipelineOptions &opts);
+/** File-path convenience wrapper; IO failures surface as Status. */
+StatusOr<PipelineResult> alignFiles(const std::string &ref_fasta,
+                                    const std::string &reads_fastq,
+                                    const std::string &out_sam,
+                                    const PipelineOptions &opts);
 
 /**
  * Paired-end alignment (FR libraries): r1/r2 records pair up by
@@ -99,18 +129,18 @@ PipelineResult alignFiles(const std::string &ref_fasta,
  * evaluates single-ended reads). Emits both mates with paired SAM
  * flags, mate coordinates and template length.
  */
-PipelineResult alignPairsToSam(const std::vector<FastaRecord> &ref,
-                               const std::vector<FastqRecord> &reads1,
-                               const std::vector<FastqRecord> &reads2,
-                               std::ostream &out,
-                               const PipelineOptions &opts);
+StatusOr<PipelineResult>
+alignPairsToSam(const std::vector<FastaRecord> &ref,
+                const std::vector<FastqRecord> &reads1,
+                const std::vector<FastqRecord> &reads2,
+                std::ostream &out, const PipelineOptions &opts);
 
 /** File-path convenience wrapper for paired-end mode. */
-PipelineResult alignPairFiles(const std::string &ref_fasta,
-                              const std::string &reads1_fastq,
-                              const std::string &reads2_fastq,
-                              const std::string &out_sam,
-                              const PipelineOptions &opts);
+StatusOr<PipelineResult> alignPairFiles(const std::string &ref_fasta,
+                                        const std::string &reads1_fastq,
+                                        const std::string &reads2_fastq,
+                                        const std::string &out_sam,
+                                        const PipelineOptions &opts);
 
 } // namespace genax
 

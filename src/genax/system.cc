@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hh"
+#include "common/logging.hh"
 #include "genax/seeding_sim.hh"
 
 namespace genax {
@@ -91,16 +92,29 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
 
     std::vector<std::vector<Mapping>> cands(reads.size());
     std::vector<u8> exact_seen(reads.size(), 0);
+    _degraded.assign(reads.size(), 0);
 
     u64 reads_bytes = 0;
     for (const auto &r : reads)
         reads_bytes += (r.size() + 3) / 4;
 
+    // Extension kernel with graceful degradation: a job the lane
+    // refuses (injected issue fault) is re-run on the banded-Gotoh
+    // software kernel instead of being dropped, and the read is
+    // flagged so the pipeline ledger can report it as degraded.
     const ExtendFn kernel = [this](const Seq &ref_window,
                                    const Seq &qry) {
-        SillaXLane &lane = _lanes[_nextLane++ % _lanes.size()];
-        const SillaAlignment a = lane.extend(ref_window, qry);
         ++_perf.extensionJobs;
+        SillaXLane &lane = _lanes[_nextLane++ % _lanes.size()];
+        auto attempt = lane.tryExtend(ref_window, qry);
+        if (!attempt.ok()) [[unlikely]] {
+            ++_perf.laneFaults;
+            ++_perf.degradedJobs;
+            _degraded[_currentRead] = 1;
+            return gotohExtendKernel(ref_window, qry, _cfg.scoring,
+                                     _cfg.editBound);
+        }
+        const SillaAlignment &a = *attempt;
         ExtensionResult out;
         out.score = a.score;
         out.refConsumed = a.refEnd;
@@ -118,7 +132,18 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
         const u64 dram_bytes = _segments.indexTableBytes() +
                                _segments.positionTableBytes(seg) +
                                _segments.refBytes(seg) + reads_bytes;
-        const double dram_sec = _dram.streamSeconds(dram_bytes);
+        double dram_sec;
+        if (auto streamed = _dram.stream(dram_bytes); streamed.ok()) {
+            dram_sec = *streamed;
+        } else {
+            // Stream failed even after the controller's retry: keep
+            // the pass alive on the closed-form estimate and record
+            // the degradation in the perf report.
+            ++_perf.dramFaults;
+            GENAX_WARN("segment ", seg, " table stream degraded: ",
+                       streamed.status().str());
+            dram_sec = 2.0 * _dram.streamSeconds(dram_bytes);
+        }
 
         const KmerIndex index = _segments.buildIndex(seg);
         SmemEngine engine(index, _cfg.seeding);
@@ -133,6 +158,7 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
         };
 
         for (u64 r = 0; r < reads.size(); ++r) {
+            _currentRead = r;
             for (bool reverse : {false, true}) {
                 const Seq oriented =
                     reverse ? reverseComplement(reads[r]) : reads[r];
@@ -227,13 +253,17 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
         _perf.lanes.rerunCycles += s.rerunCycles;
         _perf.lanes.reruns += s.reruns;
         _perf.lanes.jobsWithRerun += s.jobsWithRerun;
+        _perf.lanes.issueFaults += s.issueFaults;
     }
     // Pipeline occupancy: every extension job dispatched by the
-    // kernel must be accounted for by exactly one lane — the
-    // round-robin dispatch dropped or double-counted nothing.
-    GENAX_CHECK(_perf.lanes.jobs == _perf.extensionJobs,
-                "lane stats record ", _perf.lanes.jobs,
-                " jobs but the system dispatched ",
+    // kernel must be accounted for by exactly one lane or by the
+    // software fallback — the round-robin dispatch dropped or
+    // double-counted nothing.
+    GENAX_CHECK(_perf.lanes.jobs + _perf.degradedJobs ==
+                    _perf.extensionJobs,
+                "lane stats record ", _perf.lanes.jobs, " jobs plus ",
+                _perf.degradedJobs,
+                " degraded jobs but the system dispatched ",
                 _perf.extensionJobs);
 
     // Finalize: sort candidates by descending score with the same

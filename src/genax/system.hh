@@ -68,6 +68,10 @@ struct GenAxPerf
     u64 extensionJobs = 0;
     u64 exactReads = 0; //!< reads resolved by the exact-match path
                         //!< in at least one segment
+    u64 degradedJobs = 0; //!< extension jobs served by the banded-
+                          //!< Gotoh fallback instead of a lane
+    u64 laneFaults = 0;   //!< lane issues refused (fault injection)
+    u64 dramFaults = 0;   //!< DRAM streams degraded to the estimate
 
     double seedingSeconds = 0;
     double extensionSeconds = 0;
@@ -136,6 +140,15 @@ class GenAxSystem
     const GenomeSegments &segments() const { return _segments; }
 
     /**
+     * Per-read degradation flags of the most recent alignAll /
+     * alignAllCandidates pass: flag r is non-zero when at least one
+     * of read r's extension jobs fell back to the software kernel
+     * (lane issue fault). The pipeline aggregates these into its
+     * outcome ledger.
+     */
+    const std::vector<u8> &degradedReads() const { return _degraded; }
+
+    /**
      * Area and power of a GenAx instance. SRAM is sized for the
      * given per-segment table footprints (pass the paper's human-
      * genome parameters to regenerate Table II).
@@ -179,6 +192,8 @@ class GenAxSystem
     std::vector<SillaXLane> _lanes;
     u64 _nextLane = 0;
     GenAxPerf _perf;
+    std::vector<u8> _degraded; //!< per-read fallback flags
+    u64 _currentRead = 0;      //!< read whose jobs the kernel serves
 };
 
 } // namespace genax

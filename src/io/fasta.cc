@@ -4,45 +4,169 @@
 #include <istream>
 #include <ostream>
 
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 
 namespace genax {
 
-std::vector<FastaRecord>
-readFasta(std::istream &in)
+FastaReader::FastaReader(std::istream &in, const ReaderOptions &opts)
+    : _in(in), _opts(opts)
 {
-    std::vector<FastaRecord> out;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        if (line.empty())
-            continue;
-        if (line[0] == '>') {
-            FastaRecord rec;
-            // Name is the first whitespace-delimited token.
-            const size_t end = line.find_first_of(" \t", 1);
-            rec.name = line.substr(1, end == std::string::npos
-                                          ? std::string::npos : end - 1);
-            out.push_back(std::move(rec));
-        } else {
-            if (out.empty())
-                GENAX_FATAL("FASTA: sequence data before first header");
-            Seq &seq = out.back().seq;
-            for (char c : line)
-                seq.push_back(charToBase(c));
+}
+
+bool
+FastaReader::fetchLine()
+{
+    if (_lineBuffered) {
+        _lineBuffered = false;
+        return true;
+    }
+    if (!std::getline(_in, _line))
+        return false;
+    ++_lineNo;
+    if (!_line.empty() && _line.back() == '\r')
+        _line.pop_back();
+    return true;
+}
+
+Status
+FastaReader::recordMalformed(u64 line, std::string message)
+{
+    ++_stats.malformed;
+    if (_stats.errors.size() < _opts.maxErrorsKept)
+        _stats.errors.push_back({line, message});
+    if (_stats.malformed > _opts.maxMalformed) {
+        return invalidInputError(
+            "FASTA line " + std::to_string(line) + ": " + message +
+            " (malformed-record budget " +
+            std::to_string(_opts.maxMalformed) + " exhausted)");
+    }
+    return okStatus();
+}
+
+StatusOr<FastaRecord>
+FastaReader::next()
+{
+    for (;;) {
+        if (faultFires(fault::kFastaRecord)) {
+            return ioError("injected fault at " +
+                           std::string(fault::kFastaRecord) +
+                           " near line " + std::to_string(_lineNo));
         }
+
+        // Locate the next header, diagnosing stray data on the way.
+        std::string bad;
+        u64 bad_line = 0;
+        bool have_header = false;
+        u64 header_line = 0;
+        while (fetchLine()) {
+            if (_line.empty())
+                continue;
+            if (_line[0] == '>') {
+                have_header = true;
+                header_line = _lineNo;
+                break;
+            }
+            if (bad.empty()) {
+                bad = "sequence data before first header";
+                bad_line = _lineNo;
+            }
+        }
+        if (_in.bad())
+            return ioError("FASTA stream read failure near line " +
+                           std::to_string(_lineNo));
+        if (!have_header) {
+            if (!bad.empty())
+                GENAX_TRY(recordMalformed(bad_line, std::move(bad)));
+            return endOfStream();
+        }
+        if (!bad.empty()) {
+            // The stray run is one malformed pseudo-record; the
+            // header we just found still starts a fresh record.
+            GENAX_TRY(recordMalformed(bad_line, std::move(bad)));
+            bad.clear();
+        }
+
+        // Name is the first whitespace-delimited token.
+        const size_t name_end = _line.find_first_of(" \t", 1);
+        FastaRecord rec;
+        rec.name = _line.substr(1, name_end == std::string::npos
+                                       ? std::string::npos
+                                       : name_end - 1);
+        if (rec.name.empty()) {
+            bad = "record with empty name";
+            bad_line = header_line;
+        }
+
+        // Collect sequence lines until the next header or EOF.
+        while (fetchLine()) {
+            if (_line.empty())
+                continue;
+            if (_line[0] == '>') {
+                _lineBuffered = true;
+                break;
+            }
+            for (const char c : _line) {
+                if (bad.empty() && !isIupac(c)) {
+                    bad = "invalid character '" + std::string(1, c) +
+                          "' in sequence of '" + rec.name + "'";
+                    bad_line = _lineNo;
+                }
+                if (bad.empty())
+                    rec.seq.push_back(charToBase(c));
+            }
+        }
+        if (_in.bad())
+            return ioError("FASTA stream read failure near line " +
+                           std::to_string(_lineNo));
+
+        if (bad.empty() && rec.seq.empty()) {
+            bad = "record '" + rec.name + "' with empty sequence";
+            bad_line = header_line;
+        }
+        if (bad.empty() && _opts.rejectDuplicateNames &&
+            !_seenNames.insert(rec.name).second) {
+            bad = "duplicate record name '" + rec.name + "'";
+            bad_line = header_line;
+        }
+        if (!bad.empty()) {
+            GENAX_TRY(recordMalformed(bad_line, std::move(bad)));
+            continue; // skip this record, try the next one
+        }
+        ++_stats.records;
+        return rec;
+    }
+}
+
+StatusOr<std::vector<FastaRecord>>
+readFasta(std::istream &in, const ReaderOptions &opts,
+          ReaderStats *stats)
+{
+    FastaReader reader(in, opts);
+    std::vector<FastaRecord> out;
+    for (;;) {
+        auto rec = reader.next();
+        if (!rec.ok()) {
+            if (stats)
+                *stats = reader.stats();
+            if (isEndOfStream(rec.status()))
+                break;
+            return rec.status();
+        }
+        out.push_back(std::move(rec).value());
     }
     return out;
 }
 
-std::vector<FastaRecord>
-readFastaFile(const std::string &path)
+StatusOr<std::vector<FastaRecord>>
+readFastaFile(const std::string &path, const ReaderOptions &opts,
+              ReaderStats *stats)
 {
     std::ifstream in(path);
     if (!in)
-        GENAX_FATAL("cannot open FASTA file: ", path);
-    return readFasta(in);
+        return ioErrorFromErrno("cannot open FASTA file", path);
+    return readFasta(in, opts, stats)
+        .withContext("FASTA file '" + path + "'");
 }
 
 void

@@ -1,19 +1,30 @@
 /**
  * @file
- * Minimal FASTA reader/writer.
+ * Streaming, error-recovering FASTA reader plus writer.
  *
- * Handles multi-record files with arbitrary line wrapping. Non-ACGT
- * characters in sequence lines are encoded as 'A' (see charToBase).
+ * FastaReader pulls one record at a time and never aborts on bad
+ * input: malformed records (empty name, empty sequence, stray data
+ * before the first header, garbage characters, duplicate names) are
+ * skipped and counted up to ReaderOptions::maxMalformed, after which
+ * the reader fails with a recoverable Status. Lowercase bases, IUPAC
+ * ambiguity codes, CRLF line endings, blank lines and a missing final
+ * newline are all tolerated.
+ *
+ * readFasta/readFastaFile are thin whole-file wrappers over the
+ * streaming reader.
  */
 
 #ifndef GENAX_IO_FASTA_HH
 #define GENAX_IO_FASTA_HH
 
 #include <iosfwd>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/dna.hh"
+#include "common/status.hh"
+#include "io/reader.hh"
 
 namespace genax {
 
@@ -24,11 +35,53 @@ struct FastaRecord
     Seq seq;
 };
 
-/** Parse all records from a FASTA stream. */
-std::vector<FastaRecord> readFasta(std::istream &in);
+/** Streaming FASTA parser with skip-and-count error recovery. */
+class FastaReader
+{
+  public:
+    explicit FastaReader(std::istream &in,
+                         const ReaderOptions &opts = {});
 
-/** Parse all records from a FASTA file. Fatal on open failure. */
-std::vector<FastaRecord> readFastaFile(const std::string &path);
+    /**
+     * Next well-formed record.
+     *
+     * Returns EndOfStream at clean end of input; IoError on stream
+     * failure or injected IO fault; InvalidInput once more than
+     * maxMalformed records had to be skipped.
+     */
+    StatusOr<FastaRecord> next();
+
+    const ReaderStats &stats() const { return _stats; }
+    const ReaderOptions &options() const { return _opts; }
+
+  private:
+    /** Fetch the next line into _line (CR trimmed); false at EOF. */
+    bool fetchLine();
+
+    /** Count one malformed record; error once over budget. */
+    Status recordMalformed(u64 line, std::string message);
+
+    std::istream &_in;
+    ReaderOptions _opts;
+    ReaderStats _stats;
+    std::string _line;
+    bool _lineBuffered = false; //!< _line holds an unconsumed line
+    u64 _lineNo = 0;
+    std::set<std::string> _seenNames;
+};
+
+/** Parse all records from a FASTA stream. When `stats` is non-null
+ *  the reader's final statistics (records parsed, records skipped,
+ *  kept diagnostics) are copied out, on success and on failure. */
+StatusOr<std::vector<FastaRecord>>
+readFasta(std::istream &in, const ReaderOptions &opts = {},
+          ReaderStats *stats = nullptr);
+
+/** Parse all records from a FASTA file (errno-annotated on open
+ *  failure). */
+StatusOr<std::vector<FastaRecord>>
+readFastaFile(const std::string &path, const ReaderOptions &opts = {},
+              ReaderStats *stats = nullptr);
 
 /** Write records to a FASTA stream with the given line width. */
 void writeFasta(std::ostream &out, const std::vector<FastaRecord> &recs,

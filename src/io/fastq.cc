@@ -4,63 +4,197 @@
 #include <istream>
 #include <ostream>
 
-#include "common/logging.hh"
+#include "common/faultinject.hh"
 
 namespace genax {
 
-namespace {
+FastqReader::FastqReader(std::istream &in, const ReaderOptions &opts)
+    : _in(in), _opts(opts)
+{
+}
 
 bool
-getlineTrim(std::istream &in, std::string &line)
+FastqReader::fetchLine()
 {
-    if (!std::getline(in, line))
+    if (_lineBuffered) {
+        _lineBuffered = false;
+        return true;
+    }
+    if (!std::getline(_in, _line))
         return false;
-    if (!line.empty() && line.back() == '\r')
-        line.pop_back();
+    ++_lineNo;
+    if (!_line.empty() && _line.back() == '\r')
+        _line.pop_back();
     return true;
 }
 
-} // namespace
-
-std::vector<FastqRecord>
-readFastq(std::istream &in)
+void
+FastqReader::resync()
 {
-    std::vector<FastqRecord> out;
-    std::string header, bases, plus, quals;
-    while (getlineTrim(in, header)) {
-        if (header.empty())
-            continue;
-        if (header[0] != '@')
-            GENAX_FATAL("FASTQ: expected '@' header, got: ", header);
-        if (!getlineTrim(in, bases) || !getlineTrim(in, plus) ||
-            !getlineTrim(in, quals)) {
-            GENAX_FATAL("FASTQ: truncated record: ", header);
+    while (fetchLine()) {
+        if (!_line.empty() && _line[0] == '@') {
+            _lineBuffered = true;
+            return;
         }
+    }
+}
+
+Status
+FastqReader::recordMalformed(u64 line, std::string message)
+{
+    ++_stats.malformed;
+    if (_stats.errors.size() < _opts.maxErrorsKept)
+        _stats.errors.push_back({line, message});
+    if (_stats.malformed > _opts.maxMalformed) {
+        return invalidInputError(
+            "FASTQ line " + std::to_string(line) + ": " + message +
+            " (malformed-record budget " +
+            std::to_string(_opts.maxMalformed) + " exhausted)");
+    }
+    return okStatus();
+}
+
+StatusOr<FastqRecord>
+FastqReader::next()
+{
+    for (;;) {
+        if (faultFires(fault::kFastqRecord)) {
+            return ioError("injected fault at " +
+                           std::string(fault::kFastqRecord) +
+                           " near line " + std::to_string(_lineNo));
+        }
+
+        // Header line (blank lines between records are tolerated).
+        std::string header;
+        u64 header_line = 0;
+        bool have_header = false;
+        while (fetchLine()) {
+            if (_line.empty())
+                continue;
+            header = _line;
+            header_line = _lineNo;
+            have_header = true;
+            break;
+        }
+        if (_in.bad())
+            return ioError("FASTQ stream read failure near line " +
+                           std::to_string(_lineNo));
+        if (!have_header)
+            return endOfStream();
+
+        if (header[0] != '@') {
+            GENAX_TRY(recordMalformed(
+                header_line, "expected '@' header, got: " + header));
+            resync();
+            continue;
+        }
+
+        // The three remaining record lines.
+        std::string bases, plus, quals;
+        bool complete = false;
+        if (fetchLine()) {
+            bases = _line;
+            if (fetchLine()) {
+                plus = _line;
+                if (fetchLine()) {
+                    quals = _line;
+                    complete = true;
+                }
+            }
+        }
+        if (_in.bad())
+            return ioError("FASTQ stream read failure near line " +
+                           std::to_string(_lineNo));
+        if (!complete) {
+            GENAX_TRY(recordMalformed(header_line,
+                                      "truncated record: " + header));
+            return endOfStream();
+        }
+
+        std::string bad;
         if (plus.empty() || plus[0] != '+')
-            GENAX_FATAL("FASTQ: expected '+' separator, got: ", plus);
-        if (bases.size() != quals.size())
-            GENAX_FATAL("FASTQ: sequence/quality length mismatch in ",
-                        header);
+            bad = "expected '+' separator, got: " + plus;
+        else if (bases.size() != quals.size())
+            bad = "sequence/quality length mismatch (" +
+                  std::to_string(bases.size()) + " vs " +
+                  std::to_string(quals.size()) + ") in " + header;
+        else if (bases.empty())
+            bad = "record with empty sequence: " + header;
+        if (bad.empty()) {
+            for (const char c : bases) {
+                if (!isIupac(c)) {
+                    bad = "invalid character '" + std::string(1, c) +
+                          "' in sequence of " + header;
+                    break;
+                }
+            }
+        }
+        if (bad.empty()) {
+            for (const char c : quals) {
+                if (c < '!' || c > '~') {
+                    bad = "quality character out of Phred+33 range in " +
+                          header;
+                    break;
+                }
+            }
+        }
+
         FastqRecord rec;
-        const size_t end = header.find_first_of(" \t", 1);
-        rec.name = header.substr(1, end == std::string::npos
-                                        ? std::string::npos : end - 1);
+        const size_t name_end = header.find_first_of(" \t", 1);
+        rec.name = header.substr(1, name_end == std::string::npos
+                                        ? std::string::npos
+                                        : name_end - 1);
+        if (bad.empty() && rec.name.empty())
+            bad = "record with empty name";
+
+        if (!bad.empty()) {
+            GENAX_TRY(recordMalformed(header_line, std::move(bad)));
+            // A bad separator usually means the 4-line framing
+            // slipped; hunt for the next header. Other defects leave
+            // the framing intact.
+            if (plus.empty() || plus[0] != '+')
+                resync();
+            continue;
+        }
+
         rec.seq = encode(bases);
         rec.qual.reserve(quals.size());
-        for (char c : quals)
+        for (const char c : quals)
             rec.qual.push_back(static_cast<u8>(c - 33));
-        out.push_back(std::move(rec));
+        ++_stats.records;
+        return rec;
+    }
+}
+
+StatusOr<std::vector<FastqRecord>>
+readFastq(std::istream &in, const ReaderOptions &opts,
+          ReaderStats *stats)
+{
+    FastqReader reader(in, opts);
+    std::vector<FastqRecord> out;
+    for (;;) {
+        auto rec = reader.next();
+        if (!rec.ok()) {
+            if (stats)
+                *stats = reader.stats();
+            if (isEndOfStream(rec.status()))
+                break;
+            return rec.status();
+        }
+        out.push_back(std::move(rec).value());
     }
     return out;
 }
 
-std::vector<FastqRecord>
-readFastqFile(const std::string &path)
+StatusOr<std::vector<FastqRecord>>
+readFastqFile(const std::string &path, const ReaderOptions &opts,
+              ReaderStats *stats)
 {
     std::ifstream in(path);
     if (!in)
-        GENAX_FATAL("cannot open FASTQ file: ", path);
-    return readFastq(in);
+        return ioErrorFromErrno("cannot open FASTQ file", path);
+    return readFastq(in, opts, stats)
+        .withContext("FASTQ file '" + path + "'");
 }
 
 void

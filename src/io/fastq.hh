@@ -1,6 +1,16 @@
 /**
  * @file
- * Minimal FASTQ reader/writer (4-line records, Phred+33 qualities).
+ * Streaming, error-recovering FASTQ reader plus writer (4-line
+ * records, Phred+33 qualities).
+ *
+ * FastqReader mirrors FastaReader's recovery policy: malformed
+ * records (bad '@' header, missing '+' separator, sequence/quality
+ * length mismatch, empty name or sequence, garbage characters,
+ * truncation at EOF) are skipped and counted up to
+ * ReaderOptions::maxMalformed before the reader fails. After a
+ * malformed record the parser resynchronizes on the next plausible
+ * '@' header line. Lowercase and IUPAC-ambiguity bases, CRLF and a
+ * missing final newline are tolerated.
  */
 
 #ifndef GENAX_IO_FASTQ_HH
@@ -11,6 +21,8 @@
 #include <vector>
 
 #include "common/dna.hh"
+#include "common/status.hh"
+#include "io/reader.hh"
 
 namespace genax {
 
@@ -22,11 +34,54 @@ struct FastqRecord
     std::vector<u8> qual;
 };
 
-/** Parse all records from a FASTQ stream. Fatal on malformed input. */
-std::vector<FastqRecord> readFastq(std::istream &in);
+/** Streaming FASTQ parser with skip-and-count error recovery. */
+class FastqReader
+{
+  public:
+    explicit FastqReader(std::istream &in,
+                         const ReaderOptions &opts = {});
 
-/** Parse all records from a FASTQ file. Fatal on open failure. */
-std::vector<FastqRecord> readFastqFile(const std::string &path);
+    /**
+     * Next well-formed record.
+     *
+     * Returns EndOfStream at clean end of input; IoError on stream
+     * failure or injected IO fault; InvalidInput once more than
+     * maxMalformed records had to be skipped.
+     */
+    StatusOr<FastqRecord> next();
+
+    const ReaderStats &stats() const { return _stats; }
+    const ReaderOptions &options() const { return _opts; }
+
+  private:
+    bool fetchLine();
+
+    /** Skip lines until one starts with '@' (left buffered). */
+    void resync();
+
+    /** Count one malformed record; error once over budget. */
+    Status recordMalformed(u64 line, std::string message);
+
+    std::istream &_in;
+    ReaderOptions _opts;
+    ReaderStats _stats;
+    std::string _line;
+    bool _lineBuffered = false;
+    u64 _lineNo = 0;
+};
+
+/** Parse all records from a FASTQ stream. When `stats` is non-null
+ *  the reader's final statistics (records parsed, records skipped,
+ *  kept diagnostics) are copied out, on success and on failure. */
+StatusOr<std::vector<FastqRecord>>
+readFastq(std::istream &in, const ReaderOptions &opts = {},
+          ReaderStats *stats = nullptr);
+
+/** Parse all records from a FASTQ file (errno-annotated on open
+ *  failure). */
+StatusOr<std::vector<FastqRecord>>
+readFastqFile(const std::string &path, const ReaderOptions &opts = {},
+              ReaderStats *stats = nullptr);
 
 /** Write records to a FASTQ stream (Phred+33). */
 void writeFastq(std::ostream &out, const std::vector<FastqRecord> &recs);

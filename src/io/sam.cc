@@ -4,11 +4,11 @@
 #include <ostream>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/faultinject.hh"
 
 namespace genax {
 
-SamFile
+StatusOr<SamFile>
 readSam(std::istream &in)
 {
     SamFile out;
@@ -27,7 +27,8 @@ readSam(std::istream &in)
                     else if (tok.rfind("LN:", 0) == 0)
                         ref.length = std::stoull(tok.substr(3));
                 }
-                GENAX_ASSERT(!ref.name.empty(), "@SQ without SN: ", line);
+                if (ref.name.empty())
+                    return invalidInputError("@SQ without SN: " + line);
                 out.refs.push_back(std::move(ref));
             }
             continue;
@@ -39,7 +40,7 @@ readSam(std::istream &in)
         if (!(fields >> rec.qname >> flag >> rec.rname >> pos1 >>
               mapq >> rec.cigar >> rec.rnext >> pnext1 >> rec.tlen >>
               rec.seq >> rec.qual)) {
-            GENAX_FATAL("malformed SAM record: ", line);
+            return invalidInputError("malformed SAM record: " + line);
         }
         rec.flag = static_cast<u16>(flag);
         rec.mapq = static_cast<u8>(mapq);
@@ -70,6 +71,11 @@ SamWriter::SamWriter(std::ostream &out, const std::vector<SamRefSeq> &refs,
 void
 SamWriter::write(const SamRecord &rec)
 {
+    // An injected write fault models a failed device write; it
+    // surfaces exactly like a real one, through the stream state the
+    // caller must check after writing.
+    if (faultFires(fault::kSamWrite)) [[unlikely]]
+        _out.setstate(std::ios::failbit);
     const bool mapped = !(rec.flag & kSamUnmapped);
     _out << rec.qname << '\t' << rec.flag << '\t' << rec.rname << '\t'
          << (mapped ? rec.pos + 1 : 0) << '\t'

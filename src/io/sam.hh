@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace genax {
@@ -67,9 +68,10 @@ struct SamFile
 
 /**
  * Parse a SAM stream (the subset SamWriter emits: @HD/@SQ/@PG plus
- * 11 mandatory fields and AS/NM tags). Fatal on malformed input.
+ * 11 mandatory fields and AS/NM tags). Malformed lines are a
+ * recoverable InvalidInput error.
  */
-SamFile readSam(std::istream &in);
+StatusOr<SamFile> readSam(std::istream &in);
 
 /** Streaming SAM writer. */
 class SamWriter

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/check.hh"
+#include "common/faultinject.hh"
 
 namespace genax {
 
@@ -21,13 +22,18 @@ CamModel::intersect(const std::vector<u32> &candidates,
     // Cost accounting first (the functional result is identical on
     // all paths). The controller knows both set sizes up front, so
     // with the fallback enabled it picks the cheaper datapath.
+    // An injected seed.cam.overflow fault forces the capacity-
+    // overflow handling so chaos tests can drive the fallback
+    // datapath with ordinary-sized hit lists.
+    const bool forced_overflow = faultFires(fault::kCamOverflow);
     const u64 passes = (hits.size() + _capacity - 1) / _capacity;
     const u64 cam_cost = passes * candidates.size();
     const u64 bin_cost =
         candidates.size() *
         std::bit_width(static_cast<u64>(hits.size()));
-    if (_binaryFallback && hits.size() > _capacity &&
-        bin_cost < cam_cost) {
+    if (_binaryFallback &&
+        (forced_overflow ||
+         (hits.size() > _capacity && bin_cost < cam_cost))) {
         // Binary-search each candidate in the sorted position table.
         _stats.binarySteps += bin_cost;
         ++_stats.overflowFallbacks;

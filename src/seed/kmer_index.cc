@@ -6,7 +6,6 @@
 #include <ostream>
 
 #include "common/check.hh"
-#include "common/logging.hh"
 
 namespace genax {
 
@@ -77,7 +76,7 @@ readPod(std::istream &in, T &v)
 
 } // namespace
 
-void
+Status
 KmerIndex::save(std::ostream &out) const
 {
     out.write(kIndexMagic, sizeof(kIndexMagic));
@@ -93,16 +92,17 @@ KmerIndex::save(std::ostream &out) const
     out.write(reinterpret_cast<const char *>(_positions.data()),
               static_cast<std::streamsize>(positions * sizeof(u32)));
     if (!out)
-        GENAX_FATAL("k-mer index serialization failed");
+        return ioError("k-mer index serialization failed");
+    return okStatus();
 }
 
-KmerIndex
+StatusOr<KmerIndex>
 KmerIndex::load(std::istream &in)
 {
     char magic[sizeof(kIndexMagic)];
     in.read(magic, sizeof(magic));
     if (!in || !std::equal(magic, magic + sizeof(magic), kIndexMagic))
-        GENAX_FATAL("not a GenAx k-mer index file");
+        return invalidInputError("not a GenAx k-mer index file");
     KmerIndex idx;
     readPod(in, idx._k);
     readPod(in, idx._segLen);
@@ -112,7 +112,7 @@ KmerIndex::load(std::istream &in)
     readPod(in, positions);
     if (!in || idx._k < 1 || idx._k > 13 ||
         offsets != (u64{1} << (2 * idx._k)) + 1) {
-        GENAX_FATAL("corrupt k-mer index header");
+        return invalidInputError("corrupt k-mer index header");
     }
     idx._offsets.resize(offsets);
     idx._positions.resize(positions);
@@ -121,26 +121,26 @@ KmerIndex::load(std::istream &in)
     in.read(reinterpret_cast<char *>(idx._positions.data()),
             static_cast<std::streamsize>(positions * sizeof(u32)));
     if (!in)
-        GENAX_FATAL("truncated k-mer index file");
+        return ioError("truncated k-mer index file");
     return idx;
 }
 
-void
+Status
 KmerIndex::saveFile(const std::string &path) const
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        GENAX_FATAL("cannot open for writing: ", path);
-    save(out);
+        return ioErrorFromErrno("cannot open for writing", path);
+    return save(out).withContext("k-mer index '" + path + "'");
 }
 
-KmerIndex
+StatusOr<KmerIndex>
 KmerIndex::loadFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        GENAX_FATAL("cannot open k-mer index: ", path);
-    return load(in);
+        return ioErrorFromErrno("cannot open k-mer index", path);
+    return load(in).withContext("k-mer index '" + path + "'");
 }
 
 u64

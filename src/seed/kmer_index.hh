@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/dna.hh"
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace genax {
@@ -74,16 +75,21 @@ class KmerIndex
 
     /**
      * Serialize the tables (the paper builds them offline per
-     * segment and streams them in at run time). Fatal on I/O error.
+     * segment and streams them in at run time). IoError when the
+     * stream fails.
      */
-    void save(std::ostream &out) const;
+    Status save(std::ostream &out) const;
 
-    /** Deserialize tables written by save(). Fatal on bad input. */
-    static KmerIndex load(std::istream &in);
+    /**
+     * Deserialize tables written by save(). Bad magic or a mangled
+     * header is InvalidInput; a short read is IoError.
+     */
+    static StatusOr<KmerIndex> load(std::istream &in);
 
-    /** File-path convenience wrappers. */
-    void saveFile(const std::string &path) const;
-    static KmerIndex loadFile(const std::string &path);
+    /** File-path convenience wrappers (errno-annotated on open
+     *  failure). */
+    Status saveFile(const std::string &path) const;
+    static StatusOr<KmerIndex> loadFile(const std::string &path);
 
   private:
     KmerIndex() : _k(0), _segLen(0) {}

@@ -1,6 +1,7 @@
 #include "sillax/lane.hh"
 
 #include "common/check.hh"
+#include "common/faultinject.hh"
 
 namespace genax {
 
@@ -50,6 +51,17 @@ SillaXLane::extend(const Seq &ref_window, const Seq &read)
     _stats.reruns += out.stats.reruns;
     _stats.jobsWithRerun += out.stats.reruns > 0;
     return out;
+}
+
+StatusOr<SillaAlignment>
+SillaXLane::tryExtend(const Seq &ref_window, const Seq &read)
+{
+    if (faultFires(fault::kLaneIssue)) [[unlikely]] {
+        ++_stats.issueFaults;
+        return unavailableError("injected fault at " +
+                                std::string(fault::kLaneIssue));
+    }
+    return extend(ref_window, read);
 }
 
 } // namespace genax

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/status.hh"
 #include "silla/silla_traceback.hh"
 
 namespace genax {
@@ -29,6 +30,7 @@ struct LaneStats
     Cycle rerunCycles = 0;
     u64 jobsWithRerun = 0;
     u64 reruns = 0;
+    u64 issueFaults = 0; //!< jobs refused at the issue fault point
 
     Cycle
     totalCycles() const
@@ -62,6 +64,15 @@ class SillaXLane
 
     /** Run one extension job and account for its cycles. */
     SillaAlignment extend(const Seq &ref_window, const Seq &read);
+
+    /**
+     * Fault-aware job issue: the sillax.lane.issue fault point sits
+     * between dispatch and the machine. A refused job returns
+     * Unavailable and touches no cycle accounting; the system model
+     * degrades it to the banded-Gotoh fallback kernel.
+     */
+    StatusOr<SillaAlignment> tryExtend(const Seq &ref_window,
+                                       const Seq &read);
 
     /** Reset the accumulated statistics. */
     void resetStats() { _stats = {}; }

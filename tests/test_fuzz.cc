@@ -9,10 +9,15 @@
  *    randomized affine scoring schemes (the "programmable scoring
  *    logic" of Figure 7),
  *  - every traceback the hardware model produces must re-score to
- *    exactly its claimed value.
+ *    exactly its claimed value,
+ *  - chaos sweeps: with fault-injection sites armed across the IO,
+ *    DRAM, CAM and SillaX layers, the pipeline must complete without
+ *    aborting and its outcome ledger must stay balanced.
  */
 
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 #include "align/edit_distance.hh"
 #include "align/gotoh.hh"
@@ -21,7 +26,12 @@
 #include "align/ula.hh"
 #include "align/wavefront.hh"
 #include "common/check.hh"
+#include "common/faultinject.hh"
 #include "common/rng.hh"
+#include "genax/pipeline.hh"
+#include "io/fastq.hh"
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
 #include "silla/silla_edit.hh"
 #include "silla/silla_score.hh"
 #include "silla/silla_traceback.hh"
@@ -224,6 +234,172 @@ TEST(CheckFuzz, CorruptScoringSchemeIsCaught)
     sc.mismatch = 0; // free mismatches: every alignment degenerate
     EXPECT_THROW(SillaScore(8, sc), CheckViolation);
     EXPECT_THROW(SillaTraceback(8, sc), CheckViolation);
+}
+
+// ------------------------------------------------------------- chaos
+
+namespace {
+
+struct ChaosWorkload
+{
+    std::vector<FastaRecord> ref;
+    std::vector<FastqRecord> reads;
+};
+
+ChaosWorkload
+chaosWorkload(u64 seed, u64 num_reads)
+{
+    ChaosWorkload w;
+    RefGenConfig rc;
+    rc.length = 40000;
+    rc.seed = seed;
+    w.ref.push_back({"chr1", generateReference(rc)});
+    ReadSimConfig rs;
+    rs.numReads = num_reads;
+    rs.seed = seed + 1;
+    for (const auto &r : simulateReads(w.ref[0].seq, rs))
+        w.reads.push_back({r.name, r.seq, r.qual});
+    return w;
+}
+
+PipelineOptions
+chaosOptions()
+{
+    PipelineOptions opts;
+    opts.k = 11;
+    opts.band = 16;
+    opts.segments = 4;
+    return opts;
+}
+
+} // namespace
+
+TEST(Chaos, LaneIssueFaultsDegradeToSoftwareKernel)
+{
+    const auto w = chaosWorkload(8801, 30);
+
+    std::ostringstream clean_sam;
+    const auto clean =
+        alignToSam(w.ref, w.reads, clean_sam, chaosOptions());
+    ASSERT_TRUE(clean.ok());
+
+    ScopedFaultPlan plan(
+        {{fault::kLaneIssue, {.probability = 0.2, .seed = 5}}});
+    std::ostringstream sam;
+    const auto res = alignToSam(w.ref, w.reads, sam, chaosOptions());
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->ledgerBalanced());
+    EXPECT_GT(res->perf.laneFaults, 0u);
+    EXPECT_EQ(res->perf.degradedJobs, res->perf.laneFaults);
+    EXPECT_GT(res->degraded, 0u);
+    // The Gotoh fallback kernel is score-equivalent to the lanes:
+    // degraded reads still align, so total placed reads match the
+    // clean run.
+    EXPECT_EQ(res->mapped + res->degraded,
+              clean->mapped + clean->degraded);
+}
+
+TEST(Chaos, DramStreamFaultsAreAbsorbed)
+{
+    const auto w = chaosWorkload(8802, 20);
+    ScopedFaultPlan plan(
+        {{fault::kDramStream, {.probability = 0.8, .seed = 3}}});
+    std::ostringstream sam;
+    const auto res = alignToSam(w.ref, w.reads, sam, chaosOptions());
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->ledgerBalanced());
+    // Retried or estimated streams cost extra modelled time but
+    // never lose reads.
+    EXPECT_EQ(res->failed, 0u);
+    EXPECT_GT(res->mapped, 0u);
+}
+
+TEST(Chaos, CamOverflowFaultsForceTheFallbackDatapath)
+{
+    const auto w = chaosWorkload(8803, 20);
+
+    std::ostringstream clean_sam, sam;
+    const auto clean =
+        alignToSam(w.ref, w.reads, clean_sam, chaosOptions());
+    ASSERT_TRUE(clean.ok());
+    ScopedFaultPlan plan(
+        {{fault::kCamOverflow, {.probability = 0.5, .seed = 11}}});
+    const auto res = alignToSam(w.ref, w.reads, sam, chaosOptions());
+    ASSERT_TRUE(res.ok());
+    // The binary-search fallback is a correct (slower) datapath, so
+    // forcing it must not change what maps.
+    EXPECT_EQ(res->mapped, clean->mapped);
+    EXPECT_GT(res->perf.seeding.cam.overflowFallbacks,
+              clean->perf.seeding.cam.overflowFallbacks);
+}
+
+TEST(Chaos, PipelineReadFaultsBecomeFailedLedgerEntries)
+{
+    const auto w = chaosWorkload(8804, 25);
+    ScopedFaultPlan plan(
+        {{fault::kPipelineRead, {.probability = 0.25, .seed = 17}}});
+    std::ostringstream sam;
+    const auto res = alignToSam(w.ref, w.reads, sam, chaosOptions());
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->ledgerBalanced());
+    EXPECT_GT(res->failed, 0u);
+    EXPECT_LT(res->failed, res->reads);
+    // Failed reads still produce (unmapped) SAM records.
+    std::istringstream in(sam.str());
+    std::string line;
+    u64 records = 0;
+    while (std::getline(in, line))
+        records += !line.empty() && line[0] != '@';
+    EXPECT_EQ(records, res->reads);
+}
+
+TEST(Chaos, FastqIoFaultsSurfaceAsIoError)
+{
+    // A reader hit by an injected IO fault reports IoError through
+    // its Status channel instead of aborting or fabricating records.
+    std::string text;
+    for (int i = 0; i < 50; ++i)
+        text += "@r" + std::to_string(i) + "\nACGTACGT\n+\nIIIIIIII\n";
+    ScopedFaultPlan plan(
+        {{fault::kFastqRecord, {.fireOnNth = 10}}});
+    std::istringstream in(text);
+    const auto recs = readFastq(in);
+    ASSERT_FALSE(recs.ok());
+    EXPECT_EQ(recs.status().code(), StatusCode::IoError);
+    EXPECT_NE(recs.status().message().find(fault::kFastqRecord),
+              std::string::npos);
+}
+
+TEST(Chaos, CombinedFaultStormStillBalancesTheLedger)
+{
+    const auto w = chaosWorkload(8805, 40);
+    ScopedFaultPlan plan({
+        {fault::kLaneIssue, {.probability = 0.1, .seed = 1}},
+        {fault::kDramStream, {.probability = 0.3, .seed = 2}},
+        {fault::kCamOverflow, {.probability = 0.2, .seed = 3}},
+        {fault::kPipelineRead, {.probability = 0.1, .seed = 4}},
+    });
+    std::ostringstream sam;
+    const auto res = alignToSam(w.ref, w.reads, sam, chaosOptions());
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->ledgerBalanced());
+    EXPECT_EQ(res->mapped + res->unmapped + res->degraded +
+                  res->failed,
+              res->reads);
+    // Determinism: the same fault plan replays to the same ledger.
+    ScopedFaultPlan replay({
+        {fault::kLaneIssue, {.probability = 0.1, .seed = 1}},
+        {fault::kDramStream, {.probability = 0.3, .seed = 2}},
+        {fault::kCamOverflow, {.probability = 0.2, .seed = 3}},
+        {fault::kPipelineRead, {.probability = 0.1, .seed = 4}},
+    });
+    std::ostringstream sam2;
+    const auto res2 = alignToSam(w.ref, w.reads, sam2, chaosOptions());
+    ASSERT_TRUE(res2.ok());
+    EXPECT_EQ(res2->mapped, res->mapped);
+    EXPECT_EQ(res2->degraded, res->degraded);
+    EXPECT_EQ(res2->failed, res->failed);
+    EXPECT_EQ(sam2.str(), sam.str());
 }
 
 } // namespace

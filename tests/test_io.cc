@@ -1,6 +1,7 @@
 /**
  * @file
- * Unit tests for FASTA/FASTQ parsing and SAM emission.
+ * Unit tests for FASTA/FASTQ parsing (including the malformed-input
+ * recovery corpus) and SAM emission.
  */
 
 #include <gtest/gtest.h>
@@ -19,19 +20,21 @@ TEST(Fasta, ParseMultiRecordWrapped)
     std::istringstream in(">chr1 some description\nACGT\nACGT\n"
                           ">chr2\nTTTT\n");
     const auto recs = readFasta(in);
-    ASSERT_EQ(recs.size(), 2u);
-    EXPECT_EQ(recs[0].name, "chr1");
-    EXPECT_EQ(decode(recs[0].seq), "ACGTACGT");
-    EXPECT_EQ(recs[1].name, "chr2");
-    EXPECT_EQ(decode(recs[1].seq), "TTTT");
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 2u);
+    EXPECT_EQ((*recs)[0].name, "chr1");
+    EXPECT_EQ(decode((*recs)[0].seq), "ACGTACGT");
+    EXPECT_EQ((*recs)[1].name, "chr2");
+    EXPECT_EQ(decode((*recs)[1].seq), "TTTT");
 }
 
 TEST(Fasta, SkipsBlankLinesAndCarriageReturns)
 {
     std::istringstream in(">r\r\nAC\r\n\r\nGT\r\n");
     const auto recs = readFasta(in);
-    ASSERT_EQ(recs.size(), 1u);
-    EXPECT_EQ(decode(recs[0].seq), "ACGT");
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ(decode((*recs)[0].seq), "ACGT");
 }
 
 TEST(Fasta, RoundTrip)
@@ -42,20 +45,121 @@ TEST(Fasta, RoundTrip)
     writeFasta(out, recs, 5);
     std::istringstream in(out.str());
     const auto back = readFasta(in);
-    ASSERT_EQ(back.size(), 2u);
-    EXPECT_EQ(back[0].seq, recs[0].seq);
-    EXPECT_EQ(back[1].seq, recs[1].seq);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->size(), 2u);
+    EXPECT_EQ((*back)[0].seq, recs[0].seq);
+    EXPECT_EQ((*back)[1].seq, recs[1].seq);
+}
+
+TEST(Fasta, EmptyStreamYieldsNoRecords)
+{
+    std::istringstream in("");
+    ReaderStats stats;
+    const auto recs = readFasta(in, {}, &stats);
+    ASSERT_TRUE(recs.ok());
+    EXPECT_TRUE(recs->empty());
+    EXPECT_EQ(stats.records, 0u);
+    EXPECT_EQ(stats.malformed, 0u);
+}
+
+TEST(Fasta, LowercaseAndIupacBasesAccepted)
+{
+    std::istringstream in(">r\nacgtN\nRYacg\n");
+    const auto recs = readFasta(in);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].seq.size(), 10u);
+}
+
+TEST(Fasta, MissingFinalNewlineTolerated)
+{
+    std::istringstream in(">r\nACGT");
+    const auto recs = readFasta(in);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ(decode((*recs)[0].seq), "ACGT");
+}
+
+TEST(Fasta, StrayDataBeforeHeaderSkippedAndCounted)
+{
+    std::istringstream in("ACGTACGT\n>r\nTTTT\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 10;
+    ReaderStats stats;
+    const auto recs = readFasta(in, opts, &stats);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].name, "r");
+    EXPECT_EQ(stats.malformed, 1u);
+    ASSERT_EQ(stats.errors.size(), 1u);
+    EXPECT_NE(stats.errors[0].message.find("before first header"),
+              std::string::npos);
+}
+
+TEST(Fasta, EmptyNameEmptySeqAndGarbageSkipped)
+{
+    std::istringstream in(">\nACGT\n"      // empty name
+                          ">ok1\nACGT\n"
+                          ">empty\n"       // empty sequence
+                          ">bad\nAC!T\n"   // invalid character
+                          ">ok2\nTT\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 10;
+    ReaderStats stats;
+    const auto recs = readFasta(in, opts, &stats);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 2u);
+    EXPECT_EQ((*recs)[0].name, "ok1");
+    EXPECT_EQ((*recs)[1].name, "ok2");
+    EXPECT_EQ(stats.malformed, 3u);
+    EXPECT_EQ(stats.records, 2u);
+}
+
+TEST(Fasta, DuplicateContigNamesRejectedRecoverably)
+{
+    std::istringstream in(">chr1\nACGT\n>chr1\nTTTT\n>chr2\nGG\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 10;
+    ReaderStats stats;
+    const auto recs = readFasta(in, opts, &stats);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 2u);
+    EXPECT_EQ((*recs)[0].name, "chr1");
+    EXPECT_EQ((*recs)[1].name, "chr2");
+    EXPECT_EQ(stats.malformed, 1u);
+    ASSERT_EQ(stats.errors.size(), 1u);
+    EXPECT_NE(stats.errors[0].message.find("duplicate"),
+              std::string::npos);
+}
+
+TEST(Fasta, MalformedBudgetExhaustedIsInvalidInput)
+{
+    // Default budget is zero: the first bad record fails the read.
+    std::istringstream in(">\nACGT\n>ok\nTT\n");
+    const auto recs = readFasta(in);
+    ASSERT_FALSE(recs.ok());
+    EXPECT_EQ(recs.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(Fasta, OpenFailureReportsPathAndErrno)
+{
+    const auto recs = readFastaFile("/nonexistent/genax-no-such.fa");
+    ASSERT_FALSE(recs.ok());
+    EXPECT_EQ(recs.status().code(), StatusCode::IoError);
+    EXPECT_NE(recs.status().message().find("/nonexistent/genax-no-such.fa"),
+              std::string::npos);
 }
 
 TEST(Fastq, ParseAndQualities)
 {
     std::istringstream in("@r1 extra\nACGT\n+\nIIII\n@r2\nTT\n+anything\n!J\n");
     const auto recs = readFastq(in);
-    ASSERT_EQ(recs.size(), 2u);
-    EXPECT_EQ(recs[0].name, "r1");
-    EXPECT_EQ(decode(recs[0].seq), "ACGT");
-    EXPECT_EQ(recs[0].qual, (std::vector<u8>{40, 40, 40, 40}));
-    EXPECT_EQ(recs[1].qual, (std::vector<u8>{0, 41}));
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 2u);
+    EXPECT_EQ((*recs)[0].name, "r1");
+    EXPECT_EQ(decode((*recs)[0].seq), "ACGT");
+    EXPECT_EQ((*recs)[0].qual, (std::vector<u8>{40, 40, 40, 40}));
+    EXPECT_EQ((*recs)[1].qual, (std::vector<u8>{0, 41}));
 }
 
 TEST(Fastq, RoundTrip)
@@ -66,9 +170,135 @@ TEST(Fastq, RoundTrip)
     writeFastq(out, recs);
     std::istringstream in(out.str());
     const auto back = readFastq(in);
-    ASSERT_EQ(back.size(), 1u);
-    EXPECT_EQ(back[0].seq, recs[0].seq);
-    EXPECT_EQ(back[0].qual, recs[0].qual);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->size(), 1u);
+    EXPECT_EQ((*back)[0].seq, recs[0].seq);
+    EXPECT_EQ((*back)[0].qual, recs[0].qual);
+}
+
+TEST(Fastq, EmptyStreamYieldsNoRecords)
+{
+    std::istringstream in("");
+    ReaderStats stats;
+    const auto recs = readFastq(in, {}, &stats);
+    ASSERT_TRUE(recs.ok());
+    EXPECT_TRUE(recs->empty());
+    EXPECT_EQ(stats.malformed, 0u);
+}
+
+TEST(Fastq, CrlfAndLowercaseTolerated)
+{
+    std::istringstream in("@r\r\nacgtn\r\n+\r\nIIIII\r\n");
+    const auto recs = readFastq(in);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].seq.size(), 5u);
+}
+
+TEST(Fastq, TruncatedRecordAtEofSkippedAndCounted)
+{
+    std::istringstream in("@ok\nACGT\n+\nIIII\n@trunc\nAC\n+\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 10;
+    ReaderStats stats;
+    const auto recs = readFastq(in, opts, &stats);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].name, "ok");
+    EXPECT_EQ(stats.malformed, 1u);
+    ASSERT_EQ(stats.errors.size(), 1u);
+    EXPECT_NE(stats.errors[0].message.find("truncated"),
+              std::string::npos);
+}
+
+TEST(Fastq, BadSeparatorResyncsOnNextHeader)
+{
+    // Record r1's sequence spans several lines (which the 4-line
+    // format forbids), so the separator check fails; the reader
+    // resynchronizes on '@r2' and parses it intact.
+    std::istringstream in("@r1\nACGT\nACGT\nIIII\nJUNK\n@r2\nTT\n+\nII\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 10;
+    ReaderStats stats;
+    const auto recs = readFastq(in, opts, &stats);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].name, "r2");
+    EXPECT_EQ(stats.malformed, 1u);
+}
+
+TEST(Fastq, QualityLengthMismatchSkipped)
+{
+    std::istringstream in("@bad\nACGT\n+\nII\n@ok\nTT\n+\nII\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 10;
+    ReaderStats stats;
+    const auto recs = readFastq(in, opts, &stats);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].name, "ok");
+    EXPECT_EQ(stats.malformed, 1u);
+    ASSERT_EQ(stats.errors.size(), 1u);
+    EXPECT_NE(stats.errors[0].message.find("length mismatch"),
+              std::string::npos);
+}
+
+TEST(Fastq, EmptyNameAndBadBasesSkipped)
+{
+    std::istringstream in("@\nACGT\n+\nIIII\n"   // empty name
+                          "@bad\nAC-T\n+\nIIII\n" // invalid base
+                          "@ok\nGG\n+\nII\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 10;
+    ReaderStats stats;
+    const auto recs = readFastq(in, opts, &stats);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].name, "ok");
+    EXPECT_EQ(stats.malformed, 2u);
+}
+
+TEST(Fastq, MalformedBudgetExhaustedIsInvalidInput)
+{
+    std::istringstream in("@bad\nACGT\n+\nII\n@ok\nTT\n+\nII\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 0;
+    const auto recs = readFastq(in, opts);
+    ASSERT_FALSE(recs.ok());
+    EXPECT_EQ(recs.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(recs.status().message().find("budget"),
+              std::string::npos);
+}
+
+TEST(Fastq, OpenFailureReportsPathAndErrno)
+{
+    const auto recs = readFastqFile("/nonexistent/genax-no-such.fq");
+    ASSERT_FALSE(recs.ok());
+    EXPECT_EQ(recs.status().code(), StatusCode::IoError);
+    EXPECT_NE(recs.status().message().find("/nonexistent/genax-no-such.fq"),
+              std::string::npos);
+}
+
+TEST(FastqStreaming, PerRecordIterationWithStats)
+{
+    std::istringstream in("@r1\nACGT\n+\nIIII\n"
+                          "@bad\nAC\n+\nIIII\n"
+                          "@r2\nTT\n+\nII\n");
+    ReaderOptions opts;
+    opts.maxMalformed = 5;
+    FastqReader reader(in, opts);
+
+    auto r1 = reader.next();
+    ASSERT_TRUE(r1.ok());
+    EXPECT_EQ(r1->name, "r1");
+    auto r2 = reader.next();
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2->name, "r2");
+    auto end = reader.next();
+    ASSERT_FALSE(end.ok());
+    EXPECT_TRUE(isEndOfStream(end.status()));
+    EXPECT_EQ(reader.stats().records, 2u);
+    EXPECT_EQ(reader.stats().malformed, 1u);
 }
 
 TEST(Sam, HeaderAndRecord)
@@ -123,7 +353,9 @@ TEST(Sam, ReadBackRoundTrip)
     writer.write(b);
 
     std::istringstream in(out.str());
-    const SamFile sam = readSam(in);
+    const auto parsed = readSam(in);
+    ASSERT_TRUE(parsed.ok());
+    const SamFile &sam = *parsed;
     ASSERT_EQ(sam.refs.size(), 2u);
     EXPECT_EQ(sam.refs[0].name, "chr1");
     EXPECT_EQ(sam.refs[0].length, 5000u);
@@ -147,6 +379,14 @@ TEST(Sam, ReadBackRoundTrip)
     EXPECT_TRUE(rb.flag & kSamUnmapped);
     EXPECT_EQ(rb.pos, kNoPos);
     EXPECT_EQ(rb.pnext, kNoPos);
+}
+
+TEST(Sam, MalformedRecordIsInvalidInput)
+{
+    std::istringstream in("q1\t0\tchr1\tnot-enough-fields\n");
+    const auto parsed = readSam(in);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::InvalidInput);
 }
 
 TEST(Sam, UnmappedRecord)

@@ -16,6 +16,7 @@
 #include "io/sam.hh"
 #include "readsim/readsim.hh"
 #include "readsim/refgen.hh"
+#include "silla/silla.hh"
 
 namespace genax {
 namespace {
@@ -78,9 +79,14 @@ TEST(Pipeline, MultiContigReadsLandOnTheRightContig)
     opts.band = 16;
     opts.segments = 4;
     std::ostringstream sam;
-    const auto res = alignToSam(ref, reads, sam, opts);
+    const auto status_or_res = alignToSam(ref, reads, sam, opts);
+    ASSERT_TRUE(status_or_res.ok());
+    const PipelineResult &res = *status_or_res;
     EXPECT_EQ(res.reads, reads.size());
     EXPECT_EQ(res.mapped, reads.size());
+    EXPECT_TRUE(res.ledgerBalanced());
+    EXPECT_EQ(res.degraded, 0u);
+    EXPECT_EQ(res.failed, 0u);
 
     // Check every alignment line against the truth.
     std::istringstream in(sam.str());
@@ -126,10 +132,15 @@ TEST(Pipeline, BothEnginesProduceSameMappedCount)
     std::ostringstream hw_sam, sw_sam;
     const auto hw_res = alignToSam(ref, reads, hw_sam, hw);
     const auto sw_res = alignToSam(ref, reads, sw_sam, sw);
-    EXPECT_EQ(hw_res.mapped, sw_res.mapped);
-    EXPECT_GT(hw_res.mapped, reads.size() * 9 / 10);
+    ASSERT_TRUE(hw_res.ok());
+    ASSERT_TRUE(sw_res.ok());
+    EXPECT_EQ(hw_res->mapped, sw_res->mapped);
+    EXPECT_GT(hw_res->mapped, reads.size() * 9 / 10);
+    // With no faults armed, nothing degrades on either engine.
+    EXPECT_EQ(hw_res->degraded, 0u);
+    EXPECT_EQ(sw_res->degraded, 0u);
     // GenAx engine populates the hardware perf model.
-    EXPECT_GT(hw_res.perf.totalSeconds, 0.0);
+    EXPECT_GT(hw_res->perf.totalSeconds, 0.0);
 }
 
 TEST(Pipeline, FileRoundTrip)
@@ -164,9 +175,14 @@ TEST(Pipeline, FileRoundTrip)
     opts.k = 11;
     opts.band = 16;
     opts.segments = 4;
-    const auto res = alignFiles(ref_path, reads_path, sam_path, opts);
+    const auto status_or_res =
+        alignFiles(ref_path, reads_path, sam_path, opts);
+    ASSERT_TRUE(status_or_res.ok());
+    const PipelineResult &res = *status_or_res;
     EXPECT_EQ(res.reads, 30u);
     EXPECT_GT(res.mapped, 26u);
+    EXPECT_TRUE(res.ledgerBalanced());
+    EXPECT_EQ(res.skippedMalformed, 0u);
 
     // The SAM file exists, has the header and one line per read.
     std::ifstream in(sam_path);
@@ -204,9 +220,12 @@ TEST(Pipeline, PairedEndSamFlagsAndTlen)
     opts.k = 11;
     opts.band = 16;
     std::ostringstream sam;
-    const auto res = alignPairsToSam(ref, r1, r2, sam, opts);
+    const auto status_or_res = alignPairsToSam(ref, r1, r2, sam, opts);
+    ASSERT_TRUE(status_or_res.ok());
+    const PipelineResult &res = *status_or_res;
     EXPECT_EQ(res.reads, 50u);
     EXPECT_GE(res.mapped, 48u);
+    EXPECT_TRUE(res.ledgerBalanced());
 
     std::istringstream in(sam.str());
     std::string line;
@@ -241,6 +260,96 @@ TEST(Pipeline, PairedEndSamFlagsAndTlen)
                 300.0, 60.0);
 }
 
+TEST(Pipeline, EmptyReferenceIsInvalidInput)
+{
+    std::ostringstream sam;
+    const auto res = alignToSam({}, {}, sam, PipelineOptions{});
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(Pipeline, MateCountMismatchIsInvalidInput)
+{
+    const auto ref = twoContigReference(20000, 10000, 13);
+    std::vector<FastqRecord> r1{{"a", encode("ACGTACGTACGT"), {}}};
+    std::ostringstream sam;
+    const auto res =
+        alignPairsToSam(ref, r1, {}, sam, PipelineOptions{});
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(Pipeline, OversizedBandDegradesToSoftwareEngine)
+{
+    const auto ref = twoContigReference(30000, 20000, 55);
+    ContigMap map(ref);
+    ReadSimConfig rs;
+    rs.numReads = 12;
+    rs.seed = 21;
+    const auto sim = simulateReads(map.sequence(), rs);
+    std::vector<FastqRecord> reads;
+    for (const auto &r : sim)
+        reads.push_back({r.name, r.seq, r.qual});
+
+    PipelineOptions opts;
+    opts.k = 11;
+    opts.band = kMaxSillaK + 1; // beyond what a SillaX lane supports
+    std::ostringstream sam;
+    const auto res = alignToSam(ref, reads, sam, opts);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->softwareFallback);
+    EXPECT_TRUE(res->ledgerBalanced());
+    // Every mapped read is accounted as degraded, not mapped.
+    EXPECT_EQ(res->mapped, 0u);
+    EXPECT_GT(res->degraded, reads.size() * 9 / 10);
+}
+
+TEST(Pipeline, MalformedReadsAreSkippedAndLedgered)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "genax_pipeline_malformed";
+    fs::create_directories(dir);
+    const std::string ref_path = (dir / "ref.fa").string();
+    const std::string reads_path = (dir / "reads.fq").string();
+    const std::string sam_path = (dir / "out.sam").string();
+
+    const auto ref = twoContigReference(30000, 20000, 42);
+    {
+        std::ofstream out(ref_path);
+        writeFasta(out, ref);
+    }
+    ContigMap map(ref);
+    ReadSimConfig rs;
+    rs.numReads = 10;
+    rs.seed = 31;
+    const auto sim = simulateReads(map.sequence(), rs);
+    {
+        std::vector<FastqRecord> reads;
+        for (const auto &r : sim)
+            reads.push_back({r.name, r.seq, r.qual});
+        std::ofstream out(reads_path);
+        writeFastq(out, reads);
+        // Append two malformed records: a quality-length mismatch and
+        // a record truncated at EOF.
+        out << "@mismatch\nACGTACGT\n+\nIII\n";
+        out << "@truncated\nACGT\n";
+    }
+
+    PipelineOptions opts;
+    opts.k = 11;
+    opts.band = 16;
+    opts.segments = 4;
+    const auto res = alignFiles(ref_path, reads_path, sam_path, opts);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res->reads, 12u);
+    EXPECT_EQ(res->skippedMalformed, 2u);
+    EXPECT_TRUE(res->ledgerBalanced());
+    EXPECT_EQ(res->readInput.errors.size(), 2u);
+
+    fs::remove_all(dir);
+}
+
 TEST(Pipeline, ReverseReadsQualityIsReversed)
 {
     const auto ref = twoContigReference(30000, 10000, 321);
@@ -259,7 +368,7 @@ TEST(Pipeline, ReverseReadsQualityIsReversed)
     opts.band = 16;
     opts.segments = 2;
     std::ostringstream sam;
-    alignToSam(ref, {rec}, sam, opts);
+    ASSERT_TRUE(alignToSam(ref, {rec}, sam, opts).ok());
 
     std::istringstream in(sam.str());
     std::string line;

@@ -132,8 +132,10 @@ TEST(KmerIndex, SerializationRoundTrip)
     KmerIndex index(ref, 9);
 
     std::stringstream buf;
-    index.save(buf);
-    const KmerIndex back = KmerIndex::load(buf);
+    ASSERT_TRUE(index.save(buf).ok());
+    const auto loaded = KmerIndex::load(buf);
+    ASSERT_TRUE(loaded.ok());
+    const KmerIndex &back = *loaded;
 
     EXPECT_EQ(back.k(), index.k());
     EXPECT_EQ(back.segmentLength(), index.segmentLength());
@@ -147,11 +149,28 @@ TEST(KmerIndex, SerializationRoundTrip)
     }
 }
 
-TEST(KmerIndexDeath, LoadRejectsGarbage)
+TEST(KmerIndex, LoadRejectsGarbageRecoverably)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     std::stringstream buf("definitely not an index file");
-    EXPECT_DEATH(KmerIndex::load(buf), "not a GenAx k-mer index");
+    const auto loaded = KmerIndex::load(buf);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(loaded.status().message().find("not a GenAx k-mer index"),
+              std::string::npos);
+}
+
+TEST(KmerIndex, LoadRejectsTruncatedFile)
+{
+    Rng rng(704);
+    const Seq ref = randomSeq(rng, 4000);
+    KmerIndex index(ref, 8);
+    std::stringstream buf;
+    ASSERT_TRUE(index.save(buf).ok());
+    const std::string whole = buf.str();
+    std::stringstream cut(whole.substr(0, whole.size() / 2));
+    const auto loaded = KmerIndex::load(cut);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::IoError);
 }
 
 // --------------------------------------------------------------- CAM

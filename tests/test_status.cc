@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the Status/StatusOr error channel and the
+ * fault-injection registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/faultinject.hh"
+#include "common/status.hh"
+
+namespace genax {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    const Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    EXPECT_TRUE(okStatus().ok());
+    const Status s = invalidInputError("bad record");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidInput);
+    EXPECT_EQ(s.message(), "bad record");
+    EXPECT_EQ(ioError("x").code(), StatusCode::IoError);
+    EXPECT_EQ(notFoundError("x").code(), StatusCode::NotFound);
+    EXPECT_EQ(resourceExhaustedError("x").code(),
+              StatusCode::ResourceExhausted);
+    EXPECT_EQ(unavailableError("x").code(), StatusCode::Unavailable);
+    EXPECT_EQ(failedPreconditionError("x").code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_EQ(internalError("x").code(), StatusCode::Internal);
+    EXPECT_TRUE(isEndOfStream(endOfStream()));
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::InvalidInput),
+                 "invalid-input");
+    EXPECT_STREQ(statusCodeName(StatusCode::IoError), "io-error");
+    EXPECT_STREQ(statusCodeName(StatusCode::EndOfStream),
+                 "end-of-stream");
+}
+
+TEST(Status, ContextChainsOutward)
+{
+    const Status inner = invalidInputError("truncated record");
+    const Status outer =
+        inner.withContext("FASTQ file 'r.fq'").withContext("align files");
+    EXPECT_EQ(outer.code(), StatusCode::InvalidInput);
+    EXPECT_EQ(outer.message(),
+              "align files: FASTQ file 'r.fq': truncated record");
+    EXPECT_EQ(outer.str(),
+              "[invalid-input] align files: FASTQ file 'r.fq': "
+              "truncated record");
+    // OK statuses pass through withContext unchanged.
+    EXPECT_TRUE(okStatus().withContext("ignored").ok());
+}
+
+TEST(Status, ErrnoAnnotation)
+{
+    errno = ENOENT;
+    const Status s = ioErrorFromErrno("cannot open FASTA file", "/x/y");
+    EXPECT_EQ(s.code(), StatusCode::IoError);
+    EXPECT_NE(s.message().find("/x/y"), std::string::npos);
+    EXPECT_NE(s.message().find("cannot open FASTA file"),
+              std::string::npos);
+}
+
+TEST(StatusOr, HoldsValueOrStatus)
+{
+    const StatusOr<int> good = 42;
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(*good, 42);
+
+    const StatusOr<int> bad = invalidInputError("nope");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(StatusOr, ValueOnErrorIsACheckViolation)
+{
+    ScopedCheckHandler guard(&throwingCheckHandler);
+    const StatusOr<int> bad = ioError("gone");
+    EXPECT_THROW(bad.value(), CheckViolation);
+    // And building a StatusOr from an OK status is a programmer bug.
+    EXPECT_THROW(StatusOr<int>{okStatus()}, CheckViolation);
+}
+
+TEST(StatusOr, MoveOutAndContext)
+{
+    StatusOr<std::string> s = std::string("payload");
+    const std::string v = std::move(s).value();
+    EXPECT_EQ(v, "payload");
+
+    auto with = [](Status st) -> StatusOr<std::string> {
+        return StatusOr<std::string>(std::move(st))
+            .withContext("loading");
+    };
+    const auto bad = with(notFoundError("key"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().message(), "loading: key");
+}
+
+namespace trymacros {
+
+Status
+failInner()
+{
+    return resourceExhaustedError("budget spent");
+}
+
+Status
+propagate()
+{
+    GENAX_TRY(okStatus());
+    GENAX_TRY(failInner());
+    return internalError("unreachable");
+}
+
+StatusOr<int>
+half(int v)
+{
+    if (v % 2 != 0)
+        return invalidInputError("odd");
+    return v / 2;
+}
+
+StatusOr<int>
+quarter(int v)
+{
+    GENAX_TRY_ASSIGN(const int h, half(v));
+    GENAX_TRY_ASSIGN(const int q, half(h));
+    return q;
+}
+
+} // namespace trymacros
+
+TEST(StatusMacros, TryPropagatesFirstError)
+{
+    const Status s = trymacros::propagate();
+    EXPECT_EQ(s.code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(s.message(), "budget spent");
+}
+
+TEST(StatusMacros, TryAssignUnwrapsOrReturns)
+{
+    const auto ok = trymacros::quarter(8);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(*ok, 2);
+    const auto bad = trymacros::quarter(6); // 6/2 = 3 is odd
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(FaultInject, DisarmedSitesNeverFire)
+{
+    FaultInjector &fi = FaultInjector::instance();
+    fi.reset();
+    EXPECT_FALSE(fi.anyArmed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(faultFires(fault::kFastqRecord));
+    EXPECT_EQ(fi.hits(fault::kFastqRecord), 0u);
+}
+
+TEST(FaultInject, FireOnNthHitIsExact)
+{
+    ScopedFaultPlan plan({{fault::kLaneIssue, {.fireOnNth = 3}}});
+    EXPECT_FALSE(faultFires(fault::kLaneIssue));
+    EXPECT_FALSE(faultFires(fault::kLaneIssue));
+    EXPECT_TRUE(faultFires(fault::kLaneIssue));
+    EXPECT_FALSE(faultFires(fault::kLaneIssue));
+    FaultInjector &fi = FaultInjector::instance();
+    EXPECT_EQ(fi.hits(fault::kLaneIssue), 4u);
+    EXPECT_EQ(fi.fires(fault::kLaneIssue), 1u);
+}
+
+TEST(FaultInject, ProbabilityStreamIsDeterministic)
+{
+    auto run = [] {
+        ScopedFaultPlan plan(
+            {{fault::kDramStream, {.probability = 0.3, .seed = 99}}});
+        std::vector<bool> fires;
+        for (int i = 0; i < 200; ++i)
+            fires.push_back(faultFires(fault::kDramStream));
+        return fires;
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a, b);
+    const auto fired =
+        static_cast<size_t>(std::count(a.begin(), a.end(), true));
+    EXPECT_GT(fired, 30u);
+    EXPECT_LT(fired, 90u);
+}
+
+TEST(FaultInject, MaxFiresBoundsProbabilityRule)
+{
+    ScopedFaultPlan plan({{fault::kCamOverflow,
+                           {.probability = 1.0, .maxFires = 2}}});
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        fired += faultFires(fault::kCamOverflow);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(FaultInject, ConfigureParsesSpecStrings)
+{
+    FaultInjector &fi = FaultInjector::instance();
+    fi.reset();
+    const Status st = fi.configure(
+        "io.fastq.record:p=0.5,seed=7;sillax.lane.issue:n=2,max=1");
+    ASSERT_TRUE(st.ok()) << st.str();
+    const auto sites = fi.armedSites();
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0], "io.fastq.record");
+    EXPECT_EQ(sites[1], "sillax.lane.issue");
+    EXPECT_FALSE(faultFires(fault::kLaneIssue));
+    EXPECT_TRUE(faultFires(fault::kLaneIssue));
+    fi.reset();
+}
+
+TEST(FaultInject, ConfigureRejectsBadSpecs)
+{
+    FaultInjector &fi = FaultInjector::instance();
+    fi.reset();
+    EXPECT_FALSE(fi.configure("no-colon-here").ok());
+    EXPECT_FALSE(fi.configure("site:p=2.0").ok());
+    EXPECT_FALSE(fi.configure("site:seed=1").ok()); // no p= or n=
+    EXPECT_FALSE(fi.configure("site:what=1").ok());
+    EXPECT_TRUE(fi.armedSites().empty());
+    fi.reset();
+}
+
+} // namespace
+} // namespace genax

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Chaos smoke test: drive genax_align over a deliberately malformed
+# read corpus with fault-injection sites armed, and check the CLI's
+# exit-code contract and outcome-ledger arithmetic from the outside.
+# CI runs this under ASan+UBSan so every absorbed fault is also a
+# memory-safety probe. See DESIGN.md, "Error-handling policy".
+#
+# Usage: tools/chaos_smoke.sh path/to/genax_align
+set -u
+
+bin="${1:?usage: chaos_smoke.sh path/to/genax_align}"
+[[ -x "$bin" ]] || { echo "chaos-smoke: $bin not executable" >&2; exit 1; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail=0
+err() {
+    echo "chaos-smoke: $*" >&2
+    fail=1
+}
+
+# ------------------------------------------------------------------
+# Corpus: a deterministic pseudo-random contig (bash LCG, fixed seed)
+# and reads cut straight from it, with malformed records interleaved:
+# a quality-length mismatch, a missing separator, and a record
+# truncated at EOF.
+# ------------------------------------------------------------------
+bases=(A C G T)
+state=20180601
+seq=""
+for ((i = 0; i < 1200; i++)); do
+    state=$(((state * 1103515245 + 12345) % 2147483648))
+    seq+="${bases[$(((state >> 16) % 4))]}"
+done
+
+{
+    echo ">chr1 chaos smoke contig"
+    fold -w 70 <<<"$seq"
+} >"$tmp/ref.fa"
+
+qual=$(printf 'I%.0s' {1..80})
+{
+    for ((r = 0; r < 20; r++)); do
+        printf '@read%d\n%s\n+\n%s\n' "$r" "${seq:$((r * 50)):80}" "$qual"
+    done
+    # Malformed: quality string shorter than the sequence.
+    printf '@bad_qual\n%s\n+\nIIII\n' "${seq:100:80}"
+    # Malformed: separator line missing ('+' replaced by junk), the
+    # reader resyncs on the next '@' header.
+    printf '@bad_sep\n%s\nJUNK\n%s\n' "${seq:200:80}" "$qual"
+    # One more good read after the damage, then a truncated tail.
+    printf '@read_last\n%s\n+\n%s\n' "${seq:300:80}" "$qual"
+    printf '@truncated\n%s\n' "${seq:400:80}"
+} >"$tmp/reads.fq"
+
+run() { # run <log> <args...> ; echoes exit status
+    local log="$1"
+    shift
+    "$bin" "$@" >"$tmp/stdout" 2>"$log"
+    echo $?
+}
+
+check_ledger() { # check_ledger <log> <sam>
+    local log="$1" sam="$2"
+    local reads
+    reads=$(sed -n 's/^aligned \([0-9]*\) reads.*/\1/p' "$log")
+    if [[ -z "$reads" ]]; then
+        err "no 'aligned N reads' line in $log"
+        return
+    fi
+    read -r mapped unmapped skipped degraded failed < <(
+        sed -n 's/^ledger: \([0-9]*\) mapped, \([0-9]*\) unmapped, \([0-9]*\) skipped-malformed, \([0-9]*\) degraded, \([0-9]*\) failed$/\1 \2 \3 \4 \5/p' "$log")
+    if [[ -z "${failed:-}" ]]; then
+        err "no ledger line in $log"
+        return
+    fi
+    local sum=$((mapped + unmapped + skipped + degraded + failed))
+    ((sum == reads)) ||
+        err "ledger does not balance: $sum != $reads reads ($log)"
+    # Every non-skipped read must have produced exactly one SAM record.
+    local records
+    records=$(grep -cv '^@' "$sam" || true)
+    ((records == reads - skipped)) ||
+        err "SAM has $records records, want $((reads - skipped)) ($log)"
+}
+
+# 1. Malformed corpus, no faults: completes, skips and counts the
+#    broken records, exits 1 (partial).
+status=$(run "$tmp/clean.log" --ref "$tmp/ref.fa" --reads "$tmp/reads.fq" \
+    --out "$tmp/clean.sam" --k 11 --max-malformed 10)
+((status == 1)) || err "malformed corpus: exit $status, want 1"
+check_ledger "$tmp/clean.log" "$tmp/clean.sam"
+grep -q 'skipped 3 malformed records' "$tmp/clean.log" ||
+    err "expected 3 skipped records reported in clean.log"
+
+# 2. Fault storm across the accelerator layers: run must still
+#    complete with a balanced ledger and exit 1.
+status=$(run "$tmp/storm.log" --ref "$tmp/ref.fa" --reads "$tmp/reads.fq" \
+    --out "$tmp/storm.sam" --k 11 --max-malformed 10 \
+    --inject 'sillax.lane.issue:p=0.3,seed=1;genax.dram.stream:p=0.5,seed=2;seed.cam.overflow:p=0.3,seed=3;genax.pipeline.read:p=0.15,seed=4')
+((status == 1)) || err "fault storm: exit $status, want 1"
+check_ledger "$tmp/storm.log" "$tmp/storm.sam"
+
+# 3. An injected IO fault is unrecoverable for the file as a whole:
+#    exit 3 and the site named in the diagnostic.
+status=$(run "$tmp/io.log" --ref "$tmp/ref.fa" --reads "$tmp/reads.fq" \
+    --out "$tmp/io.sam" --k 11 --max-malformed 10 \
+    --inject 'io.fastq.record:n=5')
+((status == 3)) || err "io fault: exit $status, want 3"
+grep -q 'io.fastq.record' "$tmp/io.log" ||
+    err "io fault diagnostic does not name the site"
+
+# 4. Exit-code contract edges: bad --inject spec is a usage error,
+#    a missing input is unrecoverable, --help succeeds.
+status=$(run "$tmp/spec.log" --ref "$tmp/ref.fa" --reads "$tmp/reads.fq" \
+    --out "$tmp/x.sam" --inject 'not-a-spec')
+((status == 2)) || err "bad --inject: exit $status, want 2"
+status=$(run "$tmp/miss.log" --ref "$tmp/absent.fa" \
+    --reads "$tmp/reads.fq" --out "$tmp/x.sam")
+((status == 3)) || err "missing reference: exit $status, want 3"
+grep -q 'absent.fa' "$tmp/miss.log" ||
+    err "missing-file diagnostic does not name the path"
+status=$(run "$tmp/help.log" --help)
+((status == 0)) || err "--help: exit $status, want 0"
+
+if ((fail)); then
+    echo "chaos-smoke: FAILED" >&2
+    exit 1
+fi
+echo "chaos-smoke: OK"

@@ -3,13 +3,18 @@
  * genax_align — command-line read aligner.
  *
  *   genax_align --ref ref.fa --reads reads.fq --out out.sam
- *               [--engine genax|sw] [--k 12] [--band 40]
- *               [--segments 8] [--threads 1]
+ *               [--reads2 mates.fq] [--engine genax|sw] [--k 12]
+ *               [--band 40] [--segments 8] [--threads 1]
+ *               [--max-malformed N] [--inject SPEC]
  *
  * Aligns FASTQ reads against a FASTA reference and writes SAM, using
  * either the GenAx accelerator model (default; also prints the
  * hardware performance report) or the BWA-MEM-like software
  * baseline.
+ *
+ * Exit codes: 0 on full success, 1 when the run completed but some
+ * reads were skipped, degraded or failed (see the ledger on stderr),
+ * 2 on a usage error, 3 on an unrecoverable error.
  */
 
 #include <cstdio>
@@ -17,23 +22,81 @@
 #include <cstring>
 #include <string>
 
+#include "common/faultinject.hh"
 #include "genax/pipeline.hh"
 
 using namespace genax;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitPartial = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitError = 3;
+
 void
-usage(const char *prog)
+printHelp(const char *prog, std::FILE *to)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage: %s --ref ref.fa --reads reads.fq --out out.sam\n"
-        "          [--reads2 mates.fq] [--engine genax|sw] [--k K]\n"
-        "          [--band K] [--segments N] [--threads N]\n"
-        "--reads2 enables paired-end mode (software engine)\n",
+        "          [options]\n"
+        "\n"
+        "Align FASTQ reads against a FASTA reference and write SAM.\n"
+        "\n"
+        "options:\n"
+        "  --ref FILE         reference FASTA (required)\n"
+        "  --reads FILE       reads FASTQ (required)\n"
+        "  --reads2 FILE      mate FASTQ; enables paired-end mode\n"
+        "                     (software engine)\n"
+        "  --out FILE         output SAM (required)\n"
+        "  --engine genax|sw  accelerator model or software baseline\n"
+        "                     (default genax)\n"
+        "  --k K              seeding k-mer length (default 12)\n"
+        "  --band K           edit bound / extension band (default 40);\n"
+        "                     beyond the SillaX maximum the run degrades\n"
+        "                     to the software engine\n"
+        "  --segments N       GenAx genome segments (default 8)\n"
+        "  --threads N        software-engine threads (default 1)\n"
+        "  --max-malformed N  malformed input records tolerated per\n"
+        "                     file before the run fails (default 1000)\n"
+        "  --inject SPEC      arm fault-injection sites, e.g.\n"
+        "                     'io.fastq.record:p=0.01,seed=7;"
+        "sillax.lane.issue:n=3'\n"
+        "                     (GENAX_FAULT_INJECT in the environment\n"
+        "                     works too)\n"
+        "  -h, --help         show this help and exit\n"
+        "\n"
+        "exit codes: 0 success; 1 completed with skipped, degraded or\n"
+        "failed reads; 2 usage error; 3 unrecoverable error\n",
         prog);
-    std::exit(2);
+}
+
+[[noreturn]] void
+usageError(const char *prog, const char *msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prog, msg);
+    printHelp(prog, stderr);
+    std::exit(kExitUsage);
+}
+
+void
+printParseTrouble(const char *label, const ReaderStats &stats)
+{
+    if (stats.malformed == 0)
+        return;
+    std::fprintf(stderr,
+                 "%s: skipped %llu malformed record%s\n", label,
+                 static_cast<unsigned long long>(stats.malformed),
+                 stats.malformed == 1 ? "" : "s");
+    for (const auto &e : stats.errors)
+        std::fprintf(stderr, "  line %llu: %s\n",
+                     static_cast<unsigned long long>(e.line),
+                     e.message.c_str());
+    if (stats.errors.size() < stats.malformed)
+        std::fprintf(stderr, "  ... and %llu more\n",
+                     static_cast<unsigned long long>(
+                         stats.malformed - stats.errors.size()));
 }
 
 } // namespace
@@ -41,14 +104,15 @@ usage(const char *prog)
 int
 main(int argc, char **argv)
 {
-    std::string ref, reads, reads2, out;
+    std::string ref, reads, reads2, out, inject;
     PipelineOptions opts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
             if (i + 1 >= argc)
-                usage(argv[0]);
+                usageError(argv[0],
+                           ("missing value for " + arg).c_str());
             return argv[++i];
         };
         if (arg == "--ref") {
@@ -66,7 +130,7 @@ main(int argc, char **argv)
             } else if (e == "sw") {
                 opts.engine = PipelineOptions::Engine::Software;
             } else {
-                usage(argv[0]);
+                usageError(argv[0], "--engine must be genax or sw");
             }
         } else if (arg == "--k") {
             opts.k = static_cast<u32>(std::atoi(next()));
@@ -76,25 +140,64 @@ main(int argc, char **argv)
             opts.segments = static_cast<u64>(std::atoll(next()));
         } else if (arg == "--threads") {
             opts.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--max-malformed") {
+            opts.maxMalformed = static_cast<u64>(std::atoll(next()));
+        } else if (arg == "--inject") {
+            inject = next();
         } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
+            printHelp(argv[0], stdout);
+            return kExitOk;
         } else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-            usage(argv[0]);
+            usageError(argv[0],
+                       ("unknown option: " + arg).c_str());
         }
     }
     if (ref.empty() || reads.empty() || out.empty())
-        usage(argv[0]);
+        usageError(argv[0], "--ref, --reads and --out are required");
 
-    const PipelineResult res =
+    if (const Status st = FaultInjector::instance().configureFromEnv();
+        !st.ok()) {
+        std::fprintf(stderr, "GENAX_FAULT_INJECT: %s\n",
+                     st.str().c_str());
+        return kExitUsage;
+    }
+    if (!inject.empty()) {
+        if (const Status st =
+                FaultInjector::instance().configure(inject);
+            !st.ok()) {
+            std::fprintf(stderr, "--inject: %s\n", st.str().c_str());
+            return kExitUsage;
+        }
+    }
+
+    const auto result =
         reads2.empty() ? alignFiles(ref, reads, out, opts)
                        : alignPairFiles(ref, reads, reads2, out, opts);
-    std::fprintf(stderr,
-                 "aligned %llu reads (%llu mapped) in %.3f s -> %s\n",
-                 static_cast<unsigned long long>(res.reads),
-                 static_cast<unsigned long long>(res.mapped),
-                 res.seconds, out.c_str());
-    if (opts.engine == PipelineOptions::Engine::GenAx) {
+    if (!result.ok()) {
+        std::fprintf(stderr, "genax_align: %s\n",
+                     result.status().str().c_str());
+        return kExitError;
+    }
+    const PipelineResult &res = *result;
+
+    printParseTrouble("reference", res.refInput);
+    printParseTrouble("reads", res.readInput);
+    if (res.softwareFallback)
+        std::fprintf(stderr,
+                     "note: run degraded to the software engine\n");
+    std::fprintf(
+        stderr,
+        "aligned %llu reads in %.3f s -> %s\n"
+        "ledger: %llu mapped, %llu unmapped, %llu skipped-malformed, "
+        "%llu degraded, %llu failed\n",
+        static_cast<unsigned long long>(res.reads), res.seconds,
+        out.c_str(), static_cast<unsigned long long>(res.mapped),
+        static_cast<unsigned long long>(res.unmapped),
+        static_cast<unsigned long long>(res.skippedMalformed),
+        static_cast<unsigned long long>(res.degraded),
+        static_cast<unsigned long long>(res.failed));
+    if (opts.engine == PipelineOptions::Engine::GenAx &&
+        !res.softwareFallback && reads2.empty()) {
         std::fprintf(stderr,
                      "GenAx model: %llu exact-path reads, %llu "
                      "extension jobs, modelled %.1f KReads/s\n",
@@ -103,6 +206,16 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(
                          res.perf.extensionJobs),
                      res.perf.readsPerSecond() / 1e3);
+        if (res.perf.laneFaults || res.perf.dramFaults)
+            std::fprintf(
+                stderr,
+                "faults absorbed: %llu lane issues, %llu DRAM "
+                "streams\n",
+                static_cast<unsigned long long>(res.perf.laneFaults),
+                static_cast<unsigned long long>(res.perf.dramFaults));
     }
-    return 0;
+
+    const bool partial = res.skippedMalformed > 0 || res.degraded > 0 ||
+                         res.failed > 0 || res.softwareFallback;
+    return partial ? kExitPartial : kExitOk;
 }

@@ -7,6 +7,10 @@
  * Builds the whole-reference k-mer index/position tables (the
  * offline step of Section V; GenAx proper builds one per genome
  * segment) and serializes them for later runs.
+ *
+ * Exit codes: 0 on success, 1 when the index was built but malformed
+ * reference records had to be skipped, 2 on a usage error, 3 on an
+ * unrecoverable error.
  */
 
 #include <cstdio>
@@ -18,6 +22,43 @@
 
 using namespace genax;
 
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitPartial = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitError = 3;
+
+void
+printHelp(const char *prog, std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: %s --ref ref.fa --out index.gxi [--k 12]\n"
+        "\n"
+        "Build and serialize the k-mer index/position tables.\n"
+        "\n"
+        "options:\n"
+        "  --ref FILE   reference FASTA (required)\n"
+        "  --out FILE   output index file (required)\n"
+        "  --k K        k-mer length, 1..13 (default 12)\n"
+        "  -h, --help   show this help and exit\n"
+        "\n"
+        "exit codes: 0 success; 1 malformed reference records were\n"
+        "skipped; 2 usage error; 3 unrecoverable error\n",
+        prog);
+}
+
+[[noreturn]] void
+usageError(const char *prog, const char *msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prog, msg);
+    printHelp(prog, stderr);
+    std::exit(kExitUsage);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -26,11 +67,9 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             arg.c_str());
-                std::exit(2);
-            }
+            if (i + 1 >= argc)
+                usageError(argv[0],
+                           ("missing value for " + arg).c_str());
             return argv[++i];
         };
         if (arg == "--ref") {
@@ -39,24 +78,43 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--k") {
             k = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--help" || arg == "-h") {
+            printHelp(argv[0], stdout);
+            return kExitOk;
         } else {
-            std::fprintf(stderr,
-                         "usage: %s --ref ref.fa --out index.gxi "
-                         "[--k 12]\n",
-                         argv[0]);
-            std::exit(2);
+            usageError(argv[0], ("unknown option: " + arg).c_str());
         }
     }
-    if (ref_path.empty() || out_path.empty()) {
-        std::fprintf(stderr,
-                     "usage: %s --ref ref.fa --out index.gxi [--k 12]\n",
-                     argv[0]);
-        return 2;
-    }
+    if (ref_path.empty() || out_path.empty())
+        usageError(argv[0], "--ref and --out are required");
+    if (k < 1 || k > 13)
+        usageError(argv[0], "--k must be in 1..13");
 
-    const ContigMap contigs(readFastaFile(ref_path));
+    ReaderStats ref_stats;
+    const auto ref = readFastaFile(ref_path, {}, &ref_stats);
+    if (!ref.ok()) {
+        std::fprintf(stderr, "genax_index: %s\n",
+                     ref.status().str().c_str());
+        return kExitError;
+    }
+    if (ref->empty()) {
+        std::fprintf(stderr,
+                     "genax_index: reference has no usable contigs\n");
+        return kExitError;
+    }
+    if (ref_stats.malformed > 0)
+        std::fprintf(stderr,
+                     "reference: skipped %llu malformed record%s\n",
+                     static_cast<unsigned long long>(
+                         ref_stats.malformed),
+                     ref_stats.malformed == 1 ? "" : "s");
+
+    const ContigMap contigs(*ref);
     const KmerIndex index(contigs.sequence(), k);
-    index.saveFile(out_path);
+    if (const Status st = index.saveFile(out_path); !st.ok()) {
+        std::fprintf(stderr, "genax_index: %s\n", st.str().c_str());
+        return kExitError;
+    }
     std::fprintf(stderr,
                  "indexed %llu bp at k=%u -> %s (index %.1f MB, "
                  "positions %.1f MB, max hit list %u)\n",
@@ -66,5 +124,5 @@ main(int argc, char **argv)
                  static_cast<double>(index.indexTableBytes()) / 1e6,
                  static_cast<double>(index.positionTableBytes()) / 1e6,
                  index.maxHitListSize());
-    return 0;
+    return ref_stats.malformed > 0 ? kExitPartial : kExitOk;
 }

@@ -79,7 +79,21 @@ for f in "${sources[@]}"; do
 done
 
 # ---------------------------------------------------------------
-# 4. Whitespace: no tabs, no trailing whitespace in C++ sources.
+# 4. Error-handling policy (DESIGN.md): GENAX_FATAL is reserved for
+#    the logging layer itself. Everywhere else, environment and input
+#    failures travel through Status (common/status.hh) and programmer
+#    invariants through GENAX_CHECK, so callers can recover and tests
+#    can intercept. Tests may still exercise the macro itself.
+# ---------------------------------------------------------------
+for f in "${sources[@]}"; do
+    [[ "$f" == src/common/* || "$f" == tests/* ]] && continue
+    if grep -n '\bGENAX_FATAL\b' "$f"; then
+        err "$f: GENAX_FATAL outside src/common; return a Status (or GENAX_CHECK for invariants)"
+    fi
+done
+
+# ---------------------------------------------------------------
+# 5. Whitespace: no tabs, no trailing whitespace in C++ sources.
 # ---------------------------------------------------------------
 for f in "${sources[@]}"; do
     if grep -qP '\t' "$f"; then
