@@ -50,10 +50,11 @@ struct BestCell
 /**
  * Shared traceback walker. dir_at(i, j) must return the direction
  * byte for a cell that was computed; it is only called on the path.
+ * RefT is any random-access base container (Seq or PackedSeq).
  */
-template <typename DirFn>
+template <typename RefT, typename DirFn>
 AlignResult
-traceback(const Seq &ref, const Seq &qry, AlignMode mode, i32 best,
+traceback(const RefT &ref, const Seq &qry, AlignMode mode, i32 best,
           u64 bi, u64 bj, DirFn dir_at)
 {
     AlignResult res;
@@ -214,9 +215,17 @@ gotohAlign(const Seq &ref, const Seq &qry, const Scoring &sc,
                      [&](u64 i, u64 j) { return dir[i * cols + j]; });
 }
 
+namespace {
+
+/**
+ * Banded Gotoh over any random-access reference container; the 2-bit
+ * PackedSeq instantiation keeps the reference window in ~1/4 of the
+ * cache footprint on the extension fallback path.
+ */
+template <typename RefT>
 AlignResult
-gotohBanded(const Seq &ref, const Seq &qry, const Scoring &sc,
-            AlignMode mode, u32 band)
+gotohBandedImpl(const RefT &ref, const Seq &qry, const Scoring &sc,
+                AlignMode mode, u32 band)
 {
     const i64 n = static_cast<i64>(ref.size());
     const i64 m = static_cast<i64>(qry.size());
@@ -353,9 +362,10 @@ gotohBanded(const Seq &ref, const Seq &qry, const Scoring &sc,
     return traceback(ref, qry, mode, bscore, bi, bj, dir_at);
 }
 
+template <typename RefT>
 i32
-gotohBandedScoreOnly(const Seq &ref, const Seq &qry, const Scoring &sc,
-                     u32 band)
+gotohBandedScoreOnlyImpl(const RefT &ref, const Seq &qry,
+                         const Scoring &sc, u32 band)
 {
     const i64 n = static_cast<i64>(ref.size());
     const i64 m = static_cast<i64>(qry.size());
@@ -411,6 +421,36 @@ gotohBandedScoreOnly(const Seq &ref, const Seq &qry, const Scoring &sc,
         std::swap(fPrev, fCur);
     }
     return best;
+}
+
+} // namespace
+
+AlignResult
+gotohBanded(const Seq &ref, const Seq &qry, const Scoring &sc,
+            AlignMode mode, u32 band)
+{
+    return gotohBandedImpl(ref, qry, sc, mode, band);
+}
+
+AlignResult
+gotohBanded(const PackedSeq &ref, const Seq &qry, const Scoring &sc,
+            AlignMode mode, u32 band)
+{
+    return gotohBandedImpl(ref, qry, sc, mode, band);
+}
+
+i32
+gotohBandedScoreOnly(const Seq &ref, const Seq &qry, const Scoring &sc,
+                     u32 band)
+{
+    return gotohBandedScoreOnlyImpl(ref, qry, sc, band);
+}
+
+i32
+gotohBandedScoreOnly(const PackedSeq &ref, const Seq &qry,
+                     const Scoring &sc, u32 band)
+{
+    return gotohBandedScoreOnlyImpl(ref, qry, sc, band);
 }
 
 } // namespace genax

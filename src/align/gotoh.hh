@@ -73,6 +73,12 @@ AlignResult gotohAlign(const Seq &ref, const Seq &qry, const Scoring &sc,
 AlignResult gotohBanded(const Seq &ref, const Seq &qry, const Scoring &sc,
                         AlignMode mode, u32 band);
 
+/** Banded Gotoh against a 2-bit packed reference window. The packed
+ *  form quarters the window's cache footprint, which is what the
+ *  extension fallback path feeds it (see PackedSeq::packWindow). */
+AlignResult gotohBanded(const PackedSeq &ref, const Seq &qry,
+                        const Scoring &sc, AlignMode mode, u32 band);
+
 /**
  * Score-only banded Gotoh Extend pass (no traceback storage).
  * This is the software throughput baseline kernel (SeqAn stand-in)
@@ -80,6 +86,10 @@ AlignResult gotohBanded(const Seq &ref, const Seq &qry, const Scoring &sc,
  */
 i32 gotohBandedScoreOnly(const Seq &ref, const Seq &qry, const Scoring &sc,
                          u32 band);
+
+/** Score-only banded Extend against a 2-bit packed reference. */
+i32 gotohBandedScoreOnly(const PackedSeq &ref, const Seq &qry,
+                         const Scoring &sc, u32 band);
 
 } // namespace genax
 

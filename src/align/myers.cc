@@ -46,10 +46,10 @@ advanceBlock(u64 &pv, u64 &mv, u64 eq, int hin)
     return hout;
 }
 
-} // namespace
-
+/** Body shared by the Seq and 2-bit PackedSeq text overloads. */
+template <typename TextT>
 u64
-myersEditDistance(const Seq &pattern, const Seq &text)
+myersImpl(const Seq &pattern, const TextT &text)
 {
     const size_t m = pattern.size();
     const size_t n = text.size();
@@ -99,6 +99,20 @@ myersEditDistance(const Seq &pattern, const Seq &text)
         }
     }
     return score;
+}
+
+} // namespace
+
+u64
+myersEditDistance(const Seq &pattern, const Seq &text)
+{
+    return myersImpl(pattern, text);
+}
+
+u64
+myersEditDistance(const Seq &pattern, const PackedSeq &text)
+{
+    return myersImpl(pattern, text);
 }
 
 } // namespace genax

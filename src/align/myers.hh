@@ -22,6 +22,10 @@ namespace genax {
  */
 u64 myersEditDistance(const Seq &pattern, const Seq &text);
 
+/** Same, scanning a 2-bit packed text (the padded reference windows
+ *  the extension paths build with PackedSeq::packWindow). */
+u64 myersEditDistance(const Seq &pattern, const PackedSeq &text);
+
 } // namespace genax
 
 #endif // GENAX_ALIGN_MYERS_HH

@@ -92,6 +92,31 @@ PackedSeq::PackedSeq(const Seq &s)
         push_back(b);
 }
 
+PackedSeq
+PackedSeq::packWindow(const Seq &src, size_t begin, size_t end,
+                      bool reversed)
+{
+    GENAX_ASSERT(begin <= end && end <= src.size(),
+                 "packWindow out of bounds: begin=", begin,
+                 " end=", end, " size=", src.size());
+    PackedSeq out;
+    const size_t len = end - begin;
+    out._words.assign((len + 31) / 32, 0);
+    out._size = len;
+    if (reversed) {
+        for (size_t i = 0; i < len; ++i) {
+            const u64 b = src[end - 1 - i] & 3;
+            out._words[i >> 5] |= b << ((i & 31) * 2);
+        }
+    } else {
+        for (size_t i = 0; i < len; ++i) {
+            const u64 b = src[begin + i] & 3;
+            out._words[i >> 5] |= b << ((i & 31) * 2);
+        }
+    }
+    return out;
+}
+
 void
 PackedSeq::push_back(Base b)
 {

@@ -82,6 +82,15 @@ class PackedSeq
     /** Construct from an unpacked sequence. */
     explicit PackedSeq(const Seq &s);
 
+    /**
+     * Pack the window src[begin, end) directly, without an
+     * intermediate Seq copy; with `reversed` the bases are stored in
+     * reverse order (plain reversal, no complement). This is how the
+     * extension paths build their 2-bit reference windows.
+     */
+    static PackedSeq packWindow(const Seq &src, size_t begin,
+                                size_t end, bool reversed = false);
+
     /** Number of bases stored. */
     size_t size() const { return _size; }
     bool empty() const { return _size == 0; }

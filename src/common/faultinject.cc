@@ -18,7 +18,85 @@ hashSite(std::string_view site)
     return h;
 }
 
+/** splitmix64 finalizer — the avalanche behind keyed decisions. */
+u64
+mix64(u64 z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Pure keyed decision stream: uniform [0,1) from (site seed mixed
+ *  with the site name, scope key, within-scope ordinal). */
+double
+keyedU01(u64 seed_base, u64 key, u64 ordinal)
+{
+    const u64 h = mix64(seed_base ^ mix64(key) ^ mix64(ordinal));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/**
+ * Thread-local keyed-decision context. `serial` distinguishes scope
+ * instances so the per-site ordinal counters restart whenever a
+ * different scope (new or restored-outer) becomes current; a scope's
+ * decisions therefore only depend on hits made while it is the
+ * innermost one.
+ */
+struct KeyedContext
+{
+    bool active = false;
+    u64 key = 0;
+    u64 serial = 0;
+    u64 nextSerial = 0;
+    struct SiteOrdinal
+    {
+        u64 serial = 0;
+        u64 count = 0;
+    };
+    std::map<std::string, SiteOrdinal, std::less<>> ordinals;
+
+    u64
+    nextOrdinal(std::string_view site)
+    {
+        const auto it = ordinals.find(site);
+        SiteOrdinal &o = it != ordinals.end()
+                             ? it->second
+                             : ordinals[std::string(site)];
+        if (o.serial != serial) {
+            o.serial = serial;
+            o.count = 0;
+        }
+        return ++o.count;
+    }
+};
+
+thread_local KeyedContext tlKeyed;
+
 } // namespace
+
+FaultKeyScope::FaultKeyScope(u64 key)
+    : _prevKey(tlKeyed.key), _prevSerial(tlKeyed.serial),
+      _prevActive(tlKeyed.active)
+{
+    tlKeyed.active = true;
+    tlKeyed.key = key;
+    tlKeyed.serial = ++tlKeyed.nextSerial;
+}
+
+FaultKeyScope::~FaultKeyScope()
+{
+    tlKeyed.active = _prevActive;
+    tlKeyed.key = _prevKey;
+    tlKeyed.serial = _prevSerial;
+}
+
+u64
+FaultKeyScope::mixKey(u64 a, u64 b)
+{
+    return mix64(a ^ mix64(b));
+}
 
 FaultInjector &
 FaultInjector::instance()
@@ -59,6 +137,14 @@ FaultInjector::reset()
 bool
 FaultInjector::shouldFire(std::string_view site)
 {
+    // The keyed ordinal is thread-local: bump it outside the registry
+    // lock, and unconditionally, so an armed site consumes the same
+    // decision stream whether or not earlier hits were capped.
+    const bool keyed = tlKeyed.active;
+    u64 ordinal = 0;
+    if (keyed)
+        ordinal = tlKeyed.nextOrdinal(site);
+
     std::lock_guard<std::mutex> lock(_mu);
     const auto it = _sites.find(site);
     if (it == _sites.end())
@@ -68,11 +154,23 @@ FaultInjector::shouldFire(std::string_view site)
     if (s.fires >= s.spec.maxFires)
         return false;
     bool fire = false;
-    if (s.spec.fireOnNth != 0 && s.hits == s.spec.fireOnNth)
-        fire = true;
-    if (!fire && s.spec.probability > 0 &&
-        s.rng.chance(s.spec.probability)) {
-        fire = true;
+    if (keyed) {
+        // Pure function of (site seed, scope key, ordinal): identical
+        // at any thread count and in any completion order.
+        if (s.spec.fireOnNth != 0 && ordinal == s.spec.fireOnNth)
+            fire = true;
+        if (!fire && s.spec.probability > 0 &&
+            keyedU01(s.spec.seed ^ hashSite(site), tlKeyed.key,
+                     ordinal) < s.spec.probability) {
+            fire = true;
+        }
+    } else {
+        if (s.spec.fireOnNth != 0 && s.hits == s.spec.fireOnNth)
+            fire = true;
+        if (!fire && s.spec.probability > 0 &&
+            s.rng.chance(s.spec.probability)) {
+            fire = true;
+        }
     }
     if (fire)
         ++s.fires;

@@ -15,6 +15,19 @@
  * thread-safe; firing decisions are deterministic given (site seed,
  * hit ordinal), so a failing chaos run replays exactly.
  *
+ * Parallel regions and keyed decisions: a global hit ordinal is only
+ * reproducible when hits arrive in one deterministic order, which
+ * stops being true once work is sharded across pool workers. Code
+ * that processes independent work items concurrently opens a
+ * FaultKeyScope with a deterministic per-item key (e.g. a hash of
+ * (segment, read)); every hit inside the scope is then decided as a
+ * pure function of (site seed, key, within-item hit ordinal) instead
+ * of arrival order, so the same spec fires on exactly the same work
+ * at any thread count. Inside a scope the n= rule counts hits within
+ * the item, not process-wide, and max= still caps total fires but
+ * which concurrent hit gets suppressed is scheduling-dependent —
+ * deterministic multi-threaded replay should stick to p=/n= rules.
+ *
  * Site naming convention (see DESIGN.md): "<layer>.<unit>.<event>",
  * e.g. "io.fastq.record" or "sillax.lane.issue". Constants for all
  * registered sites live in namespace fault so call sites and tests
@@ -144,6 +157,32 @@ faultFires(const char *site)
         return false;
     return fi.shouldFire(site);
 }
+
+/**
+ * RAII deterministic-key scope for fault points inside parallel
+ * regions (see the keyed-decision notes in the file header). While a
+ * thread holds a scope, every faultFires() it evaluates is decided by
+ * (site seed, key, within-scope hit ordinal) — a pure function, so
+ * the decision is identical no matter which worker runs the item or
+ * in what order items complete. Scopes nest; the innermost key wins.
+ */
+class FaultKeyScope
+{
+  public:
+    explicit FaultKeyScope(u64 key);
+    ~FaultKeyScope();
+
+    FaultKeyScope(const FaultKeyScope &) = delete;
+    FaultKeyScope &operator=(const FaultKeyScope &) = delete;
+
+    /** Mix two values into a decorrelated scope key (splitmix64). */
+    static u64 mixKey(u64 a, u64 b);
+
+  private:
+    u64 _prevKey;
+    u64 _prevSerial;
+    bool _prevActive;
+};
 
 /**
  * RAII fault plan for tests: arms sites on construction and restores

@@ -1,75 +1,51 @@
 /**
  * @file
- * Minimal data-parallel helper used by the multi-threaded software
- * baselines.
+ * Data-parallel helper used by the batch paths (software aligners and
+ * the GenAx system model). A thin wrapper over the persistent
+ * work-stealing ThreadPool: chunked dynamic scheduling replaces the
+ * old one-static-chunk-per-spawned-thread scheme, so skewed per-item
+ * cost no longer serializes on the slowest chunk and repeated calls
+ * stop paying thread-spawn cost.
  */
 
 #ifndef GENAX_COMMON_PARALLEL_HH
 #define GENAX_COMMON_PARALLEL_HH
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
 
+#include "common/threadpool.hh"
 #include "common/types.hh"
 
 namespace genax {
 
 /**
- * Run fn(begin, end) over [0, n) split into `threads` contiguous
- * chunks. With threads <= 1 the call runs inline.
+ * Run fn(begin, end) over [0, n) split into dynamically-scheduled
+ * chunks executed by up to `threads` concurrent runners on the
+ * process-wide ThreadPool. `threads` == 0 means all hardware
+ * threads; with an effective width of 1 (or n < 2) the call runs
+ * inline on the caller.
  *
- * Exception-safe: a throw from a worker does not std::terminate the
- * process. All workers are always joined, and the first exception
- * captured (in completion order) is rethrown to the caller once every
- * thread has finished; later exceptions are swallowed. This also
- * keeps sanitizer reports from worker threads attributable instead of
- * dying inside a detached unwind.
+ * fn may be invoked many times per runner, each time with a disjoint
+ * subrange; the union of all subranges is exactly [0, n).
+ *
+ * Exception-safe: a throw from a chunk body does not std::terminate
+ * the process and does not abandon the region. Every chunk is still
+ * attempted, the caller blocks until the region has drained, and the
+ * first captured exception is then rethrown; later exceptions are
+ * swallowed. This keeps sanitizer reports from worker threads
+ * attributable instead of dying inside a detached unwind.
  */
 template <typename Fn>
 void
 parallelFor(u64 n, unsigned threads, Fn &&fn)
 {
-    if (threads <= 1 || n < 2) {
+    const unsigned width = ThreadPool::resolveWidth(threads);
+    if (width <= 1 || n < 2) {
         fn(u64{0}, n);
         return;
     }
-    threads = std::min<u64>(threads, n);
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    const u64 chunk = (n + threads - 1) / threads;
-    try {
-        for (unsigned t = 0; t < threads; ++t) {
-            const u64 lo = t * chunk;
-            const u64 hi = std::min(n, lo + chunk);
-            if (lo >= hi)
-                break;
-            pool.emplace_back([&fn, &error_mutex, &first_error, lo,
-                               hi]() {
-                try {
-                    fn(lo, hi);
-                } catch (...) {
-                    const std::lock_guard<std::mutex> g(error_mutex);
-                    if (!first_error)
-                        first_error = std::current_exception();
-                }
-            });
-        }
-    } catch (...) {
-        // Thread creation failed: join what was launched, then let
-        // the spawn failure propagate.
-        for (auto &th : pool)
-            th.join();
-        throw;
-    }
-    for (auto &th : pool)
-        th.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    ThreadPool::global().parallelFor(
+        n, width, [&fn](unsigned, u64 lo, u64 hi) { fn(lo, hi); });
 }
 
 } // namespace genax

@@ -1,0 +1,121 @@
+#include "common/threadpool.hh"
+
+#include "common/check.hh"
+
+namespace genax {
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    workers = std::max(1u, workers);
+    _queues.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        _queues.push_back(std::make_unique<WorkerQueue>());
+    _threads.reserve(workers);
+    try {
+        for (unsigned i = 0; i < workers; ++i)
+            _threads.emplace_back([this, i]() { workerLoop(i); });
+    } catch (...) {
+        // Thread spawn failed part-way: shut down what started.
+        _stop.store(true);
+        _cv.notify_all();
+        for (auto &t : _threads)
+            t.join();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lk(_mu);
+        _stop.store(true);
+    }
+    _cv.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(resolveWidth(0));
+    return pool;
+}
+
+unsigned
+ThreadPool::resolveWidth(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    GENAX_CHECK(task != nullptr, "null task submitted to thread pool");
+    const u64 victim = _rr.fetch_add(1, std::memory_order_relaxed) %
+                       _queues.size();
+    {
+        const std::lock_guard<std::mutex> lk(_queues[victim]->mu);
+        _queues[victim]->tasks.push_back(std::move(task));
+    }
+    {
+        // The increment must synchronize with the sleep mutex:
+        // otherwise it can land inside a worker's locked
+        // predicate-check window and the notify is lost.
+        const std::lock_guard<std::mutex> lk(_mu);
+        _pending.fetch_add(1);
+    }
+    _cv.notify_one();
+}
+
+std::function<void()>
+ThreadPool::grab(unsigned self)
+{
+    // Own deque first (front: oldest local work keeps FIFO fairness
+    // for fire-and-forget tasks) ...
+    {
+        WorkerQueue &own = *_queues[self];
+        const std::lock_guard<std::mutex> lk(own.mu);
+        if (!own.tasks.empty()) {
+            auto task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return task;
+        }
+    }
+    // ... then steal from the back of the other deques.
+    for (size_t i = 1; i < _queues.size(); ++i) {
+        WorkerQueue &victim = *_queues[(self + i) % _queues.size()];
+        const std::lock_guard<std::mutex> lk(victim.mu);
+        if (!victim.tasks.empty()) {
+            auto task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            return task;
+        }
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::workerLoop(unsigned id)
+{
+    for (;;) {
+        if (auto task = grab(id)) {
+            _pending.fetch_sub(1);
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(_mu);
+        _cv.wait(lk, [this]() {
+            return _stop.load() ||
+                   _pending.load(std::memory_order_relaxed) > 0;
+        });
+        // On shutdown keep draining until every queue is empty so no
+        // submitted task is silently dropped.
+        if (_stop.load() && _pending.load() == 0)
+            return;
+    }
+}
+
+} // namespace genax

@@ -51,10 +51,7 @@ unmappedRecord(const FastqRecord &read)
     rec.qname = read.name;
     rec.flag = kSamUnmapped;
     rec.seq = decode(read.seq);
-    std::string qual;
-    for (u8 q : read.qual)
-        qual.push_back(static_cast<char>(q + 33));
-    rec.qual = qual.empty() ? "*" : qual;
+    rec.qual = phredToAscii(read.qual);
     return rec;
 }
 
@@ -116,6 +113,7 @@ alignToSam(const std::vector<FastaRecord> &ref,
         cfg.editBound = opts.band;
         cfg.segmentCount = opts.segments;
         cfg.segmentOverlap = opts.segmentOverlap;
+        cfg.threads = opts.threads;
         GenAxSystem system(contigs.sequence(), cfg);
         maps = system.alignAll(seqs);
         res.perf = system.perf();
@@ -171,12 +169,7 @@ alignToSam(const std::vector<FastaRecord> &ref,
             rec.editDistance =
                 static_cast<i32>(m.cigar.editDistance());
         }
-        std::string qual;
-        for (u8 q : reads[i].qual)
-            qual.push_back(static_cast<char>(q + 33));
-        if (m.mapped && m.reverse)
-            std::reverse(qual.begin(), qual.end());
-        rec.qual = qual.empty() ? "*" : qual;
+        rec.qual = phredToAscii(reads[i].qual, m.mapped && m.reverse);
         sam.write(rec);
     }
     if (!out)
@@ -211,12 +204,7 @@ pairedRecord(const ContigMap &contigs, const FastqRecord &read,
                               ? reverseComplement(read.seq)
                               : read.seq;
     rec.seq = decode(oriented);
-    std::string qual;
-    for (u8 q : read.qual)
-        qual.push_back(static_cast<char>(q + 33));
-    if (self.mapped && self.reverse)
-        std::reverse(qual.begin(), qual.end());
-    rec.qual = qual.empty() ? "*" : qual;
+    rec.qual = phredToAscii(read.qual, self.mapped && self.reverse);
 
     if (!self.mapped) {
         rec.flag |= kSamUnmapped;

@@ -65,7 +65,10 @@ struct PipelineOptions
     u32 band = 40;         //!< edit bound / extension band
     u64 segments = 8;      //!< GenAx engine only
     u64 segmentOverlap = 256;
-    unsigned threads = 1;  //!< software engine only
+    /** Host worker threads for either engine; 0 = all hardware
+     *  threads. Output and modelled results are identical at any
+     *  width. */
+    unsigned threads = 1;
     /** Malformed input records tolerated (skipped and counted) per
      *  input file before the run fails with InvalidInput. */
     u64 maxMalformed = 1000;

@@ -1,9 +1,12 @@
 #include "genax/system.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "genax/seeding_sim.hh"
 
 namespace genax {
@@ -37,6 +40,112 @@ seedingCycles(const SeedingStats &s, u32 issue_width)
            2.0 * static_cast<double>(s.cam.binarySteps);
 }
 
+/**
+ * A per-read candidate list plus an open-addressing (pos, strand)
+ * index over it. Overlapping segments rediscover identical
+ * alignments, and the old linear dedup rescan was the host's worst
+ * quadratic hot spot at large candidate caps; the flat hash makes
+ * every probe O(1) while reproducing the list semantics exactly —
+ * in-place replacement on a better score, append order otherwise,
+ * and the same prune rule — so the emitted mappings are unchanged.
+ */
+struct CandidateSet
+{
+    std::vector<Mapping> list;
+    std::vector<u32> table; //!< candidate index + 1; 0 = empty
+    u64 mask = 0;
+
+    static u64
+    keyOf(const Mapping &m)
+    {
+        return (m.pos << 1) | (m.reverse ? 1u : 0u);
+    }
+
+    static u64
+    hashKey(u64 k)
+    {
+        k ^= k >> 33;
+        k *= 0xff51afd7ed558ccdULL;
+        k ^= k >> 33;
+        return k;
+    }
+
+    void
+    rehash(u64 slots)
+    {
+        table.assign(slots, 0);
+        mask = slots - 1;
+        for (u32 i = 0; i < list.size(); ++i) {
+            u64 h = hashKey(keyOf(list[i])) & mask;
+            while (table[h] != 0)
+                h = (h + 1) & mask;
+            table[h] = i + 1;
+        }
+    }
+
+    void
+    insert(const Mapping &m, u32 cap)
+    {
+        if (table.empty())
+            rehash(64);
+        const u64 key = keyOf(m);
+        u64 h = hashKey(key) & mask;
+        while (table[h] != 0) {
+            Mapping &c = list[table[h] - 1];
+            if (keyOf(c) == key) {
+                if (m.score > c.score)
+                    c = m;
+                return;
+            }
+            h = (h + 1) & mask;
+        }
+        table[h] = static_cast<u32>(list.size()) + 1;
+        list.push_back(m);
+        // Bound memory: prune the tail when well over the cap (the
+        // same threshold and comparator as the pre-hash code, so the
+        // surviving set is identical).
+        if (list.size() > 4 * static_cast<size_t>(cap)) {
+            std::partial_sort(list.begin(), list.begin() + 2 * cap,
+                              list.end(),
+                              [](const Mapping &a, const Mapping &b) {
+                                  return a.score > b.score;
+                              });
+            list.resize(2 * cap);
+            rehash(std::max<u64>(64, std::bit_ceil(u64{8} * cap)));
+        } else if (2 * (list.size() + 1) > mask + 1) {
+            rehash(2 * (mask + 1));
+        }
+    }
+};
+
+/**
+ * Per-runner shard of the mutable alignment state. Each parallelFor
+ * slot owns one shard, so the hot path touches no shared mutable
+ * state; shards are reduced in slot order after the pass. Every
+ * reduced quantity is an integer sum — and a SillaX lane's cycle
+ * count for a job depends only on the job itself — so the merged
+ * perf report is bit-identical at any thread count.
+ */
+struct WorkerShard
+{
+    SillaXLane lane;
+    u64 extensionJobs = 0;
+    u64 laneFaults = 0;
+    u64 degradedJobs = 0;
+    SeedingStats segSeeding; //!< current segment only
+
+    explicit WorkerShard(const GenAxConfig &cfg)
+        : lane(cfg.editBound, cfg.scoring, cfg.sillaxFreqGhz)
+    {
+    }
+};
+
+u64
+camOps(const SeedingStats &s)
+{
+    return s.cam.searches + s.cam.loads + s.cam.binarySteps;
+}
+
 } // namespace
 
 GenAxSystem::GenAxSystem(const Seq &ref, const GenAxConfig &cfg)
@@ -49,35 +158,6 @@ GenAxSystem::GenAxSystem(const Seq &ref, const GenAxConfig &cfg)
     GENAX_CHECK(cfg.seedingLanes > 0, "need at least one seeding lane");
     GENAX_CHECK(cfg.editBound > 0 && cfg.editBound <= kMaxSillaK,
                 "edit bound out of range: ", cfg.editBound);
-    _lanes.reserve(cfg.sillaxLanes);
-    for (u32 l = 0; l < cfg.sillaxLanes; ++l)
-        _lanes.emplace_back(cfg.editBound, cfg.scoring,
-                            cfg.sillaxFreqGhz);
-}
-
-void
-GenAxSystem::insertCandidate(std::vector<Mapping> &cands,
-                             const Mapping &m, u32 cap)
-{
-    // Overlapping segments can rediscover the identical alignment;
-    // keep one entry per (position, strand).
-    for (auto &c : cands) {
-        if (c.pos == m.pos && c.reverse == m.reverse) {
-            if (m.score > c.score)
-                c = m;
-            return;
-        }
-    }
-    cands.push_back(m);
-    // Bound memory: prune the tail when well over the cap.
-    if (cands.size() > 4 * static_cast<size_t>(cap)) {
-        std::partial_sort(
-            cands.begin(), cands.begin() + 2 * cap, cands.end(),
-            [](const Mapping &a, const Mapping &b) {
-                return a.score > b.score;
-            });
-        cands.resize(2 * cap);
-    }
 }
 
 std::vector<std::vector<Mapping>>
@@ -87,10 +167,20 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
     _perf = {};
     _perf.reads = reads.size();
     _perf.segments = _segments.count();
-    for (auto &lane : _lanes)
-        lane.resetStats();
 
-    std::vector<std::vector<Mapping>> cands(reads.size());
+    const unsigned width = ThreadPool::resolveWidth(_cfg.threads);
+
+    // One shard per runner slot. The host-side lane count is a
+    // sharding artifact (one lane object per worker); the *model*
+    // still charges cfg.sillaxLanes lanes below, and since a lane's
+    // cycles per job depend only on the job, the summed cycle count
+    // is invariant to how jobs land on shards.
+    std::vector<WorkerShard> shards;
+    shards.reserve(width);
+    for (unsigned s = 0; s < width; ++s)
+        shards.emplace_back(_cfg);
+
+    std::vector<CandidateSet> cands(reads.size());
     std::vector<u8> exact_seen(reads.size(), 0);
     _degraded.assign(reads.size(), 0);
 
@@ -98,35 +188,18 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
     for (const auto &r : reads)
         reads_bytes += (r.size() + 3) / 4;
 
-    // Extension kernel with graceful degradation: a job the lane
-    // refuses (injected issue fault) is re-run on the banded-Gotoh
-    // software kernel instead of being dropped, and the read is
-    // flagged so the pipeline ledger can report it as degraded.
-    const ExtendFn kernel = [this](const Seq &ref_window,
-                                   const Seq &qry) {
-        ++_perf.extensionJobs;
-        SillaXLane &lane = _lanes[_nextLane++ % _lanes.size()];
-        auto attempt = lane.tryExtend(ref_window, qry);
-        if (!attempt.ok()) [[unlikely]] {
-            ++_perf.laneFaults;
-            ++_perf.degradedJobs;
-            _degraded[_currentRead] = 1;
-            return gotohExtendKernel(ref_window, qry, _cfg.scoring,
-                                     _cfg.editBound);
-        }
-        const SillaAlignment &a = *attempt;
-        ExtensionResult out;
-        out.score = a.score;
-        out.refConsumed = a.refEnd;
-        out.qryConsumed = a.qryEnd;
-        for (const auto &e : a.cigar.elems())
-            if (e.op != CigarOp::SoftClip)
-                out.cigar.push(e.op, e.len);
-        return out;
-    };
+    // Per-read seeding work for the optional lane simulation,
+    // indexed by read so concurrent chunks never contend.
+    std::vector<LaneWork> lane_work;
+    if (_cfg.simulateSeedingLanes)
+        lane_work.resize(reads.size());
 
     Cycle lane_cycles_prev = 0;
 
+    // The segment loop stays serial: DRAM streaming is a per-segment
+    // pipeline stage, and keeping its fault point on the main thread
+    // preserves the legacy ordinal-replay semantics. Reads within a
+    // segment are sharded across the pool.
     for (u64 seg = 0; seg < _segments.count(); ++seg) {
         // Stream the segment's tables, reference and the read batch.
         const u64 dram_bytes = _segments.indexTableBytes() +
@@ -146,73 +219,120 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
         }
 
         const KmerIndex index = _segments.buildIndex(seg);
-        SmemEngine engine(index, _cfg.seeding);
 
-        // Per-read seeding work for the optional lane simulation.
-        std::vector<LaneWork> lane_work;
-        if (_cfg.simulateSeedingLanes)
-            lane_work.reserve(reads.size());
-        u64 prev_lookups = 0, prev_cam = 0;
-        auto cam_ops = [](const SeedingStats &s) {
-            return s.cam.searches + s.cam.loads + s.cam.binarySteps;
-        };
+        for (auto &ws : shards)
+            ws.segSeeding = {};
 
-        for (u64 r = 0; r < reads.size(); ++r) {
-            _currentRead = r;
-            for (bool reverse : {false, true}) {
-                const Seq oriented =
-                    reverse ? reverseComplement(reads[r]) : reads[r];
-                const auto smems = engine.seed(oriented);
-                if (smems.empty())
-                    continue;
+        ThreadPool::global().parallelFor(
+            reads.size(), width,
+            [&](unsigned slot, u64 lo, u64 hi) {
+                WorkerShard &ws = shards[slot];
+                // The index is shared read-only; each chunk gets its
+                // own engine (it accumulates stats and CAM state).
+                SmemEngine engine(index, _cfg.seeding);
+                u64 prev_lookups = 0, prev_cam = 0;
+                u64 cur_read = 0;
 
-                // Exact whole-read match: no extension needed
-                // (Section V's common-case optimization).
-                if (smems.size() == 1 && smems[0].qryBegin == 0 &&
-                    smems[0].qryEnd == oriented.size()) {
-                    if (!exact_seen[r]) {
-                        exact_seen[r] = 1;
-                        ++_perf.exactReads;
+                // Extension kernel with graceful degradation: a job
+                // the lane refuses (injected issue fault) is re-run
+                // on the banded-Gotoh software kernel instead of
+                // being dropped, and the read is flagged so the
+                // pipeline ledger can report it as degraded.
+                const ExtendFn kernel = [&](const PackedSeq &rw,
+                                            const Seq &qry) {
+                    ++ws.extensionJobs;
+                    auto attempt = ws.lane.tryExtend(rw.unpack(), qry);
+                    if (!attempt.ok()) [[unlikely]] {
+                        ++ws.laneFaults;
+                        ++ws.degradedJobs;
+                        _degraded[cur_read] = 1;
+                        return gotohExtendKernel(rw, qry, _cfg.scoring,
+                                                 _cfg.editBound);
                     }
-                    for (u32 local : smems[0].positions) {
-                        Mapping m;
-                        m.mapped = true;
-                        m.reverse = reverse;
-                        m.pos = _segments.toGlobal(seg, local);
-                        m.score = static_cast<i32>(oriented.size()) *
-                                  _cfg.scoring.match;
-                        m.cigar.push(CigarOp::Match,
-                                     static_cast<u32>(oriented.size()));
-                        insertCandidate(cands[r], m, max_candidates);
-                    }
-                    continue;
-                }
+                    const SillaAlignment &a = *attempt;
+                    ExtensionResult out;
+                    out.score = a.score;
+                    out.refConsumed = a.refEnd;
+                    out.qryConsumed = a.qryEnd;
+                    for (const auto &e : a.cigar.elems())
+                        if (e.op != CigarOp::SoftClip)
+                            out.cigar.push(e.op, e.len);
+                    return out;
+                };
 
-                const auto anchors = makeAnchors(
-                    smems, _segments.start(seg), reverse, _cfg.anchors);
-                for (const auto &anchor : anchors) {
-                    insertCandidate(
-                        cands[r],
-                        extendAnchor(_ref, oriented, anchor,
-                                     _cfg.scoring, _cfg.editBound,
-                                     kernel),
-                        max_candidates);
+                for (u64 r = lo; r < hi; ++r) {
+                    cur_read = r;
+                    // Fault decisions inside this read are keyed on
+                    // (segment, read) — a pure function of the work
+                    // item, not of arrival order — so an armed plan
+                    // fires identically at any thread count.
+                    FaultKeyScope fault_key(
+                        FaultKeyScope::mixKey(seg + 1, r));
+                    for (bool reverse : {false, true}) {
+                        const Seq oriented =
+                            reverse ? reverseComplement(reads[r])
+                                    : reads[r];
+                        const auto smems = engine.seed(oriented);
+                        if (smems.empty())
+                            continue;
+
+                        // Exact whole-read match: no extension needed
+                        // (Section V's common-case optimization).
+                        if (smems.size() == 1 &&
+                            smems[0].qryBegin == 0 &&
+                            smems[0].qryEnd == oriented.size()) {
+                            exact_seen[r] = 1;
+                            for (u32 local : smems[0].positions) {
+                                Mapping m;
+                                m.mapped = true;
+                                m.reverse = reverse;
+                                m.pos = _segments.toGlobal(seg, local);
+                                m.score =
+                                    static_cast<i32>(oriented.size()) *
+                                    _cfg.scoring.match;
+                                m.cigar.push(
+                                    CigarOp::Match,
+                                    static_cast<u32>(oriented.size()));
+                                cands[r].insert(m, max_candidates);
+                            }
+                            continue;
+                        }
+
+                        const auto anchors =
+                            makeAnchors(smems, _segments.start(seg),
+                                        reverse, _cfg.anchors);
+                        for (const auto &anchor : anchors) {
+                            cands[r].insert(
+                                extendAnchor(_ref, oriented, anchor,
+                                             _cfg.scoring,
+                                             _cfg.editBound, kernel),
+                                max_candidates);
+                        }
+                    }
+                    if (_cfg.simulateSeedingLanes) {
+                        const u64 lookups =
+                            engine.stats().indexLookups;
+                        const u64 cam = camOps(engine.stats());
+                        lane_work[r] = {lookups - prev_lookups,
+                                        cam - prev_cam};
+                        prev_lookups = lookups;
+                        prev_cam = cam;
+                    }
                 }
-            }
-            if (_cfg.simulateSeedingLanes) {
-                const u64 lookups = engine.stats().indexLookups;
-                const u64 cam = cam_ops(engine.stats());
-                lane_work.push_back(
-                    {lookups - prev_lookups, cam - prev_cam});
-                prev_lookups = lookups;
-                prev_cam = cam;
-            }
-        }
+                accumulate(ws.segSeeding, engine.stats());
+            });
+
+        // Deterministic reduction: per-segment seeding stats are u64
+        // sums over shards (in slot order), so the derived seconds
+        // are bit-identical at any thread count.
+        SeedingStats seg_stats;
+        for (const auto &ws : shards)
+            accumulate(seg_stats, ws.segSeeding);
+        accumulate(_perf.seeding, seg_stats);
 
         // Per-segment timing: table streaming overlaps with the
         // previous segment's compute; seeding and extension lanes
         // run concurrently.
-        accumulate(_perf.seeding, engine.stats());
         double seed_sec;
         if (_cfg.simulateSeedingLanes) {
             SeedingSimConfig sim_cfg;
@@ -226,13 +346,13 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
                        (_cfg.seedingFreqGhz * 1e9);
         } else {
             seed_sec =
-                seedingCycles(engine.stats(), _cfg.seedingIssueWidth) /
+                seedingCycles(seg_stats, _cfg.seedingIssueWidth) /
                 (_cfg.seedingLanes * _cfg.seedingFreqGhz * 1e9);
         }
 
         Cycle lane_cycles = 0;
-        for (const auto &lane : _lanes)
-            lane_cycles += lane.stats().totalCycles();
+        for (const auto &ws : shards)
+            lane_cycles += ws.lane.stats().totalCycles();
         const double ext_sec =
             static_cast<double>(lane_cycles - lane_cycles_prev) /
             (_cfg.sillaxLanes * _cfg.sillaxFreqGhz * 1e9);
@@ -244,8 +364,8 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
         _perf.totalSeconds += std::max({dram_sec, seed_sec, ext_sec});
     }
 
-    for (auto &lane : _lanes) {
-        const LaneStats &s = lane.stats();
+    for (const auto &ws : shards) {
+        const LaneStats &s = ws.lane.stats();
         _perf.lanes.jobs += s.jobs;
         _perf.lanes.streamCycles += s.streamCycles;
         _perf.lanes.reduceCycles += s.reduceCycles;
@@ -254,10 +374,15 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
         _perf.lanes.reruns += s.reruns;
         _perf.lanes.jobsWithRerun += s.jobsWithRerun;
         _perf.lanes.issueFaults += s.issueFaults;
+        _perf.extensionJobs += ws.extensionJobs;
+        _perf.laneFaults += ws.laneFaults;
+        _perf.degradedJobs += ws.degradedJobs;
     }
+    for (const u8 seen : exact_seen)
+        _perf.exactReads += seen;
     // Pipeline occupancy: every extension job dispatched by the
     // kernel must be accounted for by exactly one lane or by the
-    // software fallback — the round-robin dispatch dropped or
+    // software fallback — the sharded dispatch dropped or
     // double-counted nothing.
     GENAX_CHECK(_perf.lanes.jobs + _perf.degradedJobs ==
                     _perf.extensionJobs,
@@ -267,20 +392,27 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
                 _perf.extensionJobs);
 
     // Finalize: sort candidates by descending score with the same
-    // deterministic tie-break as the software aligner.
-    for (auto &c : cands) {
-        std::sort(c.begin(), c.end(),
-                  [](const Mapping &a, const Mapping &b) {
-                      if (a.score != b.score)
-                          return a.score > b.score;
-                      if (a.reverse != b.reverse)
-                          return !a.reverse;
-                      return a.pos < b.pos;
-                  });
-        if (c.size() > max_candidates)
-            c.resize(max_candidates);
-    }
-    return cands;
+    // deterministic tie-break as the software aligner. Per-read and
+    // independent, so this also shards cleanly.
+    std::vector<std::vector<Mapping>> out(reads.size());
+    ThreadPool::global().parallelFor(
+        reads.size(), width, [&](unsigned, u64 lo, u64 hi) {
+            for (u64 r = lo; r < hi; ++r) {
+                auto &c = cands[r].list;
+                std::sort(c.begin(), c.end(),
+                          [](const Mapping &a, const Mapping &b) {
+                              if (a.score != b.score)
+                                  return a.score > b.score;
+                              if (a.reverse != b.reverse)
+                                  return !a.reverse;
+                              return a.pos < b.pos;
+                          });
+                if (c.size() > max_candidates)
+                    c.resize(max_candidates);
+                out[r] = std::move(c);
+            }
+        });
+    return out;
 }
 
 std::vector<Mapping>

@@ -58,6 +58,14 @@ struct GenAxConfig
      *  bank conflicts explicitly). */
     bool simulateSeedingLanes = false;
     u32 seedingSramBanks = 32;
+    /**
+     * Host worker threads for the per-segment read loop (0 = all
+     * hardware threads). Purely a host-execution knob: lanes and
+     * stats are sharded per worker and reduced as order-invariant
+     * sums, so mappings, the perf report and the fault-injection
+     * replay are identical at any width (see DESIGN.md).
+     */
+    unsigned threads = 1;
 };
 
 /** Aggregate performance/energy report from one alignAll() pass. */
@@ -180,20 +188,12 @@ class GenAxSystem
                               u64 segments);
 
   private:
-    /** Insert a mapping into a per-read candidate list, keeping the
-     *  best entry per (position, strand). */
-    static void insertCandidate(std::vector<Mapping> &cands,
-                                const Mapping &m, u32 cap);
-
     const Seq &_ref;
     GenAxConfig _cfg;
     GenomeSegments _segments;
     DramModel _dram;
-    std::vector<SillaXLane> _lanes;
-    u64 _nextLane = 0;
     GenAxPerf _perf;
     std::vector<u8> _degraded; //!< per-read fallback flags
-    u64 _currentRead = 0;      //!< read whose jobs the kernel serves
 };
 
 } // namespace genax

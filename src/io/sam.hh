@@ -52,6 +52,14 @@ struct SamRecord
     i32 editDistance = -1;    //!< emitted as NM:i tag when >= 0
 };
 
+/**
+ * Encode numeric Phred scores as the SAM QUAL string (Phred+33),
+ * optionally reversed (reverse-strand records store the qualities in
+ * read-reversed order). Empty input encodes as "*" per the spec.
+ */
+std::string phredToAscii(const std::vector<u8> &qual,
+                         bool reversed = false);
+
 /** Reference-sequence description for the @SQ header line. */
 struct SamRefSeq
 {
@@ -90,6 +98,7 @@ class SamWriter
   private:
     std::ostream &_out;
     u64 _count = 0;
+    std::string _line; //!< reused record buffer (one write per line)
 };
 
 } // namespace genax

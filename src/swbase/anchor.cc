@@ -40,12 +40,13 @@ makeAnchors(const std::vector<Smem> &smems, u64 seg_start, bool reverse,
     return out;
 }
 
+namespace {
+
+/** Shared kernel body: extract the anchored-extension view of the
+ *  banded alignment result. */
 ExtensionResult
-gotohExtendKernel(const Seq &ref_window, const Seq &qry,
-                  const Scoring &sc, u32 band)
+extractExtension(const AlignResult &r)
 {
-    const AlignResult r =
-        gotohBanded(ref_window, qry, sc, AlignMode::Extend, band);
     GENAX_ASSERT(r.valid, "banded extend cannot fail");
     ExtensionResult out;
     out.score = r.score;
@@ -55,16 +56,6 @@ gotohExtendKernel(const Seq &ref_window, const Seq &qry,
         if (e.op != CigarOp::SoftClip)
             out.cigar.push(e.op, e.len);
     return out;
-}
-
-namespace {
-
-/** Reverse a sequence (plain order reversal, no complement). */
-Seq
-reversed(Seq::const_iterator begin, Seq::const_iterator end)
-{
-    return Seq(std::make_reverse_iterator(end),
-               std::make_reverse_iterator(begin));
 }
 
 /** Reverse the element order of an extension cigar. */
@@ -78,6 +69,22 @@ reversedCigar(const Cigar &c)
 
 } // namespace
 
+ExtensionResult
+gotohExtendKernel(const Seq &ref_window, const Seq &qry,
+                  const Scoring &sc, u32 band)
+{
+    return extractExtension(
+        gotohBanded(ref_window, qry, sc, AlignMode::Extend, band));
+}
+
+ExtensionResult
+gotohExtendKernel(const PackedSeq &ref_window, const Seq &qry,
+                  const Scoring &sc, u32 band)
+{
+    return extractExtension(
+        gotohBanded(ref_window, qry, sc, AlignMode::Extend, band));
+}
+
 Mapping
 extendAnchor(const Seq &ref, const Seq &read, const Anchor &anchor,
              const Scoring &sc, u32 margin, const ExtendFn &extend)
@@ -87,29 +94,28 @@ extendAnchor(const Seq &ref, const Seq &read, const Anchor &anchor,
     GENAX_ASSERT(anchor.refPos < ref.size(), "anchor beyond reference");
     const u32 seed_len = anchor.seedLen();
 
-    // Right extension: read tail vs reference after the seed.
+    // Right extension: read tail vs reference after the seed. The
+    // window is packed straight from the genome — no Seq copy.
     ExtensionResult right;
     const u64 seed_ref_end = anchor.refPos + seed_len;
     if (anchor.qryEnd < len && seed_ref_end < ref.size()) {
         const u64 want = (len - anchor.qryEnd) + margin;
         const u64 end = std::min<u64>(ref.size(), seed_ref_end + want);
-        const Seq ref_window(ref.begin() + static_cast<i64>(seed_ref_end),
-                             ref.begin() + static_cast<i64>(end));
+        const PackedSeq ref_window =
+            PackedSeq::packWindow(ref, seed_ref_end, end);
         const Seq qry(read.begin() + anchor.qryEnd, read.end());
         right = extend(ref_window, qry);
     }
 
-    // Left extension: reversed read head vs reversed reference
-    // before the seed.
+    // Left extension: reversed read head vs the reference before the
+    // seed, packed in reverse order directly from the genome.
     ExtensionResult left;
     if (anchor.qryBegin > 0 && anchor.refPos > 0) {
         const u64 want = anchor.qryBegin + margin;
         const u64 begin = anchor.refPos >= want ? anchor.refPos - want : 0;
-        const Seq ref_window = reversed(
-            ref.begin() + static_cast<i64>(begin),
-            ref.begin() + static_cast<i64>(anchor.refPos));
-        const Seq qry =
-            reversed(read.begin(), read.begin() + anchor.qryBegin);
+        const PackedSeq ref_window = PackedSeq::packWindow(
+            ref, begin, anchor.refPos, /*reversed=*/true);
+        const Seq qry(read.rend() - anchor.qryBegin, read.rend());
         left = extend(ref_window, qry);
     }
 

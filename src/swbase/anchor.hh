@@ -73,8 +73,14 @@ struct ExtensionResult
     Cigar cigar; //!< aligned part only, no soft clips
 };
 
-using ExtendFn = std::function<ExtensionResult(const Seq &ref_window,
-                                               const Seq &qry)>;
+/**
+ * Extension kernel callable. The reference window arrives 2-bit
+ * packed: extendAnchor packs it straight from the genome (reversed
+ * in place for the left extension) so the kernel streams a quarter
+ * of the bytes and no intermediate Seq copy is ever materialised.
+ */
+using ExtendFn = std::function<ExtensionResult(
+    const PackedSeq &ref_window, const Seq &qry)>;
 
 /**
  * Extend an anchor in both directions and compose the full mapping.
@@ -91,6 +97,12 @@ Mapping extendAnchor(const Seq &ref, const Seq &read,
 /** Banded-Gotoh extension kernel (the software baseline's). */
 ExtensionResult gotohExtendKernel(const Seq &ref_window, const Seq &qry,
                                   const Scoring &sc, u32 band);
+
+/** Same kernel against a 2-bit packed reference window — the form
+ *  the ExtendFn contract delivers. */
+ExtensionResult gotohExtendKernel(const PackedSeq &ref_window,
+                                  const Seq &qry, const Scoring &sc,
+                                  u32 band);
 
 } // namespace genax
 

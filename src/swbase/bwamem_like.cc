@@ -38,7 +38,7 @@ BwaMemLike::alignRead(const Seq &read) const
         }
     };
 
-    const ExtendFn kernel = [this](const Seq &ref_window,
+    const ExtendFn kernel = [this](const PackedSeq &ref_window,
                                    const Seq &qry) {
         return gotohExtendKernel(ref_window, qry, _cfg.scoring,
                                  _cfg.band);
@@ -73,7 +73,7 @@ std::vector<Mapping>
 BwaMemLike::candidates(const Seq &read, u32 max_out) const
 {
     SmemEngine engine(*_index, _cfg.seeding);
-    const ExtendFn kernel = [this](const Seq &ref_window,
+    const ExtendFn kernel = [this](const PackedSeq &ref_window,
                                    const Seq &qry) {
         return gotohExtendKernel(ref_window, qry, _cfg.scoring,
                                  _cfg.band);

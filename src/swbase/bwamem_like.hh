@@ -31,7 +31,9 @@ struct AlignerConfig
     AnchorConfig anchors;
     Scoring scoring;
     u32 band = 16;         //!< extension band (the edit bound K)
-    unsigned threads = 1;  //!< alignAll() worker threads
+    /** alignAll() worker threads; 0 = all hardware threads.
+     *  Results are identical at any width. */
+    unsigned threads = 1;
 };
 
 /** Whole-genome CPU aligner. */

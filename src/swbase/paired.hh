@@ -61,7 +61,9 @@ class PairedAligner
      */
     PairMapping alignPair(const Seq &r1, const Seq &r2) const;
 
-    /** Align a batch of pairs with the given worker-thread count. */
+    /** Align a batch of pairs with the given worker-thread count
+     *  (0 = all hardware threads); results are identical at any
+     *  width. */
     std::vector<PairMapping>
     alignAllPairs(const std::vector<Seq> &r1s,
                   const std::vector<Seq> &r2s,

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * End-to-end determinism tests for the sharded batch engine: the SAM
+ * byte stream, the PipelineResult outcome ledger, and the modelled
+ * GenAxPerf numbers must be identical at every host thread count —
+ * with and without an armed fault-injection plan. This is the
+ * user-visible contract behind `genax_align --threads N`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/faultinject.hh"
+#include "genax/pipeline.hh"
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
+
+namespace genax {
+namespace {
+
+struct Workload
+{
+    std::vector<FastaRecord> ref;
+    std::vector<FastqRecord> reads;
+};
+
+Workload
+makeWorkload()
+{
+    RefGenConfig rcfg;
+    rcfg.length = 30000;
+    rcfg.seed = 1234;
+    const Seq ref = generateReference(rcfg);
+
+    ReadSimConfig rs;
+    rs.numReads = 150;
+    rs.seed = 5678;
+    const auto sim = simulateReads(ref, rs);
+
+    Workload w;
+    w.ref.resize(1);
+    w.ref[0].name = "det_ref";
+    w.ref[0].seq = ref;
+    w.reads.resize(sim.size());
+    for (size_t i = 0; i < sim.size(); ++i) {
+        w.reads[i].name = "r" + std::to_string(i);
+        w.reads[i].seq = sim[i].seq;
+        w.reads[i].qual = sim[i].qual;
+    }
+    return w;
+}
+
+struct RunOutput
+{
+    std::string sam;
+    PipelineResult res;
+};
+
+/** One pipeline run; the fault plan (if any) is re-armed fresh so
+ *  every run sees identical injector state. */
+RunOutput
+runOnce(const Workload &w, PipelineOptions::Engine engine,
+        unsigned threads, bool inject)
+{
+    PipelineOptions opts;
+    opts.engine = engine;
+    opts.segments = 6;
+    opts.threads = threads;
+
+    FaultInjector &fi = FaultInjector::instance();
+    fi.reset();
+    if (inject) {
+        fi.arm(fault::kLaneIssue, {.probability = 0.2, .seed = 21});
+        fi.arm(fault::kCamOverflow, {.probability = 0.1, .seed = 22});
+        fi.arm(fault::kPipelineRead, {.probability = 0.05, .seed = 23});
+        fi.arm(fault::kDramStream, {.probability = 0.3, .seed = 24});
+    }
+
+    std::ostringstream sink;
+    const auto res = alignToSam(w.ref, w.reads, sink, opts);
+    fi.reset();
+    EXPECT_TRUE(res.ok()) << res.status().str();
+    RunOutput out;
+    out.sam = sink.str();
+    out.res = res.ok() ? *res : PipelineResult{};
+    return out;
+}
+
+void
+expectSameOutcome(const RunOutput &a, const RunOutput &b,
+                  const std::string &what)
+{
+    // Byte-identical SAM, not merely equivalent records.
+    EXPECT_EQ(a.sam, b.sam) << what;
+
+    // Identical outcome ledger.
+    EXPECT_EQ(a.res.reads, b.res.reads) << what;
+    EXPECT_EQ(a.res.mapped, b.res.mapped) << what;
+    EXPECT_EQ(a.res.unmapped, b.res.unmapped) << what;
+    EXPECT_EQ(a.res.degraded, b.res.degraded) << what;
+    EXPECT_EQ(a.res.failed, b.res.failed) << what;
+    EXPECT_EQ(a.res.skippedMalformed, b.res.skippedMalformed) << what;
+    EXPECT_TRUE(a.res.ledgerBalanced()) << what;
+
+    // Bit-identical modelled performance: counters are u64 sums
+    // reduced in slot order, and every derived double is computed
+    // from those sums, so even floating-point results must match
+    // exactly.
+    const GenAxPerf &pa = a.res.perf;
+    const GenAxPerf &pb = b.res.perf;
+    EXPECT_EQ(pa.reads, pb.reads) << what;
+    EXPECT_EQ(pa.segments, pb.segments) << what;
+    EXPECT_EQ(pa.extensionJobs, pb.extensionJobs) << what;
+    EXPECT_EQ(pa.exactReads, pb.exactReads) << what;
+    EXPECT_EQ(pa.degradedJobs, pb.degradedJobs) << what;
+    EXPECT_EQ(pa.laneFaults, pb.laneFaults) << what;
+    EXPECT_EQ(pa.dramFaults, pb.dramFaults) << what;
+    EXPECT_EQ(pa.seedingSeconds, pb.seedingSeconds) << what;
+    EXPECT_EQ(pa.extensionSeconds, pb.extensionSeconds) << what;
+    EXPECT_EQ(pa.dramSeconds, pb.dramSeconds) << what;
+    EXPECT_EQ(pa.totalSeconds, pb.totalSeconds) << what;
+    EXPECT_EQ(pa.seeding.reads, pb.seeding.reads) << what;
+    EXPECT_EQ(pa.seeding.exactMatchReads, pb.seeding.exactMatchReads)
+        << what;
+    EXPECT_EQ(pa.seeding.indexLookups, pb.seeding.indexLookups) << what;
+    EXPECT_EQ(pa.seeding.smems, pb.seeding.smems) << what;
+    EXPECT_EQ(pa.seeding.hitsReported, pb.seeding.hitsReported) << what;
+    EXPECT_EQ(pa.seeding.cam.loads, pb.seeding.cam.loads) << what;
+    EXPECT_EQ(pa.seeding.cam.searches, pb.seeding.cam.searches) << what;
+    EXPECT_EQ(pa.seeding.cam.binarySteps, pb.seeding.cam.binarySteps)
+        << what;
+    EXPECT_EQ(pa.seeding.cam.overflowFallbacks,
+              pb.seeding.cam.overflowFallbacks)
+        << what;
+    EXPECT_EQ(pa.lanes.jobs, pb.lanes.jobs) << what;
+    EXPECT_EQ(pa.lanes.streamCycles, pb.lanes.streamCycles) << what;
+    EXPECT_EQ(pa.lanes.reduceCycles, pb.lanes.reduceCycles) << what;
+    EXPECT_EQ(pa.lanes.collectCycles, pb.lanes.collectCycles) << what;
+    EXPECT_EQ(pa.lanes.rerunCycles, pb.lanes.rerunCycles) << what;
+    EXPECT_EQ(pa.lanes.jobsWithRerun, pb.lanes.jobsWithRerun) << what;
+    EXPECT_EQ(pa.lanes.reruns, pb.lanes.reruns) << what;
+    EXPECT_EQ(pa.lanes.issueFaults, pb.lanes.issueFaults) << what;
+}
+
+TEST(Determinism, GenAxIdenticalAtAnyThreadCount)
+{
+    const Workload w = makeWorkload();
+    const RunOutput serial =
+        runOnce(w, PipelineOptions::Engine::GenAx, 1, false);
+    EXPECT_GT(serial.res.mapped, 0u);
+    for (const unsigned threads : {2u, 8u, 0u}) {
+        const RunOutput mt =
+            runOnce(w, PipelineOptions::Engine::GenAx, threads, false);
+        expectSameOutcome(serial, mt,
+                          "threads=" + std::to_string(threads));
+    }
+}
+
+TEST(Determinism, GenAxIdenticalUnderFaultInjection)
+{
+    // The stronger claim: an armed fault plan (lane refusals, CAM
+    // overflow forcing, pipeline read loss, DRAM stream degradation)
+    // fires on the same reads at every thread count, so even the
+    // degraded/failed ledger and the SAM placeholders replay exactly.
+    const Workload w = makeWorkload();
+    const RunOutput serial =
+        runOnce(w, PipelineOptions::Engine::GenAx, 1, true);
+    EXPECT_GT(serial.res.degraded + serial.res.failed, 0u)
+        << "fault plan should visibly perturb the run";
+    for (const unsigned threads : {2u, 8u}) {
+        const RunOutput mt =
+            runOnce(w, PipelineOptions::Engine::GenAx, threads, true);
+        expectSameOutcome(serial, mt,
+                          "inject threads=" + std::to_string(threads));
+    }
+}
+
+TEST(Determinism, SoftwareEngineIdenticalAtAnyThreadCount)
+{
+    const Workload w = makeWorkload();
+    const RunOutput serial =
+        runOnce(w, PipelineOptions::Engine::Software, 1, false);
+    EXPECT_GT(serial.res.mapped, 0u);
+    const RunOutput mt =
+        runOnce(w, PipelineOptions::Engine::Software, 8, false);
+    expectSameOutcome(serial, mt, "software threads=8");
+}
+
+} // namespace
+} // namespace genax

@@ -148,7 +148,7 @@ TEST(MinimizerIndex, MiniAlignerMapsMutatedReads)
     const auto sim = simulateReads(ref, rs);
 
     const Scoring sc;
-    const ExtendFn kernel = [&](const Seq &rw, const Seq &q) {
+    const ExtendFn kernel = [&](const PackedSeq &rw, const Seq &q) {
         return gotohExtendKernel(rw, q, sc, 16);
     };
     AnchorConfig acfg;

@@ -104,6 +104,84 @@ TEST(ParallelFor, CheckViolationCrossesThreads)
                  CheckViolation);
 }
 
+TEST(ParallelFor, ZeroThreadsMeansAllHardwareThreads)
+{
+    // threads == 0 resolves to the hardware width and still covers
+    // the range exactly once.
+    EXPECT_GE(ThreadPool::resolveWidth(0), 1u);
+    EXPECT_EQ(ThreadPool::resolveWidth(3), 3u);
+
+    const u64 n = 777;
+    std::vector<std::atomic<u32>> hits(n);
+    parallelFor(n, 0, [&](u64 lo, u64 hi) {
+        for (u64 i = lo; i < hi; ++i)
+            ++hits[i];
+    });
+    for (u64 i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ParallelFor, SkewedWorkIsDynamicallyChunked)
+{
+    // Regression for the static-chunking pathology: with one chunk
+    // per thread, an adversarial workload whose last items carry all
+    // the cost serializes on the unlucky worker. Dynamic scheduling
+    // hands out chunks far smaller than n / width, so no single
+    // invocation can receive a static-sized share.
+    const u64 n = 4096;
+    const unsigned width = 8;
+    const u64 static_share = n / width;
+    std::vector<std::atomic<u32>> hits(n);
+    std::atomic<u64> max_span{0};
+    ThreadPool::global().parallelFor(
+        n, width, [&](unsigned slot, u64 lo, u64 hi) {
+            ASSERT_LT(slot, width);
+            // Adversarial skew: the tail of the range is heavy.
+            volatile u64 sink = 0;
+            for (u64 i = lo; i < hi; ++i) {
+                ++hits[i];
+                const u64 cost = i > 7 * n / 8 ? 400 : 1;
+                for (u64 w = 0; w < cost; ++w)
+                    sink = sink + w;
+            }
+            u64 span = hi - lo;
+            u64 seen = max_span.load(std::memory_order_relaxed);
+            while (span > seen &&
+                   !max_span.compare_exchange_weak(
+                       seen, span, std::memory_order_relaxed)) {
+            }
+        });
+    for (u64 i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    // Every dispatched chunk must be the dynamic size (n / (8 *
+    // width), or the range remainder) — far below a static share.
+    EXPECT_LE(max_span.load(), n / (8 * width));
+    EXPECT_LT(max_span.load(), static_share);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workerCount(), 3u);
+    std::atomic<u32> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran]() { ++ran; });
+    while (ran.load() < 100)
+        std::this_thread::yield();
+    EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<u32> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran]() { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 64u);
+}
+
 TEST(ParallelForStress, ContendedAccumulation)
 {
     // Repeated fork/join with all workers hammering shared atomics;

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -215,6 +216,71 @@ TEST(FaultInject, MaxFiresBoundsProbabilityRule)
     for (int i = 0; i < 10; ++i)
         fired += faultFires(fault::kCamOverflow);
     EXPECT_EQ(fired, 2);
+}
+
+TEST(FaultInject, KeyScopeDecisionsAreOrderIndependent)
+{
+    // Inside a FaultKeyScope, firing is a pure function of (site
+    // seed, scope key, within-scope ordinal): evaluating the same
+    // work items in a different order produces identical per-item
+    // decision vectors — the property the sharded system relies on.
+    auto evaluate = [](const std::vector<u64> &item_order) {
+        ScopedFaultPlan plan(
+            {{fault::kLaneIssue, {.probability = 0.35, .seed = 5}}});
+        std::map<u64, std::vector<bool>> decisions;
+        for (const u64 item : item_order) {
+            FaultKeyScope scope(item);
+            for (int hit = 0; hit < 4; ++hit)
+                decisions[item].push_back(
+                    faultFires(fault::kLaneIssue));
+        }
+        return decisions;
+    };
+    const auto forward = evaluate({0, 1, 2, 3, 4, 5, 6, 7});
+    const auto shuffled = evaluate({5, 2, 7, 0, 6, 1, 4, 3});
+    EXPECT_EQ(forward, shuffled);
+    bool any = false;
+    for (const auto &[item, fires] : forward)
+        for (const bool f : fires)
+            any = any || f;
+    EXPECT_TRUE(any) << "p=0.35 over 32 decisions should fire";
+}
+
+TEST(FaultInject, KeyScopeCountsNthHitPerScope)
+{
+    // n= counts hits within the scope, not process-wide: every work
+    // item sees its own 2nd hit fire.
+    ScopedFaultPlan plan({{fault::kCamOverflow, {.fireOnNth = 2}}});
+    for (u64 item = 0; item < 3; ++item) {
+        FaultKeyScope scope(FaultKeyScope::mixKey(9, item));
+        EXPECT_FALSE(faultFires(fault::kCamOverflow)) << item;
+        EXPECT_TRUE(faultFires(fault::kCamOverflow)) << item;
+        EXPECT_FALSE(faultFires(fault::kCamOverflow)) << item;
+    }
+    FaultInjector &fi = FaultInjector::instance();
+    EXPECT_EQ(fi.hits(fault::kCamOverflow), 9u);
+    EXPECT_EQ(fi.fires(fault::kCamOverflow), 3u);
+}
+
+TEST(FaultInject, KeyScopeNestsAndRestores)
+{
+    // The ordinal stream restarts per scope instance, and the legacy
+    // (unscoped) path keeps its process-wide hit counting once the
+    // last scope exits.
+    ScopedFaultPlan plan({{fault::kLaneIssue, {.fireOnNth = 2}}});
+    {
+        FaultKeyScope outer(1);
+        EXPECT_FALSE(faultFires(fault::kLaneIssue)); // outer hit 1
+        {
+            FaultKeyScope inner(2);
+            EXPECT_FALSE(faultFires(fault::kLaneIssue)); // inner hit 1
+            EXPECT_TRUE(faultFires(fault::kLaneIssue));  // inner hit 2
+        }
+    }
+    // Unscoped again: hits at this site so far = 3; the 2nd-hit rule
+    // already passed process-wide, so no further legacy fire.
+    EXPECT_FALSE(faultFires(fault::kLaneIssue));
+    EXPECT_EQ(FaultInjector::instance().fires(fault::kLaneIssue), 1u);
 }
 
 TEST(FaultInject, ConfigureParsesSpecStrings)

@@ -92,7 +92,7 @@ class ExtendAnchorTest : public ::testing::Test
         Rng rng(800);
         ref = randomSeq(rng, 2000);
         sc = Scoring{};
-        kernel = [this](const Seq &rw, const Seq &q) {
+        kernel = [this](const PackedSeq &rw, const Seq &q) {
             return gotohExtendKernel(rw, q, sc, 16);
         };
     }

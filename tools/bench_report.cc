@@ -1,0 +1,259 @@
+/**
+ * @file
+ * bench_report — perf-trajectory harness for the parallel batch
+ * engine.
+ *
+ *   bench_report [--out BENCH_pipeline.json] [--check]
+ *                [--genome N] [--reads N] [--mt-threads N]
+ *                [--repeat N]
+ *
+ * Runs a fixed synthetic workload (pinned readsim seeds, so every
+ * checkout measures the same bytes) through the two batch paths —
+ * the software pipeline (BWA-MEM-like engine, SAM emission included)
+ * and the GenAx hardware-model system — single-threaded and
+ * multi-threaded, and writes a machine-readable JSON report for the
+ * CI perf-smoke job and the repo's perf trajectory.
+ *
+ * Timings are host wall-clock best-of-N; the GenAx *modelled* cycle
+ * results are identical at any thread count by design, so only the
+ * host throughput is reported here.
+ *
+ * --check exits non-zero when multi-threaded host throughput falls
+ * below single-threaded. The gate only engages when the machine
+ * actually has more than one hardware thread; on a single-core host
+ * the comparison is meaningless and is reported as skipped.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "genax/pipeline.hh"
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
+
+using namespace genax;
+
+namespace {
+
+struct BenchOptions
+{
+    std::string out = "BENCH_pipeline.json";
+    bool check = false;
+    u64 genomeLen = 120000;
+    u64 numReads = 600;
+    unsigned mtThreads = 8;
+    int repeat = 3;
+};
+
+constexpr u64 kWorkloadSeed = 424242; //!< pinned: do not change
+
+struct PathResult
+{
+    std::string path;
+    unsigned threads = 0;
+    double seconds = 0;
+    double readsPerSec = 0;
+};
+
+template <typename Fn>
+double
+bestOfSeconds(int repeat, Fn &&fn)
+{
+    double best = 0;
+    for (int i = 0; i < repeat; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double s = std::chrono::duration<double>(t1 - t0).count();
+        if (i == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+int
+run(const BenchOptions &opt)
+{
+    // Fixed workload: pinned seeds make run-to-run and
+    // checkout-to-checkout numbers comparable.
+    RefGenConfig rcfg;
+    rcfg.length = opt.genomeLen;
+    rcfg.seed = kWorkloadSeed;
+    const Seq ref = generateReference(rcfg);
+
+    ReadSimConfig rs;
+    rs.numReads = opt.numReads;
+    rs.seed = kWorkloadSeed + 1;
+    const auto sim = simulateReads(ref, rs);
+
+    std::vector<FastaRecord> fasta(1);
+    fasta[0].name = "bench_ref";
+    fasta[0].seq = ref;
+    std::vector<FastqRecord> fastq(sim.size());
+    for (size_t i = 0; i < sim.size(); ++i) {
+        fastq[i].name = "r" + std::to_string(i);
+        fastq[i].seq = sim[i].seq;
+        fastq[i].qual = sim[i].qual;
+    }
+    const u64 read_len = sim.empty() ? 0 : sim[0].seq.size();
+
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::printf("bench_report: %llu bp genome, %zu reads of %llu bp, "
+                "%u hardware threads\n",
+                static_cast<unsigned long long>(opt.genomeLen),
+                fastq.size(),
+                static_cast<unsigned long long>(read_len), hw);
+
+    std::vector<PathResult> results;
+    auto timePath = [&](const std::string &path, unsigned threads,
+                        PipelineOptions::Engine engine) {
+        PipelineOptions popts;
+        popts.engine = engine;
+        popts.threads = threads;
+        popts.segments = 8;
+        const double sec = bestOfSeconds(opt.repeat, [&]() {
+            std::ostringstream sink;
+            const auto res = alignToSam(fasta, fastq, sink, popts);
+            if (!res.ok()) {
+                std::fprintf(stderr, "bench_report: %s failed: %s\n",
+                             path.c_str(), res.status().str().c_str());
+                std::exit(3);
+            }
+        });
+        PathResult r;
+        r.path = path;
+        r.threads = threads;
+        r.seconds = sec;
+        r.readsPerSec =
+            sec > 0 ? static_cast<double>(fastq.size()) / sec : 0;
+        results.push_back(r);
+        std::printf("  %-18s threads=%-2u %8.3f s  %10.1f reads/s\n",
+                    path.c_str(), threads, r.seconds, r.readsPerSec);
+    };
+
+    timePath("pipeline-software", 1, PipelineOptions::Engine::Software);
+    timePath("pipeline-software", opt.mtThreads,
+             PipelineOptions::Engine::Software);
+    timePath("genax-system", 1, PipelineOptions::Engine::GenAx);
+    timePath("genax-system", opt.mtThreads,
+             PipelineOptions::Engine::GenAx);
+
+    auto throughput = [&](const std::string &path,
+                          unsigned threads) -> double {
+        for (const auto &r : results)
+            if (r.path == path && r.threads == threads)
+                return r.readsPerSec;
+        return 0;
+    };
+    const double sw_speedup =
+        throughput("pipeline-software", opt.mtThreads) /
+        std::max(1e-12, throughput("pipeline-software", 1));
+    const double gx_speedup =
+        throughput("genax-system", opt.mtThreads) /
+        std::max(1e-12, throughput("genax-system", 1));
+    std::printf("  speedup at %u threads: software %.2fx, genax %.2fx\n",
+                opt.mtThreads, sw_speedup, gx_speedup);
+
+    // The MT-vs-ST gate is only meaningful with real parallel
+    // hardware underneath; a single-core host runs MT strictly
+    // slower by construction.
+    const bool gate_applies = opt.check && hw >= 2;
+    const bool gate_passed =
+        !gate_applies || (sw_speedup >= 1.0 && gx_speedup >= 1.0);
+
+    std::ofstream out(opt.out);
+    if (!out) {
+        std::fprintf(stderr, "bench_report: cannot open %s\n",
+                     opt.out.c_str());
+        return 3;
+    }
+    out << "{\n"
+        << "  \"schema\": \"genax-bench-pipeline-v1\",\n"
+        << "  \"workload\": {\"genome_len\": " << opt.genomeLen
+        << ", \"reads\": " << fastq.size() << ", \"read_len\": "
+        << read_len << ", \"seed\": " << kWorkloadSeed << "},\n"
+        << "  \"host\": {\"hardware_threads\": " << hw << "},\n"
+        << "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        out << "    {\"path\": \"" << r.path << "\", \"threads\": "
+            << r.threads << ", \"seconds\": " << r.seconds
+            << ", \"reads_per_sec\": " << r.readsPerSec << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"speedups\": {\"pipeline_software_mt_vs_st\": "
+        << sw_speedup << ", \"genax_system_mt_vs_st\": " << gx_speedup
+        << ", \"mt_threads\": " << opt.mtThreads << "},\n"
+        << "  \"check\": {\"enabled\": " << (opt.check ? "true" : "false")
+        << ", \"applied\": " << (gate_applies ? "true" : "false")
+        << ", \"passed\": " << (gate_passed ? "true" : "false")
+        << "}\n"
+        << "}\n";
+    out.close();
+    std::printf("wrote %s\n", opt.out.c_str());
+
+    if (opt.check && !gate_applies)
+        std::printf("check: skipped (single hardware thread)\n");
+    if (!gate_passed) {
+        std::fprintf(stderr,
+                     "check FAILED: multi-threaded throughput below "
+                     "single-threaded (software %.2fx, genax %.2fx)\n",
+                     sw_speedup, gx_speedup);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            opt.out = next();
+        } else if (arg == "--check") {
+            opt.check = true;
+        } else if (arg == "--genome") {
+            opt.genomeLen = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--reads") {
+            opt.numReads = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--mt-threads") {
+            opt.mtThreads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--repeat") {
+            opt.repeat = std::atoi(next());
+        } else if (arg == "-h" || arg == "--help") {
+            std::printf(
+                "usage: bench_report [--out FILE] [--check]\n"
+                "                    [--genome N] [--reads N]\n"
+                "                    [--mt-threads N] [--repeat N]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (opt.genomeLen < 1000 || opt.mtThreads == 0 || opt.repeat < 1) {
+        std::fprintf(stderr, "bench_report: implausible options\n");
+        return 2;
+    }
+    return run(opt);
+}

@@ -57,7 +57,9 @@ printHelp(const char *prog, std::FILE *to)
         "                     beyond the SillaX maximum the run degrades\n"
         "                     to the software engine\n"
         "  --segments N       GenAx genome segments (default 8)\n"
-        "  --threads N        software-engine threads (default 1)\n"
+        "  --threads N        worker threads for either engine\n"
+        "                     (default 1; 0 = all hardware threads);\n"
+        "                     output is identical at any width\n"
         "  --max-malformed N  malformed input records tolerated per\n"
         "                     file before the run fails (default 1000)\n"
         "  --inject SPEC      arm fault-injection sites, e.g.\n"
