@@ -11,6 +11,10 @@
 #include "align/gotoh.hh"
 #include "align/lev_automaton.hh"
 #include "align/myers.hh"
+#include "align/simd/batch_score.hh"
+#include "align/simd/dispatch.hh"
+#include "align/simd/myers_batch.hh"
+#include "align/simd/striped.hh"
 #include "align/wavefront.hh"
 #include "align/wfa.hh"
 #include "common/rng.hh"
@@ -121,6 +125,95 @@ BM_WfaGlobalScore(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WfaGlobalScore)->Arg(101)->Arg(400);
+
+/**
+ * A pinned batch of extension jobs shaped like the batched scoring
+ * path's workload. The benchmark arg forces the dispatch tier
+ * (KernelTier values: 0 scalar, 1 sse41, 2 avx2), so one run shows
+ * the whole ladder side by side; unsupported tiers skip.
+ */
+struct Batch
+{
+    std::vector<Pair> pairs;
+    std::vector<PackedSeq> windows;
+    std::vector<simd::ExtendJob> ext;
+    std::vector<simd::MyersJob> myers;
+};
+
+Batch
+makeBatch(size_t jobs, size_t len, unsigned edits)
+{
+    Batch b;
+    b.pairs.reserve(jobs);
+    for (size_t j = 0; j < jobs; ++j)
+        b.pairs.push_back(makePair(100 + j, len, edits));
+    for (auto &p : b.pairs)
+        b.windows.push_back(
+            PackedSeq::packWindow(p.ref, 0, p.ref.size()));
+    for (size_t j = 0; j < jobs; ++j) {
+        b.ext.push_back({&b.windows[j], &b.pairs[j].qry});
+        b.myers.push_back({&b.pairs[j].qry, &b.windows[j]});
+    }
+    return b;
+}
+
+bool
+forceTierOrSkip(benchmark::State &state)
+{
+    const auto tier =
+        static_cast<simd::KernelTier>(state.range(0));
+    if (!simd::setKernelTier(tier).ok()) {
+        state.SkipWithError("tier not supported on this host");
+        return false;
+    }
+    return true;
+}
+
+void
+BM_BatchExtendScore(benchmark::State &state)
+{
+    if (!forceTierOrSkip(state))
+        return;
+    const auto b = makeBatch(64, 101, 3);
+    const Scoring sc;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            simd::scoreCandidateBatch(b.ext, sc, 16));
+    simd::clearKernelTierOverride();
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(b.ext.size()));
+}
+BENCHMARK(BM_BatchExtendScore)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_StripedLocalScore(benchmark::State &state)
+{
+    if (!forceTierOrSkip(state))
+        return;
+    const auto p = makePair(9, 400, 8);
+    const Scoring sc;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            simd::stripedLocalScore(p.ref, p.qry, sc));
+    simd::clearKernelTierOverride();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StripedLocalScore)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_MyersBatch(benchmark::State &state)
+{
+    if (!forceTierOrSkip(state))
+        return;
+    const auto b = makeBatch(64, 256, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            simd::myersEditDistanceBatch(b.myers));
+    simd::clearKernelTierOverride();
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(b.myers.size()));
+}
+BENCHMARK(BM_MyersBatch)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_LevenshteinAutomaton(benchmark::State &state)

@@ -362,6 +362,80 @@ gotohBandedImpl(const RefT &ref, const Seq &qry, const Scoring &sc,
     return traceback(ref, qry, mode, bscore, bi, bj, dir_at);
 }
 
+/**
+ * Extend-mode banded pass tracking the BestCell argmax but storing no
+ * directions. Mirrors gotohBandedImpl (Extend) cell for cell, so the
+ * returned triple matches the full run exactly — including the
+ * deterministic tie-break order of BestCell::consider.
+ */
+template <typename RefT>
+BandedExtendScore
+gotohBandedExtendScoreImpl(const RefT &ref, const Seq &qry,
+                           const Scoring &sc, u32 band)
+{
+    const i64 n = static_cast<i64>(ref.size());
+    const i64 m = static_cast<i64>(qry.size());
+    const i64 w = band;
+    const i64 width = 2 * w + 1;
+
+    std::vector<i32> hPrev(width, kNegInf), hCur(width, kNegInf);
+    std::vector<i32> fPrev(width, kNegInf), fCur(width, kNegInf);
+
+    BestCell best;
+    for (i64 j = 0; j <= std::min(m, w); ++j) {
+        const i64 col = j + w;
+        if (col >= width)
+            break;
+        hPrev[col] = j == 0 ? 0 : sc.gapCost(static_cast<i32>(j));
+        best.consider(hPrev[col], 0, static_cast<u64>(j));
+    }
+    for (i64 i = 1; i <= n; ++i) {
+        std::fill(hCur.begin(), hCur.end(), kNegInf);
+        std::fill(fCur.begin(), fCur.end(), kNegInf);
+        const i64 jlo = std::max<i64>(0, i - w);
+        const i64 jhi = std::min(m, i + w);
+        i32 e = kNegInf;
+        for (i64 j = jlo; j <= jhi; ++j) {
+            const i64 col = j - i + w;
+            if (j == 0) {
+                hCur[col] = sc.gapCost(static_cast<i32>(i));
+                best.consider(hCur[col], static_cast<u64>(i), 0);
+                continue;
+            }
+            i32 eOpen = kNegInf, eExt = kNegInf;
+            if (col - 1 >= 0) {
+                if (hCur[col - 1] != kNegInf)
+                    eOpen = hCur[col - 1] - sc.gapOpen - sc.gapExtend;
+                if (e != kNegInf)
+                    eExt = e - sc.gapExtend;
+            }
+            e = std::max(eOpen, eExt);
+
+            i32 fOpen = kNegInf, fExt = kNegInf;
+            if (col + 1 < width) {
+                if (hPrev[col + 1] != kNegInf)
+                    fOpen = hPrev[col + 1] - sc.gapOpen - sc.gapExtend;
+                if (fPrev[col + 1] != kNegInf)
+                    fExt = fPrev[col + 1] - sc.gapExtend;
+            }
+            fCur[col] = std::max(fOpen, fExt);
+
+            i32 diag = kNegInf;
+            if (hPrev[col] != kNegInf)
+                diag = hPrev[col] + sc.sub(ref[i - 1], qry[j - 1]);
+
+            const i32 h = std::max({diag, e, fCur[col]});
+            if (h == kNegInf)
+                continue; // unreachable cell
+            hCur[col] = h;
+            best.consider(h, static_cast<u64>(i), static_cast<u64>(j));
+        }
+        std::swap(hPrev, hCur);
+        std::swap(fPrev, fCur);
+    }
+    return {best.score, best.i, best.j};
+}
+
 template <typename RefT>
 i32
 gotohBandedScoreOnlyImpl(const RefT &ref, const Seq &qry,
@@ -451,6 +525,20 @@ gotohBandedScoreOnly(const PackedSeq &ref, const Seq &qry,
                      const Scoring &sc, u32 band)
 {
     return gotohBandedScoreOnlyImpl(ref, qry, sc, band);
+}
+
+BandedExtendScore
+gotohBandedExtendScore(const Seq &ref, const Seq &qry, const Scoring &sc,
+                       u32 band)
+{
+    return gotohBandedExtendScoreImpl(ref, qry, sc, band);
+}
+
+BandedExtendScore
+gotohBandedExtendScore(const PackedSeq &ref, const Seq &qry,
+                       const Scoring &sc, u32 band)
+{
+    return gotohBandedExtendScoreImpl(ref, qry, sc, band);
 }
 
 } // namespace genax

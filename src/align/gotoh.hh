@@ -91,6 +91,32 @@ i32 gotohBandedScoreOnly(const Seq &ref, const Seq &qry, const Scoring &sc,
 i32 gotohBandedScoreOnly(const PackedSeq &ref, const Seq &qry,
                          const Scoring &sc, u32 band);
 
+/**
+ * The (score, refEnd, qryEnd) triple of a banded Extend alignment —
+ * exactly the fields gotohBanded(..., Extend, band) would report,
+ * without computing a traceback. Feeding the triple back into a
+ * prefix-truncated gotohBanded run reproduces the full result (see
+ * src/align/simd/): the winning cell and every cell on its path lie
+ * inside ref[0, refEnd) x qry[0, qryEnd), so the truncated DP is
+ * bit-identical there. The SIMD batch kernels must reproduce this
+ * function's output exactly; it is their scalar reference oracle.
+ */
+struct BandedExtendScore
+{
+    i32 score = 0;
+    u64 refEnd = 0;
+    u64 qryEnd = 0;
+
+    bool operator==(const BandedExtendScore &) const = default;
+};
+
+BandedExtendScore gotohBandedExtendScore(const Seq &ref, const Seq &qry,
+                                         const Scoring &sc, u32 band);
+
+BandedExtendScore gotohBandedExtendScore(const PackedSeq &ref,
+                                         const Seq &qry,
+                                         const Scoring &sc, u32 band);
+
 } // namespace genax
 
 #endif // GENAX_ALIGN_GOTOH_HH

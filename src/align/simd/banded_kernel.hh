@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The shared inter-sequence banded Extend kernel body, templated over
+ * an ISA traits type (Sse41/Avx2). Included only by the tier
+ * translation units, which are compiled with the matching -m flags —
+ * never by generic code.
+ *
+ * Each group of T::kLanes jobs runs the banded Gotoh Extend
+ * recurrence in the 16-bit lanes of one vector register: row i,
+ * band column `col` (query column j = i - band + col) is computed
+ * for all lanes at once, exactly as gotohBandedExtendScoreImpl does
+ * per job. Bit-identity with the scalar kernel holds because:
+ *
+ *  - the eligibility gate (laneEligible in batch_score.cc) bounds
+ *    every genuine cell value to [-12000, +12000] and the lane
+ *    dimensions so that 16-bit saturating arithmetic is exact on
+ *    genuine values;
+ *  - cells the scalar kernel leaves "unset" (kNegInf) hold a
+ *    sentinel-descended value here that can climb by at most +match
+ *    per row, which the gate keeps strictly below every genuine
+ *    value — so the lane-wise max always prefers the genuine path
+ *    and the sentinel never reaches the argmax (best starts at 0);
+ *  - lanes shorter than the group maximum are masked: query columns
+ *    past a lane's m are forced back to the sentinel each row (they
+ *    would otherwise leak into valid cells through the F recurrence),
+ *    and rows past a lane's n are excluded from the argmax (they
+ *    only feed further-down rows, never back);
+ *  - the argmax replicates BestCell::consider — a strict total
+ *    preference order (score, then smaller i+j, then smaller i) —
+ *    with masked per-cell updates, so tie-breaks match the scalar
+ *    oracle exactly.
+ *
+ * Boundary cells (row 0 and column 0) score gapCost(k) <= 0 and lose
+ * every tie against the initial best 0 @ (0,0) on the i+j key, so
+ * they are stored but never offered to the argmax — same outcome as
+ * the scalar consider() calls on them.
+ */
+
+#ifndef GENAX_ALIGN_SIMD_BANDED_KERNEL_HH
+#define GENAX_ALIGN_SIMD_BANDED_KERNEL_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "align/simd/batch_score.hh"
+
+namespace genax::simd::detail {
+
+/** Lane sentinel standing in for the scalar kernel's kNegInf. */
+inline constexpr i16 kLaneNegInf = -30000;
+
+template <typename T>
+void
+scoreExtendBatchImpl(const ExtendJob *jobs, const u32 *idx, size_t count,
+                     const Scoring &sc, u32 band, BandedExtendScore *out)
+{
+    using V = typename T::V;
+    constexpr int L = T::kLanes;
+    const i64 w = band;
+    const i64 width = 2 * w + 1;
+
+    // Scratch reused across groups.
+    std::vector<i16> refT, qryT;
+    std::vector<i16> hPrev, hCur, fPrev, fCur;
+
+    for (size_t g0 = 0; g0 < count; g0 += L) {
+        const int gl = static_cast<int>(
+            std::min<size_t>(L, count - g0));
+
+        // Lane dimensions. Rows past m + w hold no band cells, so the
+        // per-lane row count is capped there (the scalar kernel just
+        // iterates empty rows).
+        i64 nl[L], ml[L];
+        i64 maxN = 0, maxM = 0;
+        for (int l = 0; l < L; ++l) {
+            if (l < gl) {
+                const ExtendJob &jb = jobs[idx[g0 + l]];
+                ml[l] = static_cast<i64>(jb.qry->size());
+                nl[l] = std::min<i64>(
+                    static_cast<i64>(jb.ref->size()), ml[l] + w);
+            } else {
+                nl[l] = 0; // padding lane: best stays 0 @ (0,0)
+                ml[l] = 0;
+            }
+            maxN = std::max(maxN, nl[l]);
+            maxM = std::max(maxM, ml[l]);
+        }
+
+        // Transpose the sequences into lane-major i16 rows. Padding
+        // bases are 0: harmless, since every cell they could produce
+        // is masked (j > m) or argmax-excluded (i > n).
+        refT.assign(static_cast<size_t>(maxN) * L, 0);
+        qryT.assign(static_cast<size_t>(maxM) * L, 0);
+        for (int l = 0; l < gl; ++l) {
+            const ExtendJob &jb = jobs[idx[g0 + l]];
+            for (i64 i = 0; i < nl[l]; ++i)
+                refT[static_cast<size_t>(i) * L + l] =
+                    static_cast<i16>(jb.ref->at(static_cast<size_t>(i)));
+            for (i64 j = 0; j < ml[l]; ++j)
+                qryT[static_cast<size_t>(j) * L + l] =
+                    static_cast<i16>((*jb.qry)[static_cast<size_t>(j)]);
+        }
+
+        hPrev.assign(static_cast<size_t>(width) * L, kLaneNegInf);
+        hCur.assign(static_cast<size_t>(width) * L, kLaneNegInf);
+        fPrev.assign(static_cast<size_t>(width) * L, kLaneNegInf);
+        fCur.assign(static_cast<size_t>(width) * L, kLaneNegInf);
+        auto rowPtr = [L](std::vector<i16> &v, i64 col) {
+            return &v[static_cast<size_t>(col) * L];
+        };
+
+        const V negV = T::set1(kLaneNegInf);
+        const V onesV = T::cmpEq(negV, negV);
+        const V matchV = T::set1(static_cast<i16>(sc.match));
+        const V mismV = T::set1(static_cast<i16>(-sc.mismatch));
+        const V gogeV =
+            T::set1(static_cast<i16>(sc.gapOpen + sc.gapExtend));
+        const V geV = T::set1(static_cast<i16>(sc.gapExtend));
+
+        i16 laneTmp[L];
+        for (int l = 0; l < L; ++l)
+            laneTmp[l] = static_cast<i16>(nl[l]);
+        const V nV = T::loadu(laneTmp);
+        for (int l = 0; l < L; ++l)
+            laneTmp[l] = static_cast<i16>(ml[l]);
+        const V mV = T::loadu(laneTmp);
+
+        // Row 0: h(0, j) = gapCost(j), 0 at the origin; columns past
+        // a lane's query end go straight to the sentinel.
+        for (i64 j = 0; j <= std::min(w, maxM); ++j) {
+            const i32 base =
+                j == 0 ? 0
+                       : -(sc.gapOpen +
+                           sc.gapExtend * static_cast<i32>(j));
+            V v = T::set1(static_cast<i16>(base));
+            v = T::blend(v, negV,
+                         T::cmpGt(T::set1(static_cast<i16>(j)), mV));
+            T::storeu(rowPtr(hPrev, j + w), v);
+        }
+
+        // Argmax state: BestCell semantics. best starts at the
+        // origin cell 0 @ (0,0), so bSum = bI = 0.
+        V best = T::set1(0);
+        V bSum = T::set1(0);
+        V bI = T::set1(0);
+        V bJ = T::set1(0);
+
+        for (i64 i = 1; i <= maxN; ++i) {
+            const i64 colLo = i >= w ? 0 : w - i;
+            const i64 colHi = std::min<i64>(2 * w, w + maxM - i);
+            // Clear exactly the columns the next row may read
+            // (its own range plus one on each side).
+            const i64 clearLo = std::max<i64>(0, colLo - 1);
+            const i64 clearHi = std::min<i64>(width - 1, colHi + 1);
+            std::fill(rowPtr(hCur, clearLo),
+                      rowPtr(hCur, clearHi) + L, kLaneNegInf);
+            std::fill(rowPtr(fCur, clearLo),
+                      rowPtr(fCur, clearHi) + L, kLaneNegInf);
+
+            const V iv = T::set1(static_cast<i16>(i));
+            const V iGtN = T::cmpGt(iv, nV);
+            const V refRow =
+                T::loadu(&refT[static_cast<size_t>(i - 1) * L]);
+            V e = negV;
+            for (i64 col = colLo; col <= colHi; ++col) {
+                const i64 j = i - w + col;
+                if (j == 0) {
+                    // Column-0 boundary: gapCost(i), never a best
+                    // candidate. E is not touched (scalar `continue`).
+                    const i32 base =
+                        -(sc.gapOpen +
+                          sc.gapExtend * static_cast<i32>(i));
+                    T::storeu(rowPtr(hCur, col),
+                              T::set1(static_cast<i16>(base)));
+                    continue;
+                }
+
+                if (col == 0) {
+                    e = negV; // no in-band left neighbour
+                } else {
+                    const V eOpen =
+                        T::subSat(T::loadu(rowPtr(hCur, col - 1)),
+                                  gogeV);
+                    e = T::maxS(eOpen, T::subSat(e, geV));
+                }
+
+                V f = negV;
+                if (col + 1 < width) {
+                    const V fOpen =
+                        T::subSat(T::loadu(rowPtr(hPrev, col + 1)),
+                                  gogeV);
+                    const V fExt =
+                        T::subSat(T::loadu(rowPtr(fPrev, col + 1)),
+                                  geV);
+                    f = T::maxS(fOpen, fExt);
+                }
+                T::storeu(rowPtr(fCur, col), f);
+
+                const V qv =
+                    T::loadu(&qryT[static_cast<size_t>(j - 1) * L]);
+                const V subv =
+                    T::blend(mismV, matchV, T::cmpEq(refRow, qv));
+                const V diag =
+                    T::addSat(T::loadu(rowPtr(hPrev, col)), subv);
+
+                V h = T::maxS(diag, T::maxS(e, f));
+                const V jv = T::set1(static_cast<i16>(j));
+                const V jGtM = T::cmpGt(jv, mV);
+                // Padded query columns revert to the sentinel so they
+                // cannot leak into valid cells via F in later rows.
+                h = T::blend(h, negV, jGtM);
+                T::storeu(rowPtr(hCur, col), h);
+
+                // Masked BestCell::consider: strictly better score,
+                // or equal score with (smaller i+j, then smaller i).
+                const V valid =
+                    T::andNot(iGtN, T::andNot(jGtM, onesV));
+                const V sumv = T::set1(static_cast<i16>(i + j));
+                const V tie = T::and_(
+                    T::cmpEq(h, best),
+                    T::or_(T::cmpGt(bSum, sumv),
+                           T::and_(T::cmpEq(bSum, sumv),
+                                   T::cmpGt(bI, iv))));
+                const V upd =
+                    T::and_(T::or_(T::cmpGt(h, best), tie), valid);
+                best = T::blend(best, h, upd);
+                bSum = T::blend(bSum, sumv, upd);
+                bI = T::blend(bI, iv, upd);
+                bJ = T::blend(bJ, jv, upd);
+            }
+            std::swap(hPrev, hCur);
+            std::swap(fPrev, fCur);
+        }
+
+        i16 oBest[L], oI[L], oJ[L];
+        T::storeu(oBest, best);
+        T::storeu(oI, bI);
+        T::storeu(oJ, bJ);
+        for (int l = 0; l < gl; ++l) {
+            out[idx[g0 + l]] = {static_cast<i32>(oBest[l]),
+                                static_cast<u64>(oI[l]),
+                                static_cast<u64>(oJ[l])};
+        }
+    }
+}
+
+} // namespace genax::simd::detail
+
+#endif // GENAX_ALIGN_SIMD_BANDED_KERNEL_HH

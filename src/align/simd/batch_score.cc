@@ -1,0 +1,116 @@
+#include "align/simd/batch_score.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/simd/dispatch.hh"
+#include "align/simd/tiers.hh"
+
+namespace genax::simd {
+
+namespace {
+
+/**
+ * True if the job's banded Extend DP provably stays exact in 16-bit
+ * saturating lanes (see banded_kernel.hh for the argument):
+ *
+ *  - every DP path from the origin takes at most n + m steps, each
+ *    costing at most mismatch + gapOpen + gapExtend, so the product
+ *    bound keeps genuine cell values >= -12000;
+ *  - positive values are bounded by m * match <= 12000;
+ *  - sentinel-descended "unreachable" values start at -30000 (or
+ *    saturate at -32768) and climb by at most match per row, i.e. by
+ *    at most m*match + band*match <= 16000 total, so they stay below
+ *    -16768 and never outrank a genuine value;
+ *  - row/column indices (and their sum) fit i16 via n + m + 2 <= 8000.
+ *
+ * Jobs that fail the gate are scored by the scalar oracle — the
+ * overflow re-run contract.
+ */
+bool
+laneEligible(const ExtendJob &jb, const Scoring &sc, u32 band)
+{
+    constexpr i64 kMaxParam = 4000;
+    const i64 match = sc.match, mismatch = sc.mismatch;
+    const i64 go = sc.gapOpen, ge = sc.gapExtend;
+    if (match < 0 || match > kMaxParam || mismatch < 0 ||
+        mismatch > kMaxParam || go < 0 || go > kMaxParam || ge < 0 ||
+        ge > kMaxParam)
+        return false;
+    const i64 m = static_cast<i64>(jb.qry->size());
+    const i64 n_eff = std::min<i64>(static_cast<i64>(jb.ref->size()),
+                                    m + static_cast<i64>(band));
+    return static_cast<i64>(band) * match <= 4000 &&
+           n_eff + m + 2 <= 8000 && m * match <= 12000 &&
+           (n_eff + m + 2) * (mismatch + go + ge) <= 12000;
+}
+
+} // namespace
+
+std::vector<BandedExtendScore>
+scoreCandidateBatch(const std::vector<ExtendJob> &jobs, const Scoring &sc,
+                    u32 band)
+{
+    std::vector<BandedExtendScore> out(jobs.size());
+    std::vector<bool> handled(jobs.size(), false);
+
+    const KernelTier tier = activeKernelTier();
+    if (tier != KernelTier::Scalar) {
+        std::vector<u32> eligible;
+        eligible.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (laneEligible(jobs[i], sc, band))
+                eligible.push_back(static_cast<u32>(i));
+        }
+        // Occupancy heuristic: a vector group costs the same whether
+        // its lanes are full or idle, so a batch filling less than
+        // half the lanes runs faster on the scalar scorer. Oversized
+        // batches keep only whole-enough groups vectorized; the tail
+        // joins the scalar loop. Purely a speed choice — the scalar
+        // scorer is bit-identical.
+        const size_t lanes = tier == KernelTier::Avx2 ? 16 : 8;
+        size_t take = eligible.size() - eligible.size() % lanes;
+        if (eligible.size() % lanes >= lanes / 2)
+            take = eligible.size();
+        eligible.resize(take);
+        if (!eligible.empty()) {
+            bool ran = false;
+#if defined(GENAX_SIMD_AVX2)
+            if (tier == KernelTier::Avx2) {
+                detail::scoreExtendBatchAvx2(jobs.data(), eligible.data(),
+                                             eligible.size(), sc, band,
+                                             out.data());
+                ran = true;
+            }
+#endif
+#if defined(GENAX_SIMD_SSE41)
+            if (!ran && tier == KernelTier::Sse41) {
+                detail::scoreExtendBatchSse41(jobs.data(), eligible.data(),
+                                              eligible.size(), sc, band,
+                                              out.data());
+                ran = true;
+            }
+#endif
+            if (ran) {
+                for (u32 i : eligible)
+                    handled[i] = true;
+            }
+        }
+    }
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (!handled[i])
+            out[i] = gotohBandedExtendScore(*jobs[i].ref, *jobs[i].qry, sc,
+                                            band);
+    }
+    return out;
+}
+
+BandedExtendScore
+scoreExtendOne(const PackedSeq &ref, const Seq &qry, const Scoring &sc,
+               u32 band)
+{
+    return gotohBandedExtendScore(ref, qry, sc, band);
+}
+
+} // namespace genax::simd

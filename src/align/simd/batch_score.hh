@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Inter-sequence batched Extend scoring — the hot entry point of the
+ * SIMD kernel subsystem.
+ *
+ * A batch of independent (reference window, query) extension jobs is
+ * scored with the banded Gotoh Extend recurrence running one job per
+ * 16-bit SIMD lane (SWIPE-style inter-sequence vectorization: 16
+ * lanes under AVX2, 8 under SSE4.1). Every lane computes exactly the
+ * scalar recurrence of gotohBandedExtendScore — same saturating-safe
+ * value range (enforced by a per-job eligibility gate), same
+ * deterministic argmax tie-break — so the returned triples are
+ * bit-identical to the scalar oracle at every dispatch tier. Jobs
+ * that fail the 16-bit range gate (very long or exotically scored)
+ * are re-run on the scalar kernel, job by job: that is the overflow
+ * re-run contract.
+ *
+ * Traceback is never vectorized. Callers score the whole candidate
+ * list here, pick the winner, and re-run the scalar banded DP only on
+ * the winner's prefix (see extendWithScoreHint in swbase/anchor.hh).
+ */
+
+#ifndef GENAX_ALIGN_SIMD_BATCH_SCORE_HH
+#define GENAX_ALIGN_SIMD_BATCH_SCORE_HH
+
+#include <vector>
+
+#include "align/gotoh.hh"
+#include "align/scoring.hh"
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax::simd {
+
+/**
+ * One extension-scoring job: an anchored Extend-mode banded
+ * alignment of *qry against the packed reference window *ref. The
+ * pointed-to sequences must outlive the scoreCandidateBatch call.
+ */
+struct ExtendJob
+{
+    const PackedSeq *ref = nullptr;
+    const Seq *qry = nullptr;
+};
+
+/**
+ * Score every job in the batch on the active kernel tier.
+ *
+ * Postcondition, enforced by the equivalence test suite:
+ *   out[i] == gotohBandedExtendScore(*jobs[i].ref, *jobs[i].qry,
+ *                                    sc, band)
+ * for every i, at every dispatch tier.
+ */
+std::vector<BandedExtendScore> scoreCandidateBatch(
+    const std::vector<ExtendJob> &jobs, const Scoring &sc, u32 band);
+
+/**
+ * Single-job scoring (the graceful-degradation fallback path of the
+ * GenAx system). One job cannot fill SIMD lanes, so this is always
+ * the scalar reference kernel.
+ */
+BandedExtendScore scoreExtendOne(const PackedSeq &ref, const Seq &qry,
+                                 const Scoring &sc, u32 band);
+
+} // namespace genax::simd
+
+#endif // GENAX_ALIGN_SIMD_BATCH_SCORE_HH

@@ -1,0 +1,61 @@
+// AVX2 instantiation of the inter-sequence banded Extend kernel:
+// 16 jobs per 256-bit vector. Compiled with -mavx2 only.
+
+#include "align/simd/tiers.hh"
+
+#if defined(GENAX_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include "align/simd/banded_kernel.hh"
+
+namespace genax::simd::detail {
+
+namespace {
+
+struct TraitsAvx2
+{
+    using V = __m256i;
+    static constexpr int kLanes = 16;
+
+    static V set1(i16 x) { return _mm256_set1_epi16(x); }
+    static V
+    loadu(const i16 *p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+    }
+    static void
+    storeu(i16 *p, V v)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+    static V addSat(V a, V b) { return _mm256_adds_epi16(a, b); }
+    static V subSat(V a, V b) { return _mm256_subs_epi16(a, b); }
+    static V maxS(V a, V b) { return _mm256_max_epi16(a, b); }
+    static V cmpEq(V a, V b) { return _mm256_cmpeq_epi16(a, b); }
+    static V cmpGt(V a, V b) { return _mm256_cmpgt_epi16(a, b); }
+    static V and_(V a, V b) { return _mm256_and_si256(a, b); }
+    static V or_(V a, V b) { return _mm256_or_si256(a, b); }
+    /** ~a & b */
+    static V andNot(V a, V b) { return _mm256_andnot_si256(a, b); }
+    /** mask ? b : a (lane masks are all-ones or all-zeros; the blend
+     *  never crosses a 128-bit lane, so AVX2 blendv is lane-exact). */
+    static V
+    blend(V a, V b, V mask)
+    {
+        return _mm256_blendv_epi8(a, b, mask);
+    }
+};
+
+} // namespace
+
+void
+scoreExtendBatchAvx2(const ExtendJob *jobs, const u32 *idx, size_t count,
+                     const Scoring &sc, u32 band, BandedExtendScore *out)
+{
+    scoreExtendBatchImpl<TraitsAvx2>(jobs, idx, count, sc, band, out);
+}
+
+} // namespace genax::simd::detail
+
+#endif // GENAX_SIMD_AVX2

@@ -1,0 +1,58 @@
+// SSE4.1 instantiation of the inter-sequence banded Extend kernel.
+// Compiled with -msse4.1 (and only then); generic code reaches it
+// through the declaration in tiers.hh.
+
+#include "align/simd/tiers.hh"
+
+#if defined(GENAX_SIMD_SSE41)
+
+#include <smmintrin.h>
+
+#include "align/simd/banded_kernel.hh"
+
+namespace genax::simd::detail {
+
+namespace {
+
+struct TraitsSse41
+{
+    using V = __m128i;
+    static constexpr int kLanes = 8;
+
+    static V set1(i16 x) { return _mm_set1_epi16(x); }
+    static V
+    loadu(const i16 *p)
+    {
+        return _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    }
+    static void
+    storeu(i16 *p, V v)
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+    }
+    static V addSat(V a, V b) { return _mm_adds_epi16(a, b); }
+    static V subSat(V a, V b) { return _mm_subs_epi16(a, b); }
+    static V maxS(V a, V b) { return _mm_max_epi16(a, b); }
+    static V cmpEq(V a, V b) { return _mm_cmpeq_epi16(a, b); }
+    static V cmpGt(V a, V b) { return _mm_cmpgt_epi16(a, b); }
+    static V and_(V a, V b) { return _mm_and_si128(a, b); }
+    static V or_(V a, V b) { return _mm_or_si128(a, b); }
+    /** ~a & b */
+    static V andNot(V a, V b) { return _mm_andnot_si128(a, b); }
+    /** mask ? b : a (mask lanes are all-ones or all-zeros, so the
+     *  byte-granular blend is lane-exact). */
+    static V blend(V a, V b, V mask) { return _mm_blendv_epi8(a, b, mask); }
+};
+
+} // namespace
+
+void
+scoreExtendBatchSse41(const ExtendJob *jobs, const u32 *idx, size_t count,
+                      const Scoring &sc, u32 band, BandedExtendScore *out)
+{
+    scoreExtendBatchImpl<TraitsSse41>(jobs, idx, count, sc, band, out);
+}
+
+} // namespace genax::simd::detail
+
+#endif // GENAX_SIMD_SSE41

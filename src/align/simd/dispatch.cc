@@ -1,0 +1,151 @@
+#include "align/simd/dispatch.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace genax::simd {
+
+namespace {
+
+/** Forced tier: -1 = auto, else a KernelTier value. */
+std::atomic<int> g_forced{-1};
+
+bool
+scalarForcedByEnv()
+{
+    const char *v = std::getenv("GENAX_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+KernelTier
+detectCpuTier()
+{
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(GENAX_SIMD_AVX2)
+    if (__builtin_cpu_supports("avx2"))
+        return KernelTier::Avx2;
+#endif
+#if defined(GENAX_SIMD_SSE41)
+    if (__builtin_cpu_supports("sse4.1"))
+        return KernelTier::Sse41;
+#endif
+#endif
+    return KernelTier::Scalar;
+}
+
+} // namespace
+
+const char *
+kernelTierName(KernelTier tier)
+{
+    switch (tier) {
+      case KernelTier::Scalar:
+        return "scalar";
+      case KernelTier::Sse41:
+        return "sse41";
+      case KernelTier::Avx2:
+        return "avx2";
+    }
+    return "scalar";
+}
+
+bool
+kernelTierCompiled(KernelTier tier)
+{
+    switch (tier) {
+      case KernelTier::Scalar:
+        return true;
+      case KernelTier::Sse41:
+#if defined(GENAX_SIMD_SSE41)
+        return true;
+#else
+        return false;
+#endif
+      case KernelTier::Avx2:
+#if defined(GENAX_SIMD_AVX2)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+kernelTierSupported(KernelTier tier)
+{
+    if (!kernelTierCompiled(tier))
+        return false;
+#if defined(__x86_64__) || defined(__i386__)
+    switch (tier) {
+      case KernelTier::Scalar:
+        return true;
+      case KernelTier::Sse41:
+        return __builtin_cpu_supports("sse4.1") != 0;
+      case KernelTier::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+    }
+    return false;
+#else
+    return tier == KernelTier::Scalar;
+#endif
+}
+
+KernelTier
+detectKernelTier()
+{
+    // CPUID is process-invariant, so cache it; the env override is
+    // re-read on every call (cheap, and tests flip it with setenv).
+    static const KernelTier cpu_tier = detectCpuTier();
+    if (scalarForcedByEnv())
+        return KernelTier::Scalar;
+    return cpu_tier;
+}
+
+KernelTier
+activeKernelTier()
+{
+    const int forced = g_forced.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<KernelTier>(forced);
+    return detectKernelTier();
+}
+
+Status
+setKernelTier(KernelTier tier)
+{
+    if (!kernelTierSupported(tier)) {
+        return invalidInputError(
+            std::string("kernel tier not supported on this host: ") +
+            kernelTierName(tier));
+    }
+    g_forced.store(static_cast<int>(tier), std::memory_order_relaxed);
+    return okStatus();
+}
+
+Status
+setKernelTierByName(std::string_view name)
+{
+    if (name == "auto") {
+        clearKernelTierOverride();
+        return okStatus();
+    }
+    for (const KernelTier tier :
+         {KernelTier::Scalar, KernelTier::Sse41, KernelTier::Avx2}) {
+        if (name == kernelTierName(tier))
+            return setKernelTier(tier);
+    }
+    return invalidInputError("unknown kernel tier: \"" +
+                             std::string(name) +
+                             "\" (want auto|scalar|sse41|avx2)");
+}
+
+void
+clearKernelTierOverride()
+{
+    g_forced.store(-1, std::memory_order_relaxed);
+}
+
+} // namespace genax::simd

@@ -1,0 +1,45 @@
+#include "align/simd/myers_batch.hh"
+
+#include "align/myers.hh"
+#include "align/simd/dispatch.hh"
+#include "align/simd/tiers.hh"
+
+namespace genax::simd {
+
+std::vector<u64>
+myersEditDistanceBatch(const std::vector<MyersJob> &jobs)
+{
+    std::vector<u64> out(jobs.size(), 0);
+
+    // Degenerate jobs have closed-form answers; filtering them here
+    // keeps the vector kernel free of per-lane emptiness masks.
+    std::vector<u32> pending;
+    pending.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const size_t m = jobs[i].pattern->size();
+        const size_t n = jobs[i].text->size();
+        if (m == 0)
+            out[i] = n;
+        else if (n == 0)
+            out[i] = m;
+        else
+            pending.push_back(static_cast<u32>(i));
+    }
+    if (pending.empty())
+        return out;
+
+#if defined(GENAX_SIMD_AVX2)
+    // Only AVX2 has the 64-bit lane compares the batched kernel
+    // needs; SSE4.1 falls back to the scalar loop.
+    if (activeKernelTier() == KernelTier::Avx2) {
+        detail::myersBatchAvx2(jobs.data(), pending.data(),
+                               pending.size(), out.data());
+        return out;
+    }
+#endif
+    for (u32 i : pending)
+        out[i] = myersEditDistance(*jobs[i].pattern, *jobs[i].text);
+    return out;
+}
+
+} // namespace genax::simd

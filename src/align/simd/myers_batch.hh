@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Batched multi-block Myers bit-parallel edit distance.
+ *
+ * Four independent (pattern, packed-text window) jobs run in the
+ * 64-bit lanes of one AVX2 vector; each lane executes exactly the
+ * block recurrence of align/myers.cc (the carry-propagating add in
+ * the XH computation is per-lane exact with _mm256_add_epi64), so the
+ * distances are bit-identical to myersEditDistance at every tier.
+ * Tiers without 64-bit lane compares (scalar, SSE4.1) loop the scalar
+ * kernel job by job.
+ */
+
+#ifndef GENAX_ALIGN_SIMD_MYERS_BATCH_HH
+#define GENAX_ALIGN_SIMD_MYERS_BATCH_HH
+
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax::simd {
+
+/**
+ * One edit-distance job: global Levenshtein distance of *pattern
+ * against the packed window *text. Pointed-to sequences must outlive
+ * the batch call.
+ */
+struct MyersJob
+{
+    const Seq *pattern = nullptr;
+    const PackedSeq *text = nullptr;
+};
+
+/**
+ * Edit distance for every job, on the active kernel tier.
+ * Postcondition: out[i] == myersEditDistance(*jobs[i].pattern,
+ * *jobs[i].text) for every i, at every tier.
+ */
+std::vector<u64> myersEditDistanceBatch(const std::vector<MyersJob> &jobs);
+
+} // namespace genax::simd
+
+#endif // GENAX_ALIGN_SIMD_MYERS_BATCH_HH

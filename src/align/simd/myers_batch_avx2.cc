@@ -1,0 +1,189 @@
+// Batched multi-block Myers edit distance, four jobs in the 64-bit
+// lanes of one AVX2 vector. Compiled with -mavx2 only.
+//
+// Each lane replicates align/myers.cc exactly: same block recurrence
+// (the carry add in XH is _mm256_add_epi64, exact per lane), same
+// pre-advance last-block score probe at the true pattern row, same
+// horizontal-delta chaining. Lanes whose pattern needs fewer blocks
+// than the group maximum run harmless padding blocks (empty match
+// masks; the horizontal delta only flows upward and the score is
+// probed only at the lane's own last block), and lanes whose text is
+// shorter than the group maximum freeze their score once their text
+// is consumed.
+
+#include "align/simd/tiers.hh"
+
+#if defined(GENAX_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace genax::simd::detail {
+
+namespace {
+
+__m256i
+loadv(const u64 *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+void
+storev(u64 *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+
+} // namespace
+
+void
+myersBatchAvx2(const MyersJob *jobs, const u32 *idx, size_t count,
+               u64 *out)
+{
+    constexpr int L = 4;
+    constexpr unsigned W = 64;
+
+    std::vector<u64> peqT, lastMaskT, laneLastT, pvT, mvT, textT;
+
+    for (size_t g0 = 0; g0 < count; g0 += L) {
+        const int gl =
+            static_cast<int>(std::min<size_t>(L, count - g0));
+
+        size_t mArr[L] = {0}, nArr[L] = {0}, blocksArr[L] = {0};
+        size_t B = 0, maxN = 0;
+        for (int l = 0; l < gl; ++l) {
+            const MyersJob &jb = jobs[idx[g0 + l]];
+            mArr[l] = jb.pattern->size();
+            nArr[l] = jb.text->size();
+            blocksArr[l] = (mArr[l] + W - 1) / W;
+            B = std::max(B, blocksArr[l]);
+            maxN = std::max(maxN, nArr[l]);
+        }
+
+        // peqT[(b*4 + c)*L + l]: match mask of base c, block b, lane l.
+        peqT.assign(B * 4 * L, 0);
+        lastMaskT.assign(B * L, 0);
+        laneLastT.assign(B * L, 0);
+        for (int l = 0; l < gl; ++l) {
+            const MyersJob &jb = jobs[idx[g0 + l]];
+            for (size_t i = 0; i < mArr[l]; ++i) {
+                const size_t b = i / W;
+                const u32 c = (*jb.pattern)[i] & 3;
+                peqT[(b * 4 + c) * L + static_cast<size_t>(l)] |=
+                    u64{1} << (i % W);
+            }
+            const size_t lastB = blocksArr[l] - 1;
+            lastMaskT[lastB * L + static_cast<size_t>(l)] =
+                u64{1} << ((mArr[l] - 1) % W);
+            laneLastT[lastB * L + static_cast<size_t>(l)] = ~u64{0};
+        }
+
+        pvT.assign(B * L, ~u64{0});
+        mvT.assign(B * L, 0);
+
+        textT.assign(std::max<size_t>(maxN, 1) * L, 0);
+        for (int l = 0; l < gl; ++l) {
+            const MyersJob &jb = jobs[idx[g0 + l]];
+            for (size_t j = 0; j < nArr[l]; ++j)
+                textT[j * L + static_cast<size_t>(l)] =
+                    jb.text->at(j) & 3;
+        }
+
+        u64 laneTmp[L];
+        for (int l = 0; l < L; ++l)
+            laneTmp[l] = mArr[l]; // D[m][0] = m
+        __m256i score = loadv(laneTmp);
+        for (int l = 0; l < L; ++l)
+            laneTmp[l] = nArr[l];
+        const __m256i nV = loadv(laneTmp);
+
+        const __m256i ones = _mm256_set1_epi64x(-1);
+        const __m256i one = _mm256_set1_epi64x(1);
+
+        for (size_t j = 0; j < maxN; ++j) {
+            const __m256i cV = loadv(&textT[j * L]);
+            // Lanes whose text is exhausted keep advancing on padding
+            // characters, but their score is frozen by this mask.
+            const __m256i active = _mm256_cmpgt_epi64(
+                nV, _mm256_set1_epi64x(static_cast<long long>(j)));
+
+            __m256i hinP = one;   // row 0 horizontal delta is +1
+            __m256i hinM = _mm256_setzero_si256();
+
+            for (size_t b = 0; b < B; ++b) {
+                __m256i eq = _mm256_setzero_si256();
+                for (u32 c = 0; c < 4; ++c) {
+                    const __m256i sel = _mm256_cmpeq_epi64(
+                        cV,
+                        _mm256_set1_epi64x(static_cast<long long>(c)));
+                    eq = _mm256_or_si256(
+                        eq, _mm256_and_si256(
+                                sel, loadv(&peqT[(b * 4 + c) * L])));
+                }
+                const __m256i eqp = _mm256_or_si256(eq, hinM);
+
+                const __m256i pv = loadv(&pvT[b * L]);
+                const __m256i mv = loadv(&mvT[b * L]);
+
+                const __m256i xv = _mm256_or_si256(eqp, mv);
+                const __m256i xh = _mm256_or_si256(
+                    _mm256_xor_si256(
+                        _mm256_add_epi64(_mm256_and_si256(eqp, pv), pv),
+                        pv),
+                    eqp);
+
+                __m256i ph = _mm256_or_si256(
+                    mv, _mm256_andnot_si256(_mm256_or_si256(xh, pv),
+                                            ones));
+                __m256i mh = _mm256_and_si256(pv, xh);
+
+                // Last-block score probe at the lane's true pattern
+                // row, before the shift (align/myers.cc does the same
+                // with a scratch recompute).
+                const __m256i lastM = loadv(&lastMaskT[b * L]);
+                const __m256i upd = _mm256_and_si256(
+                    loadv(&laneLastT[b * L]), active);
+                const __m256i incr = _mm256_and_si256(
+                    _mm256_cmpeq_epi64(_mm256_and_si256(ph, lastM),
+                                       lastM),
+                    upd);
+                const __m256i decr = _mm256_and_si256(
+                    _mm256_cmpeq_epi64(_mm256_and_si256(mh, lastM),
+                                       lastM),
+                    upd);
+                score = _mm256_add_epi64(score,
+                                         _mm256_and_si256(incr, one));
+                score = _mm256_sub_epi64(score,
+                                         _mm256_and_si256(decr, one));
+
+                // Horizontal deltas out of the block (bit 63, before
+                // the shift). ph and mh are disjoint, so at most one
+                // fires per lane.
+                const __m256i houtP = _mm256_srli_epi64(ph, 63);
+                const __m256i houtM = _mm256_srli_epi64(mh, 63);
+
+                ph = _mm256_or_si256(_mm256_slli_epi64(ph, 1), hinP);
+                mh = _mm256_or_si256(_mm256_slli_epi64(mh, 1), hinM);
+
+                storev(&pvT[b * L],
+                       _mm256_or_si256(
+                           mh, _mm256_andnot_si256(
+                                   _mm256_or_si256(xv, ph), ones)));
+                storev(&mvT[b * L], _mm256_and_si256(ph, xv));
+
+                hinP = houtP;
+                hinM = houtM;
+            }
+        }
+
+        storev(laneTmp, score);
+        for (int l = 0; l < gl; ++l)
+            out[idx[g0 + l]] = laneTmp[l];
+    }
+}
+
+} // namespace genax::simd::detail
+
+#endif // GENAX_SIMD_AVX2

@@ -1,0 +1,67 @@
+#include "align/simd/striped.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "align/simd/dispatch.hh"
+#include "align/simd/tiers.hh"
+
+namespace genax::simd {
+
+i32
+localScoreScalar(const Seq &ref, const Seq &qry, const Scoring &sc)
+{
+    const size_t n = ref.size(), m = qry.size();
+    if (n == 0 || m == 0)
+        return 0;
+
+    constexpr i32 kNegInf = INT32_MIN / 4;
+    const i32 goe = sc.gapOpen + sc.gapExtend;
+
+    // h[j] = H[i-1][j] entering row i; f[j] = F[i-1][j].
+    std::vector<i32> h(m + 1, 0);
+    std::vector<i32> f(m + 1, kNegInf);
+    i32 best = 0;
+    for (size_t i = 1; i <= n; ++i) {
+        i32 diag = h[0]; // H[i-1][0] == 0
+        i32 e = kNegInf;
+        for (size_t j = 1; j <= m; ++j) {
+            const i32 eOpen = h[j - 1] - goe; // h[j-1] is H[i][j-1]
+            e = std::max(eOpen, e == kNegInf ? kNegInf : e - sc.gapExtend);
+            const i32 fOpen = h[j] - goe;
+            f[j] = std::max(fOpen,
+                            f[j] == kNegInf ? kNegInf
+                                            : f[j] - sc.gapExtend);
+            i32 cell = std::max({diag + sc.sub(ref[i - 1], qry[j - 1]), e,
+                                 f[j]});
+            if (cell <= 0)
+                cell = 0;
+            diag = h[j];
+            h[j] = cell;
+            best = std::max(best, cell);
+        }
+    }
+    return best;
+}
+
+i32
+stripedLocalScore(const Seq &ref, const Seq &qry, const Scoring &sc)
+{
+    if (ref.empty() || qry.empty())
+        return 0;
+#if defined(GENAX_SIMD_SSE41)
+    // Both SIMD tiers share the 128-bit striped kernel: the striped
+    // lane shift is a 128-bit byte shift, which AVX2 cannot widen
+    // across its lane boundary cheaply (see DESIGN.md).
+    if (activeKernelTier() != KernelTier::Scalar &&
+        kernelTierSupported(KernelTier::Sse41)) {
+        const i32 s = detail::stripedLocalScoreSse41(ref, qry, sc);
+        if (s >= 0)
+            return s; // < 0 means 16-bit overflow: fall through
+    }
+#endif
+    return localScoreScalar(ref, qry, sc);
+}
+
+} // namespace genax::simd

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Striped-profile (Farrar) local Smith-Waterman-Gotoh scoring.
+ *
+ * The SIMD pass runs the classic SSW ladder: an 8-bit unsigned
+ * saturating sweep first (16 lanes per 128-bit vector), a 16-bit
+ * sweep when the 8-bit score range may have saturated, and the scalar
+ * kernel when even 16 bits cannot hold the score — the overflow
+ * re-run contract. Every rung produces a score bit-identical to
+ * gotohAlign(..., AlignMode::Local).score; the ladder only trades
+ * speed. Traceback (when a caller needs it) is a separate scalar
+ * gotohAlign run on the winner — scores here are score-only.
+ */
+
+#ifndef GENAX_ALIGN_SIMD_STRIPED_HH
+#define GENAX_ALIGN_SIMD_STRIPED_HH
+
+#include "align/scoring.hh"
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax::simd {
+
+/**
+ * Best local alignment score of qry against ref on the active kernel
+ * tier. Equals gotohAlign(ref, qry, sc, AlignMode::Local).score for
+ * every input and every tier.
+ */
+i32 stripedLocalScore(const Seq &ref, const Seq &qry, const Scoring &sc);
+
+/** Scalar score-only local Gotoh — the reference oracle and the
+ *  final rung of the overflow ladder. */
+i32 localScoreScalar(const Seq &ref, const Seq &qry, const Scoring &sc);
+
+} // namespace genax::simd
+
+#endif // GENAX_ALIGN_SIMD_STRIPED_HH

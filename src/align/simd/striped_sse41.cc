@@ -1,0 +1,234 @@
+// Striped (Farrar) local Smith-Waterman-Gotoh, 128-bit kernels.
+// Compiled with -msse4.1. Both SIMD dispatch tiers use this file:
+// the striped recurrence needs a one-lane byte shift per row, which
+// is a single instruction at 128 bits but a cross-lane shuffle at
+// 256, so a 16-lane 8-bit pass is already the sweet spot.
+//
+// Ladder: 8-bit unsigned saturating pass; if the observed maximum is
+// close enough to 255 that an add may have saturated, a 16-bit pass;
+// if that may have saturated too, -1 (caller re-runs scalar). A pass
+// that reports a score is exact: unsigned saturation clamps only at
+// zero, which coincides with the local-alignment floor, and any
+// upward clamp would push the reported maximum over the re-run
+// threshold.
+//
+// The lazy-F loop corrects cross-lane query-gap propagation after
+// each row. Gap-then-gap corner paths that would need the stored
+// ref-gap values re-corrected always have an equal-scoring
+// commuted twin (gap order swapped) that the next row computes, so
+// the maximum — all this kernel reports — is unaffected.
+
+#include "align/simd/tiers.hh"
+
+#if defined(GENAX_SIMD_SSE41)
+
+#include <smmintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace genax::simd::detail {
+
+namespace {
+
+__m128i
+loadv(const void *p)
+{
+    return _mm_loadu_si128(static_cast<const __m128i *>(p));
+}
+
+void
+storev(void *p, __m128i v)
+{
+    _mm_storeu_si128(static_cast<__m128i *>(p), v);
+}
+
+/** 8-bit pass: score, or -1 when the range gate fails or the score
+ *  came close enough to 255 that saturation was possible. */
+i32
+stripedPassU8(const Seq &ref, const Seq &qry, const Scoring &sc)
+{
+    const u32 bias = static_cast<u32>(sc.mismatch);
+    const u32 match = static_cast<u32>(sc.match);
+    const u32 goe = static_cast<u32>(sc.gapOpen + sc.gapExtend);
+    if (bias + match > 255 || goe > 255 ||
+        static_cast<u32>(sc.gapExtend) > 255)
+        return -1;
+
+    const size_t m = qry.size(), n = ref.size();
+    const size_t p = (m + 15) / 16;
+
+    // Striped query profile: lane s, stripe t holds query index
+    // j = s*p + t. Padding columns score 0 (a full-bias penalty), so
+    // they can never exceed the true maximum.
+    std::vector<u8> prof(4 * p * 16, 0);
+    for (u32 c = 0; c < 4; ++c) {
+        for (size_t t = 0; t < p; ++t) {
+            for (size_t s = 0; s < 16; ++s) {
+                const size_t j = s * p + t;
+                if (j < m)
+                    prof[(c * p + t) * 16 + s] = static_cast<u8>(
+                        static_cast<i32>(bias) +
+                        sc.sub(static_cast<Base>(c), qry[j]));
+            }
+        }
+    }
+
+    std::vector<u8> hStore(p * 16, 0), hLoad(p * 16, 0), eBuf(p * 16, 0);
+    const __m128i vZero = _mm_setzero_si128();
+    const __m128i vBias = _mm_set1_epi8(static_cast<char>(bias));
+    const __m128i vGapO = _mm_set1_epi8(static_cast<char>(goe));
+    const __m128i vGapE =
+        _mm_set1_epi8(static_cast<char>(sc.gapExtend));
+    __m128i vMax = vZero;
+
+    for (size_t i = 0; i < n; ++i) {
+        const u8 *row = &prof[static_cast<size_t>(ref[i] & 3) * p * 16];
+        __m128i vF = vZero;
+        __m128i vH = _mm_slli_si128(loadv(&hStore[(p - 1) * 16]), 1);
+        std::swap(hStore, hLoad);
+
+        for (size_t t = 0; t < p; ++t) {
+            vH = _mm_subs_epu8(_mm_adds_epu8(vH, loadv(row + t * 16)),
+                               vBias);
+            __m128i e = loadv(&eBuf[t * 16]);
+            vH = _mm_max_epu8(vH, e);
+            vH = _mm_max_epu8(vH, vF);
+            vMax = _mm_max_epu8(vMax, vH);
+            storev(&hStore[t * 16], vH);
+
+            const __m128i vHgap = _mm_subs_epu8(vH, vGapO);
+            e = _mm_max_epu8(_mm_subs_epu8(e, vGapE), vHgap);
+            storev(&eBuf[t * 16], e);
+            vF = _mm_max_epu8(_mm_subs_epu8(vF, vGapE), vHgap);
+            vH = loadv(&hLoad[t * 16]);
+        }
+
+        // Lazy F: push the wrapped query-gap value through the
+        // stripes until it cannot improve any cell.
+        vF = _mm_slli_si128(vF, 1);
+        for (int k = 0; k < 16; ++k) {
+            for (size_t t = 0; t < p; ++t) {
+                const __m128i vH2 =
+                    _mm_max_epu8(loadv(&hStore[t * 16]), vF);
+                storev(&hStore[t * 16], vH2);
+                const __m128i vHgap = _mm_subs_epu8(vH2, vGapO);
+                vF = _mm_subs_epu8(vF, vGapE);
+                const __m128i gt = _mm_subs_epu8(vF, vHgap);
+                if (_mm_movemask_epi8(_mm_cmpeq_epi8(gt, vZero)) ==
+                    0xFFFF)
+                    goto row_done;
+            }
+            vF = _mm_slli_si128(vF, 1);
+        }
+    row_done:;
+    }
+
+    u8 lanes[16];
+    storev(lanes, vMax);
+    const u32 best = *std::max_element(lanes, lanes + 16);
+    if (best + bias + match >= 255)
+        return -1; // an adds_epu8 may have clamped somewhere
+    return static_cast<i32>(best);
+}
+
+/** 16-bit pass: same structure, 8 lanes; -1 on possible overflow. */
+i32
+stripedPassU16(const Seq &ref, const Seq &qry, const Scoring &sc)
+{
+    const u32 bias = static_cast<u32>(sc.mismatch);
+    const u32 match = static_cast<u32>(sc.match);
+    const u32 goe = static_cast<u32>(sc.gapOpen + sc.gapExtend);
+    if (bias + match > 65535 || goe > 65535 ||
+        static_cast<u32>(sc.gapExtend) > 65535)
+        return -1;
+
+    const size_t m = qry.size(), n = ref.size();
+    const size_t p = (m + 7) / 8;
+
+    std::vector<u16> prof(4 * p * 8, 0);
+    for (u32 c = 0; c < 4; ++c) {
+        for (size_t t = 0; t < p; ++t) {
+            for (size_t s = 0; s < 8; ++s) {
+                const size_t j = s * p + t;
+                if (j < m)
+                    prof[(c * p + t) * 8 + s] = static_cast<u16>(
+                        static_cast<i32>(bias) +
+                        sc.sub(static_cast<Base>(c), qry[j]));
+            }
+        }
+    }
+
+    std::vector<u16> hStore(p * 8, 0), hLoad(p * 8, 0), eBuf(p * 8, 0);
+    const __m128i vZero = _mm_setzero_si128();
+    const __m128i vBias = _mm_set1_epi16(static_cast<short>(bias));
+    const __m128i vGapO = _mm_set1_epi16(static_cast<short>(goe));
+    const __m128i vGapE =
+        _mm_set1_epi16(static_cast<short>(sc.gapExtend));
+    __m128i vMax = vZero;
+
+    for (size_t i = 0; i < n; ++i) {
+        const u16 *row = &prof[static_cast<size_t>(ref[i] & 3) * p * 8];
+        __m128i vF = vZero;
+        __m128i vH = _mm_slli_si128(loadv(&hStore[(p - 1) * 8]), 2);
+        std::swap(hStore, hLoad);
+
+        for (size_t t = 0; t < p; ++t) {
+            vH = _mm_subs_epu16(_mm_adds_epu16(vH, loadv(row + t * 8)),
+                                vBias);
+            __m128i e = loadv(&eBuf[t * 8]);
+            vH = _mm_max_epu16(vH, e);
+            vH = _mm_max_epu16(vH, vF);
+            vMax = _mm_max_epu16(vMax, vH);
+            storev(&hStore[t * 8], vH);
+
+            const __m128i vHgap = _mm_subs_epu16(vH, vGapO);
+            e = _mm_max_epu16(_mm_subs_epu16(e, vGapE), vHgap);
+            storev(&eBuf[t * 8], e);
+            vF = _mm_max_epu16(_mm_subs_epu16(vF, vGapE), vHgap);
+            vH = loadv(&hLoad[t * 8]);
+        }
+
+        vF = _mm_slli_si128(vF, 2);
+        for (int k = 0; k < 8; ++k) {
+            for (size_t t = 0; t < p; ++t) {
+                const __m128i vH2 =
+                    _mm_max_epu16(loadv(&hStore[t * 8]), vF);
+                storev(&hStore[t * 8], vH2);
+                const __m128i vHgap = _mm_subs_epu16(vH2, vGapO);
+                vF = _mm_subs_epu16(vF, vGapE);
+                const __m128i gt = _mm_subs_epu16(vF, vHgap);
+                if (_mm_movemask_epi8(_mm_cmpeq_epi16(gt, vZero)) ==
+                    0xFFFF)
+                    goto row_done;
+            }
+            vF = _mm_slli_si128(vF, 2);
+        }
+    row_done:;
+    }
+
+    u16 lanes[8];
+    storev(lanes, vMax);
+    const u32 best = *std::max_element(lanes, lanes + 8);
+    if (best + bias + match >= 65535)
+        return -1;
+    return static_cast<i32>(best);
+}
+
+} // namespace
+
+i32
+stripedLocalScoreSse41(const Seq &ref, const Seq &qry, const Scoring &sc)
+{
+    if (sc.match < 0 || sc.mismatch < 0 || sc.gapOpen < 0 ||
+        sc.gapExtend < 0)
+        return -1; // exotic scoring: scalar only
+    const i32 s8 = stripedPassU8(ref, qry, sc);
+    if (s8 >= 0)
+        return s8;
+    return stripedPassU16(ref, qry, sc);
+}
+
+} // namespace genax::simd::detail
+
+#endif // GENAX_SIMD_SSE41

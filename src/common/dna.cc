@@ -1,6 +1,7 @@
 #include "common/dna.hh"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/logging.hh"
 
@@ -114,6 +115,19 @@ PackedSeq::packWindow(const Seq &src, size_t begin, size_t end,
             out._words[i >> 5] |= b << ((i & 31) * 2);
         }
     }
+    return out;
+}
+
+PackedSeq
+PackedSeq::prefix(size_t len) const
+{
+    GENAX_ASSERT(len <= _size, "prefix beyond sequence: len=", len,
+                 " size=", _size);
+    PackedSeq out;
+    out._words.assign(_words.begin(),
+                      _words.begin() +
+                          static_cast<std::ptrdiff_t>((len + 31) / 32));
+    out._size = len;
     return out;
 }
 

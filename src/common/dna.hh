@@ -115,6 +115,15 @@ class PackedSeq
      */
     u64 kmer(size_t pos, unsigned k) const;
 
+    /**
+     * The packed prefix [0, len). Word-level copy — no per-base
+     * repacking. Used by the SIMD scoring path to truncate a window
+     * to the winning cell before the scalar traceback re-run.
+     *
+     * @pre len <= size().
+     */
+    PackedSeq prefix(size_t len) const;
+
     /** Unpack positions [pos, pos+len) into a Seq. */
     Seq unpack(size_t pos, size_t len) const;
 

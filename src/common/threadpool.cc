@@ -1,5 +1,7 @@
 #include "common/threadpool.hh"
 
+#include <algorithm>
+
 #include "common/check.hh"
 
 namespace genax {
@@ -45,9 +47,16 @@ ThreadPool::global()
 unsigned
 ThreadPool::resolveWidth(unsigned requested)
 {
-    if (requested != 0)
-        return requested;
-    return std::max(1u, std::thread::hardware_concurrency());
+    // Clamp to the hardware width: on a low-core host an inflated
+    // request would spawn runners that only contend on the chunk
+    // cursor, and a clamped width of 1 lets parallelFor short-circuit
+    // to the serial path with no region setup at all. Results are
+    // width-invariant, so clamping cannot change output.
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    if (requested == 0)
+        return hw;
+    return std::min(requested, hw);
 }
 
 void

@@ -69,7 +69,9 @@ class ThreadPool
     static ThreadPool &global();
 
     /** Resolve a requested parallel width: 0 means "all hardware
-     *  threads"; anything else is taken literally. */
+     *  threads"; anything else is clamped to the hardware thread
+     *  count (oversubscribed runners only contend, and a width of 1
+     *  short-circuits parallelFor to the serial path). */
     static unsigned resolveWidth(unsigned requested);
 
     /** Enqueue one fire-and-forget task. */

@@ -235,9 +235,10 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
 
                 // Extension kernel with graceful degradation: a job
                 // the lane refuses (injected issue fault) is re-run
-                // on the banded-Gotoh software kernel instead of
-                // being dropped, and the read is flagged so the
-                // pipeline ledger can report it as degraded.
+                // on the software kernel (SIMD score pass + truncated
+                // scalar traceback) instead of being dropped, and the
+                // read is flagged so the pipeline ledger can report
+                // it as degraded.
                 const ExtendFn kernel = [&](const PackedSeq &rw,
                                             const Seq &qry) {
                     ++ws.extensionJobs;
@@ -246,8 +247,8 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
                         ++ws.laneFaults;
                         ++ws.degradedJobs;
                         _degraded[cur_read] = 1;
-                        return gotohExtendKernel(rw, qry, _cfg.scoring,
-                                                 _cfg.editBound);
+                        return gotohExtendViaScore(rw, qry, _cfg.scoring,
+                                                   _cfg.editBound);
                     }
                     const SillaAlignment &a = *attempt;
                     ExtensionResult out;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
+#include "align/simd/batch_score.hh"
 #include "common/logging.hh"
 
 namespace genax {
@@ -85,39 +87,72 @@ gotohExtendKernel(const PackedSeq &ref_window, const Seq &qry,
         gotohBanded(ref_window, qry, sc, AlignMode::Extend, band));
 }
 
-Mapping
-extendAnchor(const Seq &ref, const Seq &read, const Anchor &anchor,
-             const Scoring &sc, u32 margin, const ExtendFn &extend)
+ExtendWindows
+makeExtendWindows(const Seq &ref, const Seq &read, const Anchor &anchor,
+                  u32 margin)
 {
     const u64 len = read.size();
     GENAX_ASSERT(anchor.qryEnd <= len, "anchor beyond read");
     GENAX_ASSERT(anchor.refPos < ref.size(), "anchor beyond reference");
-    const u32 seed_len = anchor.seedLen();
+
+    ExtendWindows win;
 
     // Right extension: read tail vs reference after the seed. The
     // window is packed straight from the genome — no Seq copy.
-    ExtensionResult right;
-    const u64 seed_ref_end = anchor.refPos + seed_len;
+    const u64 seed_ref_end = anchor.refPos + anchor.seedLen();
     if (anchor.qryEnd < len && seed_ref_end < ref.size()) {
         const u64 want = (len - anchor.qryEnd) + margin;
         const u64 end = std::min<u64>(ref.size(), seed_ref_end + want);
-        const PackedSeq ref_window =
-            PackedSeq::packWindow(ref, seed_ref_end, end);
-        const Seq qry(read.begin() + anchor.qryEnd, read.end());
-        right = extend(ref_window, qry);
+        win.hasRight = true;
+        win.right = PackedSeq::packWindow(ref, seed_ref_end, end);
+        win.rightQry.assign(read.begin() + anchor.qryEnd, read.end());
     }
 
     // Left extension: reversed read head vs the reference before the
     // seed, packed in reverse order directly from the genome.
-    ExtensionResult left;
     if (anchor.qryBegin > 0 && anchor.refPos > 0) {
         const u64 want = anchor.qryBegin + margin;
         const u64 begin = anchor.refPos >= want ? anchor.refPos - want : 0;
-        const PackedSeq ref_window = PackedSeq::packWindow(
-            ref, begin, anchor.refPos, /*reversed=*/true);
-        const Seq qry(read.rend() - anchor.qryBegin, read.rend());
-        left = extend(ref_window, qry);
+        win.hasLeft = true;
+        win.left = PackedSeq::packWindow(ref, begin, anchor.refPos,
+                                         /*reversed=*/true);
+        win.leftQry.assign(read.rend() - anchor.qryBegin, read.rend());
     }
+
+    return win;
+}
+
+ExtensionResult
+extendWithScoreHint(const PackedSeq &ref_window, const Seq &qry,
+                    const Scoring &sc, u32 band,
+                    const BandedExtendScore &hint)
+{
+    if (hint.refEnd == 0 && hint.qryEnd == 0) {
+        // Best extension is the empty one; the hint carries its score
+        // (0 unless the scoring makes empty extensions non-neutral —
+        // it cannot, Extend mode pins cell (0,0) at 0).
+        ExtensionResult out;
+        out.score = hint.score;
+        return out;
+    }
+    const Seq qry_prefix(qry.begin(),
+                         qry.begin() + static_cast<size_t>(hint.qryEnd));
+    ExtensionResult out = extractExtension(
+        gotohBanded(ref_window.prefix(hint.refEnd), qry_prefix, sc,
+                    AlignMode::Extend, band));
+    GENAX_ASSERT(out.score == hint.score &&
+                     out.refConsumed == hint.refEnd &&
+                     out.qryConsumed == hint.qryEnd,
+                 "truncated traceback diverged from score pass");
+    return out;
+}
+
+Mapping
+composeAnchorMapping(const Anchor &anchor, const Scoring &sc,
+                     u64 read_len, const ExtensionResult &left,
+                     const ExtensionResult &right)
+{
+    const u32 seed_len = anchor.seedLen();
 
     Mapping out;
     out.mapped = true;
@@ -133,11 +168,34 @@ extendAnchor(const Seq &ref, const Seq &read, const Anchor &anchor,
     cigar.append(reversedCigar(left.cigar));
     cigar.push(CigarOp::Match, seed_len);
     cigar.append(right.cigar);
-    const u64 right_clip = (len - anchor.qryEnd) - right.qryConsumed;
+    const u64 right_clip = (read_len - anchor.qryEnd) - right.qryConsumed;
     if (right_clip > 0)
         cigar.push(CigarOp::SoftClip, static_cast<u32>(right_clip));
     out.cigar = std::move(cigar);
     return out;
+}
+
+ExtensionResult
+gotohExtendViaScore(const PackedSeq &ref_window, const Seq &qry,
+                    const Scoring &sc, u32 band)
+{
+    const std::vector<simd::ExtendJob> jobs{{&ref_window, &qry}};
+    const auto scores = simd::scoreCandidateBatch(jobs, sc, band);
+    return extendWithScoreHint(ref_window, qry, sc, band, scores[0]);
+}
+
+Mapping
+extendAnchor(const Seq &ref, const Seq &read, const Anchor &anchor,
+             const Scoring &sc, u32 margin, const ExtendFn &extend)
+{
+    const ExtendWindows win = makeExtendWindows(ref, read, anchor, margin);
+    ExtensionResult right;
+    if (win.hasRight)
+        right = extend(win.right, win.rightQry);
+    ExtensionResult left;
+    if (win.hasLeft)
+        left = extend(win.left, win.leftQry);
+    return composeAnchorMapping(anchor, sc, read.size(), left, right);
 }
 
 } // namespace genax

@@ -94,6 +94,62 @@ Mapping extendAnchor(const Seq &ref, const Seq &read,
                      const Anchor &anchor, const Scoring &sc, u32 margin,
                      const ExtendFn &extend);
 
+/**
+ * The two extension problems of one anchor, in self-contained form:
+ * packed reference windows plus query copies. This is the unit the
+ * batched SIMD scoring path collects across a read's whole candidate
+ * list before dispatching one scoreCandidateBatch call (see
+ * swbase/bwamem_like.cc). hasRight/hasLeft mirror extendAnchor's
+ * gating: an absent side contributes an empty ExtensionResult.
+ */
+struct ExtendWindows
+{
+    bool hasRight = false;
+    bool hasLeft = false;
+    PackedSeq right;  //!< forward window after the seed
+    Seq rightQry;     //!< read tail after the seed
+    PackedSeq left;   //!< reversed window before the seed
+    Seq leftQry;      //!< reversed read head before the seed
+};
+
+/** Build both extension problems exactly as extendAnchor would. */
+ExtendWindows makeExtendWindows(const Seq &ref, const Seq &read,
+                                const Anchor &anchor, u32 margin);
+
+/**
+ * Finish one extension from its precomputed score triple: re-run the
+ * banded Gotoh DP with traceback on the [0, hint.refEnd) x
+ * [0, hint.qryEnd) prefix only. By the truncation property of
+ * gotohBandedExtendScore this reproduces the full-window Extend
+ * result bit for bit while the traceback matrix shrinks to the part
+ * the winning path can reach. The hint must come from
+ * gotohBandedExtendScore / scoreCandidateBatch on the same
+ * (window, query, scoring, band).
+ */
+ExtensionResult extendWithScoreHint(const PackedSeq &ref_window,
+                                    const Seq &qry, const Scoring &sc,
+                                    u32 band,
+                                    const BandedExtendScore &hint);
+
+/**
+ * Compose a full mapping from an anchor and its two finished
+ * extensions (extendAnchor's composition step, split out so the
+ * batched path can invoke it on the winning candidate only).
+ */
+Mapping composeAnchorMapping(const Anchor &anchor, const Scoring &sc,
+                             u64 read_len, const ExtensionResult &left,
+                             const ExtensionResult &right);
+
+/**
+ * Banded extension kernel routed through the SIMD subsystem's
+ * score-then-traceback split: a score-only pass (scalar for a single
+ * job) followed by the truncated traceback re-run. Same results as
+ * gotohExtendKernel; used as the GenAx lane-fault fallback.
+ */
+ExtensionResult gotohExtendViaScore(const PackedSeq &ref_window,
+                                    const Seq &qry, const Scoring &sc,
+                                    u32 band);
+
 /** Banded-Gotoh extension kernel (the software baseline's). */
 ExtensionResult gotohExtendKernel(const Seq &ref_window, const Seq &qry,
                                   const Scoring &sc, u32 band);

@@ -1,63 +1,175 @@
 #include "swbase/bwamem_like.hh"
 
 #include <algorithm>
+#include <utility>
 
+#include "align/simd/batch_score.hh"
 #include "common/parallel.hh"
 #include "seed/smem_engine.hh"
 
 namespace genax {
 
-BwaMemLike::BwaMemLike(const Seq &ref, const AlignerConfig &cfg)
-    : _ref(ref), _cfg(cfg),
-      _index(std::make_unique<KmerIndex>(ref, cfg.k))
+namespace {
+
+/**
+ * One candidate after the score-only pass: the anchor, both extension
+ * problems in self-contained form, and the batched score triples from
+ * which the final mapping score and position are already known. Only
+ * the winning candidate ever pays for a traceback.
+ */
+struct ScoredCandidate
 {
-}
+    Anchor anchor;
+    ExtendWindows win;
+    BandedExtendScore leftHint;
+    BandedExtendScore rightHint;
+    i32 score = 0;
+    u64 pos = 0;
+};
 
-Mapping
-BwaMemLike::alignRead(const Seq &read) const
+/**
+ * Seed both strands and build every candidate's extension windows
+ * (scores not yet known). Candidate order matches the scalar path's
+ * consider() order (forward strand first, anchors in makeAnchors
+ * order).
+ */
+std::vector<ScoredCandidate>
+buildReadCandidates(const KmerIndex &index, const Seq &ref,
+                    const AlignerConfig &cfg, const Seq &read)
 {
-    SmemEngine engine(*_index, _cfg.seeding);
+    SmemEngine engine(index, cfg.seeding);
 
-    Mapping best;
-    i32 second = INT32_MIN;
-    u32 evaluated = 0;
-
-    auto consider = [&](const Mapping &m) {
-        ++evaluated;
-        const bool better =
-            !best.mapped || m.score > best.score ||
-            (m.score == best.score &&
-             ((best.reverse && !m.reverse) ||
-              (best.reverse == m.reverse && m.pos < best.pos)));
-        if (better) {
-            if (best.mapped)
-                second = std::max(second, best.score);
-            best = m;
-        } else {
-            second = std::max(second, m.score);
-        }
-    };
-
-    const ExtendFn kernel = [this](const PackedSeq &ref_window,
-                                   const Seq &qry) {
-        return gotohExtendKernel(ref_window, qry, _cfg.scoring,
-                                 _cfg.band);
-    };
-
+    std::vector<ScoredCandidate> cands;
     for (bool reverse : {false, true}) {
         const Seq oriented = reverse ? reverseComplement(read) : read;
         const auto smems = engine.seed(oriented);
         const auto anchors =
-            makeAnchors(smems, 0, reverse, _cfg.anchors);
+            makeAnchors(smems, 0, reverse, cfg.anchors);
         for (const auto &anchor : anchors) {
-            consider(extendAnchor(_ref, oriented, anchor, _cfg.scoring,
-                                  _cfg.band, kernel));
+            ScoredCandidate c;
+            c.anchor = anchor;
+            c.win = makeExtendWindows(ref, oriented, anchor, cfg.band);
+            cands.push_back(std::move(c));
+        }
+    }
+    return cands;
+}
+
+/**
+ * Collect every extension of every candidate into `jobs`. The windows
+ * are owned by `cands`, which must not reallocate afterwards. Each
+ * slot records (candidate index, is_left) for the scatter.
+ */
+void
+gatherJobs(const std::vector<ScoredCandidate> &cands, u32 base,
+           std::vector<simd::ExtendJob> &jobs,
+           std::vector<std::pair<u32, bool>> &slots)
+{
+    for (u32 i = 0; i < cands.size(); ++i) {
+        const ExtendWindows &w = cands[i].win;
+        if (w.hasRight) {
+            jobs.push_back({&w.right, &w.rightQry});
+            slots.emplace_back(base + i, false);
+        }
+        if (w.hasLeft) {
+            jobs.push_back({&w.left, &w.leftQry});
+            slots.emplace_back(base + i, true);
+        }
+    }
+}
+
+/** Once both hints are in place, a candidate's final mapping score
+ *  and position are fully determined. */
+void
+applyHints(std::vector<ScoredCandidate> &cands,
+           const AlignerConfig &cfg)
+{
+    for (auto &c : cands) {
+        c.score = static_cast<i32>(c.anchor.seedLen()) *
+                      cfg.scoring.match +
+                  c.leftHint.score + c.rightHint.score;
+        c.pos = c.anchor.refPos - c.leftHint.refEnd;
+    }
+}
+
+/**
+ * Seed, window and score one read's candidates with a per-read
+ * batch — the single-read entry point's path.
+ */
+std::vector<ScoredCandidate>
+scoreReadCandidates(const KmerIndex &index, const Seq &ref,
+                    const AlignerConfig &cfg, const Seq &read)
+{
+    auto cands = buildReadCandidates(index, ref, cfg, read);
+    std::vector<simd::ExtendJob> jobs;
+    std::vector<std::pair<u32, bool>> slots;
+    gatherJobs(cands, 0, jobs, slots);
+    const auto scores =
+        simd::scoreCandidateBatch(jobs, cfg.scoring, cfg.band);
+    for (size_t s = 0; s < slots.size(); ++s) {
+        ScoredCandidate &c = cands[slots[s].first];
+        (slots[s].second ? c.leftHint : c.rightHint) = scores[s];
+    }
+    applyHints(cands, cfg);
+    return cands;
+}
+
+/** Traceback both extensions of one candidate and compose. */
+Mapping
+finishCandidate(const ScoredCandidate &c, const AlignerConfig &cfg,
+                u64 read_len)
+{
+    ExtensionResult right;
+    if (c.win.hasRight)
+        right = extendWithScoreHint(c.win.right, c.win.rightQry,
+                                    cfg.scoring, cfg.band, c.rightHint);
+    ExtensionResult left;
+    if (c.win.hasLeft)
+        left = extendWithScoreHint(c.win.left, c.win.leftQry,
+                                   cfg.scoring, cfg.band, c.leftHint);
+    return composeAnchorMapping(c.anchor, cfg.scoring, read_len, left,
+                                right);
+}
+
+/**
+ * Winner selection + traceback + MAPQ for one read's scored
+ * candidates. The fold replicates the scalar path's serial consider()
+ * on the (score, strand, position) triples the score-only pass
+ * already determines; only the winner pays for a traceback.
+ */
+Mapping
+selectAndFinish(const std::vector<ScoredCandidate> &cands,
+                const AlignerConfig &cfg, u64 read_len)
+{
+    i64 best_idx = -1;
+    i32 second = INT32_MIN;
+    for (u32 i = 0; i < cands.size(); ++i) {
+        if (best_idx < 0) {
+            best_idx = i;
+            continue;
+        }
+        const ScoredCandidate &c = cands[i];
+        const ScoredCandidate &b = cands[static_cast<size_t>(best_idx)];
+        const bool better =
+            c.score > b.score ||
+            (c.score == b.score &&
+             ((b.anchor.reverse && !c.anchor.reverse) ||
+              (b.anchor.reverse == c.anchor.reverse && c.pos < b.pos)));
+        if (better) {
+            second = std::max(second, b.score);
+            best_idx = i;
+        } else {
+            second = std::max(second, c.score);
         }
     }
 
-    if (!best.mapped)
-        return best;
+    if (best_idx < 0)
+        return Mapping{};
+    Mapping best = finishCandidate(cands[static_cast<size_t>(best_idx)],
+                                   cfg, read_len);
+
     // Margin-based mapping quality.
+    const u32 evaluated = static_cast<u32>(cands.size());
     if (evaluated <= 1) {
         best.mapq = 60;
     } else if (second >= best.score) {
@@ -69,56 +181,109 @@ BwaMemLike::alignRead(const Seq &read) const
     return best;
 }
 
+} // namespace
+
+BwaMemLike::BwaMemLike(const Seq &ref, const AlignerConfig &cfg)
+    : _ref(ref), _cfg(cfg),
+      _index(std::make_unique<KmerIndex>(ref, cfg.k))
+{
+}
+
+Mapping
+BwaMemLike::alignRead(const Seq &read) const
+{
+    const auto cands = scoreReadCandidates(*_index, _ref, _cfg, read);
+    return selectAndFinish(cands, _cfg, read.size());
+}
+
 std::vector<Mapping>
 BwaMemLike::candidates(const Seq &read, u32 max_out) const
 {
-    SmemEngine engine(*_index, _cfg.seeding);
-    const ExtendFn kernel = [this](const PackedSeq &ref_window,
-                                   const Seq &qry) {
-        return gotohExtendKernel(ref_window, qry, _cfg.scoring,
-                                 _cfg.band);
-    };
+    const auto cands = scoreReadCandidates(*_index, _ref, _cfg, read);
+
+    // Deduplicate by (position, strand) keeping the first in insertion
+    // order, then sort by the scalar path's key. After deduplication
+    // the key is unique per survivor, so the comparator is a strict
+    // total order and the sort result is deterministic.
+    std::vector<u32> keep;
+    for (u32 i = 0; i < cands.size(); ++i) {
+        bool dup = false;
+        for (u32 j : keep) {
+            if (cands[j].pos == cands[i].pos &&
+                cands[j].anchor.reverse == cands[i].anchor.reverse) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            keep.push_back(i);
+    }
+    std::sort(keep.begin(), keep.end(), [&](u32 a, u32 b) {
+        const ScoredCandidate &ca = cands[a];
+        const ScoredCandidate &cb = cands[b];
+        if (ca.score != cb.score)
+            return ca.score > cb.score;
+        if (ca.anchor.reverse != cb.anchor.reverse)
+            return !ca.anchor.reverse;
+        return ca.pos < cb.pos;
+    });
+    if (keep.size() > max_out)
+        keep.resize(max_out);
 
     std::vector<Mapping> out;
-    for (bool reverse : {false, true}) {
-        const Seq oriented = reverse ? reverseComplement(read) : read;
-        const auto smems = engine.seed(oriented);
-        const auto anchors =
-            makeAnchors(smems, 0, reverse, _cfg.anchors);
-        for (const auto &anchor : anchors) {
-            Mapping m = extendAnchor(_ref, oriented, anchor,
-                                     _cfg.scoring, _cfg.band, kernel);
-            bool dup = false;
-            for (const auto &prev : out) {
-                if (prev.pos == m.pos && prev.reverse == m.reverse) {
-                    dup = true;
-                    break;
-                }
-            }
-            if (!dup)
-                out.push_back(std::move(m));
-        }
-    }
-    std::sort(out.begin(), out.end(),
-              [](const Mapping &a, const Mapping &b) {
-                  if (a.score != b.score)
-                      return a.score > b.score;
-                  if (a.reverse != b.reverse)
-                      return !a.reverse;
-                  return a.pos < b.pos;
-              });
-    if (out.size() > max_out)
-        out.resize(max_out);
+    out.reserve(keep.size());
+    for (u32 i : keep)
+        out.push_back(finishCandidate(cands[i], _cfg, read.size()));
     return out;
 }
 
 std::vector<Mapping>
 BwaMemLike::alignAll(const std::vector<Seq> &reads) const
 {
-    std::vector<Mapping> out(reads.size());
+    // Three-phase batch path. Scoring one read's handful of extension
+    // jobs cannot fill a 16-lane vector group, so the batch is
+    // aggregated across the whole read set: (1) seed and build
+    // windows in parallel, (2) score every extension of every read in
+    // one inter-sequence SIMD batch, (3) select winners and run their
+    // tracebacks in parallel. Per-job scores are independent of batch
+    // composition (the equivalence suite fuzzes exactly this), so the
+    // output is byte-identical to per-read alignRead() calls at any
+    // thread count and any dispatch tier.
+    std::vector<std::vector<ScoredCandidate>> all(reads.size());
     parallelFor(reads.size(), _cfg.threads, [&](u64 lo, u64 hi) {
         for (u64 i = lo; i < hi; ++i)
-            out[i] = alignRead(reads[i]);
+            all[i] = buildReadCandidates(*_index, _ref, _cfg, reads[i]);
+    });
+
+    std::vector<simd::ExtendJob> jobs;
+    std::vector<std::pair<u32, bool>> slots;
+    std::vector<u32> bases(reads.size());
+    u32 base = 0;
+    for (size_t i = 0; i < reads.size(); ++i) {
+        bases[i] = base;
+        gatherJobs(all[i], base, jobs, slots);
+        base += static_cast<u32>(all[i].size());
+    }
+    const auto scores =
+        simd::scoreCandidateBatch(jobs, _cfg.scoring, _cfg.band);
+    for (size_t s = 0; s < slots.size(); ++s) {
+        // Map the flat candidate index back to its read's list.
+        const u32 flat = slots[s].first;
+        const size_t read_idx = static_cast<size_t>(
+            std::upper_bound(bases.begin(), bases.end(), flat) -
+            bases.begin() - 1);
+        ScoredCandidate &c = all[read_idx][flat - bases[read_idx]];
+        (slots[s].second ? c.leftHint : c.rightHint) = scores[s];
+    }
+
+    std::vector<Mapping> out(reads.size());
+    parallelFor(reads.size(), _cfg.threads, [&](u64 lo, u64 hi) {
+        for (u64 i = lo; i < hi; ++i) {
+            applyHints(all[i], _cfg);
+            out[i] = selectAndFinish(all[i], _cfg, reads[i].size());
+            all[i].clear();
+            all[i].shrink_to_fit();
+        }
     });
     return out;
 }

@@ -2,9 +2,10 @@
  * @file
  * End-to-end determinism tests for the sharded batch engine: the SAM
  * byte stream, the PipelineResult outcome ledger, and the modelled
- * GenAxPerf numbers must be identical at every host thread count —
- * with and without an armed fault-injection plan. This is the
- * user-visible contract behind `genax_align --threads N`.
+ * GenAxPerf numbers must be identical at every host thread count AND
+ * at every kernel dispatch tier — with and without an armed
+ * fault-injection plan. This is the user-visible contract behind
+ * `genax_align --threads N` and `genax_align --kernel TIER`.
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "align/simd/dispatch.hh"
 #include "common/faultinject.hh"
 #include "genax/pipeline.hh"
 #include "readsim/readsim.hh"
@@ -187,6 +189,72 @@ TEST(Determinism, SoftwareEngineIdenticalAtAnyThreadCount)
     const RunOutput mt =
         runOnce(w, PipelineOptions::Engine::Software, 8, false);
     expectSameOutcome(serial, mt, "software threads=8");
+}
+
+/** Every kernel tier the host can run, scalar always included. */
+std::vector<simd::KernelTier>
+supportedTiers()
+{
+    std::vector<simd::KernelTier> tiers{simd::KernelTier::Scalar};
+    for (const auto t :
+         {simd::KernelTier::Sse41, simd::KernelTier::Avx2})
+        if (simd::kernelTierSupported(t))
+            tiers.push_back(t);
+    return tiers;
+}
+
+TEST(Determinism, IdenticalAtEveryKernelTier)
+{
+    // The `--kernel` contract: dispatch tier is a speed choice only.
+    // Both engines (the software path batch-scores extensions through
+    // the SIMD kernels; the GenAx path routes lane-fault fallbacks
+    // through them) must produce byte-identical SAM and ledgers at
+    // every tier, serial and sharded alike.
+    const Workload w = makeWorkload();
+    for (const auto engine : {PipelineOptions::Engine::Software,
+                              PipelineOptions::Engine::GenAx}) {
+        simd::clearKernelTierOverride();
+        ASSERT_EQ(simd::setKernelTier(simd::KernelTier::Scalar).ok(),
+                  true);
+        const RunOutput baseline = runOnce(w, engine, 1, false);
+        EXPECT_GT(baseline.res.mapped, 0u);
+        for (const auto tier : supportedTiers()) {
+            ASSERT_TRUE(simd::setKernelTier(tier).ok());
+            for (const unsigned threads : {1u, 8u}) {
+                const RunOutput run = runOnce(w, engine, threads, false);
+                expectSameOutcome(
+                    baseline, run,
+                    std::string("tier=") + kernelTierName(tier) +
+                        " threads=" + std::to_string(threads) +
+                        " engine=" +
+                        (engine == PipelineOptions::Engine::GenAx
+                             ? "genax"
+                             : "software"));
+            }
+        }
+        simd::clearKernelTierOverride();
+    }
+}
+
+TEST(Determinism, FaultFallbackIdenticalAtEveryKernelTier)
+{
+    // Lane-fault degradation re-runs jobs on the software kernel via
+    // the SIMD score pass; the degraded reads and their SAM records
+    // must not depend on which tier scored them.
+    const Workload w = makeWorkload();
+    ASSERT_TRUE(simd::setKernelTier(simd::KernelTier::Scalar).ok());
+    const RunOutput baseline =
+        runOnce(w, PipelineOptions::Engine::GenAx, 1, true);
+    EXPECT_GT(baseline.res.degraded + baseline.res.failed, 0u);
+    for (const auto tier : supportedTiers()) {
+        ASSERT_TRUE(simd::setKernelTier(tier).ok());
+        const RunOutput run =
+            runOnce(w, PipelineOptions::Engine::GenAx, 1, true);
+        expectSameOutcome(baseline, run,
+                          std::string("inject tier=") +
+                              kernelTierName(tier));
+    }
+    simd::clearKernelTierOverride();
 }
 
 } // namespace

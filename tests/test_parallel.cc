@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <thread>
@@ -108,8 +109,13 @@ TEST(ParallelFor, ZeroThreadsMeansAllHardwareThreads)
 {
     // threads == 0 resolves to the hardware width and still covers
     // the range exactly once.
-    EXPECT_GE(ThreadPool::resolveWidth(0), 1u);
-    EXPECT_EQ(ThreadPool::resolveWidth(3), 3u);
+    const unsigned hw = ThreadPool::resolveWidth(0);
+    EXPECT_GE(hw, 1u);
+    // Explicit requests are clamped to the hardware width so a
+    // low-core host never runs oversubscribed.
+    EXPECT_EQ(ThreadPool::resolveWidth(3), std::min(3u, hw));
+    EXPECT_EQ(ThreadPool::resolveWidth(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveWidth(hw + 64), hw);
 
     const u64 n = 777;
     std::vector<std::atomic<u32>> hits(n);

@@ -5,7 +5,7 @@
  *
  *   bench_report [--out BENCH_pipeline.json] [--check]
  *                [--genome N] [--reads N] [--mt-threads N]
- *                [--repeat N]
+ *                [--repeat N] [--kernel auto|scalar|sse41|avx2]
  *
  * Runs a fixed synthetic workload (pinned readsim seeds, so every
  * checkout measures the same bytes) through the two batch paths —
@@ -22,6 +22,13 @@
  * below single-threaded. The gate only engages when the machine
  * actually has more than one hardware thread; on a single-core host
  * the comparison is meaningless and is reported as skipped.
+ *
+ * The report also carries a `kernels` section measuring the
+ * alignment microkernels directly (ns per DP cell, scalar reference
+ * vs the active SIMD tier) and records the dispatch tier in the
+ * `host` block so CI can assert the SIMD path was actually live.
+ * --kernel forces a dispatch tier for the whole run (exit 2 if the
+ * tier is unknown or unsupported on this host).
  */
 
 #include <algorithm>
@@ -35,6 +42,12 @@
 #include <thread>
 #include <vector>
 
+#include "align/gotoh.hh"
+#include "align/myers.hh"
+#include "align/simd/batch_score.hh"
+#include "align/simd/dispatch.hh"
+#include "align/simd/myers_batch.hh"
+#include "common/rng.hh"
 #include "genax/pipeline.hh"
 #include "readsim/readsim.hh"
 #include "readsim/refgen.hh"
@@ -51,6 +64,7 @@ struct BenchOptions
     u64 numReads = 600;
     unsigned mtThreads = 8;
     int repeat = 3;
+    std::string kernel; //!< empty = leave dispatch on auto
 };
 
 constexpr u64 kWorkloadSeed = 424242; //!< pinned: do not change
@@ -77,6 +91,100 @@ bestOfSeconds(int repeat, Fn &&fn)
             best = s;
     }
     return best;
+}
+
+struct KernelBench
+{
+    std::string name;
+    double scalarNsPerCell = 0;
+    double simdNsPerCell = 0;
+    double speedup = 0;
+};
+
+/**
+ * Microbenchmark the alignment kernels on a pinned batch shaped like
+ * the extension stage's workload: high-identity queries against
+ * packed reference windows. "ns per cell" uses the same nominal cell
+ * count for the scalar and SIMD variants (they compute identical
+ * DP problems), so the speedup column is exactly the time ratio.
+ */
+std::vector<KernelBench>
+benchKernels(int repeat)
+{
+    Rng rng(kWorkloadSeed + 7);
+    const Scoring sc;
+    const u32 band = 16;
+    constexpr size_t kJobs = 64;
+    constexpr size_t kWin = 400;
+    constexpr size_t kQry = 320;
+
+    std::vector<Seq> queries(kJobs);
+    std::vector<PackedSeq> windows(kJobs);
+    for (size_t j = 0; j < kJobs; ++j) {
+        Seq w(kWin);
+        for (auto &b : w)
+            b = static_cast<Base>(rng.below(4));
+        Seq q(w.begin(), w.begin() + kQry);
+        for (size_t e = 0; e < kQry / 20; ++e) // ~5% divergence
+            q[rng.below(q.size())] = static_cast<Base>(rng.below(4));
+        queries[j] = std::move(q);
+        windows[j] = PackedSeq::packWindow(w, 0, w.size());
+    }
+
+    std::vector<simd::ExtendJob> ext_jobs;
+    std::vector<simd::MyersJob> myers_jobs;
+    u64 gotoh_cells = 0, myers_cells = 0;
+    for (size_t j = 0; j < kJobs; ++j) {
+        ext_jobs.push_back({&windows[j], &queries[j]});
+        myers_jobs.push_back({&queries[j], &windows[j]});
+        const u64 rows =
+            std::min<u64>(windows[j].size(), queries[j].size() + band);
+        gotoh_cells += rows * (2 * u64{band} + 1);
+        myers_cells += queries[j].size() * windows[j].size();
+    }
+
+    // Fold every result into a sink the optimizer cannot drop.
+    volatile i64 sink = 0;
+
+    const double gotoh_scalar = bestOfSeconds(repeat, [&]() {
+        for (size_t j = 0; j < kJobs; ++j) {
+            const auto s =
+                gotohBandedExtendScore(windows[j], queries[j], sc, band);
+            sink = sink + s.score;
+        }
+    });
+    const double gotoh_simd = bestOfSeconds(repeat, [&]() {
+        const auto scores = simd::scoreCandidateBatch(ext_jobs, sc, band);
+        for (const auto &s : scores)
+            sink = sink + s.score;
+    });
+
+    const double myers_scalar = bestOfSeconds(repeat, [&]() {
+        for (size_t j = 0; j < kJobs; ++j)
+            sink = sink +
+                   static_cast<i64>(
+                       myersEditDistance(queries[j], windows[j]));
+    });
+    const double myers_simd = bestOfSeconds(repeat, [&]() {
+        const auto dists = simd::myersEditDistanceBatch(myers_jobs);
+        for (const u64 d : dists)
+            sink = sink + static_cast<i64>(d);
+    });
+
+    auto make = [](const std::string &name, double scalar_s,
+                   double simd_s, u64 cells) {
+        KernelBench kb;
+        kb.name = name;
+        kb.scalarNsPerCell =
+            scalar_s * 1e9 / static_cast<double>(cells);
+        kb.simdNsPerCell = simd_s * 1e9 / static_cast<double>(cells);
+        kb.speedup = simd_s > 0 ? scalar_s / simd_s : 0;
+        return kb;
+    };
+    return {make("gotoh_banded_extend", gotoh_scalar, gotoh_simd,
+                 gotoh_cells),
+            make("myers_edit_distance", myers_scalar, myers_simd,
+                 myers_cells)};
 }
 
 int
@@ -106,11 +214,21 @@ run(const BenchOptions &opt)
     const u64 read_len = sim.empty() ? 0 : sim[0].seq.size();
 
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const std::string tier =
+        kernelTierName(simd::activeKernelTier());
     std::printf("bench_report: %llu bp genome, %zu reads of %llu bp, "
-                "%u hardware threads\n",
+                "%u hardware threads, dispatch tier %s\n",
                 static_cast<unsigned long long>(opt.genomeLen),
                 fastq.size(),
-                static_cast<unsigned long long>(read_len), hw);
+                static_cast<unsigned long long>(read_len), hw,
+                tier.c_str());
+
+    const auto kernels = benchKernels(opt.repeat);
+    for (const auto &k : kernels)
+        std::printf("  kernel %-22s scalar %7.3f ns/cell  simd %7.3f "
+                    "ns/cell  speedup %5.2fx\n",
+                    k.name.c_str(), k.scalarNsPerCell, k.simdNsPerCell,
+                    k.speedup);
 
     std::vector<PathResult> results;
     auto timePath = [&](const std::string &path, unsigned threads,
@@ -180,7 +298,18 @@ run(const BenchOptions &opt)
         << "  \"workload\": {\"genome_len\": " << opt.genomeLen
         << ", \"reads\": " << fastq.size() << ", \"read_len\": "
         << read_len << ", \"seed\": " << kWorkloadSeed << "},\n"
-        << "  \"host\": {\"hardware_threads\": " << hw << "},\n"
+        << "  \"host\": {\"hardware_threads\": " << hw
+        << ", \"dispatch_tier\": \"" << tier << "\"},\n"
+        << "  \"kernels\": [\n";
+    for (size_t i = 0; i < kernels.size(); ++i) {
+        const auto &k = kernels[i];
+        out << "    {\"name\": \"" << k.name
+            << "\", \"scalar_ns_per_cell\": " << k.scalarNsPerCell
+            << ", \"simd_ns_per_cell\": " << k.simdNsPerCell
+            << ", \"speedup\": " << k.speedup << "}"
+            << (i + 1 < kernels.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
         << "  \"results\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
@@ -240,11 +369,14 @@ main(int argc, char **argv)
             opt.mtThreads = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--repeat") {
             opt.repeat = std::atoi(next());
+        } else if (arg == "--kernel") {
+            opt.kernel = next();
         } else if (arg == "-h" || arg == "--help") {
             std::printf(
                 "usage: bench_report [--out FILE] [--check]\n"
                 "                    [--genome N] [--reads N]\n"
-                "                    [--mt-threads N] [--repeat N]\n");
+                "                    [--mt-threads N] [--repeat N]\n"
+                "                    [--kernel auto|scalar|sse41|avx2]\n");
             return 0;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -254,6 +386,14 @@ main(int argc, char **argv)
     if (opt.genomeLen < 1000 || opt.mtThreads == 0 || opt.repeat < 1) {
         std::fprintf(stderr, "bench_report: implausible options\n");
         return 2;
+    }
+    if (!opt.kernel.empty()) {
+        if (const auto st = simd::setKernelTierByName(opt.kernel);
+            !st.ok()) {
+            std::fprintf(stderr, "bench_report: --kernel %s: %s\n",
+                         opt.kernel.c_str(), st.str().c_str());
+            return 2;
+        }
     }
     return run(opt);
 }

@@ -5,6 +5,7 @@
  *   genax_align --ref ref.fa --reads reads.fq --out out.sam
  *               [--reads2 mates.fq] [--engine genax|sw] [--k 12]
  *               [--band 40] [--segments 8] [--threads 1]
+ *               [--kernel auto|scalar|sse41|avx2]
  *               [--max-malformed N] [--inject SPEC]
  *
  * Aligns FASTQ reads against a FASTA reference and writes SAM, using
@@ -22,6 +23,7 @@
 #include <cstring>
 #include <string>
 
+#include "align/simd/dispatch.hh"
 #include "common/faultinject.hh"
 #include "genax/pipeline.hh"
 
@@ -60,6 +62,11 @@ printHelp(const char *prog, std::FILE *to)
         "  --threads N        worker threads for either engine\n"
         "                     (default 1; 0 = all hardware threads);\n"
         "                     output is identical at any width\n"
+        "  --kernel TIER      force the alignment-kernel dispatch\n"
+        "                     tier: auto (default), scalar, sse41 or\n"
+        "                     avx2; all tiers produce identical\n"
+        "                     output (GENAX_FORCE_SCALAR=1 in the\n"
+        "                     environment pins scalar too)\n"
         "  --max-malformed N  malformed input records tolerated per\n"
         "                     file before the run fails (default 1000)\n"
         "  --inject SPEC      arm fault-injection sites, e.g.\n"
@@ -142,6 +149,13 @@ main(int argc, char **argv)
             opts.segments = static_cast<u64>(std::atoll(next()));
         } else if (arg == "--threads") {
             opts.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--kernel") {
+            const std::string tier = next();
+            if (const Status st = simd::setKernelTierByName(tier);
+                !st.ok())
+                usageError(argv[0],
+                           ("--kernel " + tier + ": " + st.str())
+                               .c_str());
         } else if (arg == "--max-malformed") {
             opts.maxMalformed = static_cast<u64>(std::atoll(next()));
         } else if (arg == "--inject") {
