@@ -32,8 +32,8 @@ main()
 
     header("ablation.fm", "FM-index vs segmented hash seeding");
     const double build_hash =
-        timeSeconds([&]() { KmerIndex tmp(w.ref, k); });
-    KmerIndex kindex(w.ref, k);
+        timeSeconds([&]() { SeedIndex tmp(w.ref, k); });
+    SeedIndex kindex(w.ref, k);
     const double build_fm = timeSeconds([&]() { FmSeeder tmp(w.ref, k); });
     FmSeeder fm(w.ref, k);
     row("ablation.fm", "build_time.hash", "-", build_hash, "s");

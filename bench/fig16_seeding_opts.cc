@@ -23,7 +23,7 @@ using namespace genax::bench;
 namespace {
 
 SeedingStats
-runSeeding(const KmerIndex &index, const std::vector<SimRead> &reads,
+runSeeding(const SeedIndex &index, const std::vector<SimRead> &reads,
            const SeedingConfig &cfg)
 {
     SmemEngine engine(index, cfg);
@@ -60,7 +60,7 @@ main()
     // The paper's Figure 16 regime is the whole human genome hashed
     // at k = 12: ~184 expected hits per k-mer (3.08 G / 4^12). A
     // 1 Mbp synthetic genome reaches the same multiplicity at k = 6.
-    const KmerIndex index(ref, 6);
+    const SeedIndex index(ref, 6);
 
     // ------------------------------------------------- Figure 16a
     header("fig16a", "hits per read passed to seed extension");

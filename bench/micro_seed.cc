@@ -10,6 +10,8 @@
 #include "readsim/readsim.hh"
 #include "readsim/refgen.hh"
 #include "seed/fm_seeder.hh"
+#include "seed/flat_kmer_index.hh"
+#include "seed/kmer_index.hh"
 #include "seed/smem_engine.hh"
 #include "swbase/bwamem_like.hh"
 
@@ -53,10 +55,91 @@ BM_KmerIndexBuild(benchmark::State &state)
 }
 BENCHMARK(BM_KmerIndexBuild)->Arg(10)->Arg(12);
 
+/**
+ * One lookup per read position, round-robin over the read set — the
+ * access pattern the seeding loop generates. Reported per lookup, so
+ * the `time` column is ns/lookup for the layout under test; the
+ * `postings_bytes` counter is the average bytes a lookup touches
+ * (index-structure lines plus the 4-byte postings it spans).
+ */
+template <typename Index>
+void
+runIndexLookups(benchmark::State &state, const Index &index,
+                double struct_bytes_per_lookup)
+{
+    const auto &reads = benchReads();
+    size_t r = 0, off = 0;
+    u64 lookups = 0, postings = 0;
+    for (auto _ : state) {
+        const Seq &seq = reads[r].seq;
+        const u64 key = index.packKmer(seq, off);
+        const auto hits = index.lookup(key);
+        benchmark::DoNotOptimize(hits.data());
+        postings += hits.size();
+        ++lookups;
+        off += 12;
+        if (off + 12 > seq.size()) {
+            off = 0;
+            r = (r + 1) % reads.size();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["postings_bytes"] = benchmark::Counter(
+        struct_bytes_per_lookup +
+            4.0 * static_cast<double>(postings) /
+                static_cast<double>(std::max<u64>(1, lookups)),
+        benchmark::Counter::kDefaults);
+    state.counters["host_mb"] =
+        static_cast<double>(index.hostBytes()) / 1e6;
+}
+
+void
+BM_IndexLookupDense(benchmark::State &state)
+{
+    static const KmerIndex index(benchRef(), 12);
+    // A CSR lookup reads offsets[kmer] and offsets[kmer + 1]: 8
+    // bytes of index structure, nearly always one cold line out of
+    // the 64 MB offsets array.
+    runIndexLookups(state, index, 8.0);
+}
+BENCHMARK(BM_IndexLookupDense);
+
+void
+BM_IndexLookupFlat(benchmark::State &state)
+{
+    static const FlatKmerIndex index(benchRef(), 12);
+    // Average probe-chain length over the keys this bench hits.
+    const auto &reads = benchReads();
+    u64 probes = 0, n = 0;
+    for (const auto &r : reads) {
+        for (size_t off = 0; off + 12 <= r.seq.size(); off += 12) {
+            probes += index.probeLength(index.packKmer(r.seq, off));
+            ++n;
+        }
+    }
+    const double entry_bytes =
+        16.0 * static_cast<double>(probes) /
+        static_cast<double>(std::max<u64>(1, n));
+    runIndexLookups(state, index, entry_bytes);
+}
+BENCHMARK(BM_IndexLookupFlat);
+
+void
+BM_FlatIndexBuild(benchmark::State &state)
+{
+    const u32 k = static_cast<u32>(state.range(0));
+    for (auto _ : state) {
+        FlatKmerIndex index(benchRef(), k);
+        benchmark::DoNotOptimize(index.maxHitListSize());
+    }
+    state.SetBytesProcessed(state.iterations() * benchRef().size());
+}
+BENCHMARK(BM_FlatIndexBuild)->Arg(10)->Arg(12);
+
 void
 BM_SmemSeedPerRead(benchmark::State &state)
 {
-    static const KmerIndex index(benchRef(), 12);
+    static const SeedIndex index(benchRef(), 12);
     SmemEngine engine(index, {});
     const auto &reads = benchReads();
     size_t i = 0;
@@ -71,7 +154,7 @@ BENCHMARK(BM_SmemSeedPerRead);
 void
 BM_SmemSeedNoFastPath(benchmark::State &state)
 {
-    static const KmerIndex index(benchRef(), 12);
+    static const SeedIndex index(benchRef(), 12);
     SeedingConfig cfg;
     cfg.exactMatchFastPath = false;
     SmemEngine engine(index, cfg);

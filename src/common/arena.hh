@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Bump-pointer arena and a std-allocator adapter for hot-path
+ * containers.
+ *
+ * The seeding path (SMEM position lists, CAM intersection scratch,
+ * candidate vectors) allocates and frees many short-lived vectors per
+ * read; on the sharded batch path that heap traffic serializes
+ * workers on the allocator and dominates cache misses. An Arena hands
+ * out memory by bumping a pointer through geometrically-growing
+ * blocks and recycles everything at once with reset(), so steady
+ * state does no allocator calls at all.
+ *
+ * Discipline (see DESIGN.md "Memory & streaming"):
+ *
+ *  - An arena is single-threaded: each worker / engine owns its own.
+ *  - reset() invalidates every object allocated from the arena since
+ *    the previous reset. Containers still holding arena memory must
+ *    not be touched afterwards — the owner resets only at a point
+ *    where all such containers are dead or already detached.
+ *  - ArenaAllocator<T> default-constructs to a heap-fallback state,
+ *    so arena-backed container types remain usable as ordinary
+ *    members (e.g. `Smem::positions` in a test fixture).
+ *  - Copy-constructing a container detaches the copy to the heap
+ *    (select_on_container_copy_construction), so handing a seed's
+ *    position list to long-lived state is safe by construction.
+ *    Moves keep the source allocator (propagate-on-move), which is
+ *    the cheap hand-off the hot path uses within one reset epoch.
+ */
+
+#ifndef GENAX_COMMON_ARENA_HH
+#define GENAX_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Geometric bump allocator; all memory recycled by reset(). */
+class Arena
+{
+  public:
+    explicit Arena(size_t first_block_bytes = 16 * 1024)
+        : _firstBlockBytes(first_block_bytes)
+    {
+        GENAX_CHECK(first_block_bytes > 0,
+                    "arena needs a non-empty first block");
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate `bytes` aligned to `align` (a power of two). */
+    void *
+    allocate(size_t bytes, size_t align)
+    {
+        GENAX_DCHECK((align & (align - 1)) == 0,
+                     "arena alignment not a power of two: ", align);
+        for (;;) {
+            if (_active < _blocks.size()) {
+                Block &b = _blocks[_active];
+                // Align the absolute address, not the block offset:
+                // new char[] only guarantees alignof(max_align_t).
+                const uintptr_t base =
+                    reinterpret_cast<uintptr_t>(b.mem.get());
+                const size_t aligned =
+                    (((base + b.used) + (align - 1)) & ~(align - 1)) -
+                    base;
+                if (aligned + bytes <= b.size) {
+                    b.used = aligned + bytes;
+                    _allocated += bytes;
+                    return b.mem.get() + aligned;
+                }
+                // Block full: fall through to the next (or a new) one.
+                ++_active;
+                continue;
+            }
+            addBlock(bytes + align);
+        }
+    }
+
+    /**
+     * Recycle every allocation at once. Memory is retained for reuse,
+     * so a steady-state reset-per-batch loop stops calling the system
+     * allocator after the first batch.
+     */
+    void
+    reset()
+    {
+        for (Block &b : _blocks)
+            b.used = 0;
+        _active = 0;
+        _allocated = 0;
+    }
+
+    /** Bytes handed out since the last reset. */
+    size_t allocatedBytes() const { return _allocated; }
+
+    /** Total bytes owned across all blocks. */
+    size_t
+    capacityBytes() const
+    {
+        size_t total = 0;
+        for (const Block &b : _blocks)
+            total += b.size;
+        return total;
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<char[]> mem;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    void
+    addBlock(size_t at_least)
+    {
+        size_t size = _blocks.empty() ? _firstBlockBytes
+                                      : _blocks.back().size * 2;
+        if (size < at_least)
+            size = at_least;
+        _blocks.push_back(
+            {std::unique_ptr<char[]>(new char[size]), size, 0});
+        _active = _blocks.size() - 1;
+    }
+
+    size_t _firstBlockBytes;
+    size_t _active = 0;
+    size_t _allocated = 0;
+    std::vector<Block> _blocks;
+};
+
+/**
+ * std allocator over an Arena. Default-constructed instances (and
+ * container copies) fall back to the global heap, so arena-backed
+ * container types stay safe to use anywhere.
+ */
+template <typename T> class ArenaAllocator
+{
+  public:
+    using value_type = T;
+    using propagate_on_container_move_assignment = std::true_type;
+    using propagate_on_container_swap = std::true_type;
+    using is_always_equal = std::false_type;
+
+    ArenaAllocator() noexcept = default;
+    explicit ArenaAllocator(Arena *arena) noexcept : _arena(arena) {}
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &o) noexcept
+        : _arena(o.arena())
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        const size_t bytes = n * sizeof(T);
+        if (_arena != nullptr)
+            return static_cast<T *>(
+                _arena->allocate(bytes, alignof(T)));
+        return static_cast<T *>(::operator new(bytes));
+    }
+
+    void
+    deallocate(T *p, size_t) noexcept
+    {
+        // Arena memory is recycled wholesale by Arena::reset().
+        if (_arena == nullptr)
+            ::operator delete(p);
+    }
+
+    /** Copies detach to the heap: the copy may outlive the arena. */
+    ArenaAllocator
+    select_on_container_copy_construction() const
+    {
+        return ArenaAllocator();
+    }
+
+    Arena *arena() const { return _arena; }
+
+    template <typename U>
+    bool
+    operator==(const ArenaAllocator<U> &o) const
+    {
+        return _arena == o.arena();
+    }
+
+  private:
+    Arena *_arena = nullptr;
+};
+
+/** Vector whose storage can live in an Arena (heap by default). */
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+} // namespace genax
+
+#endif // GENAX_COMMON_ARENA_HH

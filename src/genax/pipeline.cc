@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <fstream>
+#include <mutex>
+#include <optional>
 #include <ostream>
+#include <sstream>
+#include <thread>
 
 #include "common/check.hh"
 #include "common/faultinject.hh"
@@ -55,12 +61,117 @@ unmappedRecord(const FastqRecord &read)
     return rec;
 }
 
-} // namespace
+/**
+ * Emit one batch's SAM records in input order and fold its outcomes
+ * into the ledger. `reads` and `failed` cover the whole batch;
+ * `maps` and `degraded` cover only the admitted (non-failed) reads,
+ * in the same relative order.
+ */
+void
+emitBatch(SamWriter &sam, const ContigMap &contigs,
+          const std::vector<FastqRecord> &reads,
+          const std::vector<u8> &failed,
+          const std::vector<Mapping> &maps,
+          const std::vector<u8> &degraded, PipelineResult &res)
+{
+    size_t live = 0; // index into maps/degraded (admitted reads only)
+    for (size_t i = 0; i < reads.size(); ++i) {
+        if (failed[i]) {
+            sam.write(unmappedRecord(reads[i]));
+            continue;
+        }
+        const Mapping &m = maps[live];
+        const bool via_fallback = degraded[live] != 0;
+        ++live;
+        SamRecord rec;
+        rec.qname = reads[i].name;
+        const Seq &oriented_seq =
+            m.mapped && m.reverse ? reverseComplement(reads[i].seq)
+                                  : reads[i].seq;
+        rec.seq = decode(oriented_seq);
+        if (!m.mapped) {
+            rec.flag = kSamUnmapped;
+            ++res.unmapped;
+        } else {
+            if (via_fallback)
+                ++res.degraded;
+            else
+                ++res.mapped;
+            const auto [ci, local] = contigs.locate(m.pos);
+            rec.flag = m.reverse ? kSamReverse : 0;
+            rec.rname = contigs.contigs()[ci].name;
+            rec.pos = local;
+            rec.mapq = m.mapq;
+            rec.cigar = m.cigar.strSamM();
+            rec.score = m.score;
+            rec.editDistance =
+                static_cast<i32>(m.cigar.editDistance());
+        }
+        rec.qual = phredToAscii(reads[i].qual, m.mapped && m.reverse);
+        sam.write(rec);
+    }
+}
 
-StatusOr<PipelineResult>
-alignToSam(const std::vector<FastaRecord> &ref,
-           const std::vector<FastqRecord> &reads, std::ostream &out,
-           const PipelineOptions &opts)
+/**
+ * Single-producer single-consumer bounded queue connecting the
+ * streaming pipeline's stages. close() wakes both sides: a blocked
+ * pop() drains the remaining items and then reports exhaustion; a
+ * blocked push() gives up (the consumer is gone).
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : _capacity(capacity) {}
+
+    /** False when the queue was closed and the item dropped. */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _notFull.wait(lk, [&] {
+            return _items.size() < _capacity || _closed;
+        });
+        if (_closed)
+            return false;
+        _items.push_back(std::move(item));
+        _notEmpty.notify_one();
+        return true;
+    }
+
+    /** Next item; empty once the queue is closed and drained. */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _notEmpty.wait(lk, [&] { return !_items.empty() || _closed; });
+        if (_items.empty())
+            return std::nullopt;
+        T out = std::move(_items.front());
+        _items.pop_front();
+        _notFull.notify_one();
+        return out;
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _closed = true;
+        _notEmpty.notify_all();
+        _notFull.notify_all();
+    }
+
+  private:
+    size_t _capacity;
+    std::mutex _mu;
+    std::condition_variable _notFull, _notEmpty;
+    std::deque<T> _items;
+    bool _closed = false;
+};
+
+Status
+validateReference(const std::vector<FastaRecord> &ref)
 {
     if (ref.empty())
         return invalidInputError("reference has no usable contigs");
@@ -69,6 +180,18 @@ alignToSam(const std::vector<FastaRecord> &ref,
             return invalidInputError("reference contig '" + rec.name +
                                      "' is empty");
     }
+    return okStatus();
+}
+
+} // namespace
+
+StatusOr<PipelineResult>
+alignToSam(const std::vector<FastaRecord> &ref,
+           const std::vector<FastqRecord> &reads, std::ostream &out,
+           const PipelineOptions &opts)
+{
+    if (Status s = validateReference(ref); !s.ok())
+        return s;
     const ContigMap contigs(ref);
 
     PipelineResult res;
@@ -135,44 +258,182 @@ alignToSam(const std::vector<FastaRecord> &ref,
     for (const auto &c : contigs.contigs())
         header.push_back({c.name, c.length});
     SamWriter sam(out, header);
-
-    size_t live = 0; // index into maps/degraded (admitted reads only)
-    for (size_t i = 0; i < reads.size(); ++i) {
-        if (failed[i]) {
-            sam.write(unmappedRecord(reads[i]));
-            continue;
-        }
-        const Mapping &m = maps[live];
-        const bool via_fallback = degraded[live] != 0;
-        ++live;
-        SamRecord rec;
-        rec.qname = reads[i].name;
-        const Seq &oriented_seq =
-            m.mapped && m.reverse ? reverseComplement(reads[i].seq)
-                                  : reads[i].seq;
-        rec.seq = decode(oriented_seq);
-        if (!m.mapped) {
-            rec.flag = kSamUnmapped;
-            ++res.unmapped;
-        } else {
-            if (via_fallback)
-                ++res.degraded;
-            else
-                ++res.mapped;
-            const auto [ci, local] = contigs.locate(m.pos);
-            rec.flag = m.reverse ? kSamReverse : 0;
-            rec.rname = contigs.contigs()[ci].name;
-            rec.pos = local;
-            rec.mapq = m.mapq;
-            rec.cigar = m.cigar.strSamM();
-            rec.score = m.score;
-            rec.editDistance =
-                static_cast<i32>(m.cigar.editDistance());
-        }
-        rec.qual = phredToAscii(reads[i].qual, m.mapped && m.reverse);
-        sam.write(rec);
-    }
+    emitBatch(sam, contigs, reads, failed, maps, degraded, res);
     if (!out)
+        return ioError("failed writing SAM output after " +
+                       std::to_string(sam.count()) + " records");
+    GENAX_CHECK(res.ledgerBalanced(),
+                "pipeline ledger out of balance: ", res.mapped, "+",
+                res.unmapped, "+", res.skippedMalformed, "+",
+                res.degraded, "+", res.failed, " != ", res.reads);
+    return res;
+}
+
+StatusOr<PipelineResult>
+alignStreamToSam(const std::vector<FastaRecord> &ref,
+                 FastqReader &reads, std::ostream &out,
+                 const PipelineOptions &opts)
+{
+    if (Status s = validateReference(ref); !s.ok())
+        return s;
+    const ContigMap contigs(ref);
+
+    PipelineResult res;
+
+    bool use_software = opts.engine == PipelineOptions::Engine::Software;
+    if (!use_software && opts.band > kMaxSillaK) {
+        GENAX_WARN("edit bound ", opts.band,
+                   " exceeds the SillaX maximum ", kMaxSillaK,
+                   "; degrading the run to the software engine");
+        use_software = true;
+        res.softwareFallback = true;
+    }
+
+    const u64 batch_size =
+        opts.batchReads == 0 ? ~u64{0} : opts.batchReads;
+
+    // Reader stage: one prefetch thread keeps the next batch in
+    // flight while the current one aligns. The parse itself stays
+    // strictly sequential on that thread, so record order — and the
+    // parser fault sites' per-site ordinal replay — is exactly what
+    // a synchronous read would produce.
+    BoundedQueue<StatusOr<std::vector<FastqRecord>>> parsed(1);
+    std::thread reader_thread([&] {
+        for (;;) {
+            auto batch = reads.nextBatch(batch_size);
+            const bool stop = !batch.ok() || batch->empty();
+            if (!parsed.push(std::move(batch)))
+                break; // aligner bailed out; stop reading
+            if (stop)
+                break;
+        }
+        parsed.close();
+    });
+
+    // Writer stage: records are formatted into an in-memory stage on
+    // this thread (keeping the sam.write fault ordinals in emission
+    // order) and the finished text drains to `out` in batch order on
+    // the writer thread. An injected write fault poisons the stage's
+    // stream state exactly like a real device error poisons a file
+    // stream, and is checked the same way at the end of the run.
+    std::vector<SamRefSeq> header;
+    for (const auto &c : contigs.contigs())
+        header.push_back({c.name, c.length});
+    std::ostringstream stage;
+    SamWriter sam(stage, header);
+    BoundedQueue<std::string> emitted(2);
+    std::thread writer_thread([&] {
+        for (;;) {
+            auto text = emitted.pop();
+            if (!text)
+                break;
+            out.write(text->data(),
+                      static_cast<std::streamsize>(text->size()));
+        }
+    });
+    const auto flush_stage = [&] {
+        std::string text = stage.str();
+        stage.str(std::string());
+        if (!text.empty())
+            emitted.push(std::move(text));
+    };
+    flush_stage(); // the header, so an empty input still yields SAM
+
+    double align_seconds = 0;
+    const auto timed = [&](auto &&fn) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        align_seconds +=
+            std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    std::optional<GenAxSystem> system;
+    std::optional<BwaMemLike> aligner;
+    timed([&] {
+        if (!use_software) {
+            GenAxConfig cfg;
+            cfg.k = opts.k;
+            cfg.editBound = opts.band;
+            cfg.segmentCount = opts.segments;
+            cfg.segmentOverlap = opts.segmentOverlap;
+            cfg.threads = opts.threads;
+            system.emplace(contigs.sequence(), cfg);
+            system->streamBegin();
+        } else {
+            AlignerConfig cfg;
+            cfg.k = opts.k;
+            cfg.band = opts.band;
+            cfg.threads = opts.threads;
+            aligner.emplace(contigs.sequence(), cfg);
+        }
+    });
+
+    Status failure = okStatus();
+    u64 base = 0; // admitted reads before the current batch
+    for (;;) {
+        auto next = parsed.pop();
+        if (!next)
+            break;
+        if (!next->ok()) {
+            failure = next->status();
+            break;
+        }
+        const std::vector<FastqRecord> batch =
+            std::move(*next).value();
+        if (batch.empty())
+            break;
+        res.reads += batch.size();
+
+        // Admission (genax.pipeline.read): on this thread, in read
+        // order, so the fault site's ordinals match the load-all
+        // path's single admission loop.
+        std::vector<u8> failed(batch.size(), 0);
+        std::vector<Seq> seqs;
+        seqs.reserve(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+            if (faultFires(fault::kPipelineRead)) [[unlikely]] {
+                failed[i] = 1;
+                ++res.failed;
+                continue;
+            }
+            seqs.push_back(batch[i].seq);
+        }
+
+        std::vector<Mapping> maps;
+        std::vector<u8> degraded(seqs.size(), 0);
+        timed([&] {
+            if (system) {
+                maps = system->streamBatch(seqs, base);
+                degraded = system->degradedReads();
+            } else {
+                maps = aligner->alignAll(seqs);
+                if (res.softwareFallback)
+                    degraded.assign(seqs.size(), 1);
+            }
+        });
+        base += seqs.size();
+
+        emitBatch(sam, contigs, batch, failed, maps, degraded, res);
+        flush_stage();
+    }
+
+    if (system && failure.ok()) {
+        timed([&] { system->streamEnd(); });
+        res.perf = system->perf();
+    }
+    res.seconds = align_seconds;
+
+    // Wind down the IO stages (close() unblocks a reader stuck on a
+    // full queue after an early exit).
+    parsed.close();
+    reader_thread.join();
+    emitted.close();
+    writer_thread.join();
+
+    if (!failure.ok())
+        return failure;
+    if (!stage || !out)
         return ioError("failed writing SAM output after " +
                        std::to_string(sam.count()) + " records");
     GENAX_CHECK(res.ledgerBalanced(),
@@ -250,13 +511,8 @@ alignPairsToSam(const std::vector<FastaRecord> &ref,
             std::to_string(reads2.size()) +
             " (skipped malformed records can desynchronize mates)");
     }
-    if (ref.empty())
-        return invalidInputError("reference has no usable contigs");
-    for (const auto &rec : ref) {
-        if (rec.seq.empty())
-            return invalidInputError("reference contig '" + rec.name +
-                                     "' is empty");
-    }
+    if (Status s = validateReference(ref); !s.ok())
+        return s;
     const ContigMap contigs(ref);
 
     AlignerConfig cfg;
@@ -357,6 +613,25 @@ alignFiles(const std::string &ref_fasta, const std::string &reads_fastq,
     ReaderStats ref_stats, read_stats;
     GENAX_TRY_ASSIGN(const auto ref,
                      readFastaFile(ref_fasta, ropts, &ref_stats));
+
+    if (opts.batchReads > 0) {
+        std::ifstream in(reads_fastq);
+        if (!in)
+            return ioErrorFromErrno("cannot open FASTQ file",
+                                    reads_fastq);
+        std::ofstream out(out_sam);
+        if (!out)
+            return ioErrorFromErrno("cannot open output SAM", out_sam);
+        FastqReader reader(in, ropts);
+        GENAX_TRY_ASSIGN(PipelineResult res,
+                         alignStreamToSam(ref, reader, out, opts));
+        res.refInput = ref_stats;
+        res.readInput = reader.stats();
+        res.skippedMalformed = res.readInput.malformed;
+        res.reads += res.skippedMalformed;
+        return res;
+    }
+
     GENAX_TRY_ASSIGN(const auto reads,
                      readFastqFile(reads_fastq, ropts, &read_stats));
     std::ofstream out(out_sam);

@@ -72,6 +72,19 @@ struct PipelineOptions
     /** Malformed input records tolerated (skipped and counted) per
      *  input file before the run fails with InvalidInput. */
     u64 maxMalformed = 1000;
+    /**
+     * Streaming batch size in reads; 0 loads the whole read file
+     * before aligning (the legacy path). With batching, parsing,
+     * alignment and SAM emission overlap on separate threads and
+     * peak host memory is O(batch) instead of O(dataset), while SAM
+     * bytes, the outcome ledger, the modelled perf report and armed
+     * fault replay stay byte-identical to the load-all path at any
+     * batch size and thread count (see DESIGN.md "Memory &
+     * streaming"). Only alignFiles() consumes this option —
+     * alignToSam() takes pre-parsed reads, and paired mode always
+     * loads both mate files whole.
+     */
+    u64 batchReads = 0;
 };
 
 /**
@@ -119,7 +132,24 @@ alignToSam(const std::vector<FastaRecord> &ref,
            const std::vector<FastqRecord> &reads, std::ostream &out,
            const PipelineOptions &opts);
 
-/** File-path convenience wrapper; IO failures surface as Status. */
+/**
+ * Streaming variant of alignToSam(): reads arrive through a
+ * FastqReader and flow through the engine in batches of
+ * opts.batchReads (0 = one unbounded batch). A reader thread
+ * prefetches the next batch while the current one aligns, and an
+ * in-order writer thread drains finished batches to `out`, so
+ * parse / align / emit overlap. One behavioural difference from the
+ * load-all path: a reader failure (IO error, malformed budget
+ * exhausted) mid-run surfaces after earlier batches' SAM records
+ * were already written.
+ */
+StatusOr<PipelineResult>
+alignStreamToSam(const std::vector<FastaRecord> &ref,
+                 FastqReader &reads, std::ostream &out,
+                 const PipelineOptions &opts);
+
+/** File-path convenience wrapper; IO failures surface as Status.
+ *  Routes through the streaming path when opts.batchReads > 0. */
 StatusOr<PipelineResult> alignFiles(const std::string &ref_fasta,
                                     const std::string &reads_fastq,
                                     const std::string &out_sam,

@@ -148,6 +148,37 @@ camOps(const SeedingStats &s)
 
 } // namespace
 
+/**
+ * Accumulators of one streaming pass (streamBegin .. streamEnd).
+ *
+ * Everything summed across batches is an exact integer (u64 stats,
+ * lane-cycle deltas), so the per-segment doubles derived at
+ * streamEnd() are bit-identical whether the reads arrived in one
+ * batch or many. The worker shards persist across batches: a SillaX
+ * lane's cycles per job depend only on the job, so letting the lane
+ * counters run across batches changes nothing, and the per-segment
+ * before/after snapshots still isolate each segment's share.
+ */
+struct GenAxSystem::StreamState
+{
+    unsigned width = 1;
+    std::vector<WorkerShard> shards;
+    /** Per-segment seeding stats summed across batches. */
+    std::vector<SeedingStats> segSeeding;
+    /** Per-segment SillaX cycle totals summed across batches. */
+    std::vector<Cycle> segLaneCycles;
+    /** Per-segment per-read lane work in global read order; only
+     *  populated under cfg.simulateSeedingLanes (the cycle-stepped
+     *  simulation needs the whole per-read list, so that mode keeps
+     *  O(reads) state per segment). */
+    std::vector<std::vector<LaneWork>> segLaneWork;
+    u64 readsBytes = 0;  //!< packed read bytes streamed per segment
+    u64 totalReads = 0;  //!< reads admitted so far (= next base)
+    u64 exactReads = 0;  //!< reads resolved by the exact-match path
+};
+
+GenAxSystem::~GenAxSystem() = default;
+
 GenAxSystem::GenAxSystem(const Seq &ref, const GenAxConfig &cfg)
     : _ref(ref), _cfg(cfg),
       _segments(ref, SegmentConfig{cfg.segmentCount, cfg.segmentOverlap,
@@ -160,33 +191,49 @@ GenAxSystem::GenAxSystem(const Seq &ref, const GenAxConfig &cfg)
                 "edit bound out of range: ", cfg.editBound);
 }
 
-std::vector<std::vector<Mapping>>
-GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
-                                u32 max_candidates)
+void
+GenAxSystem::streamBegin()
 {
+    GENAX_CHECK(!_stream, "streamBegin with a stream already open");
     _perf = {};
-    _perf.reads = reads.size();
     _perf.segments = _segments.count();
 
-    const unsigned width = ThreadPool::resolveWidth(_cfg.threads);
-
+    auto st = std::make_unique<StreamState>();
+    st->width = ThreadPool::resolveWidth(_cfg.threads);
     // One shard per runner slot. The host-side lane count is a
     // sharding artifact (one lane object per worker); the *model*
-    // still charges cfg.sillaxLanes lanes below, and since a lane's
-    // cycles per job depend only on the job, the summed cycle count
-    // is invariant to how jobs land on shards.
-    std::vector<WorkerShard> shards;
-    shards.reserve(width);
-    for (unsigned s = 0; s < width; ++s)
-        shards.emplace_back(_cfg);
+    // still charges cfg.sillaxLanes lanes at streamEnd(), and since
+    // a lane's cycles per job depend only on the job, the summed
+    // cycle count is invariant to how jobs land on shards.
+    st->shards.reserve(st->width);
+    for (unsigned s = 0; s < st->width; ++s)
+        st->shards.emplace_back(_cfg);
+    st->segSeeding.resize(_segments.count());
+    st->segLaneCycles.assign(_segments.count(), 0);
+    if (_cfg.simulateSeedingLanes)
+        st->segLaneWork.resize(_segments.count());
+    _stream = std::move(st);
+}
+
+std::vector<std::vector<Mapping>>
+GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
+                                   u64 base_read_index,
+                                   u32 max_candidates)
+{
+    GENAX_CHECK(_stream, "streamBatchCandidates without streamBegin");
+    StreamState &st = *_stream;
+    GENAX_CHECK(base_read_index == st.totalReads,
+                "batch base ", base_read_index, " but ",
+                st.totalReads, " reads already streamed");
+    st.totalReads += reads.size();
+    _perf.reads += reads.size();
 
     std::vector<CandidateSet> cands(reads.size());
     std::vector<u8> exact_seen(reads.size(), 0);
     _degraded.assign(reads.size(), 0);
 
-    u64 reads_bytes = 0;
     for (const auto &r : reads)
-        reads_bytes += (r.size() + 3) / 4;
+        st.readsBytes += (r.size() + 3) / 4;
 
     // Per-read seeding work for the optional lane simulation,
     // indexed by read so concurrent chunks never contend.
@@ -194,39 +241,23 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
     if (_cfg.simulateSeedingLanes)
         lane_work.resize(reads.size());
 
-    Cycle lane_cycles_prev = 0;
-
-    // The segment loop stays serial: DRAM streaming is a per-segment
-    // pipeline stage, and keeping its fault point on the main thread
-    // preserves the legacy ordinal-replay semantics. Reads within a
-    // segment are sharded across the pool.
+    // The segment loop stays serial; reads within a segment are
+    // sharded across the pool. The index is rebuilt per batch (the
+    // price of O(batch) resident memory — caching every segment's
+    // index would cost tens of bytes per reference base).
     for (u64 seg = 0; seg < _segments.count(); ++seg) {
-        // Stream the segment's tables, reference and the read batch.
-        const u64 dram_bytes = _segments.indexTableBytes() +
-                               _segments.positionTableBytes(seg) +
-                               _segments.refBytes(seg) + reads_bytes;
-        double dram_sec;
-        if (auto streamed = _dram.stream(dram_bytes); streamed.ok()) {
-            dram_sec = *streamed;
-        } else {
-            // Stream failed even after the controller's retry: keep
-            // the pass alive on the closed-form estimate and record
-            // the degradation in the perf report.
-            ++_perf.dramFaults;
-            GENAX_WARN("segment ", seg, " table stream degraded: ",
-                       streamed.status().str());
-            dram_sec = 2.0 * _dram.streamSeconds(dram_bytes);
+        const SeedIndex index = _segments.buildSeedIndex(seg);
+
+        Cycle lane_cycles_before = 0;
+        for (auto &ws : st.shards) {
+            ws.segSeeding = {};
+            lane_cycles_before += ws.lane.stats().totalCycles();
         }
 
-        const KmerIndex index = _segments.buildIndex(seg);
-
-        for (auto &ws : shards)
-            ws.segSeeding = {};
-
         ThreadPool::global().parallelFor(
-            reads.size(), width,
+            reads.size(), st.width,
             [&](unsigned slot, u64 lo, u64 hi) {
-                WorkerShard &ws = shards[slot];
+                WorkerShard &ws = st.shards[slot];
                 // The index is shared read-only; each chunk gets its
                 // own engine (it accumulates stats and CAM state).
                 SmemEngine engine(index, _cfg.seeding);
@@ -264,11 +295,13 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
                 for (u64 r = lo; r < hi; ++r) {
                     cur_read = r;
                     // Fault decisions inside this read are keyed on
-                    // (segment, read) — a pure function of the work
-                    // item, not of arrival order — so an armed plan
-                    // fires identically at any thread count.
-                    FaultKeyScope fault_key(
-                        FaultKeyScope::mixKey(seg + 1, r));
+                    // (segment, global read index) — a pure function
+                    // of the work item, not of arrival order or
+                    // batch composition — so an armed plan fires
+                    // identically at any thread count and any batch
+                    // size.
+                    FaultKeyScope fault_key(FaultKeyScope::mixKey(
+                        seg + 1, base_read_index + r));
                     for (bool reverse : {false, true}) {
                         const Seq oriented =
                             reverse ? reverseComplement(reads[r])
@@ -324,80 +357,38 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
             });
 
         // Deterministic reduction: per-segment seeding stats are u64
-        // sums over shards (in slot order), so the derived seconds
-        // are bit-identical at any thread count.
-        SeedingStats seg_stats;
-        for (const auto &ws : shards)
-            accumulate(seg_stats, ws.segSeeding);
-        accumulate(_perf.seeding, seg_stats);
+        // sums over shards (in slot order) and then over batches, so
+        // the totals — and the seconds streamEnd() derives from them
+        // — are bit-identical at any thread count and batch size.
+        SeedingStats batch_seg;
+        for (const auto &ws : st.shards)
+            accumulate(batch_seg, ws.segSeeding);
+        accumulate(st.segSeeding[seg], batch_seg);
+        accumulate(_perf.seeding, batch_seg);
 
-        // Per-segment timing: table streaming overlaps with the
-        // previous segment's compute; seeding and extension lanes
-        // run concurrently.
-        double seed_sec;
-        if (_cfg.simulateSeedingLanes) {
-            SeedingSimConfig sim_cfg;
-            sim_cfg.lanes = _cfg.seedingLanes;
-            sim_cfg.banks = _cfg.seedingSramBanks;
-            sim_cfg.issueWidth = _cfg.seedingIssueWidth;
-            sim_cfg.seed = seg + 1;
-            const auto sim =
-                SeedingLaneSim(sim_cfg).simulate(lane_work);
-            seed_sec = static_cast<double>(sim.cycles) /
-                       (_cfg.seedingFreqGhz * 1e9);
-        } else {
-            seed_sec =
-                seedingCycles(seg_stats, _cfg.seedingIssueWidth) /
-                (_cfg.seedingLanes * _cfg.seedingFreqGhz * 1e9);
-        }
+        Cycle lane_cycles_after = 0;
+        for (const auto &ws : st.shards)
+            lane_cycles_after += ws.lane.stats().totalCycles();
+        st.segLaneCycles[seg] += lane_cycles_after - lane_cycles_before;
 
-        Cycle lane_cycles = 0;
-        for (const auto &ws : shards)
-            lane_cycles += ws.lane.stats().totalCycles();
-        const double ext_sec =
-            static_cast<double>(lane_cycles - lane_cycles_prev) /
-            (_cfg.sillaxLanes * _cfg.sillaxFreqGhz * 1e9);
-        lane_cycles_prev = lane_cycles;
-
-        _perf.seedingSeconds += seed_sec;
-        _perf.extensionSeconds += ext_sec;
-        _perf.dramSeconds += dram_sec;
-        _perf.totalSeconds += std::max({dram_sec, seed_sec, ext_sec});
+        // The cycle-stepped lane simulation consumes the whole
+        // per-read work list at streamEnd(); batches append in
+        // global read order (the base check above pins the order).
+        if (_cfg.simulateSeedingLanes)
+            st.segLaneWork[seg].insert(st.segLaneWork[seg].end(),
+                                       lane_work.begin(),
+                                       lane_work.end());
     }
 
-    for (const auto &ws : shards) {
-        const LaneStats &s = ws.lane.stats();
-        _perf.lanes.jobs += s.jobs;
-        _perf.lanes.streamCycles += s.streamCycles;
-        _perf.lanes.reduceCycles += s.reduceCycles;
-        _perf.lanes.collectCycles += s.collectCycles;
-        _perf.lanes.rerunCycles += s.rerunCycles;
-        _perf.lanes.reruns += s.reruns;
-        _perf.lanes.jobsWithRerun += s.jobsWithRerun;
-        _perf.lanes.issueFaults += s.issueFaults;
-        _perf.extensionJobs += ws.extensionJobs;
-        _perf.laneFaults += ws.laneFaults;
-        _perf.degradedJobs += ws.degradedJobs;
-    }
     for (const u8 seen : exact_seen)
-        _perf.exactReads += seen;
-    // Pipeline occupancy: every extension job dispatched by the
-    // kernel must be accounted for by exactly one lane or by the
-    // software fallback — the sharded dispatch dropped or
-    // double-counted nothing.
-    GENAX_CHECK(_perf.lanes.jobs + _perf.degradedJobs ==
-                    _perf.extensionJobs,
-                "lane stats record ", _perf.lanes.jobs, " jobs plus ",
-                _perf.degradedJobs,
-                " degraded jobs but the system dispatched ",
-                _perf.extensionJobs);
+        st.exactReads += seen;
 
     // Finalize: sort candidates by descending score with the same
     // deterministic tie-break as the software aligner. Per-read and
     // independent, so this also shards cleanly.
     std::vector<std::vector<Mapping>> out(reads.size());
     ThreadPool::global().parallelFor(
-        reads.size(), width, [&](unsigned, u64 lo, u64 hi) {
+        reads.size(), st.width, [&](unsigned, u64 lo, u64 hi) {
             for (u64 r = lo; r < hi; ++r) {
                 auto &c = cands[r].list;
                 std::sort(c.begin(), c.end(),
@@ -417,9 +408,10 @@ GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
 }
 
 std::vector<Mapping>
-GenAxSystem::alignAll(const std::vector<Seq> &reads)
+GenAxSystem::streamBatch(const std::vector<Seq> &reads,
+                         u64 base_read_index)
 {
-    const auto cands = alignAllCandidates(reads);
+    const auto cands = streamBatchCandidates(reads, base_read_index);
     std::vector<Mapping> out(reads.size());
     for (u64 r = 0; r < reads.size(); ++r) {
         const auto &c = cands[r];
@@ -435,6 +427,112 @@ GenAxSystem::alignAll(const std::vector<Seq> &reads)
                 std::min<i32>(60, 6 * (c[0].score - c[1].score)));
         }
     }
+    return out;
+}
+
+void
+GenAxSystem::streamEnd()
+{
+    GENAX_CHECK(_stream, "streamEnd without streamBegin");
+    StreamState &st = *_stream;
+
+    // Per-segment DRAM streams and modelled seconds, in segment
+    // order. The DRAM fault site replays by per-site ordinal, so the
+    // one-stream-per-segment call sequence here is exactly the
+    // sequence a single alignAll() pass issues.
+    for (u64 seg = 0; seg < _segments.count(); ++seg) {
+        // Stream the segment's tables, reference and the read set.
+        const u64 dram_bytes = _segments.indexTableBytes() +
+                               _segments.positionTableBytes(seg) +
+                               _segments.refBytes(seg) + st.readsBytes;
+        double dram_sec;
+        if (auto streamed = _dram.stream(dram_bytes); streamed.ok()) {
+            dram_sec = *streamed;
+        } else {
+            // Stream failed even after the controller's retry: keep
+            // the pass alive on the closed-form estimate and record
+            // the degradation in the perf report.
+            ++_perf.dramFaults;
+            GENAX_WARN("segment ", seg, " table stream degraded: ",
+                       streamed.status().str());
+            dram_sec = 2.0 * _dram.streamSeconds(dram_bytes);
+        }
+
+        // Per-segment timing: table streaming overlaps with the
+        // previous segment's compute; seeding and extension lanes
+        // run concurrently.
+        double seed_sec;
+        if (_cfg.simulateSeedingLanes) {
+            SeedingSimConfig sim_cfg;
+            sim_cfg.lanes = _cfg.seedingLanes;
+            sim_cfg.banks = _cfg.seedingSramBanks;
+            sim_cfg.issueWidth = _cfg.seedingIssueWidth;
+            sim_cfg.seed = seg + 1;
+            const auto sim =
+                SeedingLaneSim(sim_cfg).simulate(st.segLaneWork[seg]);
+            seed_sec = static_cast<double>(sim.cycles) /
+                       (_cfg.seedingFreqGhz * 1e9);
+        } else {
+            seed_sec = seedingCycles(st.segSeeding[seg],
+                                     _cfg.seedingIssueWidth) /
+                       (_cfg.seedingLanes * _cfg.seedingFreqGhz * 1e9);
+        }
+
+        const double ext_sec =
+            static_cast<double>(st.segLaneCycles[seg]) /
+            (_cfg.sillaxLanes * _cfg.sillaxFreqGhz * 1e9);
+
+        _perf.seedingSeconds += seed_sec;
+        _perf.extensionSeconds += ext_sec;
+        _perf.dramSeconds += dram_sec;
+        _perf.totalSeconds += std::max({dram_sec, seed_sec, ext_sec});
+    }
+
+    for (const auto &ws : st.shards) {
+        const LaneStats &s = ws.lane.stats();
+        _perf.lanes.jobs += s.jobs;
+        _perf.lanes.streamCycles += s.streamCycles;
+        _perf.lanes.reduceCycles += s.reduceCycles;
+        _perf.lanes.collectCycles += s.collectCycles;
+        _perf.lanes.rerunCycles += s.rerunCycles;
+        _perf.lanes.reruns += s.reruns;
+        _perf.lanes.jobsWithRerun += s.jobsWithRerun;
+        _perf.lanes.issueFaults += s.issueFaults;
+        _perf.extensionJobs += ws.extensionJobs;
+        _perf.laneFaults += ws.laneFaults;
+        _perf.degradedJobs += ws.degradedJobs;
+    }
+    _perf.exactReads += st.exactReads;
+    // Pipeline occupancy: every extension job dispatched by the
+    // kernel must be accounted for by exactly one lane or by the
+    // software fallback — the sharded dispatch dropped or
+    // double-counted nothing.
+    GENAX_CHECK(_perf.lanes.jobs + _perf.degradedJobs ==
+                    _perf.extensionJobs,
+                "lane stats record ", _perf.lanes.jobs, " jobs plus ",
+                _perf.degradedJobs,
+                " degraded jobs but the system dispatched ",
+                _perf.extensionJobs);
+
+    _stream.reset();
+}
+
+std::vector<std::vector<Mapping>>
+GenAxSystem::alignAllCandidates(const std::vector<Seq> &reads,
+                                u32 max_candidates)
+{
+    streamBegin();
+    auto out = streamBatchCandidates(reads, 0, max_candidates);
+    streamEnd();
+    return out;
+}
+
+std::vector<Mapping>
+GenAxSystem::alignAll(const std::vector<Seq> &reads)
+{
+    streamBegin();
+    auto out = streamBatch(reads, 0);
+    streamEnd();
     return out;
 }
 

@@ -20,6 +20,7 @@
 #ifndef GENAX_GENAX_SYSTEM_HH
 #define GENAX_GENAX_SYSTEM_HH
 
+#include <memory>
 #include <vector>
 
 #include "align/mapping.hh"
@@ -119,12 +120,67 @@ class GenAxSystem
 {
   public:
     GenAxSystem(const Seq &ref, const GenAxConfig &cfg);
+    ~GenAxSystem();
 
     /**
      * Align every read (both strands) against the whole genome,
      * segment by segment, and collect the performance model.
      */
     std::vector<Mapping> alignAll(const std::vector<Seq> &reads);
+
+    /**
+     * @name Streaming batch interface
+     *
+     * The streaming pipeline feeds reads in batches so peak host
+     * memory stays O(batch) instead of O(dataset):
+     *
+     *     streamBegin();
+     *     while ((batch = reader.nextBatch(n)), !batch.empty())
+     *         emit(streamBatch(batch, base)), base += batch.size();
+     *     streamEnd();
+     *
+     * The sequence is bit-identical to one alignAll() over the
+     * concatenated reads — SAM bytes, the perf report's modelled
+     * cycles/seconds, and armed fault-injection replay all match at
+     * any batch size and any thread count. Two mechanisms make that
+     * hold: per-segment accumulators (u64 stats and lane-cycle
+     * deltas summed across batches, with the derived doubles
+     * computed once per segment at streamEnd() in segment order),
+     * and fault keys derived from the global read index
+     * (base_read_index + r), never from batch-local positions. DRAM
+     * table streams — whose fault site replays by per-site ordinal,
+     * not by key — are deferred to streamEnd() and issued once per
+     * segment in segment order, exactly as alignAll() issues them.
+     *
+     * alignAll()/alignAllCandidates() are themselves implemented as
+     * a single-batch stream, so the equivalence is by construction.
+     */
+    ///@{
+
+    /** Open a streaming pass: resets the perf report and allocates
+     *  the per-segment accumulators. No stream may already be open. */
+    void streamBegin();
+
+    /**
+     * Align one batch against every segment. `base_read_index` is
+     * the number of reads already streamed (checked); it keys fault
+     * injection so replay is batch-size-invariant. degradedReads()
+     * holds this batch's flags until the next batch is streamed.
+     */
+    std::vector<Mapping> streamBatch(const std::vector<Seq> &reads,
+                                     u64 base_read_index);
+
+    /** Candidate-list form of streamBatch() (same contract). */
+    std::vector<std::vector<Mapping>>
+    streamBatchCandidates(const std::vector<Seq> &reads,
+                          u64 base_read_index, u32 max_candidates = 16);
+
+    /** Close the pass: issue the per-segment DRAM streams, finalize
+     *  the modelled seconds and the lane-stat reductions into
+     *  perf(). */
+    void streamEnd();
+
+    ///@}
 
     /**
      * Like alignAll() but return each read's distinct candidate
@@ -148,11 +204,11 @@ class GenAxSystem
     const GenomeSegments &segments() const { return _segments; }
 
     /**
-     * Per-read degradation flags of the most recent alignAll /
-     * alignAllCandidates pass: flag r is non-zero when at least one
-     * of read r's extension jobs fell back to the software kernel
-     * (lane issue fault). The pipeline aggregates these into its
-     * outcome ledger.
+     * Per-read degradation flags of the most recent batch (for
+     * alignAll / alignAllCandidates, the whole read set): flag r is
+     * non-zero when at least one of read r's extension jobs fell
+     * back to the software kernel (lane issue fault). The pipeline
+     * drains these into its outcome ledger after each batch.
      */
     const std::vector<u8> &degradedReads() const { return _degraded; }
 
@@ -188,12 +244,15 @@ class GenAxSystem
                               u64 segments);
 
   private:
+    struct StreamState; //!< per-pass accumulators (system.cc)
+
     const Seq &_ref;
     GenAxConfig _cfg;
     GenomeSegments _segments;
     DramModel _dram;
     GenAxPerf _perf;
-    std::vector<u8> _degraded; //!< per-read fallback flags
+    std::vector<u8> _degraded; //!< per-batch fallback flags
+    std::unique_ptr<StreamState> _stream;
 };
 
 } // namespace genax

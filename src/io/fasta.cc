@@ -1,5 +1,6 @@
 #include "io/fasta.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -136,6 +137,23 @@ FastaReader::next()
         ++_stats.records;
         return rec;
     }
+}
+
+StatusOr<std::vector<FastaRecord>>
+FastaReader::nextBatch(u64 max_records)
+{
+    std::vector<FastaRecord> out;
+    out.reserve(static_cast<size_t>(std::min<u64>(max_records, 4096)));
+    while (out.size() < max_records) {
+        auto rec = next();
+        if (!rec.ok()) {
+            if (isEndOfStream(rec.status()))
+                break;
+            return rec.status();
+        }
+        out.push_back(std::move(rec).value());
+    }
+    return out;
 }
 
 StatusOr<std::vector<FastaRecord>>

@@ -1,5 +1,6 @@
 #include "io/fastq.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -164,6 +165,23 @@ FastqReader::next()
         ++_stats.records;
         return rec;
     }
+}
+
+StatusOr<std::vector<FastqRecord>>
+FastqReader::nextBatch(u64 max_records)
+{
+    std::vector<FastqRecord> out;
+    out.reserve(static_cast<size_t>(std::min<u64>(max_records, 4096)));
+    while (out.size() < max_records) {
+        auto rec = next();
+        if (!rec.ok()) {
+            if (isEndOfStream(rec.status()))
+                break;
+            return rec.status();
+        }
+        out.push_back(std::move(rec).value());
+    }
+    return out;
 }
 
 StatusOr<std::vector<FastqRecord>>

@@ -50,6 +50,17 @@ class FastqReader
      */
     StatusOr<FastqRecord> next();
 
+    /**
+     * Up to `max_records` next well-formed records — the streaming
+     * pipeline's batch refill. Records are never split or reordered
+     * across batches: the concatenation of successive batches is
+     * exactly the sequence repeated next() calls would yield,
+     * including resync-on-'@' recovery. An empty vector means clean
+     * end of input; a non-EndOfStream error from the underlying
+     * parser fails the whole batch.
+     */
+    StatusOr<std::vector<FastqRecord>> nextBatch(u64 max_records);
+
     const ReaderStats &stats() const { return _stats; }
     const ReaderOptions &options() const { return _opts; }
 

@@ -1,69 +1,13 @@
 #include "seed/cam.hh"
 
-#include <algorithm>
-#include <bit>
-
-#include "common/check.hh"
-#include "common/faultinject.hh"
-
 namespace genax {
 
 std::vector<u32>
 CamModel::intersect(const std::vector<u32> &candidates,
                     std::span<const u32> hits, u32 offset)
 {
-    // Both inputs must arrive sorted: the merge below and the
-    // binary-search datapath it models silently produce garbage
-    // otherwise.
-    GENAX_DCHECK(std::is_sorted(candidates.begin(), candidates.end()),
-                 "CAM candidate set not sorted");
-    GENAX_DCHECK(std::is_sorted(hits.begin(), hits.end()),
-                 "CAM hit list not sorted");
-    // Cost accounting first (the functional result is identical on
-    // all paths). The controller knows both set sizes up front, so
-    // with the fallback enabled it picks the cheaper datapath.
-    // An injected seed.cam.overflow fault forces the capacity-
-    // overflow handling so chaos tests can drive the fallback
-    // datapath with ordinary-sized hit lists.
-    const bool forced_overflow = faultFires(fault::kCamOverflow);
-    const u64 passes = (hits.size() + _capacity - 1) / _capacity;
-    const u64 cam_cost = passes * candidates.size();
-    const u64 bin_cost =
-        candidates.size() *
-        std::bit_width(static_cast<u64>(hits.size()));
-    if (_binaryFallback &&
-        (forced_overflow ||
-         (hits.size() > _capacity && bin_cost < cam_cost))) {
-        // Binary-search each candidate in the sorted position table.
-        _stats.binarySteps += bin_cost;
-        ++_stats.overflowFallbacks;
-    } else {
-        // Stream the hit list into the CAM (multi-pass when it
-        // exceeds capacity) and search every candidate per pass.
-        _stats.loads += hits.size();
-        _stats.searches += passes * candidates.size();
-    }
-
-    // Two-pointer merge over the sorted inputs.
     std::vector<u32> out;
-    out.reserve(std::min(candidates.size(), hits.size()));
-    size_t ci = 0, hi = 0;
-    while (ci < candidates.size() && hi < hits.size()) {
-        if (hits[hi] < offset) {
-            ++hi;
-            continue;
-        }
-        const u32 norm = hits[hi] - offset;
-        if (candidates[ci] < norm) {
-            ++ci;
-        } else if (norm < candidates[ci]) {
-            ++hi;
-        } else {
-            out.push_back(norm);
-            ++ci;
-            ++hi;
-        }
-    }
+    intersectInto(candidates, hits, offset, out);
     return out;
 }
 

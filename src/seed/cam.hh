@@ -16,10 +16,13 @@
 #ifndef GENAX_SEED_CAM_HH
 #define GENAX_SEED_CAM_HH
 
+#include <algorithm>
+#include <bit>
 #include <span>
 #include <vector>
 
 #include "common/check.hh"
+#include "common/faultinject.hh"
 #include "common/types.hh"
 
 namespace genax {
@@ -70,6 +73,70 @@ class CamModel
      */
     std::vector<u32> intersect(const std::vector<u32> &candidates,
                                std::span<const u32> hits, u32 offset);
+
+    /**
+     * Same intersection, writing into a caller-owned output vector
+     * (cleared first) — the allocation-free form the arena-backed
+     * seeding hot path uses. `out` must not alias `candidates`.
+     * Accounting and results are identical to intersect().
+     */
+    template <typename OutVec>
+    void
+    intersectInto(std::span<const u32> candidates,
+                  std::span<const u32> hits, u32 offset, OutVec &out)
+    {
+        GENAX_DCHECK(
+            std::is_sorted(candidates.begin(), candidates.end()),
+            "CAM candidate set not sorted");
+        GENAX_DCHECK(std::is_sorted(hits.begin(), hits.end()),
+                     "CAM hit list not sorted");
+        // Cost accounting first (the functional result is identical
+        // on all paths). The controller knows both set sizes up
+        // front, so with the fallback enabled it picks the cheaper
+        // datapath. An injected seed.cam.overflow fault forces the
+        // capacity-overflow handling so chaos tests can drive the
+        // fallback datapath with ordinary-sized hit lists.
+        const bool forced_overflow = faultFires(fault::kCamOverflow);
+        const u64 passes = (hits.size() + _capacity - 1) / _capacity;
+        const u64 cam_cost = passes * candidates.size();
+        const u64 bin_cost =
+            candidates.size() *
+            std::bit_width(static_cast<u64>(hits.size()));
+        if (_binaryFallback &&
+            (forced_overflow ||
+             (hits.size() > _capacity && bin_cost < cam_cost))) {
+            // Binary-search each candidate in the sorted position
+            // table.
+            _stats.binarySteps += bin_cost;
+            ++_stats.overflowFallbacks;
+        } else {
+            // Stream the hit list into the CAM (multi-pass when it
+            // exceeds capacity) and search every candidate per pass.
+            _stats.loads += hits.size();
+            _stats.searches += passes * candidates.size();
+        }
+
+        // Two-pointer merge over the sorted inputs.
+        out.clear();
+        out.reserve(std::min(candidates.size(), hits.size()));
+        size_t ci = 0, hi = 0;
+        while (ci < candidates.size() && hi < hits.size()) {
+            if (hits[hi] < offset) {
+                ++hi;
+                continue;
+            }
+            const u32 norm = hits[hi] - offset;
+            if (candidates[ci] < norm) {
+                ++ci;
+            } else if (norm < candidates[ci]) {
+                ++hi;
+            } else {
+                out.push_back(norm);
+                ++ci;
+                ++hi;
+            }
+        }
+    }
 
     const CamStats &stats() const { return _stats; }
     void resetStats() { _stats = {}; }

@@ -1,0 +1,98 @@
+#include "seed/flat_kmer_index.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.hh"
+
+namespace genax {
+
+FlatKmerIndex::FlatKmerIndex(const Seq &ref, u32 k)
+    : _k(k), _segLen(ref.size())
+{
+    GENAX_CHECK(k >= 1 && k <= 13, "k out of supported range: ", k);
+    if (ref.size() < k) {
+        // Even the empty table needs one probe-able slot.
+        _table.assign(2, Entry{});
+        _mask = 1;
+        return;
+    }
+    const u64 kmers = ref.size() - k + 1;
+
+    // <= 50% load so linear probe chains stay short; the table is
+    // sized for the worst case (every k-mer distinct) to keep the
+    // build single-pass over the upserts.
+    const u64 slots = std::bit_ceil(std::max<u64>(16, 2 * kmers));
+    _table.assign(slots, Entry{});
+    _mask = slots - 1;
+
+    auto first_key = [&]() {
+        u64 key = 0;
+        for (u32 i = 0; i < k; ++i)
+            key |= static_cast<u64>(ref[i] & 3) << (2 * i);
+        return key;
+    };
+    auto roll = [&](u64 key, u64 next_pos) {
+        return (key >> 2) |
+               (static_cast<u64>(ref[next_pos] & 3) << (2 * (k - 1)));
+    };
+
+    // Pass 1: count occurrences per distinct key.
+    u64 key = first_key();
+    for (u64 p = 0; p < kmers; ++p) {
+        u64 slot = slotOf(key);
+        for (;;) {
+            Entry &e = _table[slot];
+            if (e.key == key) {
+                ++e.count;
+                break;
+            }
+            if (e.key == kEmptyKey) {
+                e.key = key;
+                e.count = 1;
+                ++_distinct;
+                break;
+            }
+            slot = (slot + 1) & _mask;
+        }
+        if (p + 1 < kmers)
+            key = roll(key, p + k);
+    }
+
+    // Assign postings extents in ascending key order, so the layout
+    // (and hence any iteration the tests do) is independent of the
+    // hash function and table size.
+    std::vector<u32> occupied;
+    occupied.reserve(_distinct);
+    for (u32 s = 0; s < _table.size(); ++s)
+        if (_table[s].key != kEmptyKey)
+            occupied.push_back(s);
+    std::sort(occupied.begin(), occupied.end(), [&](u32 a, u32 b) {
+        return _table[a].key < _table[b].key;
+    });
+    u32 offset = 0;
+    for (const u32 s : occupied) {
+        Entry &e = _table[s];
+        e.offset = offset;
+        offset += e.count;
+        _maxHits = std::max(_maxHits, e.count);
+        e.count = 0; // reused as the fill cursor in pass 2
+    }
+
+    // Pass 2: fill in ascending position order so each key's postings
+    // are sorted (required for the binary-search fallback), exactly
+    // as the dense CSR layout reports them.
+    _positions.assign(kmers, 0);
+    key = first_key();
+    for (u64 p = 0; p < kmers; ++p) {
+        u64 slot = slotOf(key);
+        while (_table[slot].key != key)
+            slot = (slot + 1) & _mask;
+        Entry &e = _table[slot];
+        _positions[e.offset + e.count++] = static_cast<u32>(p);
+        if (p + 1 < kmers)
+            key = roll(key, p + k);
+    }
+}
+
+} // namespace genax

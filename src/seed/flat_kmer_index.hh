@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Cache-conscious k-mer index: flat open-addressing table over packed
+ * 2-bit k-mers plus one contiguous postings array.
+ *
+ * The dense CSR KmerIndex models the paper's hardware tables exactly
+ * (4^k entries, no tags), but as a *host* data structure it wastes
+ * cache: at k = 12 the offsets array is 64 MB of which a segment's
+ * reads touch a sparse subset, so nearly every lookup is two cold
+ * cache lines plus TLB pressure. This layout stores only the k-mers
+ * that occur: a power-of-two open-addressing table of
+ * {key, offset, count} entries (16 bytes, linear probing, <= 50%
+ * load) over a single contiguous u32 postings array. A lookup is one
+ * probe sequence (almost always one cache line) and the postings for
+ * a key are adjacent, in ascending position order — the same order
+ * the CSR layout reports, so every downstream consumer sees identical
+ * hit lists (the equivalence suite diffs the two layouts
+ * exhaustively).
+ *
+ * lookupPrefetch() issues a software prefetch of a key's first probe
+ * line so batched offset loops (SmemEngine's exact-match path) can
+ * overlap the dependent loads of consecutive lookups.
+ *
+ * All hardware footprint reporting (indexTableBytes,
+ * positionTableBytes) still models the paper's dense SRAM tables —
+ * the DRAM streaming model and Table II must not change because the
+ * host got a better data structure; hostBytes() reports the actual
+ * malloc'd footprint for the microbenches.
+ */
+
+#ifndef GENAX_SEED_FLAT_KMER_INDEX_HH
+#define GENAX_SEED_FLAT_KMER_INDEX_HH
+
+#include <span>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+/** Open-addressing k-mer index for one reference segment. */
+class FlatKmerIndex
+{
+  public:
+    /**
+     * Build the table for a reference segment.
+     *
+     * @param ref the segment's bases
+     * @param k   k-mer length (1..13; the paper uses 12)
+     */
+    FlatKmerIndex(const Seq &ref, u32 k);
+
+    /** One occupied table slot: a key's postings extent. */
+    struct Entry
+    {
+        u64 key = kEmptyKey;
+        u32 offset = 0;
+        u32 count = 0;
+    };
+
+    /** Sorted occurrence positions of a packed k-mer. */
+    std::span<const u32>
+    lookup(u64 kmer) const
+    {
+        u64 slot = slotOf(kmer);
+        for (;;) {
+            const Entry &e = _table[slot];
+            if (e.key == kmer)
+                return {_positions.data() + e.offset, e.count};
+            if (e.key == kEmptyKey)
+                return {};
+            slot = (slot + 1) & _mask;
+        }
+    }
+
+    /** Hit-list length only — the `{count}` metadata consumers use
+     *  to reserve() before filling. */
+    u32
+    lookupCount(u64 kmer) const
+    {
+        u64 slot = slotOf(kmer);
+        for (;;) {
+            const Entry &e = _table[slot];
+            if (e.key == kmer)
+                return e.count;
+            if (e.key == kEmptyKey)
+                return 0;
+            slot = (slot + 1) & _mask;
+        }
+    }
+
+    /** Prefetch the key's first probe line ahead of lookup(). */
+    void
+    lookupPrefetch(u64 kmer) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&_table[slotOf(kmer)], 0, 1);
+#else
+        (void)kmer;
+#endif
+    }
+
+    /** Pack the k bases starting at s[pos] into a k-mer key. */
+    u64
+    packKmer(const Seq &s, size_t pos) const
+    {
+        u64 key = 0;
+        for (u32 i = 0; i < _k; ++i)
+            key |= static_cast<u64>(s[pos + i] & 3) << (2 * i);
+        return key;
+    }
+
+    u32 k() const { return _k; }
+    u64 segmentLength() const { return _segLen; }
+
+    /** Hardware table entry width (see KmerIndex::kEntryBytes — the
+     *  footprint model is shared between both layouts). */
+    static constexpr u64 kEntryBytes = 3;
+
+    /** Hardware index-table footprint (dense 4^k entries — the SRAM
+     *  the paper streams, not the host table). */
+    u64
+    indexTableBytes() const
+    {
+        return (u64{1} << (2 * _k)) * kEntryBytes;
+    }
+
+    /** Hardware position-table footprint in bytes. */
+    u64
+    positionTableBytes() const
+    {
+        return _positions.size() * kEntryBytes;
+    }
+
+    /** Largest hit-list size in this segment (CAM sizing input). */
+    u32 maxHitListSize() const { return _maxHits; }
+
+    /** Distinct k-mers present in the segment. */
+    u64 distinctKmers() const { return _distinct; }
+
+    /** Actual host memory footprint (table + postings), for the
+     *  layout microbenches. */
+    u64
+    hostBytes() const
+    {
+        return _table.size() * sizeof(Entry) +
+               _positions.size() * sizeof(u32);
+    }
+
+    /** Table entries examined by lookup(kmer) — the probe-chain
+     *  length (1 on a first-slot hit or miss). Diagnostics and the
+     *  bytes-touched microbench. */
+    u32
+    probeLength(u64 kmer) const
+    {
+        u64 slot = slotOf(kmer);
+        u32 probes = 1;
+        while (_table[slot].key != kmer &&
+               _table[slot].key != kEmptyKey) {
+            slot = (slot + 1) & _mask;
+            ++probes;
+        }
+        return probes;
+    }
+
+  private:
+    static constexpr u64 kEmptyKey = ~u64{0};
+
+    u64
+    slotOf(u64 key) const
+    {
+        // splitmix64 finalizer: packed k-mers differ in low bits only
+        // for near-identical sequence, so mix before masking.
+        u64 h = key + 0x9e3779b97f4a7c15ULL;
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+        return (h ^ (h >> 31)) & _mask;
+    }
+
+    u32 _k;
+    u64 _segLen;
+    u32 _maxHits = 0;
+    u64 _distinct = 0;
+    u64 _mask = 0;
+    std::vector<Entry> _table;
+    std::vector<u32> _positions; //!< contiguous postings, per-key
+                                 //!< extents in ascending order
+};
+
+} // namespace genax
+
+#endif // GENAX_SEED_FLAT_KMER_INDEX_HH

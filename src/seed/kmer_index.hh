@@ -43,6 +43,26 @@ class KmerIndex
         return {_positions.data() + begin, _positions.data() + end};
     }
 
+    /** Hit-list length only — the `{count}` metadata consumers use
+     *  to reserve() before filling. */
+    u32
+    lookupCount(u64 kmer) const
+    {
+        return _offsets[kmer + 1] - _offsets[kmer];
+    }
+
+    /** Prefetch the key's offset line ahead of lookup() (interface
+     *  parity with FlatKmerIndex; the dense table needs it less). */
+    void
+    lookupPrefetch(u64 kmer) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&_offsets[kmer], 0, 1);
+#else
+        (void)kmer;
+#endif
+    }
+
     /** Pack the k bases starting at p[pos] into a k-mer key. */
     u64
     packKmer(const Seq &s, size_t pos) const
@@ -72,6 +92,15 @@ class KmerIndex
 
     /** Largest hit-list size in this segment (CAM sizing input). */
     u32 maxHitListSize() const { return _maxHits; }
+
+    /** Host-resident footprint of the CSR arrays (the micro benches
+     *  compare this against FlatKmerIndex::hostBytes()). */
+    u64
+    hostBytes() const
+    {
+        return _offsets.size() * sizeof(u32) +
+               _positions.size() * sizeof(u32);
+    }
 
     /**
      * Serialize the tables (the paper builds them offline per

@@ -39,4 +39,10 @@ GenomeSegments::buildIndex(u64 i) const
     return KmerIndex(bases(i), _cfg.k);
 }
 
+SeedIndex
+GenomeSegments::buildSeedIndex(u64 i) const
+{
+    return SeedIndex(bases(i), _cfg.k);
+}
+
 } // namespace genax

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "common/dna.hh"
-#include "seed/kmer_index.hh"
+#include "seed/seed_index.hh"
 
 namespace genax {
 
@@ -46,8 +46,13 @@ class GenomeSegments
     /** Copy of the segment's bases. */
     Seq bases(u64 i) const;
 
-    /** Build the segment's index (the per-pass SRAM streaming). */
+    /** Build the segment's dense hardware-model index (the per-pass
+     *  SRAM streaming; also the oracle layout). */
     KmerIndex buildIndex(u64 i) const;
+
+    /** Build the segment's seeding index in the configured layout
+     *  (SeedIndex — flat by default, dense under the oracle). */
+    SeedIndex buildSeedIndex(u64 i) const;
 
     /** Convert a segment-local position to a global one. */
     u64 toGlobal(u64 seg, u64 local) const { return _starts[seg] + local; }

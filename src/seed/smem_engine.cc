@@ -7,7 +7,7 @@
 
 namespace genax {
 
-SmemEngine::SmemEngine(const KmerIndex &index, const SeedingConfig &cfg)
+SmemEngine::SmemEngine(const SeedIndex &index, const SeedingConfig &cfg)
     : _index(index), _cfg(cfg),
       _cam(cfg.camSize, cfg.binarySearchFallback)
 {
@@ -20,10 +20,10 @@ SmemEngine::resetStats()
     _cam.resetStats();
 }
 
-std::vector<u32>
+PosList
 SmemEngine::primeCandidates(std::span<const u32> hits, u32 offset)
 {
-    std::vector<u32> out;
+    PosList out{ArenaAllocator<u32>(&_arena)};
     out.reserve(hits.size());
     for (u32 h : hits)
         if (h >= offset)
@@ -31,7 +31,7 @@ SmemEngine::primeCandidates(std::span<const u32> hits, u32 offset)
     return out;
 }
 
-std::vector<u32>
+PosList
 SmemEngine::tryExactMatch(const Seq &read)
 {
     const u32 k = _index.k();
@@ -39,25 +39,37 @@ SmemEngine::tryExactMatch(const Seq &read)
 
     // k-mers spanning the whole read: offsets 0, k, 2k, ... plus a
     // final overlapping k-mer ending at the last base.
-    std::vector<u32> offsets;
+    ArenaVector<u32> offsets{ArenaAllocator<u32>(&_arena)};
+    offsets.reserve(len / k + 2);
     for (u32 off = 0; off + k <= len; off += k)
         offsets.push_back(off);
     if (offsets.back() + k != len)
         offsets.push_back(len - k);
+
+    // Batched offset loop: pack every key up front and prefetch its
+    // probe line, so the dependent table loads of consecutive
+    // lookups overlap instead of serializing on cache misses.
+    ArenaVector<u64> keys{ArenaAllocator<u64>(&_arena)};
+    keys.reserve(offsets.size());
+    for (u32 off : offsets)
+        keys.push_back(_index.packKmer(read, off));
+    for (u64 key : keys)
+        _index.lookupPrefetch(key);
 
     struct Lookup
     {
         u32 offset;
         std::span<const u32> hits;
     };
-    std::vector<Lookup> lookups;
+    ArenaVector<Lookup> lookups{ArenaAllocator<Lookup>(&_arena)};
     lookups.reserve(offsets.size());
-    for (u32 off : offsets) {
-        const auto hits = _index.lookup(_index.packKmer(read, off));
+    for (size_t i = 0; i < offsets.size(); ++i) {
+        const auto hits = _index.lookup(keys[i]);
         ++_stats.indexLookups;
         if (hits.empty())
-            return {}; // some k-mer absent: cannot be exact
-        lookups.push_back({off, hits});
+            return PosList{
+                ArenaAllocator<u32>(&_arena)}; // some k-mer absent
+        lookups.push_back({offsets[i], hits});
     }
 
     // Start from the smallest hit set, intersect in ascending size.
@@ -65,14 +77,18 @@ SmemEngine::tryExactMatch(const Seq &read)
               [](const Lookup &a, const Lookup &b) {
                   return a.hits.size() < b.hits.size();
               });
-    std::vector<u32> cand =
+    PosList cand =
         primeCandidates(lookups[0].hits, lookups[0].offset);
-    for (size_t i = 1; i < lookups.size() && !cand.empty(); ++i)
-        cand = _cam.intersect(cand, lookups[i].hits, lookups[i].offset);
+    PosList next{ArenaAllocator<u32>(&_arena)};
+    for (size_t i = 1; i < lookups.size() && !cand.empty(); ++i) {
+        _cam.intersectInto(cand, lookups[i].hits, lookups[i].offset,
+                           next);
+        cand.swap(next);
+    }
     return cand;
 }
 
-std::pair<u32, std::vector<u32>>
+std::pair<u32, PosList>
 SmemEngine::rmem(const Seq &read, u32 pivot)
 {
     const u32 k = _index.k();
@@ -83,18 +99,19 @@ SmemEngine::rmem(const Seq &read, u32 pivot)
         _index.packKmer(read, pivot));
     ++_stats.indexLookups;
     if (first.empty())
-        return {0, {}};
+        return {0, PosList{ArenaAllocator<u32>(&_arena)}};
 
-    std::vector<u32> cand = primeCandidates(first, 0);
+    PosList cand = primeCandidates(first, 0);
+    PosList next{ArenaAllocator<u32>(&_arena)};
     u32 length = k;
 
     // Extension by an overlapping or abutting k-mer at read offset
     // pivot + t certifies length t + k.
     auto try_extend_hits = [&](u32 t, std::span<const u32> hits) {
-        auto next = _cam.intersect(cand, hits, t);
+        _cam.intersectInto(cand, hits, t, next);
         if (next.empty())
             return false;
-        cand = std::move(next);
+        cand.swap(next);
         length = t + k;
         return true;
     };
@@ -171,6 +188,10 @@ SmemEngine::rmem(const Seq &read, u32 pivot)
 std::vector<Smem>
 SmemEngine::seed(const Seq &read)
 {
+    // Recycle the previous read's position lists and scratch; see
+    // the lifetime note in the header.
+    _arena.reset();
+
     const u32 k = _index.k();
     const u32 len = static_cast<u32>(read.size());
     ++_stats.reads;
@@ -189,7 +210,9 @@ SmemEngine::seed(const Seq &read)
             smem.positions = std::move(cand);
             _stats.cam += _cam.stats();
             _cam.resetStats();
-            return {smem};
+            std::vector<Smem> out;
+            out.push_back(std::move(smem));
+            return out;
         }
     }
 

@@ -19,6 +19,15 @@
  *  - probing             choose the second k-mer with the smallest
  *                        hit set among several strides
  *  - exactMatchFastPath  whole-read k-mer intersection shortcut
+ *
+ * Memory: every position list and intersection scratch vector is
+ * bump-allocated from an engine-owned Arena that seed() resets on
+ * entry. The returned Smems therefore borrow the engine's arena —
+ * they are valid until the next seed() call (or the engine's
+ * destruction), which is exactly the consume-before-reseeding
+ * lifetime every caller already has. Copying a Smem detaches its
+ * positions to the heap (see common/arena.hh) for callers that need
+ * to retain seeds longer.
  */
 
 #ifndef GENAX_SEED_SMEM_ENGINE_HH
@@ -26,9 +35,10 @@
 
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/dna.hh"
 #include "seed/cam.hh"
-#include "seed/kmer_index.hh"
+#include "seed/seed_index.hh"
 
 namespace genax {
 
@@ -47,14 +57,19 @@ struct SeedingConfig
     bool exactMatchFastPath = true;
 };
 
+/** Position list type used on the seeding hot path (arena-backed
+ *  when produced by SmemEngine, heap-backed by default). */
+using PosList = ArenaVector<u32>;
+
 /** One reported seed: an SMEM and its reference hit positions. */
 struct Smem
 {
     u32 qryBegin = 0; //!< pivot position in the read
     u32 qryEnd = 0;   //!< one past the last matched read position
     /** Segment-local reference positions where read[qryBegin]
-     *  aligns, ascending. */
-    std::vector<u32> positions;
+     *  aligns, ascending. Storage may borrow the producing engine's
+     *  arena — see the lifetime note in the file header. */
+    PosList positions;
 
     u32 length() const { return qryEnd - qryBegin; }
 };
@@ -90,19 +105,26 @@ struct SeedingStats
 class SmemEngine
 {
   public:
-    SmemEngine(const KmerIndex &index, const SeedingConfig &cfg);
+    SmemEngine(const SeedIndex &index, const SeedingConfig &cfg);
 
-    /** Compute the SMEM seeds (and hits) of one read. */
+    /**
+     * Compute the SMEM seeds (and hits) of one read.
+     *
+     * Resets the engine's arena: seeds returned by the previous
+     * seed() call are invalidated.
+     */
     std::vector<Smem> seed(const Seq &read);
 
     const SeedingStats &stats() const { return _stats; }
     void resetStats();
     const SeedingConfig &config() const { return _cfg; }
 
+    /** The engine's bump arena (observability for tests/benches). */
+    const Arena &arena() const { return _arena; }
+
   private:
     /** Normalize a hit list by `offset` into a fresh candidate set. */
-    std::vector<u32> primeCandidates(std::span<const u32> hits,
-                                     u32 offset);
+    PosList primeCandidates(std::span<const u32> hits, u32 offset);
 
     /**
      * Right maximal exact match from `pivot`.
@@ -110,15 +132,16 @@ class SmemEngine
      * @return matched length L (>= k) and the pivot-normalized hit
      *         set; L == 0 when even the first k-mer has no hits.
      */
-    std::pair<u32, std::vector<u32>> rmem(const Seq &read, u32 pivot);
+    std::pair<u32, PosList> rmem(const Seq &read, u32 pivot);
 
     /** Whole-read exact-match shortcut; empty when not exact. */
-    std::vector<u32> tryExactMatch(const Seq &read);
+    PosList tryExactMatch(const Seq &read);
 
-    const KmerIndex &_index;
+    const SeedIndex &_index;
     SeedingConfig _cfg;
     CamModel _cam;
     SeedingStats _stats;
+    Arena _arena; //!< per-read scratch; reset by seed()
 };
 
 } // namespace genax

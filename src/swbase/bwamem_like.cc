@@ -34,7 +34,7 @@ struct ScoredCandidate
  * order).
  */
 std::vector<ScoredCandidate>
-buildReadCandidates(const KmerIndex &index, const Seq &ref,
+buildReadCandidates(const SeedIndex &index, const Seq &ref,
                     const AlignerConfig &cfg, const Seq &read)
 {
     SmemEngine engine(index, cfg.seeding);
@@ -97,7 +97,7 @@ applyHints(std::vector<ScoredCandidate> &cands,
  * batch — the single-read entry point's path.
  */
 std::vector<ScoredCandidate>
-scoreReadCandidates(const KmerIndex &index, const Seq &ref,
+scoreReadCandidates(const SeedIndex &index, const Seq &ref,
                     const AlignerConfig &cfg, const Seq &read)
 {
     auto cands = buildReadCandidates(index, ref, cfg, read);
@@ -185,7 +185,7 @@ selectAndFinish(const std::vector<ScoredCandidate> &cands,
 
 BwaMemLike::BwaMemLike(const Seq &ref, const AlignerConfig &cfg)
     : _ref(ref), _cfg(cfg),
-      _index(std::make_unique<KmerIndex>(ref, cfg.k))
+      _index(std::make_unique<SeedIndex>(ref, cfg.k))
 {
 }
 
@@ -206,6 +206,7 @@ BwaMemLike::candidates(const Seq &read, u32 max_out) const
     // the key is unique per survivor, so the comparator is a strict
     // total order and the sort result is deterministic.
     std::vector<u32> keep;
+    keep.reserve(cands.size());
     for (u32 i = 0; i < cands.size(); ++i) {
         bool dup = false;
         for (u32 j : keep) {
@@ -258,6 +259,11 @@ BwaMemLike::alignAll(const std::vector<Seq> &reads) const
     std::vector<simd::ExtendJob> jobs;
     std::vector<std::pair<u32, bool>> slots;
     std::vector<u32> bases(reads.size());
+    u64 total_cands = 0;
+    for (const auto &cands : all)
+        total_cands += cands.size();
+    jobs.reserve(2 * total_cands);
+    slots.reserve(2 * total_cands);
     u32 base = 0;
     for (size_t i = 0; i < reads.size(); ++i) {
         bases[i] = base;

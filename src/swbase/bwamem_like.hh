@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "align/mapping.hh"
-#include "seed/kmer_index.hh"
+#include "seed/seed_index.hh"
 #include "swbase/anchor.hh"
 
 namespace genax {
@@ -58,12 +58,12 @@ class BwaMemLike
                                     u32 max_out = 16) const;
 
     const AlignerConfig &config() const { return _cfg; }
-    const KmerIndex &index() const { return *_index; }
+    const SeedIndex &index() const { return *_index; }
 
   private:
     const Seq &_ref;
     AlignerConfig _cfg;
-    std::unique_ptr<KmerIndex> _index;
+    std::unique_ptr<SeedIndex> _index;
 };
 
 } // namespace genax

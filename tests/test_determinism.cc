@@ -61,16 +61,21 @@ struct RunOutput
     PipelineResult res;
 };
 
-/** One pipeline run; the fault plan (if any) is re-armed fresh so
- *  every run sees identical injector state. */
+/**
+ * One pipeline run; the fault plan (if any) is re-armed fresh so
+ * every run sees identical injector state. batch_reads > 0 routes
+ * through the streaming path (alignStreamToSam) instead of the
+ * load-all path — the two must be indistinguishable from out here.
+ */
 RunOutput
 runOnce(const Workload &w, PipelineOptions::Engine engine,
-        unsigned threads, bool inject)
+        unsigned threads, bool inject, u64 batch_reads = 0)
 {
     PipelineOptions opts;
     opts.engine = engine;
     opts.segments = 6;
     opts.threads = threads;
+    opts.batchReads = batch_reads;
 
     FaultInjector &fi = FaultInjector::instance();
     fi.reset();
@@ -82,7 +87,16 @@ runOnce(const Workload &w, PipelineOptions::Engine engine,
     }
 
     std::ostringstream sink;
-    const auto res = alignToSam(w.ref, w.reads, sink, opts);
+    const auto res = [&]() -> StatusOr<PipelineResult> {
+        if (batch_reads > 0) {
+            std::ostringstream fastq;
+            writeFastq(fastq, w.reads);
+            std::istringstream in(fastq.str());
+            FastqReader reader(in);
+            return alignStreamToSam(w.ref, reader, sink, opts);
+        }
+        return alignToSam(w.ref, w.reads, sink, opts);
+    }();
     fi.reset();
     EXPECT_TRUE(res.ok()) << res.status().str();
     RunOutput out;
@@ -189,6 +203,57 @@ TEST(Determinism, SoftwareEngineIdenticalAtAnyThreadCount)
     const RunOutput mt =
         runOnce(w, PipelineOptions::Engine::Software, 8, false);
     expectSameOutcome(serial, mt, "software threads=8");
+}
+
+TEST(Determinism, StreamingIdenticalAtAnyBatchSize)
+{
+    // The `--batch-reads` contract: batch size (and with it, the
+    // parse/align/emit overlap) is a memory/latency choice only. The
+    // streaming path must reproduce the load-all run byte for byte —
+    // SAM stream, ledger, and the full modelled perf report — at any
+    // batch size crossed with any thread count, on both engines.
+    const Workload w = makeWorkload();
+    for (const auto engine : {PipelineOptions::Engine::GenAx,
+                              PipelineOptions::Engine::Software}) {
+        const std::string ename =
+            engine == PipelineOptions::Engine::GenAx ? "genax" : "sw";
+        const RunOutput loadall = runOnce(w, engine, 1, false);
+        EXPECT_GT(loadall.res.mapped, 0u);
+        for (const u64 batch : {u64{7}, u64{64}, u64{100000}}) {
+            for (const unsigned threads : {1u, 8u}) {
+                const RunOutput run =
+                    runOnce(w, engine, threads, false, batch);
+                expectSameOutcome(loadall, run,
+                                  ename + " batch=" +
+                                      std::to_string(batch) +
+                                      " threads=" +
+                                      std::to_string(threads));
+            }
+        }
+    }
+}
+
+TEST(Determinism, StreamingIdenticalUnderFaultInjection)
+{
+    // Armed faults must replay identically through the streaming
+    // path: per-read keyed sites see the same global read index, the
+    // admission and DRAM-stream sites see the same per-site ordinal
+    // sequence, whatever the batch size.
+    const Workload w = makeWorkload();
+    const RunOutput loadall =
+        runOnce(w, PipelineOptions::Engine::GenAx, 1, true);
+    EXPECT_GT(loadall.res.degraded + loadall.res.failed, 0u)
+        << "fault plan should visibly perturb the run";
+    for (const u64 batch : {u64{7}, u64{64}, u64{100000}}) {
+        for (const unsigned threads : {1u, 8u}) {
+            const RunOutput run = runOnce(
+                w, PipelineOptions::Engine::GenAx, threads, true, batch);
+            expectSameOutcome(loadall, run,
+                              "inject batch=" + std::to_string(batch) +
+                                  " threads=" +
+                                  std::to_string(threads));
+        }
+    }
 }
 
 /** Every kernel tier the host can run, scalar always included. */

@@ -232,7 +232,7 @@ TEST(SeedEdge, ReadExactlyKLong)
     Seq ref;
     for (int i = 0; i < 4000; ++i)
         ref.push_back(static_cast<Base>(rng.below(4)));
-    KmerIndex index(ref, 8);
+    SeedIndex index(ref, 8);
     SmemEngine engine(index, {});
     const Seq read(ref.begin() + 100, ref.begin() + 108);
     const auto seeds = engine.seed(read);
@@ -249,7 +249,7 @@ TEST(SeedEdge, CamCapacityOne)
     Seq ref;
     for (int i = 0; i < 4000; ++i)
         ref.push_back(static_cast<Base>(rng.below(4)));
-    KmerIndex index(ref, 8);
+    SeedIndex index(ref, 8);
     SeedingConfig tiny;
     tiny.camSize = 1;
     SeedingConfig normal;

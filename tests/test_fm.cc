@@ -140,7 +140,7 @@ TEST(FmSeeder, AgreesExactlyWithHashSmemEngine)
     ref.insert(ref.end(), ref.begin() + 500, ref.begin() + 900);
 
     const u32 k = 8;
-    KmerIndex kindex(ref, k);
+    SeedIndex kindex(ref, k);
     SeedingConfig cfg;
     cfg.exactMatchFastPath = false;
     SmemEngine hash_engine(kindex, cfg);
@@ -175,7 +175,7 @@ TEST(FmSeeder, AgreesWithHashEngineAtNonPowerOfTwoK)
     ref.insert(ref.end(), ref.begin() + 700, ref.begin() + 1200);
 
     for (u32 k : {12u, 11u, 13u}) {
-        KmerIndex kindex(ref, k);
+        SeedIndex kindex(ref, k);
         SeedingConfig cfg;
         cfg.exactMatchFastPath = false;
         SmemEngine hash_engine(kindex, cfg);
@@ -209,7 +209,7 @@ TEST(FmSeeder, RankChainIsTheLocalityBottleneck)
     Rng rng(8600);
     const Seq ref = randomSeq(rng, 20000);
     const u32 k = 10;
-    KmerIndex kindex(ref, k);
+    SeedIndex kindex(ref, k);
     SeedingConfig cfg;
     cfg.exactMatchFastPath = false;
     SmemEngine hash_engine(kindex, cfg);

@@ -402,5 +402,127 @@ TEST(Chaos, CombinedFaultStormStillBalancesTheLedger)
     EXPECT_EQ(sam2.str(), sam.str());
 }
 
+TEST(Fuzz, FastqBatchRefillMatchesWholeParseUnderCorruption)
+{
+    // Random FASTQ files with random corruption (bad separators,
+    // length mismatches, stray garbage, CRLF, truncation) parsed two
+    // ways: one whole-stream pass vs nextBatch() refills at several
+    // batch sizes. Record streams and malformed counts must agree —
+    // the refill boundary can land anywhere, including mid-recovery.
+    Rng rng(9906);
+    for (int round = 0; round < 20; ++round) {
+        std::string text;
+        const int n = 3 + static_cast<int>(rng.below(40));
+        for (int i = 0; i < n; ++i) {
+            const size_t len = 4 + rng.below(30);
+            std::string bases, quals;
+            for (size_t j = 0; j < len; ++j) {
+                bases += "ACGT"[rng.below(4)];
+                quals += static_cast<char>('!' + rng.below(40));
+            }
+            const std::string eol = rng.below(4) == 0 ? "\r\n" : "\n";
+            switch (rng.below(8)) {
+            case 0: // bad separator: framing slips, resync needed
+                text += "@r" + std::to_string(i) + eol + bases + eol +
+                        "oops" + eol + quals + eol;
+                break;
+            case 1: // length mismatch
+                text += "@r" + std::to_string(i) + eol + bases + eol +
+                        "+" + eol + quals + "JJ" + eol;
+                break;
+            case 2: // stray garbage between records
+                text += "not a header" + eol;
+                break;
+            default:
+                text += "@r" + std::to_string(i) + eol + bases + eol +
+                        "+" + eol + quals + eol;
+            }
+        }
+        if (rng.below(3) == 0 && !text.empty())
+            text.pop_back(); // missing final newline
+
+        ReaderOptions opts;
+        opts.maxMalformed = 1000;
+        std::istringstream whole(text);
+        ReaderStats whole_stats;
+        const auto all = readFastq(whole, opts, &whole_stats);
+        ASSERT_TRUE(all.ok()) << all.status().str();
+
+        for (const u64 batch_size : {u64{1}, u64{2}, u64{7}}) {
+            std::istringstream in(text);
+            FastqReader reader(in, opts);
+            std::vector<FastqRecord> got;
+            for (;;) {
+                auto batch = reader.nextBatch(batch_size);
+                ASSERT_TRUE(batch.ok()) << batch.status().str();
+                if (batch->empty())
+                    break;
+                ASSERT_LE(batch->size(), batch_size);
+                for (auto &rec : *batch)
+                    got.push_back(std::move(rec));
+            }
+            ASSERT_EQ(got.size(), all->size())
+                << "round=" << round << " batch=" << batch_size;
+            for (size_t i = 0; i < got.size(); ++i) {
+                ASSERT_EQ(got[i].name, (*all)[i].name);
+                ASSERT_EQ(got[i].seq, (*all)[i].seq);
+                ASSERT_EQ(got[i].qual, (*all)[i].qual);
+            }
+            EXPECT_EQ(reader.stats().records, whole_stats.records);
+            EXPECT_EQ(reader.stats().malformed, whole_stats.malformed);
+        }
+    }
+}
+
+TEST(Chaos, StreamingPipelineMatchesLoadAllUnderFaultStorm)
+{
+    // The streaming pipeline replays an armed fault plan to the very
+    // same SAM bytes and ledger as the load-all path, at any batch
+    // size: admission, seeding and lane fault sites must see the
+    // same per-read keys and per-site ordinals either way.
+    const auto w = chaosWorkload(8806, 48);
+    const auto opts = chaosOptions();
+
+    std::ostringstream fastq_text;
+    writeFastq(fastq_text, w.reads);
+    const std::string fastq = fastq_text.str();
+
+    std::string base_sam;
+    PipelineResult base_res;
+    {
+        ScopedFaultPlan plan({
+            {fault::kLaneIssue, {.probability = 0.1, .seed = 1}},
+            {fault::kCamOverflow, {.probability = 0.2, .seed = 3}},
+            {fault::kPipelineRead, {.probability = 0.1, .seed = 4}},
+        });
+        std::ostringstream sam;
+        const auto res = alignToSam(w.ref, w.reads, sam, opts);
+        ASSERT_TRUE(res.ok());
+        base_sam = sam.str();
+        base_res = *res;
+    }
+
+    for (const u64 batch : {u64{5}, u64{1000}}) {
+        ScopedFaultPlan plan({
+            {fault::kLaneIssue, {.probability = 0.1, .seed = 1}},
+            {fault::kCamOverflow, {.probability = 0.2, .seed = 3}},
+            {fault::kPipelineRead, {.probability = 0.1, .seed = 4}},
+        });
+        std::istringstream in(fastq);
+        FastqReader reader(in);
+        std::ostringstream sam;
+        auto sopts = opts;
+        sopts.batchReads = batch;
+        const auto res = alignStreamToSam(w.ref, reader, sam, sopts);
+        ASSERT_TRUE(res.ok()) << res.status().str();
+        EXPECT_EQ(sam.str(), base_sam) << "batch=" << batch;
+        EXPECT_EQ(res->mapped, base_res.mapped);
+        EXPECT_EQ(res->unmapped, base_res.unmapped);
+        EXPECT_EQ(res->degraded, base_res.degraded);
+        EXPECT_EQ(res->failed, base_res.failed);
+        EXPECT_EQ(res->reads, base_res.reads);
+    }
+}
+
 } // namespace
 } // namespace genax

@@ -13,6 +13,7 @@
 #include "common/rng.hh"
 #include "readsim/refgen.hh"
 #include "seed/cam.hh"
+#include "seed/flat_kmer_index.hh"
 #include "seed/kmer_index.hh"
 #include "seed/segment.hh"
 #include "seed/smem_engine.hh"
@@ -173,6 +174,107 @@ TEST(KmerIndex, LoadRejectsTruncatedFile)
     EXPECT_EQ(loaded.status().code(), StatusCode::IoError);
 }
 
+// ------------------------------------------------------ FlatKmerIndex
+//
+// The open-addressing layout must be observationally identical to the
+// dense CSR layout: same hit lists (contents and order) for every key,
+// same CAM-sizing and footprint metadata. These diffs are what lets
+// the rest of the system switch layouts behind the SeedIndex alias.
+
+class FlatKmerIndexTest : public ::testing::TestWithParam<u32>
+{};
+
+TEST_P(FlatKmerIndexTest, ExhaustivelyMatchesDenseLayout)
+{
+    const u32 k = GetParam();
+    Rng rng(750 + k);
+    const Seq ref = randomSeq(rng, 4000);
+    const KmerIndex dense(ref, k);
+    const FlatKmerIndex flat(ref, k);
+
+    EXPECT_EQ(flat.k(), dense.k());
+    EXPECT_EQ(flat.segmentLength(), dense.segmentLength());
+    EXPECT_EQ(flat.maxHitListSize(), dense.maxHitListSize());
+
+    u64 distinct = 0;
+    for (u64 key = 0; key < (u64{1} << (2 * k)); ++key) {
+        const auto d = dense.lookup(key);
+        const auto f = flat.lookup(key);
+        ASSERT_EQ(f.size(), d.size()) << "key=" << key << " k=" << k;
+        ASSERT_TRUE(std::equal(f.begin(), f.end(), d.begin()))
+            << "key=" << key << " k=" << k;
+        ASSERT_EQ(flat.lookupCount(key), d.size()) << "key=" << key;
+        distinct += d.empty() ? 0 : 1;
+    }
+    EXPECT_EQ(flat.distinctKmers(), distinct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FlatKmerIndexTest,
+                         ::testing::Values(3u, 5u, 7u));
+
+TEST(FlatKmerIndex, SampledMatchAtPaperK)
+{
+    // k = 12 is too wide to sweep exhaustively; diff every k-mer that
+    // actually occurs plus a sample of absent keys.
+    Rng rng(760);
+    const Seq ref = randomSeq(rng, 20000);
+    const u32 k = 12;
+    const KmerIndex dense(ref, k);
+    const FlatKmerIndex flat(ref, k);
+    for (size_t pos = 0; pos + k <= ref.size(); ++pos) {
+        const u64 key = flat.packKmer(ref, pos);
+        const auto d = dense.lookup(key);
+        const auto f = flat.lookup(key);
+        ASSERT_EQ(f.size(), d.size()) << "pos=" << pos;
+        ASSERT_TRUE(std::equal(f.begin(), f.end(), d.begin()));
+    }
+    for (u64 key = 1; key < (u64{1} << 24); key += 65537) {
+        const auto d = dense.lookup(key);
+        const auto f = flat.lookup(key);
+        ASSERT_EQ(f.size(), d.size()) << "key=" << key;
+        ASSERT_TRUE(std::equal(f.begin(), f.end(), d.begin()));
+    }
+}
+
+TEST(FlatKmerIndex, HardwareFootprintsModelTheDenseTables)
+{
+    Rng rng(761);
+    const Seq ref = randomSeq(rng, 10000);
+    const KmerIndex dense(ref, 10);
+    const FlatKmerIndex flat(ref, 10);
+    // Table II's streaming model must not change with the host layout.
+    EXPECT_EQ(flat.indexTableBytes(), dense.indexTableBytes());
+    EXPECT_EQ(flat.positionTableBytes(), dense.positionTableBytes());
+    // ...but the actual host memory is far smaller than 4^k entries.
+    EXPECT_LT(flat.hostBytes(), dense.hostBytes());
+}
+
+TEST(FlatKmerIndex, ProbeLengthsAreSane)
+{
+    Rng rng(762);
+    const Seq ref = randomSeq(rng, 8000);
+    const FlatKmerIndex flat(ref, 9);
+    u64 total = 0, lookups = 0;
+    for (size_t pos = 0; pos + 9 <= ref.size(); pos += 7) {
+        const u32 p = flat.probeLength(flat.packKmer(ref, pos));
+        ASSERT_GE(p, 1u);
+        total += p;
+        ++lookups;
+    }
+    // <= 50% load keeps linear probing short: average well under 2.
+    EXPECT_LT(static_cast<double>(total) / lookups, 2.0);
+}
+
+TEST(FlatKmerIndex, ShortReferenceHandled)
+{
+    const Seq ref = encode("ACG");
+    const FlatKmerIndex flat(ref, 8);
+    EXPECT_TRUE(flat.lookup(0).empty());
+    EXPECT_EQ(flat.lookupCount(0), 0u);
+    EXPECT_EQ(flat.distinctKmers(), 0u);
+    EXPECT_EQ(flat.positionTableBytes(), 0u);
+}
+
 // --------------------------------------------------------------- CAM
 
 TEST(CamModel, IntersectionCorrectWithNormalization)
@@ -250,7 +352,7 @@ TEST(SmemEngine, ExactReadFastPath)
 {
     Rng rng(720);
     const Seq ref = randomSeq(rng, 20000);
-    KmerIndex index(ref, 10);
+    SeedIndex index(ref, 10);
     SmemEngine engine(index, {});
     const u32 pos = 4321, len = 101;
     const Seq read(ref.begin() + pos, ref.begin() + pos + len);
@@ -273,12 +375,16 @@ TEST(SmemEngine, ExactPositionsMatchBruteForce)
     const Seq unit(ref.begin() + 100, ref.begin() + 400);
     for (int copy = 0; copy < 3; ++copy)
         ref.insert(ref.end(), unit.begin(), unit.end());
-    KmerIndex index(ref, 10);
+    SeedIndex index(ref, 10);
     SmemEngine engine(index, {});
     const Seq read(ref.begin() + 150, ref.begin() + 251);
     const auto seeds = engine.seed(read);
     ASSERT_EQ(seeds.size(), 1u);
-    EXPECT_EQ(seeds[0].positions, occurrences(ref, read));
+    const auto expect_pos = occurrences(ref, read);
+    ASSERT_EQ(seeds[0].positions.size(), expect_pos.size());
+    EXPECT_TRUE(std::equal(seeds[0].positions.begin(),
+                           seeds[0].positions.end(),
+                           expect_pos.begin()));
 }
 
 /** Reference SMEM oracle matching the engine's reporting rule. */
@@ -299,7 +405,8 @@ smemOracle(const Seq &ref, const Seq &read, u32 k)
         s.qryBegin = pivot;
         s.qryEnd = end;
         const Seq pat(read.begin() + pivot, read.begin() + end);
-        s.positions = occurrences(ref, pat);
+        const auto occ = occurrences(ref, pat);
+        s.positions.assign(occ.begin(), occ.end());
         out.push_back(std::move(s));
     }
     return out;
@@ -309,7 +416,7 @@ TEST(SmemEngine, MatchesOracleOnMutatedReads)
 {
     Rng rng(722);
     const Seq ref = randomSeq(rng, 4000);
-    KmerIndex index(ref, 8);
+    SeedIndex index(ref, 8);
     SeedingConfig cfg;
     cfg.exactMatchFastPath = false; // exercise the pivot loop fully
     SmemEngine engine(index, cfg);
@@ -337,7 +444,7 @@ TEST(SmemEngine, OptimizationsPreserveResults)
 {
     Rng rng(723);
     const Seq ref = randomSeq(rng, 4000);
-    KmerIndex index(ref, 8);
+    SeedIndex index(ref, 8);
 
     SeedingConfig base;
     base.exactMatchFastPath = false;
@@ -379,7 +486,7 @@ TEST(SmemEngine, StrideRefinementLengthensSmems)
 {
     Rng rng(724);
     const Seq ref = randomSeq(rng, 4000);
-    KmerIndex index(ref, 8);
+    SeedIndex index(ref, 8);
     SeedingConfig with, without;
     with.exactMatchFastPath = without.exactMatchFastPath = false;
     without.strideRefinement = false;
@@ -411,7 +518,7 @@ TEST(SmemEngine, SmemFilterReducesReportedHits)
 {
     Rng rng(725);
     const Seq ref = randomSeq(rng, 4000);
-    KmerIndex index(ref, 8);
+    SeedIndex index(ref, 8);
     SeedingConfig filtered, raw;
     filtered.exactMatchFastPath = raw.exactMatchFastPath = false;
     raw.smemFilter = false;
@@ -434,7 +541,7 @@ TEST(SmemEngine, BinaryFallbackCutsCamLookupsOnRepetitiveGenomes)
     Rng rng(726);
     Seq ref = randomSeq(rng, 2000);
     ref.insert(ref.end(), 40000, kBaseA);
-    KmerIndex index(ref, 8);
+    SeedIndex index(ref, 8);
 
     SeedingConfig with, without;
     with.exactMatchFastPath = without.exactMatchFastPath = false;
@@ -453,7 +560,7 @@ TEST(SmemEngine, ShortReadProducesNoSeeds)
 {
     Rng rng(727);
     const Seq ref = randomSeq(rng, 1000);
-    KmerIndex index(ref, 12);
+    SeedIndex index(ref, 12);
     SmemEngine engine(index, {});
     EXPECT_TRUE(engine.seed(encode("ACGTACG")).empty());
 }
@@ -520,7 +627,7 @@ TEST(GenomeSegments, SeedingThroughSegmentsFindsGlobalPosition)
 
     bool found = false;
     for (u64 i = 0; i < segs.count(); ++i) {
-        const KmerIndex index = segs.buildIndex(i);
+        const SeedIndex index = segs.buildSeedIndex(i);
         SmemEngine engine(index, {});
         for (const auto &smem : engine.seed(read)) {
             for (u32 local : smem.positions) {

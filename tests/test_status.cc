@@ -1,7 +1,9 @@
 /**
  * @file
- * Unit tests for the Status/StatusOr error channel and the
- * fault-injection registry.
+ * Unit tests for the Status/StatusOr error channel, the
+ * fault-injection registry, and the error behaviour of the streaming
+ * readers' batch refill (records never split across batches; budget
+ * exhaustion fails the whole batch).
  */
 
 #include <gtest/gtest.h>
@@ -9,12 +11,15 @@
 #include <algorithm>
 #include <cerrno>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/check.hh"
 #include "common/faultinject.hh"
 #include "common/status.hh"
+#include "io/fasta.hh"
+#include "io/fastq.hh"
 
 namespace genax {
 namespace {
@@ -309,6 +314,128 @@ TEST(FaultInject, ConfigureRejectsBadSpecs)
     EXPECT_FALSE(fi.configure("site:what=1").ok());
     EXPECT_TRUE(fi.armedSites().empty());
     fi.reset();
+}
+
+// ------------------------------------------------------ nextBatch
+//
+// The streaming pipeline refills through nextBatch(); records must
+// never split, reorder or re-parse across a batch boundary, whatever
+// the input throws at the parser right at the boundary (CRLF,
+// multi-line records, resync-on-'@' recovery, missing final newline).
+
+TEST(BatchBoundary, FastaBatchesConcatenateToFullParse)
+{
+    // Multi-line records with CRLF endings; batch size 2 puts every
+    // kind of line-continuation right at a refill boundary.
+    const std::string text = ">r1\r\nACGT\r\nACGT\r\n"
+                             ">r2\r\nTTTT\r\n"
+                             ">r3\r\nGG\r\nGG\r\nGG\r\n"
+                             ">r4\r\nCCCC\r\n"
+                             ">r5\r\nAAAA"; // no final newline
+    std::istringstream whole(text);
+    const auto all = readFasta(whole);
+    ASSERT_TRUE(all.ok());
+    ASSERT_EQ(all->size(), 5u);
+
+    std::istringstream in(text);
+    FastaReader reader(in);
+    std::vector<FastaRecord> got;
+    for (;;) {
+        auto batch = reader.nextBatch(2);
+        ASSERT_TRUE(batch.ok()) << batch.status().str();
+        if (batch->empty())
+            break;
+        EXPECT_LE(batch->size(), 2u);
+        for (auto &rec : *batch)
+            got.push_back(std::move(rec));
+    }
+    ASSERT_EQ(got.size(), all->size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].name, (*all)[i].name) << i;
+        EXPECT_EQ(got[i].seq, (*all)[i].seq) << i;
+    }
+    // A drained reader keeps reporting clean EOF, not an error.
+    auto again = reader.nextBatch(2);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->empty());
+}
+
+TEST(BatchBoundary, FastqResyncSpansARefill)
+{
+    // The bad separator is the last record of batch 1, so the
+    // resync-on-'@' hunt for the next header runs at the boundary:
+    // the skip must consume 'garbage' exactly once, not once per
+    // refill path.
+    const std::string text = "@a\nACGT\n+\nIIII\n"
+                             "@bad\nACGT\nnot-a-plus\nIIII\n"
+                             "garbage line\n"
+                             "@b\nTTTT\n+\nIIII\n"
+                             "@c\nGGGG\n+\nIIII\n";
+    ReaderOptions opts;
+    opts.maxMalformed = 100;
+    std::istringstream whole(text);
+    ReaderStats whole_stats;
+    const auto all = readFastq(whole, opts, &whole_stats);
+    ASSERT_TRUE(all.ok());
+
+    std::istringstream in(text);
+    FastqReader reader(in, opts);
+    std::vector<FastqRecord> got;
+    for (;;) {
+        auto batch = reader.nextBatch(2);
+        ASSERT_TRUE(batch.ok()) << batch.status().str();
+        if (batch->empty())
+            break;
+        for (auto &rec : *batch)
+            got.push_back(std::move(rec));
+    }
+    ASSERT_EQ(got.size(), all->size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].name, (*all)[i].name) << i;
+        EXPECT_EQ(got[i].seq, (*all)[i].seq) << i;
+        EXPECT_EQ(got[i].qual, (*all)[i].qual) << i;
+    }
+    EXPECT_EQ(reader.stats().records, whole_stats.records);
+    EXPECT_EQ(reader.stats().malformed, whole_stats.malformed);
+}
+
+TEST(BatchBoundary, FastqCrlfAndNoFinalNewline)
+{
+    const std::string text = "@a\r\nACGT\r\n+\r\nIIII\r\n"
+                             "@b\r\nTT\r\n+\r\nII"; // truncation-free
+    std::istringstream in(text);
+    FastqReader reader(in);
+    auto first = reader.nextBatch(1);
+    ASSERT_TRUE(first.ok());
+    ASSERT_EQ(first->size(), 1u);
+    EXPECT_EQ((*first)[0].name, "a");
+    auto second = reader.nextBatch(1);
+    ASSERT_TRUE(second.ok());
+    ASSERT_EQ(second->size(), 1u);
+    EXPECT_EQ((*second)[0].name, "b");
+    EXPECT_EQ((*second)[0].seq, encode("TT"));
+    auto done = reader.nextBatch(1);
+    ASSERT_TRUE(done.ok());
+    EXPECT_TRUE(done->empty());
+}
+
+TEST(BatchBoundary, BudgetExhaustionFailsTheWholeBatch)
+{
+    // One good record, then junk past the zero budget: the second
+    // refill must surface InvalidInput rather than a partial batch.
+    const std::string text = "@a\nACGT\n+\nIIII\n"
+                             "@bad\nACGT\n+\nIII\n" // length mismatch
+                             "@b\nTTTT\n+\nIIII\n";
+    std::istringstream in(text);
+    ReaderOptions opts;
+    opts.maxMalformed = 0;
+    FastqReader reader(in, opts);
+    auto first = reader.nextBatch(1);
+    ASSERT_TRUE(first.ok());
+    ASSERT_EQ(first->size(), 1u);
+    auto second = reader.nextBatch(1);
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.status().code(), StatusCode::InvalidInput);
 }
 
 } // namespace

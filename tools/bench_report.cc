@@ -18,10 +18,22 @@
  * results are identical at any thread count by design, so only the
  * host throughput is reported here.
  *
- * --check exits non-zero when multi-threaded host throughput falls
- * below single-threaded. The gate only engages when the machine
- * actually has more than one hardware thread; on a single-core host
- * the comparison is meaningless and is reported as skipped.
+ * Every timed path reports both the *requested* and the *effective*
+ * worker width (ThreadPool::resolveWidth clamps to the hardware
+ * thread count) — a CI host with fewer cores than --mt-threads must
+ * not silently publish "8-thread" numbers measured at width 1.
+ *
+ * --check gates `pipeline_software_mt_vs_st >= 2.0` (and the GenAx
+ * MT path not slower than ST), but only when the *effective* MT
+ * width is at least 4; below that real parallel speedup is not
+ * attainable and the gate reports itself skipped, never silently
+ * passed. A requested/effective width divergence is always recorded
+ * in the report.
+ *
+ * The report also records peak RSS (getrusage) for the streaming
+ * batch pipeline (--batch-reads 64) vs the load-all path, each
+ * measured in its own forked child so the high-water marks are
+ * independent.
  *
  * The report also carries a `kernels` section measuring the
  * alignment microkernels directly (ns per DP cell, scalar reference
@@ -42,12 +54,20 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define GENAX_BENCH_HAVE_RUSAGE 1
+#endif
+
 #include "align/gotoh.hh"
 #include "align/myers.hh"
 #include "align/simd/batch_score.hh"
 #include "align/simd/dispatch.hh"
 #include "align/simd/myers_batch.hh"
 #include "common/rng.hh"
+#include "common/threadpool.hh"
 #include "genax/pipeline.hh"
 #include "readsim/readsim.hh"
 #include "readsim/refgen.hh"
@@ -72,10 +92,48 @@ constexpr u64 kWorkloadSeed = 424242; //!< pinned: do not change
 struct PathResult
 {
     std::string path;
-    unsigned threads = 0;
+    unsigned threadsRequested = 0;
+    unsigned threadsEffective = 0;
     double seconds = 0;
     double readsPerSec = 0;
 };
+
+/** One streaming-vs-loadall memory data point. */
+struct RssResult
+{
+    std::string mode;
+    u64 batchReads = 0;
+    u64 peakRssBytes = 0; //!< 0 = measurement unavailable
+};
+
+/**
+ * Peak RSS of `fn` run in a forked child (so each measurement gets
+ * its own high-water mark, uncontaminated by the parent or by the
+ * other modes). Returns 0 when fork/getrusage are unavailable or the
+ * child fails. Must run before the parent touches the process-wide
+ * ThreadPool — the child is single-threaded by construction.
+ */
+template <typename Fn>
+u64
+peakRssOfChild(Fn &&fn)
+{
+#ifdef GENAX_BENCH_HAVE_RUSAGE
+    const pid_t pid = fork();
+    if (pid < 0)
+        return 0;
+    if (pid == 0)
+        _exit(fn() ? 0 : 1);
+    int status = 0;
+    struct rusage ru = {};
+    if (wait4(pid, &status, 0, &ru) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0)
+        return 0;
+    return static_cast<u64>(ru.ru_maxrss) * 1024; // ru_maxrss is KB
+#else
+    (void)fn;
+    return 0;
+#endif
+}
 
 template <typename Fn>
 double
@@ -214,14 +272,65 @@ run(const BenchOptions &opt)
     const u64 read_len = sim.empty() ? 0 : sim[0].seq.size();
 
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned effective_mt = ThreadPool::resolveWidth(opt.mtThreads);
     const std::string tier =
         kernelTierName(simd::activeKernelTier());
     std::printf("bench_report: %llu bp genome, %zu reads of %llu bp, "
-                "%u hardware threads, dispatch tier %s\n",
+                "%u hardware threads (MT runs: requested %u, "
+                "effective %u), dispatch tier %s\n",
                 static_cast<unsigned long long>(opt.genomeLen),
                 fastq.size(),
                 static_cast<unsigned long long>(read_len), hw,
-                tier.c_str());
+                opt.mtThreads, effective_mt, tier.c_str());
+
+    // Peak-RSS comparison, streaming vs load-all. Each mode runs in
+    // a forked single-threaded child over the same on-disk workload,
+    // so this must happen before anything touches the process-wide
+    // ThreadPool (forking a threaded parent leaves a poisoned pool
+    // in the child).
+    std::vector<RssResult> memory;
+    {
+        const std::string ref_fa = opt.out + ".rss_ref.fa";
+        const std::string reads_fq = opt.out + ".rss_reads.fq";
+        const std::string out_sam = opt.out + ".rss_out.sam";
+        {
+            std::ofstream rf(ref_fa), qf(reads_fq);
+            writeFasta(rf, fasta);
+            // The load-all footprint scales with the read count; pad
+            // the on-disk file until parsed-read storage dominates
+            // the process baseline, or the comparison measures noise.
+            constexpr u64 kRssReads = 40000;
+            std::vector<FastqRecord> batch = fastq;
+            for (u64 written = 0; written < kRssReads;
+                 written += batch.size()) {
+                for (size_t i = 0; i < batch.size(); ++i)
+                    batch[i].name = "m" + std::to_string(written + i);
+                writeFastq(qf, batch);
+            }
+        }
+        for (const u64 batch : {u64{64}, u64{0}}) {
+            PipelineOptions popts;
+            popts.engine = PipelineOptions::Engine::Software;
+            popts.threads = 1;
+            popts.batchReads = batch;
+            RssResult r;
+            r.mode = batch ? "stream-batch64" : "load-all";
+            r.batchReads = batch;
+            r.peakRssBytes = peakRssOfChild([&] {
+                return alignFiles(ref_fa, reads_fq, out_sam, popts).ok();
+            });
+            memory.push_back(r);
+            if (r.peakRssBytes)
+                std::printf("  peak RSS %-14s %8.1f MB\n",
+                            r.mode.c_str(), r.peakRssBytes / 1e6);
+            else
+                std::printf("  peak RSS %-14s unavailable\n",
+                            r.mode.c_str());
+        }
+        std::remove(ref_fa.c_str());
+        std::remove(reads_fq.c_str());
+        std::remove(out_sam.c_str());
+    }
 
     const auto kernels = benchKernels(opt.repeat);
     for (const auto &k : kernels)
@@ -248,13 +357,15 @@ run(const BenchOptions &opt)
         });
         PathResult r;
         r.path = path;
-        r.threads = threads;
+        r.threadsRequested = threads;
+        r.threadsEffective = ThreadPool::resolveWidth(threads);
         r.seconds = sec;
         r.readsPerSec =
             sec > 0 ? static_cast<double>(fastq.size()) / sec : 0;
         results.push_back(r);
-        std::printf("  %-18s threads=%-2u %8.3f s  %10.1f reads/s\n",
-                    path.c_str(), threads, r.seconds, r.readsPerSec);
+        std::printf("  %-18s threads=%u/%u %8.3f s  %10.1f reads/s\n",
+                    path.c_str(), r.threadsRequested,
+                    r.threadsEffective, r.seconds, r.readsPerSec);
     };
 
     timePath("pipeline-software", 1, PipelineOptions::Engine::Software);
@@ -267,7 +378,7 @@ run(const BenchOptions &opt)
     auto throughput = [&](const std::string &path,
                           unsigned threads) -> double {
         for (const auto &r : results)
-            if (r.path == path && r.threads == threads)
+            if (r.path == path && r.threadsRequested == threads)
                 return r.readsPerSec;
         return 0;
     };
@@ -277,15 +388,22 @@ run(const BenchOptions &opt)
     const double gx_speedup =
         throughput("genax-system", opt.mtThreads) /
         std::max(1e-12, throughput("genax-system", 1));
-    std::printf("  speedup at %u threads: software %.2fx, genax %.2fx\n",
-                opt.mtThreads, sw_speedup, gx_speedup);
+    std::printf("  speedup at %u effective threads: software %.2fx, "
+                "genax %.2fx\n",
+                effective_mt, sw_speedup, gx_speedup);
 
-    // The MT-vs-ST gate is only meaningful with real parallel
-    // hardware underneath; a single-core host runs MT strictly
-    // slower by construction.
-    const bool gate_applies = opt.check && hw >= 2;
+    // The MT-vs-ST gate engages only when the host can really run
+    // wide: with fewer than 4 effective workers a 2x software
+    // speedup is not attainable and the gate reports itself skipped.
+    // The requested/effective divergence itself is always published
+    // in the report — numbers measured at a clamped width must never
+    // masquerade as full-width numbers.
+    const bool width_divergence = effective_mt != opt.mtThreads;
+    constexpr double kSwSpeedupFloor = 2.0;
+    const bool gate_applies = opt.check && effective_mt >= 4;
     const bool gate_passed =
-        !gate_applies || (sw_speedup >= 1.0 && gx_speedup >= 1.0);
+        !gate_applies ||
+        (sw_speedup >= kSwSpeedupFloor && gx_speedup >= 1.0);
 
     std::ofstream out(opt.out);
     if (!out) {
@@ -294,12 +412,23 @@ run(const BenchOptions &opt)
         return 3;
     }
     out << "{\n"
-        << "  \"schema\": \"genax-bench-pipeline-v1\",\n"
+        << "  \"schema\": \"genax-bench-pipeline-v2\",\n"
         << "  \"workload\": {\"genome_len\": " << opt.genomeLen
         << ", \"reads\": " << fastq.size() << ", \"read_len\": "
         << read_len << ", \"seed\": " << kWorkloadSeed << "},\n"
         << "  \"host\": {\"hardware_threads\": " << hw
+        << ", \"mt_threads_requested\": " << opt.mtThreads
+        << ", \"mt_threads_effective\": " << effective_mt
         << ", \"dispatch_tier\": \"" << tier << "\"},\n"
+        << "  \"memory\": [\n";
+    for (size_t i = 0; i < memory.size(); ++i) {
+        const auto &m = memory[i];
+        out << "    {\"mode\": \"" << m.mode
+            << "\", \"batch_reads\": " << m.batchReads
+            << ", \"peak_rss_bytes\": " << m.peakRssBytes << "}"
+            << (i + 1 < memory.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
         << "  \"kernels\": [\n";
     for (size_t i = 0; i < kernels.size(); ++i) {
         const auto &k = kernels[i];
@@ -313,30 +442,42 @@ run(const BenchOptions &opt)
         << "  \"results\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
-        out << "    {\"path\": \"" << r.path << "\", \"threads\": "
-            << r.threads << ", \"seconds\": " << r.seconds
+        out << "    {\"path\": \"" << r.path
+            << "\", \"threads_requested\": " << r.threadsRequested
+            << ", \"threads_effective\": " << r.threadsEffective
+            << ", \"seconds\": " << r.seconds
             << ", \"reads_per_sec\": " << r.readsPerSec << "}"
             << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ],\n"
         << "  \"speedups\": {\"pipeline_software_mt_vs_st\": "
         << sw_speedup << ", \"genax_system_mt_vs_st\": " << gx_speedup
-        << ", \"mt_threads\": " << opt.mtThreads << "},\n"
+        << ", \"mt_threads_requested\": " << opt.mtThreads
+        << ", \"mt_threads_effective\": " << effective_mt << "},\n"
         << "  \"check\": {\"enabled\": " << (opt.check ? "true" : "false")
         << ", \"applied\": " << (gate_applies ? "true" : "false")
         << ", \"passed\": " << (gate_passed ? "true" : "false")
-        << "}\n"
+        << ", \"sw_speedup_floor\": " << kSwSpeedupFloor
+        << ", \"width_divergence\": "
+        << (width_divergence ? "true" : "false") << "}\n"
         << "}\n";
     out.close();
     std::printf("wrote %s\n", opt.out.c_str());
 
     if (opt.check && !gate_applies)
-        std::printf("check: skipped (single hardware thread)\n");
+        std::printf("check: skipped (%u effective threads, need >= 4 "
+                    "for the %.1fx software gate)\n",
+                    effective_mt, kSwSpeedupFloor);
+    if (opt.check && width_divergence)
+        std::printf("check: note: requested %u MT threads, hardware "
+                    "clamps to %u\n",
+                    opt.mtThreads, effective_mt);
     if (!gate_passed) {
         std::fprintf(stderr,
-                     "check FAILED: multi-threaded throughput below "
-                     "single-threaded (software %.2fx, genax %.2fx)\n",
-                     sw_speedup, gx_speedup);
+                     "check FAILED at %u effective threads: software "
+                     "%.2fx (floor %.1fx), genax %.2fx (floor 1.0x)\n",
+                     effective_mt, sw_speedup, kSwSpeedupFloor,
+                     gx_speedup);
         return 1;
     }
     return 0;

@@ -5,7 +5,7 @@
  *   genax_align --ref ref.fa --reads reads.fq --out out.sam
  *               [--reads2 mates.fq] [--engine genax|sw] [--k 12]
  *               [--band 40] [--segments 8] [--threads 1]
- *               [--kernel auto|scalar|sse41|avx2]
+ *               [--batch-reads N] [--kernel auto|scalar|sse41|avx2]
  *               [--max-malformed N] [--inject SPEC]
  *
  * Aligns FASTQ reads against a FASTA reference and writes SAM, using
@@ -62,6 +62,12 @@ printHelp(const char *prog, std::FILE *to)
         "  --threads N        worker threads for either engine\n"
         "                     (default 1; 0 = all hardware threads);\n"
         "                     output is identical at any width\n"
+        "  --batch-reads N    stream reads through the engine in\n"
+        "                     batches of N, overlapping parse, align\n"
+        "                     and SAM emission with O(batch) memory\n"
+        "                     (default 0 = load all reads first);\n"
+        "                     output is identical at any batch size;\n"
+        "                     single-end mode only\n"
         "  --kernel TIER      force the alignment-kernel dispatch\n"
         "                     tier: auto (default), scalar, sse41 or\n"
         "                     avx2; all tiers produce identical\n"
@@ -149,6 +155,8 @@ main(int argc, char **argv)
             opts.segments = static_cast<u64>(std::atoll(next()));
         } else if (arg == "--threads") {
             opts.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--batch-reads") {
+            opts.batchReads = static_cast<u64>(std::atoll(next()));
         } else if (arg == "--kernel") {
             const std::string tier = next();
             if (const Status st = simd::setKernelTierByName(tier);
@@ -170,6 +178,10 @@ main(int argc, char **argv)
     }
     if (ref.empty() || reads.empty() || out.empty())
         usageError(argv[0], "--ref, --reads and --out are required");
+    if (opts.batchReads > 0 && !reads2.empty())
+        usageError(argv[0],
+                   "--batch-reads is single-end only (paired mode "
+                   "loads both mate files whole)");
 
     if (const Status st = FaultInjector::instance().configureFromEnv();
         !st.ok()) {
