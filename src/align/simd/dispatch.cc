@@ -14,6 +14,7 @@ std::atomic<int> g_forced{-1};
 bool
 scalarForcedByEnv()
 {
+    // genax-lint: allow(wall-clock): documented GENAX_FORCE_SCALAR kernel pin, read once before dispatch; tiers are byte-identical
     const char *v = std::getenv("GENAX_FORCE_SCALAR");
     return v != nullptr && v[0] != '\0' &&
            !(v[0] == '0' && v[1] == '\0');

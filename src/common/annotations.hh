@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations + annotated primitives.
+ *
+ * The concurrency invariants that PRs 3-5 enforced with comments and
+ * runtime tests (TSan, the determinism suite) are stated here as
+ * compiler-checked attributes: every guarded field names its mutex,
+ * every lock-requiring method names its capability, and the
+ * `thread-safety` CMake preset compiles the tree with
+ * `clang++ -Wthread-safety -Wthread-safety-beta -Werror` so an
+ * unguarded access is a build break, not a latent race.
+ *
+ * Off Clang every macro expands to nothing, so GCC builds (and any
+ * compiler without the analysis) are unaffected.
+ *
+ * Lock discipline (see DESIGN.md "Static analysis & concurrency
+ * invariants"): locks in this codebase are leaf-level — a thread
+ * holds at most one at a time. If nesting ever becomes necessary the
+ * documented order is pool sleep mutex -> worker queue mutex ->
+ * fault-registry mutex; acquiring against that order is a bug even
+ * if the analysis cannot see it.
+ *
+ * The wrappers below (Mutex / MutexLock / CondVar) are the only
+ * mutual-exclusion primitives allowed outside src/common/ — the
+ * genax_lint `raw-mutex` rule enforces that. Their tiny bodies carry
+ * GENAX_NO_THREAD_SAFETY_ANALYSIS because they *implement* the
+ * capability protocol the analysis checks everywhere else (the same
+ * escape hatch abseil and the Clang docs use for locking
+ * primitives).
+ */
+
+#ifndef GENAX_COMMON_ANNOTATIONS_HH
+#define GENAX_COMMON_ANNOTATIONS_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define GENAX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GENAX_THREAD_ANNOTATION(x)
+#endif
+
+/** Type is a capability (a lock); name shown in diagnostics. */
+#define GENAX_CAPABILITY(x) GENAX_THREAD_ANNOTATION(capability(x))
+
+/** RAII type that acquires a capability for its lifetime. */
+#define GENAX_SCOPED_CAPABILITY GENAX_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field may only be touched while holding `x`. */
+#define GENAX_GUARDED_BY(x) GENAX_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be touched while holding `x`. */
+#define GENAX_PT_GUARDED_BY(x) GENAX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the listed capabilities (not acquired here). */
+#define GENAX_REQUIRES(...) \
+    GENAX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities. */
+#define GENAX_EXCLUDES(...) \
+    GENAX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the capability and holds it past return. */
+#define GENAX_ACQUIRE(...) \
+    GENAX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases a capability the caller held. */
+#define GENAX_RELEASE(...) \
+    GENAX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns `x`. */
+#define GENAX_TRY_ACQUIRE(...) \
+    GENAX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Assert (at runtime) that the capability is held. */
+#define GENAX_ASSERT_CAPABILITY(x) \
+    GENAX_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define GENAX_RETURN_CAPABILITY(x) \
+    GENAX_THREAD_ANNOTATION(lock_returned(x))
+
+/** Suppress analysis inside a function that implements locking. */
+#define GENAX_NO_THREAD_SAFETY_ANALYSIS \
+    GENAX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace genax {
+
+/**
+ * Annotated mutual-exclusion capability. A thin shell over
+ * std::mutex whose lock()/unlock() carry acquire/release attributes,
+ * so `GENAX_GUARDED_BY(_mu)` fields become compiler-checked.
+ */
+class GENAX_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() GENAX_ACQUIRE() GENAX_NO_THREAD_SAFETY_ANALYSIS
+    {
+        _mu.lock();
+    }
+
+    void
+    unlock() GENAX_RELEASE() GENAX_NO_THREAD_SAFETY_ANALYSIS
+    {
+        _mu.unlock();
+    }
+
+    bool
+    tryLock() GENAX_TRY_ACQUIRE(true) GENAX_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return _mu.try_lock();
+    }
+
+  private:
+    friend class CondVar;
+    std::mutex _mu;
+};
+
+/**
+ * RAII scoped lock on a Mutex — the annotated replacement for
+ * std::lock_guard / std::unique_lock in annotated code.
+ */
+class GENAX_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu)
+        GENAX_ACQUIRE(mu) GENAX_NO_THREAD_SAFETY_ANALYSIS : _mu(mu)
+    {
+        _mu.lock();
+    }
+
+    ~MutexLock() GENAX_RELEASE() GENAX_NO_THREAD_SAFETY_ANALYSIS
+    {
+        _mu.unlock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &_mu;
+};
+
+/**
+ * Condition variable paired with Mutex. wait() atomically releases
+ * and reacquires the mutex the caller holds; the GENAX_REQUIRES
+ * annotation makes "wait without the lock" a compile error under
+ * the analysis. Predicate loops are written at the call site
+ * (`while (!cond) cv.wait(mu);`) so guarded reads in the predicate
+ * are checked in the caller's annotated context — a lambda-based
+ * wait would hide them from the analysis.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release `mu`, sleep, and reacquire before return.
+     *  Spurious wakeups happen; always wait in a predicate loop. */
+    void
+    wait(Mutex &mu) GENAX_REQUIRES(mu) GENAX_NO_THREAD_SAFETY_ANALYSIS
+    {
+        std::unique_lock<std::mutex> lk(mu._mu, std::adopt_lock);
+        _cv.wait(lk);
+        // The lock must survive this scope: the caller's MutexLock
+        // still owns it. release() detaches without unlocking.
+        lk.release();
+    }
+
+    void
+    notifyOne()
+    {
+        _cv.notify_one();
+    }
+
+    void
+    notifyAll()
+    {
+        _cv.notify_all();
+    }
+
+  private:
+    std::condition_variable _cv;
+};
+
+} // namespace genax
+
+#endif // GENAX_COMMON_ANNOTATIONS_HH

@@ -108,7 +108,7 @@ FaultInjector::instance()
 void
 FaultInjector::arm(std::string_view site, const FaultSpec &spec)
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    const MutexLock lock(_mu);
     Site s;
     s.spec = spec;
     s.rng.reseed(spec.seed ^ hashSite(site));
@@ -119,7 +119,7 @@ FaultInjector::arm(std::string_view site, const FaultSpec &spec)
 void
 FaultInjector::disarm(std::string_view site)
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    const MutexLock lock(_mu);
     const auto it = _sites.find(site);
     if (it != _sites.end())
         _sites.erase(it);
@@ -129,7 +129,7 @@ FaultInjector::disarm(std::string_view site)
 void
 FaultInjector::reset()
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    const MutexLock lock(_mu);
     _sites.clear();
     _armed.store(false, std::memory_order_relaxed);
 }
@@ -145,7 +145,7 @@ FaultInjector::shouldFire(std::string_view site)
     if (keyed)
         ordinal = tlKeyed.nextOrdinal(site);
 
-    std::lock_guard<std::mutex> lock(_mu);
+    const MutexLock lock(_mu);
     const auto it = _sites.find(site);
     if (it == _sites.end())
         return false;
@@ -180,7 +180,7 @@ FaultInjector::shouldFire(std::string_view site)
 u64
 FaultInjector::hits(std::string_view site) const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    const MutexLock lock(_mu);
     const auto it = _sites.find(site);
     return it == _sites.end() ? 0 : it->second.hits;
 }
@@ -188,7 +188,7 @@ FaultInjector::hits(std::string_view site) const
 u64
 FaultInjector::fires(std::string_view site) const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    const MutexLock lock(_mu);
     const auto it = _sites.find(site);
     return it == _sites.end() ? 0 : it->second.fires;
 }
@@ -196,7 +196,7 @@ FaultInjector::fires(std::string_view site) const
 std::vector<std::string>
 FaultInjector::armedSites() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    const MutexLock lock(_mu);
     std::vector<std::string> out;
     out.reserve(_sites.size());
     for (const auto &[name, site] : _sites)
@@ -286,7 +286,12 @@ FaultInjector::configure(std::string_view spec)
 Status
 FaultInjector::configureFromEnv()
 {
-    const char *env = std::getenv("GENAX_FAULT_INJECT");
+    // The env var is the documented chaos-entry point: read once,
+    // before any worker thread exists, and deterministic given the
+    // environment.
+    // genax-lint: allow(wall-clock): documented GENAX_FAULT_INJECT entry point, read before threads start
+    const char *env = std::getenv( // NOLINT(concurrency-mt-unsafe)
+        "GENAX_FAULT_INJECT");
     if (env == nullptr || *env == '\0')
         return okStatus();
     return configure(env).withContext("GENAX_FAULT_INJECT");

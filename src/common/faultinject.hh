@@ -39,11 +39,11 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/rng.hh"
 #include "common/status.hh"
 #include "common/types.hh"
@@ -140,8 +140,9 @@ class FaultInjector
         u64 fires = 0;
     };
 
-    mutable std::mutex _mu;
-    std::map<std::string, Site, std::less<>> _sites;
+    mutable Mutex _mu;
+    std::map<std::string, Site, std::less<>> _sites
+        GENAX_GUARDED_BY(_mu);
     std::atomic<bool> _armed{false};
 };
 

@@ -3,34 +3,67 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/annotations.hh"
+
 namespace genax {
+
+namespace {
+
+/**
+ * Serializes log emission so lines from concurrent pool workers
+ * cannot interleave mid-message. Leaf lock: nothing else is ever
+ * acquired while it is held (the guarded section only formats into
+ * an already-built string and writes it).
+ */
+Mutex &
+logMutex()
+{
+    static Mutex mu;
+    return mu;
+}
+
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    const MutexLock lk(logMutex());
+    std::cerr << prefix << msg << std::endl;
+}
+
+void
+emitLineAt(const char *prefix, const std::string &msg,
+           const char *file, int line)
+{
+    const MutexLock lk(logMutex());
+    std::cerr << prefix << msg << " @ " << file << ":" << line
+              << std::endl;
+}
+
+} // namespace
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    emitLineAt("panic: ", msg, file, line);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    emitLineAt("fatal: ", msg, file, line);
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    emitLine("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::cerr << "info: " << msg << std::endl;
+    emitLine("info: ", msg);
 }
 
 } // namespace genax

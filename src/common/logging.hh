@@ -6,6 +6,12 @@
  * fatal()  — unrecoverable user/configuration error; exits with code 1.
  * warn()   — something questionable happened but execution continues.
  * inform() — status message.
+ *
+ * Emission is serialized behind an annotated Mutex
+ * (common/annotations.hh): a warn() from one pool worker cannot
+ * interleave mid-line with another's. The message is formatted
+ * before the lock is taken, so the guarded section is one stream
+ * write.
  */
 
 #ifndef GENAX_COMMON_LOGGING_HH

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(unsigned workers)
     } catch (...) {
         // Thread spawn failed part-way: shut down what started.
         _stop.store(true);
-        _cv.notify_all();
+        _cv.notifyAll();
         for (auto &t : _threads)
             t.join();
         throw;
@@ -29,10 +29,10 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        const std::lock_guard<std::mutex> lk(_mu);
+        const MutexLock lk(_mu);
         _stop.store(true);
     }
-    _cv.notify_all();
+    _cv.notifyAll();
     for (auto &t : _threads)
         t.join();
 }
@@ -66,17 +66,17 @@ ThreadPool::submit(std::function<void()> task)
     const u64 victim = _rr.fetch_add(1, std::memory_order_relaxed) %
                        _queues.size();
     {
-        const std::lock_guard<std::mutex> lk(_queues[victim]->mu);
+        const MutexLock lk(_queues[victim]->mu);
         _queues[victim]->tasks.push_back(std::move(task));
     }
     {
         // The increment must synchronize with the sleep mutex:
         // otherwise it can land inside a worker's locked
         // predicate-check window and the notify is lost.
-        const std::lock_guard<std::mutex> lk(_mu);
+        const MutexLock lk(_mu);
         _pending.fetch_add(1);
     }
-    _cv.notify_one();
+    _cv.notifyOne();
 }
 
 std::function<void()>
@@ -86,7 +86,7 @@ ThreadPool::grab(unsigned self)
     // for fire-and-forget tasks) ...
     {
         WorkerQueue &own = *_queues[self];
-        const std::lock_guard<std::mutex> lk(own.mu);
+        const MutexLock lk(own.mu);
         if (!own.tasks.empty()) {
             auto task = std::move(own.tasks.front());
             own.tasks.pop_front();
@@ -96,7 +96,7 @@ ThreadPool::grab(unsigned self)
     // ... then steal from the back of the other deques.
     for (size_t i = 1; i < _queues.size(); ++i) {
         WorkerQueue &victim = *_queues[(self + i) % _queues.size()];
-        const std::lock_guard<std::mutex> lk(victim.mu);
+        const MutexLock lk(victim.mu);
         if (!victim.tasks.empty()) {
             auto task = std::move(victim.tasks.back());
             victim.tasks.pop_back();
@@ -115,11 +115,10 @@ ThreadPool::workerLoop(unsigned id)
             task();
             continue;
         }
-        std::unique_lock<std::mutex> lk(_mu);
-        _cv.wait(lk, [this]() {
-            return _stop.load() ||
-                   _pending.load(std::memory_order_relaxed) > 0;
-        });
+        const MutexLock lk(_mu);
+        while (!_stop.load() &&
+               _pending.load(std::memory_order_relaxed) == 0)
+            _cv.wait(_mu);
         // On shutdown keep draining until every queue is empty so no
         // submitted task is silently dropped.
         if (_stop.load() && _pending.load() == 0)

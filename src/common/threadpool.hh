@@ -32,15 +32,14 @@
 #define GENAX_COMMON_THREADPOOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/types.hh"
 
 namespace genax {
@@ -114,7 +113,7 @@ class ThreadPool
                 try {
                     fn(slot, lo, hi);
                 } catch (...) {
-                    const std::lock_guard<std::mutex> g(rg.mu);
+                    const MutexLock g(rg.mu);
                     if (!rg.error)
                         rg.error = std::current_exception();
                 }
@@ -125,14 +124,15 @@ class ThreadPool
         for (unsigned s = 1; s <= helpers; ++s) {
             submit([&rg, runner, s]() {
                 runner(s);
-                const std::lock_guard<std::mutex> g(rg.mu);
+                const MutexLock g(rg.mu);
                 ++rg.done;
-                rg.cv.notify_one();
+                rg.cv.notifyOne();
             });
         }
         runner(0);
-        std::unique_lock<std::mutex> lk(rg.mu);
-        rg.cv.wait(lk, [&rg, helpers]() { return rg.done == helpers; });
+        const MutexLock lk(rg.mu);
+        while (rg.done != helpers)
+            rg.cv.wait(rg.mu);
         if (rg.error)
             std::rethrow_exception(rg.error);
     }
@@ -145,16 +145,16 @@ class ThreadPool
         std::atomic<u64> cursor{0};
         u64 n = 0;
         u64 chunk = 1;
-        std::mutex mu; //!< guards error and done
-        std::condition_variable cv;
-        std::exception_ptr error;
-        unsigned done = 0;
+        Mutex mu;
+        CondVar cv;
+        std::exception_ptr error GENAX_GUARDED_BY(mu);
+        unsigned done GENAX_GUARDED_BY(mu) = 0;
     };
 
     struct WorkerQueue
     {
-        std::mutex mu;
-        std::deque<std::function<void()>> tasks;
+        Mutex mu;
+        std::deque<std::function<void()>> tasks GENAX_GUARDED_BY(mu);
     };
 
     void workerLoop(unsigned id);
@@ -164,8 +164,8 @@ class ThreadPool
 
     std::vector<std::unique_ptr<WorkerQueue>> _queues;
     std::vector<std::thread> _threads;
-    std::mutex _mu; //!< sleep/wake
-    std::condition_variable _cv;
+    Mutex _mu; //!< sleep/wake
+    CondVar _cv;
     std::atomic<u64> _pending{0};
     std::atomic<bool> _stop{false};
     std::atomic<u64> _rr{0}; //!< round-robin submit cursor

@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <thread>
 
+#include "common/annotations.hh"
 #include "common/check.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
@@ -128,14 +127,13 @@ class BoundedQueue
     bool
     push(T item)
     {
-        std::unique_lock<std::mutex> lk(_mu);
-        _notFull.wait(lk, [&] {
-            return _items.size() < _capacity || _closed;
-        });
+        const MutexLock lk(_mu);
+        while (_items.size() >= _capacity && !_closed)
+            _notFull.wait(_mu);
         if (_closed)
             return false;
         _items.push_back(std::move(item));
-        _notEmpty.notify_one();
+        _notEmpty.notifyOne();
         return true;
     }
 
@@ -143,31 +141,32 @@ class BoundedQueue
     std::optional<T>
     pop()
     {
-        std::unique_lock<std::mutex> lk(_mu);
-        _notEmpty.wait(lk, [&] { return !_items.empty() || _closed; });
+        const MutexLock lk(_mu);
+        while (_items.empty() && !_closed)
+            _notEmpty.wait(_mu);
         if (_items.empty())
             return std::nullopt;
         T out = std::move(_items.front());
         _items.pop_front();
-        _notFull.notify_one();
+        _notFull.notifyOne();
         return out;
     }
 
     void
     close()
     {
-        std::lock_guard<std::mutex> lk(_mu);
+        const MutexLock lk(_mu);
         _closed = true;
-        _notEmpty.notify_all();
-        _notFull.notify_all();
+        _notEmpty.notifyAll();
+        _notFull.notifyAll();
     }
 
   private:
-    size_t _capacity;
-    std::mutex _mu;
-    std::condition_variable _notFull, _notEmpty;
-    std::deque<T> _items;
-    bool _closed = false;
+    const size_t _capacity;
+    Mutex _mu;
+    CondVar _notFull, _notEmpty;
+    std::deque<T> _items GENAX_GUARDED_BY(_mu);
+    bool _closed GENAX_GUARDED_BY(_mu) = false;
 };
 
 Status
@@ -344,6 +343,7 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
         const auto t0 = std::chrono::steady_clock::now();
         fn();
         const auto t1 = std::chrono::steady_clock::now();
+        // genax-lint: allow(fp-accum): wall-time bookkeeping summed on the caller thread in batch order, not a modelled statistic
         align_seconds +=
             std::chrono::duration<double>(t1 - t0).count();
     };

@@ -482,8 +482,14 @@ GenAxSystem::streamEnd()
             static_cast<double>(st.segLaneCycles[seg]) /
             (_cfg.sillaxLanes * _cfg.sillaxFreqGhz * 1e9);
 
+        // Derived doubles summed in the serial segment loop, in
+        // segment order, from already-folded u64 cycle counters —
+        // the accumulation order is fixed at any thread count.
+        // genax-lint: allow(fp-accum): serial segment-order sums of per-segment derived doubles
         _perf.seedingSeconds += seed_sec;
+        // genax-lint: allow(fp-accum): serial segment-order sums of per-segment derived doubles
         _perf.extensionSeconds += ext_sec;
+        // genax-lint: allow(fp-accum): serial segment-order sums of per-segment derived doubles
         _perf.dramSeconds += dram_sec;
         _perf.totalSeconds += std::max({dram_sec, seed_sec, ext_sec});
     }

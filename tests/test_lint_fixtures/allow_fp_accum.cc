@@ -1,0 +1,13 @@
+// Fixture: the same accumulation, waived with a reason.
+struct ThreadPool;
+
+double
+total(const double *xs, int n)
+{
+    double acc = 0;
+    for (int i = 0; i < n; ++i) {
+        // genax-lint: allow(fp-accum): serial loop, never sharded
+        acc += xs[i];
+    }
+    return acc;
+}

@@ -1,0 +1,7 @@
+// Fixture: a waived allocation (e.g. one-time setup, not per-read).
+int *
+make()
+{
+    // genax-lint: allow(naked-new): one-time table built at startup, not per-read scratch
+    return new int[4];
+}

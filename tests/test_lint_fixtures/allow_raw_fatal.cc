@@ -1,0 +1,7 @@
+// Fixture: GENAX_FATAL waived with a reason.
+void
+die()
+{
+    // genax-lint: allow(raw-fatal): fixture exercising the suppression path
+    GENAX_FATAL("unrecoverable");
+}

@@ -1,0 +1,12 @@
+// Fixture: raw locking waived (e.g. interop with an external API).
+#include <mutex>
+
+// genax-lint: allow(raw-mutex): fixture exercising the suppression path
+std::mutex gMu;
+
+void
+touch()
+{
+    // genax-lint: allow(raw-mutex): fixture exercising the suppression path
+    const std::lock_guard<std::mutex> lk(gMu);
+}

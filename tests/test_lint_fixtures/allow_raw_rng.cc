@@ -1,0 +1,10 @@
+// Fixture: raw RNG waived with a reason.
+#include <random>
+
+int
+roll()
+{
+    // genax-lint: allow(raw-rng): fixture exercising the suppression path
+    std::mt19937 gen(42);
+    return static_cast<int>(gen() & 0xff);
+}

@@ -1,0 +1,15 @@
+// Fixture: the same iteration, waived with a reasoned directive.
+#include <unordered_map>
+
+int ledger = 0;
+std::unordered_map<int, int> counts;
+
+int
+digest()
+{
+    int s = 0;
+    // genax-lint: allow(unordered-iter): XOR digest is order-insensitive
+    for (const auto &kv : counts)
+        s ^= kv.second;
+    return s;
+}

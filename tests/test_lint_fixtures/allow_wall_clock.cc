@@ -1,0 +1,13 @@
+// Fixture: the same reads, each waived with a reason.
+#include <cstdlib>
+#include <ctime>
+
+long
+stamp()
+{
+    // genax-lint: allow(wall-clock): fixture exercising the suppression path
+    const char *tz = std::getenv("TZ");
+    // genax-lint: allow(wall-clock): fixture exercising the suppression path
+    long t = time(nullptr);
+    return t + (tz != nullptr ? 1 : 0);
+}

@@ -1,0 +1,11 @@
+// Fixture: float accumulation in a file that references the pool.
+struct ThreadPool;
+
+double
+total(const double *xs, int n)
+{
+    double acc = 0;
+    for (int i = 0; i < n; ++i)
+        acc += xs[i];
+    return acc;
+}

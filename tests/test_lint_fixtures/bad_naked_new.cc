@@ -1,0 +1,7 @@
+// Fixture: naked allocation in an arena-backed directory. Scanned
+// as src/seed/fixture.cc by run_fixtures.sh.
+int *
+make()
+{
+    return new int[4];
+}

@@ -1,0 +1,5 @@
+// Fixture: a suppression without a reason is itself an error.
+#include <mutex>
+
+// genax-lint: allow(raw-mutex)
+std::mutex gMu;

@@ -1,0 +1,7 @@
+// Fixture: GENAX_FATAL outside src/common/ and tests/. Never
+// compiled, so the macro needs no definition here.
+void
+die()
+{
+    GENAX_FATAL("unrecoverable");
+}

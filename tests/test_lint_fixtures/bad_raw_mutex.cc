@@ -1,0 +1,10 @@
+// Fixture: raw std:: locking outside src/common/.
+#include <mutex>
+
+std::mutex gMu;
+
+void
+touch()
+{
+    const std::lock_guard<std::mutex> lk(gMu);
+}

@@ -1,0 +1,9 @@
+// Fixture: raw RNG outside common/rng.hh.
+#include <random>
+
+int
+roll()
+{
+    std::mt19937 gen(42);
+    return static_cast<int>(gen() & 0xff);
+}

@@ -1,0 +1,15 @@
+// Fixture: hash-order iteration in a file that touches ledger
+// output. Scanned as src/genax/fixture.cc by run_fixtures.sh.
+#include <unordered_map>
+
+int ledger = 0;
+std::unordered_map<int, int> counts;
+
+int
+digest()
+{
+    int s = 0;
+    for (const auto &kv : counts)
+        s ^= kv.second;
+    return s;
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock and environment reads inside src/.
+#include <cstdlib>
+#include <ctime>
+
+long
+stamp()
+{
+    const char *tz = std::getenv("TZ");
+    long t = time(nullptr);
+    return t + (tz != nullptr ? 1 : 0);
+}

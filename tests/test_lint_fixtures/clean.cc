@@ -1,0 +1,15 @@
+// Fixture: unremarkable code that trips no rule, even when scanned
+// under the strictest scope. Mentions of banned identifiers inside
+// comments ("std::mutex") and strings must not count.
+#include <vector>
+
+const char *kNote = "std::mutex lives in strings safely";
+
+int
+sum(const std::vector<int> &xs)
+{
+    int s = 0;
+    for (const int x : xs)
+        s += x;
+    return s;
+}

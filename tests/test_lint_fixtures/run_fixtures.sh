@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CTest driver for the genax_lint rule fixtures: every bad_<rule>
+# fixture must be flagged with exactly that rule, every allow_<rule>
+# fixture must come back clean with its suppression counted, a
+# reasonless allow() must be rejected, and stripped comments/strings
+# must not trip anything.
+#
+# Usage: run_fixtures.sh <genax_lint-binary> <fixture-dir>
+set -u
+
+lint="${1:?usage: run_fixtures.sh <genax_lint> <fixture-dir>}"
+dir="${2:?usage: run_fixtures.sh <genax_lint> <fixture-dir>}"
+fail=0
+
+err() {
+    echo "FIXTURE FAIL: $*" >&2
+    fail=1
+}
+
+# rule -> repo-relative scope that puts the rule in force
+scope_for() {
+    case "$1" in
+        naked_new) echo "src/seed/fixture.cc" ;;
+        raw_rng) echo "src/align/fixture.cc" ;;
+        *) echo "src/genax/fixture.cc" ;;
+    esac
+}
+
+# rule name as reported (underscores in file names, dashes in rules)
+rule_name() {
+    echo "${1//_/-}"
+}
+
+for f in "$dir"/bad_*.cc; do
+    base=$(basename "$f" .cc)
+    key="${base#bad_}"
+    [[ "$key" == "noreason" ]] && continue
+    rule=$(rule_name "$key")
+    scope=$(scope_for "$key")
+    out=$("$lint" --scope-as "$scope" --files "$f" 2>&1)
+    rc=$?
+    ((rc != 0)) || err "$base: expected findings, got exit 0: $out"
+    grep -q "\[$rule\]" <<<"$out" ||
+        err "$base: output does not flag [$rule]: $out"
+done
+
+for f in "$dir"/allow_*.cc; do
+    base=$(basename "$f" .cc)
+    key="${base#allow_}"
+    scope=$(scope_for "$key")
+    out=$("$lint" --scope-as "$scope" --files "$f" 2>&1)
+    rc=$?
+    ((rc == 0)) || err "$base: expected clean exit, got $rc: $out"
+    grep -qE '[1-9][0-9]* suppression' <<<"$out" ||
+        err "$base: suppression not counted: $out"
+done
+
+# A reasonless allow() is itself an error even though it names the
+# right rule.
+out=$("$lint" --scope-as "src/genax/fixture.cc" \
+      --files "$dir/bad_noreason.cc" 2>&1)
+rc=$?
+((rc != 0)) || err "bad_noreason: expected failure, got exit 0"
+grep -qi "without a reason" <<<"$out" ||
+    err "bad_noreason: missing reason diagnostic: $out"
+
+# Clean code stays clean under the strictest scope.
+out=$("$lint" --scope-as "src/genax/fixture.cc" \
+      --files "$dir/clean.cc" 2>&1)
+rc=$?
+((rc == 0)) || err "clean: expected exit 0, got $rc: $out"
+
+if ((fail)); then
+    echo "lint fixtures: FAILED" >&2
+    exit 1
+fi
+echo "lint fixtures: OK"

@@ -1,0 +1,1091 @@
+/**
+ * @file
+ * genax_lint — determinism & concurrency invariant checker.
+ *
+ * Walks every repository source listed in a compile_commands.json
+ * (plus the project headers they include, transitively) and enforces
+ * the invariants the repo's determinism guarantee rests on. The
+ * checks are lexical — comments and string/char literals are
+ * stripped before matching — so the tool builds and runs anywhere
+ * the C++ toolchain does, with no libclang dependency.
+ *
+ * Rules (scopes are repo-relative paths):
+ *
+ *   unordered-iter  Iteration over a std::unordered_map/set declared
+ *                   in a file that produces SAM/ledger/cycle output.
+ *                   Hash-order iteration is the classic way
+ *                   byte-identical output dies.
+ *   wall-clock      std::chrono::system_clock, time(), clock(),
+ *                   localtime/gmtime or getenv outside tools/ and
+ *                   bench/. Simulation results must be a function of
+ *                   inputs + seeds, never of the clock or the
+ *                   environment.
+ *   raw-mutex       std::mutex / std::lock_guard / std::unique_lock /
+ *                   std::condition_variable (and friends) outside
+ *                   src/common/. Concurrency code must use the
+ *                   annotated Mutex/MutexLock/CondVar wrappers from
+ *                   common/annotations.hh so Clang -Wthread-safety
+ *                   sees every lock relationship.
+ *   fp-accum        `+=` involving a double declared in a file that
+ *                   also references the thread pool (parallelFor /
+ *                   ThreadPool / std::thread). Float accumulation
+ *                   order is scheduling-dependent; reductions must
+ *                   fold u64 counters in slot order and derive
+ *                   doubles afterwards (DESIGN.md "Deterministic
+ *                   reduction").
+ *   naked-new       `new` / malloc / calloc / realloc in the
+ *                   arena-backed hot-path directories (src/seed/,
+ *                   src/genax/). Per-read scratch goes through the
+ *                   per-worker bump arenas.
+ *   raw-rng         std::mt19937 / random_device / rand() etc.
+ *                   outside src/common/rng.hh. All randomness flows
+ *                   through the seeded Rng so runs replay.
+ *                   (Moved here from tools/lint.sh.)
+ *   raw-fatal       GENAX_FATAL outside src/common/ and tests/.
+ *                   Environment failures travel through Status so
+ *                   callers can recover. (Moved from tools/lint.sh.)
+ *
+ * Suppression: a finding is waived by a comment on the same line or
+ * on a directly preceding comment-only line:
+ *
+ *     // genax-lint: allow(<rule>): <reason>
+ *
+ * The reason is mandatory — a reasonless allow() is itself an error.
+ * Honored suppressions are counted and reported; directives that
+ * matched nothing are reported as warnings so stale waivers surface.
+ *
+ * Usage:
+ *   genax_lint [-p <compile_commands.json|builddir>] [--repo <root>]
+ *   genax_lint --scope-as <repo-relative-path> --files <file>...
+ *   genax_lint --list-rules
+ *
+ * Exit codes: 0 clean, 1 findings (or bad suppressions), 2 usage or
+ * IO error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ----------------------------------------------------------------
+// Small string helpers
+// ----------------------------------------------------------------
+
+bool
+isIdentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/** Find `tok` at position >= from with identifier boundaries on both
+ *  sides ('%' in `tok` may itself contain "::"). npos when absent. */
+size_t
+findToken(const std::string &s, const std::string &tok, size_t from)
+{
+    for (size_t pos = s.find(tok, from); pos != std::string::npos;
+         pos = s.find(tok, pos + 1)) {
+        const bool left_ok =
+            pos == 0 || !isIdentChar(s[pos - 1]);
+        const size_t end = pos + tok.size();
+        const bool right_ok =
+            end >= s.size() || !isIdentChar(s[end]);
+        if (left_ok && right_ok)
+            return pos;
+    }
+    return std::string::npos;
+}
+
+/** First identifier starting at or after `pos` (skips spaces). Empty
+ *  when the next non-space char does not start an identifier. */
+std::string
+identAt(const std::string &s, size_t pos)
+{
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\t'))
+        ++pos;
+    if (pos >= s.size() || !isIdentChar(s[pos]) ||
+        (s[pos] >= '0' && s[pos] <= '9'))
+        return {};
+    size_t end = pos;
+    while (end < s.size() && isIdentChar(s[end]))
+        ++end;
+    return s.substr(pos, end - pos);
+}
+
+/** Last identifier ending at or before `pos` (skips spaces going
+ *  left); used to grab the LHS of a `+=`. */
+std::string
+identBefore(const std::string &s, size_t pos)
+{
+    while (pos > 0 && (s[pos - 1] == ' ' || s[pos - 1] == '\n' ||
+                       s[pos - 1] == '\t'))
+        --pos;
+    if (pos == 0 || !isIdentChar(s[pos - 1]))
+        return {};
+    size_t begin = pos;
+    while (begin > 0 && isIdentChar(s[begin - 1]))
+        --begin;
+    return s.substr(begin, pos - begin);
+}
+
+// ----------------------------------------------------------------
+// Comment / literal stripping
+// ----------------------------------------------------------------
+
+/** One source file split into analyzable code and comment text; both
+ *  preserve the original newlines so offsets map back to lines. */
+struct Stripped
+{
+    std::string code;    //!< literals blanked, comments removed
+    std::string comment; //!< comment text only (same line layout)
+};
+
+Stripped
+stripSource(const std::string &text)
+{
+    Stripped out;
+    out.code.reserve(text.size());
+    out.comment.reserve(text.size() / 4);
+
+    enum class St {
+        Code,
+        Str,
+        RawStr,
+        Chr,
+        LineComment,
+        BlockComment
+    };
+    St st = St::Code;
+    std::string raw_delim; // for R"delim( ... )delim"
+
+    // comment text needs newline placeholders to stay line-aligned.
+    std::string comment_line;
+    const auto flushCommentLine = [&]() {
+        out.comment += comment_line;
+        out.comment += '\n';
+        comment_line.clear();
+    };
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == St::LineComment)
+                st = St::Code;
+            out.code += '\n';
+            flushCommentLine();
+            continue;
+        }
+        switch (st) {
+        case St::Code:
+            if (c == '/' && next == '/') {
+                st = St::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                st = St::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                // Raw string? Look back for an R prefix.
+                if (i > 0 && text[i - 1] == 'R' &&
+                    (i < 2 || !isIdentChar(text[i - 2]))) {
+                    raw_delim.clear();
+                    size_t j = i + 1;
+                    while (j < text.size() && text[j] != '(')
+                        raw_delim += text[j++];
+                    i = j; // at '('
+                    st = St::RawStr;
+                } else {
+                    st = St::Str;
+                }
+                out.code += '"';
+            } else if (c == '\'') {
+                st = St::Chr;
+                out.code += '\'';
+            } else {
+                out.code += c;
+            }
+            break;
+        case St::Str:
+            if (c == '\\') {
+                ++i; // skip escaped char (newline-in-string is UB
+                     // anyway; escaped newlines are not handled)
+            } else if (c == '"') {
+                st = St::Code;
+                out.code += '"';
+            }
+            break;
+        case St::RawStr: {
+            const std::string close = ")" + raw_delim + "\"";
+            if (text.compare(i, close.size(), close) == 0) {
+                i += close.size() - 1;
+                st = St::Code;
+                out.code += '"';
+            }
+            break;
+        }
+        case St::Chr:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '\'') {
+                st = St::Code;
+                out.code += '\'';
+            }
+            break;
+        case St::LineComment:
+            comment_line += c;
+            break;
+        case St::BlockComment:
+            if (c == '*' && next == '/') {
+                st = St::Code;
+                ++i;
+            } else {
+                comment_line += c;
+            }
+            break;
+        }
+    }
+    out.code += '\n';
+    flushCommentLine();
+    return out;
+}
+
+/** 1-based line number of a byte offset into a newline-preserving
+ *  string. */
+class LineIndex
+{
+  public:
+    explicit LineIndex(const std::string &s)
+    {
+        _starts.push_back(0);
+        for (size_t i = 0; i < s.size(); ++i)
+            if (s[i] == '\n')
+                _starts.push_back(i + 1);
+    }
+
+    size_t
+    lineOf(size_t offset) const
+    {
+        const auto it = std::upper_bound(_starts.begin(),
+                                         _starts.end(), offset);
+        return static_cast<size_t>(it - _starts.begin());
+    }
+
+    size_t
+    count() const
+    {
+        return _starts.size();
+    }
+
+  private:
+    std::vector<size_t> _starts;
+};
+
+// ----------------------------------------------------------------
+// Rules
+// ----------------------------------------------------------------
+
+const std::vector<std::pair<const char *, const char *>> kRules = {
+    {"unordered-iter",
+     "hash-order iteration in an output-producing file"},
+    {"wall-clock",
+     "wall-clock/environment read outside tools/ and bench/"},
+    {"raw-mutex",
+     "raw std:: locking outside src/common/ (use annotations.hh)"},
+    {"fp-accum",
+     "floating-point accumulation in thread-pool-adjacent code"},
+    {"naked-new", "naked new/malloc in an arena-backed directory"},
+    {"raw-rng", "raw RNG outside common/rng.hh"},
+    {"raw-fatal", "GENAX_FATAL outside src/common/ and tests/"},
+};
+
+bool
+knownRule(const std::string &name)
+{
+    for (const auto &[rule, desc] : kRules)
+        if (name == rule)
+            return true;
+    return false;
+}
+
+struct Finding
+{
+    std::string file; // repo-relative
+    size_t line;
+    std::string rule;
+    std::string message;
+};
+
+struct Directive
+{
+    std::string rule;
+    bool hasReason = false;
+    bool used = false;
+};
+
+/** Per-file suppression table: line -> directives on that line. */
+using DirectiveMap = std::map<size_t, std::vector<Directive>>;
+
+/**
+ * Parse suppression directives out of the comment channel. A
+ * directive must be the start of its comment (only whitespace
+ * before the marker), which keeps prose that merely *mentions* the
+ * syntax — like this tool's own documentation — from registering.
+ */
+DirectiveMap
+parseDirectives(const std::string &comment)
+{
+    DirectiveMap out;
+    const std::string marker = "genax-lint:";
+    std::istringstream is(comment);
+    std::string line;
+    for (size_t lineno = 1; std::getline(is, line); ++lineno) {
+        size_t p = line.find_first_not_of(" \t");
+        if (p == std::string::npos ||
+            line.compare(p, marker.size(), marker) != 0)
+            continue;
+        p += marker.size();
+        while (p < line.size() && line[p] == ' ')
+            ++p;
+        const std::string kw = "allow(";
+        if (line.compare(p, kw.size(), kw) != 0)
+            continue;
+        p += kw.size();
+        const size_t close = line.find(')', p);
+        if (close == std::string::npos)
+            continue;
+        Directive d;
+        d.rule = line.substr(p, close - p);
+        // A reason is everything after an optional ':' up to the end
+        // of the comment line; it must contain a word character.
+        size_t r = close + 1;
+        while (r < line.size() && line[r] == ' ')
+            ++r;
+        if (r < line.size() && line[r] == ':') {
+            const std::string reason = line.substr(r + 1);
+            for (const char c : reason)
+                if (isIdentChar(c)) {
+                    d.hasReason = true;
+                    break;
+                }
+        }
+        out[lineno].push_back(d);
+    }
+    return out;
+}
+
+/** True when the stripped-code line holds no code (so a directive on
+ *  it covers the next line). */
+bool
+commentOnlyLine(const std::vector<std::string> &codeLines, size_t line)
+{
+    if (line == 0 || line > codeLines.size())
+        return false;
+    const std::string &s = codeLines[line - 1];
+    return s.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+// ----------------------------------------------------------------
+// Per-file analysis
+// ----------------------------------------------------------------
+
+struct FileScope
+{
+    bool inSrc = false;        // under src/
+    bool inCommon = false;     // under src/common/
+    bool inTests = false;      // under tests/
+    bool arenaBacked = false;  // src/seed/ or src/genax/
+    bool isRngHeader = false;  // src/common/rng.hh itself
+};
+
+FileScope
+scopeFor(const std::string &rel)
+{
+    FileScope sc;
+    sc.inSrc = startsWith(rel, "src/");
+    sc.inCommon = startsWith(rel, "src/common/");
+    sc.inTests = startsWith(rel, "tests/");
+    sc.arenaBacked =
+        startsWith(rel, "src/seed/") || startsWith(rel, "src/genax/");
+    sc.isRngHeader = rel == "src/common/rng.hh";
+    return sc;
+}
+
+/** Collect identifiers declared with any of the given type tokens
+ *  (`std::unordered_map<...> name`, `double name`, ...). */
+std::set<std::string>
+collectDeclaredNames(const std::string &code,
+                     const std::vector<std::string> &typeTokens,
+                     bool skipTemplateArgs)
+{
+    std::set<std::string> names;
+    for (const auto &tok : typeTokens) {
+        for (size_t pos = findToken(code, tok, 0);
+             pos != std::string::npos;
+             pos = findToken(code, tok, pos + 1)) {
+            size_t p = pos + tok.size();
+            if (skipTemplateArgs) {
+                while (p < code.size() && code[p] == ' ')
+                    ++p;
+                if (p >= code.size() || code[p] != '<')
+                    continue;
+                int depth = 0;
+                while (p < code.size()) {
+                    if (code[p] == '<')
+                        ++depth;
+                    else if (code[p] == '>' && --depth == 0) {
+                        ++p;
+                        break;
+                    }
+                    ++p;
+                }
+            }
+            const std::string name = identAt(code, p);
+            if (name.empty() || name == "const")
+                continue;
+            // Reject `double>` / `(double)` style uses: identAt
+            // already returned empty for those. Reject references to
+            // other types (e.g. `unsigned double` cannot happen).
+            names.insert(name);
+        }
+    }
+    return names;
+}
+
+class FileChecker
+{
+  public:
+    FileChecker(std::string rel, const std::string &text)
+        : _rel(std::move(rel)), _scope(scopeFor(_rel)),
+          _stripped(stripSource(text)), _lines(_stripped.code),
+          _directives(parseDirectives(_stripped.comment))
+    {
+        // Split stripped code into lines once for the comment-only
+        // lookback used by suppression matching.
+        std::istringstream is(_stripped.code);
+        std::string line;
+        while (std::getline(is, line))
+            _codeLines.push_back(line);
+    }
+
+    /** Run every rule; returns findings (suppressed ones omitted). */
+    std::vector<Finding>
+    run()
+    {
+        if (_scope.inSrc) {
+            if (!_scope.inCommon)
+                ruleRawMutex();
+            ruleWallClock();
+            ruleUnorderedIter();
+            ruleFpAccum();
+            if (_scope.arenaBacked)
+                ruleNakedNew();
+        }
+        if (!_scope.isRngHeader)
+            ruleRawRng();
+        if (!_scope.inCommon && !_scope.inTests)
+            ruleRawFatal();
+        checkDirectiveHygiene();
+        return std::move(_findings);
+    }
+
+    size_t
+    suppressedCount() const
+    {
+        return _suppressed;
+    }
+
+    const std::vector<std::string> &
+    errors() const
+    {
+        return _errors;
+    }
+
+    const std::vector<std::string> &
+    warnings() const
+    {
+        return _warnings;
+    }
+
+  private:
+    void
+    report(size_t offset, const std::string &rule,
+           const std::string &message)
+    {
+        const size_t line = _lines.lineOf(offset);
+        if (suppressed(line, rule)) {
+            ++_suppressed;
+            return;
+        }
+        _findings.push_back({_rel, line, rule, message});
+    }
+
+    bool
+    suppressed(size_t line, const std::string &rule)
+    {
+        for (size_t l = line;;) {
+            const auto it = _directives.find(l);
+            if (it != _directives.end()) {
+                for (Directive &d : it->second) {
+                    if (d.rule == rule && d.hasReason) {
+                        d.used = true;
+                        return true;
+                    }
+                    if (d.rule == rule && !d.hasReason)
+                        d.used = true; // claimed, but still invalid
+                }
+            }
+            // Walk up through directly preceding comment-only lines.
+            if (l == 0 || !commentOnlyLine(_codeLines, l - 1))
+                break;
+            --l;
+        }
+        return false;
+    }
+
+    void
+    checkDirectiveHygiene()
+    {
+        for (auto &[line, ds] : _directives) {
+            for (Directive &d : ds) {
+                if (!knownRule(d.rule)) {
+                    _errors.push_back(
+                        _rel + ":" + std::to_string(line) +
+                        ": unknown rule in allow(): " + d.rule);
+                    continue;
+                }
+                if (!d.hasReason) {
+                    _errors.push_back(
+                        _rel + ":" + std::to_string(line) +
+                        ": allow(" + d.rule +
+                        ") without a reason — write 'genax-lint: "
+                        "allow(" +
+                        d.rule + "): <why this is safe>'");
+                    continue;
+                }
+                if (!d.used) {
+                    _warnings.push_back(
+                        _rel + ":" + std::to_string(line) +
+                        ": stale allow(" + d.rule +
+                        ") suppresses nothing");
+                }
+            }
+        }
+    }
+
+    // ---- individual rules ----
+
+    void
+    ruleWallClock()
+    {
+        const std::string &code = _stripped.code;
+        for (const char *tok :
+             {"system_clock", "getenv", "localtime", "gmtime"}) {
+            for (size_t p = findToken(code, tok, 0);
+                 p != std::string::npos;
+                 p = findToken(code, tok, p + 1)) {
+                report(p, "wall-clock",
+                       std::string(tok) +
+                           " makes output depend on the "
+                           "environment; results must be a pure "
+                           "function of inputs and seeds");
+            }
+        }
+        // time( / clock( need the call parenthesis so identifiers
+        // like `timeModel` or members named `clock` do not trip.
+        for (const char *tok : {"time", "clock"}) {
+            for (size_t p = findToken(code, tok, 0);
+                 p != std::string::npos;
+                 p = findToken(code, tok, p + 1)) {
+                size_t q = p + std::string(tok).size();
+                while (q < code.size() && code[q] == ' ')
+                    ++q;
+                if (q < code.size() && code[q] == '(') {
+                    report(p, "wall-clock",
+                           std::string(tok) +
+                               "() reads the wall clock; use "
+                               "modelled time or steady_clock "
+                               "deltas in tools/bench only");
+                }
+            }
+        }
+    }
+
+    void
+    ruleRawMutex()
+    {
+        static const std::vector<std::string> toks = {
+            "std::mutex",          "std::recursive_mutex",
+            "std::timed_mutex",    "std::shared_mutex",
+            "std::lock_guard",     "std::unique_lock",
+            "std::scoped_lock",    "std::condition_variable",
+            "std::condition_variable_any",
+        };
+        const std::string &code = _stripped.code;
+        for (const auto &tok : toks) {
+            for (size_t p = findToken(code, tok, 0);
+                 p != std::string::npos;
+                 p = findToken(code, tok, p + 1)) {
+                report(p, "raw-mutex",
+                       tok + " bypasses the annotated wrappers; use "
+                             "genax::Mutex/MutexLock/CondVar from "
+                             "common/annotations.hh so "
+                             "-Wthread-safety checks the lock "
+                             "relationships");
+            }
+        }
+    }
+
+    void
+    ruleRawRng()
+    {
+        const std::string &code = _stripped.code;
+        for (const char *tok : {"mt19937", "minstd_rand",
+                                "random_device", "random_shuffle"}) {
+            for (size_t p = findToken(code, tok, 0);
+                 p != std::string::npos;
+                 p = findToken(code, tok, p + 1)) {
+                report(p, "raw-rng",
+                       std::string(tok) +
+                           ": route randomness through "
+                           "common/rng.hh so runs replay from a "
+                           "seed");
+            }
+        }
+        for (const char *tok : {"rand", "srand"}) {
+            for (size_t p = findToken(code, tok, 0);
+                 p != std::string::npos;
+                 p = findToken(code, tok, p + 1)) {
+                size_t q = p + std::string(tok).size();
+                while (q < code.size() && code[q] == ' ')
+                    ++q;
+                if (q < code.size() && code[q] == '(') {
+                    report(p, "raw-rng",
+                           std::string(tok) +
+                               "(): route randomness through "
+                               "common/rng.hh so runs replay from "
+                               "a seed");
+                }
+            }
+        }
+    }
+
+    void
+    ruleRawFatal()
+    {
+        const std::string &code = _stripped.code;
+        for (size_t p = findToken(code, "GENAX_FATAL", 0);
+             p != std::string::npos;
+             p = findToken(code, "GENAX_FATAL", p + 1)) {
+            report(p, "raw-fatal",
+                   "GENAX_FATAL outside src/common; return a Status "
+                   "(or GENAX_CHECK for invariants) so callers can "
+                   "recover");
+        }
+    }
+
+    void
+    ruleNakedNew()
+    {
+        const std::string &code = _stripped.code;
+        for (size_t p = findToken(code, "new", 0);
+             p != std::string::npos;
+             p = findToken(code, "new", p + 1)) {
+            // `operator new` overloads are allocator plumbing, not a
+            // call site.
+            if (identBefore(code, p) == "operator")
+                continue;
+            report(p, "naked-new",
+                   "naked new in an arena-backed directory; per-item "
+                   "scratch goes through the per-worker Arena "
+                   "(common/arena.hh)");
+        }
+        for (const char *tok : {"malloc", "calloc", "realloc"}) {
+            for (size_t p = findToken(code, tok, 0);
+                 p != std::string::npos;
+                 p = findToken(code, tok, p + 1)) {
+                size_t q = p + std::string(tok).size();
+                while (q < code.size() && code[q] == ' ')
+                    ++q;
+                if (q < code.size() && code[q] == '(') {
+                    report(p, "naked-new",
+                           std::string(tok) +
+                               "() in an arena-backed directory; "
+                               "use the per-worker Arena");
+                }
+            }
+        }
+    }
+
+    void
+    ruleUnorderedIter()
+    {
+        const std::string &code = _stripped.code;
+        // Only files that emit order-sensitive output are in scope.
+        bool output_producing = false;
+        for (const char *tok :
+             {"SamWriter", "SamRecord", "ledger", "Ledger", "cycles",
+              "Cycles"}) {
+            if (findToken(code, tok, 0) != std::string::npos) {
+                output_producing = true;
+                break;
+            }
+        }
+        if (!output_producing)
+            return;
+        const std::set<std::string> names = collectDeclaredNames(
+            code, {"std::unordered_map", "std::unordered_set"}, true);
+        for (const auto &name : names) {
+            for (size_t p = findToken(code, name, 0);
+                 p != std::string::npos;
+                 p = findToken(code, name, p + 1)) {
+                bool iterates = false;
+                // Range-for: `... : name)` with a ':' directly
+                // before (not '::').
+                size_t q = p;
+                while (q > 0 && (code[q - 1] == ' ' ||
+                                 code[q - 1] == '\n'))
+                    --q;
+                if (q > 0 && code[q - 1] == ':' &&
+                    (q < 2 || code[q - 2] != ':'))
+                    iterates = true;
+                // Explicit iterators: name.begin() / name.cbegin().
+                const size_t after = p + name.size();
+                for (const char *m : {".begin(", ".cbegin("}) {
+                    if (code.compare(after, std::string(m).size(),
+                                     m) == 0)
+                        iterates = true;
+                }
+                if (iterates) {
+                    report(p, "unordered-iter",
+                           "iterating '" + name +
+                               "' (unordered container) in an "
+                               "output-producing file; hash order "
+                               "is not deterministic across "
+                               "platforms — use a sorted container "
+                               "or sort before emission");
+                }
+            }
+        }
+    }
+
+    void
+    ruleFpAccum()
+    {
+        const std::string &code = _stripped.code;
+        bool pool_adjacent = false;
+        for (const char *tok :
+             {"parallelFor", "ThreadPool", "std::thread"}) {
+            if (code.find(tok) != std::string::npos) {
+                pool_adjacent = true;
+                break;
+            }
+        }
+        if (!pool_adjacent)
+            return;
+        const std::set<std::string> doubles =
+            collectDeclaredNames(code, {"double", "float"}, false);
+        if (doubles.empty())
+            return;
+        for (size_t p = code.find("+="); p != std::string::npos;
+             p = code.find("+=", p + 2)) {
+            const std::string lhs = identBefore(code, p);
+            const std::string rhs = identAt(code, p + 2);
+            if (doubles.count(lhs) || doubles.count(rhs)) {
+                report(p, "fp-accum",
+                       "floating-point '+=' near thread-pool code; "
+                       "accumulation order is "
+                       "scheduling-dependent — fold u64 counters "
+                       "in slot order and derive doubles after the "
+                       "parallel region");
+            }
+        }
+    }
+
+    std::string _rel;
+    FileScope _scope;
+    Stripped _stripped;
+    LineIndex _lines;
+    DirectiveMap _directives;
+    std::vector<std::string> _codeLines;
+    std::vector<Finding> _findings;
+    std::vector<std::string> _errors;
+    std::vector<std::string> _warnings;
+    size_t _suppressed = 0;
+};
+
+// ----------------------------------------------------------------
+// compile_commands.json walking
+// ----------------------------------------------------------------
+
+/** Minimal extraction of "directory"/"file" string values, in
+ *  document order, tolerant of escaped characters. */
+std::vector<fs::path>
+filesFromCompileCommands(const std::string &text, std::string *error)
+{
+    std::vector<fs::path> out;
+    std::string directory;
+    const auto readString = [&](size_t &pos) -> std::string {
+        // pos is at the opening quote.
+        std::string v;
+        for (++pos; pos < text.size() && text[pos] != '"'; ++pos) {
+            if (text[pos] == '\\' && pos + 1 < text.size()) {
+                ++pos;
+                v += text[pos]; // \" \\ \/ are the realistic cases
+            } else {
+                v += text[pos];
+            }
+        }
+        return v;
+    };
+    for (size_t pos = 0; pos < text.size(); ++pos) {
+        for (const char *key : {"\"directory\"", "\"file\""}) {
+            const std::string k = key;
+            if (text.compare(pos, k.size(), k) != 0)
+                continue;
+            size_t p = pos + k.size();
+            while (p < text.size() &&
+                   (text[p] == ' ' || text[p] == ':' ||
+                    text[p] == '\n' || text[p] == '\t'))
+                ++p;
+            if (p >= text.size() || text[p] != '"')
+                continue;
+            const std::string value = readString(p);
+            if (k == "\"directory\"") {
+                directory = value;
+            } else {
+                fs::path f(value);
+                if (f.is_relative() && !directory.empty())
+                    f = fs::path(directory) / f;
+                out.push_back(f);
+            }
+            pos = p;
+        }
+    }
+    if (out.empty() && error)
+        *error = "no \"file\" entries found in compile_commands.json";
+    return out;
+}
+
+bool
+readFile(const fs::path &p, std::string *out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+/** Quoted project includes of a source, resolved against the repo
+ *  layout (src/-rooted, repo-rooted, or sibling). */
+std::vector<fs::path>
+resolveIncludes(const std::string &text, const fs::path &file,
+                const fs::path &repo)
+{
+    std::vector<fs::path> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        size_t p = line.find_first_not_of(" \t");
+        if (p == std::string::npos || line[p] != '#')
+            continue;
+        p = line.find("include", p);
+        if (p == std::string::npos)
+            continue;
+        const size_t open = line.find('"', p);
+        if (open == std::string::npos)
+            continue;
+        const size_t close = line.find('"', open + 1);
+        if (close == std::string::npos)
+            continue;
+        const std::string inc =
+            line.substr(open + 1, close - open - 1);
+        for (const fs::path &cand :
+             {repo / "src" / inc, repo / inc,
+              file.parent_path() / inc}) {
+            std::error_code ec;
+            if (fs::is_regular_file(cand, ec)) {
+                out.push_back(fs::weakly_canonical(cand, ec));
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: genax_lint [-p <compile_commands.json|builddir>]"
+          " [--repo <root>] [-v]\n"
+          "       genax_lint --scope-as <repo-relative-path>"
+          " --files <file>...\n"
+          "       genax_lint --list-rules\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path compdb;
+    fs::path repo = fs::current_path();
+    std::vector<fs::path> explicit_files;
+    std::string scope_as;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-p" && i + 1 < argc) {
+            compdb = argv[++i];
+        } else if (arg == "--repo" && i + 1 < argc) {
+            repo = argv[++i];
+        } else if (arg == "--scope-as" && i + 1 < argc) {
+            scope_as = argv[++i];
+        } else if (arg == "--files") {
+            for (++i; i < argc; ++i)
+                explicit_files.emplace_back(argv[i]);
+        } else if (arg == "-v" || arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--list-rules") {
+            for (const auto &[rule, desc] : kRules)
+                std::cout << rule << "\t" << desc << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "genax_lint: unknown argument: " << arg
+                      << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    std::error_code ec;
+    repo = fs::weakly_canonical(repo, ec);
+
+    // Assemble the work list: explicit files, or the compile database
+    // plus every project header reachable from it.
+    std::vector<std::pair<fs::path, std::string>> work; // path, rel
+    if (!explicit_files.empty()) {
+        for (const auto &f : explicit_files) {
+            const std::string rel =
+                scope_as.empty() ? f.generic_string() : scope_as;
+            work.emplace_back(f, rel);
+        }
+    } else {
+        if (compdb.empty()) {
+            for (const char *cand :
+                 {"compile_commands.json",
+                  "build/compile_commands.json"}) {
+                if (fs::is_regular_file(repo / cand, ec)) {
+                    compdb = repo / cand;
+                    break;
+                }
+            }
+        }
+        if (!compdb.empty() && fs::is_directory(compdb, ec))
+            compdb /= "compile_commands.json";
+        std::string text;
+        if (compdb.empty() || !readFile(compdb, &text)) {
+            std::cerr << "genax_lint: cannot read compile database"
+                      << (compdb.empty()
+                              ? std::string(
+                                    " (no -p given and no "
+                                    "compile_commands.json found)")
+                              : ": " + compdb.string())
+                      << "\n";
+            return 2;
+        }
+        std::string parse_error;
+        std::vector<fs::path> queue =
+            filesFromCompileCommands(text, &parse_error);
+        if (queue.empty()) {
+            std::cerr << "genax_lint: " << parse_error << "\n";
+            return 2;
+        }
+        std::set<std::string> visited;
+        while (!queue.empty()) {
+            fs::path f = fs::weakly_canonical(queue.back(), ec);
+            queue.pop_back();
+            const std::string abs = f.generic_string();
+            const std::string root = repo.generic_string() + "/";
+            if (!startsWith(abs, root))
+                continue; // system / external file
+            if (!visited.insert(abs).second)
+                continue;
+            const std::string rel = abs.substr(root.size());
+            work.emplace_back(f, rel);
+            std::string src;
+            if (readFile(f, &src)) {
+                for (const auto &inc :
+                     resolveIncludes(src, f, repo))
+                    queue.push_back(inc);
+            }
+        }
+        std::sort(work.begin(), work.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second < b.second;
+                  });
+    }
+
+    size_t findings = 0, suppressed = 0, errors = 0, warnings = 0;
+    for (const auto &[path, rel] : work) {
+        std::string text;
+        if (!readFile(path, &text)) {
+            std::cerr << "genax_lint: cannot read " << path.string()
+                      << "\n";
+            return 2;
+        }
+        FileChecker checker(rel, text);
+        for (const Finding &f : checker.run()) {
+            std::cout << f.file << ":" << f.line << ": error: ["
+                      << f.rule << "] " << f.message << "\n";
+            ++findings;
+        }
+        for (const std::string &e : checker.errors()) {
+            std::cout << e << "\n";
+            ++errors;
+        }
+        for (const std::string &w : checker.warnings()) {
+            std::cout << "warning: " << w << "\n";
+            ++warnings;
+        }
+        suppressed += checker.suppressedCount();
+        if (verbose && checker.suppressedCount() > 0) {
+            std::cout << rel << ": " << checker.suppressedCount()
+                      << " suppression(s) honored\n";
+        }
+    }
+
+    std::cout << "genax_lint: " << work.size() << " file(s), "
+              << findings << " finding(s), " << suppressed
+              << " suppression(s) honored";
+    if (errors > 0)
+        std::cout << ", " << errors << " directive error(s)";
+    if (warnings > 0)
+        std::cout << ", " << warnings << " stale directive(s)";
+    std::cout << "\n";
+    return findings > 0 || errors > 0 ? 1 : 0;
+}
