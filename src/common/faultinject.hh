@@ -60,6 +60,10 @@ inline constexpr const char *kCamOverflow = "seed.cam.overflow";
 inline constexpr const char *kDramStream = "genax.dram.stream";
 inline constexpr const char *kLaneIssue = "sillax.lane.issue";
 inline constexpr const char *kPipelineRead = "genax.pipeline.read";
+inline constexpr const char *kStoreShortWrite = "io.store.short_write";
+inline constexpr const char *kStoreEio = "io.store.eio";
+inline constexpr const char *kStoreEnospc = "io.store.enospc";
+inline constexpr const char *kStoreMmapFail = "io.store.mmap_fail";
 
 } // namespace fault
 

@@ -14,6 +14,7 @@
 #include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "io/sam.hh"
+#include "seed/index_snapshot.hh"
 #include "silla/silla.hh"
 #include "swbase/bwamem_like.hh"
 #include "swbase/paired.hh"
@@ -182,6 +183,60 @@ validateReference(const std::vector<FastaRecord> &ref)
     return okStatus();
 }
 
+/**
+ * Snapshot attach policy. Opens `path` and decides how the run gets
+ * its per-segment indexes:
+ *
+ *  - fingerprint mismatch against the parsed reference → hard error
+ *    (a snapshot must never be applied to the wrong reference);
+ *  - corruption or IO trouble opening it → degrade to the
+ *    rebuild-from-FASTA path, recording the outcome in the result;
+ *  - otherwise `out` is engaged and the caller attaches it.
+ */
+Status
+attachSnapshot(const std::string &path, const Seq &refseq,
+               std::optional<IndexSnapshot> &out, PipelineResult &res)
+{
+    auto opened = IndexSnapshot::open(path);
+    if (!opened.ok()) {
+        res.indexFallback = true;
+        res.indexNote = "index snapshot unusable, rebuilding from "
+                        "FASTA: " +
+                        opened.status().str();
+        GENAX_WARN("index snapshot ", path,
+                   " unusable; rebuilding segment indexes from the "
+                   "reference: ",
+                   opened.status().str());
+        return okStatus();
+    }
+    IndexSnapshot snap = std::move(*opened);
+    const IndexFingerprint want =
+        referenceFingerprint(refseq, snap.k());
+    GENAX_TRY(checkFingerprint(snap.fingerprint(), want)
+                  .withContext("index snapshot " + path));
+    res.indexFromSnapshot = true;
+    res.indexMapped = snap.mapped();
+    res.indexNote = std::string("index snapshot attached (") +
+                    (snap.mapped() ? "mmap" : "owned read") + ")";
+    out = std::move(snap);
+    return okStatus();
+}
+
+/** Apply an attached snapshot to a GenAx config: its build
+ *  parameters are authoritative, and the engine serves segment
+ *  indexes from it. */
+void
+applySnapshot(GenAxConfig &cfg,
+              const std::optional<IndexSnapshot> &snapshot)
+{
+    if (!snapshot)
+        return;
+    cfg.k = snapshot->k();
+    cfg.segmentCount = snapshot->segmentCount();
+    cfg.segmentOverlap = snapshot->segmentOverlap();
+    cfg.snapshot = &*snapshot;
+}
+
 } // namespace
 
 StatusOr<PipelineResult>
@@ -195,6 +250,11 @@ alignToSam(const std::vector<FastaRecord> &ref,
 
     PipelineResult res;
     res.reads = reads.size();
+
+    std::optional<IndexSnapshot> snapshot;
+    if (!opts.indexSnapshot.empty())
+        GENAX_TRY(attachSnapshot(opts.indexSnapshot,
+                                 contigs.sequence(), snapshot, res));
 
     // Admission: the genax.pipeline.read fault point models a read
     // lost inside the pipeline (staging-buffer corruption and the
@@ -236,6 +296,7 @@ alignToSam(const std::vector<FastaRecord> &ref,
         cfg.segmentCount = opts.segments;
         cfg.segmentOverlap = opts.segmentOverlap;
         cfg.threads = opts.threads;
+        applySnapshot(cfg, snapshot);
         GenAxSystem system(contigs.sequence(), cfg);
         maps = system.alignAll(seqs);
         res.perf = system.perf();
@@ -278,6 +339,11 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
     const ContigMap contigs(ref);
 
     PipelineResult res;
+
+    std::optional<IndexSnapshot> snapshot;
+    if (!opts.indexSnapshot.empty())
+        GENAX_TRY(attachSnapshot(opts.indexSnapshot,
+                                 contigs.sequence(), snapshot, res));
 
     bool use_software = opts.engine == PipelineOptions::Engine::Software;
     if (!use_software && opts.band > kMaxSillaK) {
@@ -358,6 +424,7 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
             cfg.segmentCount = opts.segments;
             cfg.segmentOverlap = opts.segmentOverlap;
             cfg.threads = opts.threads;
+            applySnapshot(cfg, snapshot);
             system.emplace(contigs.sequence(), cfg);
             system->streamBegin();
         } else {
@@ -592,6 +659,12 @@ alignPairFiles(const std::string &ref_fasta,
         return ioErrorFromErrno("cannot open output SAM", out_sam);
     GENAX_TRY_ASSIGN(PipelineResult res,
                      alignPairsToSam(ref, reads1, reads2, out, opts));
+    // An ofstream buffers; ENOSPC/EIO may only surface at the final
+    // flush, and the destructor swallows it — flush and check here
+    // so a short SAM file can never look like success.
+    out.flush();
+    if (!out)
+        return ioError("failed flushing SAM output to " + out_sam);
     res.refInput = ref_stats;
     res.readInput = read1_stats;
     res.readInput.records += read2_stats.records;
@@ -625,6 +698,10 @@ alignFiles(const std::string &ref_fasta, const std::string &reads_fastq,
         FastqReader reader(in, ropts);
         GENAX_TRY_ASSIGN(PipelineResult res,
                          alignStreamToSam(ref, reader, out, opts));
+        out.flush();
+        if (!out)
+            return ioError("failed flushing SAM output to " +
+                           out_sam);
         res.refInput = ref_stats;
         res.readInput = reader.stats();
         res.skippedMalformed = res.readInput.malformed;
@@ -639,6 +716,9 @@ alignFiles(const std::string &ref_fasta, const std::string &reads_fastq,
         return ioErrorFromErrno("cannot open output SAM", out_sam);
     GENAX_TRY_ASSIGN(PipelineResult res,
                      alignToSam(ref, reads, out, opts));
+    out.flush();
+    if (!out)
+        return ioError("failed flushing SAM output to " + out_sam);
     res.refInput = ref_stats;
     res.readInput = read_stats;
     res.skippedMalformed = read_stats.malformed;

@@ -85,6 +85,21 @@ struct PipelineOptions
      * loads both mate files whole.
      */
     u64 batchReads = 0;
+    /**
+     * Optional path to a pre-built index snapshot (genax_index
+     * --format flat). When set, the GenAx engine serves each
+     * segment's seeding index zero-copy from the snapshot instead of
+     * rebuilding it per batch, and the snapshot's k / segment count /
+     * overlap override the fields above so the output matches the
+     * build. The snapshot's reference fingerprint must match the
+     * parsed FASTA — a mismatch fails the run (a snapshot is never
+     * applied to the wrong reference). A corrupt or unreadable
+     * snapshot degrades to the rebuild-from-FASTA path and is
+     * recorded in PipelineResult::indexFallback / indexNote. SAM
+     * bytes, the ledger and the modelled perf report are identical
+     * with or without a matching snapshot.
+     */
+    std::string indexSnapshot;
 };
 
 /**
@@ -110,6 +125,14 @@ struct PipelineResult
     GenAxPerf perf;      //!< populated for the GenAx engine
     ReaderStats refInput;  //!< reference parse stats (file API only)
     ReaderStats readInput; //!< read parse stats (file API only)
+    /** @name Index snapshot disposition (opts.indexSnapshot only) */
+    ///@{
+    bool indexFromSnapshot = false; //!< indexes served from the file
+    bool indexMapped = false;  //!< snapshot backing is the mmap path
+    bool indexFallback = false; //!< snapshot unusable; indexes were
+                                //!< rebuilt from the FASTA reference
+    std::string indexNote; //!< human-readable snapshot outcome
+    ///@}
 
     /** Every read accounted for in exactly one category. */
     bool

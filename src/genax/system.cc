@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "genax/seeding_sim.hh"
+#include "seed/index_snapshot.hh"
 
 namespace genax {
 
@@ -189,6 +190,27 @@ GenAxSystem::GenAxSystem(const Seq &ref, const GenAxConfig &cfg)
     GENAX_CHECK(cfg.seedingLanes > 0, "need at least one seeding lane");
     GENAX_CHECK(cfg.editBound > 0 && cfg.editBound <= kMaxSillaK,
                 "edit bound out of range: ", cfg.editBound);
+    if (cfg.snapshot != nullptr) {
+        // The attach path (pipeline.cc) has already verified the
+        // fingerprint against the parsed reference; same reference +
+        // same config deterministically produce the same
+        // segmentation, so a geometry mismatch here is a programming
+        // error, not an input error.
+        const IndexSnapshot &snap = *cfg.snapshot;
+        GENAX_CHECK(snap.k() == cfg.k, "snapshot k ", snap.k(),
+                    " != configured k ", cfg.k);
+        GENAX_CHECK(snap.segmentCount() == _segments.count(),
+                    "snapshot has ", snap.segmentCount(),
+                    " segments, segmentation produced ",
+                    _segments.count());
+        for (u64 i = 0; i < _segments.count(); ++i) {
+            GENAX_CHECK(snap.segmentStart(i) == _segments.start(i) &&
+                            snap.segmentLength(i) ==
+                                _segments.length(i),
+                        "snapshot segment ", i,
+                        " geometry does not match the segmentation");
+        }
+    }
 }
 
 void
@@ -242,11 +264,22 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
         lane_work.resize(reads.size());
 
     // The segment loop stays serial; reads within a segment are
-    // sharded across the pool. The index is rebuilt per batch (the
-    // price of O(batch) resident memory — caching every segment's
-    // index would cost tens of bytes per reference base).
+    // sharded across the pool. Without a snapshot the index is
+    // rebuilt per batch (the price of O(batch) resident memory —
+    // caching every segment's index would cost tens of bytes per
+    // reference base); with one, the segment's tables are a
+    // zero-copy view over the snapshot file.
     for (u64 seg = 0; seg < _segments.count(); ++seg) {
+#if defined(GENAX_KMER_INDEX_ORACLE)
+        // The oracle's SeedIndex is the dense layout; snapshots hold
+        // flat tables, so the oracle always rebuilds (the SeedIndex
+        // equivalence keeps the output identical).
         const SeedIndex index = _segments.buildSeedIndex(seg);
+#else
+        const SeedIndex index =
+            _cfg.snapshot != nullptr ? _cfg.snapshot->segmentView(seg)
+                                     : _segments.buildSeedIndex(seg);
+#endif
 
         Cycle lane_cycles_before = 0;
         for (auto &ws : st.shards) {

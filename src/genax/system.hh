@@ -34,6 +34,8 @@
 
 namespace genax {
 
+class IndexSnapshot;
+
 /** GenAx architecture parameters (defaults per Figure 11). */
 struct GenAxConfig
 {
@@ -67,6 +69,19 @@ struct GenAxConfig
      * replay are identical at any width (see DESIGN.md).
      */
     unsigned threads = 1;
+    /**
+     * Optional opened index snapshot (seed/index_snapshot.hh); must
+     * outlive the system. When set, each segment's seeding index is
+     * a zero-copy view over the snapshot's on-disk tables instead of
+     * a per-batch rebuild — a host-speed knob only: mappings, SAM
+     * bytes and the modelled perf report are identical either way.
+     * The snapshot's fingerprint and segmentation must match this
+     * config and reference exactly (checked at construction). Under
+     * the dense-index oracle build the snapshot is ignored and
+     * indexes are rebuilt — output is identical by the SeedIndex
+     * equivalence.
+     */
+    const IndexSnapshot *snapshot = nullptr;
 };
 
 /** Aggregate performance/energy report from one alignAll() pass. */

@@ -187,12 +187,14 @@ readFastaFile(const std::string &path, const ReaderOptions &opts,
         .withContext("FASTA file '" + path + "'");
 }
 
-void
+Status
 writeFasta(std::ostream &out, const std::vector<FastaRecord> &recs,
            size_t line_width)
 {
     GENAX_ASSERT(line_width > 0, "FASTA line width must be positive");
     for (const auto &rec : recs) {
+        if (faultFires(fault::kStoreEnospc)) [[unlikely]]
+            out.setstate(std::ios::failbit);
         out << '>' << rec.name << '\n';
         for (size_t i = 0; i < rec.seq.size(); i += line_width) {
             const size_t n = std::min(line_width, rec.seq.size() - i);
@@ -200,7 +202,15 @@ writeFasta(std::ostream &out, const std::vector<FastaRecord> &recs,
                 out << baseToChar(rec.seq[i + j]);
             out << '\n';
         }
+        if (!out)
+            return ioError(
+                "failed writing FASTA record '" + rec.name +
+                "' (device full or write error)");
     }
+    out.flush();
+    if (!out)
+        return ioError("failed flushing FASTA output");
+    return okStatus();
 }
 
 } // namespace genax

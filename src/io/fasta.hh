@@ -94,9 +94,12 @@ StatusOr<std::vector<FastaRecord>>
 readFastaFile(const std::string &path, const ReaderOptions &opts = {},
               ReaderStats *stats = nullptr);
 
-/** Write records to a FASTA stream with the given line width. */
-void writeFasta(std::ostream &out, const std::vector<FastaRecord> &recs,
-                size_t line_width = 70);
+/** Write records to a FASTA stream with the given line width.
+ *  IoError when the stream goes bad (ENOSPC/EIO; the io.store.enospc
+ *  fault site fires here in tests). */
+Status writeFasta(std::ostream &out,
+                  const std::vector<FastaRecord> &recs,
+                  size_t line_width = 70);
 
 } // namespace genax
 

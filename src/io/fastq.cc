@@ -215,15 +215,25 @@ readFastqFile(const std::string &path, const ReaderOptions &opts,
         .withContext("FASTQ file '" + path + "'");
 }
 
-void
+Status
 writeFastq(std::ostream &out, const std::vector<FastqRecord> &recs)
 {
     for (const auto &rec : recs) {
+        if (faultFires(fault::kStoreEnospc)) [[unlikely]]
+            out.setstate(std::ios::failbit);
         out << '@' << rec.name << '\n' << decode(rec.seq) << "\n+\n";
         for (u8 q : rec.qual)
             out << static_cast<char>(q + 33);
         out << '\n';
+        if (!out)
+            return ioError(
+                "failed writing FASTQ record '" + rec.name +
+                "' (device full or write error)");
     }
+    out.flush();
+    if (!out)
+        return ioError("failed flushing FASTQ output");
+    return okStatus();
 }
 
 } // namespace genax

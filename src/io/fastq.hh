@@ -94,8 +94,11 @@ StatusOr<std::vector<FastqRecord>>
 readFastqFile(const std::string &path, const ReaderOptions &opts = {},
               ReaderStats *stats = nullptr);
 
-/** Write records to a FASTQ stream (Phred+33). */
-void writeFastq(std::ostream &out, const std::vector<FastqRecord> &recs);
+/** Write records to a FASTQ stream (Phred+33). IoError when the
+ *  stream goes bad (ENOSPC/EIO; the io.store.enospc fault site fires
+ *  here in tests). */
+Status writeFastq(std::ostream &out,
+                  const std::vector<FastqRecord> &recs);
 
 } // namespace genax
 

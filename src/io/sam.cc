@@ -92,8 +92,11 @@ SamWriter::write(const SamRecord &rec)
 {
     // An injected write fault models a failed device write; it
     // surfaces exactly like a real one, through the stream state the
-    // caller must check after writing.
-    if (faultFires(fault::kSamWrite)) [[unlikely]]
+    // caller must check after writing. The shared io.store.enospc
+    // site fires here too, so one armed plan proves a full disk is
+    // surfaced on the SAM path as well as the snapshot path.
+    if (faultFires(fault::kSamWrite) ||
+        faultFires(fault::kStoreEnospc)) [[unlikely]]
         _out.setstate(std::ios::failbit);
     // Build the record in a reused buffer and emit it with a single
     // stream write: formatting through operator<< per field was a

@@ -2,10 +2,21 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstddef>
+#include <type_traits>
 
 #include "common/check.hh"
 
 namespace genax {
+
+// The entry array is serialized into (and aliased out of) on-disk
+// snapshots verbatim; any layout drift silently invalidates every
+// existing snapshot, so pin it at compile time.
+static_assert(sizeof(FlatKmerIndex::Entry) == 16);
+static_assert(std::is_trivially_copyable_v<FlatKmerIndex::Entry>);
+static_assert(offsetof(FlatKmerIndex::Entry, key) == 0);
+static_assert(offsetof(FlatKmerIndex::Entry, offset) == 8);
+static_assert(offsetof(FlatKmerIndex::Entry, count) == 12);
 
 FlatKmerIndex::FlatKmerIndex(const Seq &ref, u32 k)
     : _k(k), _segLen(ref.size())
@@ -15,6 +26,7 @@ FlatKmerIndex::FlatKmerIndex(const Seq &ref, u32 k)
         // Even the empty table needs one probe-able slot.
         _table.assign(2, Entry{});
         _mask = 1;
+        bindOwned();
         return;
     }
     const u64 kmers = ref.size() - k + 1;
@@ -93,6 +105,61 @@ FlatKmerIndex::FlatKmerIndex(const Seq &ref, u32 k)
         if (p + 1 < kmers)
             key = roll(key, p + k);
     }
+    bindOwned();
+}
+
+FlatKmerIndex::FlatKmerIndex(const FlatKmerIndex &other)
+    : _k(other._k), _segLen(other._segLen), _maxHits(other._maxHits),
+      _distinct(other._distinct), _mask(other._mask),
+      _table(other._table), _positions(other._positions),
+      _tablePtr(other._tablePtr), _slots(other._slots),
+      _posPtr(other._posPtr), _posCount(other._posCount)
+{
+    if (!other.borrowed())
+        bindOwned();
+}
+
+FlatKmerIndex &
+FlatKmerIndex::operator=(const FlatKmerIndex &other)
+{
+    if (this != &other) {
+        _k = other._k;
+        _segLen = other._segLen;
+        _maxHits = other._maxHits;
+        _distinct = other._distinct;
+        _mask = other._mask;
+        _table = other._table;
+        _positions = other._positions;
+        _tablePtr = other._tablePtr;
+        _slots = other._slots;
+        _posPtr = other._posPtr;
+        _posCount = other._posCount;
+        if (!other.borrowed())
+            bindOwned();
+    }
+    return *this;
+}
+
+FlatKmerIndex
+FlatKmerIndex::view(std::span<const Entry> table,
+                    std::span<const u32> positions, u32 k, u64 seg_len,
+                    u32 max_hits, u64 distinct)
+{
+    GENAX_CHECK(k >= 1 && k <= 13, "k out of supported range: ", k);
+    GENAX_CHECK(table.size() >= 2 && std::has_single_bit(table.size()),
+                "view table size must be a power of two >= 2, got ",
+                table.size());
+    FlatKmerIndex idx;
+    idx._k = k;
+    idx._segLen = seg_len;
+    idx._maxHits = max_hits;
+    idx._distinct = distinct;
+    idx._mask = table.size() - 1;
+    idx._tablePtr = table.data();
+    idx._slots = table.size();
+    idx._posPtr = positions.data();
+    idx._posCount = positions.size();
+    return idx;
 }
 
 } // namespace genax

@@ -32,12 +32,23 @@
 #define GENAX_SEED_FLAT_KMER_INDEX_HH
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/dna.hh"
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace genax {
+
+struct IndexFingerprint;
+class FlatKmerIndexMapping;
+
+/** Additive constant of the splitmix64 slot hash. Serialized into
+ *  snapshot fingerprints: a snapshot built with a different hash
+ *  stream can never be probed by this build's lookup(), so the
+ *  constant is part of the format identity. */
+inline constexpr u64 kFlatIndexHashSeed = 0x9e3779b97f4a7c15ULL;
 
 /** Open-addressing k-mer index for one reference segment. */
 class FlatKmerIndex
@@ -51,7 +62,9 @@ class FlatKmerIndex
      */
     FlatKmerIndex(const Seq &ref, u32 k);
 
-    /** One occupied table slot: a key's postings extent. */
+    /** One occupied table slot: a key's postings extent. The layout
+     *  is serialized verbatim into index snapshots — POD, 16 bytes,
+     *  no implicit padding (static_asserts in flat_kmer_index.cc). */
     struct Entry
     {
         u64 key = kEmptyKey;
@@ -59,15 +72,56 @@ class FlatKmerIndex
         u32 count = 0;
     };
 
+    /**
+     * Non-owning view over externally held storage — the zero-copy
+     * path for mmap'ed index snapshots (src/seed/index_snapshot.hh).
+     * The caller guarantees the spans outlive the view, that `table`
+     * is a power-of-two open-addressing table laid out exactly as
+     * the building constructor produces, and that every occupied
+     * entry's postings extent lies inside `positions` (the snapshot
+     * loader validates all of this once at open, after the checksum
+     * walk).
+     */
+    static FlatKmerIndex view(std::span<const Entry> table,
+                              std::span<const u32> positions, u32 k,
+                              u64 seg_len, u32 max_hits, u64 distinct);
+
+    /** True when this index borrows its storage (a snapshot view)
+     *  rather than owning it. */
+    bool borrowed() const { return _tablePtr != _table.data(); }
+
+    // Deep copies re-point at the copied vectors; a copied *view*
+    // stays a view over the same external storage. Moves transfer
+    // vector buffers, so all spans and pointers stay valid.
+    FlatKmerIndex(const FlatKmerIndex &other);
+    FlatKmerIndex &operator=(const FlatKmerIndex &other);
+    FlatKmerIndex(FlatKmerIndex &&other) noexcept = default;
+    FlatKmerIndex &operator=(FlatKmerIndex &&other) noexcept = default;
+    ~FlatKmerIndex() = default;
+
+    /** The raw slot array (occupied and empty), for serialization. */
+    std::span<const Entry>
+    tableSpan() const
+    {
+        return {_tablePtr, _slots};
+    }
+
+    /** The contiguous postings array, for serialization. */
+    std::span<const u32>
+    positionsSpan() const
+    {
+        return {_posPtr, _posCount};
+    }
+
     /** Sorted occurrence positions of a packed k-mer. */
     std::span<const u32>
     lookup(u64 kmer) const
     {
         u64 slot = slotOf(kmer);
         for (;;) {
-            const Entry &e = _table[slot];
+            const Entry &e = _tablePtr[slot];
             if (e.key == kmer)
-                return {_positions.data() + e.offset, e.count};
+                return {_posPtr + e.offset, e.count};
             if (e.key == kEmptyKey)
                 return {};
             slot = (slot + 1) & _mask;
@@ -81,7 +135,7 @@ class FlatKmerIndex
     {
         u64 slot = slotOf(kmer);
         for (;;) {
-            const Entry &e = _table[slot];
+            const Entry &e = _tablePtr[slot];
             if (e.key == kmer)
                 return e.count;
             if (e.key == kEmptyKey)
@@ -95,7 +149,7 @@ class FlatKmerIndex
     lookupPrefetch(u64 kmer) const
     {
 #if defined(__GNUC__) || defined(__clang__)
-        __builtin_prefetch(&_table[slotOf(kmer)], 0, 1);
+        __builtin_prefetch(&_tablePtr[slotOf(kmer)], 0, 1);
 #else
         (void)kmer;
 #endif
@@ -130,7 +184,7 @@ class FlatKmerIndex
     u64
     positionTableBytes() const
     {
-        return _positions.size() * kEntryBytes;
+        return _posCount * kEntryBytes;
     }
 
     /** Largest hit-list size in this segment (CAM sizing input). */
@@ -140,12 +194,12 @@ class FlatKmerIndex
     u64 distinctKmers() const { return _distinct; }
 
     /** Actual host memory footprint (table + postings), for the
-     *  layout microbenches. */
+     *  layout microbenches. A borrowed view reports the bytes it
+     *  aliases, not bytes it malloc'd. */
     u64
     hostBytes() const
     {
-        return _table.size() * sizeof(Entry) +
-               _positions.size() * sizeof(u32);
+        return _slots * sizeof(Entry) + _posCount * sizeof(u32);
     }
 
     /** Table entries examined by lookup(kmer) — the probe-chain
@@ -156,36 +210,85 @@ class FlatKmerIndex
     {
         u64 slot = slotOf(kmer);
         u32 probes = 1;
-        while (_table[slot].key != kmer &&
-               _table[slot].key != kEmptyKey) {
+        while (_tablePtr[slot].key != kmer &&
+               _tablePtr[slot].key != kEmptyKey) {
             slot = (slot + 1) & _mask;
             ++probes;
         }
         return probes;
     }
 
-  private:
     static constexpr u64 kEmptyKey = ~u64{0};
+
+    // ----- on-disk snapshots (defined in seed/index_snapshot.cc) ---
+
+    /**
+     * Write this index as a single-index store snapshot (kind
+     * "FKXIDX") through the atomic-write path. `fp` is the build
+     * fingerprint (k, hash seed, reference length/checksum) stamped
+     * into the file; fp.k must equal k().
+     */
+    Status save(const std::string &path,
+                const IndexFingerprint &fp) const;
+
+    /**
+     * Load a snapshot into an owning index (full copy, no mmap
+     * lifetime to manage). When `expect` is non-null the stored
+     * fingerprint must match it exactly.
+     */
+    static StatusOr<FlatKmerIndex>
+    load(const std::string &path,
+         const IndexFingerprint *expect = nullptr);
+
+    /**
+     * Open a snapshot zero-copy: the returned mapping owns the file
+     * bytes (mmap preferred, owned read on mmap failure) and exposes
+     * a borrowed FlatKmerIndex view over them.
+     */
+    static StatusOr<FlatKmerIndexMapping>
+    mapView(const std::string &path,
+            const IndexFingerprint *expect = nullptr);
+
+  private:
+    friend class FlatKmerIndexMapping;
+    FlatKmerIndex() = default; //!< storage bound by view()
+
+    /** Point the lookup pointers at the owning vectors (after a
+     *  build or a deep copy). */
+    void
+    bindOwned()
+    {
+        _tablePtr = _table.data();
+        _slots = _table.size();
+        _posPtr = _positions.data();
+        _posCount = _positions.size();
+    }
 
     u64
     slotOf(u64 key) const
     {
         // splitmix64 finalizer: packed k-mers differ in low bits only
         // for near-identical sequence, so mix before masking.
-        u64 h = key + 0x9e3779b97f4a7c15ULL;
+        u64 h = key + kFlatIndexHashSeed;
         h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
         h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
         return (h ^ (h >> 31)) & _mask;
     }
 
-    u32 _k;
-    u64 _segLen;
+    u32 _k = 0;
+    u64 _segLen = 0;
     u32 _maxHits = 0;
     u64 _distinct = 0;
     u64 _mask = 0;
     std::vector<Entry> _table;
     std::vector<u32> _positions; //!< contiguous postings, per-key
                                  //!< extents in ascending order
+    // All accessors go through these; they alias the vectors above
+    // when owning, or external snapshot storage when borrowed.
+    const Entry *_tablePtr = nullptr;
+    u64 _slots = 0;
+    const u32 *_posPtr = nullptr;
+    u64 _posCount = 0;
 };
 
 } // namespace genax

@@ -1,0 +1,472 @@
+#include "seed/index_snapshot.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.hh"
+
+namespace genax {
+
+namespace {
+
+constexpr std::string_view kFlatIndexKind = "FKXIDX";
+constexpr u32 kFlatIndexKindVersion = 1;
+constexpr std::string_view kSnapshotKind = "GXSNAP";
+constexpr u32 kSnapshotKindVersion = 1;
+
+/** Contig names longer than this are rejected as corrupt. */
+constexpr u64 kMaxContigName = u64{1} << 16;
+
+/** "meta" section of a single-index ("FKXIDX") snapshot. */
+struct FlatIndexMeta
+{
+    IndexFingerprint fp;
+    u64 segLen;
+    u64 slots;
+    u64 positions;
+    u64 distinct;
+    u32 maxHits;
+    u32 pad;
+};
+static_assert(sizeof(FlatIndexMeta) == 72);
+static_assert(std::is_trivially_copyable_v<FlatIndexMeta>);
+
+/** "meta" section of a whole-reference ("GXSNAP") snapshot. */
+struct SnapshotMeta
+{
+    IndexFingerprint fp;
+    u64 segmentCount;
+    u64 segmentOverlap;
+    u64 contigCount;
+};
+static_assert(sizeof(SnapshotMeta) == 56);
+static_assert(std::is_trivially_copyable_v<SnapshotMeta>);
+
+/** One element of the "segs" section: segment geometry plus the
+ *  shape of its index tables. */
+struct SegMeta
+{
+    u64 start;
+    u64 length;
+    u64 slots;
+    u64 positions;
+    u64 distinct;
+    u32 maxHits;
+    u32 pad;
+};
+static_assert(sizeof(SegMeta) == 48);
+static_assert(std::is_trivially_copyable_v<SegMeta>);
+
+Status
+snapshotError(const std::string &path, const std::string &what)
+{
+    return invalidInputError("snapshot " + path + ": " + what);
+}
+
+/**
+ * Structural validation of an index table against its postings
+ * array: the store checksums already rule out on-disk corruption, so
+ * this is defense-in-depth against writer bugs and version skew —
+ * everything lookup() would otherwise trust blindly.
+ */
+Status
+validateTable(const std::string &path, const std::string &what,
+              std::span<const FlatKmerIndex::Entry> table,
+              u64 positions, u64 distinct, u32 max_hits)
+{
+    if (table.size() < 2 || !std::has_single_bit(table.size()))
+        return snapshotError(
+            path, what + ": table size " +
+                      std::to_string(table.size()) +
+                      " is not a power of two >= 2");
+    u64 occupied = 0;
+    for (const FlatKmerIndex::Entry &e : table) {
+        if (e.key == FlatKmerIndex::kEmptyKey)
+            continue;
+        ++occupied;
+        if (u64{e.offset} + e.count > positions)
+            return snapshotError(
+                path, what + ": postings extent out of bounds");
+        if (e.count > max_hits)
+            return snapshotError(
+                path, what + ": entry count exceeds maxHits");
+    }
+    if (occupied != distinct)
+        return snapshotError(
+            path, what + ": occupied slots " +
+                      std::to_string(occupied) +
+                      " != recorded distinct count " +
+                      std::to_string(distinct));
+    return okStatus();
+}
+
+Status
+validateFingerprintShape(const std::string &path,
+                         const IndexFingerprint &fp)
+{
+    if (fp.k < 1 || fp.k > 13)
+        return snapshotError(path, "fingerprint k " +
+                                       std::to_string(fp.k) +
+                                       " out of supported range");
+    if (fp.hashSeed != kFlatIndexHashSeed)
+        return snapshotError(
+            path,
+            "built with a different slot-hash seed (incompatible)");
+    return okStatus();
+}
+
+void
+appendLe64(std::vector<u8> &out, u64 v)
+{
+    const size_t at = out.size();
+    out.resize(at + 8);
+    std::memcpy(out.data() + at, &v, 8);
+}
+
+} // namespace
+
+// ------------------------------------------------------------------
+// Fingerprint
+
+IndexFingerprint
+referenceFingerprint(const Seq &ref, u32 k)
+{
+    IndexFingerprint fp;
+    fp.k = k;
+    fp.refLength = ref.size();
+    fp.refChecksum = storeChecksum(ref.data(), ref.size());
+    return fp;
+}
+
+Status
+checkFingerprint(const IndexFingerprint &got,
+                 const IndexFingerprint &want)
+{
+    const auto fail = [](const char *field, u64 g, u64 w) {
+        return failedPreconditionError(
+            std::string("index fingerprint mismatch: ") + field +
+            " is " + std::to_string(g) + ", expected " +
+            std::to_string(w) +
+            " (snapshot built from a different reference or "
+            "configuration)");
+    };
+    if (got.k != want.k)
+        return fail("k", got.k, want.k);
+    if (got.hashSeed != want.hashSeed)
+        return fail("hashSeed", got.hashSeed, want.hashSeed);
+    if (got.refLength != want.refLength)
+        return fail("refLength", got.refLength, want.refLength);
+    if (got.refChecksum != want.refChecksum)
+        return fail("refChecksum", got.refChecksum, want.refChecksum);
+    return okStatus();
+}
+
+// ------------------------------------------------------------------
+// Single-index snapshots
+
+namespace {
+
+/** Everything parsed out of an opened "FKXIDX" store; the spans
+ *  alias the store's bytes. */
+struct ParsedFlatIndex
+{
+    FlatIndexMeta meta;
+    std::span<const FlatKmerIndex::Entry> table;
+    std::span<const u32> positions;
+};
+
+StatusOr<ParsedFlatIndex>
+parseFlatIndex(const StoreFile &store)
+{
+    ParsedFlatIndex out;
+    GENAX_TRY_ASSIGN(const std::span<const FlatIndexMeta> metas,
+                     store.sectionAs<FlatIndexMeta>("meta"));
+    if (metas.size() != 1)
+        return snapshotError(store.path(), "malformed meta section");
+    out.meta = metas[0];
+    GENAX_TRY(validateFingerprintShape(store.path(), out.meta.fp));
+    GENAX_TRY_ASSIGN(out.table,
+                     store.sectionAs<FlatKmerIndex::Entry>("table"));
+    GENAX_TRY_ASSIGN(out.positions,
+                     store.sectionAs<u32>("postings"));
+    if (out.table.size() != out.meta.slots)
+        return snapshotError(store.path(),
+                             "table section does not match the "
+                             "recorded slot count");
+    if (out.positions.size() != out.meta.positions)
+        return snapshotError(store.path(),
+                             "postings section does not match the "
+                             "recorded position count");
+    GENAX_TRY(validateTable(store.path(), "index", out.table,
+                            out.positions.size(), out.meta.distinct,
+                            out.meta.maxHits));
+    return out;
+}
+
+} // namespace
+
+Status
+FlatKmerIndex::save(const std::string &path,
+                    const IndexFingerprint &fp) const
+{
+    GENAX_CHECK(fp.k == _k, "fingerprint k ", fp.k,
+                " does not match index k ", _k);
+    GENAX_CHECK(fp.hashSeed == kFlatIndexHashSeed,
+                "fingerprint hash seed is not this build's seed");
+    FlatIndexMeta meta{};
+    meta.fp = fp;
+    meta.segLen = _segLen;
+    meta.slots = _slots;
+    meta.positions = _posCount;
+    meta.distinct = _distinct;
+    meta.maxHits = _maxHits;
+    StoreWriter w(kFlatIndexKind, kFlatIndexKindVersion);
+    w.addSection("meta", &meta, sizeof(meta));
+    w.addSection("table", _tablePtr, _slots * sizeof(Entry));
+    w.addSection("postings", _posPtr, _posCount * sizeof(u32));
+    return w.writeFile(path);
+}
+
+StatusOr<FlatKmerIndex>
+FlatKmerIndex::load(const std::string &path,
+                    const IndexFingerprint *expect)
+{
+    GENAX_TRY_ASSIGN(
+        const StoreFile store,
+        StoreFile::open(path, kFlatIndexKind, /*prefer_mmap=*/false));
+    GENAX_TRY_ASSIGN(const ParsedFlatIndex p, parseFlatIndex(store));
+    if (expect != nullptr)
+        GENAX_TRY(checkFingerprint(p.meta.fp, *expect)
+                      .withContext("snapshot " + path));
+    FlatKmerIndex idx;
+    idx._k = p.meta.fp.k;
+    idx._segLen = p.meta.segLen;
+    idx._maxHits = p.meta.maxHits;
+    idx._distinct = p.meta.distinct;
+    idx._mask = p.table.size() - 1;
+    idx._table.assign(p.table.begin(), p.table.end());
+    idx._positions.assign(p.positions.begin(), p.positions.end());
+    idx.bindOwned();
+    return idx;
+}
+
+StatusOr<FlatKmerIndexMapping>
+FlatKmerIndex::mapView(const std::string &path,
+                       const IndexFingerprint *expect)
+{
+    GENAX_TRY_ASSIGN(
+        StoreFile store,
+        StoreFile::open(path, kFlatIndexKind, /*prefer_mmap=*/true));
+    GENAX_TRY_ASSIGN(const ParsedFlatIndex p, parseFlatIndex(store));
+    if (expect != nullptr)
+        GENAX_TRY(checkFingerprint(p.meta.fp, *expect)
+                      .withContext("snapshot " + path));
+    FlatKmerIndexMapping m;
+    // The spans stay valid across the move: both the mapping and the
+    // owned buffer keep their addresses.
+    m._store = std::move(store);
+    m._fp = p.meta.fp;
+    m._view = FlatKmerIndex::view(p.table, p.positions, p.meta.fp.k,
+                                  p.meta.segLen, p.meta.maxHits,
+                                  p.meta.distinct);
+    return m;
+}
+
+// ------------------------------------------------------------------
+// Whole-reference snapshots
+
+Status
+IndexSnapshot::build(const std::string &path, const Seq &ref,
+                     const std::vector<SnapshotContig> &contigs,
+                     const SegmentConfig &cfg)
+{
+    GENAX_CHECK(cfg.k >= 1 && cfg.k <= 13,
+                "k out of supported range: ", cfg.k);
+    GENAX_CHECK(cfg.segmentCount >= 1 &&
+                    cfg.segmentCount <= 100000,
+                "implausible segment count: ", cfg.segmentCount);
+    for (const SnapshotContig &c : contigs) {
+        GENAX_CHECK(!c.name.empty() &&
+                        c.name.size() <= kMaxContigName,
+                    "bad contig name length: ", c.name.size());
+        GENAX_CHECK(c.start <= ref.size() &&
+                        c.length <= ref.size() - c.start,
+                    "contig '", c.name,
+                    "' extends past the reference");
+    }
+
+    const GenomeSegments segs(ref, cfg);
+    SnapshotMeta meta{};
+    meta.fp = referenceFingerprint(ref, cfg.k);
+    meta.segmentCount = segs.count();
+    meta.segmentOverlap = cfg.overlap;
+    meta.contigCount = contigs.size();
+
+    // Contig blob: per contig {u64 start, u64 length, u64 nameLen,
+    // name bytes}, unpadded and parsed with bounds-checked memcpy.
+    std::vector<u8> blob;
+    for (const SnapshotContig &c : contigs) {
+        appendLe64(blob, c.start);
+        appendLe64(blob, c.length);
+        appendLe64(blob, c.name.size());
+        blob.insert(blob.end(), c.name.begin(), c.name.end());
+    }
+
+    // Build every per-segment index up front so the store is written
+    // in one atomic pass (peak memory is O(reference) — see the
+    // class comment).
+    std::vector<FlatKmerIndex> built;
+    built.reserve(segs.count());
+    std::vector<SegMeta> segmeta(segs.count());
+    for (u64 i = 0; i < segs.count(); ++i) {
+        const Seq bases = segs.bases(i);
+        built.emplace_back(bases, cfg.k);
+        const FlatKmerIndex &idx = built.back();
+        SegMeta &m = segmeta[i];
+        m = SegMeta{};
+        m.start = segs.start(i);
+        m.length = segs.length(i);
+        m.slots = idx.tableSpan().size();
+        m.positions = idx.positionsSpan().size();
+        m.distinct = idx.distinctKmers();
+        m.maxHits = idx.maxHitListSize();
+    }
+
+    StoreWriter w(kSnapshotKind, kSnapshotKindVersion);
+    w.addSection("meta", &meta, sizeof(meta));
+    w.addSection("contigs", blob.data(), blob.size());
+    w.addSection("ref", ref.data(), ref.size());
+    w.addSection("segs", segmeta.data(),
+                 segmeta.size() * sizeof(SegMeta));
+    for (u64 i = 0; i < segs.count(); ++i) {
+        const std::string tag = "seg" + std::to_string(i);
+        const auto table = built[i].tableSpan();
+        const auto pos = built[i].positionsSpan();
+        w.addSection(tag + ".tab", table.data(),
+                     table.size_bytes());
+        w.addSection(tag + ".pos", pos.data(), pos.size_bytes());
+    }
+    return w.writeFile(path);
+}
+
+StatusOr<IndexSnapshot>
+IndexSnapshot::open(const std::string &path, bool prefer_mmap)
+{
+    IndexSnapshot snap;
+    GENAX_TRY_ASSIGN(snap._store, StoreFile::open(path, kSnapshotKind,
+                                                  prefer_mmap));
+    const StoreFile &store = snap._store;
+
+    GENAX_TRY_ASSIGN(const std::span<const SnapshotMeta> metas,
+                     store.sectionAs<SnapshotMeta>("meta"));
+    if (metas.size() != 1)
+        return snapshotError(path, "malformed meta section");
+    const SnapshotMeta meta = metas[0];
+    GENAX_TRY(validateFingerprintShape(path, meta.fp));
+    snap._fp = meta.fp;
+    snap._segmentOverlap = meta.segmentOverlap;
+
+    GENAX_TRY_ASSIGN(snap._ref, store.section("ref"));
+    if (snap._ref.size() != meta.fp.refLength)
+        return snapshotError(
+            path, "reference section is " +
+                      std::to_string(snap._ref.size()) +
+                      " bytes but the fingerprint says " +
+                      std::to_string(meta.fp.refLength));
+    if (storeChecksum(snap._ref.data(), snap._ref.size()) !=
+        meta.fp.refChecksum)
+        return snapshotError(
+            path, "reference bytes do not match the fingerprint");
+
+    // Contig blob.
+    GENAX_TRY_ASSIGN(const std::span<const u8> blob,
+                     store.section("contigs"));
+    size_t at = 0;
+    for (u64 i = 0; i < meta.contigCount; ++i) {
+        if (blob.size() - at < 24)
+            return snapshotError(path, "truncated contig table");
+        u64 start, length, name_len;
+        std::memcpy(&start, blob.data() + at, 8);
+        std::memcpy(&length, blob.data() + at + 8, 8);
+        std::memcpy(&name_len, blob.data() + at + 16, 8);
+        at += 24;
+        if (name_len == 0 || name_len > kMaxContigName ||
+            name_len > blob.size() - at)
+            return snapshotError(path, "malformed contig name");
+        if (start > meta.fp.refLength ||
+            length > meta.fp.refLength - start)
+            return snapshotError(
+                path, "contig extends past the reference");
+        SnapshotContig c;
+        c.name.assign(
+            reinterpret_cast<const char *>(blob.data() + at),
+            name_len);
+        c.start = start;
+        c.length = length;
+        at += name_len;
+        snap._contigs.push_back(std::move(c));
+    }
+    if (at != blob.size())
+        return snapshotError(path,
+                             "trailing bytes after the contig table");
+
+    // Segment geometry and per-segment tables.
+    GENAX_TRY_ASSIGN(const std::span<const SegMeta> segmeta,
+                     store.sectionAs<SegMeta>("segs"));
+    if (segmeta.size() != meta.segmentCount ||
+        segmeta.empty())
+        return snapshotError(
+            path, "segment table does not match the recorded "
+                  "segment count");
+    snap._segs.reserve(segmeta.size());
+    for (u64 i = 0; i < segmeta.size(); ++i) {
+        const SegMeta &m = segmeta[i];
+        const std::string what = "segment " + std::to_string(i);
+        if (m.start > meta.fp.refLength ||
+            m.length > meta.fp.refLength - m.start)
+            return snapshotError(
+                path, what + " extends past the reference");
+        const std::string tag = "seg" + std::to_string(i);
+        SegRef s;
+        s.start = m.start;
+        s.length = m.length;
+        s.maxHits = m.maxHits;
+        s.distinct = m.distinct;
+        GENAX_TRY_ASSIGN(
+            s.table,
+            store.sectionAs<FlatKmerIndex::Entry>(tag + ".tab"));
+        GENAX_TRY_ASSIGN(s.positions,
+                         store.sectionAs<u32>(tag + ".pos"));
+        if (s.table.size() != m.slots)
+            return snapshotError(
+                path, what + ": table section does not match the "
+                             "recorded slot count");
+        if (s.positions.size() != m.positions)
+            return snapshotError(
+                path, what + ": postings section does not match "
+                             "the recorded position count");
+        GENAX_TRY(validateTable(path, what, s.table,
+                                s.positions.size(), s.distinct,
+                                s.maxHits));
+        snap._segs.push_back(s);
+    }
+    return snap;
+}
+
+Seq
+IndexSnapshot::referenceSequence() const
+{
+    return Seq(_ref.begin(), _ref.end());
+}
+
+FlatKmerIndex
+IndexSnapshot::segmentView(u64 i) const
+{
+    GENAX_CHECK(i < _segs.size(), "segment index out of range: ", i,
+                " of ", _segs.size());
+    const SegRef &s = _segs[i];
+    return FlatKmerIndex::view(s.table, s.positions, _fp.k, s.length,
+                               s.maxHits, s.distinct);
+}
+
+} // namespace genax

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * On-disk index snapshots over the crash-safe store container
+ * (io/store.hh).
+ *
+ * Two store kinds live here:
+ *
+ *  - "FKXIDX": one FlatKmerIndex (table + postings + metadata). The
+ *    member functions FlatKmerIndex::{save, load, mapView} declared
+ *    in flat_kmer_index.hh are defined in index_snapshot.cc.
+ *
+ *  - "GXSNAP": a whole-reference snapshot — the concatenated
+ *    reference bases, the contig map, the segmentation geometry and
+ *    one FlatKmerIndex per segment. genax_index --format flat writes
+ *    one; genax_align --index mmaps it and aligns without rebuilding
+ *    any per-segment index.
+ *
+ * Every snapshot embeds an IndexFingerprint (k, slot-hash seed,
+ * reference length and checksum). Loaders compare it against the
+ * reference the caller actually parsed, so a snapshot can never be
+ * applied to the wrong genome: a mismatch is a hard
+ * FailedPrecondition, distinct from corruption (InvalidInput from
+ * the checksum walk), which callers may treat as "rebuild from
+ * FASTA".
+ *
+ * Lifetime rule for zero-copy views: FlatKmerIndexMapping and
+ * IndexSnapshot own the backing bytes (mmap or owned read); every
+ * FlatKmerIndex view and span they hand out aliases those bytes and
+ * must not outlive the owner. Moving the owner keeps views valid;
+ * destroying it invalidates them.
+ */
+
+#ifndef GENAX_SEED_INDEX_SNAPSHOT_HH
+#define GENAX_SEED_INDEX_SNAPSHOT_HH
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/status.hh"
+#include "common/types.hh"
+#include "io/store.hh"
+#include "seed/flat_kmer_index.hh"
+#include "seed/segment.hh"
+
+namespace genax {
+
+// ------------------------------------------------------------------
+// Fingerprint
+
+/**
+ * Identity of an index build: a snapshot is only usable against the
+ * exact reference and parameters it was built from. Serialized
+ * verbatim into snapshot meta sections (32-byte little-endian POD).
+ */
+struct IndexFingerprint
+{
+    u32 k = 0;
+    u32 reserved = 0; //!< zero on disk
+    u64 hashSeed = kFlatIndexHashSeed;
+    u64 refLength = 0;
+    u64 refChecksum = 0; //!< storeChecksum over the raw base bytes
+};
+static_assert(sizeof(IndexFingerprint) == 32);
+static_assert(std::is_trivially_copyable_v<IndexFingerprint>);
+
+/** Fingerprint of a reference sequence at k-mer length k. */
+IndexFingerprint referenceFingerprint(const Seq &ref, u32 k);
+
+/** OK when `got` matches `want` field-for-field; FailedPrecondition
+ *  naming the first mismatching field otherwise. */
+Status checkFingerprint(const IndexFingerprint &got,
+                        const IndexFingerprint &want);
+
+// ------------------------------------------------------------------
+// Single-index snapshots ("FKXIDX")
+
+/**
+ * Owner of a mapped single-index snapshot: holds the store bytes and
+ * a borrowed FlatKmerIndex view over them (see the file comment's
+ * lifetime rule).
+ */
+class FlatKmerIndexMapping
+{
+  public:
+    const FlatKmerIndex &index() const { return *_view; }
+    const IndexFingerprint &fingerprint() const { return _fp; }
+
+    /** True on the zero-copy mmap path, false after the owned-read
+     *  fallback (io.store.mmap_fail). */
+    bool mapped() const { return _store.mapped(); }
+
+  private:
+    friend class FlatKmerIndex; // filled by FlatKmerIndex::mapView
+
+    FlatKmerIndexMapping() = default;
+
+    StoreFile _store;
+    IndexFingerprint _fp;
+    std::optional<FlatKmerIndex> _view;
+};
+
+// ------------------------------------------------------------------
+// Whole-reference snapshots ("GXSNAP")
+
+/** Contig descriptor inside a snapshot (mirrors ContigMap::Contig
+ *  without depending on the genax layer). */
+struct SnapshotContig
+{
+    std::string name;
+    u64 start = 0;  //!< concatenated-space start
+    u64 length = 0; //!< bases
+};
+
+/**
+ * A validated, opened whole-reference snapshot. All structural
+ * validation (geometry, table shapes, postings extents) happens at
+ * open(), after the store layer's checksum walk — segmentView() and
+ * the accessors are infallible afterwards.
+ */
+class IndexSnapshot
+{
+  public:
+    /**
+     * Build a snapshot of `ref` under `cfg` and write it atomically
+     * to `path`. Builds every per-segment FlatKmerIndex in memory
+     * first (O(reference) peak — acceptable for the modelled genome
+     * sizes; streaming section emission is a documented follow-up).
+     * `contigs` describe the concatenated layout for SAM headers.
+     */
+    static Status build(const std::string &path, const Seq &ref,
+                        const std::vector<SnapshotContig> &contigs,
+                        const SegmentConfig &cfg);
+
+    /** Open and fully validate a snapshot (mmap preferred; owned
+     *  read on mmap failure). Corruption is InvalidInput; OS trouble
+     *  is IoError. */
+    static StatusOr<IndexSnapshot> open(const std::string &path,
+                                        bool prefer_mmap = true);
+
+    const IndexFingerprint &fingerprint() const { return _fp; }
+    u32 k() const { return _fp.k; }
+    u64 referenceLength() const { return _fp.refLength; }
+    u64 segmentCount() const { return _segs.size(); }
+    u64 segmentOverlap() const { return _segmentOverlap; }
+    const std::vector<SnapshotContig> &contigs() const
+    {
+        return _contigs;
+    }
+    bool mapped() const { return _store.mapped(); }
+    const std::string &path() const { return _store.path(); }
+
+    /** Copy of the stored reference bases (2-bit codes, one per
+     *  byte — same encoding as Seq). */
+    Seq referenceSequence() const;
+
+    /** Global start / length (overlap included) of segment i. */
+    u64 segmentStart(u64 i) const { return _segs[i].start; }
+    u64 segmentLength(u64 i) const { return _segs[i].length; }
+
+    /** Borrowed FlatKmerIndex over segment i's on-disk tables —
+     *  cheap (no allocation), valid while this snapshot lives. */
+    FlatKmerIndex segmentView(u64 i) const;
+
+  private:
+    IndexSnapshot() = default;
+
+    struct SegRef
+    {
+        u64 start = 0;
+        u64 length = 0;
+        u32 maxHits = 0;
+        u64 distinct = 0;
+        std::span<const FlatKmerIndex::Entry> table;
+        std::span<const u32> positions;
+    };
+
+    StoreFile _store;
+    IndexFingerprint _fp;
+    u64 _segmentOverlap = 0;
+    std::vector<SnapshotContig> _contigs;
+    std::span<const u8> _ref;
+    std::vector<SegRef> _segs;
+};
+
+} // namespace genax
+
+#endif // GENAX_SEED_INDEX_SNAPSHOT_HH

@@ -4,8 +4,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.hh"
+#include "io/store.hh"
 
 namespace genax {
 
@@ -128,10 +130,17 @@ KmerIndex::load(std::istream &in)
 Status
 KmerIndex::saveFile(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        return ioErrorFromErrno("cannot open for writing", path);
-    return save(out).withContext("k-mer index '" + path + "'");
+    // Serialize into memory, then land the bytes through the atomic
+    // writer: a crash or full disk mid-save leaves the previous index
+    // intact (or no file), never a truncated one that load() would
+    // have to diagnose.
+    std::ostringstream buf(std::ios::binary);
+    GENAX_TRY(save(buf).withContext("k-mer index '" + path + "'"));
+    const std::string bytes = std::move(buf).str();
+    GENAX_TRY_ASSIGN(AtomicFileWriter writer,
+                     AtomicFileWriter::create(path));
+    GENAX_TRY(writer.append(bytes.data(), bytes.size()));
+    return writer.commit().withContext("k-mer index '" + path + "'");
 }
 
 StatusOr<KmerIndex>

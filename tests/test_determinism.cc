@@ -90,7 +90,7 @@ runOnce(const Workload &w, PipelineOptions::Engine engine,
     const auto res = [&]() -> StatusOr<PipelineResult> {
         if (batch_reads > 0) {
             std::ostringstream fastq;
-            writeFastq(fastq, w.reads);
+            GENAX_TRY(writeFastq(fastq, w.reads));
             std::istringstream in(fastq.str());
             FastqReader reader(in);
             return alignStreamToSam(w.ref, reader, sink, opts);

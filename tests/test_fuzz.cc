@@ -484,7 +484,7 @@ TEST(Chaos, StreamingPipelineMatchesLoadAllUnderFaultStorm)
     const auto opts = chaosOptions();
 
     std::ostringstream fastq_text;
-    writeFastq(fastq_text, w.reads);
+    ASSERT_TRUE(writeFastq(fastq_text, w.reads).ok());
     const std::string fastq = fastq_text.str();
 
     std::string base_sam;

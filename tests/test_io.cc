@@ -42,7 +42,7 @@ TEST(Fasta, RoundTrip)
     std::vector<FastaRecord> recs{{"a", encode("ACGTACGTACGT")},
                                   {"b", encode("TTT")}};
     std::ostringstream out;
-    writeFasta(out, recs, 5);
+    ASSERT_TRUE(writeFasta(out, recs, 5).ok());
     std::istringstream in(out.str());
     const auto back = readFasta(in);
     ASSERT_TRUE(back.ok());
@@ -167,7 +167,7 @@ TEST(Fastq, RoundTrip)
     std::vector<FastqRecord> recs{
         {"x", encode("ACGTA"), {30, 31, 32, 33, 34}}};
     std::ostringstream out;
-    writeFastq(out, recs);
+    ASSERT_TRUE(writeFastq(out, recs).ok());
     std::istringstream in(out.str());
     const auto back = readFastq(in);
     ASSERT_TRUE(back.ok());

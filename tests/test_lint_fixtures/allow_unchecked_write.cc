@@ -1,0 +1,14 @@
+// Fixture: a discarded write waived with a reason, plus the checked
+// patterns the rule must not flag.
+long checkedWrite(int fd, const void *p, unsigned long n);
+
+int
+save(int fd, const void *p, unsigned long n)
+{
+    // genax-lint: allow(unchecked-write): fixture exercising the suppression path
+    ::write(fd, p, n);
+    if (::write(fd, p, n) < 0)
+        return -1;
+    const long got = ::write(fd, p, n);
+    return got < 0 ? -1 : ::fsync(fd);
+}

@@ -5,5 +5,6 @@ int
 roll()
 {
     std::mt19937 gen(42);
-    return static_cast<int>(gen() & 0xff);
+    std::mt19937_64 wide(42); // distinct identifier, same rule
+    return static_cast<int>((gen() + wide()) & 0xff);
 }

@@ -1,0 +1,9 @@
+// Fixture: POSIX/stdio write results discarded in src/io/. Never
+// compiled, so no headers are needed.
+void
+flushAll(int fd, const void *p, unsigned long n, void *f)
+{
+    ::write(fd, p, n);
+    fwrite(p, 1, n, f);
+    (void)::fsync(fd);
+}

@@ -22,6 +22,7 @@ scope_for() {
     case "$1" in
         naked_new) echo "src/seed/fixture.cc" ;;
         raw_rng) echo "src/align/fixture.cc" ;;
+        unchecked_write) echo "src/io/fixture.cc" ;;
         *) echo "src/genax/fixture.cc" ;;
     esac
 }

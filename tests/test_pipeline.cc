@@ -156,7 +156,7 @@ TEST(Pipeline, FileRoundTrip)
     const auto ref = twoContigReference(30000, 20000, 123);
     {
         std::ofstream out(ref_path);
-        writeFasta(out, ref);
+        ASSERT_TRUE(writeFasta(out, ref).ok());
     }
     ContigMap map(ref);
     ReadSimConfig rs;
@@ -168,7 +168,7 @@ TEST(Pipeline, FileRoundTrip)
         for (const auto &r : sim)
             reads.push_back({r.name, r.seq, r.qual});
         std::ofstream out(reads_path);
-        writeFastq(out, reads);
+        ASSERT_TRUE(writeFastq(out, reads).ok());
     }
 
     PipelineOptions opts;
@@ -317,7 +317,7 @@ TEST(Pipeline, MalformedReadsAreSkippedAndLedgered)
     const auto ref = twoContigReference(30000, 20000, 42);
     {
         std::ofstream out(ref_path);
-        writeFasta(out, ref);
+        ASSERT_TRUE(writeFasta(out, ref).ok());
     }
     ContigMap map(ref);
     ReadSimConfig rs;
@@ -329,7 +329,7 @@ TEST(Pipeline, MalformedReadsAreSkippedAndLedgered)
         for (const auto &r : sim)
             reads.push_back({r.name, r.seq, r.qual});
         std::ofstream out(reads_path);
-        writeFastq(out, reads);
+        ASSERT_TRUE(writeFastq(out, reads).ok());
         // Append two malformed records: a quality-length mismatch and
         // a record truncated at EOF.
         out << "@mismatch\nACGTACGT\n+\nIII\n";

@@ -438,5 +438,77 @@ TEST(BatchBoundary, BudgetExhaustionFailsTheWholeBatch)
     EXPECT_EQ(second.status().code(), StatusCode::InvalidInput);
 }
 
+
+TEST(BatchBoundary, FastqTruncatedMidRecordAtRefill)
+{
+    // The stream dies mid-record (quality line missing) exactly when
+    // the second refill starts: the truncated tail must surface as
+    // one skipped-malformed record and a clean EOF, never as a
+    // half-parsed record or a hang.
+    const std::string text = "@a\nACGT\n+\nIIII\n"
+                             "@b\nTTTT\n+\nIIII\n"
+                             "@cut\nACGT\n+\n"; // EOF before quality
+    ReaderOptions opts;
+    opts.maxMalformed = 100;
+    std::istringstream in(text);
+    FastqReader reader(in, opts);
+    auto first = reader.nextBatch(2);
+    ASSERT_TRUE(first.ok());
+    ASSERT_EQ(first->size(), 2u);
+    auto second = reader.nextBatch(2);
+    ASSERT_TRUE(second.ok()) << second.status().str();
+    EXPECT_TRUE(second->empty());
+    EXPECT_EQ(reader.stats().records, 2u);
+    EXPECT_EQ(reader.stats().malformed, 1u);
+
+    // With a zero malformed budget the same truncation is an error
+    // on the refill that meets it, not a silent empty batch.
+    std::istringstream strict_in(text);
+    ReaderOptions strict;
+    strict.maxMalformed = 0;
+    FastqReader strict_reader(strict_in, strict);
+    auto ok_batch = strict_reader.nextBatch(2);
+    ASSERT_TRUE(ok_batch.ok());
+    ASSERT_EQ(ok_batch->size(), 2u);
+    auto bad_batch = strict_reader.nextBatch(2);
+    ASSERT_FALSE(bad_batch.ok());
+    EXPECT_EQ(bad_batch.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(BatchBoundary, FastaTruncatedHeaderAtRefill)
+{
+    // A FASTA that ends right after a header: the empty-sequence
+    // pseudo-record sits at the start of the second refill and must
+    // be counted exactly once across the batch boundary.
+    const std::string text = ">a\nACGT\nACGT\n"
+                             ">b\nTTTT\n"
+                             ">cut\n"; // EOF before any sequence
+    ReaderOptions opts;
+    opts.maxMalformed = 100;
+    std::istringstream in(text);
+    FastaReader reader(in, opts);
+    std::vector<FastaRecord> got;
+    for (;;) {
+        auto batch = reader.nextBatch(2);
+        ASSERT_TRUE(batch.ok()) << batch.status().str();
+        if (batch->empty())
+            break;
+        for (auto &rec : *batch)
+            got.push_back(std::move(rec));
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].name, "a");
+    EXPECT_EQ(got[1].name, "b");
+    EXPECT_EQ(reader.stats().malformed, 1u);
+    // Whole-file parse agrees with the batched parse on both the
+    // records kept and the malformed count.
+    std::istringstream whole(text);
+    ReaderStats whole_stats;
+    const auto all = readFasta(whole, opts, &whole_stats);
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(all->size(), got.size());
+    EXPECT_EQ(whole_stats.malformed, reader.stats().malformed);
+}
+
 } // namespace
 } // namespace genax

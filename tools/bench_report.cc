@@ -295,7 +295,8 @@ run(const BenchOptions &opt)
         const std::string out_sam = opt.out + ".rss_out.sam";
         {
             std::ofstream rf(ref_fa), qf(reads_fq);
-            writeFasta(rf, fasta);
+            GENAX_CHECK(writeFasta(rf, fasta).ok(),
+                        "failed writing RSS reference FASTA");
             // The load-all footprint scales with the read count; pad
             // the on-disk file until parsed-read storage dominates
             // the process baseline, or the comparison measures noise.
@@ -305,7 +306,8 @@ run(const BenchOptions &opt)
                  written += batch.size()) {
                 for (size_t i = 0; i < batch.size(); ++i)
                     batch[i].name = "m" + std::to_string(written + i);
-                writeFastq(qf, batch);
+                GENAX_CHECK(writeFastq(qf, batch).ok(),
+                            "failed writing RSS reads FASTQ");
             }
         }
         for (const u64 batch : {u64{64}, u64{0}}) {

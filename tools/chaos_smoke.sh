@@ -5,10 +5,12 @@
 # CI runs this under ASan+UBSan so every absorbed fault is also a
 # memory-safety probe. See DESIGN.md, "Error-handling policy".
 #
-# Usage: tools/chaos_smoke.sh path/to/genax_align
+# Usage: tools/chaos_smoke.sh path/to/genax_align [path/to/genax_index]
+# The snapshot-corruption leg runs only when genax_index is given.
 set -u
 
-bin="${1:?usage: chaos_smoke.sh path/to/genax_align}"
+bin="${1:?usage: chaos_smoke.sh path/to/genax_align [genax_index]}"
+index_bin="${2:-}"
 [[ -x "$bin" ]] || { echo "chaos-smoke: $bin not executable" >&2; exit 1; }
 
 tmp="$(mktemp -d)"
@@ -123,6 +125,48 @@ grep -q 'absent.fa' "$tmp/miss.log" ||
     err "missing-file diagnostic does not name the path"
 status=$(run "$tmp/help.log" --help)
 ((status == 0)) || err "--help: exit $status, want 0"
+
+# 5. Snapshot-corruption leg: build a flat index snapshot, corrupt
+#    it, and check both CLIs honour the contract — genax_index
+#    --verify exits 3 naming the damage, and genax_align --index
+#    degrades to rebuild-from-FASTA with byte-identical SAM and
+#    exit 1 (partial: the run completed but not as requested).
+if [[ -n "$index_bin" ]]; then
+    if [[ ! -x "$index_bin" ]]; then
+        err "$index_bin not executable"
+    else
+        "$index_bin" --ref "$tmp/ref.fa" --out "$tmp/snap.gxs"             --format flat --segments 4 --k 11             >/dev/null 2>"$tmp/index.log"
+        [[ $? -eq 0 ]] || err "flat snapshot build failed"
+        "$index_bin" --verify "$tmp/snap.gxs" >/dev/null 2>&1 ||
+            err "verify of the fresh snapshot failed"
+
+        # Baseline SAM without a snapshot, then with the intact one:
+        # must be byte-identical and exit identically.
+        status=$(run "$tmp/nosnap.log" --ref "$tmp/ref.fa"             --reads "$tmp/reads.fq" --out "$tmp/nosnap.sam"             --k 11 --segments 4 --max-malformed 10)
+        ((status == 1)) || err "baseline (no snapshot): exit $status, want 1"
+        status=$(run "$tmp/snap.log" --ref "$tmp/ref.fa"             --reads "$tmp/reads.fq" --out "$tmp/snap.sam"             --index "$tmp/snap.gxs" --max-malformed 10)
+        ((status == 1)) || err "snapshot run: exit $status, want 1"
+        cmp -s "$tmp/nosnap.sam" "$tmp/snap.sam" ||
+            err "snapshot SAM differs from in-memory SAM"
+
+        # Corrupt one payload byte; --verify must reject with exit 3.
+        cp "$tmp/snap.gxs" "$tmp/corrupt.gxs"
+        printf 'ÿ' | dd of="$tmp/corrupt.gxs" bs=1 seek=2000             conv=notrunc status=none
+        "$index_bin" --verify "$tmp/corrupt.gxs"             >/dev/null 2>"$tmp/verify.log"
+        [[ $? -eq 3 ]] || err "verify of corrupt snapshot: want exit 3"
+        grep -q 'checksum' "$tmp/verify.log" ||
+            err "verify diagnostic does not mention the checksum"
+
+        # The aligner must absorb the same corruption: degraded
+        # rebuild, identical SAM, exit 1, and a note on stderr.
+        status=$(run "$tmp/degraded.log" --ref "$tmp/ref.fa"             --reads "$tmp/reads.fq" --out "$tmp/degraded.sam"             --index "$tmp/corrupt.gxs" --max-malformed 10)
+        ((status == 1)) || err "corrupt snapshot run: exit $status, want 1"
+        grep -q 'rebuilding from FASTA' "$tmp/degraded.log" ||
+            err "no degradation note for the corrupt snapshot"
+        cmp -s "$tmp/nosnap.sam" "$tmp/degraded.sam" ||
+            err "degraded-rebuild SAM differs from in-memory SAM"
+    fi
+fi
 
 if ((fail)); then
     echo "chaos-smoke: FAILED" >&2

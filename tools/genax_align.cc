@@ -5,7 +5,8 @@
  *   genax_align --ref ref.fa --reads reads.fq --out out.sam
  *               [--reads2 mates.fq] [--engine genax|sw] [--k 12]
  *               [--band 40] [--segments 8] [--threads 1]
- *               [--batch-reads N] [--kernel auto|scalar|sse41|avx2]
+ *               [--batch-reads N] [--index snapshot.gxs]
+ *               [--kernel auto|scalar|sse41|avx2]
  *               [--max-malformed N] [--inject SPEC]
  *
  * Aligns FASTQ reads against a FASTA reference and writes SAM, using
@@ -68,6 +69,14 @@ printHelp(const char *prog, std::FILE *to)
         "                     (default 0 = load all reads first);\n"
         "                     output is identical at any batch size;\n"
         "                     single-end mode only\n"
+        "  --index FILE       prebuilt index snapshot from\n"
+        "                     'genax_index --format flat'; mmapped\n"
+        "                     zero-copy, skipping the per-run index\n"
+        "                     build. The snapshot's k/segments/overlap\n"
+        "                     override the flags above. A corrupt\n"
+        "                     snapshot degrades to rebuild-from-FASTA\n"
+        "                     (exit 1); one built from a different\n"
+        "                     reference is a hard error (exit 3)\n"
         "  --kernel TIER      force the alignment-kernel dispatch\n"
         "                     tier: auto (default), scalar, sse41 or\n"
         "                     avx2; all tiers produce identical\n"
@@ -157,6 +166,8 @@ main(int argc, char **argv)
             opts.threads = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--batch-reads") {
             opts.batchReads = static_cast<u64>(std::atoll(next()));
+        } else if (arg == "--index") {
+            opts.indexSnapshot = next();
         } else if (arg == "--kernel") {
             const std::string tier = next();
             if (const Status st = simd::setKernelTierByName(tier);
@@ -182,6 +193,11 @@ main(int argc, char **argv)
         usageError(argv[0],
                    "--batch-reads is single-end only (paired mode "
                    "loads both mate files whole)");
+    if (!opts.indexSnapshot.empty() && !reads2.empty())
+        usageError(argv[0],
+                   "--index is single-end only (paired mode runs "
+                   "the software engine, which builds no segment "
+                   "indexes)");
 
     if (const Status st = FaultInjector::instance().configureFromEnv();
         !st.ok()) {
@@ -213,6 +229,8 @@ main(int argc, char **argv)
     if (res.softwareFallback)
         std::fprintf(stderr,
                      "note: run degraded to the software engine\n");
+    if (!res.indexNote.empty())
+        std::fprintf(stderr, "note: %s\n", res.indexNote.c_str());
     std::fprintf(
         stderr,
         "aligned %llu reads in %.3f s -> %s\n"
@@ -244,6 +262,7 @@ main(int argc, char **argv)
     }
 
     const bool partial = res.skippedMalformed > 0 || res.degraded > 0 ||
-                         res.failed > 0 || res.softwareFallback;
+                         res.failed > 0 || res.softwareFallback ||
+                         res.indexFallback;
     return partial ? kExitPartial : kExitOk;
 }

@@ -1,23 +1,36 @@
 /**
  * @file
- * genax_index — offline k-mer table construction.
+ * genax_index — offline k-mer table construction and snapshot
+ * inspection.
  *
  *   genax_index --ref ref.fa --out index.gxi [--k 12]
+ *               [--format dense|flat] [--segments 8] [--overlap 256]
+ *   genax_index --verify FILE
  *
- * Builds the whole-reference k-mer index/position tables (the
- * offline step of Section V; GenAx proper builds one per genome
- * segment) and serializes them for later runs.
+ * `--format dense` (default) builds the legacy whole-reference dense
+ * k-mer table (the offline step of Section V). `--format flat` builds
+ * a crash-safe "GXSNAP" store: the concatenated reference, the contig
+ * map and one flat per-segment index, all checksummed and written
+ * atomically — genax_align --index mmaps it and skips the per-run
+ * index build entirely.
+ *
+ * `--verify` opens any store container, replays the full checksum
+ * walk and prints a section report; it is the CI chaos harness's
+ * corruption detector.
  *
  * Exit codes: 0 on success, 1 when the index was built but malformed
  * reference records had to be skipped, 2 on a usage error, 3 on an
- * unrecoverable error.
+ * unrecoverable error (including a corrupt --verify target).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "genax/pipeline.hh"
+#include "io/store.hh"
+#include "seed/index_snapshot.hh"
 #include "seed/kmer_index.hh"
 
 using namespace genax;
@@ -35,18 +48,33 @@ printHelp(const char *prog, std::FILE *to)
     std::fprintf(
         to,
         "usage: %s --ref ref.fa --out index.gxi [--k 12]\n"
+        "          [--format dense|flat] [--segments 8] "
+        "[--overlap 256]\n"
+        "       %s --verify FILE\n"
         "\n"
-        "Build and serialize the k-mer index/position tables.\n"
+        "Build and serialize k-mer index/position tables, or verify\n"
+        "an existing on-disk store.\n"
         "\n"
         "options:\n"
-        "  --ref FILE   reference FASTA (required)\n"
-        "  --out FILE   output index file (required)\n"
-        "  --k K        k-mer length, 1..13 (default 12)\n"
-        "  -h, --help   show this help and exit\n"
+        "  --ref FILE       reference FASTA (required unless "
+        "--verify)\n"
+        "  --out FILE       output index file (required unless "
+        "--verify)\n"
+        "  --k K            k-mer length, 1..13 (default 12)\n"
+        "  --format FMT     dense: legacy whole-reference table\n"
+        "                   flat: checksummed per-segment snapshot\n"
+        "                   for genax_align --index (default dense)\n"
+        "  --segments N     genome segments in a flat snapshot\n"
+        "                   (default 8)\n"
+        "  --overlap N      segment overlap in bases (default 256)\n"
+        "  --verify FILE    open FILE as a store container, replay\n"
+        "                   every checksum and print a section\n"
+        "                   report; exit 3 if it fails validation\n"
+        "  -h, --help       show this help and exit\n"
         "\n"
         "exit codes: 0 success; 1 malformed reference records were\n"
         "skipped; 2 usage error; 3 unrecoverable error\n",
-        prog);
+        prog, prog);
 }
 
 [[noreturn]] void
@@ -57,13 +85,47 @@ usageError(const char *prog, const char *msg)
     std::exit(kExitUsage);
 }
 
+/** --verify: open any store kind, print the section table. The open
+ *  itself replays header/table/section checksums, so reaching the
+ *  report means the file is bit-for-bit intact. */
+int
+verifyStore(const std::string &path)
+{
+    auto store = StoreFile::open(path, /*expect_kind=*/"",
+                                 /*prefer_mmap=*/true);
+    if (!store.ok()) {
+        std::fprintf(stderr, "genax_index: verify failed: %s\n",
+                     store.status().str().c_str());
+        return kExitError;
+    }
+    std::printf("%s: OK\n", path.c_str());
+    std::printf("  kind %.*s v%u (container v%u), %llu bytes, %s\n",
+                static_cast<int>(store->kind().size()),
+                store->kind().data(), store->kindVersion(),
+                store->version(),
+                static_cast<unsigned long long>(store->fileBytes()),
+                store->mapped() ? "mmap" : "owned read");
+    std::printf("  %zu section%s:\n", store->sections().size(),
+                store->sections().size() == 1 ? "" : "s");
+    for (const auto &s : store->sections())
+        std::printf("    %-16s offset %8llu  %10llu bytes  "
+                    "checksum %016llx\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.offset),
+                    static_cast<unsigned long long>(s.bytes),
+                    static_cast<unsigned long long>(s.checksum));
+    return kExitOk;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string ref_path, out_path;
+    std::string ref_path, out_path, verify_path, format = "dense";
     u32 k = 12;
+    u64 segments = 8;
+    u64 overlap = 256;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -78,6 +140,14 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--k") {
             k = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--format") {
+            format = next();
+        } else if (arg == "--segments") {
+            segments = static_cast<u64>(std::atoll(next()));
+        } else if (arg == "--overlap") {
+            overlap = static_cast<u64>(std::atoll(next()));
+        } else if (arg == "--verify") {
+            verify_path = next();
         } else if (arg == "--help" || arg == "-h") {
             printHelp(argv[0], stdout);
             return kExitOk;
@@ -85,10 +155,16 @@ main(int argc, char **argv)
             usageError(argv[0], ("unknown option: " + arg).c_str());
         }
     }
+    if (!verify_path.empty())
+        return verifyStore(verify_path);
     if (ref_path.empty() || out_path.empty())
         usageError(argv[0], "--ref and --out are required");
     if (k < 1 || k > 13)
         usageError(argv[0], "--k must be in 1..13");
+    if (format != "dense" && format != "flat")
+        usageError(argv[0], "--format must be dense or flat");
+    if (segments < 1)
+        usageError(argv[0], "--segments must be >= 1");
 
     ReaderStats ref_stats;
     const auto ref = readFastaFile(ref_path, {}, &ref_stats);
@@ -110,6 +186,34 @@ main(int argc, char **argv)
                      ref_stats.malformed == 1 ? "" : "s");
 
     const ContigMap contigs(*ref);
+    if (format == "flat") {
+        std::vector<SnapshotContig> snap_contigs;
+        snap_contigs.reserve(contigs.contigs().size());
+        for (const auto &c : contigs.contigs())
+            snap_contigs.push_back({c.name, c.start, c.length});
+        SegmentConfig cfg;
+        cfg.k = k;
+        cfg.segmentCount = segments;
+        cfg.overlap = overlap;
+        if (const Status st = IndexSnapshot::build(
+                out_path, contigs.sequence(), snap_contigs, cfg);
+            !st.ok()) {
+            std::fprintf(stderr, "genax_index: %s\n",
+                         st.str().c_str());
+            return kExitError;
+        }
+        std::fprintf(stderr,
+                     "snapshot: %llu bp, k=%u, %llu segment%s "
+                     "(overlap %llu) -> %s\n",
+                     static_cast<unsigned long long>(
+                         contigs.sequence().size()),
+                     k, static_cast<unsigned long long>(segments),
+                     segments == 1 ? "" : "s",
+                     static_cast<unsigned long long>(overlap),
+                     out_path.c_str());
+        return ref_stats.malformed > 0 ? kExitPartial : kExitOk;
+    }
+
     const KmerIndex index(contigs.sequence(), k);
     if (const Status st = index.saveFile(out_path); !st.ok()) {
         std::fprintf(stderr, "genax_index: %s\n", st.str().c_str());

@@ -44,6 +44,11 @@
  *   raw-fatal       GENAX_FATAL outside src/common/ and tests/.
  *                   Environment failures travel through Status so
  *                   callers can recover. (Moved from tools/lint.sh.)
+ *   unchecked-write fwrite / ::write / fsync / fdatasync whose return
+ *                   value is discarded (statement position or a
+ *                   (void) cast) inside src/io/. Ignoring a write
+ *                   result turns ENOSPC/EIO into silent data loss;
+ *                   results must flow into a Status.
  *
  * Suppression: a finding is waived by a comment on the same line or
  * on a directly preceding comment-only line:
@@ -314,6 +319,8 @@ const std::vector<std::pair<const char *, const char *>> kRules = {
     {"naked-new", "naked new/malloc in an arena-backed directory"},
     {"raw-rng", "raw RNG outside common/rng.hh"},
     {"raw-fatal", "GENAX_FATAL outside src/common/ and tests/"},
+    {"unchecked-write",
+     "discarded fwrite/::write/fsync result in src/io/"},
 };
 
 bool
@@ -413,6 +420,7 @@ struct FileScope
     bool inTests = false;      // under tests/
     bool arenaBacked = false;  // src/seed/ or src/genax/
     bool isRngHeader = false;  // src/common/rng.hh itself
+    bool inIo = false;         // under src/io/
 };
 
 FileScope
@@ -425,6 +433,7 @@ scopeFor(const std::string &rel)
     sc.arenaBacked =
         startsWith(rel, "src/seed/") || startsWith(rel, "src/genax/");
     sc.isRngHeader = rel == "src/common/rng.hh";
+    sc.inIo = startsWith(rel, "src/io/");
     return sc;
 }
 
@@ -497,6 +506,8 @@ class FileChecker
             ruleFpAccum();
             if (_scope.arenaBacked)
                 ruleNakedNew();
+            if (_scope.inIo)
+                ruleUncheckedWrite();
         }
         if (!_scope.isRngHeader)
             ruleRawRng();
@@ -657,8 +668,11 @@ class FileChecker
     ruleRawRng()
     {
         const std::string &code = _stripped.code;
-        for (const char *tok : {"mt19937", "minstd_rand",
-                                "random_device", "random_shuffle"}) {
+        // mt19937_64 is a separate identifier, so the plain mt19937
+        // token would not match it (tokens match whole identifiers).
+        for (const char *tok : {"mt19937", "mt19937_64",
+                                "minstd_rand", "random_device",
+                                "random_shuffle"}) {
             for (size_t p = findToken(code, tok, 0);
                  p != std::string::npos;
                  p = findToken(code, tok, p + 1)) {
@@ -730,6 +744,57 @@ class FileChecker
                                "() in an arena-backed directory; "
                                "use the per-worker Arena");
                 }
+            }
+        }
+    }
+
+    void
+    ruleUncheckedWrite()
+    {
+        const std::string &code = _stripped.code;
+        for (const char *tok :
+             {"fwrite", "write", "fsync", "fdatasync"}) {
+            for (size_t p = findToken(code, tok, 0);
+                 p != std::string::npos;
+                 p = findToken(code, tok, p + 1)) {
+                // Must be a call, not a declaration or member name.
+                size_t q = p + std::string(tok).size();
+                while (q < code.size() && code[q] == ' ')
+                    ++q;
+                if (q >= code.size() || code[q] != '(')
+                    continue;
+                // Accept a global-scope qualifier (::write); reject
+                // class qualification (SamWriter::write) and member
+                // calls (out.write — iostream state carries those).
+                size_t s = p;
+                if (s >= 2 && code[s - 1] == ':' &&
+                    code[s - 2] == ':') {
+                    s -= 2;
+                    if (s > 0 && isIdentChar(code[s - 1]))
+                        continue;
+                }
+                size_t r = s;
+                while (r > 0 &&
+                       (code[r - 1] == ' ' || code[r - 1] == '\n' ||
+                        code[r - 1] == '\t' || code[r - 1] == '\r'))
+                    --r;
+                bool discarded =
+                    r == 0 || code[r - 1] == ';' ||
+                    code[r - 1] == '{' || code[r - 1] == '}';
+                // An explicit (void) cast is still an unchecked
+                // write as far as durability goes.
+                const std::string cast = "(void)";
+                if (r >= cast.size() &&
+                    code.compare(r - cast.size(), cast.size(),
+                                 cast) == 0)
+                    discarded = true;
+                if (!discarded)
+                    continue;
+                report(p, "unchecked-write",
+                       std::string(tok) +
+                           " result discarded; ENOSPC/EIO become "
+                           "silent data loss — check the return "
+                           "value and surface a Status");
             }
         }
     }
