@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Microbenchmarks for the seeding lane-array cycle simulator: the
+ * event-driven production path (simulateEvent) against the lock-step
+ * reference (simulateNaive) on the same synthetic workload, so the
+ * speedup that justifies the event path is a number this bench
+ * regenerates. Both paths are bit-identical by contract
+ * (tests/test_model_equiv.cc); the `model_cycles` counter lets a run
+ * double as a quick cross-check.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "genax/seeding_sim.hh"
+
+namespace genax {
+namespace {
+
+/**
+ * A segment's worth of per-read lane work, shaped like what the
+ * system model feeds the simulator: most reads do a handful of
+ * index-table lookups plus a burst of CAM operations, a few do
+ * nothing in this segment (no k-mer of theirs occurs here), and a
+ * heavy tail does many lookups. Deterministic in `seed`.
+ */
+std::vector<LaneWork>
+syntheticWork(u64 reads, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<LaneWork> work(reads);
+    for (auto &w : work) {
+        const u64 shape = rng.next() % 100;
+        if (shape < 15) {
+            w = {0, 0}; // read absent from this segment
+        } else if (shape < 90) {
+            w.indexLookups = 1 + rng.next() % 90;
+            w.camOps = rng.next() % 120;
+        } else {
+            w.indexLookups = 200 + rng.next() % 800; // heavy tail
+            w.camOps = rng.next() % 300;
+        }
+    }
+    return work;
+}
+
+template <SeedingSimResult (SeedingLaneSim::*Simulate)(
+    const std::vector<LaneWork> &) const>
+void
+runSim(benchmark::State &state)
+{
+    SeedingSimConfig cfg;
+    cfg.lanes = 128;
+    cfg.banks = 32;
+    cfg.issueWidth = 4;
+    cfg.seed = 1;
+    const SeedingLaneSim sim(cfg);
+    const auto work =
+        syntheticWork(static_cast<u64>(state.range(0)), 77);
+
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        const auto res = (sim.*Simulate)(work);
+        benchmark::DoNotOptimize(res.grants);
+        cycles = res.cycles;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(work.size()));
+    // Modelled cycles retired per host second — the figure of merit
+    // for a cycle simulator — plus the cycle count itself so the two
+    // variants can be eyeballed for agreement from the bench output.
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles) * state.iterations(),
+        benchmark::Counter::kIsRate);
+    state.counters["model_cycles"] =
+        static_cast<double>(cycles);
+}
+
+void
+BM_SeedSimEvent(benchmark::State &state)
+{
+    runSim<&SeedingLaneSim::simulateEvent>(state);
+}
+BENCHMARK(BM_SeedSimEvent)->Arg(64)->Arg(600)->Arg(4096);
+
+void
+BM_SeedSimNaive(benchmark::State &state)
+{
+    runSim<&SeedingLaneSim::simulateNaive>(state);
+}
+BENCHMARK(BM_SeedSimNaive)->Arg(64)->Arg(600)->Arg(4096);
+
+/**
+ * Bank-count sensitivity on the event path — the ablation axis the
+ * simulator exists to explore (conflicts vanish as banks grow).
+ */
+void
+BM_SeedSimEventBanks(benchmark::State &state)
+{
+    SeedingSimConfig cfg;
+    cfg.banks = static_cast<u32>(state.range(0));
+    cfg.seed = 1;
+    const SeedingLaneSim sim(cfg);
+    const auto work = syntheticWork(600, 77);
+
+    u64 conflicts = 0;
+    for (auto _ : state) {
+        const auto res = sim.simulateEvent(work);
+        benchmark::DoNotOptimize(res.cycles);
+        conflicts = res.bankConflicts;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(work.size()));
+    state.counters["bank_conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_SeedSimEventBanks)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+} // namespace
+} // namespace genax
+
+BENCHMARK_MAIN();

@@ -300,6 +300,7 @@ alignToSam(const std::vector<FastaRecord> &ref,
         GenAxSystem system(contigs.sequence(), cfg);
         maps = system.alignAll(seqs);
         res.perf = system.perf();
+        res.hostProfile = system.hostProfile();
         degraded = system.degradedReads();
     } else {
         AlignerConfig cfg;
@@ -488,6 +489,7 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
     if (system && failure.ok()) {
         timed([&] { system->streamEnd(); });
         res.perf = system->perf();
+        res.hostProfile = system->hostProfile();
     }
     res.seconds = align_seconds;
 

@@ -123,6 +123,10 @@ struct PipelineResult
     bool softwareFallback = false;
     double seconds = 0;  //!< wall-clock of the alignment phase
     GenAxPerf perf;      //!< populated for the GenAx engine
+    /** Host wall-clock per model phase (GenAx engine only) —
+     *  profiling output, not part of the modelled report or any
+     *  determinism contract. */
+    GenAxHostProfile hostProfile;
     ReaderStats refInput;  //!< reference parse stats (file API only)
     ReaderStats readInput; //!< read parse stats (file API only)
     /** @name Index snapshot disposition (opts.indexSnapshot only) */

@@ -1,6 +1,6 @@
 /**
  * @file
- * Cycle-stepped model of the 128 seeding lanes sharing the banked
+ * Cycle model of the 128 seeding lanes sharing the banked
  * index/position SRAM (Section VI, Figure 11).
  *
  * Each lane works through its queue of reads; a read is a number of
@@ -11,6 +11,23 @@
  * divisor, here simulated directly. Used by the GenAx system model
  * when GenAxConfig::simulateSeedingLanes is set, and by the
  * bank-count ablation.
+ *
+ * Two implementations produce bit-identical results:
+ *
+ *  - simulateNaive(): the lock-step reference — `for (;; ++t)`
+ *    touching every lane every cycle. It IS the specification of the
+ *    model; it is deliberately kept simple and is never optimized.
+ *  - simulateEvent(): event-driven — between issue attempts a lane
+ *    evolves deterministically (SRAM retirements, CAM countdown,
+ *    zero-lookup read pops), so those stretches collapse to closed
+ *    form and only cycles containing at least one issue attempt are
+ *    stepped exactly. Bank-address RNG draws happen only on issue
+ *    attempts, in rotating lane order, so the draw sequence — and
+ *    with it cycles / grants / bankConflicts — replays exactly.
+ *
+ * simulate() dispatches to the event path, or to the naive path when
+ * built with -DGENAX_MODEL_ORACLE=ON (mirroring the kmer-index
+ * oracle). tests/test_model_equiv.cc pins the equivalence.
  */
 
 #ifndef GENAX_GENAX_SEEDING_SIM_HH
@@ -65,13 +82,24 @@ class SeedingLaneSim
 
     /**
      * Simulate the lane array draining `work` (items are dealt to
-     * lanes round-robin) and return the cycle count.
+     * lanes round-robin) and return the cycle count. Dispatches to
+     * simulateEvent(), or simulateNaive() under GENAX_MODEL_ORACLE.
      */
     SeedingSimResult simulate(const std::vector<LaneWork> &work) const;
+
+    /** Lock-step reference implementation (the oracle). */
+    SeedingSimResult
+    simulateNaive(const std::vector<LaneWork> &work) const;
+
+    /** Event-driven implementation; bit-identical to the oracle. */
+    SeedingSimResult
+    simulateEvent(const std::vector<LaneWork> &work) const;
 
     const SeedingSimConfig &config() const { return _cfg; }
 
   private:
+    void checkConfig() const;
+
     SeedingSimConfig _cfg;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "common/check.hh"
 #include "common/faultinject.hh"
@@ -133,6 +134,9 @@ struct WorkerShard
     u64 extensionJobs = 0;
     u64 laneFaults = 0;
     u64 degradedJobs = 0;
+    /** Host wall-clock this shard spent inside the extension kernel
+     *  (profiling only — never part of the modelled report). */
+    double extHostSeconds = 0;
     SeedingStats segSeeding; //!< current segment only
 
     explicit WorkerShard(const GenAxConfig &cfg)
@@ -176,6 +180,8 @@ struct GenAxSystem::StreamState
     u64 readsBytes = 0;  //!< packed read bytes streamed per segment
     u64 totalReads = 0;  //!< reads admitted so far (= next base)
     u64 exactReads = 0;  //!< reads resolved by the exact-match path
+    /** Wall-clock of the streamBatchCandidates calls (profiling). */
+    double batchHostSeconds = 0;
 };
 
 GenAxSystem::~GenAxSystem() = default;
@@ -219,6 +225,7 @@ GenAxSystem::streamBegin()
     GENAX_CHECK(!_stream, "streamBegin with a stream already open");
     _perf = {};
     _perf.segments = _segments.count();
+    _hostProfile = {};
 
     auto st = std::make_unique<StreamState>();
     st->width = ThreadPool::resolveWidth(_cfg.threads);
@@ -243,6 +250,7 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
                                    u32 max_candidates)
 {
     GENAX_CHECK(_stream, "streamBatchCandidates without streamBegin");
+    const auto batch_t0 = std::chrono::steady_clock::now();
     StreamState &st = *_stream;
     GENAX_CHECK(base_read_index == st.totalReads,
                 "batch base ", base_read_index, " but ",
@@ -306,22 +314,30 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
                 const ExtendFn kernel = [&](const PackedSeq &rw,
                                             const Seq &qry) {
                     ++ws.extensionJobs;
+                    const auto ext_t0 =
+                        std::chrono::steady_clock::now();
                     auto attempt = ws.lane.tryExtend(rw.unpack(), qry);
+                    ExtensionResult out;
                     if (!attempt.ok()) [[unlikely]] {
                         ++ws.laneFaults;
                         ++ws.degradedJobs;
                         _degraded[cur_read] = 1;
-                        return gotohExtendViaScore(rw, qry, _cfg.scoring,
-                                                   _cfg.editBound);
+                        out = gotohExtendViaScore(rw, qry, _cfg.scoring,
+                                                  _cfg.editBound);
+                    } else {
+                        const SillaAlignment &a = *attempt;
+                        out.score = a.score;
+                        out.refConsumed = a.refEnd;
+                        out.qryConsumed = a.qryEnd;
+                        for (const auto &e : a.cigar.elems())
+                            if (e.op != CigarOp::SoftClip)
+                                out.cigar.push(e.op, e.len);
                     }
-                    const SillaAlignment &a = *attempt;
-                    ExtensionResult out;
-                    out.score = a.score;
-                    out.refConsumed = a.refEnd;
-                    out.qryConsumed = a.qryEnd;
-                    for (const auto &e : a.cigar.elems())
-                        if (e.op != CigarOp::SoftClip)
-                            out.cigar.push(e.op, e.len);
+                    // genax-lint: allow(fp-accum): shard-local host profiling, never a modelled quantity
+                    ws.extHostSeconds +=
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - ext_t0)
+                            .count();
                     return out;
                 };
 
@@ -437,6 +453,11 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
                 out[r] = std::move(c);
             }
         });
+    // genax-lint: allow(fp-accum): serial host profiling of the batch call, never a modelled quantity
+    st.batchHostSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batch_t0)
+            .count();
     return out;
 }
 
@@ -467,7 +488,38 @@ void
 GenAxSystem::streamEnd()
 {
     GENAX_CHECK(_stream, "streamEnd without streamBegin");
+    const auto end_t0 = std::chrono::steady_clock::now();
     StreamState &st = *_stream;
+
+    // The cycle-stepped seeding-lane simulations are sharded across
+    // the pool: each segment's simulation is a pure function of
+    // (segment seed, that segment's work list) — its RNG is its own,
+    // it touches no fault site, and its result lands in that
+    // segment's slot — so any work division produces bit-identical
+    // cycle counts, and the serial reduction below consumes them in
+    // segment order exactly as the single-threaded pass did.
+    std::vector<Cycle> sim_cycles;
+    if (_cfg.simulateSeedingLanes) {
+        sim_cycles.assign(_segments.count(), 0);
+        ThreadPool::global().parallelFor(
+            _segments.count(), st.width,
+            [&](unsigned, u64 lo, u64 hi) {
+                for (u64 seg = lo; seg < hi; ++seg) {
+                    SeedingSimConfig sim_cfg;
+                    sim_cfg.lanes = _cfg.seedingLanes;
+                    sim_cfg.banks = _cfg.seedingSramBanks;
+                    sim_cfg.issueWidth = _cfg.seedingIssueWidth;
+                    sim_cfg.seed = seg + 1;
+                    sim_cycles[seg] = SeedingLaneSim(sim_cfg)
+                                          .simulate(st.segLaneWork[seg])
+                                          .cycles;
+                }
+            });
+        _hostProfile.seedingSimSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - end_t0)
+                .count();
+    }
 
     // Per-segment DRAM streams and modelled seconds, in segment
     // order. The DRAM fault site replays by per-site ordinal, so the
@@ -496,14 +548,7 @@ GenAxSystem::streamEnd()
         // run concurrently.
         double seed_sec;
         if (_cfg.simulateSeedingLanes) {
-            SeedingSimConfig sim_cfg;
-            sim_cfg.lanes = _cfg.seedingLanes;
-            sim_cfg.banks = _cfg.seedingSramBanks;
-            sim_cfg.issueWidth = _cfg.seedingIssueWidth;
-            sim_cfg.seed = seg + 1;
-            const auto sim =
-                SeedingLaneSim(sim_cfg).simulate(st.segLaneWork[seg]);
-            seed_sec = static_cast<double>(sim.cycles) /
+            seed_sec = static_cast<double>(sim_cycles[seg]) /
                        (_cfg.seedingFreqGhz * 1e9);
         } else {
             seed_sec = seedingCycles(st.segSeeding[seg],
@@ -552,6 +597,22 @@ GenAxSystem::streamEnd()
                 _perf.degradedJobs,
                 " degraded jobs but the system dispatched ",
                 _perf.extensionJobs);
+
+    // Host-phase profile of the whole pass. Extension time is the
+    // shard sum (CPU-seconds when threaded); bookkeeping is whatever
+    // the batch calls and this finalization spent outside the two
+    // instrumented phases.
+    for (const auto &ws : st.shards)
+        _hostProfile.extensionSeconds += ws.extHostSeconds;
+    _hostProfile.totalSeconds =
+        st.batchHostSeconds +
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      end_t0)
+            .count();
+    _hostProfile.bookkeepingSeconds =
+        std::max(0.0, _hostProfile.totalSeconds -
+                          _hostProfile.seedingSimSeconds -
+                          _hostProfile.extensionSeconds);
 
     _stream.reset();
 }

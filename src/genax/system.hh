@@ -115,6 +115,23 @@ struct GenAxPerf
     }
 };
 
+/**
+ * Host wall-clock spent per model phase during one streaming pass —
+ * where the *simulator* spends its time, as opposed to GenAxPerf,
+ * which reports the modelled accelerator's time. Extension seconds
+ * are summed across worker shards, so on a multi-threaded run they
+ * are CPU-seconds, not elapsed time. Profiling output only: the
+ * values vary run to run and are never part of the modelled report
+ * or any determinism contract.
+ */
+struct GenAxHostProfile
+{
+    double seedingSimSeconds = 0; //!< SeedingLaneSim / closed form
+    double extensionSeconds = 0;  //!< SillaX lane kernel (CPU-seconds)
+    double bookkeepingSeconds = 0; //!< everything else in the pass
+    double totalSeconds = 0;       //!< batch + streamEnd wall-clock
+};
+
 /** Area/power breakdown in the shape of Table II. */
 struct GenAxAreaPower
 {
@@ -215,6 +232,11 @@ class GenAxSystem
                                         const PairedConfig &pcfg = {});
 
     const GenAxPerf &perf() const { return _perf; }
+
+    /** Host-time breakdown of the most recent pass (valid after
+     *  streamEnd(); see GenAxHostProfile for what it is NOT). */
+    const GenAxHostProfile &hostProfile() const { return _hostProfile; }
+
     const GenAxConfig &config() const { return _cfg; }
     const GenomeSegments &segments() const { return _segments; }
 
@@ -266,6 +288,7 @@ class GenAxSystem
     GenomeSegments _segments;
     DramModel _dram;
     GenAxPerf _perf;
+    GenAxHostProfile _hostProfile; //!< host time of the latest pass
     std::vector<u8> _degraded; //!< per-batch fallback flags
     std::unique_ptr<StreamState> _stream;
 };

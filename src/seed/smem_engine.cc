@@ -32,7 +32,7 @@ SmemEngine::primeCandidates(std::span<const u32> hits, u32 offset)
 }
 
 PosList
-SmemEngine::tryExactMatch(const Seq &read)
+SmemEngine::tryExactMatch(const Seq &read, std::span<const u64> keys)
 {
     const u32 k = _index.k();
     const u32 len = static_cast<u32>(read.size());
@@ -46,15 +46,11 @@ SmemEngine::tryExactMatch(const Seq &read)
     if (offsets.back() + k != len)
         offsets.push_back(len - k);
 
-    // Batched offset loop: pack every key up front and prefetch its
-    // probe line, so the dependent table loads of consecutive
-    // lookups overlap instead of serializing on cache misses.
-    ArenaVector<u64> keys{ArenaAllocator<u64>(&_arena)};
-    keys.reserve(offsets.size());
+    // Batched offset loop: prefetch every key's probe line up front,
+    // so the dependent table loads of consecutive lookups overlap
+    // instead of serializing on cache misses.
     for (u32 off : offsets)
-        keys.push_back(_index.packKmer(read, off));
-    for (u64 key : keys)
-        _index.lookupPrefetch(key);
+        _index.lookupPrefetch(keys[off]);
 
     struct Lookup
     {
@@ -63,13 +59,13 @@ SmemEngine::tryExactMatch(const Seq &read)
     };
     ArenaVector<Lookup> lookups{ArenaAllocator<Lookup>(&_arena)};
     lookups.reserve(offsets.size());
-    for (size_t i = 0; i < offsets.size(); ++i) {
-        const auto hits = _index.lookup(keys[i]);
+    for (u32 off : offsets) {
+        const auto hits = _index.lookup(keys[off]);
         ++_stats.indexLookups;
         if (hits.empty())
             return PosList{
                 ArenaAllocator<u32>(&_arena)}; // some k-mer absent
-        lookups.push_back({offsets[i], hits});
+        lookups.push_back({off, hits});
     }
 
     // Start from the smallest hit set, intersect in ascending size.
@@ -88,36 +84,41 @@ SmemEngine::tryExactMatch(const Seq &read)
     return cand;
 }
 
-std::pair<u32, PosList>
-SmemEngine::rmem(const Seq &read, u32 pivot)
+std::pair<u32, std::span<const u32>>
+SmemEngine::rmem(const Seq &read, u32 pivot, std::span<const u64> keys)
 {
     const u32 k = _index.k();
     const u32 len = static_cast<u32>(read.size());
     const u32 max_len = len - pivot; // longest possible RMEM
 
-    const auto first = _index.lookup(
-        _index.packKmer(read, pivot));
+    const auto first = _index.lookup(keys[pivot]);
     ++_stats.indexLookups;
     if (first.empty())
-        return {0, PosList{ArenaAllocator<u32>(&_arena)}};
+        return {0, {}};
 
-    PosList cand = primeCandidates(first, 0);
-    PosList next{ArenaAllocator<u32>(&_arena)};
+    // Pivot-normalizing the first hit list (offset 0) is the
+    // identity, so the candidate set starts as a zero-copy view of
+    // the postings array; intersections ping-pong between two arena
+    // buffers and the view tracks the latest result.
+    std::span<const u32> cand = first;
+    PosList buf_a{ArenaAllocator<u32>(&_arena)};
+    PosList buf_b{ArenaAllocator<u32>(&_arena)};
+    PosList *next = &buf_a;
     u32 length = k;
 
     // Extension by an overlapping or abutting k-mer at read offset
     // pivot + t certifies length t + k.
     auto try_extend_hits = [&](u32 t, std::span<const u32> hits) {
-        _cam.intersectInto(cand, hits, t, next);
-        if (next.empty())
+        _cam.intersectInto(cand, hits, t, *next);
+        if (next->empty())
             return false;
-        cand.swap(next);
+        cand = *next;
+        next = next == &buf_a ? &buf_b : &buf_a;
         length = t + k;
         return true;
     };
     auto try_extend = [&](u32 t) {
-        const auto hits = _index.lookup(
-            _index.packKmer(read, pivot + t));
+        const auto hits = _index.lookup(keys[pivot + t]);
         ++_stats.indexLookups;
         return try_extend_hits(t, hits);
     };
@@ -129,15 +130,14 @@ SmemEngine::rmem(const Seq &read, u32 pivot)
     bool probed_failure = false;
     if (_cfg.probing && length + k <= max_len) {
         const u32 t0 = length; // the standard stride-k second k-mer
-        auto hits0 = _index.lookup(_index.packKmer(read, pivot + t0));
+        auto hits0 = _index.lookup(keys[pivot + t0]);
         ++_stats.indexLookups;
         u32 best_t = t0;
         auto best_hits = hits0;
         if (hits0.size() > _cfg.probeThreshold) {
             for (u32 s = k / 2; s >= 1; s /= 2) {
                 const u32 t = length - k + s;
-                const auto hits = _index.lookup(
-                    _index.packKmer(read, pivot + t));
+                const auto hits = _index.lookup(keys[pivot + t]);
                 ++_stats.indexLookups;
                 if (hits.size() < best_hits.size()) {
                     best_hits = hits;
@@ -182,7 +182,7 @@ SmemEngine::rmem(const Seq &read, u32 pivot)
                 break;
         }
     }
-    return {length, std::move(cand)};
+    return {length, cand};
 }
 
 std::vector<Smem>
@@ -198,8 +198,23 @@ SmemEngine::seed(const Seq &read)
     if (len < k)
         return {};
 
+    // One rolling pass packs the k-mer key of every read offset —
+    // O(len) total instead of O(k) per pivot — and both the
+    // exact-match path and every rmem() extension index into it.
+    const u32 pivots = len - k + 1;
+    ArenaVector<u64> keys{ArenaAllocator<u64>(&_arena)};
+    keys.reserve(pivots);
+    u64 key = _index.packKmer(read, 0);
+    keys.push_back(key);
+    const u32 top_shift = 2 * (k - 1);
+    for (u32 p = 1; p < pivots; ++p) {
+        key = (key >> 2) |
+              (static_cast<u64>(read[p + k - 1] & 3) << top_shift);
+        keys.push_back(key);
+    }
+
     if (_cfg.exactMatchFastPath) {
-        auto cand = tryExactMatch(read);
+        auto cand = tryExactMatch(read, keys);
         if (!cand.empty()) {
             ++_stats.exactMatchReads;
             ++_stats.smems;
@@ -216,10 +231,20 @@ SmemEngine::seed(const Seq &read)
         }
     }
 
+    // Prefetch the pivot k-mers' probe lines a fixed distance ahead
+    // of the rmem loop: the first lookup of each pivot is the one
+    // predictable table access, and overlapping its cache miss with
+    // the previous pivots' work takes it off the critical path.
+    constexpr u32 kLookahead = 8;
+    for (u32 p = 0; p < std::min(pivots, kLookahead); ++p)
+        _index.lookupPrefetch(keys[p]);
+
     std::vector<Smem> out;
     u32 max_end = 0;
     for (u32 pivot = 0; pivot + k <= len; ++pivot) {
-        auto [length, cand] = rmem(read, pivot);
+        if (pivot + kLookahead < pivots)
+            _index.lookupPrefetch(keys[pivot + kLookahead]);
+        auto [length, cand] = rmem(read, pivot, keys);
         if (length == 0)
             continue;
         // SMEM interval sanity: an RMEM certifies at least one whole
@@ -242,7 +267,11 @@ SmemEngine::seed(const Seq &read)
         Smem smem;
         smem.qryBegin = pivot;
         smem.qryEnd = end;
-        smem.positions = std::move(cand);
+        // Materialize the surviving candidate view (rmem()'s span
+        // dies at its next call); contained RMEMs — the overwhelming
+        // majority — were dropped above without a copy.
+        smem.positions = PosList{ArenaAllocator<u32>(&_arena)};
+        smem.positions.assign(cand.begin(), cand.end());
         out.push_back(std::move(smem));
     }
     _stats.cam += _cam.stats();

@@ -129,13 +129,23 @@ class SmemEngine
     /**
      * Right maximal exact match from `pivot`.
      *
+     * `keys` holds the precomputed k-mer key for every read offset
+     * with a whole k-mer (seed() builds it once per read with a
+     * rolling update). The returned span views either the index's
+     * postings array or the engine's arena; it is valid until the
+     * next rmem() or seed() call, so callers must materialize kept
+     * candidate sets before moving on — which is the point: the vast
+     * majority of RMEMs are contained in an earlier SMEM and get
+     * dropped without their hit lists ever being copied.
+     *
      * @return matched length L (>= k) and the pivot-normalized hit
      *         set; L == 0 when even the first k-mer has no hits.
      */
-    std::pair<u32, PosList> rmem(const Seq &read, u32 pivot);
+    std::pair<u32, std::span<const u32>>
+    rmem(const Seq &read, u32 pivot, std::span<const u64> keys);
 
     /** Whole-read exact-match shortcut; empty when not exact. */
-    PosList tryExactMatch(const Seq &read);
+    PosList tryExactMatch(const Seq &read, std::span<const u64> keys);
 
     const SeedIndex &_index;
     SeedingConfig _cfg;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Vectorized inner row kernel for the Silla traceback machine's
+ * streaming phase (internal to genax_silla).
+ *
+ * The kernel covers only the *lean interior* span of one PE row —
+ * cells with i >= 1, d >= 1, cell_r >= 1 and cell_q >= 1, whose
+ * sources all sit inside the live window — where the -inf guards of
+ * the reference sweep are provably redundant. It computes the E/F/H
+ * lanes and gap-run counters for the span and reports the rare
+ * per-cell events (pointer-trail adoptions; cells whose H reaches the
+ * caller's current best score) back through a compact event list, in
+ * ascending-d order, so the caller can replay record pushes and
+ * best-cell updates exactly as the scalar sweep would.
+ *
+ * The scalar lean path in silla_traceback.cc is the reference; the
+ * AVX2 kernel is bit-identical to it by contract (same i32
+ * arithmetic, same tie-breaks), so runtime tier selection — via
+ * genax::simd::activeKernelTier(), honouring GENAX_FORCE_SCALAR and
+ * the --kernel override — never changes any output.
+ */
+
+#ifndef GENAX_SILLA_SILLA_STREAM_ROW_HH
+#define GENAX_SILLA_SILLA_STREAM_ROW_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace genax::detail {
+
+/** Per-cycle inputs of the streaming kernel (raw spans into the
+ *  traceback machine's double-buffered lane arrays). */
+struct SillaCycleCtx
+{
+    const i32 *hCur;
+    const i32 *eCur;
+    const i32 *fCur;
+    i32 *hNext;
+    i32 *eNext;
+    i32 *fNext;
+    const u16 *eRunCur;
+    u16 *eRunNext;
+    const u16 *fRunCur;
+    u16 *fRunNext;
+    const u8 *r;   //!< reference string (row characters)
+    const u8 *q;   //!< query string (for the diagonal comparisons)
+    u64 c;         //!< streaming cycle
+    u32 k;         //!< edit bound (stride is k + 1)
+    i32 openExt;   //!< gapOpen + gapExtend
+    i32 gapExt;    //!< gapExtend
+    i32 match;     //!< substitution reward
+    i32 mismatch;  //!< substitution penalty (magnitude)
+    i32 threshold; //!< caller's best score at cycle entry (>= 0)
+};
+
+inline constexpr u8 kSillaRowAdopt = 1;    //!< cell latched a record
+inline constexpr u8 kSillaRowDel = 2;      //!< ...from the F (Del) lane
+inline constexpr u8 kSillaRowConsider = 4; //!< h >= threshold
+
+/**
+ * One reportable cell event. `run` is the adopted gap run length
+ * (meaningful only with kSillaRowAdopt). The threshold filter is a
+ * conservative prefilter: the caller's best score can only grow
+ * within a cycle, so re-checking flagged cells against the live best
+ * reproduces the scalar winner exactly (within one cycle, no two
+ * distinct cells can tie on all of the best-cell keys — equal score,
+ * r+q sum and r force equal (r, q), which pins (i, d)).
+ */
+struct SillaRowEvent
+{
+    u32 i;
+    u32 d;
+    u16 run;
+    u8 flags;
+};
+
+#if defined(GENAX_SIMD_AVX2)
+/**
+ * AVX2 lean sweep of one streaming cycle: rows i in [iBegin, iEnd],
+ * each over d in [dBegin, min(k, c - i)] (rows whose span is empty
+ * are skipped). Appends events in (i asc, d asc) order. Call only
+ * when the running CPU has AVX2.
+ */
+void sillaStreamCycleAvx2(const SillaCycleCtx &ctx, u32 iBegin,
+                          u32 iEnd, u32 dBegin,
+                          std::vector<SillaRowEvent> &events);
+#endif
+
+} // namespace genax::detail
+
+#endif // GENAX_SILLA_SILLA_STREAM_ROW_HH

@@ -2,38 +2,15 @@
 
 #include <algorithm>
 
+#include "align/simd/dispatch.hh"
 #include "common/check.hh"
+#include "silla/silla_stream_row.hh"
 
 namespace genax {
 
 namespace {
 
 constexpr i32 kNegInf = INT32_MIN / 4;
-
-/** How the closed (H) path entered a PE. */
-enum class AdoptSrc : u8
-{
-    Anchor,
-    Ins,
-    Del,
-};
-
-/**
- * One pointer-trail record: latched by a PE whenever its closed path
- * changes identity (an E/F value beats the diagonal continuation).
- *
- * Hardware realization: the 2-bit traceback pointer plus the gap
- * run-length counter that rides along the E/F lanes (log2(K) bits),
- * latched together — so a multi-character gap is traced in one hop
- * without consulting the volatile gap lanes at collection time. This
- * mirrors the paper's match-count compression applied to gap runs.
- */
-struct Adoption
-{
-    Cycle cycle;
-    AdoptSrc src;
-    u32 gapLen; // characters in the adopted gap run (0 for anchor)
-};
 
 } // namespace
 
@@ -54,6 +31,11 @@ SillaTraceback::SillaTraceback(u32 k, const Scoring &sc)
     _eNext.assign(n, kNegInf);
     _fCur.assign(n, kNegInf);
     _fNext.assign(n, kNegInf);
+    _eRunCur.assign(n, 0);
+    _eRunNext.assign(n, 0);
+    _fRunCur.assign(n, 0);
+    _fRunNext.assign(n, 0);
+    _recs.resize(n);
 }
 
 SillaAlignment
@@ -65,13 +47,11 @@ SillaTraceback::align(const Seq &r, const Seq &q)
     std::fill(_hCur.begin(), _hCur.end(), kNegInf);
     std::fill(_eCur.begin(), _eCur.end(), kNegInf);
     std::fill(_fCur.begin(), _fCur.end(), kNegInf);
-
-    // Gap run-length counters riding along the E/F lanes.
-    std::vector<u32> eRunCur(peCount(), 0), eRunNext(peCount(), 0);
-    std::vector<u32> fRunCur(peCount(), 0), fRunNext(peCount(), 0);
-
-    // Pointer-trail records per PE, in adoption (cycle) order.
-    std::vector<std::vector<Adoption>> recs(peCount());
+    // Run counters and records are reused across calls; stale run
+    // values are never read because a run is only consulted when the
+    // corresponding E/F lane is live, and the lanes start at -inf.
+    for (auto &v : _recs)
+        v.clear();
 
     SillaAlignment res;
     res.score = 0;
@@ -99,104 +79,295 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         }
     };
 
+    const i32 open_ext = _sc.gapOpen + _sc.gapExtend;
+    const i32 gap_ext = _sc.gapExtend;
+    const u32 stride = _k + 1;
+
+#if defined(GENAX_SIMD_AVX2)
+    // Lean-interior rows can run on the vector row kernel; all tiers
+    // are bit-identical by contract, so this is purely a speed choice
+    // (and GENAX_FORCE_SCALAR / --kernel pin the scalar reference).
+    const bool use_avx2 =
+        simd::activeKernelTier() >= simd::KernelTier::Avx2;
+    std::vector<detail::SillaRowEvent> row_events;
+#endif
+
     // --------------------------------------------- Phase 1: streaming
     for (u64 c = 0; c <= max_cycle; ++c) {
-        std::fill(_hNext.begin(), _hNext.end(), kNegInf);
-        std::fill(_eNext.begin(), _eNext.end(), kNegInf);
-        std::fill(_fNext.begin(), _fNext.end(), kNegInf);
+        // Live-cell window. Scores spread from PE (0,0) one
+        // neighbour hop per cycle, so cells with i + d > c are still
+        // at -inf (their sources at cycle c-1 have index sums
+        // >= i + d - 1 > c - 1); cells with i < c - n or d < c - m
+        // have run off a sequence end. Both kinds would compute and
+        // store -inf with no adoption and no consider() call —
+        // exactly what the fill already left there — so the clamped
+        // loops visit precisely the cells the dense sweep did
+        // anything observable for, in the same (i asc, d asc) order.
+        const u32 i_lo =
+            c > n ? static_cast<u32>(std::min<u64>(c - n, _k + 1))
+                  : 0;
+        const u32 i_hi = static_cast<u32>(std::min<u64>(_k, c));
+        const u32 d_lo =
+            c > m ? static_cast<u32>(std::min<u64>(c - m, _k + 1))
+                  : 0;
 
-        for (u32 i = 0; i <= _k && i <= c; ++i) {
+        // Incremental frontier fill in place of whole-array resets.
+        // Every cell of the cycle-c window is stored unconditionally,
+        // and cycle c+1 reads only cells the cycle-c sweep wrote —
+        // except the diagonal self-reads on the fresh anti-diagonal
+        // i + d == c, which must see the exact -inf a dark PE holds.
+        // (The E/F lanes of those cells are never read before being
+        // written, so only H needs the reset.) Everything outside is
+        // two-generation-stale garbage that provably stays unread.
+        {
+            const u32 fi_lo = std::max(
+                i_lo, c > _k ? static_cast<u32>(c - _k) : 0);
+            for (u32 i = fi_lo; i <= i_hi; ++i) {
+                const u32 d = static_cast<u32>(c - i);
+                if (d < d_lo)
+                    break; // d only shrinks as i grows
+                _hCur[idx(i, d)] = kNegInf;
+            }
+        }
+
+        // Guarded cell body for boundary PEs (i == 0, cell_r == 0,
+        // d == 0): the reference semantics, -inf checks included.
+        const auto cell = [&](u32 i, u32 d) {
             const u64 cell_r = c - i;
-            if (cell_r > n)
+            const u64 cell_q = c - d;
+            const size_t self = idx(i, d);
+
+            i32 e = kNegInf;
+            u32 e_run = 0;
+            if (i >= 1 && cell_q >= 1) {
+                const size_t src = idx(i - 1, d);
+                i32 open = kNegInf, ext = kNegInf;
+                if (_hCur[src] != kNegInf)
+                    open = _hCur[src] - open_ext;
+                if (_eCur[src] != kNegInf)
+                    ext = _eCur[src] - gap_ext;
+                if (ext > open) { // open preferred on ties
+                    e = ext;
+                    e_run = _eRunCur[src] + 1u;
+                } else if (open != kNegInf) {
+                    e = open;
+                    e_run = 1;
+                }
+            }
+
+            i32 f = kNegInf;
+            u32 f_run = 0;
+            if (d >= 1 && cell_r >= 1) {
+                const size_t src = idx(i, d - 1);
+                i32 open = kNegInf, ext = kNegInf;
+                if (_hCur[src] != kNegInf)
+                    open = _hCur[src] - open_ext;
+                if (_fCur[src] != kNegInf)
+                    ext = _fCur[src] - gap_ext;
+                if (ext > open) {
+                    f = ext;
+                    f_run = _fRunCur[src] + 1u;
+                } else if (open != kNegInf) {
+                    f = open;
+                    f_run = 1;
+                }
+            }
+
+            i32 diag = kNegInf;
+            if (cell_r >= 1 && cell_q >= 1 && _hCur[self] != kNegInf)
+                diag = _hCur[self] +
+                       _sc.sub(r[cell_r - 1], q[cell_q - 1]);
+
+            i32 h;
+            if (c == 0 && i == 0 && d == 0) {
+                h = 0;
+                _recs[self].push_back({c, AdoptSrc::Anchor, 0});
+            } else {
+                // Precedence on ties: diagonal continuation, then
+                // insertion, then deletion (one adoption max).
+                h = diag;
+                AdoptSrc src = AdoptSrc::Anchor;
+                u32 run = 0;
+                bool adopted = false;
+                if (e > h) {
+                    h = e;
+                    src = AdoptSrc::Ins;
+                    run = e_run;
+                    adopted = true;
+                }
+                if (f > h) {
+                    h = f;
+                    src = AdoptSrc::Del;
+                    run = f_run;
+                    adopted = true;
+                }
+                if (adopted)
+                    _recs[self].push_back({c, src, run});
+            }
+
+            _eNext[self] = e;
+            _fNext[self] = f;
+            _eRunNext[self] = static_cast<u16>(e_run);
+            _fRunNext[self] = static_cast<u16>(f_run);
+            _hNext[self] = h;
+            if (h != kNegInf)
+                consider(h, i, d, cell_r, cell_q, c);
+        };
+
+#if defined(GENAX_SIMD_AVX2)
+        // Vector path: one kernel invocation sweeps every lean row of
+        // the cycle (amortizing the broadcast setup that dominates a
+        // per-row call), after all guarded boundary cells have run.
+        // Hoisting the guarded cells ahead of the lean sweep cannot
+        // change any output: within one cycle the best-cell update is
+        // order-independent (see silla_stream_row.hh), and adoptions
+        // land in disjoint per-PE record vectors, at most one per
+        // cycle, so record order inside each vector stays by-cycle.
+        if (use_avx2) {
+            for (u32 i = i_lo; i <= i_hi; ++i) {
+                const u32 d_hi =
+                    static_cast<u32>(std::min<u64>(_k, c - i));
+                if (i == 0 || c == i) {
+                    for (u32 d = d_lo; d <= d_hi; ++d)
+                        cell(i, d);
+                } else if (d_lo == 0) {
+                    cell(i, 0); // a lean row's guarded d == 0 cell
+                }
+            }
+            const u32 lean_lo = std::max(i_lo, 1u);
+            if (c >= 1 && lean_lo <= i_hi) {
+                const u32 lean_hi = static_cast<u32>(
+                    std::min<u64>(i_hi, c - 1));
+                const u32 lean_d = std::max(d_lo, 1u);
+                if (lean_lo <= lean_hi) {
+                    const detail::SillaCycleCtx ctx{
+                        _hCur.data(),    _eCur.data(),
+                        _fCur.data(),    _hNext.data(),
+                        _eNext.data(),   _fNext.data(),
+                        _eRunCur.data(), _eRunNext.data(),
+                        _fRunCur.data(), _fRunNext.data(),
+                        r.data(),        q.data(),
+                        c,               _k,
+                        open_ext,        gap_ext,
+                        _sc.match,       _sc.mismatch,
+                        res.score};
+                    row_events.clear();
+                    detail::sillaStreamCycleAvx2(
+                        ctx, lean_lo, lean_hi, lean_d, row_events);
+                    for (const auto &ev : row_events) {
+                        const size_t self = idx(ev.i, ev.d);
+                        if (ev.flags & detail::kSillaRowAdopt)
+                            _recs[self].push_back(
+                                {c,
+                                 (ev.flags & detail::kSillaRowDel)
+                                     ? AdoptSrc::Del
+                                     : AdoptSrc::Ins,
+                                 ev.run});
+                        if (ev.flags & detail::kSillaRowConsider)
+                            consider(_hNext[self], ev.i, ev.d,
+                                     c - ev.i, c - ev.d, c);
+                    }
+                }
+            }
+            std::swap(_hCur, _hNext);
+            std::swap(_eCur, _eNext);
+            std::swap(_fCur, _fNext);
+            std::swap(_eRunCur, _eRunNext);
+            std::swap(_fRunCur, _fRunNext);
+            continue;
+        }
+#endif
+        for (u32 i = i_lo; i <= i_hi; ++i) {
+            const u64 cell_r = c - i;
+            const u32 d_hi =
+                static_cast<u32>(std::min<u64>(_k, c - i));
+            if (i == 0 || cell_r == 0) {
+                for (u32 d = d_lo; d <= d_hi; ++d)
+                    cell(i, d);
                 continue;
-            for (u32 d = 0; d <= _k && d <= c; ++d) {
-                const u64 cell_q = c - d;
-                if (cell_q > m)
-                    continue;
-                const size_t self = idx(i, d);
+            }
+            u32 d = d_lo;
+            if (d == 0 && d <= d_hi) {
+                cell(i, 0);
+                d = 1;
+            }
+            // Lean interior: i >= 1 and d >= 1 with cell_r >= 1 and
+            // cell_q >= 1 (d <= c - i implies c - d >= i >= 1), so
+            // every H source — (i-1,d), (i,d-1) and, one diagonal
+            // hop back, (i,d) itself — is inside the live window and
+            // holds either a real score or the exact -inf fill.
+            // Arithmetic on an exact -inf source yields a value
+            // hundreds of millions below any reachable score, so the
+            // unguarded max/compare chain picks the same winners,
+            // latches the same adoptions and stores the same (real)
+            // values as the guarded body.
+            const size_t row = static_cast<size_t>(i) * stride;
+            for (; d <= d_hi; ++d) {
+                const size_t self = row + d;
+                const size_t srcE = self - stride;
+                const size_t srcF = self - 1;
 
-                i32 e = kNegInf;
-                u32 e_run = 0;
-                if (i >= 1 && cell_q >= 1) {
-                    const size_t src = idx(i - 1, d);
-                    i32 open = kNegInf, ext = kNegInf;
-                    if (_hCur[src] != kNegInf)
-                        open = _hCur[src] - _sc.gapOpen - _sc.gapExtend;
-                    if (_eCur[src] != kNegInf)
-                        ext = _eCur[src] - _sc.gapExtend;
-                    if (ext > open) { // open preferred on ties
-                        e = ext;
-                        e_run = eRunCur[src] + 1;
-                    } else if (open != kNegInf) {
-                        e = open;
-                        e_run = 1;
-                    }
-                }
-
-                i32 f = kNegInf;
-                u32 f_run = 0;
-                if (d >= 1 && cell_r >= 1) {
-                    const size_t src = idx(i, d - 1);
-                    i32 open = kNegInf, ext = kNegInf;
-                    if (_hCur[src] != kNegInf)
-                        open = _hCur[src] - _sc.gapOpen - _sc.gapExtend;
-                    if (_fCur[src] != kNegInf)
-                        ext = _fCur[src] - _sc.gapExtend;
-                    if (ext > open) {
-                        f = ext;
-                        f_run = fRunCur[src] + 1;
-                    } else if (open != kNegInf) {
-                        f = open;
-                        f_run = 1;
-                    }
-                }
-
-                i32 diag = kNegInf;
-                if (cell_r >= 1 && cell_q >= 1 && _hCur[self] != kNegInf)
-                    diag = _hCur[self] +
-                           _sc.sub(r[cell_r - 1], q[cell_q - 1]);
-
-                i32 h;
-                if (c == 0 && i == 0 && d == 0) {
-                    h = 0;
-                    recs[self].push_back({c, AdoptSrc::Anchor, 0});
+                const i32 openE = _hCur[srcE] - open_ext;
+                const i32 extE = _eCur[srcE] - gap_ext;
+                i32 e;
+                u32 e_run;
+                if (extE > openE) { // open preferred on ties
+                    e = extE;
+                    e_run = _eRunCur[srcE] + 1u;
                 } else {
-                    // Precedence on ties: diagonal continuation, then
-                    // insertion, then deletion (one adoption max).
-                    h = diag;
-                    AdoptSrc src = AdoptSrc::Anchor;
-                    u32 run = 0;
-                    bool adopted = false;
-                    if (e > h) {
-                        h = e;
-                        src = AdoptSrc::Ins;
-                        run = e_run;
-                        adopted = true;
-                    }
-                    if (f > h) {
-                        h = f;
-                        src = AdoptSrc::Del;
-                        run = f_run;
-                        adopted = true;
-                    }
-                    if (adopted)
-                        recs[self].push_back({c, src, run});
+                    e = openE;
+                    e_run = 1;
                 }
+
+                const i32 openF = _hCur[srcF] - open_ext;
+                const i32 extF = _fCur[srcF] - gap_ext;
+                i32 f;
+                u32 f_run;
+                if (extF > openF) {
+                    f = extF;
+                    f_run = _fRunCur[srcF] + 1u;
+                } else {
+                    f = openF;
+                    f_run = 1;
+                }
+
+                const u64 cell_q = c - d;
+                const i32 diag =
+                    _hCur[self] + _sc.sub(r[cell_r - 1],
+                                          q[cell_q - 1]);
+
+                i32 h = diag;
+                AdoptSrc src = AdoptSrc::Anchor;
+                u32 run = 0;
+                bool adopted = false;
+                if (e > h) {
+                    h = e;
+                    src = AdoptSrc::Ins;
+                    run = e_run;
+                    adopted = true;
+                }
+                if (f > h) {
+                    h = f;
+                    src = AdoptSrc::Del;
+                    run = f_run;
+                    adopted = true;
+                }
+                if (adopted)
+                    _recs[self].push_back({c, src, run});
 
                 _eNext[self] = e;
                 _fNext[self] = f;
-                eRunNext[self] = e_run;
-                fRunNext[self] = f_run;
+                _eRunNext[self] = static_cast<u16>(e_run);
+                _fRunNext[self] = static_cast<u16>(f_run);
                 _hNext[self] = h;
-                if (h != kNegInf)
-                    consider(h, i, d, cell_r, cell_q, c);
+                consider(h, i, d, cell_r, cell_q, c);
             }
         }
         std::swap(_hCur, _hNext);
         std::swap(_eCur, _eNext);
         std::swap(_fCur, _fNext);
-        std::swap(eRunCur, eRunNext);
-        std::swap(fRunCur, fRunNext);
+        std::swap(_eRunCur, _eRunNext);
+        std::swap(_fRunCur, _fRunNext);
     }
     res.stats.streamCycles = max_cycle + 1;
     // Phases 2-4: best-score back-propagation, winner announcement,
@@ -230,7 +401,7 @@ SillaTraceback::align(const Seq &r, const Seq &q)
     // Last adoption of the PE at cycle <= t (the register view after
     // any necessary re-run).
     auto record_at = [&](size_t pe, Cycle t) -> const Adoption & {
-        const auto &v = recs[pe];
+        const auto &v = _recs[pe];
         GENAX_CHECK(!v.empty(), "traceback into PE with no records");
         auto it = std::upper_bound(
             v.begin(), v.end(), t,
@@ -239,7 +410,7 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         return *(it - 1);
     };
     auto adopted_in = [&](size_t pe, Cycle lo_excl, Cycle hi_incl) {
-        const auto &v = recs[pe];
+        const auto &v = _recs[pe];
         auto it = std::upper_bound(
             v.begin(), v.end(), lo_excl,
             [](Cycle c, const Adoption &a) { return c < a.cycle; });

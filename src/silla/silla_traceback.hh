@@ -77,12 +77,47 @@ class SillaTraceback
     u64 peCount() const { return static_cast<u64>(_k + 1) * (_k + 1); }
 
   private:
+    /** How the closed (H) path entered a PE. */
+    enum class AdoptSrc : u8
+    {
+        Anchor,
+        Ins,
+        Del,
+    };
+
+    /**
+     * One pointer-trail record: latched by a PE whenever its closed
+     * path changes identity (an E/F value beats the diagonal
+     * continuation).
+     *
+     * Hardware realization: the 2-bit traceback pointer plus the gap
+     * run-length counter that rides along the E/F lanes (log2(K)
+     * bits), latched together — so a multi-character gap is traced
+     * in one hop without consulting the volatile gap lanes at
+     * collection time. This mirrors the paper's match-count
+     * compression applied to gap runs.
+     */
+    struct Adoption
+    {
+        Cycle cycle;
+        AdoptSrc src;
+        u32 gapLen; // characters in the adopted gap run (0 = anchor)
+    };
+
     size_t idx(u32 i, u32 d) const { return i * (_k + 1) + d; }
 
     u32 _k;
     Scoring _sc;
 
     std::vector<i32> _hCur, _hNext, _eCur, _eNext, _fCur, _fNext;
+    /** Gap run-length counters riding along the E/F lanes (the run
+     *  is bounded by K <= kMaxSillaK, so u16 suffices). Reused
+     *  across align() calls. */
+    std::vector<u16> _eRunCur, _eRunNext, _fRunCur, _fRunNext;
+    /** Pointer-trail records per PE, in adoption (cycle) order.
+     *  Reused across align() calls so the per-PE vectors keep their
+     *  capacity instead of reallocating every extension. */
+    std::vector<std::vector<Adoption>> _recs;
 };
 
 } // namespace genax

@@ -29,10 +29,27 @@ StructuralEditMachine::distance(const Seq &r, const Seq &q)
         return std::nullopt;
 
     _cmps.reset();
-    std::fill(_cur0.begin(), _cur0.end(), 0);
-    std::fill(_cur1.begin(), _cur1.end(), 0);
-    std::fill(_curW.begin(), _curW.end(), 0);
+    // Both buffer generations are all-zero outside the active lists
+    // (the sweep re-zeroes each consumed generation), so clearing
+    // the previous call's live cells restores a fully blank grid
+    // without a (K+1)^2 fill.
+    for (const size_t s : _activeCur) {
+        _cur0[s] = 0;
+        _cur1[s] = 0;
+        _curW[s] = 0;
+    }
     _cur0[idx(0, 0)] = 1;
+    _activeCur.clear();
+    _activeCur.push_back(idx(0, 0));
+
+    // A cell enters the next-cycle active list the first time any of
+    // its three state bits is set; activation stats count set bits,
+    // so the sparse visit order (insertion order, deterministic)
+    // accumulates exactly what the dense i-then-d sweep did.
+    const auto mark = [&](size_t s) {
+        if (!_next0[s] && !_next1[s] && !_nextW[s])
+            _activeNext.push_back(s);
+    };
 
     std::optional<u32> best;
     const u64 max_cycle = std::min(n, m) + _k;
@@ -43,51 +60,57 @@ StructuralEditMachine::distance(const Seq &r, const Seq &q)
         _cmps.step(c < n ? r[c] : ComparatorArray::kPadR,
                    c < m ? q[c] : ComparatorArray::kPadQ);
 
-        std::fill(_next0.begin(), _next0.end(), 0);
-        std::fill(_next1.begin(), _next1.end(), 0);
-        std::fill(_nextW.begin(), _nextW.end(), 0);
+        _activeNext.clear();
         u64 active = 0;
         bool any = false;
 
-        for (u32 i = 0; i <= _k; ++i) {
-            for (u32 d = 0; i + d <= _k; ++d) {
-                const size_t s = idx(i, d);
-                if (_curW[s]) {
-                    ++active;
-                    any = true;
-                    _next0[idx(i + 1, d + 1)] = 1;
+        for (const size_t s : _activeCur) {
+            const u32 i = static_cast<u32>(s / (_k + 1));
+            const u32 d = static_cast<u32>(s % (_k + 1));
+            if (_curW[s]) {
+                ++active;
+                any = true;
+                mark(idx(i + 1, d + 1));
+                _next0[idx(i + 1, d + 1)] = 1;
+            }
+            for (u32 layer = 0; layer <= 1; ++layer) {
+                const u8 on = layer == 0 ? _cur0[s] : _cur1[s];
+                if (!on)
+                    continue;
+                ++active;
+                if (c - i == n && c - d == m) {
+                    const u32 edits = i + d + layer;
+                    if (!best || edits < *best)
+                        best = edits;
+                    continue;
                 }
-                for (u32 layer = 0; layer <= 1; ++layer) {
-                    const u8 on = layer == 0 ? _cur0[s] : _cur1[s];
-                    if (!on)
-                        continue;
-                    ++active;
-                    if (c - i == n && c - d == m) {
-                        const u32 edits = i + d + layer;
-                        if (!best || edits < *best)
-                            best = edits;
-                        continue;
+                if (c - i > n || c - d > m)
+                    continue;
+                any = true;
+                // The latched systolic comparison, not a direct
+                // string lookup.
+                if (_cmps.compare(i, d)) {
+                    mark(s);
+                    (layer == 0 ? _next0 : _next1)[s] = 1;
+                    continue;
+                }
+                auto &lay = layer == 0 ? _next0 : _next1;
+                if (i + 1 + d + layer <= _k) {
+                    mark(idx(i + 1, d));
+                    lay[idx(i + 1, d)] = 1;
+                }
+                if (i + d + 1 + layer <= _k) {
+                    mark(idx(i, d + 1));
+                    lay[idx(i, d + 1)] = 1;
+                }
+                if (layer == 0) {
+                    if (i + d + 1 <= _k) {
+                        mark(s);
+                        _next1[s] = 1;
                     }
-                    if (c - i > n || c - d > m)
-                        continue;
-                    any = true;
-                    // The latched systolic comparison, not a direct
-                    // string lookup.
-                    if (_cmps.compare(i, d)) {
-                        (layer == 0 ? _next0 : _next1)[s] = 1;
-                        continue;
-                    }
-                    auto &lay = layer == 0 ? _next0 : _next1;
-                    if (i + 1 + d + layer <= _k)
-                        lay[idx(i + 1, d)] = 1;
-                    if (i + d + 1 + layer <= _k)
-                        lay[idx(i, d + 1)] = 1;
-                    if (layer == 0) {
-                        if (i + d + 1 <= _k)
-                            _next1[s] = 1;
-                    } else if (i + d + 2 <= _k) {
-                        _nextW[s] = 1;
-                    }
+                } else if (i + d + 2 <= _k) {
+                    mark(s);
+                    _nextW[s] = 1;
                 }
             }
         }
@@ -96,6 +119,14 @@ StructuralEditMachine::distance(const Seq &r, const Seq &q)
         std::swap(_cur0, _next0);
         std::swap(_cur1, _next1);
         std::swap(_curW, _nextW);
+        // Re-zero the consumed generation (now the next buffers) so
+        // the all-zero-outside-the-list invariant holds for reuse.
+        for (const size_t s : _activeCur) {
+            _next0[s] = 0;
+            _next1[s] = 0;
+            _nextW[s] = 0;
+        }
+        std::swap(_activeCur, _activeNext);
         if (best || !any)
             break;
     }

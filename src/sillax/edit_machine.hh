@@ -43,6 +43,14 @@ class StructuralEditMachine
     ComparatorArray _cmps;
     SillaRunStats _stats;
     std::vector<u8> _cur0, _cur1, _curW, _next0, _next1, _nextW;
+    /**
+     * Cells with at least one state bit set, maintained across the
+     * swap so each cycle touches only live PEs instead of sweeping
+     * (and re-zeroing) the whole (K+1)^2 grid. Activation stats are
+     * per set bit, so the sparse sweep counts exactly what the dense
+     * one did.
+     */
+    std::vector<size_t> _activeCur, _activeNext;
 };
 
 } // namespace genax

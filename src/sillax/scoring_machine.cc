@@ -1,6 +1,7 @@
 #include "sillax/scoring_machine.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hh"
 
@@ -59,6 +60,7 @@ StructuralScoringMachine::run(const Seq &r, const Seq &q)
     };
     consider(0, 0, 0, 0, 0, 0);
 
+    const i32 open_ext = _sc.gapOpen + _sc.gapExtend;
     const u64 max_cycle = std::min(n, m) + _k;
     for (u64 c = 0; c <= max_cycle; ++c) {
         // The comparator array currently holds cycle c-1's retro
@@ -68,21 +70,35 @@ StructuralScoringMachine::run(const Seq &r, const Seq &q)
         std::fill(_eNext.begin(), _eNext.end(), kNegInf);
         std::fill(_fNext.begin(), _fNext.end(), kNegInf);
 
-        for (u32 i = 0; i <= _k && i <= c; ++i) {
+        // Live-cell window. Scores spread from PE (0,0) one
+        // neighbour hop per cycle, so cells with i + d > c are still
+        // at -inf (proven inductively: a cell's sources at cycle c-1
+        // have index sums >= i + d - 1); cells with i < c - n or
+        // d < c - m have walked off the end of a sequence. Both
+        // kinds would compute and store -inf — exactly what the fill
+        // already left there — so the clamped loops visit precisely
+        // the cells that can contribute.
+        const u32 i_lo =
+            c > n ? static_cast<u32>(std::min<u64>(c - n, _k + 1))
+                  : 0;
+        const u32 i_hi = static_cast<u32>(
+            std::min<u64>(_k, c));
+        const u32 d_lo =
+            c > m ? static_cast<u32>(std::min<u64>(c - m, _k + 1))
+                  : 0;
+        for (u32 i = i_lo; i <= i_hi; ++i) {
             const u64 cell_r = c - i;
-            if (cell_r > n)
-                continue;
-            for (u32 d = 0; d <= _k && d <= c; ++d) {
+            const u32 d_hi = static_cast<u32>(
+                std::min<u64>(_k, c - i));
+            for (u32 d = d_lo; d <= d_hi; ++d) {
                 const u64 cell_q = c - d;
-                if (cell_q > m)
-                    continue;
                 const size_t self = idx(i, d);
 
                 i32 e = kNegInf;
                 if (i >= 1 && cell_q >= 1) {
                     const size_t src = idx(i - 1, d);
                     if (_hCur[src] != kNegInf)
-                        e = _hCur[src] - _sc.gapOpen - _sc.gapExtend;
+                        e = _hCur[src] - open_ext;
                     if (_eCur[src] != kNegInf)
                         e = std::max(e, _eCur[src] - _sc.gapExtend);
                 }
@@ -90,7 +106,7 @@ StructuralScoringMachine::run(const Seq &r, const Seq &q)
                 if (d >= 1 && cell_r >= 1) {
                     const size_t src = idx(i, d - 1);
                     if (_hCur[src] != kNegInf)
-                        f = _hCur[src] - _sc.gapOpen - _sc.gapExtend;
+                        f = _hCur[src] - open_ext;
                     if (_fCur[src] != kNegInf)
                         f = std::max(f, _fCur[src] - _sc.gapExtend);
                 }
@@ -132,10 +148,70 @@ StructuralScoringMachine::run(const Seq &r, const Seq &q)
 std::pair<i32, Cycle>
 StructuralScoringMachine::backPropagateBest()
 {
+#if defined(GENAX_MODEL_ORACLE)
+    return backPropagateBestNaive();
+#else
     GENAX_CHECK(!_bestSeen.empty(),
                  "backPropagateBest requires a prior run()");
     // Local-only reduction: every cycle a PE folds in its upstream
-    // neighbours' registers; the grid diameter bounds convergence.
+    // (i+1,d) / (i,d+1) / (i+1,d+1) neighbours' registers, so after
+    // p passes a PE holds the maximum over the (p+1)-sided square
+    // anchored at it, and its fixed point is the maximum over its
+    // whole upper-right quadrant. The pass loop runs until the first
+    // all-unchanged pass; a PE last changes on the pass equal to the
+    // Chebyshev distance to the nearest maximiser of its quadrant,
+    // so the pass count is 1 + the largest such distance. One
+    // reverse sweep computes both the quadrant maxima and those
+    // distances — same register values, same cycle count, no
+    // iteration to a fixed point.
+    const u32 kk = _k + 1;
+    std::vector<i32> qmax(_bestSeen.size());
+    std::vector<Cycle> dist(_bestSeen.size(), 0);
+    Cycle max_dist = 0;
+    for (u32 i = kk; i-- > 0;) {
+        for (u32 d = kk; d-- > 0;) {
+            const size_t s = idx(i, d);
+            i32 v = _bestSeen[s];
+            if (i + 1 < kk)
+                v = std::max(v, qmax[idx(i + 1, d)]);
+            if (d + 1 < kk)
+                v = std::max(v, qmax[idx(i, d + 1)]);
+            if (i + 1 < kk && d + 1 < kk)
+                v = std::max(v, qmax[idx(i + 1, d + 1)]);
+            qmax[s] = v;
+            if (_bestSeen[s] == v) {
+                dist[s] = 0;
+                continue;
+            }
+            // The maximum came from a neighbour's quadrant; hop to
+            // the nearest neighbour that still sees it.
+            Cycle best = std::numeric_limits<Cycle>::max();
+            if (i + 1 < kk && qmax[idx(i + 1, d)] == v)
+                best = std::min(best, dist[idx(i + 1, d)]);
+            if (d + 1 < kk && qmax[idx(i, d + 1)] == v)
+                best = std::min(best, dist[idx(i, d + 1)]);
+            if (i + 1 < kk && d + 1 < kk &&
+                qmax[idx(i + 1, d + 1)] == v)
+                best = std::min(best, dist[idx(i + 1, d + 1)]);
+            GENAX_DCHECK(best != std::numeric_limits<Cycle>::max(),
+                         "quadrant max not visible from any "
+                         "neighbour");
+            dist[s] = best + 1;
+            max_dist = std::max(max_dist, dist[s]);
+        }
+    }
+    return {qmax[idx(0, 0)], max_dist + 1};
+#endif
+}
+
+std::pair<i32, Cycle>
+StructuralScoringMachine::backPropagateBestNaive()
+{
+    GENAX_CHECK(!_bestSeen.empty(),
+                 "backPropagateBest requires a prior run()");
+    // Lock-step reference for the reduction above: every cycle a PE
+    // folds in its upstream neighbours' registers; the grid diameter
+    // bounds convergence. Kept as the equivalence oracle.
     std::vector<i32> cur = _bestSeen;
     std::vector<i32> next = cur;
     Cycle cycles = 0;

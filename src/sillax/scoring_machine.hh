@@ -38,8 +38,16 @@ class StructuralScoringMachine
      * upstream neighbours). Returns the value read out at (0,0) and
      * the cycles the reduction took — always equal to run().best and
      * at most 2K cycles (asserted in the tests).
+     *
+     * Computed in closed form (one reverse sweep over the grid — the
+     * pass count is 1 + the largest Chebyshev distance from a PE to
+     * the nearest maximiser of its upper-right quadrant); dispatches
+     * to the lock-step reference under GENAX_MODEL_ORACLE.
      */
     std::pair<i32, Cycle> backPropagateBest();
+
+    /** Lock-step reference for backPropagateBest() (the oracle). */
+    std::pair<i32, Cycle> backPropagateBestNaive();
 
     u32 k() const { return _k; }
     u32 comparatorCount() const { return _cmps.comparatorCount(); }

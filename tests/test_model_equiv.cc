@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Model-equivalence pins for the event-driven accelerator model: the
+ * optimized closed-form / event-driven implementations must be
+ * bit-identical to their lock-step oracles, and the end-to-end
+ * modelled numbers must be invariant to every host-execution knob
+ * (threads, batch size). These tests are what lets the
+ * GENAX_MODEL_ORACLE CI leg mean something: the oracle and the
+ * production path are both always compiled, and this file diffs them
+ * directly regardless of which one simulate() dispatches to.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "genax/pipeline.hh"
+#include "genax/seeding_sim.hh"
+#include "genax/system.hh"
+#include "readsim/readsim.hh"
+#include "readsim/refgen.hh"
+#include "sillax/scoring_machine.hh"
+
+namespace genax {
+namespace {
+
+// ------------------------------------------ seeding lane simulator
+
+void
+expectSimEqual(const SeedingSimConfig &cfg,
+               const std::vector<LaneWork> &work, const char *what)
+{
+    const SeedingLaneSim sim(cfg);
+    const auto naive = sim.simulateNaive(work);
+    const auto event = sim.simulateEvent(work);
+    EXPECT_EQ(naive.cycles, event.cycles)
+        << what << " lanes=" << cfg.lanes << " banks=" << cfg.banks
+        << " width=" << cfg.issueWidth << " lat=" << cfg.sramLatency;
+    EXPECT_EQ(naive.grants, event.grants) << what;
+    EXPECT_EQ(naive.bankConflicts, event.bankConflicts) << what;
+}
+
+std::vector<LaneWork>
+randomWork(Rng &rng, u64 reads, u64 max_lookups, u64 max_cam)
+{
+    std::vector<LaneWork> work(reads);
+    for (auto &w : work) {
+        // Leave a healthy share of degenerate reads in the mix:
+        // zero-lookup (CAM only), zero-CAM, and fully empty reads
+        // exercise the event paths that skip issue cycles entirely.
+        const u64 shape = rng.below(10);
+        w.indexLookups = shape < 2 ? 0 : rng.below(max_lookups + 1);
+        w.camOps = shape == 2 ? 0 : rng.below(max_cam + 1);
+    }
+    return work;
+}
+
+TEST(ModelEquiv, SeedingSimEventMatchesNaiveAcrossConfigs)
+{
+    Rng rng(9001);
+    for (const u32 lanes : {1u, 3u, 8u, 128u}) {
+        for (const u32 banks : {1u, 2u, 32u}) {
+            for (const u32 width : {1u, 4u}) {
+                SeedingSimConfig cfg;
+                cfg.lanes = lanes;
+                cfg.banks = banks;
+                cfg.issueWidth = width;
+                cfg.sramLatency = 1 + static_cast<u32>(rng.below(4));
+                cfg.seed = 1 + rng.below(1000);
+                const auto work =
+                    randomWork(rng, 2 * lanes + 7, 60, 40);
+                expectSimEqual(cfg, work, "config sweep");
+            }
+        }
+    }
+}
+
+TEST(ModelEquiv, SeedingSimDegenerateWorkloads)
+{
+    SeedingSimConfig cfg;
+    cfg.lanes = 8;
+    cfg.banks = 2;
+
+    expectSimEqual(cfg, {}, "empty work list");
+    expectSimEqual(cfg, std::vector<LaneWork>(20, LaneWork{0, 0}),
+                   "all-empty reads");
+    expectSimEqual(cfg, std::vector<LaneWork>(20, LaneWork{0, 13}),
+                   "CAM-only reads");
+    expectSimEqual(cfg, std::vector<LaneWork>(20, LaneWork{17, 0}),
+                   "lookup-only reads");
+    expectSimEqual(cfg, {{1, 0}}, "single one-lookup read");
+
+    // Fewer reads than lanes: some lanes never work at all.
+    cfg.lanes = 128;
+    expectSimEqual(cfg, {{5, 3}, {0, 0}, {9, 1}},
+                   "mostly idle lane array");
+}
+
+TEST(ModelEquiv, SeedingSimHeavyContention)
+{
+    // Long runs through a single bank maximize the stretches the
+    // event path must collapse to closed form while every issue
+    // attempt conflicts.
+    SeedingSimConfig cfg;
+    cfg.lanes = 16;
+    cfg.banks = 1;
+    cfg.issueWidth = 4;
+    Rng rng(424);
+    expectSimEqual(cfg, randomWork(rng, 64, 120, 20),
+                   "single-bank contention");
+
+    cfg.banks = 32;
+    cfg.lanes = 128;
+    expectSimEqual(cfg, randomWork(rng, 300, 80, 60),
+                   "full-array contention");
+}
+
+TEST(ModelEquiv, SeedingSimSeedSensitivity)
+{
+    // Identical config + work + seed must replay exactly; a
+    // different seed draws a different bank-address stream. (The
+    // second half is a sanity check that the pin is not vacuous.)
+    SeedingSimConfig cfg;
+    cfg.lanes = 32;
+    cfg.banks = 4;
+    Rng rng(77);
+    const auto work = randomWork(rng, 100, 50, 30);
+
+    for (const u64 seed : {1ull, 2ull, 999ull}) {
+        cfg.seed = seed;
+        expectSimEqual(cfg, work, "seed sweep");
+    }
+
+    cfg.seed = 1;
+    const auto a = SeedingLaneSim(cfg).simulateEvent(work);
+    cfg.seed = 2;
+    const auto b = SeedingLaneSim(cfg).simulateEvent(work);
+    EXPECT_NE(a.bankConflicts, b.bankConflicts)
+        << "different bank-address streams should conflict "
+           "differently";
+}
+
+// ------------------------------------- scoring-machine back-propagation
+
+Seq
+randomSeq(Rng &rng, size_t len)
+{
+    Seq s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<Base>(rng.below(4)));
+    return s;
+}
+
+TEST(ModelEquiv, BackPropagateClosedFormMatchesNaive)
+{
+    // The closed-form reduction (one reverse sweep) and the
+    // lock-step nearest-neighbour reference must agree on both the
+    // reduced value and the cycle count, for every PE-grid state a
+    // run() can leave behind.
+    const Scoring sc;
+    Rng rng(1331);
+    for (const u32 k : {4u, 8u, 16u}) {
+        // Two machines fed identically, so neither reduction can
+        // disturb the other's register state.
+        StructuralScoringMachine closed(k, sc), naive(k, sc);
+        for (int t = 0; t < 20; ++t) {
+            const Seq ref = randomSeq(rng, 40 + rng.below(80));
+            Seq qry = ref;
+            for (u64 e = rng.below(8); e > 0 && !qry.empty(); --e)
+                qry[rng.below(qry.size())] =
+                    static_cast<Base>(rng.below(4));
+            const auto a = closed.run(ref, qry);
+            const auto b = naive.run(ref, qry);
+            ASSERT_EQ(a.best, b.best);
+
+            const auto [cv, cc] = closed.backPropagateBest();
+            const auto [nv, nc] = naive.backPropagateBestNaive();
+            EXPECT_EQ(cv, nv) << "k=" << k << " t=" << t;
+            EXPECT_EQ(cc, nc) << "k=" << k << " t=" << t;
+            EXPECT_EQ(cv, a.best);
+        }
+    }
+}
+
+// ------------------------------------------- end-to-end invariance
+
+struct Workload
+{
+    std::vector<FastaRecord> ref;
+    std::vector<FastqRecord> reads;
+};
+
+Workload
+makeWorkload()
+{
+    RefGenConfig rcfg;
+    rcfg.length = 24000;
+    rcfg.seed = 4321;
+    const Seq ref = generateReference(rcfg);
+
+    ReadSimConfig rs;
+    rs.numReads = 90;
+    rs.seed = 8765;
+    const auto sim = simulateReads(ref, rs);
+
+    Workload w;
+    w.ref.resize(1);
+    w.ref[0].name = "equiv_ref";
+    w.ref[0].seq = ref;
+    w.reads.resize(sim.size());
+    for (size_t i = 0; i < sim.size(); ++i) {
+        w.reads[i].name = "r" + std::to_string(i);
+        w.reads[i].seq = sim[i].seq;
+        w.reads[i].qual = sim[i].qual;
+    }
+    return w;
+}
+
+struct RunOutput
+{
+    std::string sam;
+    PipelineResult res;
+};
+
+RunOutput
+runPipeline(const Workload &w, unsigned threads, u64 batch_reads)
+{
+    PipelineOptions opts;
+    opts.engine = PipelineOptions::Engine::GenAx;
+    opts.segments = 5;
+    opts.threads = threads;
+    opts.batchReads = batch_reads;
+
+    std::ostringstream sink;
+    const auto res = [&]() -> StatusOr<PipelineResult> {
+        if (batch_reads > 0) {
+            std::ostringstream fastq;
+            GENAX_TRY(writeFastq(fastq, w.reads));
+            std::istringstream in(fastq.str());
+            FastqReader reader(in);
+            return alignStreamToSam(w.ref, reader, sink, opts);
+        }
+        return alignToSam(w.ref, w.reads, sink, opts);
+    }();
+    EXPECT_TRUE(res.ok()) << res.status().str();
+    return {sink.str(), res.ok() ? *res : PipelineResult{}};
+}
+
+void
+expectSameModel(const RunOutput &a, const RunOutput &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.sam, b.sam) << what;
+    EXPECT_EQ(a.res.mapped, b.res.mapped) << what;
+    EXPECT_EQ(a.res.degraded, b.res.degraded) << what;
+    // The modelled report must be bit-identical — the doubles are
+    // derived from slot-ordered u64 sums, so exact equality is the
+    // contract, not a tolerance.
+    EXPECT_EQ(a.res.perf.seedingSeconds, b.res.perf.seedingSeconds)
+        << what;
+    EXPECT_EQ(a.res.perf.extensionSeconds, b.res.perf.extensionSeconds)
+        << what;
+    EXPECT_EQ(a.res.perf.dramSeconds, b.res.perf.dramSeconds) << what;
+    EXPECT_EQ(a.res.perf.totalSeconds, b.res.perf.totalSeconds) << what;
+    EXPECT_EQ(a.res.perf.seeding.indexLookups,
+              b.res.perf.seeding.indexLookups)
+        << what;
+    EXPECT_EQ(a.res.perf.lanes.streamCycles,
+              b.res.perf.lanes.streamCycles)
+        << what;
+}
+
+TEST(ModelEquiv, PipelineInvariantToThreadsAndBatch)
+{
+    const Workload w = makeWorkload();
+    const RunOutput base = runPipeline(w, 1, 0);
+    EXPECT_GT(base.res.mapped, 0u);
+    for (const unsigned threads : {1u, 8u}) {
+        for (const u64 batch : {u64{7}, u64{64}}) {
+            const RunOutput run = runPipeline(w, threads, batch);
+            expectSameModel(base, run,
+                            "threads=" + std::to_string(threads) +
+                                " batch=" + std::to_string(batch));
+        }
+    }
+}
+
+TEST(ModelEquiv, SimulatedSeedingLanesInvariantToThreads)
+{
+    // With simulateSeedingLanes on, streamEnd() shards the
+    // per-segment lane simulations across the worker pool; each
+    // simulation is a pure function of (segment seed, work list), so
+    // the modelled cycles must not depend on the shard layout.
+    RefGenConfig rcfg;
+    rcfg.length = 60000;
+    rcfg.seed = 31;
+    const Seq ref = generateReference(rcfg);
+    ReadSimConfig rs;
+    rs.numReads = 80;
+    rs.seed = 32;
+    const auto sim_reads = simulateReads(ref, rs);
+    std::vector<Seq> reads;
+    for (const auto &r : sim_reads)
+        reads.push_back(r.seq);
+
+    GenAxConfig cfg;
+    cfg.segmentCount = 6;
+    cfg.simulateSeedingLanes = true;
+
+    GenAxPerf base;
+    std::vector<Mapping> base_maps;
+    for (const unsigned threads : {1u, 8u, 0u}) {
+        cfg.threads = threads;
+        GenAxSystem sys(ref, cfg);
+        const auto maps = sys.alignAll(reads);
+        if (threads == 1) {
+            base = sys.perf();
+            base_maps = maps;
+            EXPECT_GT(base.seedingSeconds, 0.0);
+            continue;
+        }
+        const std::string what = "threads=" + std::to_string(threads);
+        EXPECT_EQ(sys.perf().seedingSeconds, base.seedingSeconds)
+            << what;
+        EXPECT_EQ(sys.perf().totalSeconds, base.totalSeconds) << what;
+        ASSERT_EQ(maps.size(), base_maps.size());
+        for (size_t i = 0; i < maps.size(); ++i) {
+            EXPECT_EQ(maps[i].pos, base_maps[i].pos) << what;
+            EXPECT_EQ(maps[i].score, base_maps[i].score) << what;
+        }
+    }
+}
+
+} // namespace
+} // namespace genax
