@@ -94,6 +94,79 @@ BM_SillaTraceback(benchmark::State &state)
 }
 BENCHMARK(BM_SillaTraceback)->Arg(16)->Arg(40);
 
+// Event-vs-naive legs for the extension lane model: the two
+// implementations are bit-identical by contract (pinned by
+// test_model_equiv and re-checked here before timing), so the
+// items/s ratio between the _Naive and _Event legs is exactly the
+// host-side speedup the event path buys at a given edit load.
+// Args are {edit bound K, edits injected into the 101bp pair}.
+
+void
+BM_SillaTracebackNaive(benchmark::State &state)
+{
+    const auto p = makePair(14, 101,
+                            static_cast<unsigned>(state.range(1)));
+    SillaTraceback machine(static_cast<u32>(state.range(0)), Scoring{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.alignNaive(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SillaTracebackNaive)
+    ->Args({16, 3})
+    ->Args({40, 3})
+    ->Args({40, 12});
+
+void
+BM_SillaTracebackEvent(benchmark::State &state)
+{
+    const auto p = makePair(14, 101,
+                            static_cast<unsigned>(state.range(1)));
+    SillaTraceback machine(static_cast<u32>(state.range(0)), Scoring{});
+    const auto naive = machine.alignNaive(p.ref, p.qry);
+    const auto event = machine.alignEvent(p.ref, p.qry);
+    if (naive.score != event.score ||
+        naive.stats.total() != event.stats.total()) {
+        state.SkipWithError("event path disagrees with naive oracle");
+        return;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.alignEvent(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SillaTracebackEvent)
+    ->Args({16, 3})
+    ->Args({40, 3})
+    ->Args({40, 12});
+
+void
+BM_EditMachineNaive(benchmark::State &state)
+{
+    const auto p = makePair(12, 101,
+                            static_cast<unsigned>(state.range(1)));
+    StructuralEditMachine hw(static_cast<u32>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hw.distanceNaive(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EditMachineNaive)->Args({16, 3})->Args({40, 3});
+
+void
+BM_EditMachineEvent(benchmark::State &state)
+{
+    const auto p = makePair(12, 101,
+                            static_cast<unsigned>(state.range(1)));
+    StructuralEditMachine hw(static_cast<u32>(state.range(0)));
+    if (hw.distanceNaive(p.ref, p.qry) !=
+        hw.distanceEvent(p.ref, p.qry)) {
+        state.SkipWithError("event path disagrees with naive oracle");
+        return;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hw.distanceEvent(p.ref, p.qry));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EditMachineEvent)->Args({16, 3})->Args({40, 3});
+
 } // namespace
 } // namespace genax
 

@@ -80,10 +80,16 @@ Seq
 reverseComplement(const Seq &s)
 {
     Seq out;
-    out.reserve(s.size());
-    for (auto it = s.rbegin(); it != s.rend(); ++it)
-        out.push_back(complement(*it));
+    reverseComplementInto(s, out);
     return out;
+}
+
+void
+reverseComplementInto(const Seq &s, Seq &out)
+{
+    out.resize(s.size());
+    for (size_t i = 0; i < s.size(); ++i)
+        out[i] = complement(s[s.size() - 1 - i]);
 }
 
 PackedSeq::PackedSeq(const Seq &s)
@@ -160,12 +166,18 @@ PackedSeq::kmer(size_t pos, unsigned k) const
 Seq
 PackedSeq::unpack(size_t pos, size_t len) const
 {
-    GENAX_ASSERT(pos + len <= _size, "unpack out of bounds");
     Seq out;
-    out.reserve(len);
-    for (size_t i = 0; i < len; ++i)
-        out.push_back(at(pos + i));
+    unpackInto(pos, len, out);
     return out;
+}
+
+void
+PackedSeq::unpackInto(size_t pos, size_t len, Seq &out) const
+{
+    GENAX_ASSERT(pos + len <= _size, "unpack out of bounds");
+    out.resize(len);
+    for (size_t i = 0; i < len; ++i)
+        out[i] = at(pos + i);
 }
 
 } // namespace genax

@@ -68,6 +68,10 @@ std::string decode(const Seq &s);
 /** Reverse complement of a sequence. */
 Seq reverseComplement(const Seq &s);
 
+/** reverseComplement() into a caller-owned buffer (capacity reuse on
+ *  hot per-read paths); `out` must not alias `s`. */
+void reverseComplementInto(const Seq &s, Seq &out);
+
 /**
  * A 2-bit-per-base packed DNA sequence.
  *
@@ -129,6 +133,16 @@ class PackedSeq
 
     /** Unpack the whole sequence. */
     Seq unpack() const { return unpack(0, _size); }
+
+    /**
+     * Unpack positions [pos, pos+len) into `out`, reusing its
+     * storage — the scratch-buffer form of unpack() for hot loops
+     * that would otherwise allocate a fresh Seq per call.
+     */
+    void unpackInto(size_t pos, size_t len, Seq &out) const;
+
+    /** Unpack the whole sequence into `out` (storage reused). */
+    void unpackInto(Seq &out) const { unpackInto(0, _size, out); }
 
     /** Memory footprint of the packed payload in bytes. */
     size_t payloadBytes() const { return _words.size() * sizeof(u64); }

@@ -13,6 +13,7 @@
 #include "common/check.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "io/sam.hh"
 #include "seed/index_snapshot.hh"
 #include "silla/silla.hh"
@@ -358,23 +359,36 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
     const u64 batch_size =
         opts.batchReads == 0 ? ~u64{0} : opts.batchReads;
 
+    // IO-overlap policy: at one effective worker nothing can overlap
+    // — parallelFor already runs inline at width 1 — so the reader
+    // and writer threads plus their queue hand-offs would be pure
+    // dispatch overhead. The single-width path parses, aligns and
+    // writes synchronously on this thread instead. Record order,
+    // every fault site's ordinal stream and the SAM byte stream are
+    // identical either way: the threaded reader parses strictly
+    // sequentially and the writer drains in batch order.
+    const bool inline_io = ThreadPool::resolveWidth(opts.threads) == 1;
+
     // Reader stage: one prefetch thread keeps the next batch in
     // flight while the current one aligns. The parse itself stays
     // strictly sequential on that thread, so record order — and the
     // parser fault sites' per-site ordinal replay — is exactly what
     // a synchronous read would produce.
     BoundedQueue<StatusOr<std::vector<FastqRecord>>> parsed(1);
-    std::thread reader_thread([&] {
-        for (;;) {
-            auto batch = reads.nextBatch(batch_size);
-            const bool stop = !batch.ok() || batch->empty();
-            if (!parsed.push(std::move(batch)))
-                break; // aligner bailed out; stop reading
-            if (stop)
-                break;
-        }
-        parsed.close();
-    });
+    std::thread reader_thread;
+    if (!inline_io) {
+        reader_thread = std::thread([&] {
+            for (;;) {
+                auto batch = reads.nextBatch(batch_size);
+                const bool stop = !batch.ok() || batch->empty();
+                if (!parsed.push(std::move(batch)))
+                    break; // aligner bailed out; stop reading
+                if (stop)
+                    break;
+            }
+            parsed.close();
+        });
+    }
 
     // Writer stage: records are formatted into an in-memory stage on
     // this thread (keeping the sam.write fault ordinals in emission
@@ -388,19 +402,27 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
     std::ostringstream stage;
     SamWriter sam(stage, header);
     BoundedQueue<std::string> emitted(2);
-    std::thread writer_thread([&] {
-        for (;;) {
-            auto text = emitted.pop();
-            if (!text)
-                break;
-            out.write(text->data(),
-                      static_cast<std::streamsize>(text->size()));
-        }
-    });
+    std::thread writer_thread;
+    if (!inline_io) {
+        writer_thread = std::thread([&] {
+            for (;;) {
+                auto text = emitted.pop();
+                if (!text)
+                    break;
+                out.write(text->data(),
+                          static_cast<std::streamsize>(text->size()));
+            }
+        });
+    }
     const auto flush_stage = [&] {
         std::string text = stage.str();
         stage.str(std::string());
-        if (!text.empty())
+        if (text.empty())
+            return;
+        if (inline_io)
+            out.write(text.data(),
+                      static_cast<std::streamsize>(text.size()));
+        else
             emitted.push(std::move(text));
     };
     flush_stage(); // the header, so an empty input still yields SAM
@@ -440,15 +462,22 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
     Status failure = okStatus();
     u64 base = 0; // admitted reads before the current batch
     for (;;) {
-        auto next = parsed.pop();
-        if (!next)
-            break;
-        if (!next->ok()) {
-            failure = next->status();
+        StatusOr<std::vector<FastqRecord>> next{
+            std::vector<FastqRecord>{}};
+        if (inline_io) {
+            next = reads.nextBatch(batch_size);
+        } else {
+            auto popped = parsed.pop();
+            if (!popped)
+                break;
+            next = std::move(*popped);
+        }
+        if (!next.ok()) {
+            failure = next.status();
             break;
         }
         const std::vector<FastqRecord> batch =
-            std::move(*next).value();
+            std::move(next).value();
         if (batch.empty())
             break;
         res.reads += batch.size();
@@ -495,10 +524,12 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
 
     // Wind down the IO stages (close() unblocks a reader stuck on a
     // full queue after an early exit).
-    parsed.close();
-    reader_thread.join();
-    emitted.close();
-    writer_thread.join();
+    if (!inline_io) {
+        parsed.close();
+        reader_thread.join();
+        emitted.close();
+        writer_thread.join();
+    }
 
     if (!failure.ok())
         return failure;

@@ -165,10 +165,13 @@ alignToSam(const std::vector<FastaRecord> &ref,
  * opts.batchReads (0 = one unbounded batch). A reader thread
  * prefetches the next batch while the current one aligns, and an
  * in-order writer thread drains finished batches to `out`, so
- * parse / align / emit overlap. One behavioural difference from the
- * load-all path: a reader failure (IO error, malformed budget
- * exhausted) mid-run surfaces after earlier batches' SAM records
- * were already written.
+ * parse / align / emit overlap. At one effective worker width the
+ * stages instead run synchronously on the calling thread — no
+ * overlap is possible there and the queue hand-offs are measurable
+ * overhead — with byte-identical output and fault replay. One
+ * behavioural difference from the load-all path: a reader failure
+ * (IO error, malformed budget exhausted) mid-run surfaces after
+ * earlier batches' SAM records were already written.
  */
 StatusOr<PipelineResult>
 alignStreamToSam(const std::vector<FastaRecord> &ref,

@@ -118,6 +118,49 @@ struct CandidateSet
             rehash(2 * (mask + 1));
         }
     }
+
+    /**
+     * Empty the set for reuse, keeping both allocations. Find/insert
+     * results depend only on the insertion sequence, never on the
+     * table size, so starting a batch from a previously-grown table
+     * produces the identical candidate list.
+     */
+    void
+    reset()
+    {
+        list.clear();
+        std::fill(table.begin(), table.end(), 0u);
+    }
+};
+
+/**
+ * Phase-A output for one (read, strand): either the exact-match
+ * mappings (whole-read SMEM hit) or the anchors to extend. Nothing
+ * is inserted into the candidate set until phase B replays the
+ * staged work in the original strand-major order — the set's prune
+ * uses an unstable partial_sort, so the insertion sequence is part
+ * of the output contract.
+ */
+struct StrandStage
+{
+    std::vector<Mapping> exact;
+    std::vector<Anchor> anchors;
+};
+
+/** Per-read staging between the seeding and extension phases. */
+struct ReadStage
+{
+    StrandStage strand[2]; //!< [0] forward, [1] reverse
+    Seq revOriented;       //!< reverse complement (phase B reuses it)
+
+    void
+    clear()
+    {
+        for (auto &s : strand) {
+            s.exact.clear();
+            s.anchors.clear();
+        }
+    }
 };
 
 /**
@@ -137,6 +180,12 @@ struct WorkerShard
     /** Host wall-clock this shard spent inside the extension kernel
      *  (profiling only — never part of the modelled report). */
     double extHostSeconds = 0;
+    /** Host wall-clock this shard spent in the seeding phase (SMEM
+     *  engine, anchor staging) — profiling only. */
+    double seedHostSeconds = 0;
+    /** Reused unpack buffer for the extension kernel's packed
+     *  reference windows (one live job per shard at a time). */
+    Seq unpackScratch;
     SeedingStats segSeeding; //!< current segment only
 
     explicit WorkerShard(const GenAxConfig &cfg)
@@ -182,6 +231,13 @@ struct GenAxSystem::StreamState
     u64 exactReads = 0;  //!< reads resolved by the exact-match path
     /** Wall-clock of the streamBatchCandidates calls (profiling). */
     double batchHostSeconds = 0;
+    /** Per-read candidate sets, reused across batches so the hash
+     *  tables and lists reach a steady-state capacity instead of
+     *  reallocating per batch. */
+    std::vector<CandidateSet> cands;
+    /** Per-read phase-A staging, reused across segments and batches
+     *  (cleared per use; capacities persist). */
+    std::vector<ReadStage> stages;
 };
 
 GenAxSystem::~GenAxSystem() = default;
@@ -258,7 +314,20 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
     st.totalReads += reads.size();
     _perf.reads += reads.size();
 
-    std::vector<CandidateSet> cands(reads.size());
+    if (st.cands.size() < reads.size())
+        st.cands.resize(reads.size());
+    for (u64 r = 0; r < reads.size(); ++r)
+        st.cands[r].reset();
+    std::vector<CandidateSet> &cands = st.cands;
+    if (st.stages.size() < reads.size())
+        st.stages.resize(reads.size());
+    // The reverse-complemented read is segment-independent: compute
+    // it at most once per read per batch (phase A fills it lazily on
+    // the first reverse-strand search) instead of once per segment.
+    // Only the orientation cache is invalidated here — the strand
+    // stages are cleared per segment in phase A.
+    for (u64 r = 0; r < reads.size(); ++r)
+        st.stages[r].revOriented.clear();
     std::vector<u8> exact_seen(reads.size(), 0);
     _degraded.assign(reads.size(), 0);
 
@@ -295,14 +364,102 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
             lane_cycles_before += ws.lane.stats().totalCycles();
         }
 
+        // Phase A — seeding. Each shard seeds its reads against the
+        // shared index and *stages* the per-strand outcome (exact
+        // mappings or anchors) without touching the candidate sets
+        // or the lanes. Splitting the read's fault scope in two is
+        // sound because the seeding sites (seed.cam.*) and the lane
+        // site (sillax.lane.issue) are disjoint and per-site
+        // ordinals restart per scope instance, so each site sees the
+        // same ordinal stream it saw in the fused loop.
         ThreadPool::global().parallelFor(
             reads.size(), st.width,
             [&](unsigned slot, u64 lo, u64 hi) {
                 WorkerShard &ws = st.shards[slot];
+                const auto seed_t0 = std::chrono::steady_clock::now();
                 // The index is shared read-only; each chunk gets its
                 // own engine (it accumulates stats and CAM state).
                 SmemEngine engine(index, _cfg.seeding);
                 u64 prev_lookups = 0, prev_cam = 0;
+
+                for (u64 r = lo; r < hi; ++r) {
+                    ReadStage &rs = st.stages[r];
+                    rs.clear();
+                    // Fault decisions inside this read are keyed on
+                    // (segment, global read index) — a pure function
+                    // of the work item, not of arrival order or
+                    // batch composition — so an armed plan fires
+                    // identically at any thread count and any batch
+                    // size.
+                    FaultKeyScope fault_key(FaultKeyScope::mixKey(
+                        seg + 1, base_read_index + r));
+                    for (int sidx = 0; sidx < 2; ++sidx) {
+                        const bool reverse = sidx == 1;
+                        StrandStage &ss = rs.strand[sidx];
+                        if (reverse && rs.revOriented.empty())
+                            reverseComplementInto(reads[r],
+                                                  rs.revOriented);
+                        const Seq &oriented =
+                            reverse ? rs.revOriented : reads[r];
+                        const auto smems = engine.seed(oriented);
+                        if (smems.empty())
+                            continue;
+
+                        // Exact whole-read match: no extension needed
+                        // (Section V's common-case optimization).
+                        if (smems.size() == 1 &&
+                            smems[0].qryBegin == 0 &&
+                            smems[0].qryEnd == oriented.size()) {
+                            exact_seen[r] = 1;
+                            for (u32 local : smems[0].positions) {
+                                Mapping m;
+                                m.mapped = true;
+                                m.reverse = reverse;
+                                m.pos = _segments.toGlobal(seg, local);
+                                m.score =
+                                    static_cast<i32>(oriented.size()) *
+                                    _cfg.scoring.match;
+                                m.cigar.push(
+                                    CigarOp::Match,
+                                    static_cast<u32>(oriented.size()));
+                                ss.exact.push_back(m);
+                            }
+                            continue;
+                        }
+
+                        ss.anchors =
+                            makeAnchors(smems, _segments.start(seg),
+                                        reverse, _cfg.anchors);
+                    }
+                    if (_cfg.simulateSeedingLanes) {
+                        const u64 lookups =
+                            engine.stats().indexLookups;
+                        const u64 cam = camOps(engine.stats());
+                        lane_work[r] = {lookups - prev_lookups,
+                                        cam - prev_cam};
+                        prev_lookups = lookups;
+                        prev_cam = cam;
+                    }
+                }
+                accumulate(ws.segSeeding, engine.stats());
+                // genax-lint: allow(fp-accum): shard-local host profiling, never a modelled quantity
+                ws.seedHostSeconds +=
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - seed_t0)
+                        .count();
+            });
+
+        // Phase B — extension. The staged jobs of the whole batch
+        // run cross-read through the per-shard lanes, and the
+        // candidate insertions replay in the exact strand-major,
+        // anchor-ordered sequence the fused loop used (the set's
+        // prune is insertion-order sensitive). Lane cycle counts per
+        // job depend only on the job, so sharding jobs differently
+        // from phase A changes no modelled quantity.
+        ThreadPool::global().parallelFor(
+            reads.size(), st.width,
+            [&](unsigned slot, u64 lo, u64 hi) {
+                WorkerShard &ws = st.shards[slot];
                 u64 cur_read = 0;
 
                 // Extension kernel with graceful degradation: a job
@@ -316,7 +473,9 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
                     ++ws.extensionJobs;
                     const auto ext_t0 =
                         std::chrono::steady_clock::now();
-                    auto attempt = ws.lane.tryExtend(rw.unpack(), qry);
+                    rw.unpackInto(ws.unpackScratch);
+                    auto attempt =
+                        ws.lane.tryExtend(ws.unpackScratch, qry);
                     ExtensionResult out;
                     if (!attempt.ok()) [[unlikely]] {
                         ++ws.laneFaults;
@@ -342,49 +501,23 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
                 };
 
                 for (u64 r = lo; r < hi; ++r) {
+                    const ReadStage &rs = st.stages[r];
                     cur_read = r;
-                    // Fault decisions inside this read are keyed on
-                    // (segment, global read index) — a pure function
-                    // of the work item, not of arrival order or
-                    // batch composition — so an armed plan fires
-                    // identically at any thread count and any batch
-                    // size.
+                    // Same key as phase A; the lane-issue ordinals
+                    // within this fresh scope instance match the
+                    // fused loop's because no lane site was hit
+                    // during seeding.
                     FaultKeyScope fault_key(FaultKeyScope::mixKey(
                         seg + 1, base_read_index + r));
-                    for (bool reverse : {false, true}) {
-                        const Seq oriented =
-                            reverse ? reverseComplement(reads[r])
-                                    : reads[r];
-                        const auto smems = engine.seed(oriented);
-                        if (smems.empty())
+                    for (int sidx = 0; sidx < 2; ++sidx) {
+                        const StrandStage &ss = rs.strand[sidx];
+                        for (const Mapping &m : ss.exact)
+                            cands[r].insert(m, max_candidates);
+                        if (ss.anchors.empty())
                             continue;
-
-                        // Exact whole-read match: no extension needed
-                        // (Section V's common-case optimization).
-                        if (smems.size() == 1 &&
-                            smems[0].qryBegin == 0 &&
-                            smems[0].qryEnd == oriented.size()) {
-                            exact_seen[r] = 1;
-                            for (u32 local : smems[0].positions) {
-                                Mapping m;
-                                m.mapped = true;
-                                m.reverse = reverse;
-                                m.pos = _segments.toGlobal(seg, local);
-                                m.score =
-                                    static_cast<i32>(oriented.size()) *
-                                    _cfg.scoring.match;
-                                m.cigar.push(
-                                    CigarOp::Match,
-                                    static_cast<u32>(oriented.size()));
-                                cands[r].insert(m, max_candidates);
-                            }
-                            continue;
-                        }
-
-                        const auto anchors =
-                            makeAnchors(smems, _segments.start(seg),
-                                        reverse, _cfg.anchors);
-                        for (const auto &anchor : anchors) {
+                        const Seq &oriented =
+                            sidx == 1 ? rs.revOriented : reads[r];
+                        for (const auto &anchor : ss.anchors) {
                             cands[r].insert(
                                 extendAnchor(_ref, oriented, anchor,
                                              _cfg.scoring,
@@ -392,17 +525,7 @@ GenAxSystem::streamBatchCandidates(const std::vector<Seq> &reads,
                                 max_candidates);
                         }
                     }
-                    if (_cfg.simulateSeedingLanes) {
-                        const u64 lookups =
-                            engine.stats().indexLookups;
-                        const u64 cam = camOps(engine.stats());
-                        lane_work[r] = {lookups - prev_lookups,
-                                        cam - prev_cam};
-                        prev_lookups = lookups;
-                        prev_cam = cam;
-                    }
                 }
-                accumulate(ws.segSeeding, engine.stats());
             });
 
         // Deterministic reduction: per-segment seeding stats are u64
@@ -598,12 +721,16 @@ GenAxSystem::streamEnd()
                 " degraded jobs but the system dispatched ",
                 _perf.extensionJobs);
 
-    // Host-phase profile of the whole pass. Extension time is the
-    // shard sum (CPU-seconds when threaded); bookkeeping is whatever
-    // the batch calls and this finalization spent outside the two
-    // instrumented phases.
-    for (const auto &ws : st.shards)
+    // Host-phase profile of the whole pass. Seeding and extension
+    // time are shard sums in slot order (CPU-seconds when threaded);
+    // bookkeeping is whatever the batch calls and this finalization
+    // spent outside the two instrumented phases. The seeding figure
+    // adds the phase-A host time to whatever the cycle-stepped lane
+    // simulation recorded above, so it is non-zero in every mode.
+    for (const auto &ws : st.shards) {
         _hostProfile.extensionSeconds += ws.extHostSeconds;
+        _hostProfile.seedingSimSeconds += ws.seedHostSeconds;
+    }
     _hostProfile.totalSeconds =
         st.batchHostSeconds +
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

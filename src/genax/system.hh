@@ -126,7 +126,10 @@ struct GenAxPerf
  */
 struct GenAxHostProfile
 {
-    double seedingSimSeconds = 0; //!< SeedingLaneSim / closed form
+    /** Seeding-phase host time: the SMEM engine / anchor staging
+     *  pass (CPU-seconds across shards) plus the cycle-stepped
+     *  SeedingLaneSim when that mode is enabled. */
+    double seedingSimSeconds = 0;
     double extensionSeconds = 0;  //!< SillaX lane kernel (CPU-seconds)
     double bookkeepingSeconds = 0; //!< everything else in the pass
     double totalSeconds = 0;       //!< batch + streamEnd wall-clock

@@ -73,18 +73,20 @@ FlatKmerIndex::FlatKmerIndex(const Seq &ref, u32 k)
 
     // Assign postings extents in ascending key order, so the layout
     // (and hence any iteration the tests do) is independent of the
-    // hash function and table size.
-    std::vector<u32> occupied;
+    // hash function and table size. The sort runs over packed
+    // (key << 32 | slot) words — a key spans at most 2*13 = 26 bits
+    // and slots are u32-indexed, and keys are distinct across
+    // occupied slots, so this orders exactly like the old indirect
+    // sort while the comparisons stay out of the table.
+    std::vector<u64> occupied;
     occupied.reserve(_distinct);
     for (u32 s = 0; s < _table.size(); ++s)
         if (_table[s].key != kEmptyKey)
-            occupied.push_back(s);
-    std::sort(occupied.begin(), occupied.end(), [&](u32 a, u32 b) {
-        return _table[a].key < _table[b].key;
-    });
+            occupied.push_back(_table[s].key << 32 | s);
+    std::sort(occupied.begin(), occupied.end());
     u32 offset = 0;
-    for (const u32 s : occupied) {
-        Entry &e = _table[s];
+    for (const u64 packed : occupied) {
+        Entry &e = _table[static_cast<u32>(packed)];
         e.offset = offset;
         offset += e.count;
         _maxHits = std::max(_maxHits, e.count);

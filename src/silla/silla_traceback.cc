@@ -12,6 +12,12 @@ namespace {
 
 constexpr i32 kNegInf = INT32_MIN / 4;
 
+/** Initial subgrid bound of the event path. Typical short-read
+ *  extension jobs carry only a handful of edits, so a small square
+ *  almost always survives the outside-score cap on the first try;
+ *  a miss escalates directly to a bound that provably succeeds. */
+constexpr u32 kEventBound0 = 8;
+
 } // namespace
 
 SillaTraceback::SillaTraceback(u32 k, const Scoring &sc)
@@ -41,47 +47,99 @@ SillaTraceback::SillaTraceback(u32 k, const Scoring &sc)
 SillaAlignment
 SillaTraceback::align(const Seq &r, const Seq &q)
 {
-    const u64 n = r.size(), m = q.size();
-    const u64 max_cycle = std::min(n, m) + _k;
+#if defined(GENAX_MODEL_ORACLE)
+    return alignNaive(r, q);
+#else
+    return alignEvent(r, q);
+#endif
+}
 
-    std::fill(_hCur.begin(), _hCur.end(), kNegInf);
-    std::fill(_eCur.begin(), _eCur.end(), kNegInf);
-    std::fill(_fCur.begin(), _fCur.end(), kNegInf);
+SillaAlignment
+SillaTraceback::alignNaive(const Seq &r, const Seq &q)
+{
+    return collect(r, q, _k, streamPhase(r, q, _k));
+}
+
+SillaAlignment
+SillaTraceback::alignEvent(const Seq &r, const Seq &q)
+{
+    const u64 mn = std::min<u64>(r.size(), q.size());
+    const i64 open_ext = i64{_sc.gapOpen} + _sc.gapExtend;
+    u32 bound = std::min(_k, kEventBound0);
+    for (;;) {
+        const StreamBest best = streamPhase(r, q, bound);
+        if (bound == _k)
+            return collect(r, q, bound, best); // exact by definition
+        // Any PE outside the subgrid spends more than `bound`
+        // insertion or deletion characters, paying at least one gap
+        // open plus `bound` extensions against at most min(n, m)
+        // matches — so its H can never exceed this cap. A subgrid
+        // best strictly above the cap also wins every tie-break
+        // (ties require equal scores), making the sweep exact.
+        const i64 cap =
+            i64{_sc.match} * static_cast<i64>(mn) -
+            (open_ext + i64{bound} * _sc.gapExtend);
+        if (best.score > cap)
+            return collect(r, q, bound, best);
+        // Escalate to the smallest bound whose cap falls strictly
+        // below the score already in hand; a larger subgrid can only
+        // raise the best score, so the next sweep is final unless it
+        // clamps to the (exact) full array.
+        const i64 deficit = i64{_sc.match} * static_cast<i64>(mn) -
+                            open_ext - best.score;
+        const i64 need = deficit / _sc.gapExtend + 1;
+        bound = static_cast<u32>(std::min<i64>(
+            _k, std::max<i64>(i64{bound} + 1, need)));
+    }
+}
+
+SillaTraceback::StreamBest
+SillaTraceback::streamPhase(const Seq &r, const Seq &q, u32 bound)
+{
+    const u64 n = r.size(), m = q.size();
+    const u64 max_cycle = std::min(n, m) + bound;
+    const u32 stride = bound + 1;
+    const auto at = [stride](u32 i, u32 d) {
+        return static_cast<size_t>(i) * stride + d;
+    };
+
+    const size_t cells = static_cast<size_t>(stride) * stride;
+    std::fill(_hCur.begin(), _hCur.begin() + cells, kNegInf);
+    std::fill(_eCur.begin(), _eCur.begin() + cells, kNegInf);
+    std::fill(_fCur.begin(), _fCur.begin() + cells, kNegInf);
     // Run counters and records are reused across calls; stale run
     // values are never read because a run is only consulted when the
     // corresponding E/F lane is live, and the lanes start at -inf.
-    for (auto &v : _recs)
-        v.clear();
+    // Only the subgrid prefix is touched by this sweep (collection
+    // never leaves the winner's componentwise-≤ rectangle), so only
+    // that prefix needs clearing.
+    for (size_t pe = 0; pe < cells; ++pe)
+        _recs[pe].clear();
 
-    SillaAlignment res;
-    res.score = 0;
+    StreamBest best;
     u64 best_rq = 0, best_r = 0;
-    u32 win_i = 0, win_d = 0;
-    Cycle best_cycle = 0;
-    bool have_best = false;
 
     auto consider = [&](i32 score, u32 i, u32 d, u64 cell_r, u64 cell_q,
                         Cycle c) {
-        if (score < res.score)
+        if (score < best.score)
             return;
         const u64 rq = cell_r + cell_q;
-        if (score > res.score || !have_best || rq < best_rq ||
+        if (score > best.score || !best.haveBest || rq < best_rq ||
             (rq == best_rq && cell_r < best_r)) {
-            res.score = score;
-            win_i = i;
-            win_d = d;
-            best_cycle = c;
-            res.refEnd = cell_r;
-            res.qryEnd = cell_q;
+            best.score = score;
+            best.winI = i;
+            best.winD = d;
+            best.bestCycle = c;
+            best.refEnd = cell_r;
+            best.qryEnd = cell_q;
             best_rq = rq;
             best_r = cell_r;
-            have_best = true;
+            best.haveBest = true;
         }
     };
 
     const i32 open_ext = _sc.gapOpen + _sc.gapExtend;
     const i32 gap_ext = _sc.gapExtend;
-    const u32 stride = _k + 1;
 
 #if defined(GENAX_SIMD_AVX2)
     // Lean-interior rows can run on the vector row kernel; all tiers
@@ -89,7 +147,6 @@ SillaTraceback::align(const Seq &r, const Seq &q)
     // (and GENAX_FORCE_SCALAR / --kernel pin the scalar reference).
     const bool use_avx2 =
         simd::activeKernelTier() >= simd::KernelTier::Avx2;
-    std::vector<detail::SillaRowEvent> row_events;
 #endif
 
     // --------------------------------------------- Phase 1: streaming
@@ -104,11 +161,11 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         // loops visit precisely the cells the dense sweep did
         // anything observable for, in the same (i asc, d asc) order.
         const u32 i_lo =
-            c > n ? static_cast<u32>(std::min<u64>(c - n, _k + 1))
+            c > n ? static_cast<u32>(std::min<u64>(c - n, stride))
                   : 0;
-        const u32 i_hi = static_cast<u32>(std::min<u64>(_k, c));
+        const u32 i_hi = static_cast<u32>(std::min<u64>(bound, c));
         const u32 d_lo =
-            c > m ? static_cast<u32>(std::min<u64>(c - m, _k + 1))
+            c > m ? static_cast<u32>(std::min<u64>(c - m, stride))
                   : 0;
 
         // Incremental frontier fill in place of whole-array resets.
@@ -121,12 +178,12 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         // two-generation-stale garbage that provably stays unread.
         {
             const u32 fi_lo = std::max(
-                i_lo, c > _k ? static_cast<u32>(c - _k) : 0);
+                i_lo, c > bound ? static_cast<u32>(c - bound) : 0);
             for (u32 i = fi_lo; i <= i_hi; ++i) {
                 const u32 d = static_cast<u32>(c - i);
                 if (d < d_lo)
                     break; // d only shrinks as i grows
-                _hCur[idx(i, d)] = kNegInf;
+                _hCur[at(i, d)] = kNegInf;
             }
         }
 
@@ -135,12 +192,12 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         const auto cell = [&](u32 i, u32 d) {
             const u64 cell_r = c - i;
             const u64 cell_q = c - d;
-            const size_t self = idx(i, d);
+            const size_t self = at(i, d);
 
             i32 e = kNegInf;
             u32 e_run = 0;
             if (i >= 1 && cell_q >= 1) {
-                const size_t src = idx(i - 1, d);
+                const size_t src = at(i - 1, d);
                 i32 open = kNegInf, ext = kNegInf;
                 if (_hCur[src] != kNegInf)
                     open = _hCur[src] - open_ext;
@@ -158,7 +215,7 @@ SillaTraceback::align(const Seq &r, const Seq &q)
             i32 f = kNegInf;
             u32 f_run = 0;
             if (d >= 1 && cell_r >= 1) {
-                const size_t src = idx(i, d - 1);
+                const size_t src = at(i, d - 1);
                 i32 open = kNegInf, ext = kNegInf;
                 if (_hCur[src] != kNegInf)
                     open = _hCur[src] - open_ext;
@@ -226,7 +283,7 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         if (use_avx2) {
             for (u32 i = i_lo; i <= i_hi; ++i) {
                 const u32 d_hi =
-                    static_cast<u32>(std::min<u64>(_k, c - i));
+                    static_cast<u32>(std::min<u64>(bound, c - i));
                 if (i == 0 || c == i) {
                     for (u32 d = d_lo; d <= d_hi; ++d)
                         cell(i, d);
@@ -247,15 +304,15 @@ SillaTraceback::align(const Seq &r, const Seq &q)
                         _eRunCur.data(), _eRunNext.data(),
                         _fRunCur.data(), _fRunNext.data(),
                         r.data(),        q.data(),
-                        c,               _k,
+                        c,               bound,
                         open_ext,        gap_ext,
                         _sc.match,       _sc.mismatch,
-                        res.score};
-                    row_events.clear();
+                        best.score};
+                    _rowEvents.clear();
                     detail::sillaStreamCycleAvx2(
-                        ctx, lean_lo, lean_hi, lean_d, row_events);
-                    for (const auto &ev : row_events) {
-                        const size_t self = idx(ev.i, ev.d);
+                        ctx, lean_lo, lean_hi, lean_d, _rowEvents);
+                    for (const auto &ev : _rowEvents) {
+                        const size_t self = at(ev.i, ev.d);
                         if (ev.flags & detail::kSillaRowAdopt)
                             _recs[self].push_back(
                                 {c,
@@ -280,7 +337,7 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         for (u32 i = i_lo; i <= i_hi; ++i) {
             const u64 cell_r = c - i;
             const u32 d_hi =
-                static_cast<u32>(std::min<u64>(_k, c - i));
+                static_cast<u32>(std::min<u64>(bound, c - i));
             if (i == 0 || cell_r == 0) {
                 for (u32 d = d_lo; d <= d_hi; ++d)
                     cell(i, d);
@@ -369,13 +426,35 @@ SillaTraceback::align(const Seq &r, const Seq &q)
         std::swap(_eRunCur, _eRunNext);
         std::swap(_fRunCur, _fRunNext);
     }
-    res.stats.streamCycles = max_cycle + 1;
+    return best;
+}
+
+SillaAlignment
+SillaTraceback::collect(const Seq &r, const Seq &q, u32 bound,
+                        const StreamBest &best)
+{
+    const u64 n = r.size(), m = q.size();
+    const u32 stride = bound + 1;
+    const auto at = [stride](u32 i, u32 d) {
+        return static_cast<size_t>(i) * stride + d;
+    };
+
+    SillaAlignment res;
+    res.score = best.score;
+    res.refEnd = best.refEnd;
+    res.qryEnd = best.qryEnd;
+    // Stats describe the K-deep hardware array regardless of how
+    // small a subgrid sufficed to compute its outputs: the machine
+    // streams min(n, m) + K + 1 cycles whether or not the far PEs
+    // ever hold a live score.
+    const Cycle full_cycle = std::min(n, m) + _k;
+    res.stats.streamCycles = full_cycle + 1;
     // Phases 2-4: best-score back-propagation, winner announcement,
     // path flagging — each sweeps the K-deep grid.
     res.stats.reduceCycles = 3 * _k;
 
     // ------------------------------------------- Phase 5: collection
-    if (!have_best || res.score <= 0) {
+    if (!best.haveBest || best.score <= 0) {
         res.score = 0;
         res.refEnd = 0;
         res.qryEnd = 0;
@@ -388,7 +467,7 @@ SillaTraceback::align(const Seq &r, const Seq &q)
     // machine_time. Consulting a PE whose pointer record was
     // overwritten after the cycle we need is a broken pointer trail:
     // re-execute phase 1 truncated to that cycle (Section IV-C).
-    Cycle machine_time = max_cycle;
+    Cycle machine_time = full_cycle;
     bool first_segment = true;
     u64 path_pes = 0;
 
@@ -418,10 +497,10 @@ SillaTraceback::align(const Seq &r, const Seq &q)
     };
 
     Cigar rev; // built back-to-front
-    u32 pi = win_i, pd = win_d;
-    Cycle t = best_cycle;
+    u32 pi = best.winI, pd = best.winD;
+    Cycle t = best.bestCycle;
     for (;;) {
-        const size_t pe = idx(pi, pd);
+        const size_t pe = at(pi, pd);
         if (!first_segment && adopted_in(pe, t, machine_time))
             rerun_to(t);
         first_segment = false;

@@ -32,6 +32,7 @@
 #include "align/cigar.hh"
 #include "align/scoring.hh"
 #include "silla/silla.hh"
+#include "silla/silla_stream_row.hh"
 
 namespace genax {
 
@@ -70,8 +71,33 @@ class SillaTraceback
     /**
      * Align query q against reference r (both anchored at 0) and
      * recover the winning path.
+     *
+     * Two implementations produce bit-identical results (scores,
+     * CIGARs, stats — including rerun accounting):
+     *
+     *  - the naive oracle sweeps the full (K+1)² grid every cycle,
+     *    exactly as the hardware array would;
+     *  - the event path sweeps only a dependency-closed (B+1)²
+     *    subgrid (PE (i,d) reads only (i-1,d), (i,d-1) and itself,
+     *    so the rectangle [0..B]² is closed under dependencies) and
+     *    accepts the result when the subgrid's best score strictly
+     *    beats the provable cap on any outside PE — a cell spending
+     *    more than B insertion or deletion characters pays at least
+     *    one gap open plus B extensions, so its score is at most
+     *    match·min(n,m) − (gapOpen + gapExtend + B·gapExtend).
+     *    On a miss it escalates B to the smallest bound whose cap
+     *    falls below the score already in hand (at most one more
+     *    sweep; B = K degenerates to the oracle).
+     *
+     * `-DGENAX_MODEL_ORACLE=ON` pins the naive oracle, mirroring the
+     * seeding model's simulateNaive() switch.
      */
     SillaAlignment align(const Seq &r, const Seq &q);
+
+    /** The full-grid lock-step oracle (always available to tests). */
+    SillaAlignment alignNaive(const Seq &r, const Seq &q);
+    /** The escalating-subgrid event path (always available). */
+    SillaAlignment alignEvent(const Seq &r, const Seq &q);
 
     u32 k() const { return _k; }
     u64 peCount() const { return static_cast<u64>(_k + 1) * (_k + 1); }
@@ -104,6 +130,27 @@ class SillaTraceback
         u32 gapLen; // characters in the adopted gap run (0 = anchor)
     };
 
+    /** Winning cell of one streaming sweep, before collection. */
+    struct StreamBest
+    {
+        i32 score = 0;
+        u32 winI = 0, winD = 0;
+        Cycle bestCycle = 0;
+        u64 refEnd = 0, qryEnd = 0;
+        bool haveBest = false;
+    };
+
+    /**
+     * Phase 1 over the dependency-closed subgrid [0..bound]²
+     * (bound == _k is the full array). Leaves the per-PE adoption
+     * records addressed with stride bound + 1.
+     */
+    StreamBest streamPhase(const Seq &r, const Seq &q, u32 bound);
+
+    /** Phases 2-5 off the records of the last streamPhase(bound). */
+    SillaAlignment collect(const Seq &r, const Seq &q, u32 bound,
+                           const StreamBest &best);
+
     size_t idx(u32 i, u32 d) const { return i * (_k + 1) + d; }
 
     u32 _k;
@@ -118,6 +165,9 @@ class SillaTraceback
      *  Reused across align() calls so the per-PE vectors keep their
      *  capacity instead of reallocating every extension. */
     std::vector<std::vector<Adoption>> _recs;
+    /** Event staging for the vector row kernel, reused across
+     *  sweeps. */
+    std::vector<detail::SillaRowEvent> _rowEvents;
 };
 
 } // namespace genax

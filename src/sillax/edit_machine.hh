@@ -27,8 +27,25 @@ class StructuralEditMachine
   public:
     explicit StructuralEditMachine(u32 k);
 
-    /** Min edit distance between r and q if <= K, else nullopt. */
+    /**
+     * Min edit distance between r and q if <= K, else nullopt.
+     *
+     * Two implementations are bit-identical (result and stats): the
+     * naive oracle streams every cycle's character pair through the
+     * systolic ComparatorArray exactly as the hardware would; the
+     * event path exploits the latched-datapath identity
+     * cmp(i,d)@c == R[c-i] == Q[c-d] (pads never match) to read the
+     * comparisons straight off the strings, skipping the O(K²)
+     * per-cycle latch shuffle. `-DGENAX_MODEL_ORACLE=ON` pins the
+     * naive oracle.
+     */
     std::optional<u32> distance(const Seq &r, const Seq &q);
+
+    /** The systolic-array oracle (always available, e.g. to the
+     *  equivalence tests and benches). */
+    std::optional<u32> distanceNaive(const Seq &r, const Seq &q);
+    /** The direct-comparison event path (always available). */
+    std::optional<u32> distanceEvent(const Seq &r, const Seq &q);
 
     u32 k() const { return _k; }
     const SillaRunStats &lastStats() const { return _stats; }
@@ -38,6 +55,12 @@ class StructuralEditMachine
 
   private:
     size_t idx(u32 i, u32 d) const { return i * (_k + 1) + d; }
+
+    /** The shared sparse sweep; `cmp(i, d, c)` supplies the retro
+     *  comparison and `step(c)` advances whatever produces it. */
+    template <typename StepFn, typename CmpFn>
+    std::optional<u32> distanceImpl(const Seq &r, const Seq &q,
+                                    StepFn &&step, CmpFn &&cmp);
 
     u32 _k;
     ComparatorArray _cmps;

@@ -18,6 +18,7 @@
 
 #include "silla/silla_score.hh"
 #include "sillax/comparator_array.hh"
+#include "sillax/scoring_row.hh"
 
 namespace genax {
 
@@ -27,8 +28,24 @@ class StructuralScoringMachine
   public:
     StructuralScoringMachine(u32 k, const Scoring &sc);
 
-    /** Clipped best extension score of q against r (anchored). */
+    /**
+     * Clipped best extension score of q against r (anchored).
+     *
+     * Two implementations are bit-identical (result, clipping
+     * registers, cycle counts): the naive oracle streams the
+     * comparator array and dense-fills the grid every cycle as the
+     * hardware would; the event path reads comparisons straight off
+     * the strings (latched-datapath identity), resets only the fresh
+     * anti-diagonal frontier, and sweeps lean interior rows through
+     * the AVX2 row kernel when the dispatch tier allows.
+     * `-DGENAX_MODEL_ORACLE=ON` pins the naive oracle.
+     */
     SillaScoreResult run(const Seq &r, const Seq &q);
+
+    /** The systolic/dense oracle (always available to tests). */
+    SillaScoreResult runNaive(const Seq &r, const Seq &q);
+    /** The event path (always available to tests). */
+    SillaScoreResult runEvent(const Seq &r, const Seq &q);
 
     /**
      * Phase 2 of Section IV-B, structurally: after run(), each PE
@@ -60,6 +77,9 @@ class StructuralScoringMachine
     ComparatorArray _cmps;
     std::vector<i32> _hCur, _hNext, _eCur, _eNext, _fCur, _fNext;
     std::vector<i32> _bestSeen; //!< per-PE clipping registers
+    /** Event staging for the vector row kernel, reused across
+     *  sweeps. */
+    std::vector<detail::ScoringRowEvent> _rowEvents;
 };
 
 } // namespace genax

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * AVX2 tier of the scoring machine streaming cycle kernel (compiled
+ * with -mavx2; only dispatched to on CPUs that support it).
+ *
+ * Eight d-adjacent PEs per vector, all lean rows of one cycle per
+ * call. The E/F/H lanes use the same i32 arithmetic and max
+ * precedence as the scalar lean path; the per-PE clipping registers
+ * are folded in place, and cells reaching the caller's best score
+ * are extracted through a movemask and appended to the event list.
+ */
+
+#include "sillax/scoring_row.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include <immintrin.h>
+
+namespace genax::detail {
+
+void
+scoringStreamCycleAvx2(const ScoringCycleCtx &x, u32 iBegin, u32 iEnd,
+                       u32 dBegin, std::vector<ScoringRowEvent> &events)
+{
+    const u32 stride = x.k + 1;
+    const __m256i v_open_ext = _mm256_set1_epi32(x.openExt);
+    const __m256i v_gap_ext = _mm256_set1_epi32(x.gapExt);
+    const __m256i v_match = _mm256_set1_epi32(x.match);
+    const __m256i v_mis = _mm256_set1_epi32(-x.mismatch);
+    // threshold >= 0, so threshold - 1 cannot underflow; h > t-1 is
+    // exactly h >= threshold.
+    const __m256i v_thr = _mm256_set1_epi32(x.threshold - 1);
+
+    for (u32 i = iBegin; i <= iEnd; ++i) {
+        const u64 cell_r = x.c - i;
+        const u32 d_end = static_cast<u32>(
+            std::min<u64>(x.k, x.c - i));
+        if (d_end < dBegin)
+            break; // spans only shrink as i grows
+        const size_t row = static_cast<size_t>(i) * stride;
+        const u8 r_char = x.r[cell_r - 1];
+        const __m256i v_r = _mm256_set1_epi32(r_char);
+
+        u32 d = dBegin;
+        for (; d + 7 <= d_end; d += 8) {
+            const size_t self = row + d;
+            const size_t src_e = self - stride;
+            const size_t src_f = self - 1;
+
+            // E lane: vertical sources, d-contiguous in the row
+            // above.
+            const __m256i h_e = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x.hCur + src_e));
+            const __m256i e_e = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x.eCur + src_e));
+            const __m256i e = _mm256_max_epi32(
+                _mm256_sub_epi32(h_e, v_open_ext),
+                _mm256_sub_epi32(e_e, v_gap_ext));
+
+            // F lane: horizontal sources, shifted one cell left.
+            const __m256i h_f = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x.hCur + src_f));
+            const __m256i f_f = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x.fCur + src_f));
+            const __m256i f = _mm256_max_epi32(
+                _mm256_sub_epi32(h_f, v_open_ext),
+                _mm256_sub_epi32(f_f, v_gap_ext));
+
+            // Diagonal: cell_q = c - d decreases across the lanes,
+            // so the eight query characters are a byte-reversed
+            // 8-byte load. (Lean lanes have cell_q >= 1, hence
+            // c - d - 8 >= 0 for the block's base d.)
+            const __m256i h_s = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x.hCur + self));
+            u64 qb;
+            std::memcpy(&qb, x.q + (x.c - d - 8), 8);
+            const __m256i qv = _mm256_cvtepu8_epi32(
+                _mm_cvtsi64_si128(
+                    static_cast<long long>(__builtin_bswap64(qb))));
+            const __m256i subv = _mm256_blendv_epi8(
+                v_mis, v_match, _mm256_cmpeq_epi32(qv, v_r));
+            const __m256i diag = _mm256_add_epi32(h_s, subv);
+
+            const __m256i h = _mm256_max_epi32(
+                diag, _mm256_max_epi32(e, f));
+
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(x.eNext + self), e);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(x.fNext + self), f);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(x.hNext + self), h);
+
+            // Clipping registers: lean-cell H is always a real score
+            // (see scoring_machine.cc), so the unconditional fold
+            // matches the scalar path's.
+            const __m256i seen = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x.bestSeen + self));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(x.bestSeen + self),
+                _mm256_max_epi32(seen, h));
+
+            const u32 cm = static_cast<u32>(
+                _mm256_movemask_ps(_mm256_castsi256_ps(
+                    _mm256_cmpgt_epi32(h, v_thr))));
+            for (u32 j = 0; j < 8; ++j)
+                if (cm & (1u << j))
+                    events.push_back({i, d + j});
+        }
+
+        // Scalar tail for the last (d_end - d + 1) < 8 lanes — the
+        // same arithmetic, lane by lane.
+        for (; d <= d_end; ++d) {
+            const size_t self = row + d;
+            const size_t src_e = self - stride;
+            const size_t src_f = self - 1;
+
+            const i32 e = std::max(x.hCur[src_e] - x.openExt,
+                                   x.eCur[src_e] - x.gapExt);
+            const i32 f = std::max(x.hCur[src_f] - x.openExt,
+                                   x.fCur[src_f] - x.gapExt);
+            const u64 cell_q = x.c - d;
+            const i32 diag =
+                x.hCur[self] +
+                (x.q[cell_q - 1] == r_char ? x.match : -x.mismatch);
+            const i32 h = std::max({diag, e, f});
+
+            x.eNext[self] = e;
+            x.fNext[self] = f;
+            x.hNext[self] = h;
+            x.bestSeen[self] = std::max(x.bestSeen[self], h);
+            if (h >= x.threshold)
+                events.push_back({i, d});
+        }
+    }
+}
+
+} // namespace genax::detail

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Vectorized inner row kernel for the structural scoring machine's
+ * streaming phase (internal to genax_sillax).
+ *
+ * Mirrors silla/silla_stream_row.hh for the simpler scoring datapath:
+ * the kernel covers only the *lean interior* span of one PE row —
+ * cells with i >= 1, d >= 1, cell_r >= 1 and cell_q >= 1, whose
+ * sources all sit inside the live window and therefore hold real
+ * scores (see scoring_machine.cc) — computing the E/F/H lanes and
+ * folding H into the per-PE clipping registers. Cells whose H
+ * reaches the caller's current best score are reported back through
+ * a compact event list, in ascending-d order, so the caller can
+ * replay best-cell updates exactly as the scalar sweep would.
+ *
+ * The scalar lean path in scoring_machine.cc is the reference; the
+ * AVX2 kernel is bit-identical to it by contract (same i32
+ * arithmetic, same tie-breaks), so runtime tier selection — via
+ * genax::simd::activeKernelTier(), honouring GENAX_FORCE_SCALAR and
+ * the --kernel override — never changes any output.
+ */
+
+#ifndef GENAX_SILLAX_SCORING_ROW_HH
+#define GENAX_SILLAX_SCORING_ROW_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace genax::detail {
+
+/** Per-cycle inputs of the scoring row kernel (raw spans into the
+ *  machine's double-buffered lane arrays). */
+struct ScoringCycleCtx
+{
+    const i32 *hCur;
+    const i32 *eCur;
+    const i32 *fCur;
+    i32 *hNext;
+    i32 *eNext;
+    i32 *fNext;
+    i32 *bestSeen;  //!< per-PE clipping registers, updated in place
+    const u8 *r;    //!< reference string (row characters)
+    const u8 *q;    //!< query string (for the diagonal comparisons)
+    u64 c;          //!< streaming cycle
+    u32 k;          //!< edit bound (stride is k + 1)
+    i32 openExt;    //!< gapOpen + gapExtend
+    i32 gapExt;     //!< gapExtend
+    i32 match;      //!< substitution reward
+    i32 mismatch;   //!< substitution penalty (magnitude)
+    i32 threshold;  //!< caller's best score at cycle entry (>= 0)
+};
+
+/**
+ * One cell whose H reached the caller's threshold. The filter is a
+ * conservative prefilter (the caller's best can only grow within a
+ * cycle); re-checking flagged cells against the live best reproduces
+ * the scalar winner exactly, by the same tie-break-key argument as
+ * the traceback row kernel.
+ */
+struct ScoringRowEvent
+{
+    u32 i;
+    u32 d;
+};
+
+#if defined(GENAX_SIMD_AVX2)
+/**
+ * AVX2 lean sweep of one streaming cycle: rows i in [iBegin, iEnd],
+ * each over d in [dBegin, min(k, c - i)] (rows whose span is empty
+ * are skipped). Appends events in (i asc, d asc) order. Call only
+ * when the running CPU has AVX2.
+ */
+void scoringStreamCycleAvx2(const ScoringCycleCtx &ctx, u32 iBegin,
+                            u32 iEnd, u32 dBegin,
+                            std::vector<ScoringRowEvent> &events);
+#endif
+
+} // namespace genax::detail
+
+#endif // GENAX_SILLAX_SCORING_ROW_HH

@@ -1,7 +1,6 @@
 #include "swbase/anchor.hh"
 
 #include <algorithm>
-#include <set>
 #include <utility>
 
 #include "align/simd/batch_score.hh"
@@ -14,7 +13,12 @@ makeAnchors(const std::vector<Smem> &smems, u64 seg_start, bool reverse,
             const AnchorConfig &cfg)
 {
     std::vector<Anchor> out;
-    std::set<i64> diagonals;
+    // First anchor per diagonal wins, in smem order — kept as a
+    // sorted flat vector (one allocation, binary-search membership)
+    // rather than a node-per-diagonal tree; anchor counts are small
+    // enough that the ordered insert is cheaper than the allocator
+    // traffic was.
+    std::vector<i64> diagonals;
     for (const auto &smem : smems) {
         if (smem.length() < cfg.minSeedLen)
             continue; // too short to be a reliable anchor
@@ -26,8 +30,13 @@ makeAnchors(const std::vector<Smem> &smems, u64 seg_start, bool reverse,
             a.qryEnd = smem.qryEnd;
             a.refPos = seg_start + local;
             a.reverse = reverse;
-            if (diagonals.insert(a.diagonal()).second)
+            const i64 d = a.diagonal();
+            const auto it = std::lower_bound(diagonals.begin(),
+                                             diagonals.end(), d);
+            if (it == diagonals.end() || *it != d) {
+                diagonals.insert(it, d);
                 out.push_back(a);
+            }
         }
     }
     // Prefer longer seeds (stronger anchors), then smaller position.

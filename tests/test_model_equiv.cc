@@ -16,12 +16,17 @@
 #include <string>
 #include <vector>
 
+#include "align/simd/dispatch.hh"
+#include "common/check.hh"
+#include "common/faultinject.hh"
 #include "common/rng.hh"
 #include "genax/pipeline.hh"
 #include "genax/seeding_sim.hh"
 #include "genax/system.hh"
 #include "readsim/readsim.hh"
 #include "readsim/refgen.hh"
+#include "silla/silla_traceback.hh"
+#include "sillax/edit_machine.hh"
 #include "sillax/scoring_machine.hh"
 
 namespace genax {
@@ -186,6 +191,185 @@ TEST(ModelEquiv, BackPropagateClosedFormMatchesNaive)
     }
 }
 
+// --------------------------------- extension-machine equivalence
+
+/** Mutate `qry` in place with `edits` random substitutions and
+ *  occasional single-base indels — enough path diversity to exercise
+ *  gap adoptions and broken-trail reruns in the traceback machine. */
+void
+mutate(Rng &rng, Seq &qry, unsigned edits)
+{
+    for (unsigned e = 0; e < edits && !qry.empty(); ++e) {
+        const auto pos = static_cast<std::ptrdiff_t>(
+            rng.below(qry.size()));
+        switch (rng.below(6)) {
+          case 0:
+            qry.erase(qry.begin() + pos);
+            break;
+          case 1:
+            qry.insert(qry.begin() + pos,
+                       static_cast<Base>(rng.below(4)));
+            break;
+          default:
+            qry[static_cast<size_t>(pos)] = static_cast<Base>(
+                (qry[static_cast<size_t>(pos)] + 1 + rng.below(3)) & 3);
+            break;
+        }
+    }
+}
+
+void
+expectSameAlignment(const SillaAlignment &a, const SillaAlignment &b,
+                    u32 k, size_t len, unsigned edits)
+{
+    const std::string what = "k=" + std::to_string(k) +
+                             " len=" + std::to_string(len) +
+                             " edits=" + std::to_string(edits);
+    EXPECT_EQ(a.score, b.score) << what;
+    EXPECT_EQ(a.refEnd, b.refEnd) << what;
+    EXPECT_EQ(a.qryEnd, b.qryEnd) << what;
+    EXPECT_EQ(a.cigar.str(), b.cigar.str()) << what;
+    EXPECT_EQ(a.stats.streamCycles, b.stats.streamCycles) << what;
+    EXPECT_EQ(a.stats.reduceCycles, b.stats.reduceCycles) << what;
+    EXPECT_EQ(a.stats.collectCycles, b.stats.collectCycles) << what;
+    EXPECT_EQ(a.stats.reruns, b.stats.reruns) << what;
+    EXPECT_EQ(a.stats.rerunCycles, b.stats.rerunCycles) << what;
+}
+
+TEST(ModelEquiv, TracebackEventMatchesNaiveAcrossJobs)
+{
+    // The escalating-subgrid event path must reproduce the full-grid
+    // oracle bit-for-bit — scores, CIGARs and the modelled cycle /
+    // rerun accounting — across edit bounds and job sizes, including
+    // clean reads (B stays at the smallest bound) and heavily edited
+    // ones (escalation up to B = K).
+    Rng rng(2468);
+    for (const u32 k : {8u, 16u, 40u}) {
+        SillaTraceback naive_m(k, Scoring{}), event_m(k, Scoring{});
+        for (const size_t len : {size_t{24}, size_t{101}, size_t{150}}) {
+            for (const unsigned edits : {0u, 1u, 3u, 9u}) {
+                for (int t = 0; t < 4; ++t) {
+                    const Seq ref = randomSeq(rng, len);
+                    Seq qry = ref;
+                    mutate(rng, qry, edits);
+                    expectSameAlignment(naive_m.alignNaive(ref, qry),
+                                        event_m.alignEvent(ref, qry),
+                                        k, len, edits);
+                }
+            }
+        }
+    }
+}
+
+TEST(ModelEquiv, EditMachineEventMatchesNaive)
+{
+    // Result and run stats (cycles, activation counts) must agree —
+    // the event path reads comparisons off the strings but models the
+    // same machine.
+    Rng rng(1357);
+    for (const u32 k : {4u, 8u, 16u, 40u}) {
+        StructuralEditMachine m(k);
+        for (int t = 0; t < 24; ++t) {
+            const Seq ref = randomSeq(rng, 20 + rng.below(130));
+            Seq qry = ref;
+            mutate(rng, qry, static_cast<unsigned>(rng.below(k + 4)));
+            const auto a = m.distanceNaive(ref, qry);
+            const SillaRunStats sa = m.lastStats();
+            const auto b = m.distanceEvent(ref, qry);
+            const SillaRunStats sb = m.lastStats();
+            const std::string what =
+                "k=" + std::to_string(k) + " t=" + std::to_string(t);
+            EXPECT_EQ(a, b) << what;
+            EXPECT_EQ(sa.cycles, sb.cycles) << what;
+            EXPECT_EQ(sa.peakActive, sb.peakActive) << what;
+            EXPECT_EQ(sa.totalActivations, sb.totalActivations) << what;
+        }
+    }
+}
+
+TEST(ModelEquiv, ScoringMachineEventMatchesNaive)
+{
+    Rng rng(8642);
+    for (const u32 k : {8u, 16u, 40u}) {
+        StructuralScoringMachine naive_m(k, Scoring{}),
+            event_m(k, Scoring{});
+        for (int t = 0; t < 16; ++t) {
+            const Seq ref = randomSeq(rng, 30 + rng.below(120));
+            Seq qry = ref;
+            mutate(rng, qry, static_cast<unsigned>(rng.below(10)));
+            const auto a = naive_m.runNaive(ref, qry);
+            const auto b = event_m.runEvent(ref, qry);
+            const std::string what =
+                "k=" + std::to_string(k) + " t=" + std::to_string(t);
+            EXPECT_EQ(a.best, b.best) << what;
+            EXPECT_EQ(a.winnerI, b.winnerI) << what;
+            EXPECT_EQ(a.winnerD, b.winnerD) << what;
+            EXPECT_EQ(a.bestCycle, b.bestCycle) << what;
+            EXPECT_EQ(a.refEnd, b.refEnd) << what;
+            EXPECT_EQ(a.qryEnd, b.qryEnd) << what;
+            EXPECT_EQ(a.streamCycles, b.streamCycles) << what;
+        }
+    }
+}
+
+TEST(ModelEquiv, KernelTierSweepAvx2MatchesScalar)
+{
+    // The AVX2 row kernels must be bit-identical to the scalar
+    // reference through the public machines — forced-tier runs of the
+    // event paths are diffed field by field. Skipped (not silently
+    // passed) when the host or build cannot run AVX2.
+    namespace simd = genax::simd;
+    if (!simd::kernelTierSupported(simd::KernelTier::Avx2))
+        GTEST_SKIP() << "AVX2 tier not compiled or not supported here";
+    struct TierGuard
+    {
+        ~TierGuard() { simd::clearKernelTierOverride(); }
+    } guard;
+
+    Rng rng(97531);
+    std::vector<std::pair<Seq, Seq>> jobs;
+    for (int t = 0; t < 12; ++t) {
+        Seq ref = randomSeq(rng, 40 + rng.below(110));
+        Seq qry = ref;
+        mutate(rng, qry, static_cast<unsigned>(rng.below(8)));
+        jobs.emplace_back(std::move(ref), std::move(qry));
+    }
+
+    auto run_tier = [&](simd::KernelTier tier) {
+        GENAX_CHECK(simd::setKernelTier(tier).ok(),
+                    "forcing tier must succeed");
+        std::vector<SillaScoreResult> scores;
+        std::vector<SillaAlignment> aligns;
+        std::vector<std::optional<u32>> dists;
+        StructuralScoringMachine score_m(40, Scoring{});
+        SillaTraceback trace_m(40, Scoring{});
+        StructuralEditMachine edit_m(40);
+        for (const auto &[ref, qry] : jobs) {
+            scores.push_back(score_m.runEvent(ref, qry));
+            aligns.push_back(trace_m.alignEvent(ref, qry));
+            dists.push_back(edit_m.distanceEvent(ref, qry));
+        }
+        return std::tuple(std::move(scores), std::move(aligns),
+                          std::move(dists));
+    };
+
+    const auto scalar = run_tier(simd::KernelTier::Scalar);
+    const auto avx2 = run_tier(simd::KernelTier::Avx2);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const auto &sa = std::get<0>(scalar)[j];
+        const auto &sb = std::get<0>(avx2)[j];
+        EXPECT_EQ(sa.best, sb.best) << "job " << j;
+        EXPECT_EQ(sa.streamCycles, sb.streamCycles) << "job " << j;
+        EXPECT_EQ(sa.refEnd, sb.refEnd) << "job " << j;
+        EXPECT_EQ(sa.qryEnd, sb.qryEnd) << "job " << j;
+        expectSameAlignment(std::get<1>(scalar)[j],
+                            std::get<1>(avx2)[j], 40,
+                            jobs[j].first.size(), 0);
+        EXPECT_EQ(std::get<2>(scalar)[j], std::get<2>(avx2)[j])
+            << "job " << j;
+    }
+}
+
 // ------------------------------------------- end-to-end invariance
 
 struct Workload
@@ -284,6 +468,40 @@ TEST(ModelEquiv, PipelineInvariantToThreadsAndBatch)
             const RunOutput run = runPipeline(w, threads, batch);
             expectSameModel(base, run,
                             "threads=" + std::to_string(threads) +
+                                " batch=" + std::to_string(batch));
+        }
+    }
+}
+
+TEST(ModelEquiv, PipelineInvariantUnderArmedFaults)
+{
+    // With seeding-phase (CAM overflow) and extension-phase (lane
+    // issue) faults armed, the keyed fault scopes must make every
+    // firing decision a pure function of (segment, read) — so the SAM
+    // bytes, outcome ledger and modelled report stay identical at any
+    // threads × batch combination even while faults bite. This is the
+    // pin for the two-phase seeding/extension split: each phase
+    // re-opens the read's scope, and the two sites hit in disjoint
+    // phases.
+    const Workload w = makeWorkload();
+    FaultSpec lane;
+    lane.probability = 0.25;
+    lane.seed = 99;
+    FaultSpec cam;
+    cam.probability = 0.15;
+    cam.seed = 7;
+    ScopedFaultPlan plan{{fault::kLaneIssue, lane},
+                         {fault::kCamOverflow, cam}};
+
+    const RunOutput base = runPipeline(w, 1, 0);
+    EXPECT_GT(FaultInjector::instance().fires(fault::kLaneIssue), 0u)
+        << "fault plan never bit; the sweep would be vacuous";
+    for (const unsigned threads : {1u, 8u}) {
+        for (const u64 batch : {u64{7}, u64{64}}) {
+            const RunOutput run = runPipeline(w, threads, batch);
+            expectSameModel(base, run,
+                            "faults armed, threads=" +
+                                std::to_string(threads) +
                                 " batch=" + std::to_string(batch));
         }
     }
