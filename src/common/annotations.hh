@@ -32,6 +32,7 @@
 #ifndef GENAX_COMMON_ANNOTATIONS_HH
 #define GENAX_COMMON_ANNOTATIONS_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -173,6 +174,21 @@ class CondVar
         // The lock must survive this scope: the caller's MutexLock
         // still owns it. release() detaches without unlocking.
         lk.release();
+    }
+
+    /** wait() with a relative timeout: returns std::cv_status::timeout
+     *  when `rel` elapsed without a notification. Same predicate-loop
+     *  discipline as wait() — callers re-check the guarded condition
+     *  (and their own deadline) after every return. */
+    template <class Rep, class Period>
+    std::cv_status
+    waitFor(Mutex &mu, const std::chrono::duration<Rep, Period> &rel)
+        GENAX_REQUIRES(mu) GENAX_NO_THREAD_SAFETY_ANALYSIS
+    {
+        std::unique_lock<std::mutex> lk(mu._mu, std::adopt_lock);
+        const std::cv_status st = _cv.wait_for(lk, rel);
+        lk.release();
+        return st;
     }
 
     void

@@ -64,6 +64,9 @@ inline constexpr const char *kStoreShortWrite = "io.store.short_write";
 inline constexpr const char *kStoreEio = "io.store.eio";
 inline constexpr const char *kStoreEnospc = "io.store.enospc";
 inline constexpr const char *kStoreMmapFail = "io.store.mmap_fail";
+inline constexpr const char *kServeAcceptFail = "serve.accept.fail";
+inline constexpr const char *kServeReadShort = "serve.read.short";
+inline constexpr const char *kServeWriteEio = "serve.write.eio";
 
 } // namespace fault
 

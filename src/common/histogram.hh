@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the serving layer's tail-latency
+ * accounting.
+ *
+ * Latencies land in power-of-two nanosecond buckets (bucket i covers
+ * [2^i, 2^(i+1)) ns), so 64 fixed counters span sub-nanosecond to
+ * multi-century with ~2x relative resolution — the standard
+ * inference-server shape for p50/p99 reporting where the *order of
+ * magnitude* of the tail matters, not its third digit. Quantiles are
+ * recovered by walking the cumulative counts and interpolating
+ * linearly inside the winning bucket.
+ *
+ * Accounting is pure integer arithmetic (counts and nanosecond sums
+ * in u64), so merging shards is order-invariant and nothing here
+ * accumulates floating point in a parallel region. The histogram
+ * never reads a clock: callers time with steady_clock deltas (the
+ * sanctioned profiling pattern — see DESIGN.md "Serving layer";
+ * latency numbers are observability output, never part of a
+ * determinism contract) and hand the result in.
+ *
+ * Not thread-safe: owners guard instances with their own Mutex (the
+ * batcher keeps its histograms under the stats lock) or keep
+ * per-thread shards and merge().
+ */
+
+#ifndef GENAX_COMMON_HISTOGRAM_HH
+#define GENAX_COMMON_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstddef>
+
+#include "common/check.hh"
+#include "common/types.hh"
+
+namespace genax {
+
+class LatencyHistogram
+{
+  public:
+    static constexpr size_t kBuckets = 64;
+
+    /** Record one latency in nanoseconds. */
+    void
+    recordNanos(u64 ns)
+    {
+        ++_buckets[bucketOf(ns)];
+        ++_count;
+        _sumNanos += ns;
+        if (ns > _maxNanos)
+            _maxNanos = ns;
+    }
+
+    /** Record one latency in seconds (negative clamps to zero). */
+    void
+    recordSeconds(double s)
+    {
+        recordNanos(s > 0 ? static_cast<u64>(s * 1e9) : 0);
+    }
+
+    /** Fold another histogram into this one (order-invariant). */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (size_t i = 0; i < kBuckets; ++i)
+            _buckets[i] += other._buckets[i];
+        _count += other._count;
+        _sumNanos += other._sumNanos;
+        if (other._maxNanos > _maxNanos)
+            _maxNanos = other._maxNanos;
+    }
+
+    u64 count() const { return _count; }
+    u64 sumNanos() const { return _sumNanos; }
+    u64 maxNanos() const { return _maxNanos; }
+
+    double
+    meanSeconds() const
+    {
+        return _count ? static_cast<double>(_sumNanos) / _count / 1e9
+                      : 0.0;
+    }
+
+    double maxSeconds() const { return _maxNanos / 1e9; }
+
+    /**
+     * Approximate q-quantile (q in [0,1]) in seconds: the latency at
+     * or below which a fraction q of recorded samples fall, linearly
+     * interpolated inside the winning log bucket and clamped to the
+     * observed maximum. 0 when empty.
+     */
+    double
+    quantileSeconds(double q) const
+    {
+        GENAX_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+        if (_count == 0)
+            return 0.0;
+        // Rank of the target sample, 1-based ceil so q=1 is the last
+        // and q=0 the first.
+        u64 rank = _count - static_cast<u64>(
+                                static_cast<double>(_count) *
+                                (1.0 - q));
+        if (rank == 0)
+            rank = 1;
+        u64 seen = 0;
+        for (size_t i = 0; i < kBuckets; ++i) {
+            if (_buckets[i] == 0)
+                continue;
+            if (seen + _buckets[i] >= rank && rank > seen) {
+                const double lo = bucketLowNanos(i);
+                const double hi = bucketHighNanos(i);
+                const double frac =
+                    static_cast<double>(rank - seen) /
+                    static_cast<double>(_buckets[i]);
+                const double ns = lo + (hi - lo) * frac;
+                const double cap = static_cast<double>(_maxNanos);
+                return (ns < cap ? ns : cap) / 1e9;
+            }
+            seen += _buckets[i];
+        }
+        return maxSeconds();
+    }
+
+    /** Per-bucket count (for tests and text dumps). */
+    u64 bucketCount(size_t i) const { return _buckets[i]; }
+
+    /** Bucket index of a nanosecond value: floor(log2(ns)), 0 for
+     *  ns < 2. */
+    static size_t
+    bucketOf(u64 ns)
+    {
+        return ns < 2 ? 0
+                      : static_cast<size_t>(std::bit_width(ns) - 1);
+    }
+
+    /** Inclusive lower bound of bucket i in nanoseconds. */
+    static double
+    bucketLowNanos(size_t i)
+    {
+        return i == 0 ? 0.0
+                      : static_cast<double>(u64{1} << (i < 63 ? i : 63));
+    }
+
+    /** Exclusive upper bound of bucket i in nanoseconds. */
+    static double
+    bucketHighNanos(size_t i)
+    {
+        return i >= 63 ? 2.0 * bucketLowNanos(63)
+                       : static_cast<double>(u64{1} << (i + 1));
+    }
+
+  private:
+    std::array<u64, kBuckets> _buckets{};
+    u64 _count = 0;
+    u64 _sumNanos = 0;
+    u64 _maxNanos = 0;
+};
+
+} // namespace genax
+
+#endif // GENAX_COMMON_HISTOGRAM_HH

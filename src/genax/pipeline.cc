@@ -48,11 +48,8 @@ ContigMap::locate(u64 pos) const
     return {lo, pos - _contigs[lo].start};
 }
 
-namespace {
-
-/** Unmapped SAM record for a read the pipeline could not align. */
 SamRecord
-unmappedRecord(const FastqRecord &read)
+pipelineUnmappedRecord(const FastqRecord &read)
 {
     SamRecord rec;
     rec.qname = read.name;
@@ -61,6 +58,34 @@ unmappedRecord(const FastqRecord &read)
     rec.qual = phredToAscii(read.qual);
     return rec;
 }
+
+SamRecord
+pipelineSamRecord(const ContigMap &contigs, const FastqRecord &read,
+                  const Mapping &m)
+{
+    SamRecord rec;
+    rec.qname = read.name;
+    const Seq &oriented_seq = m.mapped && m.reverse
+                                  ? reverseComplement(read.seq)
+                                  : read.seq;
+    rec.seq = decode(oriented_seq);
+    if (!m.mapped) {
+        rec.flag = kSamUnmapped;
+    } else {
+        const auto [ci, local] = contigs.locate(m.pos);
+        rec.flag = m.reverse ? kSamReverse : 0;
+        rec.rname = contigs.contigs()[ci].name;
+        rec.pos = local;
+        rec.mapq = m.mapq;
+        rec.cigar = m.cigar.strSamM();
+        rec.score = m.score;
+        rec.editDistance = static_cast<i32>(m.cigar.editDistance());
+    }
+    rec.qual = phredToAscii(read.qual, m.mapped && m.reverse);
+    return rec;
+}
+
+namespace {
 
 /**
  * Emit one batch's SAM records in input order and fold its outcomes
@@ -78,38 +103,19 @@ emitBatch(SamWriter &sam, const ContigMap &contigs,
     size_t live = 0; // index into maps/degraded (admitted reads only)
     for (size_t i = 0; i < reads.size(); ++i) {
         if (failed[i]) {
-            sam.write(unmappedRecord(reads[i]));
+            sam.write(pipelineUnmappedRecord(reads[i]));
             continue;
         }
         const Mapping &m = maps[live];
         const bool via_fallback = degraded[live] != 0;
         ++live;
-        SamRecord rec;
-        rec.qname = reads[i].name;
-        const Seq &oriented_seq =
-            m.mapped && m.reverse ? reverseComplement(reads[i].seq)
-                                  : reads[i].seq;
-        rec.seq = decode(oriented_seq);
-        if (!m.mapped) {
-            rec.flag = kSamUnmapped;
+        if (!m.mapped)
             ++res.unmapped;
-        } else {
-            if (via_fallback)
-                ++res.degraded;
-            else
-                ++res.mapped;
-            const auto [ci, local] = contigs.locate(m.pos);
-            rec.flag = m.reverse ? kSamReverse : 0;
-            rec.rname = contigs.contigs()[ci].name;
-            rec.pos = local;
-            rec.mapq = m.mapq;
-            rec.cigar = m.cigar.strSamM();
-            rec.score = m.score;
-            rec.editDistance =
-                static_cast<i32>(m.cigar.editDistance());
-        }
-        rec.qual = phredToAscii(reads[i].qual, m.mapped && m.reverse);
-        sam.write(rec);
+        else if (via_fallback)
+            ++res.degraded;
+        else
+            ++res.mapped;
+        sam.write(pipelineSamRecord(contigs, reads[i], m));
     }
 }
 
@@ -184,61 +190,61 @@ validateReference(const std::vector<FastaRecord> &ref)
     return okStatus();
 }
 
-/**
- * Snapshot attach policy. Opens `path` and decides how the run gets
- * its per-segment indexes:
- *
- *  - fingerprint mismatch against the parsed reference → hard error
- *    (a snapshot must never be applied to the wrong reference);
- *  - corruption or IO trouble opening it → degrade to the
- *    rebuild-from-FASTA path, recording the outcome in the result;
- *  - otherwise `out` is engaged and the caller attaches it.
- */
+/** attachIndexSnapshot() + fold the disposition into a pipeline
+ *  result. */
 Status
 attachSnapshot(const std::string &path, const Seq &refseq,
-               std::optional<IndexSnapshot> &out, PipelineResult &res)
+               IndexAttachment &att, PipelineResult &res)
 {
+    GENAX_TRY_ASSIGN(att, attachIndexSnapshot(path, refseq));
+    res.indexFromSnapshot = att.fromSnapshot;
+    res.indexMapped = att.mapped;
+    res.indexFallback = att.fallback;
+    res.indexNote = att.note;
+    return okStatus();
+}
+
+} // namespace
+
+StatusOr<IndexAttachment>
+attachIndexSnapshot(const std::string &path, const Seq &refseq)
+{
+    IndexAttachment att;
     auto opened = IndexSnapshot::open(path);
     if (!opened.ok()) {
-        res.indexFallback = true;
-        res.indexNote = "index snapshot unusable, rebuilding from "
-                        "FASTA: " +
-                        opened.status().str();
+        att.fallback = true;
+        att.note = "index snapshot unusable, rebuilding from "
+                   "FASTA: " +
+                   opened.status().str();
         GENAX_WARN("index snapshot ", path,
                    " unusable; rebuilding segment indexes from the "
                    "reference: ",
                    opened.status().str());
-        return okStatus();
+        return att;
     }
     IndexSnapshot snap = std::move(*opened);
     const IndexFingerprint want =
         referenceFingerprint(refseq, snap.k());
     GENAX_TRY(checkFingerprint(snap.fingerprint(), want)
                   .withContext("index snapshot " + path));
-    res.indexFromSnapshot = true;
-    res.indexMapped = snap.mapped();
-    res.indexNote = std::string("index snapshot attached (") +
-                    (snap.mapped() ? "mmap" : "owned read") + ")";
-    out = std::move(snap);
-    return okStatus();
+    att.fromSnapshot = true;
+    att.mapped = snap.mapped();
+    att.note = std::string("index snapshot attached (") +
+               (snap.mapped() ? "mmap" : "owned read") + ")";
+    att.snapshot = std::move(snap);
+    return att;
 }
 
-/** Apply an attached snapshot to a GenAx config: its build
- *  parameters are authoritative, and the engine serves segment
- *  indexes from it. */
 void
-applySnapshot(GenAxConfig &cfg,
-              const std::optional<IndexSnapshot> &snapshot)
+applyIndexAttachment(GenAxConfig &cfg, const IndexAttachment &att)
 {
-    if (!snapshot)
+    if (!att.snapshot)
         return;
-    cfg.k = snapshot->k();
-    cfg.segmentCount = snapshot->segmentCount();
-    cfg.segmentOverlap = snapshot->segmentOverlap();
-    cfg.snapshot = &*snapshot;
+    cfg.k = att.snapshot->k();
+    cfg.segmentCount = att.snapshot->segmentCount();
+    cfg.segmentOverlap = att.snapshot->segmentOverlap();
+    cfg.snapshot = &*att.snapshot;
 }
-
-} // namespace
 
 StatusOr<PipelineResult>
 alignToSam(const std::vector<FastaRecord> &ref,
@@ -252,10 +258,10 @@ alignToSam(const std::vector<FastaRecord> &ref,
     PipelineResult res;
     res.reads = reads.size();
 
-    std::optional<IndexSnapshot> snapshot;
+    IndexAttachment attach;
     if (!opts.indexSnapshot.empty())
         GENAX_TRY(attachSnapshot(opts.indexSnapshot,
-                                 contigs.sequence(), snapshot, res));
+                                 contigs.sequence(), attach, res));
 
     // Admission: the genax.pipeline.read fault point models a read
     // lost inside the pipeline (staging-buffer corruption and the
@@ -297,7 +303,7 @@ alignToSam(const std::vector<FastaRecord> &ref,
         cfg.segmentCount = opts.segments;
         cfg.segmentOverlap = opts.segmentOverlap;
         cfg.threads = opts.threads;
-        applySnapshot(cfg, snapshot);
+        applyIndexAttachment(cfg, attach);
         GenAxSystem system(contigs.sequence(), cfg);
         maps = system.alignAll(seqs);
         res.perf = system.perf();
@@ -342,10 +348,10 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
 
     PipelineResult res;
 
-    std::optional<IndexSnapshot> snapshot;
+    IndexAttachment attach;
     if (!opts.indexSnapshot.empty())
         GENAX_TRY(attachSnapshot(opts.indexSnapshot,
-                                 contigs.sequence(), snapshot, res));
+                                 contigs.sequence(), attach, res));
 
     bool use_software = opts.engine == PipelineOptions::Engine::Software;
     if (!use_software && opts.band > kMaxSillaK) {
@@ -447,7 +453,7 @@ alignStreamToSam(const std::vector<FastaRecord> &ref,
             cfg.segmentCount = opts.segments;
             cfg.segmentOverlap = opts.segmentOverlap;
             cfg.threads = opts.threads;
-            applySnapshot(cfg, snapshot);
+            applyIndexAttachment(cfg, attach);
             system.emplace(contigs.sequence(), cfg);
             system->streamBegin();
         } else {
@@ -636,9 +642,9 @@ alignPairsToSam(const std::vector<FastaRecord> &ref,
         // are emitted as unmapped placeholders and counted Failed.
         if (faultFires(fault::kPipelineRead)) [[unlikely]] {
             res.failed += 2;
-            SamRecord r1 = unmappedRecord(reads1[i]);
+            SamRecord r1 = pipelineUnmappedRecord(reads1[i]);
             r1.flag |= kSamPaired | kSamRead1 | kSamMateUnmapped;
-            SamRecord r2 = unmappedRecord(reads2[i]);
+            SamRecord r2 = pipelineUnmappedRecord(reads2[i]);
             r2.flag |= kSamPaired | kSamRead2 | kSamMateUnmapped;
             sam.write(r1);
             sam.write(r2);

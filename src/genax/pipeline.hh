@@ -13,6 +13,7 @@
 #define GENAX_GENAX_PIPELINE_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@
 #include "genax/system.hh"
 #include "io/fasta.hh"
 #include "io/fastq.hh"
+#include "io/sam.hh"
+#include "seed/index_snapshot.hh"
 
 namespace genax {
 
@@ -51,6 +54,60 @@ class ContigMap
     Seq _seq;
     std::vector<Contig> _contigs;
 };
+
+/**
+ * Unmapped placeholder SAM record for a read the pipeline could not
+ * align (failed admission, or an engine that produced no mapping).
+ * This is the exact record alignToSam emits, exposed so the serving
+ * layer's per-connection output stays byte-identical to an offline
+ * run.
+ */
+SamRecord pipelineUnmappedRecord(const FastqRecord &read);
+
+/**
+ * SAM record for an admitted read and its mapping — the one
+ * formatting path shared by the offline pipeline and the serving
+ * layer. Orientation, contig translation, CIGAR text, score and
+ * quality handling all live here, so "same read, same reference,
+ * same config" produces the same SAM bytes no matter which front end
+ * asked.
+ */
+SamRecord pipelineSamRecord(const ContigMap &contigs,
+                            const FastqRecord &read, const Mapping &m);
+
+/**
+ * Outcome of the snapshot attach policy (see attachIndexSnapshot).
+ * When `snapshot` is engaged the attachment must outlive any
+ * GenAxConfig it was applied to — the config holds a pointer into it.
+ */
+struct IndexAttachment
+{
+    std::optional<IndexSnapshot> snapshot;
+    bool fromSnapshot = false; //!< indexes served from the file
+    bool mapped = false;       //!< snapshot backing is the mmap path
+    bool fallback = false;     //!< unusable; rebuild from the FASTA
+    std::string note;          //!< human-readable outcome
+};
+
+/**
+ * Snapshot attach policy, shared by the offline pipeline and the
+ * load-once daemon. Opens `path` and decides how a run gets its
+ * per-segment indexes:
+ *
+ *  - fingerprint mismatch against the parsed reference → hard error
+ *    (a snapshot must never be applied to the wrong reference);
+ *  - corruption or IO trouble opening it → degrade to the
+ *    rebuild-from-FASTA path (`fallback` set, note recorded);
+ *  - otherwise the attachment carries the opened snapshot.
+ */
+StatusOr<IndexAttachment> attachIndexSnapshot(const std::string &path,
+                                              const Seq &refseq);
+
+/** Apply an attachment to a GenAx config: the snapshot's build
+ *  parameters are authoritative and the engine serves segment
+ *  indexes from it. A snapshot-less attachment is a no-op. */
+void applyIndexAttachment(GenAxConfig &cfg,
+                          const IndexAttachment &att);
 
 /** Pipeline configuration. */
 struct PipelineOptions

@@ -1,0 +1,249 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace genax {
+
+Batcher::Batcher(AlignService &service, const BatcherConfig &cfg)
+    : _service(service), _cfg(cfg),
+      _epoch(std::chrono::steady_clock::now()),
+      _worker([this] { workerLoop(); })
+{
+}
+
+Batcher::~Batcher()
+{
+    stop();
+}
+
+u64
+Batcher::nowNanos() const
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - _epoch)
+            .count());
+}
+
+StatusOr<std::vector<std::string>>
+Batcher::align(const std::string &tenant,
+               std::vector<FastqRecord> reads)
+{
+    Job job;
+    job.tenant = &tenant;
+    job.reads = &reads;
+
+    {
+        const MutexLock lk(_mu);
+        if (_stopped)
+            return unavailableError("genax_serve is shutting down");
+        const u64 n = reads.size();
+        // Admission control: a request that would overflow the read
+        // bound is shed (reject mode) or its producer blocks until
+        // the worker drains (backpressure mode). An empty queue
+        // always admits, so one oversized request cannot deadlock.
+        if (_cfg.rejectWhenFull) {
+            if (_queuedReads > 0 &&
+                _queuedReads + n > _cfg.queueReads) {
+                ++_tenants[tenant].rejected;
+                return resourceExhaustedError(
+                    "serve queue full (" +
+                    std::to_string(_queuedReads) + " reads pending, "
+                    "bound " +
+                    std::to_string(_cfg.queueReads) +
+                    "); retry later");
+            }
+        } else {
+            while (_queuedReads > 0 &&
+                   _queuedReads + n > _cfg.queueReads && !_stopped)
+                _notFull.wait(_mu);
+            if (_stopped)
+                return unavailableError(
+                    "genax_serve is shutting down");
+        }
+        job.enqueuedNanos = nowNanos();
+        _queue.push_back(&job);
+        _queuedReads += n;
+        _pending.notifyOne();
+        // The worker guarantees done is eventually set: every queued
+        // job is either processed or failed at shutdown.
+        while (!job.done)
+            _complete.wait(_mu);
+    }
+
+    if (!job.status.ok())
+        return job.status;
+    return std::move(job.lines);
+}
+
+void
+Batcher::stop()
+{
+    bool join = false;
+    {
+        const MutexLock lk(_mu);
+        if (!_stopped) {
+            _stopped = true;
+            _pending.notifyAll();
+            _notFull.notifyAll();
+            join = true; // first stopper owns the join
+        }
+    }
+    if (join && _worker.joinable())
+        _worker.join();
+}
+
+void
+Batcher::workerLoop()
+{
+    const u64 wait_ns = static_cast<u64>(
+        std::max(0.0, _cfg.batchWaitSeconds) * 1e9);
+    for (;;) {
+        std::vector<Job *> batch;
+        {
+            const MutexLock lk(_mu);
+            for (;;) {
+                if (_stopped) {
+                    // Fail whatever is still queued; their
+                    // producers are blocked on _complete.
+                    while (!_queue.empty()) {
+                        Job *j = _queue.front();
+                        _queue.pop_front();
+                        j->status = unavailableError(
+                            "genax_serve is shutting down");
+                        j->done = true;
+                    }
+                    _queuedReads = 0;
+                    _complete.notifyAll();
+                    return;
+                }
+                if (_queue.empty()) {
+                    _pending.wait(_mu);
+                    continue;
+                }
+                if (_queuedReads >= _cfg.batchReads) {
+                    ++_flushesBySize;
+                    break;
+                }
+                const u64 deadline =
+                    _queue.front()->enqueuedNanos + wait_ns;
+                const u64 now = nowNanos();
+                if (now >= deadline) {
+                    ++_flushesByDeadline;
+                    break;
+                }
+                _pending.waitFor(
+                    _mu, std::chrono::nanoseconds(deadline - now));
+            }
+
+            const u64 start = nowNanos();
+            u64 taken = 0;
+            while (!_queue.empty() && taken < _cfg.batchReads) {
+                Job *j = _queue.front();
+                _queue.pop_front();
+                _queueWait.recordNanos(start - j->enqueuedNanos);
+                taken += j->reads->size();
+                batch.push_back(j);
+            }
+            _queuedReads -= taken;
+            ++_batches;
+            if (taken > _maxBatchReads)
+                _maxBatchReads = taken;
+            _notFull.notifyAll();
+        }
+
+        // Engine work runs strictly outside the lock: producers keep
+        // queueing the next batch while this one aligns.
+        std::vector<FastqRecord> reads;
+        for (const Job *j : batch)
+            reads.insert(reads.end(), j->reads->begin(),
+                         j->reads->end());
+        const u64 t0 = nowNanos();
+        BatchOutcome out = _service.alignBatch(reads);
+        const u64 engine_ns = nowNanos() - t0;
+
+        {
+            const MutexLock lk(_mu);
+            const u64 done_ns = nowNanos();
+            size_t off = 0;
+            for (Job *j : batch) {
+                const size_t n = j->reads->size();
+                j->lines.assign(
+                    std::move_iterator(out.samLines.begin() +
+                                       static_cast<long>(off)),
+                    std::move_iterator(out.samLines.begin() +
+                                       static_cast<long>(off + n)));
+                TenantStats &t = _tenants[*j->tenant];
+                ++t.requests;
+                t.reads += n;
+                for (size_t i = off; i < off + n; ++i) {
+                    switch (out.outcomes[i]) {
+                    case BatchOutcome::kMapped:
+                        ++t.mapped;
+                        break;
+                    case BatchOutcome::kUnmapped:
+                        ++t.unmapped;
+                        break;
+                    default:
+                        ++t.degraded;
+                        break;
+                    }
+                }
+                off += n;
+                _engine.recordNanos(engine_ns);
+                _total.recordNanos(done_ns - j->enqueuedNanos);
+                j->status = okStatus();
+                j->done = true;
+            }
+            _complete.notifyAll();
+        }
+    }
+}
+
+Batcher::StatsSnapshot
+Batcher::stats() const
+{
+    const MutexLock lk(_mu);
+    StatsSnapshot snap;
+    snap.queueWait = _queueWait;
+    snap.engine = _engine;
+    snap.total = _total;
+    snap.tenants = _tenants;
+    snap.queuedReads = _queuedReads;
+    snap.batches = _batches;
+    snap.flushesBySize = _flushesBySize;
+    snap.flushesByDeadline = _flushesByDeadline;
+    snap.maxBatchReads = _maxBatchReads;
+    return snap;
+}
+
+std::string
+Batcher::statsText(const StatsSnapshot &snap)
+{
+    std::ostringstream out;
+    const auto hist = [&](const char *name,
+                          const LatencyHistogram &h) {
+        out << "  " << name << ": n=" << h.count() << " mean="
+            << h.meanSeconds() * 1e3 << "ms p50="
+            << h.quantileSeconds(0.5) * 1e3 << "ms p99="
+            << h.quantileSeconds(0.99) * 1e3 << "ms max="
+            << h.maxSeconds() * 1e3 << "ms\n";
+    };
+    out << "batches: " << snap.batches << " (" << snap.flushesBySize
+        << " by size, " << snap.flushesByDeadline
+        << " by deadline; largest " << snap.maxBatchReads
+        << " reads; " << snap.queuedReads << " queued)\n";
+    hist("queue-wait", snap.queueWait);
+    hist("engine", snap.engine);
+    hist("total", snap.total);
+    for (const auto &[tenant, t] : snap.tenants) {
+        out << "  tenant " << tenant << ": requests=" << t.requests
+            << " reads=" << t.reads << " mapped=" << t.mapped
+            << " unmapped=" << t.unmapped << " degraded="
+            << t.degraded << " rejected=" << t.rejected << "\n";
+    }
+    return out.str();
+}
+
+} // namespace genax

@@ -1,0 +1,69 @@
+#include "serve/client.hh"
+
+namespace genax {
+
+StatusOr<ServeClient>
+ServeClient::connect(const Endpoint &ep, const std::string &tenant,
+                     double timeoutSeconds)
+{
+    ServeClient client;
+    GENAX_TRY_ASSIGN(client._sock,
+                     Socket::connectTo(ep, timeoutSeconds));
+    GENAX_TRY(client._sock.sendFrame(FrameType::Hello, tenant));
+    GENAX_TRY_ASSIGN(const Frame ack, client._sock.recvFrame());
+    if (ack.type == FrameType::Error) {
+        Status carried;
+        GENAX_TRY(decodeError(ack.payload, carried));
+        return carried.withContext("serve handshake");
+    }
+    if (ack.type != FrameType::HelloAck)
+        return failedPreconditionError(
+            std::string("expected hello-ack, got ") +
+            frameTypeName(ack.type));
+    client._header = ack.payload;
+    return client;
+}
+
+StatusOr<std::vector<std::string>>
+ServeClient::align(const std::vector<FastqRecord> &reads)
+{
+    GENAX_TRY(_sock.sendFrame(FrameType::AlignRequest,
+                              encodeAlignRequest(reads)));
+    GENAX_TRY_ASSIGN(const Frame reply, _sock.recvFrame());
+    if (reply.type == FrameType::Error) {
+        Status carried;
+        GENAX_TRY(decodeError(reply.payload, carried));
+        return carried;
+    }
+    if (reply.type != FrameType::AlignResponse)
+        return failedPreconditionError(
+            std::string("expected align-response, got ") +
+            frameTypeName(reply.type));
+    GENAX_TRY_ASSIGN(std::vector<std::string> lines,
+                     decodeAlignResponse(reply.payload));
+    if (lines.size() != reads.size())
+        return internalError(
+            "align response carries " +
+            std::to_string(lines.size()) + " lines for " +
+            std::to_string(reads.size()) + " reads");
+    return lines;
+}
+
+StatusOr<std::string>
+ServeClient::stats()
+{
+    GENAX_TRY(_sock.sendFrame(FrameType::StatsRequest, ""));
+    GENAX_TRY_ASSIGN(const Frame reply, _sock.recvFrame());
+    if (reply.type == FrameType::Error) {
+        Status carried;
+        GENAX_TRY(decodeError(reply.payload, carried));
+        return carried;
+    }
+    if (reply.type != FrameType::StatsReply)
+        return failedPreconditionError(
+            std::string("expected stats-reply, got ") +
+            frameTypeName(reply.type));
+    return reply.payload;
+}
+
+} // namespace genax

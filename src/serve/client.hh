@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Client side of the serving protocol: connect (with a startup-race
+ * retry window), handshake, and blocking align/stats round trips.
+ *
+ * A client that writes samHeader() followed by every line from its
+ * align() calls reproduces, byte for byte, the SAM an offline
+ * `genax_align --index` run over the same reads would write — the
+ * determinism suite pins that. Error frames come back as the carried
+ * Status; torn streams (daemon killed mid-batch) surface as IoError
+ * from the checksummed framing, never as partially-accepted SAM.
+ *
+ * One conversation per Client; not thread-safe (load generators run
+ * one Client per thread).
+ */
+
+#ifndef GENAX_SERVE_CLIENT_HH
+#define GENAX_SERVE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "io/fastq.hh"
+#include "serve/socket.hh"
+
+namespace genax {
+
+class ServeClient
+{
+  public:
+    /**
+     * Connect to a daemon at `ep` (retrying refused/missing
+     * endpoints until `timeoutSeconds`), send Hello with `tenant`
+     * and wait for the HelloAck carrying the SAM header.
+     */
+    static StatusOr<ServeClient> connect(const Endpoint &ep,
+                                         const std::string &tenant,
+                                         double timeoutSeconds = 5.0);
+
+    ServeClient(ServeClient &&) = default;
+    ServeClient &operator=(ServeClient &&) = default;
+
+    /** SAM header text of the daemon's reference. */
+    const std::string &samHeader() const { return _header; }
+
+    /** Round-trip one batch: one SAM line per read, in order. An
+     *  Error frame returns as its carried Status. */
+    StatusOr<std::vector<std::string>>
+    align(const std::vector<FastqRecord> &reads);
+
+    /** Fetch the daemon's human-readable serving stats. */
+    StatusOr<std::string> stats();
+
+    void close() { _sock.close(); }
+
+  private:
+    ServeClient() = default;
+
+    Socket _sock;
+    std::string _header;
+};
+
+} // namespace genax
+
+#endif // GENAX_SERVE_CLIENT_HH

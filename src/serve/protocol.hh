@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Wire protocol for the genax_serve daemon: length-prefixed binary
+ * frames over a byte stream (Unix-domain or TCP socket).
+ *
+ * Every frame is a fixed 32-byte little-endian header followed by an
+ * opaque payload. The header carries a magic, a protocol version, the
+ * frame type, the payload length, and two checksums (StoreChecksum,
+ * the store layer's splitmix64 stream): one over the payload and one
+ * over the header's own leading bytes. A frame is accepted only after
+ * both checksums verify, so a torn or corrupted stream surfaces as a
+ * typed Status at the frame boundary — a partial frame is never
+ * delivered upward, which is what lets a killed daemon guarantee "no
+ * partial SAM accepted" on the client side.
+ *
+ * Conversation shape (client drives):
+ *
+ *   C -> S  Hello         tenant name (free-form client identity)
+ *   S -> C  HelloAck      SAM header text for this daemon's reference
+ *   C -> S  AlignRequest  a batch of reads
+ *   S -> C  AlignResponse one SAM line per read, in request order
+ *           (or Error: the carried Status — request rejected/failed)
+ *   C -> S  StatsRequest  (optional, any time after Hello)
+ *   S -> C  StatsReply    human-readable serving stats
+ *
+ * Payload codecs live here too so client and server cannot drift:
+ * reads travel as (name, 2-bit-encoded sequence, raw Phred bytes)
+ * triples — the daemon never re-parses FASTQ text — and responses
+ * carry finished SAM lines (each including its trailing newline), so
+ * client-side output is exactly headerText + concat(lines).
+ */
+
+#ifndef GENAX_SERVE_PROTOCOL_HH
+#define GENAX_SERVE_PROTOCOL_HH
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "io/fastq.hh"
+
+namespace genax {
+
+/** Frame types (u16 on the wire). */
+enum class FrameType : u16
+{
+    Hello = 1,
+    HelloAck = 2,
+    AlignRequest = 3,
+    AlignResponse = 4,
+    Error = 5,
+    StatsRequest = 6,
+    StatsReply = 7,
+};
+
+/** Printable frame-type name for diagnostics. */
+const char *frameTypeName(FrameType t);
+
+/** Fixed little-endian frame header. */
+struct FrameHeader
+{
+    char magic[4];      //!< "GXSV"
+    u16 version;        //!< kProtocolVersion
+    u16 type;           //!< FrameType
+    u64 payloadBytes;   //!< payload length following the header
+    u64 payloadChecksum; //!< storeChecksum over the payload
+    u64 headerChecksum;  //!< storeChecksum over the 24 bytes above
+};
+static_assert(sizeof(FrameHeader) == 32, "wire header is 32 bytes");
+
+inline constexpr char kFrameMagic[4] = {'G', 'X', 'S', 'V'};
+inline constexpr u16 kProtocolVersion = 1;
+
+/** Upper bound on a single payload; a header claiming more is a
+ *  protocol error, not an allocation request. */
+inline constexpr u64 kMaxFramePayload = u64{256} * 1024 * 1024;
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+/** Serialize a frame (header + payload) ready to write. */
+std::string encodeFrame(FrameType type, std::string_view payload);
+
+/**
+ * Validate and decode a wire header: magic, version, header checksum
+ * and the payload-size bound. The payload checksum is checked
+ * separately once the payload bytes arrived.
+ */
+StatusOr<FrameHeader> decodeFrameHeader(const void *bytes);
+
+/** Verify a received payload against its header's checksum. */
+Status validateFramePayload(const FrameHeader &hdr,
+                            std::string_view payload);
+
+/** @name Payload codecs */
+///@{
+
+/** AlignRequest: a batch of reads in submission order. */
+std::string encodeAlignRequest(const std::vector<FastqRecord> &reads);
+StatusOr<std::vector<FastqRecord>>
+decodeAlignRequest(std::string_view payload);
+
+/** AlignResponse: one finished SAM line (with trailing newline) per
+ *  requested read, in request order. */
+std::string
+encodeAlignResponse(const std::vector<std::string> &samLines);
+StatusOr<std::vector<std::string>>
+decodeAlignResponse(std::string_view payload);
+
+/** Error: a Status carried across the wire (code + message). The
+ *  decode return reports payload problems; the carried error lands
+ *  in `out`. */
+std::string encodeError(const Status &s);
+Status decodeError(std::string_view payload, Status &out);
+
+///@}
+
+} // namespace genax
+
+#endif // GENAX_SERVE_PROTOCOL_HH

@@ -1,0 +1,161 @@
+#include "serve/server.hh"
+
+#include <utility>
+
+#include <sys/socket.h>
+
+#include "common/logging.hh"
+
+namespace genax {
+
+Server::~Server()
+{
+    stop();
+}
+
+Status
+Server::start(const Endpoint &ep)
+{
+    GENAX_TRY_ASSIGN(_listener, ListenSocket::listen(ep));
+    _acceptThread = std::thread([this] { acceptLoop(); });
+    return okStatus();
+}
+
+void
+Server::stop()
+{
+    if (_stop.exchange(true))
+        return; // first stopper owns the teardown
+    // Join before closing: acceptFor polls with a bounded timeout,
+    // so the loop re-checks _stop within ~100ms. Closing the fd
+    // while the accept thread still reads it would be a race.
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    _listener.close();
+
+    // Unblock handlers stuck in recv: a shutdown fd reads EOF.
+    {
+        const MutexLock lk(_mu);
+        for (int fd : _fds) {
+            if (fd >= 0)
+                ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    // Unblock handlers stuck in the batcher: pending requests fail
+    // with Unavailable and the handlers wind down.
+    _batcher.stop();
+
+    std::vector<std::thread> threads;
+    {
+        const MutexLock lk(_mu);
+        threads.swap(_threads);
+    }
+    for (auto &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (!_stop.load(std::memory_order_relaxed)) {
+        auto accepted = _listener.acceptFor(100);
+        if (!accepted.ok()) {
+            GENAX_WARN("accept failed: ", accepted.status().str());
+            continue;
+        }
+        if (!accepted->has_value())
+            continue; // timeout or transient accept failure
+        Socket sock = std::move(**accepted);
+        const MutexLock lk(_mu);
+        const size_t slot = _threads.size();
+        _fds.push_back(sock.fd());
+        _threads.emplace_back(
+            [this, s = std::move(sock), slot]() mutable {
+                handleConnection(std::move(s), slot);
+            });
+    }
+}
+
+void
+Server::handleConnection(Socket sock, size_t slot)
+{
+    // Handshake: Hello (tenant name) → HelloAck (SAM header).
+    std::string tenant = "anonymous";
+    do {
+        auto hello = sock.recvFrame();
+        if (!hello.ok())
+            break;
+        if (hello->type != FrameType::Hello) {
+            (void)sock.sendFrame(
+                FrameType::Error,
+                encodeError(failedPreconditionError(
+                    std::string("expected a hello frame, got ") +
+                    frameTypeName(hello->type))));
+            break;
+        }
+        if (!hello->payload.empty())
+            tenant = hello->payload;
+        if (!sock.sendFrame(FrameType::HelloAck,
+                            _service.headerText())
+                 .ok())
+            break;
+
+        for (;;) {
+            auto frame = sock.recvFrame();
+            if (!frame.ok()) {
+                // Clean close between frames is the normal end of a
+                // conversation; anything else tore mid-frame.
+                if (!isEndOfStream(frame.status()))
+                    GENAX_WARN("connection to ", tenant,
+                               " dropped: ", frame.status().str());
+                break;
+            }
+            if (frame->type == FrameType::AlignRequest) {
+                auto reads = decodeAlignRequest(frame->payload);
+                if (!reads.ok()) {
+                    (void)sock.sendFrame(
+                        FrameType::Error,
+                        encodeError(reads.status()));
+                    break; // protocol violation: drop the stream
+                }
+                auto lines = _batcher.align(
+                    tenant, std::move(reads).value());
+                if (!lines.ok()) {
+                    // Request-level failure (shed, shutdown): a
+                    // clean Error frame; the connection survives.
+                    if (!sock.sendFrame(FrameType::Error,
+                                        encodeError(lines.status()))
+                             .ok())
+                        break;
+                    continue;
+                }
+                if (!sock.sendFrame(FrameType::AlignResponse,
+                                    encodeAlignResponse(*lines))
+                         .ok())
+                    break;
+            } else if (frame->type == FrameType::StatsRequest) {
+                if (!sock.sendFrame(
+                            FrameType::StatsReply,
+                            Batcher::statsText(_batcher.stats()))
+                         .ok())
+                    break;
+            } else {
+                (void)sock.sendFrame(
+                    FrameType::Error,
+                    encodeError(failedPreconditionError(
+                        std::string("unexpected ") +
+                        frameTypeName(frame->type) + " frame")));
+                break;
+            }
+        }
+    } while (false);
+
+    sock.close();
+    _connectionsServed.fetch_add(1, std::memory_order_relaxed);
+    const MutexLock lk(_mu);
+    _fds[slot] = -1;
+}
+
+} // namespace genax

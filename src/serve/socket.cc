@@ -1,0 +1,335 @@
+#include "serve/socket.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/faultinject.hh"
+
+namespace genax {
+
+namespace {
+
+/** Parse a decimal port. */
+StatusOr<u16>
+parsePort(std::string_view s)
+{
+    if (s.empty() || s.size() > 5)
+        return invalidInputError("bad TCP port: '" + std::string(s) +
+                                 "'");
+    u32 port = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return invalidInputError("bad TCP port: '" +
+                                     std::string(s) + "'");
+        port = port * 10 + static_cast<u32>(c - '0');
+    }
+    if (port > 65535)
+        return invalidInputError("TCP port out of range: " +
+                                 std::string(s));
+    return static_cast<u16>(port);
+}
+
+/** Fill a sockaddr for `ep`; returns its length. */
+StatusOr<socklen_t>
+fillSockaddr(const Endpoint &ep, sockaddr_storage &ss)
+{
+    std::memset(&ss, 0, sizeof(ss));
+    if (ep.kind == Endpoint::Kind::Unix) {
+        auto *sun = reinterpret_cast<sockaddr_un *>(&ss);
+        sun->sun_family = AF_UNIX;
+        if (ep.path.size() >= sizeof(sun->sun_path))
+            return invalidInputError(
+                "unix socket path too long: " + ep.path);
+        std::memcpy(sun->sun_path, ep.path.c_str(),
+                    ep.path.size() + 1);
+        return static_cast<socklen_t>(sizeof(sockaddr_un));
+    }
+    auto *sin = reinterpret_cast<sockaddr_in *>(&ss);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(ep.port);
+    if (inet_pton(AF_INET, ep.host.c_str(), &sin->sin_addr) != 1)
+        return invalidInputError("bad TCP host: " + ep.host);
+    return static_cast<socklen_t>(sizeof(sockaddr_in));
+}
+
+int
+domainOf(const Endpoint &ep)
+{
+    return ep.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+}
+
+} // namespace
+
+StatusOr<Endpoint>
+Endpoint::parse(std::string_view spec)
+{
+    Endpoint ep;
+    if (spec.rfind("unix:", 0) == 0) {
+        ep.kind = Kind::Unix;
+        ep.path = std::string(spec.substr(5));
+        if (ep.path.empty())
+            return invalidInputError("empty unix socket path in '" +
+                                     std::string(spec) + "'");
+        return ep;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        ep.kind = Kind::Tcp;
+        std::string_view rest = spec.substr(4);
+        const size_t colon = rest.rfind(':');
+        std::string_view port_part = rest;
+        if (colon != std::string_view::npos) {
+            ep.host = std::string(rest.substr(0, colon));
+            port_part = rest.substr(colon + 1);
+            if (ep.host.empty())
+                return invalidInputError("empty TCP host in '" +
+                                         std::string(spec) + "'");
+        }
+        GENAX_TRY_ASSIGN(ep.port, parsePort(port_part));
+        return ep;
+    }
+    return invalidInputError(
+        "bad endpoint '" + std::string(spec) +
+        "' (expected unix:PATH, tcp:PORT or tcp:HOST:PORT)");
+}
+
+std::string
+Endpoint::str() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+void
+Socket::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+StatusOr<Socket>
+Socket::connectTo(const Endpoint &ep, double timeoutSeconds)
+{
+    sockaddr_storage ss;
+    GENAX_TRY_ASSIGN(const socklen_t len, fillSockaddr(ep, ss));
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeoutSeconds));
+    for (;;) {
+        const int fd = ::socket(domainOf(ep), SOCK_STREAM, 0);
+        if (fd < 0)
+            return ioErrorFromErrno("socket", ep.str());
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&ss), len) ==
+            0)
+            return Socket(fd);
+        const int err = errno;
+        ::close(fd);
+        // The daemon may still be starting: retry refused/missing
+        // endpoints until the deadline; anything else is final.
+        const bool transient = err == ECONNREFUSED ||
+                               err == ENOENT || err == ECONNRESET;
+        if (!transient || std::chrono::steady_clock::now() >= deadline)
+            return ioError("connect " + ep.str() + ": " +
+                           std::strerror(err));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+Status
+Socket::readAll(void *buf, size_t n)
+{
+    auto *p = static_cast<char *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        if (faultFires(fault::kServeReadShort)) [[unlikely]] {
+            return ioError("injected short read on the serve "
+                           "connection (serve.read.short)");
+        }
+        const ssize_t r = ::recv(_fd, p + got, n - got, 0);
+        if (r == 0) {
+            if (got == 0)
+                return endOfStream();
+            return ioError("connection closed mid-frame after " +
+                           std::to_string(got) + " of " +
+                           std::to_string(n) + " bytes");
+        }
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError(std::string("recv: ") +
+                           std::strerror(errno));
+        }
+        got += static_cast<size_t>(r);
+    }
+    return okStatus();
+}
+
+Status
+Socket::writeAll(const void *buf, size_t n)
+{
+    const auto *p = static_cast<const char *>(buf);
+    size_t sent = 0;
+    while (sent < n) {
+        if (faultFires(fault::kServeWriteEio)) [[unlikely]] {
+            return ioError("injected write failure on the serve "
+                           "connection (serve.write.eio)");
+        }
+        const ssize_t r =
+            ::send(_fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError(std::string("send: ") +
+                           std::strerror(errno));
+        }
+        sent += static_cast<size_t>(r);
+    }
+    return okStatus();
+}
+
+Status
+Socket::sendFrame(FrameType type, std::string_view payload)
+{
+    const std::string frame = encodeFrame(type, payload);
+    return writeAll(frame.data(), frame.size());
+}
+
+StatusOr<Frame>
+Socket::recvFrame()
+{
+    char hdr_bytes[sizeof(FrameHeader)];
+    GENAX_TRY(readAll(hdr_bytes, sizeof(hdr_bytes)));
+    GENAX_TRY_ASSIGN(const FrameHeader hdr,
+                     decodeFrameHeader(hdr_bytes));
+    Frame frame;
+    frame.type = static_cast<FrameType>(hdr.type);
+    frame.payload.resize(hdr.payloadBytes);
+    if (hdr.payloadBytes > 0) {
+        Status s = readAll(frame.payload.data(), hdr.payloadBytes);
+        if (!s.ok()) {
+            // EOF between header and payload is a torn frame, not a
+            // clean close.
+            if (isEndOfStream(s))
+                return ioError("connection closed before the frame "
+                               "payload arrived");
+            return s;
+        }
+    }
+    GENAX_TRY(validateFramePayload(hdr, frame.payload));
+    return frame;
+}
+
+ListenSocket::ListenSocket(ListenSocket &&o) noexcept
+    : _fd(o._fd), _bound(std::move(o._bound)),
+      _unlinkOnClose(o._unlinkOnClose)
+{
+    o._fd = -1;
+    o._unlinkOnClose = false;
+}
+
+ListenSocket &
+ListenSocket::operator=(ListenSocket &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        _fd = o._fd;
+        _bound = std::move(o._bound);
+        _unlinkOnClose = o._unlinkOnClose;
+        o._fd = -1;
+        o._unlinkOnClose = false;
+    }
+    return *this;
+}
+
+void
+ListenSocket::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+        if (_unlinkOnClose)
+            ::unlink(_bound.path.c_str());
+    }
+}
+
+StatusOr<ListenSocket>
+ListenSocket::listen(const Endpoint &ep)
+{
+    ListenSocket ls;
+    ls._bound = ep;
+
+    if (ep.kind == Endpoint::Kind::Unix)
+        ::unlink(ep.path.c_str()); // stale socket from a dead daemon
+
+    sockaddr_storage ss;
+    GENAX_TRY_ASSIGN(const socklen_t len, fillSockaddr(ep, ss));
+    const int fd = ::socket(domainOf(ep), SOCK_STREAM, 0);
+    if (fd < 0)
+        return ioErrorFromErrno("socket", ep.str());
+    ls._fd = fd;
+
+    if (ep.kind == Endpoint::Kind::Tcp) {
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&ss), len) != 0)
+        return ioErrorFromErrno("bind", ep.str());
+    ls._unlinkOnClose = ep.kind == Endpoint::Kind::Unix;
+    if (::listen(fd, 256) != 0)
+        return ioErrorFromErrno("listen", ep.str());
+
+    // tcp:0 bound an ephemeral port; report the real one.
+    if (ep.kind == Endpoint::Kind::Tcp && ep.port == 0) {
+        sockaddr_in sin;
+        socklen_t slen = sizeof(sin);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&sin),
+                          &slen) != 0)
+            return ioErrorFromErrno("getsockname", ep.str());
+        ls._bound.port = ntohs(sin.sin_port);
+    }
+    return ls;
+}
+
+StatusOr<std::optional<Socket>>
+ListenSocket::acceptFor(int timeoutMs)
+{
+    pollfd pfd{_fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, timeoutMs);
+    if (r < 0) {
+        if (errno == EINTR)
+            return std::optional<Socket>();
+        return Status(ioErrorFromErrno("poll", _bound.str()));
+    }
+    if (r == 0 || !(pfd.revents & POLLIN))
+        return std::optional<Socket>();
+    const int cfd = ::accept(_fd, nullptr, nullptr);
+    if (cfd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED ||
+            errno == EAGAIN || errno == EWOULDBLOCK)
+            return std::optional<Socket>();
+        return Status(ioErrorFromErrno("accept", _bound.str()));
+    }
+    if (faultFires(fault::kServeAcceptFail)) [[unlikely]] {
+        // Model a transient kernel-level accept failure: the
+        // connection is torn down immediately; the daemon keeps
+        // listening and the client observes a reset.
+        ::close(cfd);
+        return std::optional<Socket>();
+    }
+    return std::optional<Socket>(Socket(cfd));
+}
+
+} // namespace genax

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Thin Status-typed socket layer for the serving protocol: endpoint
+ * parsing ("unix:PATH" / "tcp:[HOST:]PORT"), a poll-driven listener
+ * and a blocking stream socket with whole-frame send/receive.
+ *
+ * All environment failures (refused connects, resets, short reads,
+ * write errors) surface as Status through the ordinary error
+ * channel; nothing here throws or aborts. A clean peer close is the
+ * EndOfStream sentinel, distinct from IO errors, so connection
+ * handlers can tell "client finished" from "stream died mid-frame".
+ *
+ * Fault sites (DESIGN.md "Serving layer"):
+ *  - serve.accept.fail — an incoming connection is dropped at
+ *    accept() as if the kernel refused it;
+ *  - serve.read.short  — a receive completes short and the
+ *    connection is treated as torn;
+ *  - serve.write.eio   — a send fails with a device-style error.
+ * Each is observed through the same Status path a real failure would
+ * take, so chaos runs exercise production code, not test shims.
+ */
+
+#ifndef GENAX_SERVE_SOCKET_HH
+#define GENAX_SERVE_SOCKET_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "serve/protocol.hh"
+
+namespace genax {
+
+/** A parsed listen/connect address. */
+struct Endpoint
+{
+    enum class Kind
+    {
+        Unix, //!< Unix-domain stream socket at `path`
+        Tcp,  //!< TCP stream socket at host:port (loopback default)
+    };
+    Kind kind = Kind::Unix;
+    std::string path;               //!< Unix only
+    std::string host = "127.0.0.1"; //!< TCP only
+    u16 port = 0;                   //!< TCP only; 0 = ephemeral
+
+    /**
+     * Parse "unix:PATH", "tcp:PORT" or "tcp:HOST:PORT". Unix paths
+     * must fit sockaddr_un; TCP host defaults to loopback.
+     */
+    static StatusOr<Endpoint> parse(std::string_view spec);
+
+    /** Canonical spec string ("unix:/tmp/x.sock", "tcp:127.0.0.1:4"). */
+    std::string str() const;
+};
+
+/** Move-only connected stream socket. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : _fd(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&o) noexcept : _fd(o._fd) { o._fd = -1; }
+    Socket &
+    operator=(Socket &&o) noexcept
+    {
+        if (this != &o) {
+            close();
+            _fd = o._fd;
+            o._fd = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return _fd >= 0; }
+    int fd() const { return _fd; }
+
+    void close();
+
+    /** Connect to `ep`, retrying refused/missing endpoints until
+     *  `timeoutSeconds` elapses (covers the daemon-startup race). */
+    static StatusOr<Socket> connectTo(const Endpoint &ep,
+                                      double timeoutSeconds);
+
+    /** Read exactly `n` bytes. EndOfStream on a clean close at
+     *  offset 0; IoError on a mid-buffer close or any read error. */
+    Status readAll(void *buf, size_t n);
+
+    /** Write exactly `n` bytes (SIGPIPE suppressed). */
+    Status writeAll(const void *buf, size_t n);
+
+    /** Encode and write one whole frame. */
+    Status sendFrame(FrameType type, std::string_view payload);
+
+    /** Read and fully validate one frame (header checks, payload
+     *  checksum). EndOfStream on a clean close between frames. */
+    StatusOr<Frame> recvFrame();
+
+  private:
+    int _fd = -1;
+};
+
+/** Move-only listening socket with poll-based, stoppable accept. */
+class ListenSocket
+{
+  public:
+    ListenSocket() = default;
+    ~ListenSocket() { close(); }
+
+    ListenSocket(ListenSocket &&o) noexcept;
+    ListenSocket &operator=(ListenSocket &&o) noexcept;
+    ListenSocket(const ListenSocket &) = delete;
+    ListenSocket &operator=(const ListenSocket &) = delete;
+
+    /** Bind + listen. A Unix endpoint unlinks a stale socket file
+     *  first; tcp:0 binds an ephemeral port (see boundEndpoint()). */
+    static StatusOr<ListenSocket> listen(const Endpoint &ep);
+
+    /**
+     * Wait up to `timeoutMs` for a connection: an accepted Socket, or
+     * nullopt on timeout (callers loop, re-checking their stop flag).
+     * An injected serve.accept.fail drops the connection and reports
+     * it as nullopt too — the daemon stays up, the client sees a
+     * reset, exactly the production shape of a transient accept
+     * failure.
+     */
+    StatusOr<std::optional<Socket>> acceptFor(int timeoutMs);
+
+    /** The endpoint actually bound (real port for tcp:0). */
+    const Endpoint &boundEndpoint() const { return _bound; }
+
+    bool valid() const { return _fd >= 0; }
+
+    void close();
+
+  private:
+    int _fd = -1;
+    Endpoint _bound;
+    bool _unlinkOnClose = false;
+};
+
+} // namespace genax
+
+#endif // GENAX_SERVE_SOCKET_HH

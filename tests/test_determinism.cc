@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "align/simd/dispatch.hh"
@@ -19,6 +22,10 @@
 #include "genax/pipeline.hh"
 #include "readsim/readsim.hh"
 #include "readsim/refgen.hh"
+#include "serve/batcher.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
 
 namespace genax {
 namespace {
@@ -320,6 +327,94 @@ TEST(Determinism, FaultFallbackIdenticalAtEveryKernelTier)
                               kernelTierName(tier));
     }
     simd::clearKernelTierOverride();
+}
+
+TEST(Determinism, ServedSamMatchesOfflineAtAnyBatchAndThreads)
+{
+    // The serving layer's byte-identity contract (see
+    // src/serve/service.hh): a client that writes samHeader() plus
+    // the lines from its align() calls reproduces, byte for byte,
+    // what an offline genax_align run over exactly its reads would
+    // have written — no matter how the daemon's continuous batcher
+    // interleaved it with other tenants' reads, what the flush
+    // threshold was, or how many engine threads served the batch.
+    const Workload w = makeWorkload();
+
+    constexpr size_t kClients = 4;
+    std::vector<std::vector<FastqRecord>> slices(kClients);
+    const size_t per = (w.reads.size() + kClients - 1) / kClients;
+    for (size_t i = 0; i < w.reads.size(); ++i)
+        slices[i / per].push_back(w.reads[i]);
+
+    // Offline expectation: one single-client pipeline run per slice.
+    std::vector<std::string> expected(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+        PipelineOptions opts;
+        opts.segments = 6;
+        std::ostringstream sink;
+        const auto res = alignToSam(w.ref, slices[c], sink, opts);
+        ASSERT_TRUE(res.ok()) << res.status().str();
+        expected[c] = sink.str();
+    }
+
+    for (const u64 batch : {u64{1}, u64{7}, u64{64}}) {
+        for (const unsigned engine_threads : {1u, 3u}) {
+            const std::string what =
+                "batch=" + std::to_string(batch) +
+                " threads=" + std::to_string(engine_threads);
+
+            ServiceConfig scfg;
+            scfg.segments = 6;
+            scfg.threads = engine_threads;
+            auto svc = AlignService::create(w.ref, scfg);
+            ASSERT_TRUE(svc.ok()) << svc.status().str();
+            BatcherConfig bcfg;
+            bcfg.batchReads = batch;
+            Batcher batcher(**svc, bcfg);
+            Server server(**svc, batcher);
+            const auto ep = Endpoint::parse("tcp:0");
+            ASSERT_TRUE(ep.ok());
+            ASSERT_TRUE(server.start(*ep).ok());
+
+            std::vector<std::string> served(kClients);
+            std::vector<std::thread> clients;
+            for (size_t c = 0; c < kClients; ++c) {
+                clients.emplace_back([&, c] {
+                    auto conn = ServeClient::connect(
+                        server.boundEndpoint(),
+                        "c" + std::to_string(c));
+                    ASSERT_TRUE(conn.ok()) << conn.status().str();
+                    std::string sam = conn->samHeader();
+                    // 5-read requests so every request straddles
+                    // batch boundaries at each flush threshold.
+                    const auto &mine = slices[c];
+                    for (size_t i = 0; i < mine.size(); i += 5) {
+                        const size_t n =
+                            std::min<size_t>(5, mine.size() - i);
+                        auto lines =
+                            conn->align(std::vector<FastqRecord>(
+                                mine.begin() + static_cast<long>(i),
+                                mine.begin() +
+                                    static_cast<long>(i + n)));
+                        ASSERT_TRUE(lines.ok())
+                            << lines.status().str();
+                        for (const auto &line : *lines)
+                            sam += line;
+                    }
+                    conn.value().close();
+                    served[c] = std::move(sam);
+                });
+            }
+            for (auto &t : clients)
+                t.join();
+            server.stop();
+            (*svc)->finish();
+
+            for (size_t c = 0; c < kClients; ++c)
+                EXPECT_EQ(served[c], expected[c])
+                    << what << " client=" << c;
+        }
+    }
 }
 
 } // namespace

@@ -1,0 +1,15 @@
+// Fixture: the same non-monotonic clock, waived with a reason. The
+// un-suppressed fix is steady_clock deltas into a LatencyHistogram.
+#include <chrono>
+
+long
+latencyNanos()
+{
+    // genax-lint: allow(wall-clock): fixture exercising the suppression path
+    const auto t0 = std::chrono::high_resolution_clock::now();
+    // genax-lint: allow(wall-clock): fixture exercising the suppression path
+    const auto t1 = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                t0)
+        .count();
+}

@@ -1,0 +1,15 @@
+// Fixture: latency timing with the non-monotonic
+// high_resolution_clock inside src/. The sanctioned pattern is
+// steady_clock deltas feeding a LatencyHistogram, which this fixture
+// deliberately does not use.
+#include <chrono>
+
+long
+latencyNanos()
+{
+    const auto t0 = std::chrono::high_resolution_clock::now();
+    const auto t1 = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                t0)
+        .count();
+}

@@ -23,13 +23,19 @@ scope_for() {
         naked_new) echo "src/seed/fixture.cc" ;;
         raw_rng) echo "src/align/fixture.cc" ;;
         unchecked_write) echo "src/io/fixture.cc" ;;
+        wall_clock_hist) echo "src/serve/fixture.cc" ;;
         *) echo "src/genax/fixture.cc" ;;
     esac
 }
 
-# rule name as reported (underscores in file names, dashes in rules)
+# rule name as reported (underscores in file names, dashes in rules;
+# a _<variant> suffix selects a second fixture pair for the same
+# rule).
 rule_name() {
-    echo "${1//_/-}"
+    case "$1" in
+        wall_clock_hist) echo "wall-clock" ;;
+        *) echo "${1//_/-}" ;;
+    esac
 }
 
 for f in "$dir"/bad_*.cc; do

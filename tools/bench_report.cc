@@ -56,9 +56,23 @@
  * `host` block so CI can assert the SIMD path was actually live.
  * --kernel forces a dispatch tier for the whole run (exit 2 if the
  * tier is unknown or unsupported on this host).
+ *
+ * The `serve` section measures the serving layer end to end: an
+ * in-process genax_serve stack (AlignService + Batcher + Server)
+ * listens on a Unix-domain socket (TCP loopback fallback) and
+ * 8/64/256 concurrent client threads stream the pinned reads through
+ * it in 16-read requests. Each sweep point reports sustained reads/s
+ * and p50/p99/max request latency. --check gates the 64-client
+ * batched throughput at >= the single-client `pipeline-software`
+ * streaming leg — the load-once + cross-client-batching claim: a
+ * daemon that amortizes startup across requests must beat an offline
+ * run that pays index construction every invocation. The gate
+ * auto-skips only when socket setup is impossible on the host (the
+ * report then records the reason).
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -81,11 +95,14 @@
 #include "align/simd/batch_score.hh"
 #include "align/simd/dispatch.hh"
 #include "align/simd/myers_batch.hh"
+#include "common/histogram.hh"
 #include "common/rng.hh"
 #include "common/threadpool.hh"
 #include "genax/pipeline.hh"
 #include "readsim/readsim.hh"
 #include "readsim/refgen.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 
 using namespace genax;
 
@@ -258,6 +275,213 @@ benchKernels(int repeat)
                  gotoh_cells),
             make("myers_edit_distance", myers_scalar, myers_simd,
                  myers_cells)};
+}
+
+/** One serving-sweep data point: N concurrent clients. */
+struct ServePoint
+{
+    u64 clients = 0;
+    u64 requestsPerClient = 0;
+    u64 reads = 0;
+    u64 errors = 0;
+    double seconds = 0;
+    double readsPerSec = 0;
+    double p50Ms = 0;
+    double p99Ms = 0;
+    double maxMs = 0;
+};
+
+struct ServeBench
+{
+    bool available = false;
+    std::string note; //!< why unavailable, or the bound endpoint
+    std::string endpointKind;
+    unsigned threads = 0;
+    u64 batchReads = 0;
+    std::vector<ServePoint> points;
+};
+
+/**
+ * End-to-end serving sweep: the full genax_serve stack in-process
+ * (load-once service, cross-client batcher, socket server) driven by
+ * concurrent client threads over real sockets. The software engine
+ * keeps the gate apples-to-apples with the `pipeline-software` legs:
+ * same alignment work, but startup paid once and batches aggregated
+ * across clients.
+ */
+ServeBench
+benchServe(const std::vector<FastaRecord> &fasta,
+           const std::vector<FastqRecord> &fastq,
+           const BenchOptions &opt)
+{
+    ServeBench bench;
+
+    ServiceConfig scfg;
+    scfg.engine = PipelineOptions::Engine::Software;
+    scfg.threads = opt.mtThreads;
+    scfg.segments = 8;
+    auto service = AlignService::create(fasta, scfg);
+    if (!service.ok()) {
+        bench.note = service.status().str();
+        return bench;
+    }
+    AlignService &svc = **service;
+
+    BatcherConfig bcfg;
+    // Wider batches than the daemon default: the sweep's interesting
+    // regime is saturation (64/256 clients keep >= 1024 reads
+    // pending), where larger engine batches amortize wakeup/demux
+    // rounds. Light load still flushes on the 2 ms deadline.
+    bcfg.batchReads = 256;
+    Batcher batcher(svc, bcfg);
+    Server server(svc, batcher);
+
+    // Unix-domain socket next to the report; TCP loopback when the
+    // host rules that out (path too long for sockaddr_un, no AF_UNIX,
+    // read-only cwd...). Both failing means sockets are impossible
+    // here and the serve section reports itself unavailable.
+    Status bind_error = okStatus();
+    {
+        const std::string sock_path = opt.out + ".serve.sock";
+        auto ep = Endpoint::parse("unix:" + sock_path);
+        Status st = ep.ok() ? server.start(*ep) : ep.status();
+        if (!st.ok()) {
+            bind_error = st;
+            ep = Endpoint::parse("tcp:127.0.0.1:0");
+            st = ep.ok() ? server.start(*ep) : ep.status();
+        }
+        if (!st.ok()) {
+            bench.note = "unix: " + bind_error.str() +
+                         "; tcp: " + st.str();
+            batcher.stop();
+            svc.finish();
+            return bench;
+        }
+    }
+    const Endpoint bound = server.boundEndpoint();
+    bench.available = true;
+    bench.note = bound.str();
+    bench.endpointKind =
+        bound.kind == Endpoint::Kind::Unix ? "unix" : "tcp";
+    bench.threads = ThreadPool::resolveWidth(scfg.threads);
+    bench.batchReads = bcfg.batchReads;
+
+    // Request slices: the pinned reads in 16-read frames, cycled.
+    constexpr u64 kReadsPerRequest = 16;
+    std::vector<std::vector<FastqRecord>> requests;
+    for (size_t i = 0; i < fastq.size(); i += kReadsPerRequest) {
+        const size_t n =
+            std::min<size_t>(kReadsPerRequest, fastq.size() - i);
+        requests.emplace_back(fastq.begin() + static_cast<long>(i),
+                              fastq.begin() +
+                                  static_cast<long>(i + n));
+    }
+
+    // Enough total work that the sweep measures sustained throughput:
+    // ~9600 reads per point, split across the point's clients. The
+    // timed window opens *after* every client connected (a start
+    // barrier) — connection setup and thread creation are a per-point
+    // constant, not part of the sustained rate the gate compares.
+    constexpr u64 kTargetReads = 9600;
+    for (const u64 clients : {u64{8}, u64{64}, u64{256}}) {
+        const u64 per_client = std::max<u64>(
+            1, (kTargetReads + clients * kReadsPerRequest - 1) /
+                   (clients * kReadsPerRequest));
+        // Best-of-N like every other timed leg (the floor this sweep
+        // is gated against is itself a best-of-N); latency histograms
+        // keep every repeat's samples.
+        ServePoint best;
+        LatencyHistogram latency;
+        u64 total_errors = 0;
+        for (int rep = 0; rep < std::min(opt.repeat, 2); ++rep) {
+            struct Worker
+            {
+                LatencyHistogram latency;
+                u64 reads = 0;
+                u64 errors = 0;
+            };
+            std::vector<Worker> workers(clients);
+            std::vector<std::thread> threads;
+            threads.reserve(clients);
+            std::atomic<u64> ready{0};
+            std::atomic<bool> go{false};
+            for (u64 c = 0; c < clients; ++c) {
+                threads.emplace_back([&, c] {
+                    Worker &w = workers[c];
+                    auto conn = ServeClient::connect(
+                        bound, "bench-" + std::to_string(c));
+                    if (!conn.ok())
+                        ++w.errors;
+                    ready.fetch_add(1);
+                    while (!go.load(std::memory_order_acquire))
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(100));
+                    if (!conn.ok())
+                        return;
+                    for (u64 r = 0; r < per_client; ++r) {
+                        const auto &req =
+                            requests[(c + r) % requests.size()];
+                        const auto s =
+                            std::chrono::steady_clock::now();
+                        auto lines = conn->align(req);
+                        const auto e =
+                            std::chrono::steady_clock::now();
+                        if (!lines.ok()) {
+                            ++w.errors;
+                            continue;
+                        }
+                        w.latency.recordNanos(static_cast<u64>(
+                            std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(e - s)
+                                .count()));
+                        w.reads += req.size();
+                    }
+                    conn.value().close();
+                });
+            }
+            while (ready.load() < clients)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            const auto t0 = std::chrono::steady_clock::now();
+            go.store(true, std::memory_order_release);
+            for (auto &t : threads)
+                t.join();
+            const auto t1 = std::chrono::steady_clock::now();
+
+            ServePoint p;
+            p.clients = clients;
+            p.requestsPerClient = per_client;
+            for (const auto &w : workers) {
+                latency.merge(w.latency);
+                p.reads += w.reads;
+                p.errors += w.errors;
+            }
+            p.seconds =
+                std::chrono::duration<double>(t1 - t0).count();
+            p.readsPerSec =
+                p.seconds > 0
+                    ? static_cast<double>(p.reads) / p.seconds
+                    : 0;
+            total_errors += p.errors;
+            if (rep == 0 || p.readsPerSec > best.readsPerSec)
+                best = p;
+        }
+        best.errors = total_errors;
+        best.p50Ms = latency.quantileSeconds(0.5) * 1e3;
+        best.p99Ms = latency.quantileSeconds(0.99) * 1e3;
+        best.maxMs = latency.maxSeconds() * 1e3;
+        bench.points.push_back(best);
+        std::printf("  serve clients=%-3llu %8.3f s  %10.1f reads/s"
+                    "  p50 %7.3f ms  p99 %7.3f ms  errors %llu\n",
+                    static_cast<unsigned long long>(best.clients),
+                    best.seconds, best.readsPerSec, best.p50Ms,
+                    best.p99Ms,
+                    static_cast<unsigned long long>(best.errors));
+    }
+
+    server.stop();
+    svc.finish();
+    return bench;
 }
 
 int
@@ -450,6 +674,14 @@ run(const BenchOptions &opt)
                 genax_profile.bookkeepingSeconds,
                 genax_profile.totalSeconds);
 
+    // End-to-end serving sweep over real sockets (the in-process
+    // genax_serve stack). Runs after the pipeline legs so the gate
+    // can compare against the just-measured single-client baseline.
+    const ServeBench serve = benchServe(fasta, fastq, opt);
+    if (!serve.available)
+        std::printf("  serve sweep unavailable: %s\n",
+                    serve.note.c_str());
+
     // The MT-vs-ST gate engages only when the host can really run
     // wide: with fewer than 4 effective workers a 2x software
     // speedup is not attainable and the gate reports itself skipped.
@@ -499,6 +731,27 @@ run(const BenchOptions &opt)
     const bool gx_vs_sw_applies = opt.check && pinned_workload;
     const bool gx_vs_sw_passed =
         !gx_vs_sw_applies || gx_vs_sw >= kGxVsSwFloor;
+
+    // Serving gate: 64 batched clients must beat one offline
+    // streaming client. The offline leg pays index construction every
+    // run; the daemon paid it once before the sweep started — if
+    // batching ever stops clearing this bar, the load-once design
+    // has regressed into per-request overhead. Skips only when the
+    // host could not set up a socket at all (the reason is in the
+    // report), never silently.
+    const double serve_floor = throughput("pipeline-software", 1);
+    double serve64 = 0;
+    u64 serve64_errors = 0;
+    for (const auto &p : serve.points) {
+        if (p.clients == 64) {
+            serve64 = p.readsPerSec;
+            serve64_errors = p.errors;
+        }
+    }
+    const bool serve_applies = opt.check && serve.available;
+    const bool serve_passed =
+        !serve_applies ||
+        (serve64 >= serve_floor && serve64_errors == 0);
 
     std::ofstream out(opt.out);
     if (!out) {
@@ -558,6 +811,27 @@ run(const BenchOptions &opt)
         << genax_profile.bookkeepingSeconds
         << ", \"total_seconds\": " << genax_profile.totalSeconds
         << "},\n"
+        << "  \"serve\": {\"available\": "
+        << (serve.available ? "true" : "false") << ", \"note\": \""
+        << serve.note << "\", \"endpoint\": \"" << serve.endpointKind
+        << "\", \"engine\": \"software\", \"threads\": "
+        << serve.threads << ", \"batch_reads\": " << serve.batchReads
+        << ", \"reads_per_request\": 16,\n"
+        << "    \"points\": [\n";
+    for (size_t i = 0; i < serve.points.size(); ++i) {
+        const auto &p = serve.points[i];
+        out << "      {\"clients\": " << p.clients
+            << ", \"requests_per_client\": " << p.requestsPerClient
+            << ", \"reads\": " << p.reads
+            << ", \"errors\": " << p.errors
+            << ", \"seconds\": " << p.seconds
+            << ", \"reads_per_sec\": " << p.readsPerSec
+            << ", \"p50_ms\": " << p.p50Ms
+            << ", \"p99_ms\": " << p.p99Ms
+            << ", \"max_ms\": " << p.maxMs << "}"
+            << (i + 1 < serve.points.size() ? "," : "") << "\n";
+    }
+    out << "    ]},\n"
         << "  \"check\": {\"enabled\": " << (opt.check ? "true" : "false")
         << ", \"applied\": " << (gate_applies ? "true" : "false")
         << ", \"passed\": " << (gate_passed ? "true" : "false")
@@ -576,6 +850,11 @@ run(const BenchOptions &opt)
         << (gx_vs_sw_applies ? "true" : "false")
         << ", \"gx_vs_sw_passed\": "
         << (gx_vs_sw_passed ? "true" : "false")
+        << ", \"serve_applied\": "
+        << (serve_applies ? "true" : "false")
+        << ", \"serve_passed\": "
+        << (serve_passed ? "true" : "false")
+        << ", \"serve_floor_reads_per_sec\": " << serve_floor
         << ", \"width_divergence\": "
         << (width_divergence ? "true" : "false") << "}\n"
         << "}\n";
@@ -623,6 +902,20 @@ run(const BenchOptions &opt)
                      "check FAILED: genax-system runs at %.2fx of "
                      "pipeline-software single-threaded, floor %.2fx\n",
                      gx_vs_sw, kGxVsSwFloor);
+        return 1;
+    }
+    if (opt.check && !serve.available)
+        std::printf("check: serve gate skipped (sockets "
+                    "unavailable: %s)\n",
+                    serve.note.c_str());
+    if (!serve_passed) {
+        std::fprintf(stderr,
+                     "check FAILED: 64-client serve throughput %.1f "
+                     "reads/s (%llu errors), floor %.1f (single-"
+                     "client pipeline-software streaming)\n",
+                     serve64,
+                     static_cast<unsigned long long>(serve64_errors),
+                     serve_floor);
         return 1;
     }
     return 0;

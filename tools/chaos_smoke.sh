@@ -6,11 +6,17 @@
 # memory-safety probe. See DESIGN.md, "Error-handling policy".
 #
 # Usage: tools/chaos_smoke.sh path/to/genax_align [path/to/genax_index]
-# The snapshot-corruption leg runs only when genax_index is given.
+#        [path/to/genax_serve path/to/genax_client]
+# The snapshot-corruption leg runs only when genax_index is given; the
+# daemon-kill leg (SIGKILL mid-batch: clean client error, no partial
+# SAM, restart serves the same snapshot byte-identically) runs only
+# when genax_serve and genax_client are given too.
 set -u
 
-bin="${1:?usage: chaos_smoke.sh path/to/genax_align [genax_index]}"
+bin="${1:?usage: chaos_smoke.sh path/to/genax_align [genax_index] [genax_serve genax_client]}"
 index_bin="${2:-}"
+serve_bin="${3:-}"
+client_bin="${4:-}"
 [[ -x "$bin" ]] || { echo "chaos-smoke: $bin not executable" >&2; exit 1; }
 
 tmp="$(mktemp -d)"
@@ -165,6 +171,77 @@ if [[ -n "$index_bin" ]]; then
             err "no degradation note for the corrupt snapshot"
         cmp -s "$tmp/nosnap.sam" "$tmp/degraded.sam" ||
             err "degraded-rebuild SAM differs from in-memory SAM"
+    fi
+fi
+
+# 6. Daemon-kill leg: SIGKILL genax_serve while a client's request is
+#    parked in the batcher. The client must fail cleanly (exit 3, no
+#    partial SAM, no hang — the checksummed framing means a torn
+#    stream is never *accepted*), and a restarted daemon on the same
+#    snapshot must serve SAM byte-identical to the offline
+#    `genax_align --index` run.
+if [[ -n "$serve_bin" && -n "$client_bin" && -n "$index_bin" ]]; then
+    if [[ ! -x "$serve_bin" || ! -x "$client_bin" ]]; then
+        err "$serve_bin / $client_bin not executable"
+    else
+        sock="$tmp/serve.sock"
+        # A clean corpus for the serve legs (the client refuses to
+        # stream the malformed records the CLI legs exercise).
+        for ((r = 0; r < 40; r++)); do
+            printf '@sread%d\n%s\n+\n%s\n' \
+                "$r" "${seq:$((r * 25)):80}" "$qual"
+        done >"$tmp/serve_reads.fq"
+
+        # Offline baseline over the same snapshot: the byte-identity
+        # reference for the restarted daemon.
+        status=$(run "$tmp/soffline.log" --ref "$tmp/ref.fa" \
+            --reads "$tmp/serve_reads.fq" --out "$tmp/soffline.sam" \
+            --index "$tmp/snap.gxs")
+        ((status == 0)) || err "serve offline baseline: exit $status, want 0"
+
+        # (a) A daemon configured so requests park in the batcher
+        # (batch never fills, deadline far away), killed mid-batch.
+        "$serve_bin" --ref "$tmp/ref.fa" --index "$tmp/snap.gxs" \
+            --listen "unix:$sock" --batch-reads 100000 \
+            --batch-wait-ms 60000 \
+            >"$tmp/serve_kill.out" 2>"$tmp/serve_kill.log" &
+        spid=$!
+        timeout 30 "$client_bin" --connect "unix:$sock" \
+            --reads "$tmp/serve_reads.fq" --out "$tmp/killed.sam" \
+            2>"$tmp/killed.log" &
+        cpid=$!
+        sleep 1 # client connected; its first request is parked
+        kill -9 "$spid" 2>/dev/null
+        wait "$cpid"
+        status=$?
+        ((status == 3)) ||
+            err "daemon killed mid-batch: client exit $status, want 3 ($(cat "$tmp/killed.log"))"
+        [[ ! -e "$tmp/killed.sam" ]] ||
+            err "client left a partial SAM after the daemon died"
+        wait "$spid" 2>/dev/null
+
+        # (b) Restart on the same snapshot and socket path (the
+        # listener unlinks the stale socket file): the served SAM
+        # must be byte-identical to the offline --index run.
+        "$serve_bin" --ref "$tmp/ref.fa" --index "$tmp/snap.gxs" \
+            --listen "unix:$sock" \
+            >"$tmp/serve2.out" 2>"$tmp/serve2.log" &
+        spid=$!
+        timeout 60 "$client_bin" --connect "unix:$sock" \
+            --reads "$tmp/serve_reads.fq" --out "$tmp/served.sam" \
+            --reads-per-request 7 2>"$tmp/served.log"
+        status=$?
+        ((status == 0)) ||
+            err "restarted daemon: client exit $status, want 0 ($(cat "$tmp/served.log"))"
+        cmp -s "$tmp/soffline.sam" "$tmp/served.sam" ||
+            err "served SAM differs from the offline --index run"
+        kill -TERM "$spid" 2>/dev/null
+        wait "$spid"
+        status=$?
+        ((status == 0)) ||
+            err "restarted daemon: shutdown exit $status, want 0"
+        grep -q 'served .* connections' "$tmp/serve2.log" ||
+            err "no serving ledger on the restarted daemon's stderr"
     fi
 fi
 

@@ -15,11 +15,17 @@
  *                   in a file that produces SAM/ledger/cycle output.
  *                   Hash-order iteration is the classic way
  *                   byte-identical output dies.
- *   wall-clock      std::chrono::system_clock, time(), clock(),
+ *   wall-clock      std::chrono::system_clock,
+ *                   high_resolution_clock, time(), clock(),
  *                   localtime/gmtime or getenv outside tools/ and
  *                   bench/. Simulation results must be a function of
  *                   inputs + seeds, never of the clock or the
- *                   environment.
+ *                   environment. The one sanctioned in-src timing
+ *                   pattern is steady_clock *deltas* feeding a
+ *                   LatencyHistogram (observability output, never a
+ *                   determinism contract — see the serving layer's
+ *                   batcher); steady_clock itself is therefore not
+ *                   flagged, but the non-monotonic clocks are.
  *   raw-mutex       std::mutex / std::lock_guard / std::unique_lock /
  *                   std::condition_variable (and friends) outside
  *                   src/common/. Concurrency code must use the
@@ -618,6 +624,19 @@ class FileChecker
                            "environment; results must be a pure "
                            "function of inputs and seeds");
             }
+        }
+        // high_resolution_clock is an alias for system_clock on
+        // common standard libraries, so it is just as non-monotonic
+        // — and latency timing is the usual reason people reach for
+        // it. Point at the sanctioned pattern instead.
+        for (size_t p = findToken(code, "high_resolution_clock", 0);
+             p != std::string::npos;
+             p = findToken(code, "high_resolution_clock", p + 1)) {
+            report(p, "wall-clock",
+                   "high_resolution_clock may alias the wall clock; "
+                   "time with steady_clock deltas feeding a "
+                   "LatencyHistogram (the sanctioned profiling "
+                   "pattern)");
         }
         // time( / clock( need the call parenthesis so identifiers
         // like `timeModel` or members named `clock` do not trip.

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * genax_serve — load-once alignment daemon.
+ *
+ *   genax_serve --ref ref.fa --listen unix:/tmp/genax.sock
+ *               [--index snapshot.gxs] [--engine genax|sw] [--k 12]
+ *               [--band 40] [--segments 8] [--threads 1]
+ *               [--batch-reads 64] [--batch-wait-ms 2]
+ *               [--queue-reads 4096] [--reject-when-full]
+ *               [--max-malformed N] [--inject SPEC]
+ *
+ * Loads the reference (and, with --index, mmaps the prebuilt index
+ * snapshot zero-copy) exactly once, then serves concurrent clients
+ * over a Unix-domain or TCP socket. Requests from all clients
+ * aggregate into cross-client engine batches (a batch flushes when
+ * it fills or when its oldest request has waited --batch-wait-ms),
+ * so the amortized cost per request is alignment, not startup.
+ *
+ * Snapshot semantics match genax_align --index: a corrupt or missing
+ * snapshot degrades to rebuild-from-FASTA (the daemon still starts,
+ * noting the fallback); a snapshot built from a different reference
+ * is a hard startup error.
+ *
+ * On SIGINT/SIGTERM the daemon stops accepting, fails pending
+ * requests with clean Error frames, closes the engine stream and
+ * prints the serving ledger (per-tenant counts and queue/engine/total
+ * latency histograms) to stderr.
+ *
+ * Exit codes: 0 clean shutdown; 2 usage error; 3 startup failure.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/faultinject.hh"
+#include "io/reader.hh"
+#include "serve/server.hh"
+
+using namespace genax;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitError = 3;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+printHelp(const char *prog, std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: %s --ref ref.fa --listen ENDPOINT [options]\n"
+        "\n"
+        "Long-lived alignment daemon: loads the reference (and index\n"
+        "snapshot) once and serves concurrent clients with\n"
+        "cross-client dynamic batching.\n"
+        "\n"
+        "options:\n"
+        "  --ref FILE          reference FASTA (required)\n"
+        "  --listen ENDPOINT   unix:PATH, tcp:PORT or tcp:HOST:PORT\n"
+        "                      (required; tcp:0 picks a free port,\n"
+        "                      printed on the readiness line)\n"
+        "  --index FILE        prebuilt index snapshot (mmap\n"
+        "                      zero-copy; corrupt -> rebuild\n"
+        "                      fallback, wrong reference -> error)\n"
+        "  --engine genax|sw   accelerator model or software\n"
+        "                      baseline (default genax)\n"
+        "  --k K               seeding k-mer length (default 12)\n"
+        "  --band K            edit bound (default 40)\n"
+        "  --segments N        GenAx genome segments (default 8)\n"
+        "  --threads N         engine worker threads (default 1;\n"
+        "                      0 = all hardware threads)\n"
+        "  --batch-reads N     flush a batch at N pending reads\n"
+        "                      (default 64)\n"
+        "  --batch-wait-ms MS  flush when the oldest request waited\n"
+        "                      MS milliseconds (default 2)\n"
+        "  --queue-reads N     admission bound on queued reads\n"
+        "                      (default 4096)\n"
+        "  --reject-when-full  shed requests with a clean error\n"
+        "                      frame instead of blocking producers\n"
+        "  --max-malformed N   malformed reference records tolerated\n"
+        "                      (default 1000)\n"
+        "  --inject SPEC       arm fault-injection sites (also\n"
+        "                      GENAX_FAULT_INJECT in the environment)\n"
+        "  -h, --help          show this help and exit\n"
+        "\n"
+        "The daemon prints 'genax_serve: listening on ENDPOINT' to\n"
+        "stdout once it accepts connections, and a serving ledger to\n"
+        "stderr on shutdown (SIGINT/SIGTERM).\n"
+        "\n"
+        "exit codes: 0 clean shutdown; 2 usage error; 3 startup "
+        "failure\n",
+        prog);
+}
+
+[[noreturn]] void
+usageError(const char *prog, const char *msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prog, msg);
+    printHelp(prog, stderr);
+    std::exit(kExitUsage);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string ref, listen, inject;
+    ServiceConfig cfg;
+    BatcherConfig bcfg;
+    u64 max_malformed = 1000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usageError(argv[0],
+                           ("missing value for " + arg).c_str());
+            return argv[++i];
+        };
+        if (arg == "--ref") {
+            ref = next();
+        } else if (arg == "--listen") {
+            listen = next();
+        } else if (arg == "--index") {
+            cfg.indexSnapshot = next();
+        } else if (arg == "--engine") {
+            const std::string e = next();
+            if (e == "genax") {
+                cfg.engine = PipelineOptions::Engine::GenAx;
+            } else if (e == "sw") {
+                cfg.engine = PipelineOptions::Engine::Software;
+            } else {
+                usageError(argv[0], "--engine must be genax or sw");
+            }
+        } else if (arg == "--k") {
+            cfg.k = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--band") {
+            cfg.band = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--segments") {
+            cfg.segments = static_cast<u64>(std::atoll(next()));
+        } else if (arg == "--threads") {
+            cfg.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--batch-reads") {
+            bcfg.batchReads = static_cast<u64>(std::atoll(next()));
+            if (bcfg.batchReads == 0)
+                usageError(argv[0], "--batch-reads must be >= 1");
+        } else if (arg == "--batch-wait-ms") {
+            bcfg.batchWaitSeconds = std::atof(next()) / 1e3;
+        } else if (arg == "--queue-reads") {
+            bcfg.queueReads = static_cast<u64>(std::atoll(next()));
+        } else if (arg == "--reject-when-full") {
+            bcfg.rejectWhenFull = true;
+        } else if (arg == "--max-malformed") {
+            max_malformed = static_cast<u64>(std::atoll(next()));
+        } else if (arg == "--inject") {
+            inject = next();
+        } else if (arg == "--help" || arg == "-h") {
+            printHelp(argv[0], stdout);
+            return kExitOk;
+        } else {
+            usageError(argv[0],
+                       ("unknown option: " + arg).c_str());
+        }
+    }
+    if (ref.empty() || listen.empty())
+        usageError(argv[0], "--ref and --listen are required");
+
+    if (const Status st = FaultInjector::instance().configureFromEnv();
+        !st.ok()) {
+        std::fprintf(stderr, "GENAX_FAULT_INJECT: %s\n",
+                     st.str().c_str());
+        return kExitUsage;
+    }
+    if (!inject.empty()) {
+        if (const Status st =
+                FaultInjector::instance().configure(inject);
+            !st.ok()) {
+            std::fprintf(stderr, "--inject: %s\n", st.str().c_str());
+            return kExitUsage;
+        }
+    }
+
+    const auto endpoint = Endpoint::parse(listen);
+    if (!endpoint.ok()) {
+        std::fprintf(stderr, "genax_serve: %s\n",
+                     endpoint.status().str().c_str());
+        return kExitUsage;
+    }
+
+    // Load once: everything below this point is paid exactly one
+    // time per daemon lifetime, never per request.
+    ReaderOptions ropts;
+    ropts.maxMalformed = max_malformed;
+    auto parsed = readFastaFile(ref, ropts);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "genax_serve: %s\n",
+                     parsed.status().str().c_str());
+        return kExitError;
+    }
+    auto service =
+        AlignService::create(std::move(parsed).value(), cfg);
+    if (!service.ok()) {
+        std::fprintf(stderr, "genax_serve: %s\n",
+                     service.status().str().c_str());
+        return kExitError;
+    }
+    AlignService &svc = **service;
+    if (!svc.indexAttachment().note.empty())
+        std::fprintf(stderr, "note: %s\n",
+                     svc.indexAttachment().note.c_str());
+    if (svc.softwareFallback())
+        std::fprintf(stderr,
+                     "note: serving on the software engine\n");
+
+    Batcher batcher(svc, bcfg);
+    Server server(svc, batcher);
+    if (const Status st = server.start(*endpoint); !st.ok()) {
+        std::fprintf(stderr, "genax_serve: %s\n", st.str().c_str());
+        return kExitError;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Readiness line: smoke tests and load generators wait for it.
+    std::printf("genax_serve: listening on %s\n",
+                server.boundEndpoint().str().c_str());
+    std::fflush(stdout);
+
+    while (!g_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::fprintf(stderr, "genax_serve: shutting down\n");
+    server.stop();
+    svc.finish();
+
+    const auto snap = batcher.stats();
+    std::fprintf(stderr,
+                 "served %llu connections, %llu reads\n%s",
+                 static_cast<unsigned long long>(
+                     server.connectionsServed()),
+                 static_cast<unsigned long long>(svc.readsServed()),
+                 Batcher::statsText(snap).c_str());
+    return kExitOk;
+}
